@@ -1,0 +1,26 @@
+// bench_common.hpp — shared scaffolding for the figure/table reproduction
+// binaries.
+//
+// Every bench prints: a header naming the paper artifact it regenerates, the
+// fixed parameters, the result table (same rows/series the paper reports),
+// and a short "expected shape" note quoting the paper's claim so the output
+// is self-checking by eye. EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/series.hpp"
+
+namespace sst::bench {
+
+inline void banner(const std::string& title, const std::string& params,
+                   const std::string& paper_claim) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Parameters: %s\n", params.c_str());
+  std::printf("Paper's claim: %s\n", paper_claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace sst::bench

@@ -1,0 +1,46 @@
+// Figure 10 reproduction: the mu_hot = lambda knee with feedback.
+//
+// Paper: "the consistency metric remains low as long as the arrival rate
+// exceeds mu_hot. When mu_hot is increased beyond lambda, the consistency
+// sharply rises to almost 100%. Increasing mu_hot beyond lambda does not
+// have a significant impact." Parameters: mu_data = 38 kbps, mu_fb = 7 kbps,
+// loss rate = 10%, lambda = 15 kbps.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+int main() {
+  using namespace sst;
+  bench::banner(
+      "Figure 10 — consistency vs mu_hot (feedback protocol)",
+      "mu_data=38 kbps, mu_fb=7 kbps, lambda=15 kbps, loss=10%, "
+      "exponential lifetimes 120 s",
+      "low consistency while mu_hot < lambda; sharp rise at the "
+      "mu_hot = lambda knee; flat beyond");
+
+  stats::ResultTable table({"mu_hot kbps", "hot share %", "consistency",
+                            "mean T_recv s", "final hot backlog"});
+
+  for (double share = 0.1; share <= 0.901; share += 0.08) {
+    core::ExperimentConfig cfg;
+    cfg.variant = core::Variant::kFeedback;
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    cfg.workload.mean_lifetime = 120.0;
+    cfg.mu_data = sim::kbps(38);
+    cfg.mu_fb = sim::kbps(7);
+    cfg.hot_share = share;
+    cfg.loss_rate = 0.10;
+    cfg.duration = 3000.0;
+    cfg.warmup = 500.0;
+    const auto r = core::run_experiment(cfg);
+    table.add_row({38.0 * share, share * 100, r.avg_consistency,
+                   r.mean_latency, static_cast<double>(r.final_hot_depth)});
+  }
+  table.print(stdout, "Consistency vs hot-queue bandwidth");
+  std::printf("\nShape check: knee at mu_hot ≈ 15-18 kbps (hot share "
+              "~40-47%%); hot backlog explodes below the knee.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 11 reproduction: loss rate bounds attainable consistency; the
+// hot/cold proportion is secondary once arrivals are absorbed.
+//
+// Paper: "the loss rate limits the maximum consistency that can be attained
+// with a given amount of total bandwidth, regardless of how it is scheduled
+// between the hot and cold transmissions. However, the relative proportion
+// of hot vs cold bandwidth does not significantly affect consistency, once
+// sufficient bandwidth is available to absorb new arrivals."
+// Parameters: mu_data = 38 kbps, mu_fb = 7 kbps, lambda = 15 kbps.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+int main() {
+  using namespace sst;
+  bench::banner(
+      "Figure 11 — consistency vs hot share, per loss rate (feedback)",
+      "mu_data=38 kbps, mu_fb=7 kbps, lambda=15 kbps, exponential lifetimes "
+      "120 s; hot share swept ABOVE the absorption knee",
+      "curves per loss rate are flat across hot share but ordered by loss: "
+      "the loss rate, not the split, caps consistency");
+
+  const std::vector<double> losses = {0.01, 0.2, 0.3, 0.4, 0.5};
+  stats::ResultTable table({"hot share %", "loss=1%", "loss=20%", "loss=30%",
+                            "loss=40%", "loss=50%"});
+
+  for (double share = 0.45; share <= 0.951; share += 0.1) {
+    std::vector<double> row{share * 100};
+    for (const double loss : losses) {
+      core::ExperimentConfig cfg;
+      cfg.variant = core::Variant::kFeedback;
+      cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+      cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+      cfg.workload.mean_lifetime = 120.0;
+      cfg.mu_data = sim::kbps(38);
+      cfg.mu_fb = sim::kbps(7);
+      cfg.hot_share = share;
+      cfg.loss_rate = loss;
+      cfg.duration = 3000.0;
+      cfg.warmup = 500.0;
+      row.push_back(core::run_experiment(cfg).avg_consistency);
+    }
+    table.add_row(row);
+  }
+  table.print(stdout, "Average system consistency");
+  std::printf("\nShape check: within a column, values vary little with hot "
+              "share; across columns, higher loss sits strictly lower.\n");
+  return 0;
+}

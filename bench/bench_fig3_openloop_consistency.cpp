@@ -1,0 +1,76 @@
+// Figure 3 reproduction: open-loop consistency vs loss rate, per death rate.
+//
+// Paper: "Consistency degrades with increasing packet loss rate and
+// announcement death rate. ... the system consistency lies between 85% and
+// 95% for loss rates in the 1-10% range and an announcement death rate of
+// 15%." Parameters: lambda = 20 kbps, mu_ch = 128 kbps.
+//
+// We print the analytic curve E[c(t)] for several death rates and
+// cross-validate two of them against the discrete-event simulation (the sim
+// column uses the vacuous-empty convention; see DESIGN.md).
+#include <cstdio>
+
+#include "analysis/jackson.hpp"
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+int main() {
+  using namespace sst;
+  bench::banner(
+      "Figure 3 — E[c(t)] vs loss rate for several death rates",
+      "lambda=20 kbps, mu_ch=128 kbps, 1000-B announcements",
+      "consistency decreases in loss rate and in death rate; ~85-95% for "
+      "1-10% loss at pd=0.15");
+
+  const double lambda_kbps = 20.0;
+  const double mu_kbps = 128.0;
+  const double lambda = core::insert_rate_from_kbps(lambda_kbps, 1000);
+  const double mu = sim::kbps(mu_kbps) / sim::bits(1000);
+
+  stats::ResultTable table({"loss", "pd=0.10", "pd=0.15", "pd=0.25",
+                            "pd=0.50", "modelv .15", "sim .15", "modelv .25",
+                            "sim .25"});
+
+  for (double pc = 0.0; pc <= 1.0001; pc += 0.1) {
+    std::vector<double> row{pc};
+    for (const double pd : {0.10, 0.15, 0.25, 0.50}) {
+      analysis::OpenLoopParams p;
+      p.lambda = lambda;
+      p.mu_ch = mu;
+      p.p_loss = pc;
+      p.p_death = pd;
+      row.push_back(analysis::solve_open_loop(p).consistency);
+    }
+    // Simulation cross-check, against the vacuous-empty convention the
+    // operational monitor uses (see DESIGN.md "Consistency when L(t)=∅").
+    for (const double pd : {0.15, 0.25}) {
+      analysis::OpenLoopParams p;
+      p.lambda = lambda;
+      p.mu_ch = mu;
+      p.p_loss = pc;
+      p.p_death = pd;
+      row.push_back(analysis::solve_open_loop(p).consistency_vacuous);
+
+      core::ExperimentConfig cfg;
+      cfg.variant = core::Variant::kOpenLoop;
+      cfg.workload.insert_rate = lambda;
+      cfg.workload.death_mode = core::DeathMode::kPerTransmission;
+      cfg.workload.p_death = pd;
+      cfg.mu_data = sim::kbps(mu_kbps);
+      cfg.loss_rate = pc;
+      cfg.duration = 3000.0;
+      cfg.warmup = 300.0;
+      row.push_back(core::run_experiment(cfg).avg_consistency);
+    }
+    table.add_row(row);
+  }
+  table.print(stdout,
+              "Average system consistency E[c(t)] — 'pd=' columns are the "
+              "paper's closed form; 'modelv/sim' pairs cross-validate the "
+              "simulator under the vacuous-empty convention");
+  std::printf("\nShape check: every column is non-increasing in loss; "
+              "columns with higher pd sit lower; each modelv/sim pair "
+              "agrees within a few points.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5 reproduction: two-queue consistency vs hot-queue bandwidth.
+//
+// Paper: "Two-level scheduling improves consistency by 10% to 40%.
+// mu_data = 45 kbps, lambda = 15 kbps. Consistency is maximum when
+// mu_hot > lambda" — rising until the hot share covers the arrival rate
+// (~40% here), flat beyond.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+int main() {
+  using namespace sst;
+  bench::banner(
+      "Figure 5 — consistency vs hot-queue bandwidth (two-queue, no "
+      "feedback)",
+      "mu_data=45 kbps, lambda=15 kbps, exponential lifetimes 120 s, "
+      "loss in {10%, 25%, 40%}",
+      "consistency rises with mu_hot until mu_hot ≈ lambda (~40% of "
+      "mu_data), then flattens; two queues beat open loop by 10-40%");
+
+  stats::ResultTable table({"mu_hot kbps", "hot share %", "loss=0.10",
+                            "loss=0.25", "loss=0.40"});
+
+  auto run = [](double hot_share, double loss) {
+    core::ExperimentConfig cfg;
+    cfg.variant = core::Variant::kTwoQueue;
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    cfg.workload.mean_lifetime = 120.0;
+    cfg.mu_data = sim::kbps(45);
+    cfg.hot_share = hot_share;
+    cfg.loss_rate = loss;
+    cfg.duration = 4000.0;
+    cfg.warmup = 500.0;
+    return core::run_experiment(cfg).avg_consistency;
+  };
+
+  for (double share = 0.1; share <= 0.901; share += 0.1) {
+    table.add_row({45.0 * share, share * 100, run(share, 0.10),
+                   run(share, 0.25), run(share, 0.40)});
+  }
+  table.print(stdout, "Average system consistency vs hot allocation");
+
+  // Open-loop baseline at the same operating point, for the 10-40% claim.
+  stats::ResultTable base({"loss", "open loop", "two queues (best)"});
+  for (const double loss : {0.10, 0.25, 0.40}) {
+    core::ExperimentConfig cfg;
+    cfg.variant = core::Variant::kOpenLoop;
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    cfg.workload.mean_lifetime = 120.0;
+    cfg.mu_data = sim::kbps(45);
+    cfg.loss_rate = loss;
+    cfg.duration = 4000.0;
+    cfg.warmup = 500.0;
+    const double ol = core::run_experiment(cfg).avg_consistency;
+    base.add_row({loss, ol, run(0.5, loss)});
+  }
+  base.print(stdout, "Open loop vs two-queue at mu_hot=22.5 kbps");
+  std::printf("\nShape check: each row rises to a knee near hot share "
+              "33-45%%, flat after; two-queue column dominates open loop.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6 reproduction: receive latency vs cold-queue bandwidth.
+//
+// Paper: "Increasing the cold bandwidth reduces queueing delay. ... the
+// receive latency T_recv initially increases, but drops as more bandwidth is
+// added for background transmissions" — two competing effects: with almost
+// no cold bandwidth only never-lost items are counted (they arrive fast, but
+// many items never arrive); adding cold bandwidth first admits the slow
+// recoveries into the average, then speeds them up.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+int main() {
+  using namespace sst;
+  bench::banner(
+      "Figure 6 — receive latency T_recv vs cold/hot bandwidth ratio",
+      "two-queue, mu_hot ≈ 18 kbps (fixed, just above lambda=15 kbps), "
+      "cold bandwidth swept, loss=25%",
+      "T_recv first rises (slow recoveries join the average), then falls as "
+      "cold bandwidth accelerates recovery; delivered fraction climbs "
+      "throughout");
+
+  stats::ResultTable table({"mu_cold/mu_hot", "mu_cold kbps", "mean T_recv s",
+                            "p95 T_recv s", "delivered frac"});
+
+  const double hot_kbps = 18.0;
+  for (const double ratio : {0.01, 0.05, 0.1, 0.2, 0.4, 0.8, 1.2, 1.6, 2.0}) {
+    const double cold_kbps = hot_kbps * ratio;
+    core::ExperimentConfig cfg;
+    cfg.variant = core::Variant::kTwoQueue;
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    cfg.workload.mean_lifetime = 120.0;
+    cfg.mu_data = sim::kbps(hot_kbps + cold_kbps);
+    cfg.hot_share = hot_kbps / (hot_kbps + cold_kbps);
+    cfg.loss_rate = 0.25;
+    cfg.duration = 4000.0;
+    cfg.warmup = 500.0;
+    const auto r = core::run_experiment(cfg);
+    const double delivered =
+        r.versions_introduced > 0
+            ? static_cast<double>(r.versions_received) /
+                  static_cast<double>(r.versions_introduced)
+            : 0.0;
+    table.add_row({ratio, cold_kbps, r.mean_latency, r.p95_latency,
+                   delivered});
+  }
+  table.print(stdout, "Receive latency vs cold bandwidth");
+  std::printf("\nShape check: mean T_recv rises from the low-cold censored "
+              "optimum, peaks, then falls; delivered fraction increases "
+              "monotonically.\n");
+  return 0;
+}

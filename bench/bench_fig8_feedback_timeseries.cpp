@@ -1,0 +1,66 @@
+// Figure 8 reproduction: c(t) time series for several feedback allocations.
+//
+// Paper: "In open-loop (mu_fb/mu_tot = 0), consistency is about 80%. When
+// mu_fb/mu_tot = 20-30%, consistency reaches 99%. At higher values, when
+// insufficient bandwidth is available for data, consistency collapses."
+// Loss rate 40%, total bandwidth fixed.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+int main() {
+  using namespace sst;
+  bench::banner(
+      "Figure 8 — consistency over time, by feedback share of total "
+      "bandwidth",
+      "total=60 kbps, lambda=15 kbps, loss=40%, exponential lifetimes 120 s, "
+      "windowed c(t) every 100 s over 2000 s",
+      "fb=0 ≈ 80-90%; fb=20-30% ≈ 95-99%; fb=70% collapses (data starved)");
+
+  const double total_kbps = 60.0;
+  const std::vector<double> shares = {0.0, 0.2, 0.3, 0.7};
+
+  std::map<double, std::vector<core::TimelinePoint>> series;
+  for (const double share : shares) {
+    core::ExperimentConfig cfg;
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    cfg.workload.mean_lifetime = 120.0;
+    cfg.loss_rate = 0.4;
+    cfg.duration = 2000.0;
+    cfg.warmup = 0.0;  // the figure shows the transient too
+    cfg.sample_interval = 100.0;
+    if (share == 0.0) {
+      // The paper's fb=0 curve is plain open-loop announce/listen with the
+      // whole budget as data.
+      cfg.variant = core::Variant::kOpenLoop;
+      cfg.mu_data = sim::kbps(total_kbps);
+    } else {
+      cfg.variant = core::Variant::kFeedback;
+      cfg.mu_fb = sim::kbps(total_kbps * share);
+      cfg.mu_data = sim::kbps(total_kbps * (1.0 - share));
+      // Hot must absorb lambda plus the repair flux (see DESIGN.md).
+      cfg.hot_share = 0.85;
+    }
+    series[share] = core::run_experiment(cfg).timeline;
+  }
+
+  stats::ResultTable table({"time s", "fb=0%", "fb=20%", "fb=30%", "fb=70%"});
+  const std::size_t rows = series.begin()->second.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row{series[0.0][i].time};
+    for (const double share : shares) {
+      row.push_back(i < series[share].size() ? series[share][i].consistency
+                                             : 0.0);
+    }
+    table.add_row(row);
+  }
+  table.print(stdout, "Windowed average consistency c(t)");
+  std::printf("\nShape check: fb=20-30%% converge highest; fb=0%% plateaus "
+              "lower; fb=70%% sits lowest (data bandwidth 18 kbps barely "
+              "above lambda).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 9 reproduction: consistency vs feedback-bandwidth share, per loss
+// rate; plus the Section 5 headline deltas.
+//
+// Paper: "Consistency is improved by allocating sufficient bandwidth for
+// feedback. At loss rates over 50%, allocating additional feedback bandwidth
+// reduces consistency." And: "adding feedback can improve consistency by 10%
+// to 50% for loss rates between 5% and 40%."
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+namespace {
+
+double run(double loss, double fb_share, double total_kbps) {
+  using namespace sst;
+  core::ExperimentConfig cfg;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.loss_rate = loss;
+  cfg.duration = 3000.0;
+  cfg.warmup = 500.0;
+  if (fb_share <= 0.0) {
+    // The paper's fb=0 point is plain open-loop announce/listen with the
+    // whole budget as data (Figure 8's legend).
+    cfg.variant = core::Variant::kOpenLoop;
+    cfg.mu_data = sim::kbps(total_kbps);
+  } else {
+    cfg.variant = core::Variant::kFeedback;
+    cfg.mu_fb = sim::kbps(total_kbps * fb_share);
+    cfg.mu_data = sim::kbps(total_kbps * (1.0 - fb_share));
+    cfg.hot_share = 0.85;
+  }
+  return core::run_experiment(cfg).avg_consistency;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sst;
+  bench::banner(
+      "Figure 9 — consistency vs feedback share of total bandwidth, per "
+      "loss rate",
+      "total=60 kbps, lambda=15 kbps, exponential lifetimes 120 s",
+      "consistency rises to a plateau as feedback bandwidth becomes "
+      "sufficient; beyond the knee more feedback hurts (data starves), "
+      "dramatically so at 50%+ loss");
+
+  const double total = 60.0;
+  const std::vector<double> losses = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
+  const std::vector<double> shares = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7};
+
+  stats::ResultTable table({"fb share %", "loss=5%", "loss=10%", "loss=20%",
+                            "loss=30%", "loss=40%", "loss=50%"});
+  for (const double share : shares) {
+    std::vector<double> row{share * 100};
+    for (const double loss : losses) row.push_back(run(loss, share, total));
+    table.add_row(row);
+  }
+  table.print(stdout, "Average system consistency");
+
+  stats::ResultTable delta({"loss", "open loop (fb=0)", "best with feedback",
+                            "improvement %"});
+  for (const double loss : losses) {
+    const double base = run(loss, 0.0, total);
+    double best = base;
+    for (const double share : {0.1, 0.2, 0.3, 0.4}) {
+      best = std::max(best, run(loss, share, total));
+    }
+    delta.add_row({loss, base, best, (best - base) * 100});
+  }
+  delta.print(stdout, "Section 5 headline: feedback improvement by loss rate");
+  std::printf("\nShape check: per-loss rows peak at a moderate share and "
+              "fall at 70%%; improvement grows with loss rate.\n");
+  return 0;
+}

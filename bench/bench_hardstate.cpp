@@ -1,0 +1,126 @@
+// Hard state vs soft state (paper Section 1, made quantitative).
+//
+// The paper argues qualitatively: hard state avoids refresh overhead but
+// "when failure occurs ... the system would have to simultaneously detect
+// the failure, explicitly tear down the old state, and re-establish the
+// state along the new path", while soft state recovers "by virtue of the
+// periodic announce/listen update process". Two experiments:
+//
+//   A. Steady state, loss swept: hard state (AIMD ARQ replication) is
+//      cheaper and perfectly consistent on clean networks but degrades
+//      faster with loss (cumulative-ACK recovery is timeout-dominated);
+//      soft state pays constant refresh overhead and degrades gracefully.
+//   B. A 120-second partition: soft state's consistency dips and recovers
+//      through normal protocol operation; hard state detects failure via
+//      consecutive RTOs, kills the connection, then must flush the replica
+//      and resynchronize a full snapshot (BGP-session-reset style).
+#include <cstdio>
+
+#include "arq/experiment.hpp"
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+namespace {
+
+using namespace sst;
+
+core::ExperimentConfig soft_config() {
+  core::ExperimentConfig cfg;
+  cfg.variant = core::Variant::kFeedback;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(10.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 240.0;
+  cfg.mu_data = sim::kbps(38);
+  cfg.mu_fb = sim::kbps(7);
+  cfg.hot_share = 0.7;
+  cfg.duration = 2000.0;
+  cfg.warmup = 200.0;
+  return cfg;
+}
+
+arq::HardStateConfig hard_config() {
+  arq::HardStateConfig cfg;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(10.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 240.0;
+  cfg.mu_data = sim::kbps(38);
+  cfg.mu_ack = sim::kbps(7);
+  cfg.duration = 2000.0;
+  cfg.warmup = 200.0;
+  cfg.sender.initial_rto = 0.5;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Hard state (ARQ) vs soft state (feedback protocol)",
+      "lambda=10 kbps, 45 kbps total budget each, exponential lifetimes "
+      "240 s",
+      "hard state: cheap & perfect on clean networks, collapses under loss "
+      "and needs explicit resync after partitions; soft state: constant "
+      "refresh cost, graceful degradation, recovery by normal operation");
+
+  // ------------------------------------------------------------- sweep A
+  stats::ResultTable sweep({"loss %", "hard c", "soft c", "hard kbps",
+                            "soft kbps", "hard deaths"});
+  for (const double loss : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    auto soft = soft_config();
+    soft.loss_rate = loss;
+    const auto s = core::run_experiment(soft);
+
+    auto hard = hard_config();
+    hard.loss_rate = loss;
+    const auto h = arq::run_hard_state(hard);
+
+    sweep.add_row({loss * 100, h.avg_consistency, s.avg_consistency,
+                   h.offered_data_kbps + h.offered_ack_kbps,
+                   s.offered_data_kbps + s.offered_fb_kbps,
+                   static_cast<double>(h.connection_deaths)});
+  }
+  sweep.print(stdout, "A. Steady state vs loss rate (no failures)");
+
+  // ------------------------------------------------------------- sweep B
+  const std::vector<std::pair<double, double>> outages = {{900.0, 1020.0}};
+  auto soft = soft_config();
+  soft.loss_rate = 0.02;
+  soft.outages = outages;
+  soft.sample_interval = 100.0;
+  const auto s = core::run_experiment(soft);
+
+  auto hard = hard_config();
+  hard.loss_rate = 0.02;
+  hard.outages = outages;
+  hard.sample_interval = 100.0;
+  const auto h = arq::run_hard_state(hard);
+
+  stats::ResultTable timeline({"time s", "soft c(t)", "hard c(t)"});
+  for (std::size_t i = 0; i < s.timeline.size() && i < h.timeline.size();
+       ++i) {
+    timeline.add_row({s.timeline[i].time, s.timeline[i].consistency,
+                      h.timeline[i].consistency});
+  }
+  timeline.print(stdout,
+                 "B. 120 s partition at t=900-1020 (2% background loss)");
+
+  stats::ResultTable cost({"metric", "soft", "hard"});
+  cost.add_row({0, s.avg_consistency, h.avg_consistency});
+  cost.add_row({1, static_cast<double>(0),
+                static_cast<double>(h.connection_deaths)});
+  cost.add_row({2, static_cast<double>(0),
+                static_cast<double>(h.snapshot_ops)});
+  cost.add_row({3, static_cast<double>(s.nacks_sent),
+                static_cast<double>(h.acks)});
+  cost.print(stdout,
+             "B cont. — rows: 0=avg consistency, 1=connection resets, "
+             "2=snapshot ops resent, 3=feedback packets (NACKs vs ACKs)");
+
+  std::printf(
+      "\nShape check: A — hard c starts at 1.0 and falls below soft as loss "
+      "grows; hard bandwidth << soft bandwidth at low loss. B — both dip "
+      "during the partition; hard state needs a reset + full snapshot to "
+      "come back, soft state just resumes.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Microbenchmarks (google-benchmark) for the primitives on the hot paths:
+// event queue, PRNG, MD5/FNV digests, schedulers, wire codec, namespace
+// digest maintenance, and a full experiment end-to-end.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "hash/digest.hpp"
+#include "hash/md5.hpp"
+#include "sched/drr.hpp"
+#include "sched/lottery.hpp"
+#include "sched/stride.hpp"
+#include "sched/wfq.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sstp/namespace_tree.hpp"
+#include "sstp/wire.hpp"
+
+namespace {
+
+using namespace sst;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  // Keep a standing population, push one / pop one per iteration.
+  for (int i = 0; i < 1000; ++i) q.schedule(rng.uniform() * 1e6, [] {});
+  for (auto _ : state) {
+    q.schedule(rng.uniform() * 1e6, [] {});
+    auto fired = q.pop();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_SimulatorTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 1000) sim.after(1.0, chain);
+    };
+    sim.after(1.0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SimulatorTimerChain);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(1.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_Md5Digest(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Md5::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Md5Digest)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_FnvDigest(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hash::Digest::of_bytes(data, hash::DigestAlgo::kFnv1a));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FnvDigest)->Arg(64)->Arg(1024)->Arg(65536);
+
+template <class Sched>
+void scheduler_bench(benchmark::State& state, Sched&& s) {
+  s.add_class(0.6);
+  s.add_class(0.3);
+  s.add_class(0.1);
+  const std::array<double, 3> heads = {8000.0, 8000.0, 8000.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.pick(heads));
+  }
+}
+void BM_SchedulerStride(benchmark::State& state) {
+  scheduler_bench(state, sched::StrideScheduler{});
+}
+BENCHMARK(BM_SchedulerStride);
+void BM_SchedulerLottery(benchmark::State& state) {
+  scheduler_bench(state, sched::LotteryScheduler{sim::Rng(3)});
+}
+BENCHMARK(BM_SchedulerLottery);
+void BM_SchedulerWfq(benchmark::State& state) {
+  scheduler_bench(state, sched::WfqScheduler{});
+}
+BENCHMARK(BM_SchedulerWfq);
+void BM_SchedulerDrr(benchmark::State& state) {
+  scheduler_bench(state, sched::DrrScheduler{});
+}
+BENCHMARK(BM_SchedulerDrr);
+
+void BM_WireEncodeDecodeData(benchmark::State& state) {
+  sstp::DataMsg msg;
+  msg.path = sstp::Path::parse("/docs/folder/item17");
+  msg.version = 12;
+  msg.total_size = 1000;
+  msg.chunk.assign(1000, 0x5A);
+  msg.tags = {"type=doc"};
+  for (auto _ : state) {
+    const auto bytes = sstp::encode(sstp::Message(msg));
+    auto decoded = sstp::decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_WireEncodeDecodeData);
+
+void BM_NamespaceDigestUpdate(benchmark::State& state) {
+  sstp::NamespaceTree tree(hash::DigestAlgo::kFnv1a);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.put(sstp::Path::parse("/g" + std::to_string(i / 16) + "/d" +
+                               std::to_string(i)),
+             std::vector<std::uint8_t>(100, 1));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // One leaf edge advance + full root digest recompute (cache-driven).
+    tree.put(sstp::Path::parse("/g" + std::to_string((i / 16) % (n / 16)) +
+                               "/d" + std::to_string(i % n)),
+             std::vector<std::uint8_t>(100, 2));
+    benchmark::DoNotOptimize(tree.root_digest());
+    ++i;
+  }
+}
+BENCHMARK(BM_NamespaceDigestUpdate)->Arg(256)->Arg(4096);
+
+void BM_FullExperimentOpenLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ExperimentConfig cfg;
+    cfg.variant = core::Variant::kOpenLoop;
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(20.0, 1000);
+    cfg.workload.death_mode = core::DeathMode::kPerTransmission;
+    cfg.workload.p_death = 0.2;
+    cfg.mu_data = sim::kbps(128);
+    cfg.loss_rate = 0.1;
+    cfg.duration = 200.0;
+    cfg.warmup = 20.0;
+    benchmark::DoNotOptimize(core::run_experiment(cfg));
+  }
+}
+BENCHMARK(BM_FullExperimentOpenLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

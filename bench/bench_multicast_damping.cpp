@@ -1,0 +1,65 @@
+// Multicast feedback scaling (paper Section 6): NACK traffic vs group size,
+// with and without SRM-style slotting and damping.
+//
+// "In the case of multicast, a scalable mechanism such as slotting and
+// damping may be used in managing feedback traffic." Without it, every
+// receiver that shares a loss NACKs it — feedback grows linearly with the
+// group (the NACK-implosion problem). With random slots and overheard-NACK
+// suppression, one request per loss (plus stragglers) serves the group.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+namespace {
+
+using namespace sst;
+using namespace sst::core;
+
+ExperimentResult run(std::size_t group, double slot_max) {
+  ExperimentConfig cfg;
+  cfg.variant = Variant::kFeedback;
+  cfg.workload.insert_rate = insert_rate_from_kbps(10.0, 1000);
+  cfg.workload.death_mode = DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.mu_data = sim::kbps(42);
+  cfg.mu_fb = sim::kbps(18);
+  cfg.hot_share = 0.8;
+  cfg.shared_loss_rate = 0.12;  // backbone loss, shared by the whole group
+  cfg.loss_rate = 0.03;         // independent leaf loss
+  cfg.num_receivers = group;
+  cfg.multicast_feedback = true;
+  cfg.receiver.nack_slot_max = slot_max;
+  cfg.duration = 1500.0;
+  cfg.warmup = 300.0;
+  return run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Multicast NACK scaling — slotting & damping (Section 6)",
+      "lambda=10 kbps, data 42 kbps, shared backbone loss 12% + 3% "
+      "independent leaf loss, slot U(0, 0.5 s), group size swept",
+      "undamped NACK traffic grows ~linearly with group size (implosion); "
+      "damping keeps it near-flat without hurting consistency");
+
+  stats::ResultTable table({"receivers", "nacks undamped", "nacks damped",
+                            "suppressed", "c undamped", "c damped"});
+  for (const std::size_t group : {1u, 2u, 4u, 8u, 16u}) {
+    const auto undamped = run(group, 0.0);
+    const auto damped = run(group, 0.5);
+    table.add_row({static_cast<double>(group),
+                   static_cast<double>(undamped.nacks_sent),
+                   static_cast<double>(damped.nacks_sent),
+                   static_cast<double>(damped.nacks_suppressed),
+                   undamped.avg_consistency, damped.avg_consistency});
+  }
+  table.print(stdout, "NACK packets per 1500 s run vs group size");
+  std::printf("\nShape check: the undamped column scales with the group; "
+              "the damped column grows far slower, with the difference "
+              "visible in the suppressed count.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// SSTP evaluation (Section 6.1): profile-driven allocation vs static splits.
+//
+// The paper proposes that SSTP "adapt to the optimal bandwidth allocation
+// for the required consistency" using stored consistency profiles and
+// measured loss rates. This bench runs the full SSTP protocol at several
+// loss rates and compares (a) static feedback splits against (b) the
+// adaptive allocator, reporting achieved consistency and the allocator's
+// chosen split.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sstp/session.hpp"
+#include "stats/series.hpp"
+
+namespace {
+
+using namespace sst;
+using namespace sst::sstp;
+
+struct Outcome {
+  double consistency = 0;
+  double fb_share = 0;
+};
+
+Outcome run_one(double loss, double fb_share, bool adaptive,
+                std::uint64_t seed) {
+  sim::Simulator sim;
+  const double total_kbps = 60.0;
+  SessionConfig cfg;
+  cfg.sender.algo = hash::DigestAlgo::kFnv1a;
+  cfg.sender.min_summary_interval = 0.5;
+  cfg.sender.mtu = 1000;
+  cfg.loss_rate = loss;
+  cfg.seed = seed;
+  if (adaptive) {
+    cfg.use_allocator = true;
+    cfg.allocator.total_bandwidth = sim::kbps(total_kbps);
+    cfg.allocator.target_consistency = 0.95;
+    cfg.sender.mu_data = sim::kbps(total_kbps * 0.9);  // pre-allocation
+    cfg.sender.hot_share = 0.5;
+    cfg.mu_fb = sim::kbps(total_kbps * 0.1);
+  } else {
+    cfg.sender.mu_data = sim::kbps(total_kbps * (1.0 - fb_share));
+    cfg.sender.hot_share = 0.75;
+    cfg.mu_fb = sim::kbps(total_kbps * fb_share);
+  }
+  Session session(sim, cfg);
+
+  // Workload: ~15 kbps of fresh 1000-byte documents, rolling updates.
+  sim::PeriodicTimer feeder(sim);
+  int counter = 0;
+  feeder.start(0.533, [&] {
+    session.sender().publish(
+        Path::parse("/docs/" + std::to_string(counter % 120)),
+        std::vector<std::uint8_t>(1000,
+                                  static_cast<std::uint8_t>(counter)));
+    ++counter;
+  });
+
+  sim.run_until(300.0);
+  session.reset_consistency_stats();
+  sim.run_until(1500.0);
+  feeder.stop();
+
+  Outcome out;
+  out.consistency = session.average_consistency();
+  const double data_rate = session.sender().config().mu_data;
+  out.fb_share = 1.0 - data_rate / sim::kbps(60.0);
+  return out;
+}
+
+// Averages over independent seeds (single runs carry a few points of noise
+// at high loss).
+Outcome run(double loss, double fb_share, bool adaptive) {
+  Outcome total;
+  const std::uint64_t seeds[] = {11, 12, 13};
+  for (const std::uint64_t seed : seeds) {
+    const Outcome o = run_one(loss, fb_share, adaptive, seed);
+    total.consistency += o.consistency / 3.0;
+    total.fb_share += o.fb_share / 3.0;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "SSTP profile-driven allocation (Section 6.1 / Figure 12)",
+      "total=60 kbps, ~15 kbps rolling-update workload over 120 documents, "
+      "target consistency 0.95, 1500 s measured",
+      "the allocator should match or beat every static split without manual "
+      "tuning, reallocating as measured loss changes");
+
+  stats::ResultTable table({"loss %", "static fb=5%", "static fb=20%",
+                            "static fb=40%", "adaptive", "adaptive fb share"});
+  for (const double loss : {0.02, 0.1, 0.25, 0.4}) {
+    const Outcome s05 = run(loss, 0.05, false);
+    const Outcome s20 = run(loss, 0.20, false);
+    const Outcome s40 = run(loss, 0.40, false);
+    const Outcome ad = run(loss, 0.0, true);
+    table.add_row({loss * 100, s05.consistency, s20.consistency,
+                   s40.consistency, ad.consistency, ad.fb_share});
+  }
+  table.print(stdout, "Achieved consistency: static splits vs adaptive");
+  std::printf("\nShape check: no static column dominates across loss rates; "
+              "the adaptive column tracks the per-row best within noise and "
+              "its share grows with loss.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// routing_updates — RIP-style route advertisement dissemination.
+//
+// The paper lists "route advertisements" among the protocols with inherently
+// soft, periodically changing data. A route table is the canonical
+// announce/listen workload: entries are refreshed periodically, a route not
+// refreshed times out (RIP's garbage-collection timer), and metric changes
+// must propagate fast. This example runs a 60-route table over the
+// two-queue + NACK feedback protocol and measures how quickly a burst of
+// metric changes (a "link-cost event") reconverges, compared with the plain
+// open-loop protocol at the same total bandwidth.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/monitor.hpp"
+#include "core/open_loop.hpp"
+#include "core/receiver.hpp"
+#include "core/table.hpp"
+#include "core/two_queue.hpp"
+#include "core/workload.hpp"
+#include "net/channel.hpp"
+#include "net/delay.hpp"
+#include "net/link.hpp"
+#include "net/loss.hpp"
+#include "sched/stride.hpp"
+#include "sim/simulator.hpp"
+
+using namespace sst;
+using namespace sst::core;
+
+namespace {
+
+constexpr int kRoutes = 600;  // a modest full table; 60-byte entries
+constexpr double kLoss = 0.2;
+
+struct Router {
+  sim::Simulator sim;
+  PublisherTable rib;  // routing information base at the speaker
+  std::vector<Key> routes;
+  std::unique_ptr<ConsistencyMonitor> monitor;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<ReceiverTable> peer_rib;
+  std::unique_ptr<ReceiverAgent> peer;
+  std::unique_ptr<net::Channel<DataMsg>> channel;
+  std::unique_ptr<net::Channel<NackMsg>> fb_channel;
+  std::unique_ptr<net::Link<NackMsg>> fb_link;
+  std::unique_ptr<OpenLoopSender> open_loop;
+  std::unique_ptr<TwoQueueSender> feedback;
+
+  explicit Router(bool use_feedback) {
+    monitor = std::make_unique<ConsistencyMonitor>(sim, rib);
+    WorkloadParams wp;  // all changes injected manually
+    wp.insert_rate = 0.0;
+    wp.death_mode = DeathMode::kPerTransmission;
+    wp.p_death = 0.0;
+    workload = std::make_unique<Workload>(sim, rib, wp, sim::Rng(5));
+
+    peer_rib = std::make_unique<ReceiverTable>(sim, /*ttl=*/300.0);  // ~10x the
+    // refresh cycle, RIP-style margin against refresh loss
+    monitor->attach(*peer_rib);
+
+    channel = std::make_unique<net::Channel<DataMsg>>(sim);
+
+    if (use_feedback) {
+      fb_channel = std::make_unique<net::Channel<NackMsg>>(sim);
+      // `feedback` (a member) is assigned below, before any NACK can arrive.
+      fb_channel->add_receiver(
+          std::make_unique<net::BernoulliLoss>(kLoss, sim::Rng(7)),
+          std::make_unique<net::FixedDelay>(0.02),
+          [this](const NackMsg& n) {
+            if (feedback) feedback->handle_nack(n);
+          });
+      fb_link = std::make_unique<net::Link<NackMsg>>(
+          sim, sim::kbps(6),
+          [this](const NackMsg& n, sim::Bytes size) {
+            fb_channel->send(n, size);
+          },
+          /*queue_limit=*/8);
+
+      ReceiverConfig rcfg;
+      rcfg.feedback = true;
+      rcfg.nack_size = 100;   // a NACK names a few 32-bit seqs: small
+      rcfg.retry_timeout = 0.5;  // snappy re-request on a low-RTT peering
+      rcfg.max_retries = 6;
+      peer = std::make_unique<ReceiverAgent>(
+          sim, *peer_rib, rcfg,
+          [this](const NackMsg& n) { fb_link->send(n, n.size); });
+
+      TwoQueueConfig tq;
+      tq.mu_data = sim::kbps(18);
+      tq.hot_share = 0.6;
+      tq.feedback = true;
+      feedback = std::make_unique<TwoQueueSender>(
+          sim, rib, *workload, tq, std::make_unique<sched::StrideScheduler>(),
+          [this](const DataMsg& m) { channel->send(m, m.size); });
+    } else {
+      ReceiverConfig rcfg;  // passive listener
+      peer = std::make_unique<ReceiverAgent>(sim, *peer_rib, rcfg,
+                                             [](const NackMsg&) {});
+      open_loop = std::make_unique<OpenLoopSender>(
+          sim, rib, *workload, sim::kbps(24),
+          [this](const DataMsg& m) { channel->send(m, m.size); });
+    }
+
+    channel->add_receiver(
+        std::make_unique<net::BernoulliLoss>(kLoss, sim::Rng(6)),
+        std::make_unique<net::FixedDelay>(0.02),
+        [this](const DataMsg& m) { peer->handle(m); });
+
+    // Install the routes (prefix -> metric encoded in the value).
+    for (int i = 0; i < kRoutes; ++i) {
+      routes.push_back(rib.insert({static_cast<std::uint8_t>(1)}, 60));
+    }
+  }
+
+  /// Reconvergence time after bumping `n` route metrics: seconds until the
+  /// peer holds the current version of every route again.
+  double link_cost_event(int n, sim::Rng& rng) {
+    for (int i = 0; i < n; ++i) {
+      const Key k = routes[rng.uniform_int(routes.size())];
+      rib.update(k, {static_cast<std::uint8_t>(rng.uniform_int(16))});
+    }
+    const double t0 = sim.now();
+    while (monitor->instantaneous() < 1.0 && sim.now() < t0 + 600.0) {
+      sim.run_until(sim.now() + 0.1);
+    }
+    return sim.now() - t0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("routing_updates — %d routes over a %.0f%%-lossy peering, "
+              "24 kbps budget\n",
+              kRoutes, kLoss * 100);
+  std::printf("protocol A: open-loop announce/listen (24 kbps data)\n");
+  std::printf("protocol B: two-queue + NACK feedback (18 kbps data + 6 kbps "
+              "feedback)\n\n");
+
+  for (const bool use_feedback : {false, true}) {
+    Router router(use_feedback);
+    router.sim.run_until(300.0);  // initial table dissemination
+    std::printf("[%s] initial table synced: consistency=%.2f, peer holds "
+                "%zu/%d routes\n",
+                use_feedback ? "feedback " : "open loop",
+                router.monitor->instantaneous(), router.peer_rib->size(),
+                kRoutes);
+
+    sim::Rng rng(99);
+    for (const int burst : {1, 5, 20}) {
+      const double t = router.link_cost_event(burst, rng);
+      std::printf("[%s] link-cost event touching %2d routes: reconverged in "
+                  "%6.2f s\n",
+                  use_feedback ? "feedback " : "open loop", burst, t);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("takeaway: open-loop reconvergence waits for the refresh "
+              "cycle (~12 s here) to come around for every touched route; "
+              "feedback pinpoints the changed routes, so the common case is "
+              "sub-second and only repair-loss tails wait longer.\n");
+  return 0;
+}

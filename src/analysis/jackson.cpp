@@ -1,0 +1,63 @@
+#include "analysis/jackson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sst::analysis {
+
+OpenLoopSolution solve_open_loop(const OpenLoopParams& p) {
+  OpenLoopSolution s;
+  const double pc = std::clamp(p.p_loss, 0.0, 1.0);
+  const double pd = std::clamp(p.p_death, 1e-12, 1.0);
+  const double lambda = std::max(p.lambda, 0.0);
+  const double mu = std::max(p.mu_ch, 1e-12);
+
+  // Traffic equations (paper Section 3):
+  //   X_I = lambda + p_c (1-p_d) X_I
+  //   X_C = (1-p_c)(1-p_d) X_I + (1-p_d) X_C
+  const double denom = 1.0 - pc * (1.0 - pd);
+  s.x_inconsistent = lambda / denom;
+  s.x_consistent = pd < 1.0
+                       ? (1.0 - pc) * (1.0 - pd) * s.x_inconsistent / pd
+                       : 0.0;
+  s.x_total = lambda / pd;
+  s.rho = s.x_total / mu;
+  s.stable = s.rho < 1.0;
+
+  // Class mix among jobs in system (Jackson): P[class C] = X_C / X.
+  const double mix = s.x_total > 0 ? s.x_consistent / s.x_total : 0.0;
+  // Busy probability: rho when stable, 1 when saturated.
+  const double busy = std::min(s.rho, 1.0);
+  s.consistency = mix * busy;
+  s.consistency_vacuous = mix * busy + (1.0 - busy);
+  s.redundancy = mix;
+
+  if (s.stable && s.rho > 0) {
+    // M/M/1 with arrival rate X and service rate mu: E[n] = rho/(1-rho);
+    // mean sojourn per visit (one service cycle) by Little's law on a single
+    // visit: E[T] = 1/(mu - X).
+    s.mean_records = s.rho / (1.0 - s.rho);
+    s.mean_latency = 1.0 / (mu - s.x_total);
+  }
+  return s;
+}
+
+double redundant_fraction(double p_loss, double p_death) {
+  const double pc = std::clamp(p_loss, 0.0, 1.0);
+  const double pd = std::clamp(p_death, 1e-12, 1.0);
+  return (1.0 - pc) * (1.0 - pd) / (1.0 - pc * (1.0 - pd));
+}
+
+double mean_tx_until_success(double p_loss) {
+  const double pc = std::clamp(p_loss, 0.0, 0.999999);
+  return 1.0 / (1.0 - pc);
+}
+
+double prob_ever_received(double p_loss, double p_death) {
+  const double pc = std::clamp(p_loss, 0.0, 1.0);
+  const double pd = std::clamp(p_death, 0.0, 1.0);
+  const double denom = 1.0 - pc * (1.0 - pd);
+  return denom > 0 ? (1.0 - pc) / denom : 0.0;
+}
+
+}  // namespace sst::analysis

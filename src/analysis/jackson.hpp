@@ -1,0 +1,80 @@
+// jackson.hpp — closed-form analysis of the open-loop announce/listen
+// protocol (paper Section 3).
+//
+// Model: records arrive at rate lambda, are served FIFO by a channel of
+// capacity mu_ch, are lost per transmission with probability p_c, and exit
+// ("die") after each service with probability p_d. Records are in class I
+// (inconsistent) until a transmission succeeds, then class C (consistent),
+// cycling through the server forever until death (Table 1):
+//
+//            -> exit            -> exit
+//   I/Enter: I w.p. p_c(1-p_d), C w.p. (1-p_c)(1-p_d), exit w.p. p_d
+//   C/Enter: C w.p. (1-p_d),                            exit w.p. p_d
+//
+// Solving the traffic equations gives class throughputs X_I, X_C, and
+// Jackson's theorem gives the stationary distribution, from which the paper
+// derives the average system consistency E[c(t)] and the redundant-bandwidth
+// fraction (Figures 3 and 4).
+#pragma once
+
+#include "sim/units.hpp"
+
+namespace sst::analysis {
+
+/// Inputs of the open-loop model. Rates are in announcements/sec (or any
+/// consistent unit — only ratios matter); probabilities in [0,1].
+struct OpenLoopParams {
+  double lambda = 1.0;  // table update (arrival) rate
+  double mu_ch = 10.0;  // channel service rate
+  double p_loss = 0.0;  // per-transmission loss probability p_c
+  double p_death = 0.1; // per-service death probability p_d
+};
+
+/// Derived quantities of the open-loop model.
+struct OpenLoopSolution {
+  double x_inconsistent = 0.0;  // class-I throughput X_I
+  double x_consistent = 0.0;    // class-C throughput X_C
+  double x_total = 0.0;         // X = X_I + X_C = lambda / p_d
+  double rho = 0.0;             // server utilization X / mu_ch
+  bool stable = false;          // rho < 1  <=>  p_d > lambda / mu_ch
+  double consistency = 0.0;     // E[c(t)], paper's headline metric
+  /// Simulation-comparable variant: the paper's sum weights the empty-system
+  /// state as 0 consistency, while an operational monitor scores an empty
+  /// live set as vacuously consistent (publisher and receivers agree).
+  /// Stable regime: mix*rho + (1-rho). Saturated regime: the class mix (an
+  /// approximation — saturation has no true steady state; the simulation's
+  /// value sits a few points below the mix because the growing backlog tail
+  /// is all unserved inconsistent records).
+  double consistency_vacuous = 0.0;
+  double redundancy = 0.0;      // fraction of bandwidth on class-C (wasted)
+  double mean_records = 0.0;    // E[n] in system (stable case only)
+  double mean_latency = 0.0;    // mean sojourn per service cycle (stable)
+};
+
+/// Solves the open-loop model.
+///
+/// E[c(t)] follows the paper: conditioned on the system being non-empty the
+/// expected consistent fraction is X_C / X (Jackson: each job is class C
+/// independently with that probability), and the paper weights by the
+/// probability the system is busy, yielding
+///     E[c(t)] = (X_C / X) * min(rho, 1).
+/// For rho >= 1 (saturated server) the busy probability is 1 and the class
+/// mix still converges to X_C / X; the closed form remains the natural
+/// extension, which our simulations confirm (tests/analysis_sim_agreement).
+OpenLoopSolution solve_open_loop(const OpenLoopParams& p);
+
+/// Fraction of channel bandwidth spent on redundant (already-consistent)
+/// announcements: X_C / X = (1-p_c)(1-p_d) / (1 - p_c(1-p_d)).  (Figure 4.)
+double redundant_fraction(double p_loss, double p_death);
+
+/// Expected number of transmissions of a record until it first succeeds,
+/// given it survives: 1 / (1 - p_c). Used for latency estimates.
+double mean_tx_until_success(double p_loss);
+
+/// Probability a record is EVER received (it may die first):
+///   sum_k p_c^(k-1) (1-p_d)^(k-1) (1-p_c) ... = (1-p_c) / (1 - p_c(1-p_d))
+/// evaluated at the paper's per-service death model, counting the death draw
+/// after each failed attempt.
+double prob_ever_received(double p_loss, double p_death);
+
+}  // namespace sst::analysis

@@ -1,0 +1,118 @@
+#include "analysis/profiles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/jackson.hpp"
+
+namespace sst::analysis {
+
+namespace {
+
+// Index of the grid cell containing x: largest i with axis[i] <= x,
+// clamped to [0, n-2] so i+1 is always valid.
+std::size_t lower_cell(const std::vector<double>& axis, double x) {
+  if (axis.size() < 2 || x <= axis.front()) return 0;
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const auto idx = static_cast<std::size_t>(it - axis.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, axis.size() - 2);
+}
+
+// Interpolation weight of x within cell i (clamped to [0,1]).
+double frac(const std::vector<double>& axis, std::size_t i, double x) {
+  if (axis.size() < 2) return 0.0;
+  const double lo = axis[i];
+  const double hi = axis[i + 1];
+  if (hi <= lo) return 0.0;
+  return std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+}
+
+}  // namespace
+
+Profile2D::Profile2D(std::vector<double> xs, std::vector<double> ys,
+                     std::vector<std::vector<double>> values)
+    : xs_(std::move(xs)), ys_(std::move(ys)), values_(std::move(values)) {
+  if (xs_.empty() || ys_.empty()) {
+    throw std::invalid_argument("Profile2D: empty axis");
+  }
+  if (values_.size() != xs_.size()) {
+    throw std::invalid_argument("Profile2D: row count != xs size");
+  }
+  for (const auto& row : values_) {
+    if (row.size() != ys_.size()) {
+      throw std::invalid_argument("Profile2D: ragged rows");
+    }
+  }
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (xs_[i] <= xs_[i - 1]) {
+      throw std::invalid_argument("Profile2D: xs not increasing");
+    }
+  }
+  for (std::size_t j = 1; j < ys_.size(); ++j) {
+    if (ys_[j] <= ys_[j - 1]) {
+      throw std::invalid_argument("Profile2D: ys not increasing");
+    }
+  }
+}
+
+double Profile2D::value_at_grid_y(double x, std::size_t j) const {
+  if (xs_.size() == 1) return values_[0][j];
+  const std::size_t i = lower_cell(xs_, x);
+  const double t = frac(xs_, i, x);
+  return (1.0 - t) * values_[i][j] + t * values_[i + 1][j];
+}
+
+double Profile2D::at(double x, double y) const {
+  if (ys_.size() == 1) return value_at_grid_y(x, 0);
+  const std::size_t j = lower_cell(ys_, y);
+  const double u = frac(ys_, j, y);
+  const double v0 = value_at_grid_y(x, j);
+  const double v1 = value_at_grid_y(x, j + 1);
+  return (1.0 - u) * v0 + u * v1;
+}
+
+double Profile2D::best_y(double x) const {
+  std::size_t best = 0;
+  double best_v = value_at_grid_y(x, 0);
+  for (std::size_t j = 1; j < ys_.size(); ++j) {
+    const double v = value_at_grid_y(x, j);
+    if (v > best_v + 1e-12) {
+      best = j;
+      best_v = v;
+    }
+  }
+  return ys_[best];
+}
+
+std::optional<double> Profile2D::min_y_reaching(double x,
+                                                double target) const {
+  for (std::size_t j = 0; j < ys_.size(); ++j) {
+    if (value_at_grid_y(x, j) >= target) return ys_[j];
+  }
+  return std::nullopt;
+}
+
+Profile2D make_open_loop_profile(double lambda, double mu_ch,
+                                 std::vector<double> loss_rates,
+                                 std::vector<double> death_rates) {
+  std::vector<std::vector<double>> values;
+  values.reserve(loss_rates.size());
+  for (const double pc : loss_rates) {
+    std::vector<double> row;
+    row.reserve(death_rates.size());
+    for (const double pd : death_rates) {
+      OpenLoopParams p;
+      p.lambda = lambda;
+      p.mu_ch = mu_ch;
+      p.p_loss = pc;
+      p.p_death = pd;
+      row.push_back(solve_open_loop(p).consistency);
+    }
+    values.push_back(std::move(row));
+  }
+  return Profile2D(std::move(loss_rates), std::move(death_rates),
+                   std::move(values));
+}
+
+}  // namespace sst::analysis

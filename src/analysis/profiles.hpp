@@ -1,0 +1,62 @@
+// profiles.hpp — consistency profiles (paper Sections 2 and 6.1).
+//
+// A consistency profile records how the achieved consistency (or receive
+// latency) depends on network loss rate and a bandwidth-allocation knob. The
+// paper's SSTP allocator is "profile-driven": it looks up stored profiles —
+// "similar to Figure 9" for the data/feedback split and "the T_recv profile,
+// similar to Figure 6" for the hot/cold split — and picks the allocation that
+// meets the application's consistency target under the currently measured
+// loss rate.
+//
+// Profile2D is a dense grid over (loss rate x allocation fraction) with
+// bilinear interpolation; profiles are produced offline by the bench harness
+// (empirical, as in the paper) or from the closed-form model.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sst::analysis {
+
+/// Dense 2D lookup table with bilinear interpolation and clamping at the
+/// boundary. Axis values must be strictly increasing.
+class Profile2D {
+ public:
+  /// Constructs a grid; `values[i][j]` corresponds to (xs[i], ys[j]).
+  /// Throws std::invalid_argument on ragged or non-monotonic input.
+  Profile2D(std::vector<double> xs, std::vector<double> ys,
+            std::vector<std::vector<double>> values);
+
+  /// Interpolated value at (x, y); out-of-range coordinates are clamped to
+  /// the grid edge (profiles saturate at their measured extremes).
+  [[nodiscard]] double at(double x, double y) const;
+
+  /// The y on the grid that maximizes the profile at loss `x` (interpolating
+  /// across x, evaluating at grid ys). Ties go to the smaller y — prefer the
+  /// least feedback/cold bandwidth that achieves the maximum.
+  [[nodiscard]] double best_y(double x) const;
+
+  /// Smallest grid y whose value at loss `x` is >= `target`, if any.
+  [[nodiscard]] std::optional<double> min_y_reaching(double x,
+                                                     double target) const;
+
+  [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+
+ private:
+  [[nodiscard]] double value_at_grid_y(double x, std::size_t j) const;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<std::vector<double>> values_;  // [x][y]
+};
+
+/// Builds the open-loop consistency profile analytically from the Jackson
+/// model: x = loss rate, y = death rate, value = E[c(t)].
+Profile2D make_open_loop_profile(double lambda, double mu_ch,
+                                 std::vector<double> loss_rates,
+                                 std::vector<double> death_rates);
+
+}  // namespace sst::analysis

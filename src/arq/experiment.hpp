@@ -1,0 +1,63 @@
+// experiment.hpp — harness for hard-state-vs-soft-state comparisons.
+//
+// Runs the ARQ replication protocol over the same workloads, channels, and
+// consistency metric as core::run_experiment, so the two designs' numbers
+// are directly comparable — the quantitative version of the paper's
+// Section 1 argument.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "arq/receiver.hpp"
+#include "arq/sender.hpp"
+#include "core/experiment.hpp"
+#include "core/workload.hpp"
+#include "sim/units.hpp"
+
+namespace sst::arq {
+
+/// Hard-state experiment specification. Mirrors core::ExperimentConfig where
+/// the concepts coincide.
+struct HardStateConfig {
+  core::WorkloadParams workload;
+  SenderConfig sender;
+
+  sim::Rate mu_data = sim::kbps(45);  // forward link capacity
+  sim::Rate mu_ack = sim::kbps(15);   // reverse link capacity
+  double loss_rate = 0.1;
+  double ack_loss_rate = -1.0;  // <0 copies loss_rate
+  sim::Duration delay = 0.01;
+  std::vector<std::pair<double, double>> outages;  // both directions
+
+  sim::Duration duration = 2000.0;
+  sim::Duration warmup = 200.0;
+  std::uint64_t seed = 1;
+  sim::Duration sample_interval = 0.0;  // >0 records a c(t) timeline
+};
+
+/// Hard-state experiment results (subset of the soft state result, plus
+/// connection-lifecycle counters).
+struct HardStateResult {
+  double avg_consistency = 0.0;
+  double mean_latency = 0.0;
+  double p95_latency = 0.0;
+
+  std::uint64_t data_tx = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t connection_deaths = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t snapshot_ops = 0;
+  std::uint64_t table_flushes = 0;
+  double offered_data_kbps = 0.0;
+  double offered_ack_kbps = 0.0;
+
+  std::vector<core::TimelinePoint> timeline;
+};
+
+/// Runs a hard-state replication experiment. Deterministic per seed.
+HardStateResult run_hard_state(const HardStateConfig& config);
+
+}  // namespace sst::arq

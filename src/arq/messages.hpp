@@ -1,0 +1,54 @@
+// messages.hpp — wire messages of the hard-state (ARQ) baseline transport.
+//
+// The paper's Section 1 contrasts soft state against hard-state designs
+// ("state is established just once with a reliable delivery protocol like
+// TCP ... when failure occurs, the system would have to simultaneously
+// detect the failure, explicitly tear down the old state, and re-establish
+// the state"). To make that comparison quantitative, src/arq implements a
+// small but real connection-oriented reliable transport replicating the same
+// publisher table: SYN/SYN-ACK setup with connection epochs, sliding-window
+// data transfer of table operations, cumulative ACKs, RTO-driven
+// retransmission, failure detection by consecutive RTOs, and full-snapshot
+// resynchronization on reconnect (BGP-session-reset style).
+#pragma once
+
+#include <cstdint>
+
+#include "core/record.hpp"
+#include "sim/units.hpp"
+
+namespace sst::arq {
+
+/// A replicated table operation.
+struct Op {
+  core::ChangeKind kind = core::ChangeKind::kInsert;
+  core::Key key = 0;
+  core::Version version = 0;
+  sim::Bytes size = 1000;  // wire size of the record payload
+};
+
+enum class MsgType : std::uint8_t {
+  kSyn,
+  kSynAck,
+  kData,
+  kAck,
+  kFin,
+};
+
+/// One ARQ segment. A data segment carries exactly one table operation
+/// (record-sized); control segments are small.
+struct ArqMsg {
+  MsgType type = MsgType::kData;
+  std::uint32_t epoch = 0;   // connection incarnation
+  std::uint64_t seq = 0;     // op sequence number (kData), ISN (kSyn)
+  std::uint64_t cum_ack = 0; // next expected seq (kAck / kSynAck)
+  Op op;                     // kData payload
+  sim::Bytes size = 1000;    // wire size
+  bool is_retransmit = false;
+  sim::SimTime sent_at = 0;  // for RTT sampling (Karn: skip retransmits)
+};
+
+/// Wire size of control segments (SYN/ACK/FIN).
+inline constexpr sim::Bytes kControlSize = 40;
+
+}  // namespace sst::arq

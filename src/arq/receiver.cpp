@@ -1,0 +1,82 @@
+#include "arq/receiver.hpp"
+
+namespace sst::arq {
+
+Receiver::Receiver(sim::Simulator& sim, core::ReceiverTable& table,
+                   std::function<void(const ArqMsg&, sim::Bytes)> send)
+    : sim_(&sim), table_(&table), send_(std::move(send)) {}
+
+void Receiver::handle(const ArqMsg& msg) {
+  switch (msg.type) {
+    case MsgType::kSyn: {
+      if (msg.epoch != epoch_) {
+        // New incarnation: hard state cannot trust the old replica.
+        if (epoch_ != 0) flush_table();
+        epoch_ = msg.epoch;
+        next_expected_ = msg.seq;
+        reorder_.clear();
+      }
+      ArqMsg reply;
+      reply.type = MsgType::kSynAck;
+      reply.epoch = epoch_;
+      reply.cum_ack = next_expected_;
+      reply.size = kControlSize;
+      send_(reply, reply.size);
+      break;
+    }
+    case MsgType::kData: {
+      if (msg.epoch != epoch_) return;  // stale incarnation
+      ++stats_.data_rx;
+      if (msg.seq < next_expected_) {
+        ++stats_.duplicates;
+      } else if (msg.seq == next_expected_) {
+        apply(msg.op);
+        ++next_expected_;
+        // Drain any buffered successors.
+        auto it = reorder_.begin();
+        while (it != reorder_.end() && it->first == next_expected_) {
+          apply(it->second);
+          ++next_expected_;
+          it = reorder_.erase(it);
+        }
+      } else {
+        ++stats_.out_of_order;
+        reorder_.emplace(msg.seq, msg.op);
+      }
+      send_ack();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Receiver::apply(const Op& op) {
+  ++stats_.ops_applied;
+  switch (op.kind) {
+    case core::ChangeKind::kInsert:
+    case core::ChangeKind::kUpdate:
+      table_->refresh(op.key, op.version);
+      break;
+    case core::ChangeKind::kRemove:
+      table_->remove(op.key);
+      break;
+  }
+}
+
+void Receiver::send_ack() {
+  ++stats_.acks_tx;
+  ArqMsg ack;
+  ack.type = MsgType::kAck;
+  ack.epoch = epoch_;
+  ack.cum_ack = next_expected_;
+  ack.size = kControlSize;
+  send_(ack, ack.size);
+}
+
+void Receiver::flush_table() {
+  ++stats_.flushes;
+  table_->clear();
+}
+
+}  // namespace sst::arq

@@ -1,0 +1,65 @@
+// receiver.hpp — hard-state replication receiver.
+//
+// Accepts the connection, reorders segments, applies table operations
+// in sequence order to a ReceiverTable, and acknowledges cumulatively.
+// On a new connection epoch it FLUSHES its table: state from a broken
+// incarnation cannot be trusted without end-to-end resync (this is the
+// hard-state failure semantics the paper contrasts with soft state's
+// "error recovery built into the design").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "arq/messages.hpp"
+#include "core/table.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace sst::arq {
+
+/// Counters the receiver accumulates.
+struct ArqReceiverStats {
+  std::uint64_t data_rx = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t acks_tx = 0;
+  std::uint64_t ops_applied = 0;
+  std::uint64_t flushes = 0;  // table wipes on epoch change
+};
+
+/// Hard-state replication receiver.
+class Receiver {
+ public:
+  /// `send` pushes a segment (SYN-ACK / ACK) onto the reverse path.
+  Receiver(sim::Simulator& sim, core::ReceiverTable& table,
+           std::function<void(const ArqMsg&, sim::Bytes)> send);
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  /// Feeds a packet arriving on the forward path.
+  void handle(const ArqMsg& msg);
+
+  [[nodiscard]] const ArqReceiverStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t next_expected() const { return next_expected_; }
+
+ private:
+  void apply(const Op& op);
+  void send_ack();
+  void flush_table();
+
+  sim::Simulator* sim_;
+  core::ReceiverTable* table_;
+  std::function<void(const ArqMsg&, sim::Bytes)> send_;
+
+  std::uint32_t epoch_ = 0;  // 0 = no connection yet
+  std::uint64_t next_expected_ = 0;
+  std::map<std::uint64_t, Op> reorder_;  // buffered out-of-order segments
+
+  ArqReceiverStats stats_;
+};
+
+}  // namespace sst::arq

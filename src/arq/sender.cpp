@@ -1,0 +1,265 @@
+#include "arq/sender.hpp"
+
+#include <algorithm>
+
+namespace sst::arq {
+
+Sender::Sender(sim::Simulator& sim, core::PublisherTable& table,
+               SenderConfig config,
+               std::function<void(const ArqMsg&, sim::Bytes)> transmit)
+    : sim_(&sim),
+      table_(&table),
+      config_(config),
+      transmit_(std::move(transmit)),
+      rto_timer_(sim),
+      reconnect_timer_(sim),
+      rto_(config.initial_rto) {
+  table_->subscribe([this](const core::Record& rec, core::ChangeKind kind) {
+    on_table_change(rec, kind);
+  });
+}
+
+void Sender::on_table_change(const core::Record& rec,
+                             core::ChangeKind kind) {
+  Op op;
+  op.kind = kind;
+  op.key = rec.key;
+  op.version = rec.version;
+  // A remove carries no record payload — only the header goes on the wire.
+  op.size = kind == core::ChangeKind::kRemove ? 0 : rec.size;
+  pending_.push_back(op);
+  try_send();
+}
+
+void Sender::connect() {
+  if (state_ != ConnState::kClosed) return;
+  ++epoch_;
+  state_ = ConnState::kSynSent;
+  syn_tries_ = 0;
+  send_syn();
+}
+
+void Sender::send_syn() {
+  ++syn_tries_;
+  ++stats_.syn_tx;
+  ArqMsg msg;
+  msg.type = MsgType::kSyn;
+  msg.epoch = epoch_;
+  msg.seq = next_seq_;
+  msg.size = kControlSize;
+  msg.sent_at = sim_->now();
+  stats_.bytes_tx += msg.size;
+  transmit_(msg, msg.size);
+  // SYN retransmission with exponential backoff, forever (the peer may be
+  // unreachable; hard state keeps probing).
+  const sim::Duration backoff =
+      std::min(config_.initial_rto * (1 << std::min(syn_tries_, 6)),
+               config_.max_rto);
+  rto_timer_.arm(backoff, [this] {
+    if (state_ == ConnState::kSynSent) send_syn();
+  });
+}
+
+void Sender::establish(std::uint64_t) {
+  if (state_ != ConnState::kSynSent) return;
+  state_ = ConnState::kEstablished;
+  rto_timer_.cancel();
+  consecutive_rtos_ = 0;
+  dup_acks_ = 0;
+  rto_ = config_.initial_rto;
+  have_rtt_ = false;
+  cwnd_ = 2.0;
+  ssthresh_ = static_cast<double>(config_.window);
+  ++stats_.connects;
+  if (stats_.connects > 1) {
+    // Reconnection after a failure: the receiver flushed its table for the
+    // new epoch, so replay a full snapshot before any queued deltas.
+    enqueue_snapshot();
+  }
+  try_send();
+}
+
+void Sender::enqueue_snapshot() {
+  // Snapshot replaces any queued deltas (they are subsumed by current state).
+  pending_.clear();
+  inflight_.clear();
+  std::size_t count = 0;
+  table_->for_each([this, &count](const core::Record& rec) {
+    Op op;
+    op.kind = core::ChangeKind::kInsert;
+    op.key = rec.key;
+    op.version = rec.version;
+    op.size = rec.size;
+    pending_.push_back(op);
+    ++count;
+  });
+  stats_.snapshot_ops += count;
+}
+
+void Sender::connection_dead() {
+  ++stats_.connection_deaths;
+  state_ = ConnState::kClosed;
+  rto_timer_.cancel();
+  inflight_.clear();  // will be resynced via snapshot on reconnect
+  reconnect_timer_.arm(config_.reconnect_interval, [this] { connect(); });
+}
+
+std::size_t Sender::outstanding() const {
+  std::size_t n = 0;
+  for (const InFlight& f : inflight_) n += f.needs_resend ? 0 : 1;
+  return n;
+}
+
+void Sender::try_send() {
+  if (state_ != ConnState::kEstablished) return;
+  const auto allowance = static_cast<std::size_t>(
+      std::min(cwnd_, static_cast<double>(config_.window)));
+
+  // First, re-send RTO-marked segments in order (go-back-N paced by cwnd).
+  for (InFlight& f : inflight_) {
+    if (outstanding() >= allowance) break;
+    if (!f.needs_resend) continue;
+    f.needs_resend = false;
+    f.retransmitted = true;
+    f.last_sent = sim_->now();
+    send_op(f.op, f.seq, /*retransmit=*/true);
+  }
+
+  // Then admit new operations.
+  while (!pending_.empty() && inflight_.size() < allowance &&
+         outstanding() < allowance) {
+    const Op op = pending_.front();
+    pending_.pop_front();
+    const std::uint64_t seq = next_seq_++;
+    InFlight f;
+    f.seq = seq;
+    f.op = op;
+    f.first_sent = sim_->now();
+    f.last_sent = sim_->now();
+    inflight_.push_back(f);
+    send_op(op, seq, /*retransmit=*/false);
+  }
+  if (!inflight_.empty() && !rto_timer_.pending()) arm_rto();
+}
+
+void Sender::send_op(const Op& op, std::uint64_t seq, bool retransmit) {
+  ArqMsg msg;
+  msg.type = MsgType::kData;
+  msg.epoch = epoch_;
+  msg.seq = seq;
+  msg.op = op;
+  msg.size = op.size + config_.op_overhead;
+  msg.is_retransmit = retransmit;
+  msg.sent_at = sim_->now();
+  ++stats_.data_tx;
+  if (retransmit) ++stats_.retransmits;
+  stats_.bytes_tx += msg.size;
+  transmit_(msg, msg.size);
+}
+
+void Sender::arm_rto() {
+  rto_timer_.arm(rto_, [this] { on_rto(); });
+}
+
+void Sender::on_rto() {
+  if (state_ != ConnState::kEstablished || inflight_.empty()) return;
+  ++stats_.rtos;
+  ++consecutive_rtos_;
+  if (consecutive_rtos_ >= config_.max_rtos) {
+    connection_dead();
+    return;
+  }
+  // Timeout: collapse the congestion window, mark the whole flight for
+  // go-back-N re-send (no SACK), and retransmit the oldest immediately; the
+  // rest follow as the window reopens. Timer backs off (Karn).
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  for (InFlight& f : inflight_) f.needs_resend = true;
+  InFlight& oldest = inflight_.front();
+  oldest.needs_resend = false;
+  oldest.retransmitted = true;
+  oldest.last_sent = sim_->now();
+  send_op(oldest.op, oldest.seq, /*retransmit=*/true);
+  recovery_point_ = next_seq_;
+  rto_ = std::min(rto_ * 2.0, config_.max_rto);
+  arm_rto();
+}
+
+void Sender::handle(const ArqMsg& msg) {
+  if (msg.epoch != epoch_) return;  // stale incarnation
+  switch (msg.type) {
+    case MsgType::kSynAck:
+      establish(msg.cum_ack);
+      break;
+    case MsgType::kAck:
+      ++stats_.acks_rx;
+      process_ack(msg.cum_ack);
+      break;
+    default:
+      break;  // data/fin on the reverse path: ignore
+  }
+}
+
+void Sender::process_ack(std::uint64_t cum_ack) {
+  if (state_ != ConnState::kEstablished) return;
+  bool advanced = false;
+  while (!inflight_.empty() && inflight_.front().seq < cum_ack) {
+    const InFlight& f = inflight_.front();
+    if (!f.retransmitted) {
+      update_rtt(sim_->now() - f.last_sent);  // Karn: clean samples only
+    }
+    inflight_.pop_front();
+    advanced = true;
+  }
+  if (advanced) {
+    consecutive_rtos_ = 0;
+    dup_acks_ = 0;
+    // AIMD growth: exponential below ssthresh, linear above.
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;
+    } else {
+      cwnd_ += 1.0 / cwnd_;
+    }
+    cwnd_ = std::min(cwnd_, static_cast<double>(config_.window));
+    // Collapse RTO backoff now that the window moves — but conservatively:
+    // Karn's rule keeps the estimator from seeing retransmission-era RTTs,
+    // so the raw estimate can lag queueing badly. A one-second floor keeps a
+    // single spurious timeout from cascading while bounding the cost of a
+    // real one.
+    if (have_rtt_) {
+      rto_ = std::clamp(std::max(srtt_ + 4.0 * rttvar_, 1.0),
+                        config_.min_rto, config_.max_rto);
+    }
+    rto_timer_.cancel();
+    if (!inflight_.empty()) arm_rto();
+  } else if (!inflight_.empty() && cum_ack == inflight_.front().seq) {
+    // Duplicate cumulative ACK: later segments are landing past a hole.
+    // Three of them trigger fast retransmit of the oldest segment without
+    // waiting for the RTO — once per loss episode (recovery point).
+    if (++dup_acks_ >= 3 && cum_ack >= recovery_point_) {
+      dup_acks_ = 0;
+      recovery_point_ = next_seq_;
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = ssthresh_;  // multiplicative decrease
+      InFlight& oldest = inflight_.front();
+      oldest.retransmitted = true;
+      oldest.last_sent = sim_->now();
+      send_op(oldest.op, oldest.seq, /*retransmit=*/true);
+    }
+  }
+  try_send();
+}
+
+void Sender::update_rtt(sim::Duration sample) {
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+    have_rtt_ = true;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  }
+  rto_ = std::clamp(srtt_ + 4.0 * rttvar_, config_.min_rto, config_.max_rto);
+}
+
+}  // namespace sst::arq

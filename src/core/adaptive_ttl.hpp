@@ -1,0 +1,77 @@
+// adaptive_ttl.hpp — scalable timers for soft state expiry.
+//
+// The paper's related work (Section 7) highlights Sharma et al.'s "Scalable
+// Timers for Soft State Protocols": rather than configuring a fixed expiry
+// TTL — which false-expires state when the sender adapts its refresh rate
+// down, and lingers when it speeds up — the receiver ESTIMATES the sender's
+// per-entry refresh interval and expires after `factor` estimated intervals.
+//
+// The estimator is a per-entry EWMA over observed inter-refresh gaps with a
+// conservative max() guard: a single early refresh must not shrink the
+// timeout below what the recent history supports.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// Per-entry refresh-interval estimator.
+class RefreshIntervalEstimator {
+ public:
+  /// `alpha` is the EWMA weight of the newest gap.
+  explicit RefreshIntervalEstimator(double alpha = 0.25) : alpha_(alpha) {}
+
+  /// Records a refresh at `now`. Returns the current interval estimate
+  /// (0 until two refreshes have been seen).
+  sim::Duration on_refresh(sim::SimTime now) {
+    if (have_last_) {
+      const sim::Duration gap = now - last_;
+      if (gap > 0) {
+        if (estimate_ <= 0) {
+          estimate_ = gap;
+        } else {
+          estimate_ = (1.0 - alpha_) * estimate_ + alpha_ * gap;
+          // Conservative guard: never let one quick refresh halve the
+          // timeout; track the recent peak with slow decay.
+          peak_ = std::max(peak_ * 0.9, gap);
+          estimate_ = std::max(estimate_, peak_ * 0.5);
+        }
+      }
+    }
+    have_last_ = true;
+    last_ = now;
+    return estimate_;
+  }
+
+  [[nodiscard]] sim::Duration estimate() const { return estimate_; }
+  [[nodiscard]] bool seeded() const { return estimate_ > 0; }
+
+ private:
+  double alpha_;
+  bool have_last_ = false;
+  sim::SimTime last_ = 0;
+  sim::Duration estimate_ = 0;
+  sim::Duration peak_ = 0;
+};
+
+/// Policy knobs for adaptive expiry.
+struct AdaptiveTtlConfig {
+  /// Entries expire after this many estimated refresh intervals without a
+  /// refresh (RSVP-style K; 3 tolerates two consecutive losses).
+  double factor = 3.0;
+  /// TTL used until the estimator has seen two refreshes of the entry.
+  sim::Duration initial_ttl = 30.0;
+  /// Hard bounds on the resulting TTL.
+  sim::Duration min_ttl = 1.0;
+  sim::Duration max_ttl = 3600.0;
+
+  [[nodiscard]] sim::Duration ttl_for(
+      const RefreshIntervalEstimator& est) const {
+    if (!est.seeded()) return initial_ttl;
+    return std::clamp(factor * est.estimate(), min_ttl, max_ttl);
+  }
+};
+
+}  // namespace sst::core

@@ -1,0 +1,344 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+
+#include "core/monitor.hpp"
+#include "core/open_loop.hpp"
+#include "core/two_queue.hpp"
+#include "net/channel.hpp"
+#include "net/link.hpp"
+#include "sched/drr.hpp"
+#include "sched/hierarchical.hpp"
+#include "sched/lottery.hpp"
+#include "sched/stride.hpp"
+#include "sched/wfq.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace sst::core {
+
+namespace {
+
+std::unique_ptr<sched::Scheduler> make_scheduler(SchedulerKind kind,
+                                                 const sim::Rng& rng) {
+  switch (kind) {
+    case SchedulerKind::kStride:
+      return std::make_unique<sched::StrideScheduler>();
+    case SchedulerKind::kLottery:
+      return std::make_unique<sched::LotteryScheduler>(rng.fork("lottery"));
+    case SchedulerKind::kWfq:
+      return std::make_unique<sched::WfqScheduler>();
+    case SchedulerKind::kDrr:
+      return std::make_unique<sched::DrrScheduler>();
+    case SchedulerKind::kHierarchical:
+      return std::make_unique<sched::HierarchicalScheduler>();
+  }
+  return std::make_unique<sched::StrideScheduler>();
+}
+
+std::unique_ptr<net::LossModel> make_loss(const ExperimentConfig& cfg,
+                                          double rate, sim::Rng rng) {
+  std::unique_ptr<net::LossModel> base;
+  if (rate <= 0.0) {
+    base = std::make_unique<net::NoLoss>();
+  } else if (cfg.bursty_loss) {
+    base = std::make_unique<net::GilbertElliottLoss>(
+        net::GilbertElliottLoss::with_mean(rate, cfg.mean_burst_len, rng));
+  } else {
+    base = std::make_unique<net::BernoulliLoss>(rate, rng);
+  }
+  if (!cfg.outages.empty()) {
+    return std::make_unique<net::OutageLoss>(std::move(base), cfg.outages);
+  }
+  return base;
+}
+
+std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg,
+                                            sim::Rng rng) {
+  if (cfg.jitter > 0.0) {
+    return std::make_unique<net::UniformJitterDelay>(cfg.delay, cfg.jitter,
+                                                     rng);
+  }
+  return std::make_unique<net::FixedDelay>(cfg.delay);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  sim::Simulator sim;
+  const sim::Rng root(cfg.seed);
+
+  PublisherTable pub;
+  // Construction order fixes listener order: monitor sees changes first, so
+  // consistency bookkeeping is current when protocol hooks run.
+  ConsistencyMonitor monitor(sim, pub);
+  Workload workload(sim, pub, cfg.workload, root.fork("workload"));
+
+  // Receivers.
+  std::vector<std::unique_ptr<ReceiverTable>> tables;
+  std::vector<std::unique_ptr<ReceiverAgent>> agents;
+  // Feedback path per receiver: ReceiverAgent -> Link(mu_fb) -> lossy
+  // reverse channel -> sender.handle_nack.
+  std::vector<std::unique_ptr<net::Link<NackMsg>>> fb_links;
+  std::vector<std::unique_ptr<net::Channel<NackMsg>>> fb_channels;
+
+  net::Channel<DataMsg> data_channel(sim);
+
+  const bool feedback = cfg.variant == Variant::kFeedback;
+  const double nack_loss =
+      cfg.nack_loss_rate < 0 ? cfg.loss_rate : cfg.nack_loss_rate;
+
+  // The sender is created after the channel wiring below; NACK delivery
+  // closes over this pointer.
+  TwoQueueSender* tq_sender = nullptr;
+
+  // Multicast feedback: one shared group over which every NACK reaches the
+  // sender and every other receiver (observe_nack), enabling slotting and
+  // damping. Built after the agents exist; senders enqueue into it via the
+  // shared pointer below.
+  std::unique_ptr<net::Channel<NackMsg>> mcast_fb;
+  if (feedback && cfg.multicast_feedback) {
+    mcast_fb = std::make_unique<net::Channel<NackMsg>>(sim);
+    mcast_fb->add_receiver(
+        make_loss(cfg, nack_loss, root.fork("nack-loss-sender")),
+        make_delay(cfg, root.fork("nack-delay-sender")),
+        [&tq_sender](const NackMsg& nack) {
+          if (tq_sender != nullptr) tq_sender->handle_nack(nack);
+        });
+  }
+
+  for (std::size_t r = 0; r < cfg.num_receivers; ++r) {
+    tables.push_back(
+        std::make_unique<ReceiverTable>(sim, cfg.receiver_ttl));
+    monitor.attach(*tables.back());
+
+    std::unique_ptr<net::Channel<NackMsg>>* fb_channel_slot = nullptr;
+    if (feedback && !cfg.multicast_feedback) {
+      fb_channels.push_back(std::make_unique<net::Channel<NackMsg>>(sim));
+      fb_channel_slot = &fb_channels.back();
+      (*fb_channel_slot)
+          ->add_receiver(
+              make_loss(cfg, nack_loss, root.fork("nack-loss", r)),
+              make_delay(cfg, root.fork("nack-delay", r)),
+              [&tq_sender](const NackMsg& nack) {
+                if (tq_sender != nullptr) tq_sender->handle_nack(nack);
+              });
+      // NACKs drain at mu_fb; a bounded queue drops feedback bursts that
+      // exceed the budget instead of letting stale NACKs pile up.
+      net::Channel<NackMsg>* chan = fb_channel_slot->get();
+      fb_links.push_back(std::make_unique<net::Link<NackMsg>>(
+          sim, cfg.mu_fb,
+          [chan](const NackMsg& nack, sim::Bytes size) {
+            chan->send(nack, size);
+          },
+          /*queue_limit=*/8));
+    }
+
+    ReceiverConfig rcfg = cfg.receiver;
+    rcfg.feedback = feedback;
+    if (cfg.multicast_feedback) {
+      net::Channel<NackMsg>* group = mcast_fb.get();
+      const auto origin = static_cast<std::uint32_t>(r + 1);
+      agents.push_back(std::make_unique<ReceiverAgent>(
+          sim, *tables.back(), rcfg,
+          [group, origin](const NackMsg& nack) {
+            if (group != nullptr) {
+              NackMsg tagged = nack;
+              tagged.origin = origin;
+              group->send(tagged, tagged.size);
+            }
+          },
+          root.fork("agent", r)));
+    } else {
+      net::Link<NackMsg>* link = feedback ? fb_links.back().get() : nullptr;
+      agents.push_back(std::make_unique<ReceiverAgent>(
+          sim, *tables.back(), rcfg,
+          [link](const NackMsg& nack) {
+            if (link != nullptr) link->send(nack, nack.size);
+          },
+          root.fork("agent", r)));
+    }
+
+    const double fwd_loss = r < cfg.receiver_loss_rates.size()
+                                ? cfg.receiver_loss_rates[r]
+                                : cfg.loss_rate;
+    ReceiverAgent* agent = agents.back().get();
+    if (feedback && cfg.multicast_feedback) {
+      // This receiver also overhears the group's NACK traffic.
+      const auto origin = static_cast<std::uint32_t>(r + 1);
+      mcast_fb->add_receiver(
+          make_loss(cfg, nack_loss, root.fork("nack-observe-loss", r)),
+          make_delay(cfg, root.fork("nack-observe-delay", r)),
+          [agent, origin](const NackMsg& nack) {
+            if (nack.origin != origin) agent->observe_nack(nack);
+          });
+    }
+    data_channel.add_receiver(
+        make_loss(cfg, fwd_loss, root.fork("loss", r)),
+        make_delay(cfg, root.fork("delay", r)),
+        [agent](const DataMsg& msg) { agent->handle(msg); });
+  }
+
+  // Oracle removal: the paper's model eliminates expired records "from both
+  // the sender's and receivers' tables".
+  if (cfg.oracle_remove) {
+    std::vector<ReceiverTable*> raw;
+    raw.reserve(tables.size());
+    for (auto& t : tables) raw.push_back(t.get());
+    pub.subscribe([raw](const Record& rec, ChangeKind kind) {
+      if (kind == ChangeKind::kRemove) {
+        for (ReceiverTable* t : raw) t->remove(rec.key);
+      }
+    });
+  }
+
+  // Redundancy oracle: a transmission is redundant if every receiver already
+  // holds the announced version.
+  std::uint64_t redundant_tx = 0;
+  std::vector<ReceiverTable*> raw_tables;
+  raw_tables.reserve(tables.size());
+  for (auto& t : tables) raw_tables.push_back(t.get());
+  auto count_redundant = [&redundant_tx, &raw_tables](const DataMsg& msg) {
+    for (ReceiverTable* t : raw_tables) {
+      const auto* e = t->find(msg.key);
+      if (e == nullptr || e->version < msg.version) return;
+    }
+    ++redundant_tx;
+  };
+
+  // Shared upstream (backbone) loss stage: one draw drops the packet for
+  // every receiver; survivors then face their independent leaf losses.
+  auto shared_loss =
+      std::make_shared<sim::Rng>(root.fork("shared-loss"));
+  std::uint64_t shared_drops = 0;
+  auto transmit = [&data_channel, &cfg, shared_loss,
+                   &shared_drops](const DataMsg& msg) {
+    if (cfg.shared_loss_rate > 0 &&
+        shared_loss->bernoulli(cfg.shared_loss_rate)) {
+      ++shared_drops;
+      return;
+    }
+    data_channel.send(msg, msg.size);
+  };
+
+  std::unique_ptr<OpenLoopSender> ol_sender;
+  std::unique_ptr<TwoQueueSender> tq_sender_owned;
+  if (cfg.variant == Variant::kOpenLoop) {
+    ol_sender = std::make_unique<OpenLoopSender>(sim, pub, workload,
+                                                 cfg.mu_data, transmit);
+    ol_sender->on_transmit(count_redundant);
+  } else {
+    TwoQueueConfig tq;
+    tq.mu_data = cfg.mu_data;
+    tq.hot_share = cfg.hot_share;
+    tq.feedback = feedback;
+    tq_sender_owned = std::make_unique<TwoQueueSender>(
+        sim, pub, workload, tq,
+        make_scheduler(cfg.scheduler, root.fork("sched")), transmit);
+    tq_sender_owned->on_transmit(count_redundant);
+    tq_sender = tq_sender_owned.get();
+  }
+
+  workload.start();
+
+  // Warm-up, then reset measurement state.
+  sim.run_until(cfg.warmup);
+  monitor.reset_stats();
+  redundant_tx = 0;
+  const SenderStats warm_sender =
+      ol_sender ? ol_sender->stats() : tq_sender->stats();
+  std::uint64_t warm_nacks_sent = 0;
+  for (const auto& a : agents) warm_nacks_sent += a->stats().nacks_sent;
+  const std::uint64_t warm_delivered = data_channel.stats().delivered;
+  const std::uint64_t warm_dropped = data_channel.stats().dropped;
+  double warm_fb_bytes = 0.0;
+  for (const auto& ch : fb_channels) warm_fb_bytes += ch->stats().bytes_sent;
+  if (mcast_fb) warm_fb_bytes += mcast_fb->stats().bytes_sent;
+  const double warm_data_bytes = data_channel.stats().bytes_sent;
+
+  // Optional c(t) timeline via integral differencing.
+  ExperimentResult result;
+  if (cfg.sample_interval > 0) {
+    auto sampler = std::make_shared<sim::PeriodicTimer>(sim);
+    auto last_integral = std::make_shared<double>(0.0);
+    const double interval = cfg.sample_interval;
+    sampler->start(interval, [&monitor, &result, last_integral, interval,
+                              &sim] {
+      const double integral = monitor.consistency_integral();
+      result.timeline.push_back(
+          TimelinePoint{sim.now(), (integral - *last_integral) / interval});
+      *last_integral = integral;
+    });
+    sim.run_until(cfg.warmup + cfg.duration);
+    sampler->stop();
+  } else {
+    sim.run_until(cfg.warmup + cfg.duration);
+  }
+
+  // Collect.
+  result.avg_consistency = monitor.average_consistency();
+  auto& lat = monitor.latency();
+  result.mean_latency = lat.mean();
+  result.p50_latency = lat.quantile(0.50);
+  result.p95_latency = lat.quantile(0.95);
+
+  const SenderStats s = ol_sender ? ol_sender->stats() : tq_sender->stats();
+  result.data_tx = s.data_tx - warm_sender.data_tx;
+  result.hot_tx = s.hot_tx - warm_sender.hot_tx;
+  result.cold_tx = s.cold_tx - warm_sender.cold_tx;
+  result.repair_tx = s.repair_tx - warm_sender.repair_tx;
+  result.nacks_received = s.nacks_received - warm_sender.nacks_received;
+  result.redundant_tx = redundant_tx;
+  result.redundant_fraction =
+      result.data_tx > 0
+          ? static_cast<double>(result.redundant_tx) /
+                static_cast<double>(result.data_tx)
+          : 0.0;
+
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_suppressed = 0;
+  for (const auto& a : agents) {
+    nacks_sent += a->stats().nacks_sent;
+    nacks_suppressed += a->stats().suppressed;
+  }
+  result.nacks_sent = nacks_sent - warm_nacks_sent;
+  result.nacks_suppressed = nacks_suppressed;
+
+  const std::uint64_t delivered =
+      data_channel.stats().delivered - warm_delivered;
+  // Shared-stage drops count once per receiver (the packet reached nobody).
+  // Warmup-window shared drops are not tracked separately; with warmup a
+  // small fraction of the run, the bias is negligible.
+  const std::uint64_t dropped = data_channel.stats().dropped - warm_dropped +
+                                shared_drops * cfg.num_receivers;
+  result.observed_loss =
+      (delivered + dropped) > 0
+          ? static_cast<double>(dropped) /
+                static_cast<double>(delivered + dropped)
+          : 0.0;
+
+  double fb_bytes = 0.0;
+  for (const auto& ch : fb_channels) fb_bytes += ch->stats().bytes_sent;
+  if (mcast_fb) fb_bytes += mcast_fb->stats().bytes_sent;
+  result.offered_fb_kbps =
+      (fb_bytes - warm_fb_bytes) * 8.0 / cfg.duration / 1000.0;
+  result.offered_data_kbps =
+      (data_channel.stats().bytes_sent - warm_data_bytes) * 8.0 /
+      cfg.duration / 1000.0;
+
+  result.inserts = workload.inserts();
+  result.updates = workload.updates();
+  result.versions_introduced = monitor.versions_introduced();
+  result.versions_received = monitor.versions_received();
+
+  result.final_live = pub.live_count();
+  if (tq_sender != nullptr) {
+    result.final_hot_depth = tq_sender->hot_depth();
+    result.final_cold_depth = tq_sender->cold_depth();
+  } else if (ol_sender) {
+    result.final_hot_depth = ol_sender->queue_depth();
+  }
+  return result;
+}
+
+}  // namespace core

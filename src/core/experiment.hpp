@@ -1,0 +1,130 @@
+// experiment.hpp — one-call experiment harness for the paper's simulations.
+//
+// Wires together a publisher, workload, protocol sender, lossy data channel,
+// one or more receivers, an optional rate-limited feedback path, and the
+// consistency monitor; runs for a configured duration with a warm-up cutoff;
+// and returns every metric the paper's figures report. All of the bench
+// binaries, most integration tests, and the SSTP profile generator are thin
+// sweeps over this harness.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/receiver.hpp"
+#include "core/workload.hpp"
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// Which protocol variant to run.
+enum class Variant : std::uint8_t {
+  kOpenLoop,  // Section 3: single FIFO announcement cycle
+  kTwoQueue,  // Section 4: hot/cold queues, no feedback
+  kFeedback,  // Section 5: hot/cold queues + receiver NACKs
+};
+
+/// Which proportional-share discipline splits hot/cold bandwidth.
+enum class SchedulerKind : std::uint8_t {
+  kStride,
+  kLottery,
+  kWfq,
+  kDrr,
+  kHierarchical,
+};
+
+/// Full experiment specification. Defaults reproduce the paper's common
+/// operating point (45 kbps data bandwidth, 1000-byte announcements).
+struct ExperimentConfig {
+  WorkloadParams workload;
+
+  Variant variant = Variant::kOpenLoop;
+  SchedulerKind scheduler = SchedulerKind::kStride;
+
+  sim::Rate mu_data = sim::kbps(45);  // sender data bandwidth (the paper's
+                                      // mu_ch for open loop, mu_data else)
+  double hot_share = 0.5;             // hot fraction of mu_data
+  sim::Rate mu_fb = 0.0;              // feedback-path bandwidth
+  ReceiverConfig receiver;            // NACK behaviour (feedback variant)
+
+  double loss_rate = 0.1;        // forward-channel mean loss (per receiver)
+  /// Loss on a shared upstream stage (backbone): one draw per transmission
+  /// drops the packet for EVERY receiver. Correlated loss is what makes
+  /// multicast NACK damping effective — all receivers share the gap, one
+  /// overheard request serves them all.
+  double shared_loss_rate = 0.0;
+  double nack_loss_rate = -1.0;  // reverse-channel loss; <0 copies loss_rate
+  bool bursty_loss = false;      // Gilbert-Elliott instead of Bernoulli
+  double mean_burst_len = 4.0;   // packets, bursty mode
+  /// Failure injection: total network outage (both directions) during these
+  /// [start, end) windows — the paper's network partition scenario.
+  std::vector<std::pair<double, double>> outages;
+  sim::Duration delay = 0.01;    // one-way propagation delay
+  sim::Duration jitter = 0.0;    // uniform extra delay (enables reordering)
+
+  std::size_t num_receivers = 1;
+  /// Heterogeneous receivers: per-receiver forward loss rates. When shorter
+  /// than num_receivers (or empty), remaining receivers use `loss_rate`.
+  std::vector<double> receiver_loss_rates;
+  /// Multicast feedback: all receivers share one feedback multicast group —
+  /// every NACK reaches the sender AND every other receiver, enabling
+  /// SRM-style slotting and damping (set receiver.nack_slot_max > 0).
+  /// Feedback then bypasses the per-receiver rate-limited uplink.
+  bool multicast_feedback = false;
+  sim::Duration receiver_ttl = 0.0;  // 0 = no receiver-side expiry
+  /// Propagate publisher removals to receiver tables (the paper's idealized
+  /// "eliminated from both the sender's and receivers' tables"). Turn off to
+  /// study stale-entry behaviour with real TTL expiry.
+  bool oracle_remove = true;
+
+  sim::Duration duration = 2000.0;  // measured simulation time
+  sim::Duration warmup = 200.0;     // discarded transient
+  std::uint64_t seed = 1;
+
+  sim::Duration sample_interval = 0.0;  // >0 records a c(t) timeline
+};
+
+/// One point of the c(t) timeline (windowed average over the last interval).
+struct TimelinePoint {
+  double time = 0.0;
+  double consistency = 0.0;
+};
+
+/// Everything a run measures (over the post-warm-up window).
+struct ExperimentResult {
+  double avg_consistency = 0.0;  // E[c(t)]
+  double mean_latency = 0.0;     // T_recv mean over successful receipts
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+
+  std::uint64_t data_tx = 0;
+  std::uint64_t hot_tx = 0;
+  std::uint64_t cold_tx = 0;
+  std::uint64_t repair_tx = 0;
+  std::uint64_t redundant_tx = 0;  // receiver(s) already had the version
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t nacks_suppressed = 0;  // damped by overheard duplicates
+
+  double redundant_fraction = 0.0;  // redundant_tx / data_tx
+  double observed_loss = 0.0;       // measured forward loss rate
+  double offered_data_kbps = 0.0;   // sender data rate actually used
+  double offered_fb_kbps = 0.0;     // feedback rate actually used
+
+  std::uint64_t inserts = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t versions_introduced = 0;
+  std::uint64_t versions_received = 0;
+
+  std::size_t final_live = 0;
+  std::size_t final_hot_depth = 0;
+  std::size_t final_cold_depth = 0;
+
+  std::vector<TimelinePoint> timeline;
+};
+
+/// Runs one experiment to completion. Deterministic in `config.seed`.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace sst::core

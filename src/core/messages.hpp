@@ -1,0 +1,45 @@
+// messages.hpp — wire messages exchanged by the core protocol variants.
+//
+// These are simulation-level messages (plain structs carried by value through
+// Channel<M>); SSTP adds a real serialized wire format in src/sstp/wire.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/record.hpp"
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// A data announcement: one record per packet (ALF — each announcement is an
+/// independent application data unit, paper Section 3).
+struct DataMsg {
+  std::uint64_t seq = 0;     // per-sender transmission sequence number
+  Key key = 0;
+  Version version = 0;
+  sim::Bytes size = 1000;    // wire size in bytes
+  bool is_repair = false;    // retransmission triggered by a NACK
+  std::uint64_t repairs_seq = 0;  // the lost seq this repair answers
+  /// Sequence number of this key's previous transmission, if any. Lets a
+  /// receiver cancel NACK state for a lost packet once ANY later copy of the
+  /// same record arrives (e.g. via the cold cycle), suppressing duplicate
+  /// repairs without per-item receiver state.
+  bool has_prev = false;
+  std::uint64_t prev_seq = 0;
+  sim::SimTime sent_at = 0;  // stamped by the sender (for latency traces)
+};
+
+/// A negative acknowledgment naming lost transmissions by sequence number
+/// (paper Section 5). One NACK may batch several gap seqs.
+struct NackMsg {
+  std::vector<std::uint64_t> missing_seqs;
+  sim::Bytes size = 1000;  // wire size; defaults to a full-size packet so
+                           // feedback consumes comparable bandwidth, matching
+                           // the paper's Figure 8 tradeoff
+  /// Originating group member (multicast feedback): lets an overhearing
+  /// receiver ignore its own NACK echoed back by the multicast fan-out.
+  std::uint32_t origin = 0;
+};
+
+}  // namespace sst::core

@@ -1,0 +1,121 @@
+#include "core/monitor.hpp"
+
+namespace sst::core {
+
+ConsistencyMonitor::ConsistencyMonitor(sim::Simulator& sim,
+                                       PublisherTable& pub)
+    : sim_(&sim), pub_(&pub), consistency_avg_(sim.now(), 1.0) {
+  pub_->subscribe([this](const Record& rec, ChangeKind kind) {
+    on_publisher_change(rec, kind);
+  });
+}
+
+std::size_t ConsistencyMonitor::attach(ReceiverTable& recv) {
+  const std::size_t r = receivers_.size();
+  receivers_.push_back(ReceiverView{&recv, {}});
+  recv.on_refresh([this, r](Key key, Version version, bool, bool) {
+    on_receiver_refresh(r, key, version);
+  });
+  recv.on_expire([this, r](Key key, Version) { on_receiver_expire(r, key); });
+  return r;
+}
+
+void ConsistencyMonitor::reset_stats() {
+  consistency_avg_.update(sim_->now(), instantaneous());
+  consistency_avg_.reset(sim_->now());
+  latency_ = stats::Samples{};
+  versions_introduced_ = 0;
+  versions_received_ = 0;
+}
+
+double ConsistencyMonitor::instantaneous() const {
+  const std::size_t live = live_.size();
+  if (live == 0 || receivers_.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& rv : receivers_) {
+    sum += static_cast<double>(rv.consistent.size()) /
+           static_cast<double>(live);
+  }
+  return sum / static_cast<double>(receivers_.size());
+}
+
+double ConsistencyMonitor::average_consistency() {
+  touch();
+  return consistency_avg_.average();
+}
+
+double ConsistencyMonitor::consistency_integral() {
+  touch();
+  return consistency_avg_.integral();
+}
+
+void ConsistencyMonitor::touch() {
+  consistency_avg_.update(sim_->now(), instantaneous());
+}
+
+void ConsistencyMonitor::on_publisher_change(const Record& rec,
+                                             ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kInsert:
+    case ChangeKind::kUpdate: {
+      live_[rec.key] = rec.version;
+      // The new version supersedes any pending older one for latency
+      // purposes: keep both pending entries (first receipt of the old
+      // version no longer counts; erase it).
+      if (kind == ChangeKind::kUpdate) {
+        pending_.erase(KeyVer{rec.key, rec.version - 1});
+        // A receiver holding the old version is no longer consistent.
+        for (auto& rv : receivers_) {
+          const auto* e = rv.table->find(rec.key);
+          if (e == nullptr || e->version != rec.version) {
+            rv.consistent.erase(rec.key);
+          }
+        }
+      }
+      PendingVersion pv;
+      pv.introduced_at = sim_->now();
+      pv.received.assign(receivers_.size(), false);
+      pending_.emplace(KeyVer{rec.key, rec.version}, std::move(pv));
+      ++versions_introduced_;
+      break;
+    }
+    case ChangeKind::kRemove: {
+      pending_.erase(KeyVer{rec.key, rec.version});
+      live_.erase(rec.key);
+      for (auto& rv : receivers_) rv.consistent.erase(rec.key);
+      break;
+    }
+  }
+  touch();
+}
+
+void ConsistencyMonitor::on_receiver_refresh(std::size_t r, Key key,
+                                             Version version) {
+  auto& rv = receivers_[r];
+  const auto live_it = live_.find(key);
+  const bool matches = live_it != live_.end() && live_it->second == version;
+  if (matches) {
+    rv.consistent.insert(key);
+  } else {
+    rv.consistent.erase(key);
+  }
+
+  // First-receipt latency for this (key, version) at this receiver.
+  const auto pend_it = pending_.find(KeyVer{key, version});
+  if (pend_it != pending_.end() && !pend_it->second.received[r]) {
+    pend_it->second.received[r] = true;
+    latency_.add(sim_->now() - pend_it->second.introduced_at);
+    ++versions_received_;
+    bool all = true;
+    for (const bool got : pend_it->second.received) all = all && got;
+    if (all) pending_.erase(pend_it);
+  }
+  touch();
+}
+
+void ConsistencyMonitor::on_receiver_expire(std::size_t r, Key key) {
+  receivers_[r].consistent.erase(key);
+  touch();
+}
+
+}  // namespace sst::core

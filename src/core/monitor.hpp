@@ -1,0 +1,115 @@
+// monitor.hpp — the consistency metric c(k,t), c(t), E[c(t)] and the receive
+// latency T_recv (paper Section 2.1).
+//
+// The monitor is a simulation-side oracle: it observes the publisher table
+// and every receiver table through their listener hooks and maintains, at all
+// times, the number of live records and the number of them each receiver
+// holds consistently (same version <=> same value). The instantaneous system
+// consistency is
+//     c(t) = (1/R) * sum_r |consistent_r(t)| / |L(t)|     (c(t)=1 if L empty)
+// and E[c(t)] is its exact time average, accumulated event-by-event because
+// c(t) is piecewise constant.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/record.hpp"
+#include "core/table.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/time_average.hpp"
+
+namespace sst::core {
+
+/// Oracle measuring consistency and receive latency across one publisher and
+/// any number of receivers. Construct it BEFORE the workload starts so it
+/// observes every record from birth.
+class ConsistencyMonitor {
+ public:
+  ConsistencyMonitor(sim::Simulator& sim, PublisherTable& pub);
+
+  ConsistencyMonitor(const ConsistencyMonitor&) = delete;
+  ConsistencyMonitor& operator=(const ConsistencyMonitor&) = delete;
+
+  /// Attaches a receiver. All receivers must be attached before the workload
+  /// starts. Returns the receiver's index.
+  std::size_t attach(ReceiverTable& recv);
+
+  /// Discards statistics gathered so far (warm-up cutoff). Live-set and
+  /// consistency state are preserved; only the averages restart.
+  void reset_stats();
+
+  /// Instantaneous system consistency c(t).
+  [[nodiscard]] double instantaneous() const;
+
+  /// Average system consistency E[c(t)] up to `now`.
+  [[nodiscard]] double average_consistency();
+
+  /// Integral of c(t) dt since the last reset; windowed averages (e.g. the
+  /// Figure 8 time series) are computed by differencing this.
+  [[nodiscard]] double consistency_integral();
+
+  /// Receive-latency samples: time from a (key, version) entering the system
+  /// to its FIRST receipt at each receiver, measured over successful
+  /// deliveries only (as in the paper's T_recv).
+  [[nodiscard]] stats::Samples& latency() { return latency_; }
+
+  /// Number of live records right now.
+  [[nodiscard]] std::size_t live_count() const { return pub_->live_count(); }
+
+  /// Number of (key,version) pairs introduced / first-received since the last
+  /// reset_stats().
+  [[nodiscard]] std::uint64_t versions_introduced() const {
+    return versions_introduced_;
+  }
+  [[nodiscard]] std::uint64_t versions_received() const {
+    return versions_received_;
+  }
+
+ private:
+  struct PendingVersion {
+    sim::SimTime introduced_at = 0;
+    std::vector<bool> received;  // per receiver
+  };
+
+  struct ReceiverView {
+    ReceiverTable* table = nullptr;
+    std::unordered_set<Key> consistent;  // live keys held at current version
+  };
+
+  void on_publisher_change(const Record& rec, ChangeKind kind);
+  void on_receiver_refresh(std::size_t r, Key key, Version version);
+  void on_receiver_expire(std::size_t r, Key key);
+  void touch();  // fold the (possibly changed) c(t) into the time average
+
+  sim::Simulator* sim_;
+  PublisherTable* pub_;
+  std::vector<ReceiverView> receivers_;
+
+  // Live records and their current versions, mirrored from the publisher.
+  std::unordered_map<Key, Version> live_;
+
+  // Outstanding (key, version) pairs not yet received everywhere.
+  struct KeyVer {
+    Key key;
+    Version version;
+    bool operator==(const KeyVer&) const = default;
+  };
+  struct KeyVerHash {
+    std::size_t operator()(const KeyVer& kv) const {
+      return std::hash<std::uint64_t>()(kv.key * 0x9E3779B97F4A7C15ULL ^
+                                        kv.version);
+    }
+  };
+  std::unordered_map<KeyVer, PendingVersion, KeyVerHash> pending_;
+
+  stats::TimeAverage consistency_avg_;
+  stats::Samples latency_;
+  std::uint64_t versions_introduced_ = 0;
+  std::uint64_t versions_received_ = 0;
+};
+
+}  // namespace sst::core

@@ -1,0 +1,95 @@
+#include "core/open_loop.hpp"
+
+namespace sst::core {
+
+OpenLoopSender::OpenLoopSender(sim::Simulator& sim, PublisherTable& table,
+                               Workload& workload, sim::Rate mu_ch,
+                               std::function<void(const DataMsg&)> transmit)
+    : sim_(&sim),
+      table_(&table),
+      workload_(&workload),
+      mu_ch_(mu_ch),
+      transmit_(std::move(transmit)),
+      service_timer_(sim) {
+  table_->subscribe([this](const Record& rec, ChangeKind kind) {
+    switch (kind) {
+      case ChangeKind::kInsert:
+        enqueue(rec.key);
+        break;
+      case ChangeKind::kUpdate:
+        // Open-loop treats updates like any other pending data: the record is
+        // already cycling in the queue and the next visit transmits the
+        // current version. If it is somehow absent (removed by an external
+        // actor and re-added), re-enqueue.
+        enqueue(rec.key);
+        break;
+      case ChangeKind::kRemove:
+        // Lazy: the queue entry is skipped when it reaches the head.
+        queued_.erase(rec.key);
+        break;
+    }
+  });
+}
+
+void OpenLoopSender::enqueue(Key key) {
+  if (queued_.contains(key)) return;
+  queued_.insert(key);
+  queue_.push_back(key);
+  maybe_start_service();
+}
+
+void OpenLoopSender::maybe_start_service() {
+  if (busy_) return;
+  // Drop dead heads lazily.
+  while (!queue_.empty() && !queued_.contains(queue_.front())) {
+    queue_.pop_front();
+  }
+  if (queue_.empty()) return;
+
+  const Key key = queue_.front();
+  queue_.pop_front();
+  const Record* rec = table_->find(key);
+  if (rec == nullptr) {
+    queued_.erase(key);
+    maybe_start_service();
+    return;
+  }
+  busy_ = true;
+  const sim::Duration service = sim::transmission_time(rec->size, mu_ch_);
+  service_timer_.arm(service, [this, key] { complete_service(key); });
+}
+
+void OpenLoopSender::complete_service(Key key) {
+  busy_ = false;
+  const Record* rec = table_->find(key);
+  if (rec == nullptr) {
+    // Died (lifetime expiry) while in service; bandwidth spent, nothing sent.
+    queued_.erase(key);
+    maybe_start_service();
+    return;
+  }
+
+  DataMsg msg;
+  msg.seq = next_seq_++;
+  msg.key = rec->key;
+  msg.version = rec->version;
+  msg.size = rec->size;
+  msg.sent_at = sim_->now();
+  transmit_(msg);
+  ++stats_.data_tx;
+  for (const auto& fn : observers_) fn(msg);
+
+  // Post-service death draw (Table 1's exit probability p_d), only in
+  // per-transmission mode; in lifetime modes the workload removes records.
+  if (workload_->protocol_owns_death() && workload_->draw_death()) {
+    ++stats_.deaths;
+    queued_.erase(key);
+    table_->remove(key);
+  } else {
+    // Re-enter at the tail: the open-loop cycle.
+    queue_.push_back(key);
+  }
+  maybe_start_service();
+}
+
+}  // namespace sst::core

@@ -1,0 +1,75 @@
+// open_loop.hpp — the "open-loop" announce/listen sender (paper Section 3).
+//
+// One FIFO transmission queue served at the channel rate mu_ch. New records
+// enter at the tail; after each service the record either dies (probability
+// p_d, per-transmission mode) or re-enters at the tail, cycling forever.
+// All data — old and new — is treated alike, which is exactly the source of
+// the redundancy quantified in Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "core/messages.hpp"
+#include "core/table.hpp"
+#include "core/workload.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// Counters a sender accumulates.
+struct SenderStats {
+  std::uint64_t data_tx = 0;       // announcements transmitted
+  std::uint64_t hot_tx = 0;        // via the hot queue (two-queue variants)
+  std::uint64_t cold_tx = 0;       // via the cold queue
+  std::uint64_t repair_tx = 0;     // NACK-triggered retransmissions
+  std::uint64_t deaths = 0;        // records expired by per-tx death draw
+  std::uint64_t nacks_received = 0;
+  std::uint64_t nacks_ignored = 0; // NACKs for dead/superseded/queued records
+};
+
+/// Open-loop announce/listen sender.
+class OpenLoopSender {
+ public:
+  /// `transmit` pushes an announcement onto the lossy channel. `workload`
+  /// supplies the per-transmission death draw (and owns removal otherwise).
+  OpenLoopSender(sim::Simulator& sim, PublisherTable& table,
+                 Workload& workload, sim::Rate mu_ch,
+                 std::function<void(const DataMsg&)> transmit);
+
+  OpenLoopSender(const OpenLoopSender&) = delete;
+  OpenLoopSender& operator=(const OpenLoopSender&) = delete;
+
+  [[nodiscard]] const SenderStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Observation hook fired at every transmission (after the channel send).
+  void on_transmit(std::function<void(const DataMsg&)> fn) {
+    observers_.push_back(std::move(fn));
+  }
+
+ private:
+  void enqueue(Key key);
+  void maybe_start_service();
+  void complete_service(Key key);
+
+  sim::Simulator* sim_;
+  PublisherTable* table_;
+  Workload* workload_;
+  sim::Rate mu_ch_;
+  std::function<void(const DataMsg&)> transmit_;
+  std::vector<std::function<void(const DataMsg&)>> observers_;
+
+  std::deque<Key> queue_;
+  std::unordered_set<Key> queued_;  // membership (lazy removal of dead keys)
+  bool busy_ = false;
+  sim::Timer service_timer_;
+  std::uint64_t next_seq_ = 0;
+  SenderStats stats_;
+};
+
+}  // namespace sst::core

@@ -1,0 +1,147 @@
+#include "core/receiver.hpp"
+
+#include <cmath>
+
+namespace sst::core {
+
+ReceiverAgent::ReceiverAgent(sim::Simulator& sim, ReceiverTable& table,
+                             ReceiverConfig config,
+                             std::function<void(const NackMsg&)> send_nack,
+                             sim::Rng rng)
+    : sim_(&sim),
+      table_(&table),
+      config_(config),
+      send_nack_(std::move(send_nack)),
+      rng_(rng),
+      scanner_(sim) {}
+
+void ReceiverAgent::handle(const DataMsg& msg) {
+  ++stats_.data_rx;
+  if (msg.is_repair) ++stats_.repairs_rx;
+
+  if (config_.feedback) {
+    if (msg.is_repair) repair_received(msg.repairs_seq);
+    // Any copy of a record supersedes its previous transmission: if that
+    // previous transmission is an outstanding loss, stop requesting it.
+    if (msg.has_prev) repair_received(msg.prev_seq);
+
+    if (msg.seq >= next_expected_) {
+      // Gap: seqs [next_expected_, msg.seq) were lost (FIFO sender, ordered
+      // channel) or are still in flight (jittered channel; a late arrival is
+      // handled in the branch below and cancels the NACK state).
+      std::vector<std::uint64_t> fresh;
+      for (std::uint64_t s = next_expected_; s < msg.seq; ++s) {
+        if (missing_.contains(s)) continue;
+        note_missing(s);
+        if (config_.nack_slot_max <= 0) {
+          fresh.push_back(s);
+          if (fresh.size() >= config_.max_batch) {
+            send_nack_for(fresh);
+            fresh.clear();
+          }
+        }
+      }
+      if (!fresh.empty()) send_nack_for(fresh);
+      next_expected_ = msg.seq + 1;
+    } else {
+      // Late / reordered arrival: it was not lost after all.
+      repair_received(msg.seq);
+    }
+  }
+
+  table_->refresh(msg.key, msg.version);
+}
+
+void ReceiverAgent::note_missing(std::uint64_t seq) {
+  ++stats_.gaps_detected;
+  Missing m;
+  m.retries = 0;
+  m.last_nacked = sim_->now();
+  if (config_.nack_slot_max <= 0) {
+    // Unicast mode: the caller sends the batched NACK right away.
+    m.requested = true;
+  } else {
+    // Multicast slotting: wait a random slot; an overheard NACK for the
+    // same seq suppresses ours.
+    m.requested = false;
+    const sim::Duration slot = rng_.uniform() * config_.nack_slot_max;
+    sim_->after(slot, [this, seq] { slot_fire(seq); });
+  }
+  missing_.emplace(seq, m);
+  if (!scanner_.running() && config_.retry_timeout > 0) {
+    scanner_.start(config_.retry_timeout, [this] { scan_retries(); });
+  }
+}
+
+void ReceiverAgent::slot_fire(std::uint64_t seq) {
+  const auto it = missing_.find(seq);
+  if (it == missing_.end()) return;  // repaired in the meantime
+  Missing& m = it->second;
+  if (m.requested) return;  // damped by an overheard NACK
+  m.requested = true;
+  m.last_nacked = sim_->now();
+  send_nack_for({seq});
+}
+
+void ReceiverAgent::observe_nack(const NackMsg& nack) {
+  for (const std::uint64_t seq : nack.missing_seqs) {
+    const auto it = missing_.find(seq);
+    if (it == missing_.end()) continue;
+    Missing& m = it->second;
+    if (!m.requested) ++stats_.suppressed;
+    // The overheard request stands in for ours: damp the slot send and push
+    // our retry clock back.
+    m.requested = true;
+    m.last_nacked = sim_->now();
+  }
+}
+
+void ReceiverAgent::repair_received(std::uint64_t seq) {
+  missing_.erase(seq);
+  if (missing_.empty()) scanner_.stop();
+}
+
+void ReceiverAgent::send_nack_for(const std::vector<std::uint64_t>& seqs) {
+  if (seqs.empty()) return;
+  NackMsg nack;
+  nack.missing_seqs = seqs;
+  nack.size = config_.nack_size;
+  ++stats_.nacks_sent;
+  send_nack_(nack);
+}
+
+void ReceiverAgent::scan_retries() {
+  // Batch every overdue loss into as few NACK packets as possible. A loss is
+  // overdue when it has gone retry_timeout * backoff^retries without being
+  // re-requested; after max_retries it is abandoned to the cold cycle.
+  std::vector<std::uint64_t> batch;
+  const sim::SimTime now = sim_->now();
+  for (auto it = missing_.begin(); it != missing_.end();) {
+    Missing& m = it->second;
+    const double threshold =
+        config_.retry_timeout * std::pow(config_.retry_backoff, m.retries);
+    if (now - m.last_nacked + 1e-9 < threshold) {
+      ++it;
+      continue;
+    }
+    if (m.retries >= config_.max_retries) {
+      ++stats_.abandoned;
+      it = missing_.erase(it);
+      continue;
+    }
+    ++m.retries;
+    ++stats_.retries;
+    m.last_nacked = now;
+    m.requested = true;
+    batch.push_back(it->first);
+    if (batch.size() >= config_.max_batch) {
+      send_nack_for(batch);
+      batch.clear();
+    }
+    ++it;
+  }
+  if (!batch.empty()) send_nack_for(batch);
+  if (missing_.empty()) scanner_.stop();
+}
+
+}  // namespace sst::core

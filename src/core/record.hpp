@@ -1,0 +1,52 @@
+// record.hpp — the soft state data model (paper Section 2, Figure 1).
+//
+// Soft data is "a table of {key, value} pairs at the sender, or publisher.
+// The publisher may add, delete, or update a record at any given time."
+// Every update bumps the record's version; the consistency metric compares
+// versions, which is equivalent to comparing values because versions are
+// unique per (key, value) assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// Record key. Keys are unique over the lifetime of a publisher (never
+/// reused), which keeps "delete then re-insert" unambiguous on a lossy
+/// channel.
+using Key = std::uint64_t;
+
+/// Monotonically increasing per-key version; bumped by every update.
+using Version = std::uint64_t;
+
+/// One {key, value} pair.
+struct Record {
+  Key key = 0;
+  Version version = 0;
+  std::vector<std::uint8_t> value;  // application payload (may be empty in
+                                    // abstract protocol experiments)
+  sim::Bytes size = 1000;           // wire size of one announcement of this
+                                    // record, headers included
+};
+
+/// Kinds of publisher table changes, delivered to listeners.
+enum class ChangeKind : std::uint8_t {
+  kInsert,  // new key appeared
+  kUpdate,  // existing key's value (and version) changed
+  kRemove,  // key died (lifetime expired at the publisher)
+};
+
+/// Transmission-queue placement of a record at the sender, mirroring the
+/// paper's Figure 7 state machine: Hot (foreground), Cold (background),
+/// Dead (invalid).
+enum class QueueState : std::uint8_t {
+  kNone,  // not queued (open-loop uses a single implicit queue)
+  kHot,
+  kCold,
+  kDead,
+};
+
+}  // namespace sst::core

@@ -1,0 +1,128 @@
+#include "core/table.hpp"
+
+#include <utility>
+
+namespace sst::core {
+
+// ---------------------------------------------------------------- publisher
+
+Key PublisherTable::insert(std::vector<std::uint8_t> value, sim::Bytes size) {
+  const Key key = next_key_++;
+  Record rec;
+  rec.key = key;
+  rec.version = 1;
+  rec.value = std::move(value);
+  rec.size = size;
+  auto [it, ok] = records_.emplace(key, std::move(rec));
+  notify(it->second, ChangeKind::kInsert);
+  return key;
+}
+
+bool PublisherTable::update(Key key, std::vector<std::uint8_t> value) {
+  const auto it = records_.find(key);
+  if (it == records_.end()) return false;
+  it->second.value = std::move(value);
+  ++it->second.version;
+  notify(it->second, ChangeKind::kUpdate);
+  return true;
+}
+
+bool PublisherTable::remove(Key key) {
+  const auto it = records_.find(key);
+  if (it == records_.end()) return false;
+  Record rec = std::move(it->second);
+  records_.erase(it);
+  notify(rec, ChangeKind::kRemove);
+  return true;
+}
+
+const Record* PublisherTable::find(Key key) const {
+  const auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void PublisherTable::for_each(
+    const std::function<void(const Record&)>& fn) const {
+  for (const auto& [key, rec] : records_) fn(rec);
+}
+
+void PublisherTable::notify(const Record& rec, ChangeKind kind) {
+  for (const auto& fn : listeners_) fn(rec, kind);
+}
+
+// ----------------------------------------------------------------- receiver
+
+ReceiverTable::~ReceiverTable() {
+  for (auto& [key, e] : entries_) {
+    if (e.expiry_event != sim::kNoEvent) sim_->cancel(e.expiry_event);
+  }
+}
+
+void ReceiverTable::refresh(Key key, Version version) {
+  auto [it, was_new] = entries_.try_emplace(key);
+  Entry& e = it->second;
+  const bool version_changed = was_new || version > e.version;
+  if (version_changed) e.version = version;
+  if (adaptive_) e.interval.on_refresh(sim_->now());
+  e.refreshed_at = sim_->now();
+  arm_expiry(key, e);
+  for (const auto& fn : refresh_fns_) fn(key, e.version, was_new,
+                                         version_changed);
+}
+
+void ReceiverTable::remove(Key key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (it->second.expiry_event != sim::kNoEvent) {
+    sim_->cancel(it->second.expiry_event);
+  }
+  const Version version = it->second.version;
+  entries_.erase(it);
+  notify_expire(key, version);
+}
+
+void ReceiverTable::clear() {
+  // Snapshot the keys first: removal notifies listeners that may look the
+  // table up.
+  std::vector<Key> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) keys.push_back(key);
+  for (const Key key : keys) remove(key);
+}
+
+const ReceiverTable::Entry* ReceiverTable::find(Key key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ReceiverTable::arm_expiry(Key key, Entry& e) {
+  if (e.expiry_event != sim::kNoEvent) sim_->cancel(e.expiry_event);
+  const sim::Duration ttl = adaptive_ ? adaptive_->ttl_for(e.interval) : ttl_;
+  if (ttl <= 0) {
+    e.expiry_event = sim::kNoEvent;
+    e.armed_ttl = 0;
+    return;
+  }
+  e.armed_ttl = ttl;
+  e.expiry_event = sim_->after(ttl, [this, key] { expire(key); });
+}
+
+sim::Duration ReceiverTable::current_ttl(Key key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0.0 : it->second.armed_ttl;
+}
+
+void ReceiverTable::expire(Key key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  const Version version = it->second.version;
+  // The firing event is already consumed; no cancel needed.
+  entries_.erase(it);
+  notify_expire(key, version);
+}
+
+void ReceiverTable::notify_expire(Key key, Version version) {
+  for (const auto& fn : expire_fns_) fn(key, version);
+}
+
+}  // namespace sst::core

@@ -1,0 +1,143 @@
+// table.hpp — publisher and receiver soft state tables (paper Section 2).
+//
+// The publisher table is the authoritative, evolving {key, value} store; the
+// receiver table is the subscriber's converging copy, each entry guarded by
+// an expiration timer that is reset by every refresh and deletes the entry
+// when announcements cease — the defining soft state behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adaptive_ttl.hpp"
+#include "core/record.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// The sender-side authoritative table. Emits change notifications to any
+/// number of listeners (the transmission queues and the consistency monitor
+/// both subscribe).
+class PublisherTable {
+ public:
+  using Listener = std::function<void(const Record&, ChangeKind)>;
+
+  /// Registers a change listener. Listeners run synchronously, in
+  /// registration order, on every mutation.
+  void subscribe(Listener fn) { listeners_.push_back(std::move(fn)); }
+
+  /// Inserts a new record and returns its key. Version starts at 1.
+  Key insert(std::vector<std::uint8_t> value, sim::Bytes size);
+
+  /// Updates a record's value, bumping its version. Returns false if the key
+  /// is not live.
+  bool update(Key key, std::vector<std::uint8_t> value);
+
+  /// Removes a record (lifetime expiry / publisher delete). Returns false if
+  /// the key is not live.
+  bool remove(Key key);
+
+  /// Looks up a live record.
+  [[nodiscard]] const Record* find(Key key) const;
+
+  /// Number of live records |L(t)|.
+  [[nodiscard]] std::size_t live_count() const { return records_.size(); }
+
+  /// Visits every live record.
+  void for_each(const std::function<void(const Record&)>& fn) const;
+
+  /// Total inserts over the table's lifetime.
+  [[nodiscard]] std::uint64_t total_inserts() const { return next_key_ - 1; }
+
+ private:
+  void notify(const Record& rec, ChangeKind kind);
+
+  std::unordered_map<Key, Record> records_;
+  std::vector<Listener> listeners_;
+  Key next_key_ = 1;
+};
+
+/// The receiver-side table: a copy of the publisher's table maintained purely
+/// from received announcements, with per-entry soft state expiry.
+class ReceiverTable {
+ public:
+  struct Entry {
+    Version version = 0;
+    sim::SimTime refreshed_at = 0;
+    sim::EventId expiry_event = sim::kNoEvent;
+    RefreshIntervalEstimator interval;  // used in adaptive-TTL mode
+    sim::Duration armed_ttl = 0;        // TTL of the pending expiry timer
+  };
+
+  /// `ttl` is the entry lifetime without refresh; 0 disables expiry (the
+  /// paper's core experiments measure consistency over the publisher's live
+  /// set, so receiver expiry is exercised separately).
+  ReceiverTable(sim::Simulator& sim, sim::Duration ttl)
+      : sim_(&sim), ttl_(ttl) {}
+
+  ~ReceiverTable();
+  ReceiverTable(const ReceiverTable&) = delete;
+  ReceiverTable& operator=(const ReceiverTable&) = delete;
+
+  /// Called after a refresh is applied. `was_new` is true for first receipt
+  /// of the key; `version_changed` is true when the stored version changed.
+  using RefreshListener =
+      std::function<void(Key, Version, bool was_new, bool version_changed)>;
+  /// Called when an entry expires (refresh timer fired) or is removed.
+  using ExpireListener = std::function<void(Key, Version)>;
+
+  void on_refresh(RefreshListener fn) { refresh_fns_.push_back(std::move(fn)); }
+  void on_expire(ExpireListener fn) { expire_fns_.push_back(std::move(fn)); }
+
+  /// Applies a received announcement: inserts or updates the entry (older
+  /// versions than the stored one are ignored but still reset the expiry
+  /// timer — hearing any announcement proves the publisher is alive).
+  void refresh(Key key, Version version);
+
+  /// Removes an entry without a timer (used by experiments that model the
+  /// paper's idealized simultaneous expiry "from both the sender's and
+  /// receivers' tables", and by explicit-teardown extensions).
+  void remove(Key key);
+
+  /// Removes every entry, notifying expire listeners for each — the
+  /// hard-state "flush on connection reset" primitive (a soft state protocol
+  /// never needs this; its entries expire individually).
+  void clear();
+
+  [[nodiscard]] const Entry* find(Key key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] sim::Duration ttl() const { return ttl_; }
+
+  /// Changes the TTL for subsequent refreshes.
+  void set_ttl(sim::Duration ttl) { ttl_ = ttl; }
+
+  /// Switches to scalable-timer mode (Sharma et al., paper Section 7): each
+  /// entry expires after `config.factor` ESTIMATED refresh intervals instead
+  /// of a fixed TTL, so receivers track senders that adapt their refresh
+  /// rates. Takes effect on subsequent refreshes.
+  void enable_adaptive_ttl(AdaptiveTtlConfig config) {
+    adaptive_ = config;
+  }
+
+  /// Returns the TTL currently armed for `key` (0 if none/absent) — test and
+  /// diagnostics hook.
+  [[nodiscard]] sim::Duration current_ttl(Key key) const;
+
+ private:
+  void arm_expiry(Key key, Entry& e);
+  void expire(Key key);
+  void notify_expire(Key key, Version version);
+
+  sim::Simulator* sim_;
+  sim::Duration ttl_;
+  std::optional<AdaptiveTtlConfig> adaptive_;
+  std::unordered_map<Key, Entry> entries_;
+  std::vector<RefreshListener> refresh_fns_;
+  std::vector<ExpireListener> expire_fns_;
+};
+
+}  // namespace sst::core

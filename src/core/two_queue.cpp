@@ -1,0 +1,205 @@
+#include "core/two_queue.hpp"
+
+#include <array>
+
+namespace sst::core {
+
+TwoQueueSender::TwoQueueSender(sim::Simulator& sim, PublisherTable& table,
+                               Workload& workload, TwoQueueConfig config,
+                               std::unique_ptr<sched::Scheduler> scheduler,
+                               std::function<void(const DataMsg&)> transmit)
+    : sim_(&sim),
+      table_(&table),
+      workload_(&workload),
+      config_(config),
+      scheduler_(std::move(scheduler)),
+      transmit_(std::move(transmit)),
+      service_timer_(sim) {
+  scheduler_->add_class(config_.hot_share);        // class 0 = hot
+  scheduler_->add_class(1.0 - config_.hot_share);  // class 1 = cold
+  table_->subscribe([this](const Record& rec, ChangeKind kind) {
+    on_table_change(rec, kind);
+  });
+}
+
+void TwoQueueSender::set_hot_share(double hot_share) {
+  config_.hot_share = hot_share;
+  scheduler_->set_weight(0, hot_share);
+  scheduler_->set_weight(1, 1.0 - hot_share);
+}
+
+void TwoQueueSender::on_table_change(const Record& rec, ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kInsert:
+    case ChangeKind::kUpdate:
+      // New or changed data is (presumed) inconsistent -> hot queue.
+      to_hot(rec.key);
+      break;
+    case ChangeKind::kRemove:
+      drop_key_state(rec.key);  // queue entries are skipped lazily
+      break;
+  }
+}
+
+void TwoQueueSender::drop_key_state(Key key) {
+  const auto it = state_.find(key);
+  if (it == state_.end()) return;
+  if (it->second.repair_pending && pending_repairs_ > 0) --pending_repairs_;
+  state_.erase(it);
+}
+
+void TwoQueueSender::to_hot(Key key) {
+  KeyState& st = state_[key];
+  if (st.location == QueueState::kHot) return;  // already pending
+  st.location = QueueState::kHot;
+  hot_.push_back(key);
+  maybe_start_service();
+}
+
+void TwoQueueSender::handle_nack(const NackMsg& nack) {
+  if (!config_.feedback) return;
+  ++stats_.nacks_received;
+  for (const std::uint64_t seq : nack.missing_seqs) {
+    const auto log_it = seq_log_.find(seq);
+    if (log_it == seq_log_.end()) {
+      ++stats_.nacks_ignored;  // log evicted; cold cycle will recover it
+      continue;
+    }
+    const Key key = log_it->second.key;
+    const Version tx_version = log_it->second.version;
+    const Record* rec = table_->find(key);
+    if (rec == nullptr || rec->version != tx_version) {
+      // Dead or superseded: the newer version is already queued hot.
+      ++stats_.nacks_ignored;
+      continue;
+    }
+    auto st_it = state_.find(key);
+    if (st_it == state_.end()) {
+      ++stats_.nacks_ignored;
+      continue;
+    }
+    if (st_it->second.location == QueueState::kHot) {
+      // Already scheduled (e.g. another receiver NACKed first) — implicit
+      // NACK suppression.
+      ++stats_.nacks_ignored;
+      continue;
+    }
+    if (pending_repairs_ >= config_.max_pending_repairs) {
+      // Repair damping: the hot queue is saturated with repairs; let the
+      // cold cycle recover this loss instead of starving new data.
+      ++stats_.nacks_ignored;
+      continue;
+    }
+    st_it->second.location = QueueState::kHot;
+    st_it->second.repair_pending = true;
+    st_it->second.repairs_seq = seq;
+    ++pending_repairs_;
+    hot_.push_back(key);
+  }
+  maybe_start_service();
+}
+
+double TwoQueueSender::head_bits(std::deque<Key>& queue,
+                                 QueueState expected) {
+  while (!queue.empty()) {
+    const Key key = queue.front();
+    const auto it = state_.find(key);
+    if (it == state_.end() || it->second.location != expected) {
+      queue.pop_front();  // dead or migrated; stale entry
+      continue;
+    }
+    const Record* rec = table_->find(key);
+    if (rec == nullptr) {
+      queue.pop_front();
+      continue;
+    }
+    return sim::bits(rec->size);
+  }
+  return sched::kEmpty;
+}
+
+void TwoQueueSender::maybe_start_service() {
+  if (busy_) return;
+  const std::array<double, 2> heads = {head_bits(hot_, QueueState::kHot),
+                                       head_bits(cold_, QueueState::kCold)};
+  const std::size_t cls = scheduler_->pick(heads);
+  if (cls == sched::kNone) return;
+
+  const bool from_hot = cls == 0;
+  std::deque<Key>& queue = from_hot ? hot_ : cold_;
+  const Key key = queue.front();
+  queue.pop_front();
+
+  busy_ = true;
+  const Record* rec = table_->find(key);  // head_bits validated it
+  const sim::Duration service =
+      sim::transmission_time(rec->size, config_.mu_data);
+  service_timer_.arm(service,
+                     [this, key, from_hot] { complete_service(key, from_hot); });
+}
+
+void TwoQueueSender::complete_service(Key key, bool from_hot) {
+  busy_ = false;
+  const Record* rec = table_->find(key);
+  if (rec == nullptr) {
+    // Died during service; the slot is spent.
+    maybe_start_service();
+    return;
+  }
+  KeyState& st = state_[key];
+
+  DataMsg msg;
+  msg.seq = next_seq_++;
+  msg.key = rec->key;
+  msg.version = rec->version;
+  msg.size = rec->size;
+  msg.sent_at = sim_->now();
+  msg.has_prev = st.has_last_seq;
+  msg.prev_seq = st.last_seq;
+  if (from_hot && st.repair_pending) {
+    msg.is_repair = true;
+    msg.repairs_seq = st.repairs_seq;
+    st.repair_pending = false;
+    if (pending_repairs_ > 0) --pending_repairs_;
+    ++stats_.repair_tx;
+  }
+  st.has_last_seq = true;
+  st.last_seq = msg.seq;
+  transmit_(msg);
+  ++stats_.data_tx;
+  if (from_hot) {
+    ++stats_.hot_tx;
+  } else {
+    ++stats_.cold_tx;
+  }
+  for (const auto& fn : observers_) fn(msg);
+
+  // Log the transmission for NACK resolution.
+  if (config_.feedback) {
+    seq_log_.emplace(msg.seq, LogEntry{msg.key, msg.version});
+    seq_order_.push_back(msg.seq);
+    while (seq_order_.size() > config_.seq_log_capacity) {
+      seq_log_.erase(seq_order_.front());
+      seq_order_.pop_front();
+    }
+  }
+
+  // Per-transmission death draw (Table 1), then the H -> C transition of
+  // Figure 7: a surviving record always lands at the cold tail.
+  if (workload_->protocol_owns_death() && workload_->draw_death()) {
+    ++stats_.deaths;
+    drop_key_state(key);
+    table_->remove(key);
+  } else if (from_hot) {
+    st.location = QueueState::kCold;
+    cold_.push_back(key);
+  } else if (st.location == QueueState::kCold) {
+    cold_.push_back(key);
+  }
+  // else: a NACK or update flipped the record to hot while this cold
+  // transmission was in flight; it is already queued hot and must not be
+  // demoted (Figure 7's C -> H transition wins).
+  maybe_start_service();
+}
+
+}  // namespace sst::core

@@ -1,0 +1,124 @@
+// two_queue.hpp — hot/cold two-queue sender (paper Sections 4 and 5).
+//
+// The sender differentiates new from old data: a "hot" (foreground) queue
+// carries data thought to be inconsistent — new records, updates, and
+// NACK-requested repairs — and a "cold" (background) queue cycles everything
+// already transmitted at least once. The two queues share the data bandwidth
+// mu_data proportionally under a pluggable scheduler (stride by default;
+// lottery/WFQ/DRR behave identically in the mean, which tests verify), and
+// unused hot bandwidth flows to cold (work conservation).
+//
+// With `feedback` enabled this is the Section 5 protocol: on a NACK, the
+// named record moves from the cold queue to the tail of the hot queue
+// (Figure 7's C -> H transition).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/messages.hpp"
+#include "core/open_loop.hpp"  // SenderStats
+#include "core/table.hpp"
+#include "core/workload.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// Configuration of the two-queue sender.
+struct TwoQueueConfig {
+  sim::Rate mu_data = sim::kbps(45);  // total data bandwidth
+  double hot_share = 0.5;             // fraction of mu_data for the hot queue
+  bool feedback = false;              // accept NACKs (Section 5)
+  std::size_t seq_log_capacity = 1 << 20;  // tx log for NACK lookup
+  /// Sender-side NACK damping: with more than this many repairs already
+  /// waiting in the hot queue, further NACKs are dropped (the cold cycle is
+  /// the backstop). Bounds repair-flood starvation of new data when the loss
+  /// rate briefly exceeds what the feedback budget can recover.
+  std::size_t max_pending_repairs = 64;
+};
+
+/// Two-queue (hot/cold) announcement sender with optional NACK handling.
+class TwoQueueSender {
+ public:
+  /// `scheduler` must have no classes yet; the sender registers hot as class
+  /// 0 and cold as class 1 with weights {hot_share, 1-hot_share}.
+  TwoQueueSender(sim::Simulator& sim, PublisherTable& table,
+                 Workload& workload, TwoQueueConfig config,
+                 std::unique_ptr<sched::Scheduler> scheduler,
+                 std::function<void(const DataMsg&)> transmit);
+
+  TwoQueueSender(const TwoQueueSender&) = delete;
+  TwoQueueSender& operator=(const TwoQueueSender&) = delete;
+
+  /// Delivers a receiver NACK (ignored unless config.feedback).
+  void handle_nack(const NackMsg& nack);
+
+  /// Re-splits the data bandwidth between hot and cold (SSTP's adaptive
+  /// allocator drives this at run time).
+  void set_hot_share(double hot_share);
+
+  /// Current hot-queue backlog (the SSTP allocator watches this to detect
+  /// lambda > mu_hot and push back on the application).
+  [[nodiscard]] std::size_t hot_depth() const { return hot_.size(); }
+  [[nodiscard]] std::size_t cold_depth() const { return cold_.size(); }
+
+  [[nodiscard]] const SenderStats& stats() const { return stats_; }
+  [[nodiscard]] const TwoQueueConfig& config() const { return config_; }
+
+  /// Observation hook fired at every transmission.
+  void on_transmit(std::function<void(const DataMsg&)> fn) {
+    observers_.push_back(std::move(fn));
+  }
+
+ private:
+  struct KeyState {
+    QueueState location = QueueState::kNone;
+    bool repair_pending = false;     // next hot tx is a NACK repair
+    std::uint64_t repairs_seq = 0;   // which lost seq it answers
+    bool has_last_seq = false;       // key transmitted before
+    std::uint64_t last_seq = 0;      // seq of its most recent transmission
+  };
+
+  void drop_key_state(Key key);  // erase bookkeeping incl. repair counter
+
+  void on_table_change(const Record& rec, ChangeKind kind);
+  void to_hot(Key key);
+  void maybe_start_service();
+  void complete_service(Key key, bool from_hot);
+  /// Pops stale entries; returns head record size or sched::kEmpty.
+  double head_bits(std::deque<Key>& queue, QueueState expected);
+
+  sim::Simulator* sim_;
+  PublisherTable* table_;
+  Workload* workload_;
+  TwoQueueConfig config_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::function<void(const DataMsg&)> transmit_;
+  std::vector<std::function<void(const DataMsg&)>> observers_;
+
+  std::deque<Key> hot_;
+  std::deque<Key> cold_;
+  std::unordered_map<Key, KeyState> state_;
+  std::size_t pending_repairs_ = 0;
+  bool busy_ = false;
+  sim::Timer service_timer_;
+  std::uint64_t next_seq_ = 0;
+
+  // Transmission log for NACK resolution: seq -> (key, version at tx).
+  struct LogEntry {
+    Key key;
+    Version version;
+  };
+  std::unordered_map<std::uint64_t, LogEntry> seq_log_;
+  std::deque<std::uint64_t> seq_order_;  // eviction order
+
+  SenderStats stats_;
+};
+
+}  // namespace sst::core

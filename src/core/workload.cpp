@@ -1,0 +1,100 @@
+#include "core/workload.hpp"
+
+namespace sst::core {
+
+Workload::Workload(sim::Simulator& sim, PublisherTable& table,
+                   WorkloadParams params, sim::Rng rng)
+    : sim_(&sim),
+      table_(&table),
+      params_(params),
+      rng_(rng),
+      insert_timer_(sim),
+      update_timer_(sim) {
+  // Maintain the live-key index from table notifications so that removals
+  // triggered by the protocol (per-transmission death) are also tracked.
+  table_->subscribe([this](const Record& rec, ChangeKind kind) {
+    if (kind == ChangeKind::kInsert) {
+      key_pos_[rec.key] = live_keys_.size();
+      live_keys_.push_back(rec.key);
+    } else if (kind == ChangeKind::kRemove) {
+      const auto it = key_pos_.find(rec.key);
+      if (it != key_pos_.end()) {
+        const std::size_t pos = it->second;
+        const Key last = live_keys_.back();
+        live_keys_[pos] = last;
+        key_pos_[last] = pos;
+        live_keys_.pop_back();
+        key_pos_.erase(it);
+      }
+    }
+  });
+}
+
+void Workload::start() {
+  running_ = true;
+  schedule_insert();
+  if (params_.update_rate > 0) schedule_update();
+}
+
+void Workload::stop() {
+  running_ = false;
+  insert_timer_.cancel();
+  update_timer_.cancel();
+}
+
+void Workload::schedule_insert() {
+  if (!running_ || params_.insert_rate <= 0) return;
+  insert_timer_.arm(rng_.exponential(1.0 / params_.insert_rate),
+                    [this] { do_insert(); });
+}
+
+void Workload::schedule_update() {
+  if (!running_ || params_.update_rate <= 0) return;
+  update_timer_.arm(rng_.exponential(1.0 / params_.update_rate),
+                    [this] { do_update(); });
+}
+
+void Workload::do_insert() {
+  const Key key = table_->insert(make_payload(), params_.record_size);
+  ++inserts_;
+  if (!protocol_owns_death()) {
+    const sim::Duration life = draw_lifetime();
+    sim_->after(life, [this, key] { table_->remove(key); });
+  }
+  schedule_insert();
+}
+
+void Workload::do_update() {
+  if (!live_keys_.empty()) {
+    const Key key = live_keys_[rng_.uniform_int(live_keys_.size())];
+    table_->update(key, make_payload());
+    ++updates_;
+  }
+  schedule_update();
+}
+
+sim::Duration Workload::draw_lifetime() {
+  switch (params_.death_mode) {
+    case DeathMode::kExponentialLifetime:
+      return rng_.exponential(params_.mean_lifetime);
+    case DeathMode::kFixedLifetime:
+      return params_.mean_lifetime;
+    case DeathMode::kParetoLifetime: {
+      // Shape 1.5: mean = shape*xm/(shape-1) = 3*xm, so xm = mean/3.
+      return rng_.pareto(1.5, params_.mean_lifetime / 3.0);
+    }
+    case DeathMode::kPerTransmission:
+      return 0.0;  // unused
+  }
+  return 0.0;
+}
+
+std::vector<std::uint8_t> Workload::make_payload() {
+  std::vector<std::uint8_t> payload(params_.payload_size);
+  for (auto& b : payload) {
+    b = static_cast<std::uint8_t>(rng_.next_u64() & 0xFF);
+  }
+  return payload;
+}
+
+}  // namespace sst::core

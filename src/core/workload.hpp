@@ -1,0 +1,123 @@
+// workload.hpp — the publisher's update process (paper Section 2).
+//
+// "An update process at the publisher adds records to its table. Each record
+// is also associated with a lifetime after which the publisher ceases to
+// announce it." The analysis approximates expiry with an i.i.d.
+// per-transmission death probability p_d; the simulations support both that
+// approximation (death drawn by the protocol after each service) and real
+// lifetime-driven expiry (exponential, fixed, or Pareto), so the
+// approximation itself is testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/table.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// How records leave the live set.
+enum class DeathMode : std::uint8_t {
+  /// The transmitting protocol draws death with probability p_death after
+  /// each service — the queueing model's process (Table 1).
+  kPerTransmission,
+  /// Each record lives an exponential time with the given mean, then the
+  /// workload removes it.
+  kExponentialLifetime,
+  /// Fixed lifetime (session-directory style: the conference has a known
+  /// duration).
+  kFixedLifetime,
+  /// Heavy-tailed Pareto lifetime (shape 1.5), mean as configured.
+  kParetoLifetime,
+};
+
+/// Parameters of the synthetic publisher workload.
+struct WorkloadParams {
+  /// New-record (insert) rate, records/sec, Poisson. The paper expresses
+  /// lambda in kbps; divide by record size to get this (helpers below).
+  double insert_rate = 1.0;
+
+  /// In-place value-update rate over the whole live set, updates/sec,
+  /// Poisson; each update picks a uniformly random live key. 0 disables.
+  double update_rate = 0.0;
+
+  DeathMode death_mode = DeathMode::kPerTransmission;
+
+  /// Per-transmission death probability (kPerTransmission mode).
+  double p_death = 0.1;
+
+  /// Mean lifetime in seconds (lifetime modes).
+  sim::Duration mean_lifetime = 60.0;
+
+  /// Announcement wire size per record.
+  sim::Bytes record_size = 1000;
+
+  /// Payload bytes attached to each record (0 keeps records abstract).
+  sim::Bytes payload_size = 0;
+};
+
+/// Converts the paper's "lambda = X kbps" workload spec into an insert rate
+/// in records/sec for `record_size`-byte announcements.
+constexpr double insert_rate_from_kbps(double lambda_kbps,
+                                       sim::Bytes record_size) {
+  return sim::kbps(lambda_kbps) / sim::bits(record_size);
+}
+
+/// Drives a PublisherTable with Poisson inserts, optional Poisson updates,
+/// and lifetime-driven removals. Deterministic given its Rng.
+class Workload {
+ public:
+  Workload(sim::Simulator& sim, PublisherTable& table, WorkloadParams params,
+           sim::Rng rng);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  /// Begins generating events (first arrival after one exponential gap).
+  void start();
+
+  /// Stops generating new arrivals; scheduled lifetimes still run out.
+  void stop();
+
+  [[nodiscard]] const WorkloadParams& params() const { return params_; }
+
+  /// Per-transmission death draw for protocols in kPerTransmission mode.
+  /// Returns true if the record dies after this service.
+  bool draw_death() { return rng_.bernoulli(params_.p_death); }
+
+  /// True when the protocol (not the workload) owns record death.
+  [[nodiscard]] bool protocol_owns_death() const {
+    return params_.death_mode == DeathMode::kPerTransmission;
+  }
+
+  /// Keys inserted so far.
+  [[nodiscard]] std::uint64_t inserts() const { return inserts_; }
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+
+ private:
+  void schedule_insert();
+  void schedule_update();
+  void do_insert();
+  void do_update();
+  [[nodiscard]] sim::Duration draw_lifetime();
+  std::vector<std::uint8_t> make_payload();
+
+  sim::Simulator* sim_;
+  PublisherTable* table_;
+  WorkloadParams params_;
+  sim::Rng rng_;
+  sim::Timer insert_timer_;
+  sim::Timer update_timer_;
+  bool running_ = false;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t updates_ = 0;
+  std::vector<Key> live_keys_;  // for uniform update sampling
+  std::unordered_map<Key, std::size_t> key_pos_;
+};
+
+}  // namespace sst::core

@@ -1,0 +1,89 @@
+#include "hash/digest.hpp"
+
+#include "hash/fnv.hpp"
+#include "hash/md5.hpp"
+
+namespace sst::hash {
+
+namespace {
+
+// Widens a 64-bit FNV hash into 16 bytes by hashing twice with different
+// continuation bases; collision strength stays ~64-bit but the layout matches
+// the MD5 mode so wire formats are identical.
+Digest::Bytes widen_fnv(std::span<const std::uint8_t> data) {
+  const std::uint64_t h1 = fnv1a64(data);
+  const std::uint64_t h2 = fnv1a64(data, h1 ^ 0x9E3779B97F4A7C15ULL);
+  Digest::Bytes b{};
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::uint8_t>(h1 >> (8 * i));
+    b[8 + i] = static_cast<std::uint8_t>(h2 >> (8 * i));
+  }
+  return b;
+}
+
+}  // namespace
+
+Digest Digest::of_bytes(std::span<const std::uint8_t> data, DigestAlgo algo) {
+  if (algo == DigestAlgo::kMd5) return Digest(Md5::digest(data));
+  return Digest(widen_fnv(data));
+}
+
+Digest Digest::of_string(std::string_view s, DigestAlgo algo) {
+  return of_bytes(std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(s.data()),
+                      s.size()),
+                  algo);
+}
+
+Digest Digest::of_leaf(std::uint64_t right_edge, std::uint64_t version,
+                       DigestAlgo algo) {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(right_edge >> (8 * i));
+    buf[8 + i] = static_cast<std::uint8_t>(version >> (8 * i));
+  }
+  return of_bytes(std::span<const std::uint8_t>(buf, sizeof buf), algo);
+}
+
+Digest Digest::of_children(std::span<const Digest> children, DigestAlgo algo) {
+  if (algo == DigestAlgo::kMd5) {
+    Md5 ctx;
+    for (const Digest& c : children) {
+      ctx.update(std::span<const std::uint8_t>(c.bytes().data(),
+                                               c.bytes().size()));
+    }
+    return Digest(ctx.finish());
+  }
+  std::uint64_t h1 = kFnvOffset;
+  for (const Digest& c : children) {
+    h1 = fnv1a64(std::span<const std::uint8_t>(c.bytes().data(),
+                                               c.bytes().size()),
+                 h1);
+  }
+  // Second lane continues from the first for 128-bit layout.
+  std::uint64_t h2 = h1 ^ 0x9E3779B97F4A7C15ULL;
+  for (const Digest& c : children) {
+    h2 = fnv1a64(std::span<const std::uint8_t>(c.bytes().data(),
+                                               c.bytes().size()),
+                 h2);
+  }
+  Bytes b{};
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::uint8_t>(h1 >> (8 * i));
+    b[8 + i] = static_cast<std::uint8_t>(h2 >> (8 * i));
+  }
+  return Digest(b);
+}
+
+std::string Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const std::uint8_t b : bytes_) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace sst::hash

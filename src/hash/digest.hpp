@@ -1,0 +1,60 @@
+// digest.hpp — fixed-length subtree summary value type.
+//
+// The SSTP namespace hierarchy (paper Section 6.2) associates every node with
+// a fixed-length digest: for a leaf ADU, a function of its received byte
+// count ("right edge"); for an internal node, a hash over its children's
+// digests. Digest abstracts over the hash backend (MD5 per the paper, or
+// FNV-1a when speed matters more than strength).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sst::hash {
+
+/// Hash backend used to compute digests.
+enum class DigestAlgo : std::uint8_t {
+  kMd5 = 0,    // RFC 1321, as in the paper
+  kFnv1a = 1,  // fast non-cryptographic mode
+};
+
+/// 128-bit digest value. Equality comparison is the namespace-consistency
+/// primitive: equal digests mean the subtrees are (overwhelmingly likely)
+/// identical.
+class Digest {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Digest() : bytes_{} {}
+  explicit constexpr Digest(const Bytes& b) : bytes_(b) {}
+
+  /// Digest of a raw byte string.
+  static Digest of_bytes(std::span<const std::uint8_t> data, DigestAlgo algo);
+
+  /// Digest of a string.
+  static Digest of_string(std::string_view s, DigestAlgo algo);
+
+  /// Leaf digest per the paper: S(n) = right_edge(n), the count of bytes
+  /// transmitted from the ADU, mixed with the ADU's version so value updates
+  /// change the summary.
+  static Digest of_leaf(std::uint64_t right_edge, std::uint64_t version,
+                        DigestAlgo algo);
+
+  /// Internal-node digest per the paper: S(n) = h(S(c1), ..., S(ck)).
+  static Digest of_children(std::span<const Digest> children, DigestAlgo algo);
+
+  [[nodiscard]] const Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] std::string hex() const;
+
+  friend constexpr bool operator==(const Digest&, const Digest&) = default;
+  friend constexpr auto operator<=>(const Digest&, const Digest&) = default;
+
+ private:
+  Bytes bytes_;
+};
+
+}  // namespace sst::hash

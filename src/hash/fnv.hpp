@@ -1,0 +1,48 @@
+// fnv.hpp — FNV-1a 64-bit hash.
+//
+// Used for cheap, platform-independent hashing where cryptographic strength
+// is unnecessary: RNG stream derivation, hash-table keys, and the fast
+// (non-MD5) digest mode of the SSTP namespace tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sst::hash {
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over raw bytes, continuing from `h` (defaults to the offset basis)
+/// so multi-part inputs can be hashed incrementally.
+constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                                std::uint64_t h = kFnvOffset) {
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over a string.
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t h = kFnvOffset) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over one 64-bit value (little-endian byte order).
+constexpr std::uint64_t fnv1a64(std::uint64_t v,
+                                std::uint64_t h = kFnvOffset) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(v >> (8 * i));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace sst::hash

@@ -1,0 +1,62 @@
+// md5.hpp — RFC 1321 MD5 message digest, implemented from scratch.
+//
+// The paper's SSTP namespace (Section 6.2) computes a fixed-length summary of
+// each namespace subtree with a one-way hash and names MD5 explicitly. MD5 is
+// cryptographically broken for adversarial collision resistance, but for
+// state-summary comparison between cooperating endpoints it remains exactly
+// what the paper used; the namespace tree also supports a faster FNV mode.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sst::hash {
+
+/// 128-bit MD5 digest.
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/// Incremental MD5 context. update() may be called any number of times;
+/// finish() closes the stream and returns the digest. The context may be
+/// reused after reset().
+class Md5 {
+ public:
+  Md5() { reset(); }
+
+  /// Restores the initial state (as if freshly constructed).
+  void reset();
+
+  /// Absorbs `data` into the hash state.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Convenience overload for text.
+  void update(std::string_view s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  /// Applies padding and returns the digest. The context must be reset()
+  /// before further use.
+  Md5Digest finish();
+
+  /// One-shot digest of a byte span.
+  static Md5Digest digest(std::span<const std::uint8_t> data);
+
+  /// One-shot digest of a string.
+  static Md5Digest digest(std::string_view s);
+
+  /// Lowercase hex rendering of a digest (32 chars).
+  static std::string hex(const Md5Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace sst::hash

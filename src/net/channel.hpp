@@ -1,0 +1,116 @@
+// channel.hpp — lossy, delayed message channels.
+//
+// A Channel<M> carries messages of protocol type M from one sender to one or
+// more receivers, applying a LossModel and a DelayModel per receiver. The
+// channel does not rate-limit — bandwidth budgeting is the *sender's* job in
+// the soft state model (the sender's transmission scheduler is the "server"
+// of the paper's queueing model). For shared-bottleneck topologies, compose
+// with Link<M> (link.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "sim/units.hpp"
+
+namespace sst::net {
+
+/// Statistics a channel accumulates over its lifetime.
+struct ChannelStats {
+  std::uint64_t sent = 0;       // messages offered to the channel
+  std::uint64_t delivered = 0;  // per-receiver deliveries
+  std::uint64_t dropped = 0;    // per-receiver drops
+  double bytes_sent = 0;        // offered load in bytes
+
+  [[nodiscard]] double observed_loss_rate() const {
+    const std::uint64_t total = delivered + dropped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(dropped) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Point-to-multipoint lossy channel. Each receiver has its own independent
+/// loss and delay process (heterogeneous receivers, as in multicast
+/// sessions); loss is applied independently per receiver, matching the
+/// paper's "lost by one or more subscribers" channel.
+template <class M>
+class Channel {
+ public:
+  using Handler = std::function<void(const M&)>;
+
+  explicit Channel(sim::Simulator& sim, sim::Tracer tracer = {})
+      : sim_(&sim), tracer_(std::move(tracer)) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Adds a receiver endpoint. Returns its index (used in per-receiver
+  /// statistics). `loss` and `delay` must not be null.
+  std::size_t add_receiver(std::unique_ptr<LossModel> loss,
+                           std::unique_ptr<DelayModel> delay,
+                           Handler handler) {
+    receivers_.push_back(Endpoint{std::move(loss), std::move(delay),
+                                  std::move(handler), ChannelStats{}});
+    return receivers_.size() - 1;
+  }
+
+  /// Transmits `msg` of wire size `size` bytes toward every receiver.
+  /// Each receiver independently loses or receives the message after its
+  /// delay. The message is copied into the in-flight event (value semantics;
+  /// M should be cheap to copy or use shared immutable payloads).
+  void send(const M& msg, sim::Bytes size) {
+    ++stats_.sent;
+    stats_.bytes_sent += size;
+    for (auto& ep : receivers_) {
+      if (ep.loss->should_drop(sim_->now())) {
+        ++ep.stats.dropped;
+        ++stats_.dropped;
+        if (tracer_.enabled()) tracer_.emit(sim_->now(), "drop");
+        continue;
+      }
+      ++ep.stats.delivered;
+      ++stats_.delivered;
+      const sim::Duration d = ep.delay->delay(sim_->now());
+      // The endpoint owns its handler; the channel must outlive in-flight
+      // messages (channels live for the whole experiment by construction).
+      Handler& handler = ep.handler;
+      sim_->after(d, [&handler, msg] { handler(msg); });
+      if (tracer_.enabled()) tracer_.emit(sim_->now(), "tx");
+    }
+  }
+
+  /// Aggregate statistics across receivers.
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+
+  /// Per-receiver statistics.
+  [[nodiscard]] const ChannelStats& stats(std::size_t receiver) const {
+    return receivers_.at(receiver).stats;
+  }
+
+  [[nodiscard]] std::size_t receiver_count() const {
+    return receivers_.size();
+  }
+
+ private:
+  struct Endpoint {
+    std::unique_ptr<LossModel> loss;
+    std::unique_ptr<DelayModel> delay;
+    Handler handler;
+    ChannelStats stats;
+  };
+
+  sim::Simulator* sim_;
+  sim::Tracer tracer_;
+  std::vector<Endpoint> receivers_;
+  ChannelStats stats_;
+};
+
+}  // namespace sst::net

@@ -1,0 +1,67 @@
+// delay.hpp — propagation delay processes.
+//
+// Channels apply a per-packet delay. Fixed delay keeps packets ordered;
+// jittered delay can reorder them, which lets tests confirm the protocols'
+// ALF property (paper Section 3): no in-order delivery is assumed, so
+// reordering must not change the consistency results.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+#include "sim/units.hpp"
+
+namespace sst::net {
+
+/// Per-packet one-way latency process.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// One-way delay (seconds) applied to a packet sent at `now`.
+  virtual sim::Duration delay(sim::SimTime now) = 0;
+};
+
+/// Constant delay; preserves ordering.
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(sim::Duration d) : d_(d) {}
+  sim::Duration delay(sim::SimTime) override { return d_; }
+
+ private:
+  sim::Duration d_;
+};
+
+/// Base delay plus uniform jitter in [0, jitter); can reorder packets.
+class UniformJitterDelay final : public DelayModel {
+ public:
+  UniformJitterDelay(sim::Duration base, sim::Duration jitter, sim::Rng rng)
+      : base_(base), jitter_(std::max(jitter, 0.0)), rng_(rng) {}
+
+  sim::Duration delay(sim::SimTime) override {
+    return base_ + rng_.uniform() * jitter_;
+  }
+
+ private:
+  sim::Duration base_;
+  sim::Duration jitter_;
+  sim::Rng rng_;
+};
+
+/// Exponentially distributed delay above a floor (a crude WAN model).
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(sim::Duration floor, sim::Duration mean_extra, sim::Rng rng)
+      : floor_(floor), mean_extra_(mean_extra), rng_(rng) {}
+
+  sim::Duration delay(sim::SimTime) override {
+    return floor_ + rng_.exponential(mean_extra_);
+  }
+
+ private:
+  sim::Duration floor_;
+  sim::Duration mean_extra_;
+  sim::Rng rng_;
+};
+
+}  // namespace sst::net

@@ -1,0 +1,21 @@
+#include "net/loss.hpp"
+
+#include <algorithm>
+
+namespace sst::net {
+
+GilbertElliottLoss GilbertElliottLoss::with_mean(double mean,
+                                                 double mean_burst_len,
+                                                 sim::Rng rng) {
+  // With loss_good = 0 and loss_bad = 1, the long-run loss rate equals the
+  // stationary Bad probability pi = p_gb / (p_gb + p_bg), and the mean burst
+  // length is 1 / p_bg. Solve for the transition probabilities.
+  mean = std::clamp(mean, 0.0, 0.999);
+  mean_burst_len = std::max(mean_burst_len, 1.0);
+  const double p_bg = 1.0 / mean_burst_len;
+  // pi = p_gb / (p_gb + p_bg)  =>  p_gb = pi * p_bg / (1 - pi)
+  const double p_gb = mean >= 1.0 ? 1.0 : mean * p_bg / (1.0 - mean);
+  return GilbertElliottLoss(std::min(p_gb, 1.0), p_bg, 0.0, 1.0, rng);
+}
+
+}  // namespace sst::net

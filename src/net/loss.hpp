@@ -1,0 +1,170 @@
+// loss.hpp — packet loss processes.
+//
+// The paper's consistency metric is "insensitive to the exact pattern of
+// losses ... only affected by the mean of the packet loss process" (Section
+// 3). We provide Bernoulli loss (the analysis model) plus bursty
+// Gilbert-Elliott, deterministic-period, and trace-driven processes so that
+// claim is itself testable (tests/bench verify consistency depends only on
+// the mean rate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/units.hpp"
+
+namespace sst::net {
+
+/// A loss process decides, per transmission, whether the packet is dropped.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Returns true if the packet transmitted at `now` is lost.
+  virtual bool should_drop(sim::SimTime now) = 0;
+
+  /// Long-run average loss probability of this process (for reporting and
+  /// for the SSTP allocator's ground-truth comparisons).
+  [[nodiscard]] virtual double mean_rate() const = 0;
+};
+
+/// Independent (i.i.d.) loss with fixed probability — the paper's p_c.
+class BernoulliLoss final : public LossModel {
+ public:
+  BernoulliLoss(double p, sim::Rng rng) : p_(p), rng_(rng) {}
+
+  bool should_drop(sim::SimTime) override { return rng_.bernoulli(p_); }
+  [[nodiscard]] double mean_rate() const override { return p_; }
+
+ private:
+  double p_;
+  sim::Rng rng_;
+};
+
+/// Two-state Markov (Gilbert-Elliott) bursty loss.
+///
+/// In the Good state packets drop with probability `loss_good`, in Bad with
+/// `loss_bad`; the chain moves Good->Bad with `p_gb` and Bad->Good with
+/// `p_bg` per transmission.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_gb, double p_bg, double loss_good,
+                     double loss_bad, sim::Rng rng)
+      : p_gb_(p_gb),
+        p_bg_(p_bg),
+        loss_good_(loss_good),
+        loss_bad_(loss_bad),
+        rng_(rng) {}
+
+  /// Constructs a bursty process with a target mean loss rate and mean burst
+  /// length (in packets). The stationary Bad-state probability is chosen so
+  /// the long-run rate equals `mean` with loss_good=0, loss_bad=1.
+  static GilbertElliottLoss with_mean(double mean, double mean_burst_len,
+                                      sim::Rng rng);
+
+  bool should_drop(sim::SimTime) override {
+    if (bad_) {
+      if (rng_.bernoulli(p_bg_)) bad_ = false;
+    } else {
+      if (rng_.bernoulli(p_gb_)) bad_ = true;
+    }
+    return rng_.bernoulli(bad_ ? loss_bad_ : loss_good_);
+  }
+
+  [[nodiscard]] double mean_rate() const override {
+    const double pi_bad =
+        (p_gb_ + p_bg_) > 0 ? p_gb_ / (p_gb_ + p_bg_) : 0.0;
+    return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+  }
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+  sim::Rng rng_;
+};
+
+/// Drops every k-th packet exactly (deterministic rate 1/k). Useful for
+/// reproducible unit tests of recovery logic.
+class PeriodicLoss final : public LossModel {
+ public:
+  explicit PeriodicLoss(std::uint64_t every_kth) : k_(every_kth) {}
+
+  bool should_drop(sim::SimTime) override {
+    if (k_ == 0) return false;
+    return (++count_ % k_) == 0;
+  }
+
+  [[nodiscard]] double mean_rate() const override {
+    return k_ == 0 ? 0.0 : 1.0 / static_cast<double>(k_);
+  }
+
+ private:
+  std::uint64_t k_;
+  std::uint64_t count_ = 0;
+};
+
+/// Replays a recorded drop pattern; repeats from the start when exhausted.
+/// An empty pattern drops nothing.
+class TraceLoss final : public LossModel {
+ public:
+  explicit TraceLoss(std::vector<bool> drops) : drops_(std::move(drops)) {}
+
+  bool should_drop(sim::SimTime) override {
+    if (drops_.empty()) return false;
+    const bool d = drops_[pos_];
+    pos_ = (pos_ + 1) % drops_.size();
+    return d;
+  }
+
+  [[nodiscard]] double mean_rate() const override {
+    if (drops_.empty()) return 0.0;
+    std::uint64_t n = 0;
+    for (const bool d : drops_) n += d ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(drops_.size());
+  }
+
+ private:
+  std::vector<bool> drops_;
+  std::size_t pos_ = 0;
+};
+
+/// Never drops. Handy default.
+class NoLoss final : public LossModel {
+ public:
+  bool should_drop(sim::SimTime) override { return false; }
+  [[nodiscard]] double mean_rate() const override { return 0.0; }
+};
+
+/// Failure injection: total outage (partition) during configured time
+/// windows, delegating to a base process otherwise. Windows are half-open
+/// [start, end) and must be non-overlapping and sorted.
+class OutageLoss final : public LossModel {
+ public:
+  using Window = std::pair<sim::SimTime, sim::SimTime>;
+
+  OutageLoss(std::unique_ptr<LossModel> base, std::vector<Window> outages)
+      : base_(std::move(base)), outages_(std::move(outages)) {}
+
+  bool should_drop(sim::SimTime now) override {
+    while (next_ < outages_.size() && now >= outages_[next_].second) {
+      ++next_;
+    }
+    if (next_ < outages_.size() && now >= outages_[next_].first) return true;
+    return base_->should_drop(now);
+  }
+
+  /// Base process rate; outages are transients, not part of the mean.
+  [[nodiscard]] double mean_rate() const override {
+    return base_->mean_rate();
+  }
+
+ private:
+  std::unique_ptr<LossModel> base_;
+  std::vector<Window> outages_;
+  std::size_t next_ = 0;  // first window not yet ended
+};
+
+}  // namespace sst::net

@@ -1,0 +1,75 @@
+#include "sched/drr.hpp"
+
+#include <algorithm>
+
+namespace sst::sched {
+
+std::size_t DrrScheduler::pick(std::span<const double> head_bits) {
+  const std::size_t n = std::min(weights_.size(), head_bits.size());
+  if (n == 0) return kNone;
+
+  bool any = false;
+  bool any_weighted = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (head_bits[i] >= 0.0) {
+      any = true;
+      if (weights_[i] > 0.0) any_weighted = true;
+    } else {
+      deficit_[i] = 0.0;  // idle classes may not bank credit
+    }
+  }
+  if (!any) return kNone;
+  if (!any_weighted) {
+    // Only zero-weight classes are backlogged; serve the first one so the
+    // scheduler stays work-conserving.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (head_bits[i] >= 0.0) return i;
+    }
+  }
+
+  // Standard DRR adapted to one-packet-per-call service: the class holding
+  // the round-robin token sends while its deficit covers its head packet;
+  // when it cannot, the token moves to the next backlogged class, which is
+  // replenished by weight * quantum exactly once per token arrival.
+  //
+  // The visit bound covers the worst case where every backlogged class needs
+  // head/(weight*quantum) token arrivals before it can send.
+  double min_wq = 1e300;
+  double max_head = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (head_bits[i] < 0.0 || weights_[i] <= 0.0) continue;
+    min_wq = std::min(min_wq, weights_[i] * quantum_bits_);
+    max_head = std::max(max_head, head_bits[i]);
+  }
+  const auto rounds =
+      static_cast<std::size_t>(max_head / std::max(min_wq, 1e-12)) + 2;
+  const std::size_t bound = std::min<std::size_t>(n * rounds, 1u << 20);
+
+  for (std::size_t visits = 0; visits < bound; ++visits) {
+    const std::size_t i = cursor_ % n;
+    if (head_bits[i] >= 0.0 && weights_[i] > 0.0 &&
+        deficit_[i] >= head_bits[i]) {
+      deficit_[i] -= head_bits[i];
+      return i;  // token stays: the class may send again next call
+    }
+    // Move the token to the next backlogged, weighted class and replenish it.
+    std::size_t next = (cursor_ + 1) % n;
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t j = (cursor_ + 1 + step) % n;
+      if (head_bits[j] >= 0.0 && weights_[j] > 0.0) {
+        next = j;
+        break;
+      }
+    }
+    cursor_ = next;
+    deficit_[next] += weights_[next] * quantum_bits_;
+  }
+
+  // Pathological weights: fall back to the first backlogged class.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (head_bits[i] >= 0.0) return i;
+  }
+  return kNone;
+}
+
+}  // namespace sst::sched

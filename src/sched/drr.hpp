@@ -1,0 +1,44 @@
+// drr.hpp — deficit round robin (Shreedhar & Varghese).
+#pragma once
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace sst::sched {
+
+/// O(1) proportional share: classes are visited in round-robin order; each
+/// visit adds weight*quantum bits of credit, and a class may transmit while
+/// its head packet fits in its accumulated deficit. Credit of idle classes is
+/// discarded (no banking).
+class DrrScheduler final : public Scheduler {
+ public:
+  /// `quantum_bits` is the base credit per round for a weight-1.0 class; it
+  /// should be at least the largest packet size for O(1) behaviour.
+  explicit DrrScheduler(double quantum_bits = 12000.0)
+      : quantum_bits_(quantum_bits) {}
+
+  std::size_t add_class(double weight) override {
+    weights_.push_back(weight > 0 ? weight : 0.0);
+    deficit_.push_back(0.0);
+    return weights_.size() - 1;
+  }
+
+  void set_weight(std::size_t cls, double weight) override {
+    weights_.at(cls) = weight > 0 ? weight : 0.0;
+  }
+
+  [[nodiscard]] std::size_t classes() const override {
+    return weights_.size();
+  }
+
+  std::size_t pick(std::span<const double> head_bits) override;
+
+ private:
+  double quantum_bits_;
+  std::vector<double> weights_;
+  std::vector<double> deficit_;
+  std::size_t cursor_ = 0;  // class currently holding the round-robin token
+};
+
+}  // namespace sst::sched

@@ -1,0 +1,112 @@
+#include "sched/hierarchical.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sst::sched {
+
+std::size_t HierarchicalScheduler::add_group(std::size_t parent,
+                                             double weight) {
+  if (parent >= nodes_.size() || !is_group(parent)) {
+    throw std::invalid_argument("add_group: parent is not a group");
+  }
+  Node n;
+  n.parent = parent;
+  n.weight = weight > 0 ? weight : kMinWeight;
+  nodes_.push_back(n);
+  const std::size_t id = nodes_.size() - 1;
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+std::size_t HierarchicalScheduler::add_class_in(std::size_t group,
+                                                double weight) {
+  if (group >= nodes_.size() || !is_group(group)) {
+    throw std::invalid_argument("add_class_in: parent is not a group");
+  }
+  Node n;
+  n.parent = group;
+  n.weight = weight > 0 ? weight : kMinWeight;
+  n.leaf_class = leaf_of_class_.size();
+  nodes_.push_back(n);
+  const std::size_t id = nodes_.size() - 1;
+  nodes_[group].children.push_back(id);
+  leaf_of_class_.push_back(id);
+  return n.leaf_class;
+}
+
+void HierarchicalScheduler::set_weight(std::size_t cls, double weight) {
+  nodes_[leaf_of_class_.at(cls)].weight = weight > 0 ? weight : kMinWeight;
+}
+
+void HierarchicalScheduler::set_group_weight(std::size_t group,
+                                             double weight) {
+  if (group >= nodes_.size() || !is_group(group) || group == kRoot) {
+    throw std::invalid_argument("set_group_weight: bad group");
+  }
+  nodes_[group].weight = weight > 0 ? weight : kMinWeight;
+}
+
+bool HierarchicalScheduler::compute_backlog(
+    std::size_t node, std::span<const double> head_bits,
+    std::vector<bool>& backlog) const {
+  const Node& n = nodes_[node];
+  bool any = false;
+  if (n.leaf_class != kNone) {
+    any = n.leaf_class < head_bits.size() && head_bits[n.leaf_class] >= 0.0;
+  } else {
+    for (const std::size_t c : n.children) {
+      // Evaluate all children (no short-circuit) so the whole subtree's
+      // backlog flags are refreshed.
+      const bool child_any = compute_backlog(c, head_bits, backlog);
+      any = any || child_any;
+    }
+  }
+  backlog[node] = any;
+  return any;
+}
+
+std::size_t HierarchicalScheduler::pick(std::span<const double> head_bits) {
+  std::vector<bool> backlog(nodes_.size(), false);
+  if (!compute_backlog(kRoot, head_bits, backlog)) return kNone;
+
+  // Descend from the root, running one stride decision per level.
+  std::size_t node = kRoot;
+  while (is_group(node)) {
+    Node& g = nodes_[node];
+    std::size_t best = kNone;
+    for (const std::size_t c : g.children) {
+      Node& child = nodes_[c];
+      const bool now_backlogged = backlog[c];
+      if (now_backlogged && !child.backlogged) {
+        child.pass = std::max(child.pass, g.vtime);
+      }
+      child.backlogged = now_backlogged;
+      if (!now_backlogged) continue;
+      if (best == kNone || child.pass < nodes_[best].pass) best = c;
+    }
+    // compute_backlog guaranteed some child is backlogged.
+    g.vtime = nodes_[best].pass;
+    node = best;
+  }
+
+  // Charge the leaf's size along the path from leaf to root.
+  const std::size_t cls = nodes_[node].leaf_class;
+  const double bits = head_bits[cls];
+  for (std::size_t n = node; n != kRoot; n = nodes_[n].parent) {
+    nodes_[n].pass += bits / nodes_[n].weight;
+    if (nodes_[n].pass > 1e15) {
+      // Renormalize this sibling group to avoid unbounded drift.
+      Node& parent = nodes_[nodes_[n].parent];
+      double floor = nodes_[n].pass;
+      for (const std::size_t c : parent.children) {
+        floor = std::min(floor, nodes_[c].pass);
+      }
+      for (const std::size_t c : parent.children) nodes_[c].pass -= floor;
+      parent.vtime = std::max(0.0, parent.vtime - floor);
+    }
+  }
+  return cls;
+}
+
+}  // namespace sst::sched

@@ -1,0 +1,83 @@
+// hierarchical.hpp — CBQ-style hierarchical link sharing.
+//
+// SSTP's application-controlled bandwidth allocation (paper Section 6.1,
+// Figure 12) hangs data classes off an allocation tree — e.g. session
+// bandwidth split {data, feedback}, data split {hot, cold}, hot split by
+// application priority class — and cites CBQ [19] and H-FSC [47]. This
+// scheduler implements that tree: every internal node runs stride scheduling
+// over its children, so bandwidth unused by one subtree is recursively
+// borrowed by its siblings (link sharing), while backlogged subtrees split
+// capacity by weight.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace sst::sched {
+
+/// Hierarchical proportional-share scheduler.
+///
+/// Groups form a tree rooted at group 0 (pre-created). Leaf classes are the
+/// externally visible scheduling classes, numbered densely in creation order
+/// (these indices are what pick() returns and what head_bits indexes).
+class HierarchicalScheduler final : public Scheduler {
+ public:
+  HierarchicalScheduler() {
+    nodes_.push_back(Node{});  // root group
+  }
+
+  /// Root group id.
+  static constexpr std::size_t kRoot = 0;
+
+  /// Adds a child group under `parent` with the given weight among its
+  /// siblings. Returns the new group id.
+  std::size_t add_group(std::size_t parent, double weight);
+
+  /// Adds a leaf class under `group`. Returns the external class index.
+  std::size_t add_class_in(std::size_t group, double weight);
+
+  /// Scheduler interface: adds a leaf class directly under the root.
+  std::size_t add_class(double weight) override {
+    return add_class_in(kRoot, weight);
+  }
+
+  /// Updates a leaf class's weight.
+  void set_weight(std::size_t cls, double weight) override;
+
+  /// Updates a group's weight among its siblings.
+  void set_group_weight(std::size_t group, double weight);
+
+  [[nodiscard]] std::size_t classes() const override {
+    return leaf_of_class_.size();
+  }
+
+  std::size_t pick(std::span<const double> head_bits) override;
+
+ private:
+  struct Node {
+    std::size_t parent = kNone;
+    double weight = 1.0;
+    double pass = 0.0;       // stride pass among siblings
+    bool backlogged = false; // backlog state at last pick (for idle-sync)
+    double vtime = 0.0;      // virtual time of this node's child scheduler
+    std::vector<std::size_t> children;
+    std::size_t leaf_class = kNone;  // external index if this is a leaf
+  };
+
+  static constexpr double kMinWeight = 1e-9;
+
+  [[nodiscard]] bool is_group(std::size_t node) const {
+    return nodes_[node].leaf_class == kNone;
+  }
+
+  // Recomputes, bottom-up, whether each node has a backlogged leaf below it.
+  bool compute_backlog(std::size_t node, std::span<const double> head_bits,
+                       std::vector<bool>& backlog) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> leaf_of_class_;  // external class -> node id
+};
+
+}  // namespace sst::sched

@@ -1,0 +1,40 @@
+#include "sched/lottery.hpp"
+
+namespace sst::sched {
+
+std::size_t LotteryScheduler::pick(std::span<const double> head_bits) {
+  // Tickets are compensated by head-of-line packet size (the analogue of
+  // Waldspurger's compensation tickets for partial quanta): a class whose
+  // packets are k times larger draws with 1/k the probability, so its
+  // long-run BYTE share — which is what bandwidth allocation means — still
+  // equals its weight.
+  const std::size_t n = std::min(weights_.size(), head_bits.size());
+  auto tickets = [&](std::size_t i) {
+    return weights_[i] / (head_bits[i] > 0.0 ? head_bits[i] : 1.0);
+  };
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (head_bits[i] >= 0.0) total += tickets(i);
+  }
+  if (total <= 0.0) {
+    // No weighted backlogged class; fall back to first backlogged class so a
+    // zero-weight class still drains (work conservation).
+    for (std::size_t i = 0; i < head_bits.size(); ++i) {
+      if (head_bits[i] >= 0.0) return i;
+    }
+    return kNone;
+  }
+  double ticket = rng_.uniform() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (head_bits[i] < 0.0) continue;
+    ticket -= tickets(i);
+    if (ticket < 0.0) return i;
+  }
+  // Floating-point slack: return the last backlogged class.
+  for (std::size_t i = head_bits.size(); i-- > 0;) {
+    if (head_bits[i] >= 0.0) return i;
+  }
+  return kNone;
+}
+
+}  // namespace sst::sched

@@ -1,0 +1,38 @@
+// lottery.hpp — randomized lottery scheduling (Waldspurger & Weihl, OSDI '94).
+#pragma once
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/random.hpp"
+
+namespace sst::sched {
+
+/// Each class holds tickets proportional to its weight; every service
+/// opportunity draws a winning ticket among backlogged classes.
+/// Probabilistically fair; variance shrinks as 1/sqrt(n) over n picks.
+class LotteryScheduler final : public Scheduler {
+ public:
+  explicit LotteryScheduler(sim::Rng rng) : rng_(rng) {}
+
+  std::size_t add_class(double weight) override {
+    weights_.push_back(weight > 0 ? weight : 0.0);
+    return weights_.size() - 1;
+  }
+
+  void set_weight(std::size_t cls, double weight) override {
+    weights_.at(cls) = weight > 0 ? weight : 0.0;
+  }
+
+  [[nodiscard]] std::size_t classes() const override {
+    return weights_.size();
+  }
+
+  std::size_t pick(std::span<const double> head_bits) override;
+
+ private:
+  std::vector<double> weights_;
+  sim::Rng rng_;
+};
+
+}  // namespace sst::sched

@@ -1,0 +1,53 @@
+// scheduler.hpp — proportional-share selection among transmission queues.
+//
+// The two-queue protocol (paper Section 4) splits the sender's data bandwidth
+// between a "hot" queue of new items and a "cold" queue of previously sent
+// items, "shared proportionally (e.g., using a randomized lottery scheduler,
+// weighted fair queueing or stride scheduling)". This module provides those
+// exact disciplines behind one interface so experiments can verify the
+// results are discipline-independent (they are; see tests and the ablation
+// bench).
+//
+// Protocol model: the caller owns the queues and the service loop. On each
+// service opportunity it calls pick() with the head-of-line packet size (in
+// bits) of every class; the scheduler selects a class, internally charges the
+// service, and returns the class index.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace sst::sched {
+
+/// Returned by pick() when no class is backlogged.
+inline constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// Sentinel head size meaning "class has no packet queued".
+inline constexpr double kEmpty = -1.0;
+
+/// Work-conserving proportional-share scheduler over a fixed set of classes.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Registers a class with the given weight (> 0); returns its index.
+  /// All classes must be added before the first pick().
+  virtual std::size_t add_class(double weight) = 0;
+
+  /// Updates a class's weight. Takes effect on the next pick.
+  virtual void set_weight(std::size_t cls, double weight) = 0;
+
+  /// Number of registered classes.
+  [[nodiscard]] virtual std::size_t classes() const = 0;
+
+  /// Selects the next class to serve. `head_bits[i]` is the size (bits) of
+  /// class i's head-of-line packet, or kEmpty (< 0) if class i is idle.
+  /// Returns the chosen class (whose service is charged internally) or kNone
+  /// if every class is idle. Work-conserving: an idle class's share flows to
+  /// backlogged classes ("unused excess hot bandwidth is consumed by
+  /// transmissions from the cold queue", Section 4).
+  virtual std::size_t pick(std::span<const double> head_bits) = 0;
+};
+
+}  // namespace sst::sched

@@ -1,0 +1,38 @@
+#include "sched/stride.hpp"
+
+#include <algorithm>
+
+namespace sst::sched {
+
+std::size_t StrideScheduler::pick(std::span<const double> head_bits) {
+  const std::size_t n = std::min(weights_.size(), head_bits.size());
+
+  // Track idle->backlogged transitions: a returning class may not reuse the
+  // virtual time it "saved" while idle.
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool now_backlogged = head_bits[i] >= 0.0;
+    if (now_backlogged && !backlogged_[i]) {
+      pass_[i] = std::max(pass_[i], vtime_);
+    }
+    backlogged_[i] = now_backlogged;
+  }
+
+  std::size_t best = kNone;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (head_bits[i] < 0.0) continue;
+    if (best == kNone || pass_[i] < pass_[best]) best = i;
+  }
+  if (best == kNone) return kNone;
+
+  vtime_ = pass_[best];
+  pass_[best] += head_bits[best] / weights_[best];
+
+  // Prevent unbounded drift over very long runs.
+  if (vtime_ > 1e15) {
+    for (auto& p : pass_) p -= vtime_;
+    vtime_ = 0.0;
+  }
+  return best;
+}
+
+}  // namespace sst::sched

@@ -1,0 +1,47 @@
+// stride.hpp — deterministic stride scheduling (Waldspurger & Weihl, 1995).
+#pragma once
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace sst::sched {
+
+/// Deterministic proportional share: each class advances a virtual "pass" by
+/// size/weight per service; the backlogged class with the minimum pass is
+/// served next. Bounded allocation error of one quantum per class.
+///
+/// Packet sizes are charged, so byte-level (not just packet-level) fairness
+/// holds even with mixed packet sizes. A class that returns from idle has its
+/// pass synced up to the current virtual time, so idling never banks credit.
+class StrideScheduler final : public Scheduler {
+ public:
+  std::size_t add_class(double weight) override {
+    weights_.push_back(weight > 0 ? weight : kMinWeight);
+    pass_.push_back(0.0);
+    backlogged_.push_back(false);
+    return weights_.size() - 1;
+  }
+
+  void set_weight(std::size_t cls, double weight) override {
+    weights_.at(cls) = weight > 0 ? weight : kMinWeight;
+  }
+
+  [[nodiscard]] std::size_t classes() const override {
+    return weights_.size();
+  }
+
+  std::size_t pick(std::span<const double> head_bits) override;
+
+ private:
+  // A zero weight would make a class's stride infinite; starve it softly
+  // instead so it still drains when alone (work conservation).
+  static constexpr double kMinWeight = 1e-9;
+
+  std::vector<double> weights_;
+  std::vector<double> pass_;
+  std::vector<bool> backlogged_;  // backlog state at last pick
+  double vtime_ = 0.0;            // pass of the most recently served class
+};
+
+}  // namespace sst::sched

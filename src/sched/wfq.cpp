@@ -1,0 +1,33 @@
+#include "sched/wfq.hpp"
+
+#include <algorithm>
+
+namespace sst::sched {
+
+std::size_t WfqScheduler::pick(std::span<const double> head_bits) {
+  const std::size_t n = std::min(weights_.size(), head_bits.size());
+
+  // Start tag of each backlogged head packet.
+  std::size_t best = kNone;
+  double best_start = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (head_bits[i] < 0.0) continue;
+    const double start = std::max(vtime_, finish_[i]);
+    if (best == kNone || start < best_start) {
+      best = i;
+      best_start = start;
+    }
+  }
+  if (best == kNone) return kNone;
+
+  vtime_ = best_start;
+  finish_[best] = best_start + head_bits[best] / weights_[best];
+
+  if (vtime_ > 1e15) {
+    for (auto& f : finish_) f -= vtime_;
+    vtime_ = 0.0;
+  }
+  return best;
+}
+
+}  // namespace sst::sched

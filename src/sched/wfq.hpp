@@ -1,0 +1,43 @@
+// wfq.hpp — weighted fair queueing (start-time fair queueing variant).
+//
+// Demers/Keshav/Shenker fair queueing [17] approximated with Goyal's
+// start-time fair queueing: each packet gets a start tag max(v, class finish)
+// and a finish tag start + size/weight; the scheduler serves the minimum
+// start tag and advances the system virtual time to it. SFQ keeps WFQ's
+// fairness bounds without simulating the fluid GPS reference.
+#pragma once
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace sst::sched {
+
+/// Start-time fair queueing over head-of-line packets.
+class WfqScheduler final : public Scheduler {
+ public:
+  std::size_t add_class(double weight) override {
+    weights_.push_back(weight > 0 ? weight : kMinWeight);
+    finish_.push_back(0.0);
+    return weights_.size() - 1;
+  }
+
+  void set_weight(std::size_t cls, double weight) override {
+    weights_.at(cls) = weight > 0 ? weight : kMinWeight;
+  }
+
+  [[nodiscard]] std::size_t classes() const override {
+    return weights_.size();
+  }
+
+  std::size_t pick(std::span<const double> head_bits) override;
+
+ private:
+  static constexpr double kMinWeight = 1e-9;
+
+  std::vector<double> weights_;
+  std::vector<double> finish_;  // finish tag of each class's last served pkt
+  double vtime_ = 0.0;
+};
+
+}  // namespace sst::sched

@@ -1,0 +1,22 @@
+// event.hpp — the basic unit of work in the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/units.hpp"
+
+namespace sst::sim {
+
+/// Opaque handle identifying a scheduled event. Valid until the event fires
+/// or is cancelled. Id 0 is never issued and means "no event".
+using EventId = std::uint64_t;
+
+/// Sentinel for "no event scheduled".
+inline constexpr EventId kNoEvent = 0;
+
+/// Callback invoked when an event fires. Runs with the simulator clock set to
+/// the event's timestamp; it may schedule or cancel further events.
+using EventFn = std::function<void()>;
+
+}  // namespace sst::sim

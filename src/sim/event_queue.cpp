@@ -1,0 +1,100 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace sst::sim {
+
+// Min-heap ordering: earlier time first, then earlier insertion.
+static bool entry_before(SimTime at, std::uint64_t as, SimTime bt,
+                         std::uint64_t bs) {
+  if (at != bt) return at < bt;
+  return as < bs;
+}
+
+EventId EventQueue::schedule(SimTime when, EventFn fn) {
+  const EventId id = next_id_++;
+  callbacks_.emplace(id, std::move(fn));
+  heap_.push_back(Entry{when, next_seq_++, id});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kNoEvent) return false;
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_top() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+std::optional<SimTime> EventQueue::next_time() const {
+  drop_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().time;
+}
+
+std::optional<EventQueue::Fired> EventQueue::pop() {
+  drop_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  Entry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  auto it = callbacks_.find(top.id);
+  Fired fired{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  callbacks_.clear();
+  live_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) const {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (entry_before(heap_[i].time, heap_[i].seq, heap_[parent].time,
+                     heap_[parent].seq)) {
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    } else {
+      break;
+    }
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < n && entry_before(heap_[l].time, heap_[l].seq, heap_[smallest].time,
+                              heap_[smallest].seq)) {
+      smallest = l;
+    }
+    if (r < n && entry_before(heap_[r].time, heap_[r].seq, heap_[smallest].time,
+                              heap_[smallest].seq)) {
+      smallest = r;
+    }
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace sst::sim

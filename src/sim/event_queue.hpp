@@ -1,0 +1,76 @@
+// event_queue.hpp — pending-event set for the discrete-event engine.
+//
+// A binary min-heap ordered by (time, insertion sequence). Ties on time are
+// broken by insertion order so runs are fully deterministic. Cancellation is
+// lazy: cancelled entries are tombstoned and skipped on pop, which keeps both
+// schedule and cancel at O(log n) amortized without heap surgery.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/units.hpp"
+
+namespace sst::sim {
+
+/// Priority queue of timestamped callbacks.
+///
+/// Not thread-safe; the simulation is single-threaded by design (determinism
+/// is a feature: every experiment in the paper reproduction is replayable
+/// from its seed).
+class EventQueue {
+ public:
+  /// Schedules `fn` to fire at absolute time `when`. Returns a handle that can
+  /// be used to cancel the event before it fires.
+  EventId schedule(SimTime when, EventFn fn);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  /// Cancelling an already-fired, already-cancelled, or kNoEvent id is a no-op
+  /// returning false.
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events pending.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event, if any.
+  [[nodiscard]] std::optional<SimTime> next_time() const;
+
+  /// Removes and returns the earliest live event. Returns nullopt if empty.
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  std::optional<Fired> pop();
+
+  /// Discards all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // insertion order; tie-break for determinism
+    EventId id;
+  };
+
+  // The sift helpers and tombstone purge are logically const: they reorder
+  // the mutable heap without changing observable state (liveness is defined
+  // by callbacks_).
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  void drop_cancelled_top() const;
+
+  mutable std::vector<Entry> heap_;
+  std::unordered_map<EventId, EventFn> callbacks_;  // absent => cancelled
+  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sst::sim

@@ -1,0 +1,95 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+#include "hash/fnv.hpp"
+
+namespace sst::sim {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::Rng(const std::uint64_t (&state)[4]) {
+  for (int i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
+Rng Rng::fork(std::string_view tag, std::uint64_t index) const {
+  // Mix the parent state with a hash of (tag, index) so sibling streams are
+  // decorrelated. FNV-1a over the tag gives platform-independent derivation.
+  std::uint64_t h = hash::fnv1a64(tag);
+  std::uint64_t sm = s_[0] ^ rotl(s_[3], 17) ^ h ^ (index * 0x9E3779B97F4A7C15ULL);
+  std::uint64_t child[4];
+  for (auto& s : child) s = splitmix64(sm);
+  return Rng(child);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  // Lemire's multiply-shift rejection method for unbiased bounded draws.
+  if (n == 0) return 0;
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) return 0.0;
+  // uniform() is in [0,1); 1-u is in (0,1] so log() is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+std::uint64_t Rng::geometric(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return ~0ULL;
+  const double u = 1.0 - uniform();  // (0,1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Rng::pareto(double alpha, double xm) {
+  if (alpha <= 0.0 || xm <= 0.0) return 0.0;
+  const double u = 1.0 - uniform();  // (0,1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+}  // namespace sst::sim

@@ -1,0 +1,33 @@
+#include "sim/simulator.hpp"
+
+namespace sst::sim {
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t count = 0;
+  while (true) {
+    const auto next = queue_.next_time();
+    if (!next || *next > deadline) break;
+    auto fired = queue_.pop();
+    now_ = fired->time;
+    fired->fn();
+    ++fired_;
+    ++count;
+  }
+  // The clock still advances to the deadline even if no event lands on it,
+  // so back-to-back run_until calls observe monotonic time.
+  if (deadline > now_ && deadline < std::numeric_limits<SimTime>::infinity()) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+bool Simulator::step() {
+  auto fired = queue_.pop();
+  if (!fired) return false;
+  now_ = fired->time;
+  fired->fn();
+  ++fired_;
+  return true;
+}
+
+}  // namespace sst::sim

@@ -1,0 +1,75 @@
+// simulator.hpp — the discrete-event simulation kernel.
+//
+// An ns-2-style virtual-time engine: components schedule callbacks on the
+// shared clock, the kernel fires them in timestamp order, and time advances
+// instantaneously between events. Everything in this reproduction — channels,
+// protocol timers, workload arrival processes, measurement sampling — runs on
+// one Simulator instance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/units.hpp"
+
+namespace sst::sim {
+
+/// Single-threaded deterministic discrete-event simulator.
+///
+/// Usage:
+///   Simulator sim;
+///   sim.after(1.0, [&]{ ... });   // relative scheduling
+///   sim.run_until(100.0);          // drive the clock
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`. Scheduling in the past (or at the
+  /// current instant) fires the event at the current time, after all events
+  /// already scheduled for that time (FIFO among ties).
+  EventId at(SimTime when, EventFn fn) {
+    if (when < now_) when = now_;
+    return queue_.schedule(when, std::move(fn));
+  }
+
+  /// Schedules `fn` to fire `delay` seconds from now (negative clamps to 0).
+  EventId after(Duration delay, EventFn fn) {
+    return at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Cancels a pending event; returns true if it was still pending.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains or the clock passes `deadline`.
+  /// Events scheduled exactly at `deadline` are fired. Returns the number of
+  /// events fired by this call.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until the event queue drains. Returns the number of events fired.
+  std::uint64_t run() {
+    return run_until(std::numeric_limits<SimTime>::infinity());
+  }
+
+  /// Fires at most one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events fired over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace sst::sim

@@ -1,0 +1,99 @@
+// timer.hpp — RAII timers on top of the simulator.
+//
+// Soft state lives and dies by timers: senders run periodic announcement
+// timers, receivers run expiration timers that are reset on each refresh.
+// These helpers make both patterns safe (no dangling events after the owner
+// is destroyed) and cheap to restart.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace sst::sim {
+
+/// One-shot timer. Destroying or re-arming the timer cancels the pending
+/// callback, so a Timer member can never fire into a destroyed owner.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_(&sim) {}
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms (or re-arms) the timer to fire `delay` seconds from now.
+  /// A previously pending shot is cancelled — this is the "refresh resets the
+  /// expiry timer" primitive of the announce/listen model.
+  void arm(Duration delay, std::function<void()> fn) {
+    cancel();
+    fn_ = std::move(fn);
+    id_ = sim_->after(delay, [this] {
+      id_ = kNoEvent;
+      // Move out so fn_ may re-arm this very timer from inside the callback.
+      auto fn = std::move(fn_);
+      fn_ = nullptr;
+      fn();
+    });
+  }
+
+  /// Cancels any pending shot. Safe to call when idle.
+  void cancel() {
+    if (id_ != kNoEvent) {
+      sim_->cancel(id_);
+      id_ = kNoEvent;
+      fn_ = nullptr;
+    }
+  }
+
+  /// True if a shot is pending.
+  [[nodiscard]] bool pending() const { return id_ != kNoEvent; }
+
+ private:
+  Simulator* sim_;
+  EventId id_ = kNoEvent;
+  std::function<void()> fn_;
+};
+
+/// Periodic timer: fires `fn` every `period()` seconds until stopped.
+/// The period may be changed between firings (adaptive refresh intervals).
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(Simulator& sim) : timer_(sim) {}
+
+  /// Starts firing every `period` seconds; first firing after one period.
+  /// Restarting while running re-phases the timer.
+  void start(Duration period, std::function<void()> fn) {
+    period_ = period;
+    fn_ = std::move(fn);
+    schedule_next();
+  }
+
+  /// Stops firing. Safe to call when idle.
+  void stop() { timer_.cancel(); }
+
+  /// Updates the period; takes effect after the next firing (or immediately
+  /// re-phases if `rephase` is true).
+  void set_period(Duration period, bool rephase = false) {
+    period_ = period;
+    if (rephase && timer_.pending()) schedule_next();
+  }
+
+  [[nodiscard]] Duration period() const { return period_; }
+  [[nodiscard]] bool running() const { return timer_.pending(); }
+
+ private:
+  void schedule_next() {
+    timer_.arm(period_, [this] {
+      schedule_next();
+      fn_();
+    });
+  }
+
+  Timer timer_;
+  Duration period_ = 1.0;
+  std::function<void()> fn_;
+};
+
+}  // namespace sst::sim

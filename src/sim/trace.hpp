@@ -1,0 +1,105 @@
+// trace.hpp — lightweight structured event tracing.
+//
+// Protocol components emit trace records ("tx", "rx", "drop", "expire", ...)
+// tagged with the simulation time. A TraceSink either discards them (the
+// default — tracing must cost nothing when off), collects them for test
+// assertions, or streams them to a FILE for debugging a run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace sst::sim {
+
+/// One trace record.
+struct TraceRecord {
+  SimTime time = 0.0;
+  std::string component;  // e.g. "channel", "sender.hot"
+  std::string event;      // e.g. "tx", "drop"
+  std::string detail;     // free-form, e.g. "key=42 ver=3"
+};
+
+/// Destination for trace records.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceRecord& rec) = 0;
+};
+
+/// Discards everything (default).
+class NullTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceRecord&) override {}
+};
+
+/// Buffers records in memory; used by tests to assert on protocol behaviour.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceRecord& rec) override { records_.push_back(rec); }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+
+  /// Count of records matching component/event (empty matches anything).
+  [[nodiscard]] std::size_t count(std::string_view component,
+                                  std::string_view event) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+      if (!component.empty() && r.component != component) continue;
+      if (!event.empty() && r.event != event) continue;
+      ++n;
+    }
+    return n;
+  }
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Streams one line per record to a FILE (e.g. stderr).
+class FileTraceSink final : public TraceSink {
+ public:
+  /// Does not take ownership of `out`; it must outlive the sink.
+  explicit FileTraceSink(std::FILE* out) : out_(out) {}
+
+  void emit(const TraceRecord& rec) override {
+    std::fprintf(out_, "%12.6f %-16s %-8s %s\n", rec.time,
+                 rec.component.c_str(), rec.event.c_str(), rec.detail.c_str());
+  }
+
+ private:
+  std::FILE* out_;
+};
+
+/// Convenience handle components hold: emits into a sink with a fixed
+/// component name, or does nothing when no sink is installed.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(TraceSink* sink, std::string component)
+      : sink_(sink), component_(std::move(component)) {}
+
+  /// True when emitting is worthwhile; lets callers skip building detail
+  /// strings on the fast path.
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+
+  void emit(SimTime time, std::string_view event,
+            std::string detail = {}) const {
+    if (sink_ == nullptr) return;
+    sink_->emit(TraceRecord{time, component_, std::string(event),
+                            std::move(detail)});
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;  // not owned
+  std::string component_;
+};
+
+}  // namespace sst::sim

@@ -1,0 +1,45 @@
+// units.hpp — simulation time and bandwidth unit helpers.
+//
+// All rates in the library are carried in bits per second (double) and all
+// times in seconds (double). The paper quotes workloads and channel capacities
+// in kbps; the helpers below make call sites read like the paper
+// (e.g. `kbps(45)` for the 45 kbps data channel of Figure 5).
+#pragma once
+
+#include <cstdint>
+
+namespace sst::sim {
+
+/// Simulation time in seconds since the start of the run.
+using SimTime = double;
+
+/// Bandwidth in bits per second.
+using Rate = double;
+
+/// A duration in seconds.
+using Duration = double;
+
+/// Returns a rate of `v` kilobits per second, expressed in bits per second.
+constexpr Rate kbps(double v) { return v * 1000.0; }
+
+/// Returns a rate of `v` megabits per second, expressed in bits per second.
+constexpr Rate mbps(double v) { return v * 1'000'000.0; }
+
+/// Returns a rate of `v` bits per second (identity; for readable call sites).
+constexpr Rate bps(double v) { return v; }
+
+/// Size of a packet or ADU in bytes.
+using Bytes = std::uint32_t;
+
+/// Converts a payload size in bytes to its size in bits.
+constexpr double bits(Bytes bytes) { return 8.0 * static_cast<double>(bytes); }
+
+/// Time taken to serialize `bytes` onto a channel of rate `rate` (seconds).
+/// A zero or negative rate is treated as infinitely slow and yields +inf so
+/// callers can detect a stalled channel rather than divide by zero.
+constexpr Duration transmission_time(Bytes bytes, Rate rate) {
+  if (rate <= 0.0) return 1e300;  // effectively never completes
+  return bits(bytes) / rate;
+}
+
+}  // namespace sst::sim

@@ -1,0 +1,102 @@
+#include "sstp/allocator.hpp"
+
+#include <algorithm>
+
+namespace sst::sstp {
+
+BandwidthAllocator::BandwidthAllocator(Config config,
+                                       analysis::Profile2D fb_profile)
+    : config_(config), fb_profile_(std::move(fb_profile)) {}
+
+Allocation BandwidthAllocator::allocate(double measured_loss,
+                                        sim::Rate app_rate) const {
+  measured_loss = std::clamp(measured_loss, 0.0, 0.99);
+  Allocation out;
+
+  // Data vs feedback: the smallest feedback share whose predicted
+  // consistency meets the target; if unattainable, the share that maximizes
+  // consistency (paper: "adapt to the optimal bandwidth allocation for the
+  // required consistency").
+  double fb_share;
+  if (const auto share = fb_profile_.min_y_reaching(
+          measured_loss, config_.target_consistency)) {
+    fb_share = *share;
+  } else {
+    fb_share = fb_profile_.best_y(measured_loss);
+  }
+  fb_share = std::clamp(fb_share, config_.min_fb_share, config_.max_fb_share);
+
+  out.mu_fb = fb_share * config_.total_bandwidth;
+  out.mu_data = config_.total_bandwidth - out.mu_fb;
+
+  // Hot vs cold: hot must absorb (a) the arrival rate inflated by
+  // loss-driven retransmission (each new byte needs ~1/(1-p) transmissions
+  // to land, times headroom) and (b) the repair flux from lost cold
+  // refreshes/summaries, which receivers NACK without knowing they were
+  // redundant — roughly loss * mu_cold. With mu_cold = mu_data - mu_hot,
+  // solving mu_hot = app*inflate + loss*(mu_data - mu_hot) gives
+  //   mu_hot = (app*inflate + loss*mu_data) / (1 + loss).
+  // Figures 5 and 10: the knee sits at mu_hot = lambda; this operates just
+  // above it.
+  const double inflate = config_.hot_headroom / (1.0 - measured_loss);
+  const sim::Rate hot_needed =
+      (app_rate * inflate + measured_loss * out.mu_data) /
+      (1.0 + measured_loss);
+  out.hot_share =
+      out.mu_data > 0
+          ? std::clamp(hot_needed / out.mu_data, config_.min_hot_share,
+                       config_.max_hot_share)
+          : config_.max_hot_share;
+
+  // With a T_recv profile, give cold MORE than the absorption rule's
+  // leftover when the profile says latency keeps improving: pick the
+  // smallest cold share within 10% of the per-loss minimum latency, but
+  // never intrude on the hot floor above.
+  if (latency_profile_) {
+    const double max_cold = 1.0 - out.hot_share;
+    double best_latency = 1e300;
+    for (const double y : latency_profile_->ys()) {
+      best_latency = std::min(best_latency,
+                              latency_profile_->at(measured_loss, y));
+    }
+    for (const double y : latency_profile_->ys()) {
+      if (y > max_cold) break;
+      if (latency_profile_->at(measured_loss, y) <= 1.1 * best_latency) {
+        out.hot_share = std::clamp(1.0 - y, config_.min_hot_share,
+                                   config_.max_hot_share);
+        break;
+      }
+    }
+  }
+
+  out.max_app_rate =
+      (out.hot_share * out.mu_data * (1.0 + measured_loss) -
+       measured_loss * out.mu_data) /
+      inflate;
+  if (out.max_app_rate < 0) out.max_app_rate = 0;
+  out.rate_warning = app_rate > out.max_app_rate * 1.0001;
+  return out;
+}
+
+analysis::Profile2D empirical_feedback_profile() {
+  // Measured with bench_fig9 (lambda = 15 kbps, total = 60 kbps, 1000-byte
+  // records, exponential lifetimes 120 s): average consistency by
+  // (loss rate, feedback share of total). The qualitative structure is the
+  // paper's Figure 9: low shares leave losses to the slow cold cycle, a
+  // moderate share reaches the plateau, excessive shares starve data.
+  std::vector<double> loss = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
+  std::vector<double> share = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7};
+  std::vector<std::vector<double>> c = {
+      // fb:   0.0   0.1   0.2   0.3   0.4   0.5   0.7
+      /*0.00*/ {0.99, 0.99, 0.99, 0.99, 0.98, 0.97, 0.90},
+      /*0.05*/ {0.96, 0.98, 0.98, 0.98, 0.97, 0.96, 0.88},
+      /*0.10*/ {0.93, 0.97, 0.97, 0.97, 0.96, 0.95, 0.86},
+      /*0.20*/ {0.89, 0.94, 0.96, 0.96, 0.95, 0.93, 0.82},
+      /*0.30*/ {0.86, 0.90, 0.95, 0.95, 0.94, 0.91, 0.76},
+      /*0.40*/ {0.84, 0.86, 0.92, 0.94, 0.92, 0.88, 0.66},
+      /*0.50*/ {0.81, 0.83, 0.88, 0.91, 0.89, 0.83, 0.52},
+  };
+  return analysis::Profile2D(std::move(loss), std::move(share), std::move(c));
+}
+
+}  // namespace sst::sstp

@@ -1,0 +1,102 @@
+// allocator.hpp — SSTP's profile-driven bandwidth allocation (paper
+// Section 6.1, Figure 12).
+//
+// "Using stored consistency profiles similar to Figure 9, the bandwidth
+// allocator outputs values {mu_data, mu_feedback}. The share of bandwidth
+// for the different transmission queues is obtained from the T_recv profile,
+// similar to Figure 6. The allocator also notifies the application if it
+// detects that the rate of arrival of new data exceeds the bandwidth
+// available for it."
+//
+// Inputs: measured loss rate (from receiver reports), the application's
+// consistency target, the total session bandwidth (configured or provided by
+// a congestion manager — explicitly out of SSTP's scope), and the measured
+// application arrival rate. Output: the {data, feedback} split, the
+// {hot, cold} split of the data share, and a rate warning when new data
+// outpaces the hot bandwidth.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "analysis/profiles.hpp"
+#include "sim/units.hpp"
+
+namespace sst::sstp {
+
+/// The allocator's output.
+struct Allocation {
+  sim::Rate mu_data = 0;   // data bandwidth (hot + cold)
+  sim::Rate mu_fb = 0;     // feedback bandwidth
+  double hot_share = 0.5;  // hot fraction of mu_data
+  /// True when the application's arrival rate exceeds the hot bandwidth the
+  /// allocation can provide: the application should slow down to keep its
+  /// requested consistency (paper: "This dictates the maximum rate at which
+  /// the application can send").
+  bool rate_warning = false;
+  /// Maximum sustainable application rate under this allocation (bits/sec).
+  sim::Rate max_app_rate = 0;
+};
+
+/// Profile-driven allocator.
+class BandwidthAllocator {
+ public:
+  struct Config {
+    sim::Rate total_bandwidth = sim::kbps(60);
+    double target_consistency = 0.95;
+    /// Feedback share bounds. The floor is strictly positive by default:
+    /// receiver reports ride the feedback path, so allocating zero feedback
+    /// would silence the very measurements the allocator adapts on.
+    double min_fb_share = 0.02;
+    double max_fb_share = 0.6;
+    /// Hot bandwidth provisioning: hot must carry the arrival rate inflated
+    /// by retransmissions, 1/(1-loss), plus this safety factor.
+    double hot_headroom = 1.5;
+    double min_hot_share = 0.1;
+    double max_hot_share = 0.9;
+  };
+
+  /// `fb_profile` maps (loss rate, feedback share of total) to achieved
+  /// consistency — the Figure 9 surface, measured empirically by the bench
+  /// harness or supplied by `empirical_feedback_profile()`.
+  BandwidthAllocator(Config config, analysis::Profile2D fb_profile);
+
+  /// Optional T_recv profile (the Figure 6 surface): (loss rate, cold share
+  /// of data) -> mean receive latency. When present, the hot/cold split is
+  /// chosen from it — the smallest cold share whose predicted latency is
+  /// within 10% of the per-loss minimum — subject to the hot floor needed to
+  /// absorb arrivals ("the share of bandwidth for the different transmission
+  /// queues is obtained from the T_recv profile", paper Section 6.1).
+  /// Without it, the closed-form absorption rule alone decides.
+  void set_latency_profile(analysis::Profile2D profile) {
+    latency_profile_ = std::move(profile);
+  }
+
+  /// Computes an allocation for the current conditions.
+  /// `measured_loss` in [0,1]; `app_rate` is the application's new-data rate
+  /// in bits/sec (insertions + updates, wire size).
+  [[nodiscard]] Allocation allocate(double measured_loss,
+                                    sim::Rate app_rate) const;
+
+  /// Predicted consistency for a hypothetical split at a given loss rate
+  /// (exposes the profile for introspection and tests).
+  [[nodiscard]] double predict(double loss, double fb_share) const {
+    return fb_profile_.at(loss, fb_share);
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  analysis::Profile2D fb_profile_;
+  std::optional<analysis::Profile2D> latency_profile_;
+};
+
+/// A canned Figure-9-style profile: consistency as a function of
+/// (loss rate, feedback share of total bandwidth), measured with the bench
+/// harness at the paper's operating point (lambda = 15 kbps of 1000-byte
+/// records, 60 kbps total). Adequate as a default; regenerate with
+/// bench_fig9 for other workloads.
+analysis::Profile2D empirical_feedback_profile();
+
+}  // namespace sst::sstp

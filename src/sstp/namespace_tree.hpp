@@ -1,0 +1,138 @@
+// namespace_tree.hpp — the SSTP hierarchical data model (paper Section 6.2).
+//
+// "Each namespace node n is associated with a fixed-length summary or digest
+// of the subtree rooted at it, computed recursively using the one-way hash
+// function h: S(n) = right_edge(n) if n is a leaf-level ADU, and
+// h(S(c1), ..., S(ck)) otherwise."
+//
+// Both endpoints maintain one of these trees. The sender's tree is fed by
+// the application; the receiver's is reconstructed from the wire. Digest
+// comparison at any node answers "is this whole subtree identical?" in O(1),
+// which is what makes announcement-driven loss recovery scale to large data
+// stores: one root summary per refresh instead of one announcement per
+// record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "sstp/path.hpp"
+
+namespace sst::sstp {
+
+/// Application meta-data tags on a node (paper: "the sender communicates
+/// such hints to the receivers using application-level meta-data tags"),
+/// used by receivers for interest filtering (e.g. "type=image/hires").
+using MetaTags = std::vector<std::string>;
+
+/// A leaf application data unit.
+struct Adu {
+  std::uint64_t version = 0;        // bumped on every update
+  std::vector<std::uint8_t> data;   // full content (sender) or received
+                                    // prefix buffer (receiver)
+  std::uint64_t right_edge = 0;     // sender: bytes transmitted of this
+                                    // version; receiver: contiguous bytes
+                                    // received
+  std::uint64_t total_size = 0;     // full size of this version
+  MetaTags tags;
+
+  [[nodiscard]] bool complete() const { return right_edge >= total_size; }
+};
+
+/// Summary of one child, as carried in signature messages.
+struct ChildSummary {
+  std::string name;
+  hash::Digest digest;
+  bool is_leaf = false;
+  MetaTags tags;
+};
+
+/// The namespace tree. Not thread-safe (single simulation thread).
+class NamespaceTree {
+ public:
+  explicit NamespaceTree(hash::DigestAlgo algo = hash::DigestAlgo::kMd5)
+      : algo_(algo), root_(std::make_unique<Node>()) {}
+
+  // -------------------------------------------------------------- mutation
+
+  /// Creates or replaces the leaf ADU at `path` with a fresh version holding
+  /// `data`. Intermediate internal nodes are created as needed. Fails (false)
+  /// if `path` is the root or names an existing internal node.
+  bool put(const Path& path, std::vector<std::uint8_t> data,
+           MetaTags tags = {});
+
+  /// Applies received bytes for `(path, version)` at `offset`. Creates the
+  /// leaf if necessary; discards stale versions; resets the buffer when a
+  /// newer version arrives. Returns true if state changed.
+  bool apply_chunk(const Path& path, std::uint64_t version,
+                   std::uint64_t total_size, std::uint64_t offset,
+                   std::vector<std::uint8_t> chunk, const MetaTags& tags);
+
+  /// Marks `bytes_sent` bytes of the leaf's current version as transmitted
+  /// (sender-side right-edge advance). Returns false if no such leaf.
+  bool advance_right_edge(const Path& path, std::uint64_t bytes_sent);
+
+  /// Removes the node at `path` (and its whole subtree). Empty ancestors are
+  /// pruned. Returns false if no such node.
+  bool remove(const Path& path);
+
+  // ---------------------------------------------------------------- lookup
+
+  /// True if a node (leaf or internal) exists at `path`.
+  [[nodiscard]] bool exists(const Path& path) const;
+
+  /// Leaf ADU at `path`, or nullptr.
+  [[nodiscard]] const Adu* find(const Path& path) const;
+
+  /// Digest of the subtree rooted at `path` (cached, recomputed lazily).
+  /// Returns nullopt if the node does not exist.
+  [[nodiscard]] std::optional<hash::Digest> digest(const Path& path) const;
+
+  /// Root digest (always defined; empty tree has a stable digest).
+  [[nodiscard]] hash::Digest root_digest() const;
+
+  /// Child summaries of the internal node at `path` (empty for leaves or
+  /// missing nodes), ordered by name — the payload of signature messages.
+  [[nodiscard]] std::vector<ChildSummary> children(const Path& path) const;
+
+  /// Visits every leaf (path, adu) under `path` in name order.
+  void for_each_leaf(
+      const Path& path,
+      const std::function<void(const Path&, const Adu&)>& fn) const;
+
+  /// Number of leaves in the whole tree.
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  [[nodiscard]] hash::DigestAlgo algo() const { return algo_; }
+
+ private:
+  struct Node {
+    // Internal node iff adu == nullopt.
+    std::optional<Adu> adu;
+    std::map<std::string, std::unique_ptr<Node>> children;
+    mutable bool digest_valid = false;
+    mutable hash::Digest cached_digest;
+  };
+
+  [[nodiscard]] Node* walk(const Path& path) const;
+  /// Walks to `path`, creating internal nodes; returns null if a leaf blocks
+  /// the way.
+  Node* walk_create(const Path& path);
+  void invalidate(const Path& path);
+  [[nodiscard]] const hash::Digest& node_digest(const Node& n) const;
+  void for_each_leaf_impl(
+      const Path& at, const Node& n,
+      const std::function<void(const Path&, const Adu&)>& fn) const;
+
+  hash::DigestAlgo algo_;
+  std::unique_ptr<Node> root_;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace sst::sstp

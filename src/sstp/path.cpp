@@ -1,0 +1,50 @@
+#include "sstp/path.hpp"
+
+namespace sst::sstp {
+
+Path Path::parse(std::string_view text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t slash = text.find('/', start);
+    const std::size_t end = slash == std::string_view::npos ? text.size()
+                                                            : slash;
+    if (end > start) parts.emplace_back(text.substr(start, end - start));
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  return Path(std::move(parts));
+}
+
+std::string Path::str() const {
+  if (components_.empty()) return "/";
+  std::string out;
+  for (const auto& c : components_) {
+    out.push_back('/');
+    out.append(c);
+  }
+  return out;
+}
+
+Path Path::parent() const {
+  if (components_.empty()) return {};
+  std::vector<std::string> parts(components_.begin(),
+                                 components_.end() - 1);
+  return Path(std::move(parts));
+}
+
+Path Path::child(std::string_view name) const {
+  std::vector<std::string> parts = components_;
+  parts.emplace_back(name);
+  return Path(std::move(parts));
+}
+
+bool Path::contains(const Path& other) const {
+  if (other.components_.size() < components_.size()) return false;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace sst::sstp

@@ -1,0 +1,247 @@
+#include "sstp/receiver.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace sst::sstp {
+
+Receiver::Receiver(sim::Simulator& sim, ReceiverConfig config,
+                   std::function<void(const WireBytes&, sim::Bytes)>
+                       send_feedback,
+                   sim::Rng rng)
+    : sim_(&sim),
+      config_(config),
+      send_feedback_(std::move(send_feedback)),
+      rng_(rng),
+      tree_(config.algo),
+      scanner_(sim),
+      report_timer_(sim),
+      session_timer_(sim) {
+  if (config_.report_interval > 0) {
+    report_timer_.start(config_.report_interval, [this] { send_report(); });
+  }
+}
+
+void Receiver::handle(const WireBytes& bytes) {
+  const auto msg = decode(bytes);
+  if (!msg) {
+    ++stats_.decode_errors;
+    return;
+  }
+  if (const auto* data = std::get_if<DataMsg>(&*msg)) {
+    handle_data(*data);
+  } else if (const auto* summary = std::get_if<SummaryMsg>(&*msg)) {
+    handle_summary(*summary);
+  } else if (const auto* sigs = std::get_if<SignaturesMsg>(&*msg)) {
+    handle_signatures(*sigs);
+  } else {
+    ++stats_.decode_errors;  // feedback-type message on the forward path
+  }
+}
+
+void Receiver::handle_data(const DataMsg& msg) {
+  ++stats_.data_rx;
+  if (msg.is_repair) ++stats_.repairs_rx;
+  loss_.on_seq(msg.seq);
+  touch_session();
+
+  const Adu* before = tree_.find(msg.path);
+  const bool was_complete =
+      before != nullptr && before->version == msg.version &&
+      before->complete();
+
+  std::vector<std::uint8_t> chunk = msg.chunk;
+  tree_.apply_chunk(msg.path, msg.version, msg.total_size, msg.offset,
+                    std::move(chunk), msg.tags);
+
+  const Adu* after = tree_.find(msg.path);
+  if (after != nullptr && after->version == msg.version &&
+      after->complete()) {
+    // The version is fully assembled: repair state for this leaf is done.
+    pending_.erase(msg.path);
+    if (!was_complete) {
+      ++stats_.adu_completions;
+      if (complete_fn_) complete_fn_(msg.path, *after);
+    }
+  }
+}
+
+void Receiver::handle_summary(const SummaryMsg& msg) {
+  ++stats_.summaries_rx;
+  touch_session();
+  if (msg.root_digest == tree_.root_digest()) {
+    // Fully consistent: drop every outstanding repair.
+    pending_.clear();
+    scanner_.stop();
+    return;
+  }
+  ensure_pending(Path{}, /*is_nack=*/false);
+}
+
+void Receiver::handle_signatures(const SignaturesMsg& msg) {
+  ++stats_.signatures_rx;
+  touch_session();
+
+  // The query that asked for these signatures is answered.
+  pending_.erase(msg.path);
+
+  // Prune local children the sender no longer advertises (this is how
+  // deletion propagates — no teardown message exists).
+  for (const auto& local : tree_.children(msg.path)) {
+    bool advertised = false;
+    for (const auto& remote : msg.children) {
+      if (remote.name == local.name) {
+        advertised = true;
+        break;
+      }
+    }
+    if (!advertised) {
+      const Path gone = msg.path.child(local.name);
+      tree_.remove(gone);
+      clear_pending_under(gone);
+      ++stats_.removed_subtrees;
+      if (removed_fn_) removed_fn_(gone);
+    }
+  }
+
+  // Recursive descent: request repair for every mismatching child we care
+  // about.
+  for (const auto& child : msg.children) {
+    const Path cpath = msg.path.child(child.name);
+    if (config_.interest && !config_.interest(cpath, child.tags)) {
+      ++stats_.skipped_no_interest;
+      continue;
+    }
+    const auto local = tree_.digest(cpath);
+    if (local.has_value() && *local == child.digest) {
+      clear_pending_under(cpath);  // whole subtree already consistent
+      continue;
+    }
+    ensure_pending(cpath, /*is_nack=*/child.is_leaf);
+  }
+}
+
+void Receiver::ensure_pending(const Path& path, bool is_nack) {
+  const auto it = pending_.find(path);
+  if (it != pending_.end()) return;
+  Pending p;
+  p.is_nack = is_nack;
+  auto [ins, ok] = pending_.emplace(path, p);
+  if (!scanner_.running() && config_.retry_timeout > 0) {
+    scanner_.start(std::max(config_.retry_timeout * 0.5, 0.05),
+                   [this] { scan_pending(); });
+  }
+  if (config_.initial_delay_max <= 0) {
+    send_repair(path, ins->second);
+  } else {
+    // Multicast slotting: randomize the first request to let another
+    // receiver's identical request (or its repair) suppress ours.
+    const sim::Duration delay = rng_.uniform() * config_.initial_delay_max;
+    sim_->after(delay, [this, path] {
+      const auto it2 = pending_.find(path);
+      if (it2 != pending_.end() && !it2->second.sent_once) {
+        send_repair(path, it2->second);
+      }
+    });
+  }
+}
+
+void Receiver::clear_pending_under(const Path& path) {
+  for (auto it = pending_.lower_bound(path); it != pending_.end();) {
+    if (!path.contains(it->first)) break;
+    it = pending_.erase(it);
+  }
+  if (pending_.empty()) scanner_.stop();
+}
+
+void Receiver::send_repair(const Path& path, Pending& p) {
+  p.last_sent = sim_->now();
+  p.sent_once = true;
+  Message msg;
+  if (p.is_nack) {
+    NackMsg nack;
+    nack.path = path;
+    const Adu* adu = tree_.find(path);
+    if (adu != nullptr) {
+      nack.version_hint = adu->version;
+      nack.from_offset = adu->right_edge;
+    }
+    msg = std::move(nack);
+    ++stats_.nacks_tx;
+  } else {
+    SigRequestMsg req;
+    req.path = path;
+    msg = std::move(req);
+    ++stats_.queries_tx;
+  }
+  const WireBytes bytes = encode(msg);
+  send_feedback_(bytes,
+                 static_cast<sim::Bytes>(bytes.size() + kFramingOverhead));
+}
+
+void Receiver::scan_pending() {
+  const sim::SimTime now = sim_->now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Pending& p = it->second;
+    if (!p.sent_once) {
+      ++it;  // still in its initial slotting delay
+      continue;
+    }
+    const double threshold =
+        config_.retry_timeout * std::pow(config_.retry_backoff, p.retries);
+    if (now - p.last_sent + 1e-9 < threshold) {
+      ++it;
+      continue;
+    }
+    if (p.retries >= config_.max_retries) {
+      ++stats_.gave_up;  // the next summary mismatch restarts the descent
+      it = pending_.erase(it);
+      continue;
+    }
+    ++p.retries;
+    ++stats_.retries;
+    const Path path = it->first;
+    send_repair(path, p);
+    ++it;
+  }
+  if (pending_.empty()) scanner_.stop();
+}
+
+void Receiver::send_report() {
+  const auto interval = loss_.close_interval();
+  if (!loss_.has_data()) return;  // nothing heard yet
+  ReceiverReportMsg msg;
+  msg.loss_estimate = loss_.estimate();
+  msg.received = interval.received;
+  msg.expected = interval.expected;
+  ++stats_.reports_tx;
+  const WireBytes bytes = encode(Message(msg));
+  send_feedback_(bytes,
+                 static_cast<sim::Bytes>(bytes.size() + kFramingOverhead));
+}
+
+void Receiver::touch_session() {
+  session_live_ = true;
+  if (config_.session_ttl > 0) {
+    session_timer_.arm(config_.session_ttl, [this] { expire_session(); });
+  }
+}
+
+void Receiver::expire_session() {
+  if (!session_live_) return;
+  session_live_ = false;
+  ++stats_.session_expiries;
+  // Soft state: everything learned from this sender times out together.
+  std::vector<std::string> top;
+  for (const auto& child : tree_.children(Path{})) top.push_back(child.name);
+  for (const auto& name : top) {
+    const Path p = Path{}.child(name);
+    tree_.remove(p);
+    if (removed_fn_) removed_fn_(p);
+  }
+  pending_.clear();
+  scanner_.stop();
+  if (expired_fn_) expired_fn_();
+}
+
+}  // namespace sst::sstp

@@ -1,0 +1,154 @@
+// receiver.hpp — the SSTP receiver endpoint (paper Section 6.2).
+//
+// "Upon receiving a summary announcement, if a receiver detects a mismatch
+// at the root namespace node, a feedback message requesting further
+// namespace repair is scheduled for transmission. In response ... the sender
+// responds with a set of next level signatures. In this manner, loss
+// recovery proceeds recursively down the namespace hierarchy."
+//
+// The receiver reconstructs the sender's namespace tree from data chunks,
+// drives recursive-descent repair from digest mismatches, prunes subtrees
+// the sender no longer advertises, filters repair by application interest
+// (meta-data tags), measures loss for receiver reports, and expires the
+// whole session if summaries cease (soft state).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sim/units.hpp"
+#include "sstp/namespace_tree.hpp"
+#include "sstp/receiver_report.hpp"
+#include "sstp/wire.hpp"
+
+namespace sst::sstp {
+
+using WireBytes = std::vector<std::uint8_t>;
+
+/// Receiver configuration.
+struct ReceiverConfig {
+  hash::DigestAlgo algo = hash::DigestAlgo::kMd5;
+
+  /// Repair pacing: an outstanding query/NACK is re-sent after
+  /// retry_timeout * backoff^retries, up to max_retries, then dropped (the
+  /// next summary mismatch restarts the descent).
+  sim::Duration retry_timeout = 2.0;
+  double retry_backoff = 2.0;
+  int max_retries = 6;
+
+  /// Random initial delay before the first feedback message for a fresh
+  /// mismatch, in [0, initial_delay_max) — slotting for multicast damping
+  /// (0 sends immediately, the right unicast setting).
+  sim::Duration initial_delay_max = 0.0;
+
+  /// Receiver-report cadence (0 disables reports).
+  sim::Duration report_interval = 5.0;
+
+  /// With no summary/data for this long, the whole local tree expires
+  /// (0 disables — but then a dead sender leaves state behind forever).
+  sim::Duration session_ttl = 60.0;
+
+  /// Application interest filter over (path, tags); repair is not requested
+  /// for subtrees without interest (paper: the PDA that skips high-res
+  /// images). Null means interested in everything.
+  std::function<bool(const Path&, const MetaTags&)> interest;
+};
+
+/// Counters the receiver accumulates.
+struct ReceiverStats {
+  std::uint64_t data_rx = 0;
+  std::uint64_t repairs_rx = 0;
+  std::uint64_t summaries_rx = 0;
+  std::uint64_t signatures_rx = 0;
+  std::uint64_t queries_tx = 0;
+  std::uint64_t nacks_tx = 0;
+  std::uint64_t reports_tx = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t gave_up = 0;
+  std::uint64_t removed_subtrees = 0;
+  std::uint64_t skipped_no_interest = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t session_expiries = 0;
+  std::uint64_t adu_completions = 0;
+};
+
+/// SSTP receiver.
+class Receiver {
+ public:
+  /// `send_feedback` pushes an encoded packet (with framing-inclusive size)
+  /// onto the reverse path.
+  Receiver(sim::Simulator& sim, ReceiverConfig config,
+           std::function<void(const WireBytes&, sim::Bytes)> send_feedback,
+           sim::Rng rng = sim::Rng(0));
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  /// Feeds a packet arriving on the forward (data) path.
+  void handle(const WireBytes& bytes);
+
+  /// Fired when a leaf ADU becomes complete (all bytes of a version).
+  void on_complete(std::function<void(const Path&, const Adu&)> fn) {
+    complete_fn_ = std::move(fn);
+  }
+  /// Fired when a subtree is pruned because the sender dropped it.
+  void on_removed(std::function<void(const Path&)> fn) {
+    removed_fn_ = std::move(fn);
+  }
+  /// Fired when the session expires (no announcements for session_ttl).
+  void on_session_expired(std::function<void()> fn) {
+    expired_fn_ = std::move(fn);
+  }
+
+  [[nodiscard]] const NamespaceTree& tree() const { return tree_; }
+  [[nodiscard]] const ReceiverStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t outstanding_repairs() const {
+    return pending_.size();
+  }
+  /// Smoothed local loss estimate.
+  [[nodiscard]] double loss_estimate() const { return loss_.estimate(); }
+
+ private:
+  struct Pending {
+    bool is_nack = false;  // false: signature query; true: data NACK
+    int retries = 0;
+    sim::SimTime last_sent = -1e18;
+    bool sent_once = false;
+  };
+
+  void handle_data(const DataMsg& msg);
+  void handle_summary(const SummaryMsg& msg);
+  void handle_signatures(const SignaturesMsg& msg);
+  void ensure_pending(const Path& path, bool is_nack);
+  void clear_pending_under(const Path& path);
+  void send_repair(const Path& path, Pending& p);
+  void scan_pending();
+  void send_report();
+  void touch_session();
+  void expire_session();
+
+  sim::Simulator* sim_;
+  ReceiverConfig config_;
+  std::function<void(const WireBytes&, sim::Bytes)> send_feedback_;
+  sim::Rng rng_;
+  NamespaceTree tree_;
+
+  std::map<Path, Pending> pending_;
+  sim::PeriodicTimer scanner_;
+  sim::PeriodicTimer report_timer_;
+  sim::Timer session_timer_;
+  bool session_live_ = false;
+
+  LossEstimator loss_;
+  std::function<void(const Path&, const Adu&)> complete_fn_;
+  std::function<void(const Path&)> removed_fn_;
+  std::function<void()> expired_fn_;
+  ReceiverStats stats_;
+};
+
+}  // namespace sst::sstp

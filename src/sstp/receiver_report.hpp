@@ -1,0 +1,81 @@
+// receiver_report.hpp — RTCP-style loss measurement (paper Section 6.1).
+//
+// "SSTP uses measured packet loss rates using RTCP-style receiver reports"
+// to drive the allocator. The receiver counts data sequence numbers; each
+// reporting interval it computes the interval loss fraction and folds it
+// into an EWMA, which rides back to the sender in ReceiverReportMsg.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sst::sstp {
+
+/// Sequence-gap loss estimator with EWMA smoothing.
+class LossEstimator {
+ public:
+  /// `alpha` is the EWMA weight of the newest interval. Intervals with fewer
+  /// than `min_samples` expected packets are folded into the next interval
+  /// instead of updating the estimate — tiny samples (a trailing repair or
+  /// two) would otherwise swing the EWMA wildly.
+  explicit LossEstimator(double alpha = 0.25, std::uint64_t min_samples = 8)
+      : alpha_(alpha), min_samples_(min_samples) {}
+
+  /// Records receipt of data sequence number `seq`.
+  void on_seq(std::uint64_t seq) {
+    if (!have_base_) {
+      have_base_ = true;
+      base_ = seq;
+      max_seq_ = seq;
+      received_ = 1;
+      return;
+    }
+    max_seq_ = std::max(max_seq_, seq);
+    ++received_;
+  }
+
+  /// Closes the current interval: returns {received, expected} and resets
+  /// interval counters. The EWMA estimate is updated.
+  struct Interval {
+    std::uint64_t received = 0;
+    std::uint64_t expected = 0;
+  };
+  Interval close_interval() {
+    Interval out;
+    if (!have_base_) return out;
+    out.received = received_;
+    out.expected = max_seq_ >= base_ ? max_seq_ - base_ + 1 : 0;
+    if (out.expected < min_samples_) {
+      // Too small to be meaningful: leave the counters accumulating into the
+      // next interval and report the carried totals.
+      return out;
+    }
+    const double interval_loss =
+        1.0 - static_cast<double>(std::min(out.received, out.expected)) /
+                  static_cast<double>(out.expected);
+    estimate_ = seeded_ ? (1.0 - alpha_) * estimate_ + alpha_ * interval_loss
+                        : interval_loss;
+    seeded_ = true;
+    // Next interval starts just past the highest seq seen.
+    base_ = max_seq_ + 1;
+    received_ = 0;
+    return out;
+  }
+
+  /// Smoothed loss fraction in [0,1].
+  [[nodiscard]] double estimate() const { return estimate_; }
+
+  [[nodiscard]] bool has_data() const { return seeded_; }
+
+ private:
+  double alpha_;
+  std::uint64_t min_samples_;
+  bool have_base_ = false;
+  bool seeded_ = false;
+  std::uint64_t base_ = 0;
+  std::uint64_t max_seq_ = 0;
+  std::uint64_t received_ = 0;
+  double estimate_ = 0.0;
+};
+
+}  // namespace sst::sstp

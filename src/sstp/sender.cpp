@@ -1,0 +1,401 @@
+#include "sstp/sender.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace sst::sstp {
+
+namespace {
+constexpr double kAppRateEwmaAlpha = 0.3;
+constexpr sim::Duration kAppRateBucket = 10.0;
+}  // namespace
+
+Sender::Sender(sim::Simulator& sim, SenderConfig config,
+               std::function<void(const WireBytes&, sim::Bytes)> transmit)
+    : sim_(&sim),
+      config_(config),
+      transmit_(std::move(transmit)),
+      tree_(config.algo),
+      service_timer_(sim),
+      cold_wakeup_(sim) {
+  if (config_.class_weights.empty()) config_.class_weights = {1.0};
+  if (config_.control_class >= config_.class_weights.size()) {
+    config_.control_class = 0;
+  }
+  // Figure 12's allocation hierarchy: data splits {hot, cold}; hot splits
+  // across the application's classes by weight.
+  hot_group_ = scheduler_.add_group(sched::HierarchicalScheduler::kRoot,
+                                    config_.hot_share);
+  for (const double w : config_.class_weights) {
+    scheduler_.add_class_in(hot_group_, w);  // external ids 0..N-1
+  }
+  cold_class_ = scheduler_.add_class_in(sched::HierarchicalScheduler::kRoot,
+                                        1.0 - config_.hot_share);
+  hot_.resize(config_.class_weights.size());
+  app_bucket_start_ = sim.now();
+}
+
+std::size_t Sender::class_of(const Path& path, const MetaTags& tags) const {
+  if (!config_.classify) return 0;
+  const std::size_t cls = config_.classify(path, tags);
+  return cls < hot_.size() ? cls : hot_.size() - 1;
+}
+
+// ------------------------------------------------------------- application
+
+bool Sender::publish(const Path& path, std::vector<std::uint8_t> data,
+                     MetaTags tags) {
+  const double bytes = static_cast<double>(data.size());
+  // Wire-cost estimate per publish: payload plus per-packet header/framing
+  // overhead (path, tags, fixed fields, UDP/IP). Small ADUs are dominated by
+  // this overhead, and the allocator's back-pressure must account for it.
+  const double overhead =
+      static_cast<double>(path.str().size()) + 96.0 +
+      static_cast<double>(kFramingOverhead);
+  if (!tree_.put(path, std::move(data), std::move(tags))) return false;
+  const Adu* adu = tree_.find(path);
+  track_app_bytes(bytes + overhead);
+  // Queue the full (new) version hot, superseding anything queued.
+  enqueue_data(path, 0, adu->total_size, adu->version, /*is_repair=*/false);
+  return true;
+}
+
+bool Sender::remove(const Path& path) {
+  if (!tree_.remove(path)) return false;
+  // Stale queue entries for removed paths are skipped lazily.
+  return true;
+}
+
+void Sender::track_app_bytes(double bytes) {
+  const sim::SimTime now = sim_->now();
+  if (now - app_bucket_start_ >= kAppRateBucket) {
+    const double rate =
+        app_bucket_bytes_ * 8.0 / (now - app_bucket_start_);
+    app_rate_bps_ = app_rate_bps_ == 0.0
+                        ? rate
+                        : (1.0 - kAppRateEwmaAlpha) * app_rate_bps_ +
+                              kAppRateEwmaAlpha * rate;
+    app_bucket_bytes_ = 0.0;
+    app_bucket_start_ = now;
+  }
+  app_bucket_bytes_ += bytes;
+}
+
+// ------------------------------------------------------------ queueing core
+
+void Sender::enqueue_data(const Path& path, std::uint64_t offset,
+                          std::uint64_t end, std::uint64_t version,
+                          bool is_repair) {
+  if (queued_paths_.contains(path)) {
+    // Version updates reset the tree's right edge; the queued item's range
+    // is refreshed when it reaches the head (it re-reads the ADU).
+    return;
+  }
+  TxItem item;
+  item.kind = TxItem::Kind::kData;
+  item.path = path;
+  item.offset = offset;
+  item.end = end;
+  item.version = version;
+  item.is_repair = is_repair;
+  if (is_repair) ++pending_repairs_;
+  queued_paths_.insert(path);
+  const Adu* adu = tree_.find(path);
+  const std::size_t cls = class_of(path, adu != nullptr ? adu->tags
+                                                        : MetaTags{});
+  hot_[cls].push_back(std::move(item));
+  maybe_start_service();
+}
+
+std::optional<std::pair<Message, sim::Bytes>> Sender::build_hot_head(
+    std::size_t cls) {
+  std::deque<TxItem>& queue = hot_[cls];
+  while (!queue.empty()) {
+    TxItem& item = queue.front();
+    if (item.kind == TxItem::Kind::kSignatures) {
+      if (!tree_.exists(item.path) || tree_.find(item.path) != nullptr) {
+        // Gone, or became a leaf: nothing to sign.
+        queued_sigs_.erase(item.path);
+        queue.pop_front();
+        continue;
+      }
+      SignaturesMsg msg;
+      msg.path = item.path;
+      msg.node_digest = *tree_.digest(item.path);
+      msg.children = tree_.children(item.path);
+      const WireBytes bytes = encode(msg);
+      return std::make_pair(Message(std::move(msg)),
+                            static_cast<sim::Bytes>(bytes.size() +
+                                                    kFramingOverhead));
+    }
+
+    const Adu* adu = tree_.find(item.path);
+    if (adu == nullptr) {
+      // Removed while queued.
+      if (item.is_repair && pending_repairs_ > 0) --pending_repairs_;
+      queued_paths_.erase(item.path);
+      queue.pop_front();
+      continue;
+    }
+    if (adu->version != item.version) {
+      // Updated while queued: restart the item for the new version.
+      item.version = adu->version;
+      item.offset = 0;
+      item.end = adu->total_size;
+      if (item.is_repair) {
+        item.is_repair = false;  // the fresh version is ordinary new data
+        if (pending_repairs_ > 0) --pending_repairs_;
+      }
+    }
+    if (item.offset >= item.end || item.offset >= adu->total_size) {
+      // Nothing (left) to send — zero-length ADUs still announce themselves
+      // through the summary digest; send one empty chunk so receivers learn
+      // the version... handled below by allowing offset==end==0.
+      if (adu->total_size == 0 && item.offset == 0) {
+        // fall through to build the empty chunk
+      } else {
+        if (item.is_repair && pending_repairs_ > 0) --pending_repairs_;
+        queued_paths_.erase(item.path);
+        queue.pop_front();
+        continue;
+      }
+    }
+
+    DataMsg msg;
+    msg.path = item.path;
+    msg.version = adu->version;
+    msg.total_size = adu->total_size;
+    msg.offset = item.offset;
+    const std::uint64_t chunk_end =
+        std::min<std::uint64_t>(item.offset + config_.mtu,
+                                std::min(item.end, adu->total_size));
+    msg.chunk.assign(
+        adu->data.begin() + static_cast<std::ptrdiff_t>(item.offset),
+        adu->data.begin() + static_cast<std::ptrdiff_t>(chunk_end));
+    msg.tags = adu->tags;
+    msg.seq = next_seq_;  // assigned for real at transmission
+    msg.is_repair = item.is_repair;
+    const WireBytes bytes = encode(msg);
+    return std::make_pair(Message(std::move(msg)),
+                          static_cast<sim::Bytes>(bytes.size() +
+                                                  kFramingOverhead));
+  }
+  return std::nullopt;
+}
+
+void Sender::consume_hot_head(std::size_t cls, const Message& msg) {
+  std::deque<TxItem>& queue = hot_[cls];
+  TxItem& item = queue.front();
+  if (const auto* data = std::get_if<DataMsg>(&msg)) {
+    const std::uint64_t sent_end = data->offset + data->chunk.size();
+    item.offset = sent_end;
+    // Advance the tree's transmitted right edge (initial transmissions).
+    const Adu* adu = tree_.find(item.path);
+    if (adu != nullptr && adu->version == data->version &&
+        sent_end > adu->right_edge) {
+      tree_.advance_right_edge(item.path, sent_end - adu->right_edge);
+    }
+    ++stats_.data_tx;
+    if (data->is_repair) ++stats_.repair_tx;
+    if (item.offset >= item.end || data->chunk.empty()) {
+      if (item.is_repair && pending_repairs_ > 0) --pending_repairs_;
+      queued_paths_.erase(item.path);
+      queue.pop_front();
+    }
+  } else {
+    ++stats_.sig_tx;
+    queued_sigs_.erase(item.path);
+    queue.pop_front();
+  }
+}
+
+Message Sender::build_summary() {
+  SummaryMsg msg;
+  msg.root_digest = tree_.root_digest();
+  msg.epoch = summary_epoch_;
+  msg.leaf_count = tree_.leaf_count();
+  return msg;
+}
+
+bool Sender::cold_eligible() const {
+  // Epsilon guards against a floating-point livelock: a wakeup armed for
+  // "interval minus elapsed" can land an ulp short of eligibility, and at
+  // large clock values adding the remainder no longer changes the clock.
+  return sim_->now() - last_summary_ >= config_.min_summary_interval - 1e-9;
+}
+
+double Sender::hot_head_bits(std::size_t cls) {
+  const auto head = build_hot_head(cls);
+  if (!head) return sched::kEmpty;
+  return sim::bits(head->second);
+}
+
+double Sender::cold_head_bits() {
+  if (!cold_eligible()) return sched::kEmpty;
+  const WireBytes bytes = encode(build_summary());
+  return sim::bits(
+      static_cast<sim::Bytes>(bytes.size() + kFramingOverhead));
+}
+
+void Sender::arm_cold_wakeup() {
+  const sim::Duration wait =
+      config_.min_summary_interval - (sim_->now() - last_summary_);
+  if (wait <= 0) return;
+  // Floor keeps the wakeup strictly in the future even when `wait` is below
+  // the clock's representable resolution.
+  cold_wakeup_.arm(std::max(wait, 1e-6), [this] { maybe_start_service(); });
+}
+
+void Sender::pause() {
+  paused_ = true;
+  busy_ = false;
+  service_timer_.cancel();  // the in-flight packet dies with the "process"
+  cold_wakeup_.cancel();
+}
+
+void Sender::resume() {
+  paused_ = false;
+  maybe_start_service();
+}
+
+void Sender::maybe_start_service() {
+  if (busy_ || paused_) return;
+  std::vector<double> heads(hot_.size() + 1);
+  bool any = false;
+  for (std::size_t c = 0; c < hot_.size(); ++c) {
+    heads[c] = hot_head_bits(c);
+    any = any || heads[c] >= 0;
+  }
+  heads[cold_class_] = cold_head_bits();
+  any = any || heads[cold_class_] >= 0;
+  if (!any) {
+    // Idle; if only the summary cool-down blocks us, wake when it ends.
+    arm_cold_wakeup();
+    return;
+  }
+  const std::size_t cls = scheduler_.pick(heads);
+  if (cls == sched::kNone) return;
+
+  Message msg;
+  sim::Bytes size = 0;
+  if (cls != cold_class_) {
+    auto head = build_hot_head(cls);
+    msg = std::move(head->first);
+    size = head->second;
+    if (auto* data = std::get_if<DataMsg>(&msg)) {
+      data->seq = next_seq_++;
+    }
+    consume_hot_head(cls, msg);
+  } else {
+    msg = build_summary();
+    ++summary_epoch_;
+    ++stats_.summary_tx;
+    last_summary_ = sim_->now();
+    const WireBytes bytes = encode(msg);
+    size = static_cast<sim::Bytes>(bytes.size() + kFramingOverhead);
+  }
+
+  busy_ = true;
+  stats_.bytes_tx += size;
+  const WireBytes bytes = encode(msg);
+  const sim::Duration service = sim::transmission_time(size, config_.mu_data);
+  service_timer_.arm(service, [this, bytes = std::move(bytes), size] {
+    transmit_(bytes, size);
+    finish_service();
+  });
+}
+
+void Sender::finish_service() {
+  busy_ = false;
+  maybe_start_service();
+}
+
+// ----------------------------------------------------------------- feedback
+
+void Sender::handle_feedback(const WireBytes& bytes) {
+  const auto msg = decode(bytes);
+  if (!msg) {
+    ++stats_.decode_errors;
+    return;
+  }
+  if (const auto* nack = std::get_if<NackMsg>(&*msg)) {
+    handle_nack(*nack);
+  } else if (const auto* req = std::get_if<SigRequestMsg>(&*msg)) {
+    handle_sig_request(*req);
+  } else if (const auto* report = std::get_if<ReceiverReportMsg>(&*msg)) {
+    handle_report(*report);
+  } else {
+    ++stats_.decode_errors;  // data/summary/signatures on the reverse path
+  }
+}
+
+void Sender::handle_nack(const NackMsg& nack) {
+  ++stats_.nacks_rx;
+  const Adu* adu = tree_.find(nack.path);
+  if (adu == nullptr) {
+    // Dead or never existed; the next summary/signature exchange tells the
+    // receiver to drop it.
+    ++stats_.nacks_ignored;
+    return;
+  }
+  if (queued_paths_.contains(nack.path)) {
+    ++stats_.nacks_ignored;  // already scheduled (implicit suppression)
+    return;
+  }
+  if (pending_repairs_ >= config_.max_pending_repairs) {
+    ++stats_.nacks_ignored;  // repair damping
+    return;
+  }
+  std::uint64_t from = nack.from_offset;
+  if (nack.version_hint != adu->version) from = 0;  // full resend of new ver
+  from = std::min<std::uint64_t>(from, adu->total_size);
+  enqueue_data(nack.path, from, adu->total_size, adu->version,
+               /*is_repair=*/true);
+}
+
+void Sender::handle_sig_request(const SigRequestMsg& req) {
+  ++stats_.sig_requests_rx;
+  if (!tree_.exists(req.path) || tree_.find(req.path) != nullptr) {
+    return;  // unknown node or a leaf: nothing to sign
+  }
+  if (queued_sigs_.contains(req.path)) return;  // dedup
+  queued_sigs_.insert(req.path);
+  TxItem item;
+  item.kind = TxItem::Kind::kSignatures;
+  item.path = req.path;
+  hot_[config_.control_class].push_back(std::move(item));
+  maybe_start_service();
+}
+
+void Sender::handle_report(const ReceiverReportMsg& report) {
+  ++stats_.reports_rx;
+  measured_loss_ = loss_seeded_
+                       ? 0.75 * measured_loss_ + 0.25 * report.loss_estimate
+                       : report.loss_estimate;
+  loss_seeded_ = true;
+
+  if (allocator_) {
+    // Flush the app-rate bucket so the estimate is current.
+    track_app_bytes(0);
+    const double rate = std::max(app_rate_bps_,
+                                 app_bucket_bytes_ * 8.0 /
+                                     std::max(sim_->now() - app_bucket_start_,
+                                              1.0));
+    const Allocation alloc = allocator_->allocate(measured_loss_, rate);
+    apply(alloc);
+    if (allocation_fn_) allocation_fn_(alloc);
+    if (alloc.rate_warning) {
+      ++stats_.rate_warnings;
+      if (rate_warning_fn_) rate_warning_fn_(alloc);
+    }
+  }
+}
+
+void Sender::apply(const Allocation& alloc) {
+  if (alloc.mu_data > 0) config_.mu_data = alloc.mu_data;
+  config_.hot_share = std::clamp(alloc.hot_share, 0.01, 0.99);
+  scheduler_.set_group_weight(hot_group_, config_.hot_share);
+  scheduler_.set_weight(cold_class_, 1.0 - config_.hot_share);
+}
+
+}  // namespace sst::sstp

@@ -1,0 +1,218 @@
+// sender.hpp — the SSTP sender endpoint (paper Section 6).
+//
+// "An SSTP sender transmits original application data as well as periodic
+// soft state announcements summarizing all previously transmitted data."
+//
+// The sender keeps the authoritative namespace tree and two transmission
+// classes sharing mu_data under a proportional-share scheduler:
+//   hot  — new/updated ADU chunks, NACK-requested repairs, and signature
+//          replies (repair traffic);
+//   cold — periodic root-summary announcements (NOT full data cycling: the
+//          summary makes per-record refreshes unnecessary, which is exactly
+//          SSTP's scaling advantage over flat announce/listen).
+// Receiver reports feed a measured loss estimate; an optional
+// BandwidthAllocator turns that into live re-allocation and application
+// back-pressure callbacks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "sched/hierarchical.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sim/units.hpp"
+#include "sstp/allocator.hpp"
+#include "sstp/namespace_tree.hpp"
+#include "sstp/wire.hpp"
+
+namespace sst::sstp {
+
+/// Serialized packet as carried by the simulated network.
+using WireBytes = std::vector<std::uint8_t>;
+
+/// Sender configuration.
+struct SenderConfig {
+  sim::Rate mu_data = sim::kbps(45);   // data bandwidth (hot + cold)
+  double hot_share = 0.6;              // hot fraction of mu_data
+  sim::Bytes mtu = 1000;               // max ADU payload bytes per packet
+  sim::Duration min_summary_interval = 0.2;  // cap on summary rate
+  hash::DigestAlgo algo = hash::DigestAlgo::kMd5;
+  std::size_t max_pending_repairs = 128;  // NACK damping bound
+
+  /// Application data classes (paper Figure 12): the hot bandwidth is
+  /// shared among these classes by weight under the hierarchical scheduler,
+  /// so "the application flexibly controls the amount of bandwidth
+  /// allocated to its different data classes". One class by default.
+  std::vector<double> class_weights = {1.0};
+  /// Maps an ADU to a class index (< class_weights.size()); null = class 0.
+  std::function<std::size_t(const Path&, const MetaTags&)> classify;
+  /// Class carrying signature replies (repair control traffic).
+  std::size_t control_class = 0;
+};
+
+/// Counters the sender accumulates.
+struct SenderStats {
+  std::uint64_t data_tx = 0;      // data packets (chunks)
+  std::uint64_t repair_tx = 0;    // of which NACK-triggered
+  std::uint64_t summary_tx = 0;   // root summaries
+  std::uint64_t sig_tx = 0;       // signature replies
+  std::uint64_t nacks_rx = 0;
+  std::uint64_t nacks_ignored = 0;
+  std::uint64_t sig_requests_rx = 0;
+  std::uint64_t reports_rx = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t rate_warnings = 0;
+  double bytes_tx = 0;
+};
+
+/// SSTP sender.
+class Sender {
+ public:
+  /// `transmit` pushes an encoded packet (with framing-inclusive size) onto
+  /// the forward channel.
+  Sender(sim::Simulator& sim, SenderConfig config,
+         std::function<void(const WireBytes&, sim::Bytes)> transmit);
+
+  Sender(const Sender&) = delete;
+  Sender& operator=(const Sender&) = delete;
+
+  // ----------------------------------------------------- application API
+
+  /// Publishes (or updates — the version bumps automatically) the ADU at
+  /// `path`. Returns false for invalid paths (root / name collisions).
+  bool publish(const Path& path, std::vector<std::uint8_t> data,
+               MetaTags tags = {});
+
+  /// Removes the subtree at `path`. Receivers learn through summary/digest
+  /// mismatch; there is no teardown message (soft state).
+  bool remove(const Path& path);
+
+  [[nodiscard]] const NamespaceTree& tree() const { return tree_; }
+
+  // ----------------------------------------------------------- network in
+
+  /// Feeds a packet arriving on the reverse (feedback) path.
+  void handle_feedback(const WireBytes& bytes);
+
+  // ------------------------------------------------------------- control
+
+  /// Attaches a profile-driven allocator; each receiver report then triggers
+  /// re-allocation of {mu_data, hot share} and possibly a rate warning.
+  void set_allocator(std::unique_ptr<BandwidthAllocator> allocator) {
+    allocator_ = std::move(allocator);
+  }
+
+  /// Called when the allocator detects the application exceeding its
+  /// sustainable rate (paper: "notification ... gives the application an
+  /// opportunity to adapt").
+  void on_rate_warning(std::function<void(const Allocation&)> fn) {
+    rate_warning_fn_ = std::move(fn);
+  }
+
+  /// Called after every allocator-driven re-allocation (the session harness
+  /// uses this to retune the feedback path, which in a deployment would be
+  /// advertised in the session description).
+  void on_allocation(std::function<void(const Allocation&)> fn) {
+    allocation_fn_ = std::move(fn);
+  }
+
+  /// Applies an allocation directly (also used by the allocator path).
+  void apply(const Allocation& alloc);
+
+  /// Crash/restart support: pause() silences the sender entirely (the
+  /// packet in service is lost, as a crash would lose it); resume()
+  /// restarts announcements — receivers that expired the session state
+  /// rebuild it from summaries and repair, with no special recovery code.
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  /// Current smoothed loss estimate from receiver reports.
+  [[nodiscard]] double measured_loss() const { return measured_loss_; }
+
+  [[nodiscard]] const SenderStats& stats() const { return stats_; }
+  [[nodiscard]] const SenderConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t hot_depth() const {
+    std::size_t n = 0;
+    for (const auto& q : hot_) n += q.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t hot_depth(std::size_t cls) const {
+    return hot_.at(cls).size();
+  }
+
+ private:
+  struct TxItem {
+    enum class Kind : std::uint8_t { kData, kSignatures } kind = Kind::kData;
+    Path path;
+    std::uint64_t offset = 0;  // next byte to send (data items)
+    std::uint64_t end = 0;     // one past the last byte to send
+    std::uint64_t version = 0; // version the item was queued for
+    bool is_repair = false;
+  };
+
+  void enqueue_data(const Path& path, std::uint64_t offset, std::uint64_t end,
+                    std::uint64_t version, bool is_repair);
+  [[nodiscard]] std::size_t class_of(const Path& path,
+                                     const MetaTags& tags) const;
+  void maybe_start_service();
+  void finish_service();
+  /// Head-of-line packet size in bits for the scheduler, or sched::kEmpty.
+  double hot_head_bits(std::size_t cls);
+  double cold_head_bits();
+  /// Builds the packet for the class's hot head WITHOUT consuming it.
+  std::optional<std::pair<Message, sim::Bytes>> build_hot_head(
+      std::size_t cls);
+  void consume_hot_head(std::size_t cls, const Message& msg);
+  Message build_summary();
+  void handle_nack(const NackMsg& nack);
+  void handle_sig_request(const SigRequestMsg& req);
+  void handle_report(const ReceiverReportMsg& report);
+  [[nodiscard]] bool cold_eligible() const;
+  void arm_cold_wakeup();
+  void track_app_bytes(double bytes);
+
+  sim::Simulator* sim_;
+  SenderConfig config_;
+  std::function<void(const WireBytes&, sim::Bytes)> transmit_;
+  NamespaceTree tree_;
+  // Allocation hierarchy (Figure 12): root -> { hot group (per-class
+  // leaves), cold leaf }. External class i = hot class i; class N = cold.
+  sched::HierarchicalScheduler scheduler_;
+  std::size_t hot_group_ = 0;
+  std::size_t cold_class_ = 0;
+
+  std::vector<std::deque<TxItem>> hot_;  // one queue per app class
+  std::set<Path> queued_paths_;    // data items queued (dedup)
+  std::set<Path> queued_sigs_;     // signature replies queued (dedup)
+  std::size_t pending_repairs_ = 0;
+
+  bool busy_ = false;
+  bool paused_ = false;
+  sim::Timer service_timer_;
+  sim::Timer cold_wakeup_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t summary_epoch_ = 0;
+  sim::SimTime last_summary_ = -1e18;
+
+  std::unique_ptr<BandwidthAllocator> allocator_;
+  std::function<void(const Allocation&)> rate_warning_fn_;
+  std::function<void(const Allocation&)> allocation_fn_;
+  double measured_loss_ = 0.0;
+  bool loss_seeded_ = false;
+
+  // Application arrival-rate estimate (EWMA over 10-second buckets).
+  double app_rate_bps_ = 0.0;
+  double app_bucket_bytes_ = 0.0;
+  sim::SimTime app_bucket_start_ = 0.0;
+
+  SenderStats stats_;
+};
+
+}  // namespace sst::sstp

@@ -1,0 +1,131 @@
+#include "sstp/session.hpp"
+
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "sim/random.hpp"
+
+namespace sst::sstp {
+
+namespace {
+
+std::unique_ptr<net::LossModel> make_loss(double rate, sim::Rng rng) {
+  if (rate <= 0.0) return std::make_unique<net::NoLoss>();
+  return std::make_unique<net::BernoulliLoss>(rate, rng);
+}
+
+std::unique_ptr<net::DelayModel> make_delay(const SessionConfig& cfg,
+                                            sim::Rng rng) {
+  if (cfg.jitter > 0.0) {
+    return std::make_unique<net::UniformJitterDelay>(cfg.delay, cfg.jitter,
+                                                     rng);
+  }
+  return std::make_unique<net::FixedDelay>(cfg.delay);
+}
+
+}  // namespace
+
+Session::Session(sim::Simulator& sim, SessionConfig config)
+    : sim_(&sim),
+      config_(config),
+      sampler_(sim),
+      consistency_(sim.now(), 1.0) {
+  const sim::Rng root(config_.seed);
+  const double fb_loss =
+      config_.fb_loss_rate < 0 ? config_.loss_rate : config_.fb_loss_rate;
+
+  data_channel_ = std::make_unique<net::Channel<WireBytes>>(sim);
+
+  config_.receiver.algo = config_.sender.algo;
+  sender_ = std::make_unique<Sender>(
+      sim, config_.sender, [this](const WireBytes& bytes, sim::Bytes size) {
+        data_channel_->send(bytes, size);
+      });
+
+  for (std::size_t r = 0; r < config_.num_receivers; ++r) {
+    // Reverse path: receiver -> rate-limited link -> lossy channel -> sender.
+    fb_channels_.push_back(std::make_unique<net::Channel<WireBytes>>(sim));
+    fb_channels_.back()->add_receiver(
+        make_loss(fb_loss, root.fork("fb-loss", r)),
+        make_delay(config_, root.fork("fb-delay", r)),
+        [this](const WireBytes& bytes) { sender_->handle_feedback(bytes); });
+    net::Channel<WireBytes>* fb_chan = fb_channels_.back().get();
+    fb_links_.push_back(std::make_unique<net::Link<WireBytes>>(
+        sim, config_.mu_fb,
+        [fb_chan](const WireBytes& bytes, sim::Bytes size) {
+          fb_chan->send(bytes, size);
+        },
+        /*queue_limit=*/8));
+    net::Link<WireBytes>* fb_link = fb_links_.back().get();
+
+    receivers_.push_back(std::make_unique<Receiver>(
+        sim, config_.receiver,
+        [fb_link](const WireBytes& bytes, sim::Bytes size) {
+          fb_link->send(bytes, size);
+        },
+        root.fork("recv-rng", r)));
+
+    Receiver* recv = receivers_.back().get();
+    data_channel_->add_receiver(
+        make_loss(config_.loss_rate, root.fork("loss", r)),
+        make_delay(config_, root.fork("delay", r)),
+        [recv](const WireBytes& bytes) { recv->handle(bytes); });
+  }
+
+  if (config_.use_allocator) {
+    sender_->set_allocator(std::make_unique<BandwidthAllocator>(
+        config_.allocator, empirical_feedback_profile()));
+    // Apply the feedback side of each allocation to the reverse links (in a
+    // deployment this rides in the session description / announcements).
+    sender_->on_allocation([this](const Allocation& alloc) {
+      for (auto& link : fb_links_) link->set_rate(alloc.mu_fb);
+    });
+  }
+
+  if (config_.sample_interval > 0) {
+    sampler_.start(config_.sample_interval, [this] { sample(); });
+  }
+}
+
+double Session::instantaneous_consistency() const {
+  const NamespaceTree& sender_tree = sender_->tree();
+  if (sender_tree.leaf_count() == 0 || receivers_.empty()) return 1.0;
+
+  double sum = 0.0;
+  for (const auto& recv : receivers_) {
+    const NamespaceTree& rt = recv->tree();
+    std::size_t consistent = 0;
+    sender_tree.for_each_leaf(
+        Path{}, [&rt, &consistent](const Path& path, const Adu& adu) {
+          const Adu* mirror = rt.find(path);
+          if (mirror != nullptr && mirror->version == adu.version &&
+              mirror->complete()) {
+            ++consistent;
+          }
+        });
+    sum += static_cast<double>(consistent) /
+           static_cast<double>(sender_tree.leaf_count());
+  }
+  return sum / static_cast<double>(receivers_.size());
+}
+
+void Session::sample() {
+  consistency_.update(sim_->now(), instantaneous_consistency());
+}
+
+double Session::average_consistency() {
+  consistency_.update(sim_->now(), instantaneous_consistency());
+  return consistency_.average();
+}
+
+void Session::reset_consistency_stats() {
+  consistency_.update(sim_->now(), instantaneous_consistency());
+  consistency_.reset(sim_->now());
+}
+
+double Session::feedback_bytes() const {
+  double total = 0.0;
+  for (const auto& ch : fb_channels_) total += ch->stats().bytes_sent;
+  return total;
+}
+
+}  // namespace sst::sstp

@@ -1,0 +1,94 @@
+// session.hpp — one-call wiring of an SSTP session in the simulator.
+//
+// Builds a sender and N receivers, connects them through lossy forward and
+// rate-limited reverse (feedback) paths, optionally installs the
+// profile-driven allocator, and measures system consistency over the
+// namespace trees (sampled; the trees' cached digests make each sample
+// cheap). Examples, integration tests, and the SSTP benches all ride on
+// this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sstp/allocator.hpp"
+#include "sstp/receiver.hpp"
+#include "sstp/sender.hpp"
+#include "stats/time_average.hpp"
+
+namespace sst::sstp {
+
+/// Session wiring parameters.
+struct SessionConfig {
+  SenderConfig sender;
+  ReceiverConfig receiver;
+  std::size_t num_receivers = 1;
+
+  sim::Rate mu_fb = sim::kbps(15);  // feedback capacity per receiver
+  double loss_rate = 0.1;           // forward loss
+  double fb_loss_rate = -1.0;       // reverse loss; <0 copies loss_rate
+  sim::Duration delay = 0.01;
+  sim::Duration jitter = 0.0;
+  std::uint64_t seed = 1;
+
+  bool use_allocator = false;
+  BandwidthAllocator::Config allocator;
+
+  sim::Duration sample_interval = 0.5;  // consistency sampling cadence
+};
+
+/// A fully wired simulated SSTP session.
+class Session {
+ public:
+  Session(sim::Simulator& sim, SessionConfig config);
+
+  [[nodiscard]] Sender& sender() { return *sender_; }
+  [[nodiscard]] Receiver& receiver(std::size_t i = 0) {
+    return *receivers_.at(i);
+  }
+  [[nodiscard]] std::size_t receiver_count() const {
+    return receivers_.size();
+  }
+
+  /// Fraction of the sender's leaves that every receiver holds complete at
+  /// the current version, averaged over receivers (1.0 for an empty store).
+  [[nodiscard]] double instantaneous_consistency() const;
+
+  /// Time average of the sampled consistency since construction (or the last
+  /// reset).
+  [[nodiscard]] double average_consistency();
+  void reset_consistency_stats();
+
+  /// Observed forward-channel loss rate (ground truth, for comparison with
+  /// the receivers' estimates).
+  [[nodiscard]] double observed_loss() const {
+    return data_channel_->stats().observed_loss_rate();
+  }
+
+  /// Forward bytes offered to the channel (data + summaries + signatures).
+  [[nodiscard]] double forward_bytes() const {
+    return data_channel_->stats().bytes_sent;
+  }
+  /// Feedback bytes offered across all reverse paths.
+  [[nodiscard]] double feedback_bytes() const;
+
+ private:
+  void sample();
+
+  sim::Simulator* sim_;
+  SessionConfig config_;
+  std::unique_ptr<net::Channel<WireBytes>> data_channel_;
+  std::unique_ptr<Sender> sender_;
+  std::vector<std::unique_ptr<Receiver>> receivers_;
+  std::vector<std::unique_ptr<net::Link<WireBytes>>> fb_links_;
+  std::vector<std::unique_ptr<net::Channel<WireBytes>>> fb_channels_;
+  sim::PeriodicTimer sampler_;
+  stats::TimeAverage consistency_;
+};
+
+}  // namespace sst::sstp

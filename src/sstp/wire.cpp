@@ -1,0 +1,278 @@
+#include "sstp/wire.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace sst::sstp {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kData = 1,
+  kSummary = 2,
+  kSigRequest = 3,
+  kSignatures = 4,
+  kNack = 5,
+  kReceiverReport = 6,
+};
+
+// Hard caps protecting decoders against hostile length fields.
+constexpr std::size_t kMaxPathComponents = 64;
+constexpr std::size_t kMaxNameLen = 255;
+constexpr std::size_t kMaxTags = 32;
+constexpr std::size_t kMaxChildren = 4096;
+constexpr std::size_t kMaxChunk = 1 << 20;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  void str(const std::string& s) {
+    u8(static_cast<std::uint8_t>(std::min<std::size_t>(s.size(), 255)));
+    out_.insert(out_.end(), s.begin(),
+                s.begin() + static_cast<std::ptrdiff_t>(
+                                std::min<std::size_t>(s.size(), 255)));
+  }
+  void digest(const hash::Digest& d) {
+    out_.insert(out_.end(), d.bytes().begin(), d.bytes().end());
+  }
+  void path(const Path& p) {
+    u8(static_cast<std::uint8_t>(p.components().size()));
+    for (const auto& c : p.components()) str(c);
+  }
+  void tags(const MetaTags& t) {
+    u8(static_cast<std::uint8_t>(std::min<std::size_t>(t.size(), kMaxTags)));
+    for (std::size_t i = 0; i < t.size() && i < kMaxTags; ++i) str(t[i]);
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > in_.size()) return false;
+    v = in_[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > in_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(in_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > in_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(in_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, 8);
+    return true;
+  }
+  bool bytes(std::vector<std::uint8_t>& b, std::size_t max) {
+    std::uint32_t len;
+    if (!u32(len) || len > max || pos_ + len > in_.size()) return false;
+    b.assign(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             in_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint8_t len;
+    if (!u8(len) || len > kMaxNameLen || pos_ + len > in_.size()) return false;
+    s.assign(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool digest(hash::Digest& d) {
+    if (pos_ + 16 > in_.size()) return false;
+    hash::Digest::Bytes b;
+    std::memcpy(b.data(), in_.data() + pos_, 16);
+    pos_ += 16;
+    d = hash::Digest(b);
+    return true;
+  }
+  bool path(Path& p) {
+    std::uint8_t n;
+    if (!u8(n) || n > kMaxPathComponents) return false;
+    std::vector<std::string> comps;
+    comps.reserve(n);
+    for (std::uint8_t i = 0; i < n; ++i) {
+      std::string c;
+      if (!str(c) || c.empty()) return false;  // canonical: no empty names
+      comps.push_back(std::move(c));
+    }
+    p = Path(std::move(comps));
+    return true;
+  }
+  bool tags(MetaTags& t) {
+    std::uint8_t n;
+    if (!u8(n) || n > kMaxTags) return false;
+    t.clear();
+    t.reserve(n);
+    for (std::uint8_t i = 0; i < n; ++i) {
+      std::string s;
+      if (!str(s)) return false;
+      t.push_back(std::move(s));
+    }
+    return true;
+  }
+  /// All input consumed — trailing garbage is rejected.
+  [[nodiscard]] bool done() const { return pos_ == in_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  Writer w;
+  if (const auto* m = std::get_if<DataMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kData));
+    w.path(m->path);
+    w.u64(m->version);
+    w.u64(m->total_size);
+    w.u64(m->offset);
+    w.bytes(m->chunk);
+    w.tags(m->tags);
+    w.u64(m->seq);
+    w.u8(m->is_repair ? 1 : 0);
+  } else if (const auto* m2 = std::get_if<SummaryMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSummary));
+    w.digest(m2->root_digest);
+    w.u64(m2->epoch);
+    w.u64(m2->leaf_count);
+  } else if (const auto* m3 = std::get_if<SigRequestMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSigRequest));
+    w.path(m3->path);
+  } else if (const auto* m4 = std::get_if<SignaturesMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSignatures));
+    w.path(m4->path);
+    w.digest(m4->node_digest);
+    w.u32(static_cast<std::uint32_t>(m4->children.size()));
+    for (const auto& c : m4->children) {
+      w.str(c.name);
+      w.digest(c.digest);
+      w.u8(c.is_leaf ? 1 : 0);
+      w.tags(c.tags);
+    }
+  } else if (const auto* m5 = std::get_if<NackMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kNack));
+    w.path(m5->path);
+    w.u64(m5->version_hint);
+    w.u64(m5->from_offset);
+  } else if (const auto* m6 = std::get_if<ReceiverReportMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kReceiverReport));
+    w.f64(m6->loss_estimate);
+    w.u64(m6->received);
+    w.u64(m6->expected);
+  }
+  return w.take();
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  std::uint8_t type;
+  if (!r.u8(type)) return std::nullopt;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kData: {
+      DataMsg m;
+      std::uint8_t repair;
+      if (!r.path(m.path) || !r.u64(m.version) || !r.u64(m.total_size) ||
+          !r.u64(m.offset) || !r.bytes(m.chunk, kMaxChunk) ||
+          !r.tags(m.tags) || !r.u64(m.seq) || !r.u8(repair) || !r.done()) {
+        return std::nullopt;
+      }
+      if (m.path.is_root()) return std::nullopt;
+      if (m.offset > m.total_size ||
+          m.offset + m.chunk.size() > m.total_size) {
+        return std::nullopt;
+      }
+      m.is_repair = repair != 0;
+      return m;
+    }
+    case MsgType::kSummary: {
+      SummaryMsg m;
+      if (!r.digest(m.root_digest) || !r.u64(m.epoch) ||
+          !r.u64(m.leaf_count) || !r.done()) {
+        return std::nullopt;
+      }
+      return m;
+    }
+    case MsgType::kSigRequest: {
+      SigRequestMsg m;
+      if (!r.path(m.path) || !r.done()) return std::nullopt;
+      return m;
+    }
+    case MsgType::kSignatures: {
+      SignaturesMsg m;
+      std::uint32_t n;
+      if (!r.path(m.path) || !r.digest(m.node_digest) || !r.u32(n) ||
+          n > kMaxChildren) {
+        return std::nullopt;
+      }
+      m.children.resize(n);
+      for (auto& c : m.children) {
+        std::uint8_t leaf;
+        if (!r.str(c.name) || c.name.empty() || !r.digest(c.digest) ||
+            !r.u8(leaf) || !r.tags(c.tags)) {
+          return std::nullopt;
+        }
+        c.is_leaf = leaf != 0;
+      }
+      if (!r.done()) return std::nullopt;
+      return m;
+    }
+    case MsgType::kNack: {
+      NackMsg m;
+      if (!r.path(m.path) || !r.u64(m.version_hint) ||
+          !r.u64(m.from_offset) || !r.done()) {
+        return std::nullopt;
+      }
+      if (m.path.is_root()) return std::nullopt;
+      return m;
+    }
+    case MsgType::kReceiverReport: {
+      ReceiverReportMsg m;
+      if (!r.f64(m.loss_estimate) || !r.u64(m.received) ||
+          !r.u64(m.expected) || !r.done()) {
+        return std::nullopt;
+      }
+      if (!(m.loss_estimate >= 0.0 && m.loss_estimate <= 1.0)) {
+        return std::nullopt;
+      }
+      return m;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace sst::sstp

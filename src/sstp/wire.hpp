@@ -1,0 +1,90 @@
+// wire.hpp — SSTP's binary wire format.
+//
+// Unlike the abstract struct-passing core protocols, SSTP messages are
+// serialized to bytes and parsed back with full bounds checking, as a real
+// deployment would require. The format is little-endian, length-prefixed,
+// and versioned by a magic/type byte. Decode failures return nullopt (a
+// malformed packet is dropped, never trusted).
+//
+// Message inventory (paper Section 6):
+//   Data        — one chunk of a leaf ADU (ALF: independently processable)
+//   Summary     — periodic "cold" announcement of the sender's root digest
+//   SigRequest  — receiver asks for the child signatures of one node
+//   Signatures  — sender's reply: per-child {name, digest, leaf?, tags}
+//   Nack        — receiver requests (re)transmission of a leaf from offset
+//   ReceiverReport — RTCP-like loss/receipt statistics for the allocator
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "sstp/namespace_tree.hpp"
+#include "sstp/path.hpp"
+
+namespace sst::sstp {
+
+/// One chunk of a leaf ADU.
+struct DataMsg {
+  Path path;
+  std::uint64_t version = 0;
+  std::uint64_t total_size = 0;
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> chunk;
+  MetaTags tags;
+  std::uint64_t seq = 0;       // per-sender transmission sequence
+  bool is_repair = false;      // answers a NACK
+};
+
+/// Periodic root-summary announcement.
+struct SummaryMsg {
+  hash::Digest root_digest;
+  std::uint64_t epoch = 0;       // sender's announcement counter
+  std::uint64_t leaf_count = 0;  // advisory, for receiver progress metrics
+};
+
+/// Recursive-descent repair query.
+struct SigRequestMsg {
+  Path path;
+};
+
+/// Reply to a SigRequest.
+struct SignaturesMsg {
+  Path path;
+  hash::Digest node_digest;
+  std::vector<ChildSummary> children;
+};
+
+/// Request for (re)transmission of a leaf's bytes from `from_offset`.
+struct NackMsg {
+  Path path;
+  std::uint64_t version_hint = 0;  // receiver's current version (0 = none)
+  std::uint64_t from_offset = 0;
+};
+
+/// RTCP-like receiver report.
+struct ReceiverReportMsg {
+  double loss_estimate = 0.0;    // smoothed loss fraction in [0,1]
+  std::uint64_t received = 0;    // packets received since last report
+  std::uint64_t expected = 0;    // packets expected since last report
+};
+
+using Message =
+    std::variant<DataMsg, SummaryMsg, SigRequestMsg, SignaturesMsg, NackMsg,
+                 ReceiverReportMsg>;
+
+/// Serializes a message. Never fails (memory aside).
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Parses a message; nullopt on any malformed input (short buffer, bad type,
+/// overlong counts, non-canonical paths).
+std::optional<Message> decode(const std::vector<std::uint8_t>& bytes);
+
+/// Wire size of the encoded message plus UDP/IP framing overhead, for
+/// charging the simulated channel.
+inline constexpr std::uint32_t kFramingOverhead = 28;
+
+}  // namespace sst::sstp

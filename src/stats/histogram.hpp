@@ -1,0 +1,111 @@
+// histogram.hpp — fixed-bin and quantile-capable histograms for latency and
+// queue-depth distributions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sst::stats {
+
+/// Fixed-width-bin histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins == 0 ? 1 : bins),
+        counts_(bins == 0 ? 1 : bins, 0) {}
+
+  void add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                              static_cast<double>(bins_));
+    ++counts_[std::min(idx, bins_ - 1)];
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] std::size_t bins() const { return bins_; }
+
+  /// Lower edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(bins_);
+  }
+
+  /// Approximate quantile q in [0,1] by linear interpolation within the bin.
+  /// Underflow mass reports lo, overflow mass reports hi.
+  [[nodiscard]] double quantile(double q) const {
+    if (total_ == 0) return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum) return lo_;
+    for (std::size_t i = 0; i < bins_; ++i) {
+      const double next = cum + static_cast<double>(counts_[i]);
+      if (target <= next && counts_[i] > 0) {
+        const double frac = (target - cum) / static_cast<double>(counts_[i]);
+        const double width = (hi_ - lo_) / static_cast<double>(bins_);
+        return bin_lo(i) + frac * width;
+      }
+      cum = next;
+    }
+    return hi_;
+  }
+
+ private:
+  double lo_, hi_;
+  std::size_t bins_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Exact-quantile reservoir: stores every sample (fine for the 1e4–1e6
+/// latency samples a run produces) and sorts on demand.
+class Samples {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+
+  [[nodiscard]] double quantile(double q) {
+    if (data_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(data_.size() - 1) + 0.5);
+    return data_[idx];
+  }
+
+  [[nodiscard]] double mean() const {
+    if (data_.empty()) return 0.0;
+    double s = 0.0;
+    for (const double x : data_) s += x;
+    return s / static_cast<double>(data_.size());
+  }
+
+ private:
+  std::vector<double> data_;
+  bool sorted_ = false;
+};
+
+}  // namespace sst::stats

@@ -1,0 +1,82 @@
+#include "stats/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sst::stats {
+
+namespace {
+
+// Compact numeric rendering: integers without decimals, small magnitudes
+// with enough precision to be useful.
+std::string format_value(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else if (std::fabs(v) >= 0.001 || v == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void ResultTable::print(std::FILE* out, const std::string& title) const {
+  // Column widths: max of header and rendered values.
+  std::vector<std::size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::string s = c < row.size() ? format_value(row[c]) : "-";
+      widths[c] = std::max(widths[c], s.size());
+      r.push_back(std::move(s));
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+
+  std::fprintf(out, "\n%s\n", title.c_str());
+  for (std::size_t i = 0; i < std::max<std::size_t>(total, title.size()); ++i)
+    std::fputc('-', out);
+  std::fputc('\n', out);
+
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::fprintf(out, "%*s  ", static_cast<int>(widths[c]),
+                 columns_[c].c_str());
+  }
+  std::fputc('\n', out);
+  for (const auto& r : rendered) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::fprintf(out, "%*s  ", static_cast<int>(widths[c]), r[c].c_str());
+    }
+    std::fputc('\n', out);
+  }
+  std::fflush(out);
+}
+
+void ResultTable::print_tsv(std::FILE* out) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::fprintf(out, "%s%c", columns_[c].c_str(),
+                 c + 1 == columns_.size() ? '\n' : '\t');
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::fprintf(out, "%s%c",
+                   c < row.size() ? format_value(row[c]).c_str() : "-",
+                   c + 1 == columns_.size() ? '\n' : '\t');
+    }
+  }
+  std::fflush(out);
+}
+
+}  // namespace sst::stats

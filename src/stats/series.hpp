@@ -1,0 +1,49 @@
+// series.hpp — result tables for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures as a
+// text table: named columns, one row per sweep point or time sample, printed
+// in a fixed-width layout (and optionally TSV for plotting). Keeping this in
+// one place makes all bench output uniform and diffable.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sst::stats {
+
+/// A rectangular results table.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Appends a row; must have one value per column.
+  void add_row(std::initializer_list<double> values) {
+    rows_.emplace_back(values);
+  }
+  void add_row(std::vector<double> values) {
+    rows_.push_back(std::move(values));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Pretty fixed-width print to `out` with a title banner.
+  void print(std::FILE* out, const std::string& title) const;
+
+  /// Tab-separated print (no banner) for machine consumption.
+  void print_tsv(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace sst::stats

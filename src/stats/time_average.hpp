@@ -1,0 +1,76 @@
+// time_average.hpp — time-weighted averaging of a piecewise-constant signal.
+//
+// The paper's average system consistency E[c(t)] is the *time* average of the
+// instantaneous consistency c(t) (Section 2.1). c(t) is piecewise constant —
+// it changes only at discrete events (arrival, delivery, expiry) — so the
+// exact time average is the sum of value*holding-time over the observation
+// window. This accumulator implements that, with an optional warm-up cutoff
+// so transients don't bias steady-state estimates.
+#pragma once
+
+#include "sim/units.hpp"
+
+namespace sst::stats {
+
+/// Exact time average of a piecewise-constant signal.
+class TimeAverage {
+ public:
+  /// Starts observing at time `start` with initial value `value`.
+  explicit TimeAverage(sim::SimTime start = 0.0, double value = 0.0)
+      : last_time_(start), value_(value) {}
+
+  /// Records that the signal changed to `value` at time `now` (>= the last
+  /// update time; earlier times are clamped).
+  void update(sim::SimTime now, double value) {
+    advance(now);
+    value_ = value;
+  }
+
+  /// Accounts the current value up to `now` without changing it.
+  void advance(sim::SimTime now) {
+    if (now > last_time_) {
+      weighted_sum_ += value_ * (now - last_time_);
+      duration_ += now - last_time_;
+      last_time_ = now;
+    }
+  }
+
+  /// Time average over [start, now] after accounting up to `now`.
+  [[nodiscard]] double average(sim::SimTime now) {
+    advance(now);
+    return duration_ > 0 ? weighted_sum_ / duration_ : value_;
+  }
+
+  /// Time average over everything advanced so far.
+  [[nodiscard]] double average() const {
+    return duration_ > 0 ? weighted_sum_ / duration_ : value_;
+  }
+
+  /// Drops all accumulated history; the signal keeps its current value and
+  /// observation restarts at `now`. Used to discard warm-up transients.
+  void reset(sim::SimTime now) {
+    advance(now);
+    weighted_sum_ = 0.0;
+    duration_ = 0.0;
+    last_time_ = now;
+  }
+
+  /// Current (most recently set) signal value.
+  [[nodiscard]] double current() const { return value_; }
+
+  /// Accumulated integral of the signal (value x time) since construction or
+  /// the last reset. Windowed averages are integral differences divided by
+  /// the window length.
+  [[nodiscard]] double integral() const { return weighted_sum_; }
+
+  /// Total observed duration.
+  [[nodiscard]] double duration() const { return duration_; }
+
+ private:
+  sim::SimTime last_time_;
+  double value_;
+  double weighted_sum_ = 0.0;
+  double duration_ = 0.0;
+};
+
+}  // namespace sst::stats

@@ -1,0 +1,53 @@
+// welford.hpp — numerically stable running mean/variance and confidence
+// intervals for sample statistics (receive latency, per-run consistency
+// across seeds, ...).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sst::stats {
+
+/// Welford's online algorithm for mean and variance.
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  /// Half-width of an approximate 95% confidence interval for the mean
+  /// (normal approximation; adequate for the n >= 10 replications used in
+  /// the benches).
+  [[nodiscard]] double ci95_half_width() const { return 1.96 * sem(); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sst::stats

@@ -1,0 +1,175 @@
+// Tests for scalable timers (adaptive TTL estimation), the extension the
+// paper's related work points to via Sharma et al.: the receiver estimates
+// the sender's refresh interval and expires state after `factor` estimated
+// intervals, tracking senders that change their refresh rate.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_ttl.hpp"
+#include "core/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::core {
+namespace {
+
+TEST(RefreshIntervalEstimator, NeedsTwoRefreshesToSeed) {
+  RefreshIntervalEstimator est;
+  EXPECT_FALSE(est.seeded());
+  est.on_refresh(10.0);
+  EXPECT_FALSE(est.seeded());
+  est.on_refresh(15.0);
+  EXPECT_TRUE(est.seeded());
+  EXPECT_DOUBLE_EQ(est.estimate(), 5.0);
+}
+
+TEST(RefreshIntervalEstimator, ConvergesToSteadyInterval) {
+  RefreshIntervalEstimator est;
+  double t = 0;
+  for (int i = 0; i < 50; ++i) {
+    t += 2.0;
+    est.on_refresh(t);
+  }
+  EXPECT_NEAR(est.estimate(), 2.0, 0.01);
+}
+
+TEST(RefreshIntervalEstimator, TracksRateChanges) {
+  RefreshIntervalEstimator est;
+  double t = 0;
+  for (int i = 0; i < 30; ++i) {
+    t += 1.0;
+    est.on_refresh(t);
+  }
+  EXPECT_NEAR(est.estimate(), 1.0, 0.05);
+  // Sender slows to one refresh per 8 s; estimate must follow upward.
+  for (int i = 0; i < 30; ++i) {
+    t += 8.0;
+    est.on_refresh(t);
+  }
+  EXPECT_NEAR(est.estimate(), 8.0, 0.5);
+}
+
+TEST(RefreshIntervalEstimator, SingleQuickRefreshDoesNotCollapseEstimate) {
+  RefreshIntervalEstimator est;
+  double t = 0;
+  for (int i = 0; i < 20; ++i) {
+    t += 10.0;
+    est.on_refresh(t);
+  }
+  // One anomalous back-to-back refresh (e.g. a repair right after a cold
+  // announcement) must not halve the timeout basis.
+  est.on_refresh(t + 0.01);
+  EXPECT_GT(est.estimate(), 4.0);
+}
+
+TEST(AdaptiveTtlConfig, TtlRules) {
+  AdaptiveTtlConfig cfg;
+  cfg.factor = 3.0;
+  cfg.initial_ttl = 30.0;
+  cfg.min_ttl = 2.0;
+  cfg.max_ttl = 100.0;
+  RefreshIntervalEstimator est;
+  EXPECT_DOUBLE_EQ(cfg.ttl_for(est), 30.0);  // unseeded -> initial
+  est.on_refresh(0.0);
+  est.on_refresh(5.0);  // estimate 5
+  EXPECT_DOUBLE_EQ(cfg.ttl_for(est), 15.0);
+  RefreshIntervalEstimator tiny;
+  tiny.on_refresh(0.0);
+  tiny.on_refresh(0.1);
+  EXPECT_DOUBLE_EQ(cfg.ttl_for(tiny), 2.0);  // clamped to min
+}
+
+// ------------------------------------------------------- ReceiverTable mode
+
+TEST(AdaptiveTable, SurvivesSenderSlowdownWhereFixedTtlExpires) {
+  sim::Simulator sim;
+  // Fixed-TTL receiver tuned for a 2 s refresh (TTL 6 s)...
+  ReceiverTable fixed(sim, 6.0);
+  // ...and an adaptive receiver with the same factor 3.
+  ReceiverTable adaptive(sim, 6.0);
+  AdaptiveTtlConfig cfg;
+  cfg.factor = 3.0;
+  cfg.initial_ttl = 6.0;
+  adaptive.enable_adaptive_ttl(cfg);
+
+  int fixed_expiries = 0, adaptive_expiries = 0;
+  fixed.on_expire([&](Key, Version) { ++fixed_expiries; });
+  adaptive.on_expire([&](Key, Version) { ++adaptive_expiries; });
+
+  // Phase 1: refresh every 2 s for 60 s.
+  double t = 0;
+  while (t < 60.0) {
+    t += 2.0;
+    sim.run_until(t);
+    fixed.refresh(1, 1);
+    adaptive.refresh(1, 1);
+  }
+  // Phase 2: the sender adapts down to one refresh per 10 s (e.g. a larger
+  // session sharing fixed announcement bandwidth). Ramp so the estimator
+  // tracks, as a real sender backing off would.
+  for (const double gap : {3.0, 4.5, 6.5, 9.0}) {
+    t += gap;
+    sim.run_until(t);
+    fixed.refresh(1, 1);
+    adaptive.refresh(1, 1);
+  }
+  while (t < 180.0) {
+    t += 10.0;
+    sim.run_until(t);
+    fixed.refresh(1, 1);
+    adaptive.refresh(1, 1);
+  }
+  // Fixed TTL (6 s) false-expired the entry between 10 s refreshes; the
+  // adaptive table tracked the new interval.
+  EXPECT_GT(fixed_expiries, 3);
+  EXPECT_EQ(adaptive_expiries, 0);
+  EXPECT_GT(adaptive.current_ttl(1), 20.0);  // ~3 x 10 s
+
+  // Both still expire when the sender dies.
+  sim.run_until(t + 200.0);
+  EXPECT_EQ(adaptive.size(), 0u);
+}
+
+TEST(AdaptiveTable, ExpiresPromptlyForFastRefreshers) {
+  sim::Simulator sim;
+  ReceiverTable adaptive(sim, 0.0);
+  AdaptiveTtlConfig cfg;
+  cfg.factor = 3.0;
+  cfg.initial_ttl = 60.0;
+  cfg.min_ttl = 0.5;
+  adaptive.enable_adaptive_ttl(cfg);
+
+  double t = 0;
+  while (t < 20.0) {
+    t += 1.0;
+    sim.run_until(t);
+    adaptive.refresh(7, 1);
+  }
+  // TTL tracked down to ~3 s; after the sender dies the entry leaves within
+  // a few seconds instead of the 60 s initial guess.
+  EXPECT_LT(adaptive.current_ttl(7), 6.0);
+  sim.run_until(t + 10.0);
+  EXPECT_EQ(adaptive.size(), 0u);
+}
+
+TEST(AdaptiveTable, PerEntryIndependence) {
+  sim::Simulator sim;
+  ReceiverTable adaptive(sim, 0.0);
+  AdaptiveTtlConfig cfg;
+  cfg.factor = 3.0;
+  cfg.initial_ttl = 100.0;
+  adaptive.enable_adaptive_ttl(cfg);
+
+  double t = 0;
+  while (t < 40.0) {
+    t += 1.0;
+    sim.run_until(t);
+    adaptive.refresh(1, 1);              // fast refresher: every 1 s
+    if (static_cast<int>(t) % 8 == 0) {  // slow refresher: every 8 s
+      adaptive.refresh(2, 1);
+    }
+  }
+  EXPECT_LT(adaptive.current_ttl(1), 5.0);
+  EXPECT_GT(adaptive.current_ttl(2), 15.0);
+}
+
+}  // namespace
+}  // namespace sst::core

@@ -1,0 +1,179 @@
+// Tests for the Jackson open-loop model and consistency profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/jackson.hpp"
+#include "analysis/profiles.hpp"
+
+namespace sst::analysis {
+namespace {
+
+OpenLoopParams params(double lambda, double mu, double pc, double pd) {
+  OpenLoopParams p;
+  p.lambda = lambda;
+  p.mu_ch = mu;
+  p.p_loss = pc;
+  p.p_death = pd;
+  return p;
+}
+
+TEST(Jackson, TrafficEquationsSolved) {
+  // lambda=1, pc=0.2, pd=0.1:
+  //   X_I = 1 / (1 - 0.2*0.9) = 1/0.82
+  //   X_C = 0.8*0.9/0.1 * X_I = 7.2 * X_I
+  //   X   = 1/0.1 = 10
+  const auto s = solve_open_loop(params(1.0, 100.0, 0.2, 0.1));
+  EXPECT_NEAR(s.x_inconsistent, 1.0 / 0.82, 1e-12);
+  EXPECT_NEAR(s.x_consistent, 7.2 / 0.82, 1e-12);
+  EXPECT_NEAR(s.x_total, 10.0, 1e-9);
+  EXPECT_NEAR(s.x_inconsistent + s.x_consistent, s.x_total, 1e-9);
+}
+
+TEST(Jackson, StabilityCondition) {
+  // Stable iff p_d > lambda / mu.
+  EXPECT_TRUE(solve_open_loop(params(1.0, 20.0, 0.1, 0.2)).stable);
+  EXPECT_FALSE(solve_open_loop(params(1.0, 20.0, 0.1, 0.04)).stable);
+  // Boundary: rho = 1 exactly is unstable.
+  EXPECT_FALSE(solve_open_loop(params(1.0, 10.0, 0.0, 0.1)).stable);
+}
+
+TEST(Jackson, NoLossConsistencyIsClassMixTimesBusy) {
+  // With pc=0: X_C/X = (1-pd); busy = rho.
+  const auto s = solve_open_loop(params(1.0, 20.0, 0.0, 0.25));
+  const double rho = 1.0 / (0.25 * 20.0);
+  EXPECT_NEAR(s.consistency, 0.75 * rho, 1e-12);
+}
+
+TEST(Jackson, TotalLossMeansZeroConsistency) {
+  const auto s = solve_open_loop(params(1.0, 20.0, 1.0, 0.2));
+  EXPECT_NEAR(s.consistency, 0.0, 1e-12);
+  EXPECT_NEAR(s.redundancy, 0.0, 1e-12);
+}
+
+TEST(Jackson, ConsistencyMonotoneDecreasingInLoss) {
+  double prev = 1.0;
+  for (double pc = 0.0; pc <= 1.0; pc += 0.05) {
+    const auto s = solve_open_loop(params(2.0, 50.0, pc, 0.2));
+    EXPECT_LE(s.consistency, prev + 1e-12) << "pc=" << pc;
+    prev = s.consistency;
+  }
+}
+
+TEST(Jackson, ConsistencyDecreasingInDeathRateWhenSaturated) {
+  // Figure 3's second observation: higher death rate => lower consistency
+  // (items die before delivery). In the saturated regime busy=1 and the mix
+  // drives the result.
+  double prev = 1.0;
+  for (double pd = 0.05; pd <= 0.95; pd += 0.05) {
+    const auto s = solve_open_loop(params(10.0, 20.0, 0.1, pd));
+    if (s.rho >= 1.0) {
+      EXPECT_LE(s.consistency, prev + 1e-12) << "pd=" << pd;
+      prev = s.consistency;
+    }
+  }
+}
+
+TEST(Jackson, RedundantFractionFormula) {
+  // W = (1-pc)(1-pd) / (1 - pc(1-pd)).
+  EXPECT_NEAR(redundant_fraction(0.0, 0.1), 0.9, 1e-12);
+  EXPECT_NEAR(redundant_fraction(0.5, 0.1), 0.45 / 0.55, 1e-12);
+  EXPECT_NEAR(redundant_fraction(1.0, 0.1), 0.0, 1e-12);
+}
+
+TEST(Jackson, RedundancyPaperClaimFigure4) {
+  // "At loss rates of up to 50% and a death rate of 10%, over 80-90% of the
+  // total bandwidth is wasted on redundant retransmissions."
+  for (double pc = 0.0; pc <= 0.5; pc += 0.1) {
+    EXPECT_GT(redundant_fraction(pc, 0.10), 0.8) << "pc=" << pc;
+  }
+}
+
+TEST(Jackson, PaperClaimFigure3OperatingPoint) {
+  // "the system consistency lies between 85% and 95% for loss rates in the
+  // 1-10% range and an announcement death rate of 15%" — at the paper's
+  // lambda=20kbps, mu=128kbps the system is (just) saturated, and the class
+  // mix dominates. Verify the band with a tolerance for the saturation
+  // boundary.
+  for (double pc = 0.01; pc <= 0.10; pc += 0.01) {
+    const auto s = solve_open_loop(params(20.0, 128.0, pc, 0.15));
+    EXPECT_GT(s.consistency, 0.80) << "pc=" << pc;
+    EXPECT_LT(s.consistency, 0.95) << "pc=" << pc;
+  }
+}
+
+TEST(Jackson, MeanTxUntilSuccess) {
+  EXPECT_DOUBLE_EQ(mean_tx_until_success(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mean_tx_until_success(0.5), 2.0);
+  EXPECT_NEAR(mean_tx_until_success(0.9), 10.0, 1e-9);
+}
+
+TEST(Jackson, ProbEverReceived) {
+  // P = (1-pc) / (1 - pc(1-pd)).
+  EXPECT_DOUBLE_EQ(prob_ever_received(0.0, 0.5), 1.0);
+  EXPECT_NEAR(prob_ever_received(0.5, 0.2), 0.5 / 0.6, 1e-12);
+  EXPECT_NEAR(prob_ever_received(1.0, 0.2), 0.0, 1e-12);
+  // Immortal records are always eventually received (if pc < 1).
+  EXPECT_NEAR(prob_ever_received(0.9, 0.0), 1.0, 1e-12);
+}
+
+TEST(Jackson, MM1LatencyWhenStable) {
+  const auto s = solve_open_loop(params(1.0, 20.0, 0.0, 0.5));
+  // X = 2, mu = 20 => E[T] = 1/(20-2).
+  EXPECT_NEAR(s.mean_latency, 1.0 / 18.0, 1e-12);
+  EXPECT_NEAR(s.mean_records, (2.0 / 20.0) / (1.0 - 0.1), 1e-12);
+}
+
+// ----------------------------------------------------------------- profiles
+
+TEST(Profile2D, ExactAtGridPoints) {
+  Profile2D p({0.0, 1.0}, {0.0, 1.0}, {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(p.at(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(0.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0, 1.0), 4.0);
+}
+
+TEST(Profile2D, BilinearInterior) {
+  Profile2D p({0.0, 1.0}, {0.0, 1.0}, {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(p.at(0.5, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(p.at(0.25, 0.0), 1.5);
+}
+
+TEST(Profile2D, ClampsOutOfRange) {
+  Profile2D p({0.0, 1.0}, {0.0, 1.0}, {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(p.at(-5.0, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(5.0, 5.0), 4.0);
+}
+
+TEST(Profile2D, BestYPrefersSmallerOnTies) {
+  Profile2D p({0.0}, {0.1, 0.2, 0.3}, {{0.5, 0.9, 0.9}});
+  EXPECT_DOUBLE_EQ(p.best_y(0.0), 0.2);
+}
+
+TEST(Profile2D, MinYReachingTarget) {
+  Profile2D p({0.0}, {0.1, 0.2, 0.3}, {{0.5, 0.8, 0.95}});
+  EXPECT_DOUBLE_EQ(p.min_y_reaching(0.0, 0.7).value(), 0.2);
+  EXPECT_DOUBLE_EQ(p.min_y_reaching(0.0, 0.9).value(), 0.3);
+  EXPECT_FALSE(p.min_y_reaching(0.0, 0.99).has_value());
+}
+
+TEST(Profile2D, RejectsBadInput) {
+  EXPECT_THROW(Profile2D({}, {0.0}, {}), std::invalid_argument);
+  EXPECT_THROW(Profile2D({0.0}, {}, {{}}), std::invalid_argument);
+  EXPECT_THROW(Profile2D({0.0, 0.0}, {0.0}, {{1.0}, {1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(Profile2D({0.0}, {0.0}, {{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(Profile2D({0.0, 1.0}, {0.0}, {{1.0}}), std::invalid_argument);
+}
+
+TEST(Profile2D, OpenLoopProfileMatchesModel) {
+  const auto prof = make_open_loop_profile(
+      20.0, 128.0, {0.0, 0.1, 0.2, 0.5}, {0.1, 0.2, 0.5});
+  const auto s = solve_open_loop(params(20.0, 128.0, 0.2, 0.2));
+  EXPECT_NEAR(prof.at(0.2, 0.2), s.consistency, 1e-12);
+}
+
+}  // namespace
+}  // namespace sst::analysis

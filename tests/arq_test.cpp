@@ -1,0 +1,342 @@
+// Tests for the hard-state (ARQ) baseline: connection lifecycle, reliable
+// in-order delivery, RTO behaviour, failure detection, and epoch resync —
+// plus end-to-end comparisons against the soft state protocols under
+// partitions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "arq/experiment.hpp"
+#include "arq/receiver.hpp"
+#include "arq/sender.hpp"
+#include "core/experiment.hpp"
+#include "core/monitor.hpp"
+#include "net/channel.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::arq {
+namespace {
+
+// Direct wiring without rate limits for unit-level tests.
+struct Fixture {
+  sim::Simulator sim;
+  core::PublisherTable pub;
+  core::ConsistencyMonitor monitor{sim, pub};
+  core::WorkloadParams wp;
+  std::unique_ptr<core::Workload> workload;
+  core::ReceiverTable recv_table{sim, 0.0};
+  net::Channel<ArqMsg> fwd{sim};
+  net::Channel<ArqMsg> rev{sim};
+  std::unique_ptr<Sender> sender;
+  std::unique_ptr<Receiver> receiver;
+
+  explicit Fixture(double loss = 0.0,
+                   std::vector<std::pair<double, double>> outages = {},
+                   SenderConfig scfg = {}) {
+    monitor.attach(recv_table);
+    wp.insert_rate = 0.0;
+    workload = std::make_unique<core::Workload>(sim, pub, wp, sim::Rng(1));
+
+    auto make = [&](std::uint64_t seed) -> std::unique_ptr<net::LossModel> {
+      std::unique_ptr<net::LossModel> base;
+      if (loss <= 0) {
+        base = std::make_unique<net::NoLoss>();
+      } else {
+        base = std::make_unique<net::BernoulliLoss>(loss, sim::Rng(seed));
+      }
+      if (outages.empty()) return base;
+      return std::make_unique<net::OutageLoss>(std::move(base), outages);
+    };
+
+    Receiver** rp = &receiver_raw;
+    fwd.add_receiver(make(11), std::make_unique<net::FixedDelay>(0.01),
+                     [rp](const ArqMsg& m) {
+                       if (*rp != nullptr) (*rp)->handle(m);
+                     });
+    Sender** sp = &sender_raw;
+    rev.add_receiver(make(12), std::make_unique<net::FixedDelay>(0.01),
+                     [sp](const ArqMsg& m) {
+                       if (*sp != nullptr) (*sp)->handle(m);
+                     });
+
+    sender = std::make_unique<Sender>(
+        sim, pub, scfg,
+        [this](const ArqMsg& m, sim::Bytes s) { fwd.send(m, s); });
+    receiver = std::make_unique<Receiver>(
+        sim, recv_table,
+        [this](const ArqMsg& m, sim::Bytes s) { rev.send(m, s); });
+    sender_raw = sender.get();
+    receiver_raw = receiver.get();
+  }
+
+  Sender* sender_raw = nullptr;
+  Receiver* receiver_raw = nullptr;
+};
+
+TEST(ArqSender, ConnectsViaSynSynAck) {
+  Fixture f;
+  EXPECT_EQ(f.sender->state(), ConnState::kClosed);
+  f.sender->connect();
+  EXPECT_EQ(f.sender->state(), ConnState::kSynSent);
+  f.sim.run_until(1.0);
+  EXPECT_EQ(f.sender->state(), ConnState::kEstablished);
+  EXPECT_EQ(f.sender->epoch(), 1u);
+  EXPECT_EQ(f.receiver->epoch(), 1u);
+}
+
+TEST(ArqSender, SynRetransmittedUntilAnswered) {
+  // 100% loss for the first 5 s: SYN must keep retrying and succeed after.
+  Fixture f(0.0, {{0.0, 5.0}});
+  f.sender->connect();
+  f.sim.run_until(4.0);
+  EXPECT_EQ(f.sender->state(), ConnState::kSynSent);
+  EXPECT_GT(f.sender->stats().syn_tx, 1u);
+  f.sim.run_until(40.0);
+  EXPECT_EQ(f.sender->state(), ConnState::kEstablished);
+}
+
+TEST(ArqTransfer, ReliableInOrderDeliveryNoLoss) {
+  Fixture f;
+  f.sender->connect();
+  f.sim.run_until(1.0);
+  std::vector<core::Key> keys;
+  for (int i = 0; i < 50; ++i) keys.push_back(f.pub.insert({}, 500));
+  f.sim.run_until(10.0);
+  EXPECT_EQ(f.recv_table.size(), 50u);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+  EXPECT_EQ(f.sender->stats().retransmits, 0u);
+}
+
+TEST(ArqTransfer, RecoversFromLossViaRto) {
+  // 5% loss: the fast-retransmit + RTO machinery recovers everything.
+  // (At 20%+ loss a cumulative-ACK transport is timeout-dominated and slows
+  // to a crawl — quantified in bench_hardstate, not asserted here.)
+  Fixture f(0.05);
+  f.sender->connect();
+  f.sim.run_until(1.0);
+  for (int i = 0; i < 100; ++i) f.pub.insert({}, 500);
+  f.sim.run_until(300.0);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+  EXPECT_GT(f.sender->stats().retransmits, 0u);
+  EXPECT_EQ(f.receiver->stats().ops_applied, 100u);
+}
+
+TEST(ArqTransfer, UpdatesAndRemovesReplicate) {
+  Fixture f(0.1);
+  f.sender->connect();
+  f.sim.run_until(1.0);
+  const core::Key a = f.pub.insert({}, 500);
+  const core::Key b = f.pub.insert({}, 500);
+  f.sim.run_until(10.0);
+  f.pub.update(a, {1});
+  f.pub.remove(b);
+  f.sim.run_until(30.0);
+  ASSERT_NE(f.recv_table.find(a), nullptr);
+  EXPECT_EQ(f.recv_table.find(a)->version, 2u);
+  EXPECT_EQ(f.recv_table.find(b), nullptr);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+}
+
+TEST(ArqTransfer, CongestionWindowLimitsInflight) {
+  SenderConfig scfg;
+  scfg.window = 4;
+  // Total outage: nothing is ever acked, so admission is capped by the
+  // initial congestion window (2 segments) and never grows.
+  Fixture f(0.0, {{0.0, 1000.0}}, scfg);
+  f.sender->connect();
+  // Force establishment manually by faking a SYN-ACK (the channel is down).
+  ArqMsg synack;
+  synack.type = MsgType::kSynAck;
+  synack.epoch = 1;
+  f.sender->handle(synack);
+  ASSERT_EQ(f.sender->state(), ConnState::kEstablished);
+  for (int i = 0; i < 20; ++i) f.pub.insert({}, 500);
+  f.sim.run_until(2.0);
+  EXPECT_EQ(f.sender->inflight(), 2u);  // initial cwnd
+  EXPECT_LE(f.sender->stats().data_tx, 2u + f.sender->stats().retransmits);
+  EXPECT_EQ(f.sender->backlog(), 18u);
+}
+
+TEST(ArqFailure, ConsecutiveRtosKillConnection) {
+  SenderConfig scfg;
+  scfg.max_rtos = 3;
+  scfg.initial_rto = 0.5;
+  Fixture f(0.0, {{2.0, 10000.0}}, scfg);
+  f.sender->connect();
+  f.sim.run_until(1.0);
+  ASSERT_EQ(f.sender->state(), ConnState::kEstablished);
+  f.pub.insert({}, 500);  // transmitted into the void after t=2
+  f.sim.at(2.5, [&] { f.pub.insert({}, 500); });
+  f.sim.run_until(60.0);
+  EXPECT_GT(f.sender->stats().connection_deaths, 0u);
+  EXPECT_EQ(f.sender->state(), ConnState::kSynSent);  // probing forever
+}
+
+TEST(ArqFailure, ReconnectTriggersSnapshotResyncAndFlush) {
+  SenderConfig scfg;
+  scfg.max_rtos = 3;
+  scfg.initial_rto = 0.5;
+  scfg.reconnect_interval = 1.0;
+  Fixture f(0.0, {{20.0, 40.0}}, scfg);
+  f.sender->connect();
+  f.sim.run_until(1.0);
+  for (int i = 0; i < 30; ++i) f.pub.insert({}, 500);
+  f.sim.run_until(15.0);
+  ASSERT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+
+  // Changes during the partition are invisible to the receiver.
+  f.sim.at(25.0, [&] { f.pub.insert({}, 500); });
+  f.sim.run_until(39.0);
+  EXPECT_LT(f.monitor.instantaneous(), 1.0);
+  EXPECT_GT(f.sender->stats().connection_deaths, 0u);
+
+  // After the partition heals: reconnect, receiver flushes, full snapshot
+  // restores consistency.
+  f.sim.run_until(120.0);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+  EXPECT_GE(f.receiver->stats().flushes, 1u);
+  EXPECT_GE(f.sender->stats().snapshot_ops, 31u);
+  EXPECT_EQ(f.recv_table.size(), 31u);
+}
+
+TEST(ArqReceiver, OutOfOrderBufferedAndDrained) {
+  sim::Simulator sim;
+  core::ReceiverTable table(sim, 0.0);
+  std::vector<ArqMsg> acks;
+  Receiver recv(sim, table,
+                [&](const ArqMsg& m, sim::Bytes) { acks.push_back(m); });
+  ArqMsg syn;
+  syn.type = MsgType::kSyn;
+  syn.epoch = 1;
+  syn.seq = 0;
+  recv.handle(syn);
+
+  auto data = [](std::uint64_t seq, core::Key key) {
+    ArqMsg m;
+    m.type = MsgType::kData;
+    m.epoch = 1;
+    m.seq = seq;
+    m.op = Op{core::ChangeKind::kInsert, key, 1, 500};
+    return m;
+  };
+  recv.handle(data(1, 101));  // out of order
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(recv.next_expected(), 0u);
+  recv.handle(data(0, 100));  // fills the hole; both drain
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(recv.next_expected(), 2u);
+  // Duplicate is counted, not re-applied.
+  recv.handle(data(0, 100));
+  EXPECT_EQ(recv.stats().duplicates, 1u);
+  EXPECT_EQ(recv.stats().ops_applied, 2u);
+}
+
+TEST(ArqReceiver, StaleEpochIgnored) {
+  sim::Simulator sim;
+  core::ReceiverTable table(sim, 0.0);
+  Receiver recv(sim, table, [](const ArqMsg&, sim::Bytes) {});
+  ArqMsg syn;
+  syn.type = MsgType::kSyn;
+  syn.epoch = 2;
+  recv.handle(syn);
+  ArqMsg old_data;
+  old_data.type = MsgType::kData;
+  old_data.epoch = 1;
+  old_data.seq = 0;
+  old_data.op = Op{core::ChangeKind::kInsert, 1, 1, 100};
+  recv.handle(old_data);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+// ----------------------------------------------------- end-to-end harness
+
+TEST(HardState, SteadyStateFullConsistencyAndLowOverhead) {
+  // Hard state's sweet spot: a clean network. (At 10%+ loss a
+  // cumulative-ACK transport becomes timeout-dominated — that degradation
+  // is itself a result; see bench_hardstate.)
+  HardStateConfig cfg;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(10.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.mu_data = sim::kbps(45);
+  cfg.loss_rate = 0.02;
+  cfg.duration = 2000.0;
+  const auto r = run_hard_state(cfg);
+  EXPECT_GT(r.avg_consistency, 0.97);
+  EXPECT_EQ(r.connection_deaths, 0u);
+  // Hard state's steady-state advantage: each op is sent ~1/(1-p) times,
+  // no periodic refresh. Offered load stays near the workload rate.
+  EXPECT_LT(r.offered_data_kbps, 20.0);
+}
+
+TEST(HardState, DeterministicPerSeed) {
+  HardStateConfig cfg;
+  cfg.workload.insert_rate = 1.0;
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 60.0;
+  cfg.duration = 500.0;
+  const auto a = run_hard_state(cfg);
+  const auto b = run_hard_state(cfg);
+  EXPECT_EQ(a.data_tx, b.data_tx);
+  EXPECT_EQ(a.avg_consistency, b.avg_consistency);
+}
+
+TEST(HardVsSoft, PartitionRecovery) {
+  // A 120 s partition mid-run. Soft state: consistency degrades during the
+  // partition and recovers by normal protocol operation. Hard state: the
+  // connection dies, and recovery requires reconnect + flush + full
+  // snapshot — measured here as a burst of snapshot ops.
+  const std::vector<std::pair<double, double>> outages = {{800.0, 920.0}};
+
+  core::ExperimentConfig soft;
+  soft.variant = core::Variant::kFeedback;
+  soft.workload.insert_rate = core::insert_rate_from_kbps(10.0, 1000);
+  soft.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  soft.workload.mean_lifetime = 240.0;
+  soft.mu_data = sim::kbps(38);
+  soft.mu_fb = sim::kbps(7);
+  soft.hot_share = 0.7;
+  soft.loss_rate = 0.02;
+  soft.outages = outages;
+  soft.duration = 2000.0;
+  soft.warmup = 200.0;
+  const auto s = core::run_experiment(soft);
+
+  HardStateConfig hard;
+  hard.workload = soft.workload;
+  hard.mu_data = sim::kbps(38);
+  hard.mu_ack = sim::kbps(7);
+  hard.loss_rate = 0.02;
+  hard.outages = outages;
+  hard.duration = 2000.0;
+  hard.warmup = 200.0;
+  hard.sender.initial_rto = 0.5;
+  const auto h = run_hard_state(hard);
+
+  // Both recover to high average consistency...
+  EXPECT_GT(s.avg_consistency, 0.85);
+  EXPECT_GT(h.avg_consistency, 0.80);
+  // ...but hard state pays with a connection reset and a full resync.
+  EXPECT_GT(h.connection_deaths, 0u);
+  EXPECT_GT(h.snapshot_ops, 0u);
+  EXPECT_GT(h.table_flushes, 0u);
+}
+
+TEST(OutageLoss, WindowsDropEverything) {
+  net::OutageLoss loss(std::make_unique<net::NoLoss>(),
+                       {{1.0, 2.0}, {5.0, 6.0}});
+  EXPECT_FALSE(loss.should_drop(0.5));
+  EXPECT_TRUE(loss.should_drop(1.0));
+  EXPECT_TRUE(loss.should_drop(1.9));
+  EXPECT_FALSE(loss.should_drop(2.0));
+  EXPECT_FALSE(loss.should_drop(4.0));
+  EXPECT_TRUE(loss.should_drop(5.5));
+  EXPECT_FALSE(loss.should_drop(7.0));
+  EXPECT_DOUBLE_EQ(loss.mean_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace sst::arq

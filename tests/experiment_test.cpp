@@ -1,0 +1,326 @@
+// Integration tests: the full experiment harness reproduces the paper's
+// analytical results and qualitative claims.
+#include <gtest/gtest.h>
+
+#include "analysis/jackson.hpp"
+#include "core/experiment.hpp"
+
+namespace sst::core {
+namespace {
+
+// The common operating point used across tests: 1000-byte announcements,
+// per-transmission death, harness defaults otherwise.
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.workload.insert_rate = insert_rate_from_kbps(20.0, 1000);
+  cfg.workload.death_mode = DeathMode::kPerTransmission;
+  cfg.workload.p_death = 0.2;
+  cfg.workload.record_size = 1000;
+  cfg.mu_data = sim::kbps(128);
+  cfg.loss_rate = 0.1;
+  cfg.duration = 4000.0;
+  cfg.warmup = 400.0;
+  return cfg;
+}
+
+TEST(Experiment, OpenLoopMatchesJacksonStableRegime) {
+  // Stable: p_d=0.2 > lambda/mu = 20/128.
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  const auto result = run_experiment(cfg);
+
+  analysis::OpenLoopParams p;
+  p.lambda = cfg.workload.insert_rate;
+  p.mu_ch = cfg.mu_data / sim::bits(1000);  // announcements/sec
+  p.p_loss = cfg.loss_rate;
+  p.p_death = cfg.workload.p_death;
+  const auto model = analysis::solve_open_loop(p);
+  ASSERT_TRUE(model.stable);
+  // The monitor scores an empty live set as vacuously consistent; compare
+  // against the matching closed form.
+  EXPECT_NEAR(result.avg_consistency, model.consistency_vacuous, 0.03);
+}
+
+TEST(Experiment, OpenLoopMatchesJacksonSaturatedRegime) {
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  cfg.workload.p_death = 0.1;  // rho = 20/12.8 > 1
+  const auto result = run_experiment(cfg);
+
+  analysis::OpenLoopParams p;
+  p.lambda = cfg.workload.insert_rate;
+  p.mu_ch = cfg.mu_data / sim::bits(1000);
+  p.p_loss = cfg.loss_rate;
+  p.p_death = cfg.workload.p_death;
+  const auto model = analysis::solve_open_loop(p);
+  ASSERT_FALSE(model.stable);
+  // Saturation has no steady state; the closed form (the class mix) is an
+  // upper-side approximation the simulation tracks within a few points.
+  EXPECT_NEAR(result.avg_consistency, model.consistency_vacuous, 0.10);
+  EXPECT_LE(result.avg_consistency, model.consistency_vacuous + 0.02);
+}
+
+TEST(Experiment, OpenLoopRedundancyMatchesFormula) {
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  cfg.workload.p_death = 0.25;  // stable: rho = 20/(0.25*128) < 1
+  cfg.loss_rate = 0.2;
+  const auto result = run_experiment(cfg);
+  const double w =
+      analysis::redundant_fraction(cfg.loss_rate, cfg.workload.p_death);
+  EXPECT_NEAR(result.redundant_fraction, w, 0.05);
+}
+
+TEST(Experiment, ConsistencyDecreasesWithLoss) {
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  double prev = 1.1;
+  for (const double loss : {0.0, 0.2, 0.5, 0.8}) {
+    cfg.loss_rate = loss;
+    const double c = run_experiment(cfg).avg_consistency;
+    EXPECT_LT(c, prev + 0.02) << "loss=" << loss;
+    prev = c;
+  }
+}
+
+TEST(Experiment, ObservedLossTracksConfigured) {
+  auto cfg = base_config();
+  cfg.loss_rate = 0.3;
+  const auto result = run_experiment(cfg);
+  EXPECT_NEAR(result.observed_loss, 0.3, 0.03);
+}
+
+TEST(Experiment, MeanLossInsensitivity) {
+  // Paper Section 3: the metric depends only on the mean of the loss
+  // process. Bernoulli vs bursty Gilbert-Elliott at the same mean should
+  // produce similar average consistency.
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  cfg.loss_rate = 0.25;
+  const double bernoulli = run_experiment(cfg).avg_consistency;
+  cfg.bursty_loss = true;
+  cfg.mean_burst_len = 5.0;
+  const double bursty = run_experiment(cfg).avg_consistency;
+  EXPECT_NEAR(bernoulli, bursty, 0.06);
+}
+
+TEST(Experiment, TwoQueueBeatsOpenLoopUnderBandwidthPressure) {
+  // Section 4's claim: differentiating new data improves consistency when
+  // bandwidth is scarce relative to arrivals.
+  ExperimentConfig cfg;
+  cfg.workload.insert_rate = insert_rate_from_kbps(15.0, 1000);
+  cfg.workload.death_mode = DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.mu_data = sim::kbps(45);
+  cfg.loss_rate = 0.25;
+  cfg.duration = 4000.0;
+  cfg.warmup = 500.0;
+
+  cfg.variant = Variant::kOpenLoop;
+  const double open_loop = run_experiment(cfg).avg_consistency;
+
+  cfg.variant = Variant::kTwoQueue;
+  cfg.hot_share = 0.45;  // just above lambda/mu_data = 1/3
+  const double two_queue = run_experiment(cfg).avg_consistency;
+
+  EXPECT_GT(two_queue, open_loop + 0.03);
+}
+
+TEST(Experiment, FeedbackImprovesConsistencyAtHighLoss) {
+  // Section 5's claim: feedback improves consistency by 10-50% at loss rates
+  // between 5% and 40% without increasing total bandwidth.
+  ExperimentConfig cfg;
+  cfg.workload.insert_rate = insert_rate_from_kbps(15.0, 1000);
+  cfg.workload.death_mode = DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.loss_rate = 0.4;
+  cfg.duration = 4000.0;
+  cfg.warmup = 500.0;
+
+  // Same total budget of 60 kbps: without feedback all of it is data; with
+  // feedback it splits 42 data + 18 feedback (the paper's ~30% knee). The
+  // hot share must cover new arrivals plus the NACK-repair flux
+  // (~lambda/(1-p_loss) plus repairs of lost cold refreshes).
+  cfg.variant = Variant::kTwoQueue;
+  cfg.mu_data = sim::kbps(60);
+  cfg.hot_share = 0.4;
+  const double no_fb = run_experiment(cfg).avg_consistency;
+
+  cfg.variant = Variant::kFeedback;
+  cfg.mu_data = sim::kbps(42);
+  cfg.mu_fb = sim::kbps(18);
+  cfg.hot_share = 0.85;
+  const double with_fb = run_experiment(cfg).avg_consistency;
+
+  EXPECT_GT(with_fb, no_fb + 0.05);
+  EXPECT_GT(with_fb, 0.9);
+}
+
+TEST(Experiment, HotBandwidthBelowArrivalRateCollapses) {
+  // Figure 10: consistency is low while mu_hot < lambda, then rises sharply.
+  ExperimentConfig cfg;
+  cfg.workload.insert_rate = insert_rate_from_kbps(15.0, 1000);
+  cfg.workload.death_mode = DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.variant = Variant::kFeedback;
+  cfg.mu_data = sim::kbps(38);
+  cfg.mu_fb = sim::kbps(7);
+  cfg.loss_rate = 0.1;
+  cfg.duration = 3000.0;
+  cfg.warmup = 500.0;
+
+  cfg.hot_share = 0.2;  // mu_hot = 7.6 kbps < lambda = 15 kbps
+  const double starved = run_experiment(cfg).avg_consistency;
+  cfg.hot_share = 0.6;  // mu_hot = 22.8 kbps > lambda
+  const double fed = run_experiment(cfg).avg_consistency;
+  EXPECT_GT(fed, 0.85);
+  EXPECT_LT(starved, fed - 0.2);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  auto cfg = base_config();
+  cfg.variant = Variant::kFeedback;
+  cfg.mu_fb = sim::kbps(10);
+  cfg.duration = 500.0;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_EQ(a.avg_consistency, b.avg_consistency);
+  EXPECT_EQ(a.data_tx, b.data_tx);
+  EXPECT_EQ(a.nacks_sent, b.nacks_sent);
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  auto cfg = base_config();
+  cfg.duration = 500.0;
+  const auto a = run_experiment(cfg);
+  cfg.seed = 999;
+  const auto b = run_experiment(cfg);
+  EXPECT_NE(a.data_tx, b.data_tx);
+}
+
+TEST(Experiment, TimelineSampling) {
+  auto cfg = base_config();
+  cfg.sample_interval = 100.0;
+  cfg.duration = 1000.0;
+  const auto result = run_experiment(cfg);
+  EXPECT_GE(result.timeline.size(), 9u);
+  for (const auto& pt : result.timeline) {
+    EXPECT_GE(pt.consistency, 0.0);
+    EXPECT_LE(pt.consistency, 1.0 + 1e-9);
+  }
+}
+
+TEST(Experiment, SchedulerChoiceDoesNotChangeConsistency) {
+  // The paper treats the proportional-share discipline as interchangeable.
+  ExperimentConfig cfg;
+  cfg.workload.insert_rate = insert_rate_from_kbps(15.0, 1000);
+  cfg.workload.death_mode = DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.variant = Variant::kTwoQueue;
+  cfg.mu_data = sim::kbps(45);
+  cfg.hot_share = 0.5;
+  cfg.loss_rate = 0.2;
+  cfg.duration = 3000.0;
+  cfg.warmup = 400.0;
+
+  cfg.scheduler = SchedulerKind::kStride;
+  const double stride = run_experiment(cfg).avg_consistency;
+  cfg.scheduler = SchedulerKind::kLottery;
+  const double lottery = run_experiment(cfg).avg_consistency;
+  cfg.scheduler = SchedulerKind::kWfq;
+  const double wfq = run_experiment(cfg).avg_consistency;
+  cfg.scheduler = SchedulerKind::kDrr;
+  const double drr = run_experiment(cfg).avg_consistency;
+
+  EXPECT_NEAR(stride, lottery, 0.04);
+  EXPECT_NEAR(stride, wfq, 0.04);
+  EXPECT_NEAR(stride, drr, 0.04);
+}
+
+TEST(Experiment, MultipleReceiversIndependentLoss) {
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  cfg.num_receivers = 4;
+  cfg.duration = 2000.0;
+  const auto result = run_experiment(cfg);
+  EXPECT_GT(result.avg_consistency, 0.5);
+  EXPECT_LE(result.avg_consistency, 1.0);
+}
+
+TEST(Experiment, ReorderingDoesNotChangeConsistency) {
+  // ALF property: the metric is insensitive to reordering (Section 3).
+  // Compare a fixed delay against a jittered delay with the SAME mean, so
+  // the only difference is packet ordering.
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  cfg.delay = 0.26;
+  cfg.jitter = 0.0;
+  const double ordered = run_experiment(cfg).avg_consistency;
+  cfg.delay = 0.01;
+  cfg.jitter = 0.5;  // mean 0.01 + 0.25 = 0.26, reorders back-to-back packets
+  const double jittered = run_experiment(cfg).avg_consistency;
+  EXPECT_NEAR(ordered, jittered, 0.03);
+}
+
+TEST(Experiment, LatencyReportedForSuccessfulReceipts) {
+  auto cfg = base_config();
+  cfg.loss_rate = 0.2;
+  const auto result = run_experiment(cfg);
+  EXPECT_GT(result.versions_received, 0u);
+  EXPECT_GT(result.mean_latency, 0.0);
+  EXPECT_GE(result.p95_latency, result.p50_latency);
+}
+
+TEST(Experiment, LosslessLatencyMatchesMm1Sojourn) {
+  // With p_c = 0 every record is received on its first service, so T_recv
+  // equals one M/M/1 sojourn time 1/(mu - X) plus the propagation delay.
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  cfg.loss_rate = 0.0;
+  cfg.workload.p_death = 0.5;  // X = lambda/pd = 5/s, mu = 16/s
+  cfg.duration = 6000.0;
+  const auto result = run_experiment(cfg);
+
+  const double x_total = cfg.workload.insert_rate / cfg.workload.p_death;
+  const double mu = cfg.mu_data / sim::bits(1000);
+  const double expected = 1.0 / (mu - x_total) + cfg.delay;
+  EXPECT_NEAR(result.mean_latency, expected, 0.03 * expected + 0.01);
+}
+
+TEST(Experiment, ReceiverTtlRefreshedByCycleKeepsConsistency) {
+  // With a receiver TTL comfortably above the announcement cycle, periodic
+  // refreshes keep entries alive and consistency matches the no-TTL run;
+  // with a TTL below the cycle, false expiry degrades it.
+  auto cfg = base_config();
+  cfg.variant = Variant::kOpenLoop;
+  cfg.workload.p_death = 0.25;  // stable; cycle = live/mu, modest
+  cfg.loss_rate = 0.1;
+
+  cfg.receiver_ttl = 0.0;
+  const double no_ttl = run_experiment(cfg).avg_consistency;
+  cfg.receiver_ttl = 30.0;  // >> cycle
+  const double generous = run_experiment(cfg).avg_consistency;
+  // Below one announcement service time (1000 B at 128 kbps = 62.5 ms):
+  // entries expire before the cycle can revisit them.
+  cfg.receiver_ttl = 0.05;
+  const double starved = run_experiment(cfg).avg_consistency;
+
+  EXPECT_NEAR(generous, no_ttl, 0.02);
+  EXPECT_LT(starved, generous - 0.1);
+}
+
+TEST(Experiment, NacksFlowOnlyInFeedbackVariant) {
+  auto cfg = base_config();
+  cfg.duration = 1000.0;
+  cfg.variant = Variant::kTwoQueue;
+  EXPECT_EQ(run_experiment(cfg).nacks_sent, 0u);
+  cfg.variant = Variant::kFeedback;
+  cfg.mu_fb = sim::kbps(16);
+  const auto fb = run_experiment(cfg);
+  EXPECT_GT(fb.nacks_sent, 0u);
+  EXPECT_GT(fb.nacks_received, 0u);
+  EXPECT_LE(fb.nacks_received, fb.nacks_sent);  // reverse channel loses some
+}
+
+}  // namespace
+}  // namespace sst::core

@@ -1,0 +1,138 @@
+// Tests for MD5 (RFC 1321 test suite), FNV-1a, and the Digest type.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "hash/fnv.hpp"
+#include "hash/md5.hpp"
+
+namespace sst::hash {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321TestSuite) {
+  EXPECT_EQ(Md5::hex(Md5::digest("")), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex(Md5::digest("a")), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex(Md5::digest("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex(Md5::digest("message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex(Md5::digest("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::hex(Md5::digest("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnop"
+                                 "qrstuvwxyz0123456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::hex(Md5::digest(
+                "1234567890123456789012345678901234567890123456789012345678"
+                "9012345678901234567890")),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross the "
+      "64-byte block boundary of the MD5 compression function.";
+  const Md5Digest oneshot = Md5::digest(msg);
+  // Feed in every possible split position.
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Md5 ctx;
+    ctx.update(std::string_view(msg).substr(0, split));
+    ctx.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(ctx.finish(), oneshot) << "split=" << split;
+  }
+}
+
+TEST(Md5, ManySmallUpdates) {
+  const std::string msg(1000, 'x');
+  Md5 ctx;
+  for (const char c : msg) ctx.update(std::string_view(&c, 1));
+  EXPECT_EQ(ctx.finish(), Md5::digest(msg));
+}
+
+TEST(Md5, ResetReusesContext) {
+  Md5 ctx;
+  ctx.update("abc");
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update("abc");
+  EXPECT_EQ(Md5::hex(ctx.finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, BlockBoundaryLengths) {
+  // 55, 56, 63, 64, 65 bytes straddle the padding edge cases.
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'a');
+    Md5 ctx;
+    ctx.update(msg);
+    const auto d1 = ctx.finish();
+    EXPECT_EQ(d1, Md5::digest(msg)) << "len=" << len;
+  }
+}
+
+TEST(Fnv, KnownValues) {
+  // FNV-1a 64 reference values.
+  EXPECT_EQ(fnv1a64(std::string_view("")), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64(std::string_view("a")), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a64(std::string_view("foobar")), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv, IncrementalContinuation) {
+  const std::uint64_t whole = fnv1a64(std::string_view("foobar"));
+  const std::uint64_t part = fnv1a64(std::string_view("bar"),
+                                     fnv1a64(std::string_view("foo")));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Digest, EqualInputsEqualDigests) {
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    EXPECT_EQ(Digest::of_string("hello", algo),
+              Digest::of_string("hello", algo));
+    EXPECT_NE(Digest::of_string("hello", algo),
+              Digest::of_string("hellp", algo));
+  }
+}
+
+TEST(Digest, LeafDigestSensitivity) {
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    const Digest base = Digest::of_leaf(100, 1, algo);
+    EXPECT_EQ(base, Digest::of_leaf(100, 1, algo));
+    EXPECT_NE(base, Digest::of_leaf(101, 1, algo)) << "right-edge change";
+    EXPECT_NE(base, Digest::of_leaf(100, 2, algo)) << "version change";
+  }
+}
+
+TEST(Digest, ChildrenDigestOrderSensitive) {
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    const Digest a = Digest::of_string("a", algo);
+    const Digest b = Digest::of_string("b", algo);
+    const std::vector<Digest> ab{a, b};
+    const std::vector<Digest> ba{b, a};
+    EXPECT_EQ(Digest::of_children(ab, algo), Digest::of_children(ab, algo));
+    EXPECT_NE(Digest::of_children(ab, algo), Digest::of_children(ba, algo));
+  }
+}
+
+TEST(Digest, ChildChangePropagates) {
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    const std::vector<Digest> c1{Digest::of_leaf(10, 1, algo),
+                                 Digest::of_leaf(20, 1, algo)};
+    std::vector<Digest> c2 = c1;
+    c2[1] = Digest::of_leaf(20, 2, algo);
+    EXPECT_NE(Digest::of_children(c1, algo), Digest::of_children(c2, algo));
+  }
+}
+
+TEST(Digest, HexIs32Chars) {
+  EXPECT_EQ(Digest::of_string("x", DigestAlgo::kMd5).hex().size(), 32u);
+  EXPECT_EQ(Digest().hex(), std::string(32, '0'));
+}
+
+TEST(Digest, DefaultIsZero) {
+  const Digest d;
+  for (const auto b : d.bytes()) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace sst::hash

@@ -1,0 +1,165 @@
+// Tests for the consistency metric implementation: c(t), E[c(t)], and
+// receive latency, checked against hand-computed scenarios.
+#include <gtest/gtest.h>
+
+#include "core/monitor.hpp"
+#include "core/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::core {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  PublisherTable pub;
+  ConsistencyMonitor monitor{sim, pub};
+  ReceiverTable recv{sim, 0.0};
+
+  Fixture() { monitor.attach(recv); }
+};
+
+TEST(Monitor, EmptyLiveSetIsVacuouslyConsistent) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+  f.sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(f.monitor.average_consistency(), 1.0);
+}
+
+TEST(Monitor, InsertMakesInconsistentUntilReceived) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 0.0);
+  f.recv.refresh(k, 1);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+}
+
+TEST(Monitor, UpdateInvalidatesReceiverCopy) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.recv.refresh(k, 1);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+  f.pub.update(k, {});
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 0.0);
+  f.recv.refresh(k, 2);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+}
+
+TEST(Monitor, StaleRefreshDoesNotCount) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.pub.update(k, {});  // version 2
+  f.recv.refresh(k, 1); // receiver applies old announcement
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 0.0);
+}
+
+TEST(Monitor, RemoveShrinksLiveSet) {
+  Fixture f;
+  const Key a = f.pub.insert({}, 100);
+  const Key b = f.pub.insert({}, 100);
+  f.recv.refresh(a, 1);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 0.5);
+  f.pub.remove(b);  // the inconsistent one dies
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+}
+
+TEST(Monitor, ReceiverExpiryMakesInconsistent) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  ConsistencyMonitor monitor(sim, pub);
+  ReceiverTable recv(sim, 5.0);
+  monitor.attach(recv);
+  const Key k = pub.insert({}, 100);
+  recv.refresh(k, 1);
+  EXPECT_DOUBLE_EQ(monitor.instantaneous(), 1.0);
+  sim.run_until(6.0);  // receiver entry expires, key still live
+  EXPECT_DOUBLE_EQ(monitor.instantaneous(), 0.0);
+}
+
+TEST(Monitor, TimeAverageHandComputed) {
+  Fixture f;
+  // t=0: insert (c=0). t=4: received (c=1). t=10: end.
+  const Key k = f.pub.insert({}, 100);
+  f.sim.at(4.0, [&] { f.recv.refresh(k, 1); });
+  f.sim.run_until(10.0);
+  EXPECT_NEAR(f.monitor.average_consistency(), 0.6, 1e-12);
+}
+
+TEST(Monitor, MultipleReceiversAveraged) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  ConsistencyMonitor monitor(sim, pub);
+  ReceiverTable r1(sim, 0.0), r2(sim, 0.0);
+  monitor.attach(r1);
+  monitor.attach(r2);
+  const Key k = pub.insert({}, 100);
+  r1.refresh(k, 1);
+  EXPECT_DOUBLE_EQ(monitor.instantaneous(), 0.5);
+  r2.refresh(k, 1);
+  EXPECT_DOUBLE_EQ(monitor.instantaneous(), 1.0);
+}
+
+TEST(Monitor, LatencyMeasuredFromIntroductionToFirstReceipt) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.sim.at(2.5, [&] { f.recv.refresh(k, 1); });
+  f.sim.at(5.0, [&] { f.recv.refresh(k, 1); });  // duplicate: not re-counted
+  f.sim.run();
+  ASSERT_EQ(f.monitor.latency().count(), 1u);
+  EXPECT_DOUBLE_EQ(f.monitor.latency().quantile(0.5), 2.5);
+}
+
+TEST(Monitor, LatencyPerVersion) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.sim.at(1.0, [&] { f.recv.refresh(k, 1); });
+  f.sim.at(3.0, [&] { f.pub.update(k, {}); });
+  f.sim.at(7.0, [&] { f.recv.refresh(k, 2); });
+  f.sim.run();
+  ASSERT_EQ(f.monitor.latency().count(), 2u);
+  EXPECT_DOUBLE_EQ(f.monitor.latency().quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.monitor.latency().quantile(1.0), 4.0);
+}
+
+TEST(Monitor, SupersededVersionReceiptNotCounted) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.sim.at(1.0, [&] { f.pub.update(k, {}); });       // v2 supersedes v1
+  f.sim.at(2.0, [&] { f.recv.refresh(k, 1); });      // stale receipt
+  f.sim.run();
+  EXPECT_EQ(f.monitor.latency().count(), 0u);
+  EXPECT_EQ(f.monitor.versions_received(), 0u);
+  EXPECT_EQ(f.monitor.versions_introduced(), 2u);
+}
+
+TEST(Monitor, ResetStatsDiscardsHistoryKeepsState) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.sim.run_until(10.0);  // c = 0 for 10 s
+  f.monitor.reset_stats();
+  f.recv.refresh(k, 1);
+  f.sim.run_until(20.0);  // c = 1 for 10 s
+  EXPECT_NEAR(f.monitor.average_consistency(), 1.0, 1e-9);
+  EXPECT_EQ(f.monitor.versions_introduced(), 0u);  // counted pre-reset
+}
+
+TEST(Monitor, IntegralDifferencing) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.sim.at(5.0, [&] { f.recv.refresh(k, 1); });
+  f.sim.run_until(5.0);
+  const double i1 = f.monitor.consistency_integral();
+  f.sim.run_until(9.0);
+  const double i2 = f.monitor.consistency_integral();
+  EXPECT_NEAR(i2 - i1, 4.0, 1e-12);  // consistent throughout [5,9)
+}
+
+TEST(Monitor, ConsistencyBoundedZeroOne) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) f.pub.insert({}, 100);
+  const double c = f.monitor.instantaneous();
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+}
+
+}  // namespace
+}  // namespace sst::core

@@ -1,0 +1,228 @@
+// Tests for loss models, delay models, channels, and rate-limited links.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/delay.hpp"
+#include "net/link.hpp"
+#include "net/loss.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::net {
+namespace {
+
+using sim::Rng;
+using sim::Simulator;
+
+TEST(BernoulliLoss, MatchesConfiguredRate) {
+  BernoulliLoss loss(0.25, Rng(1));
+  int drops = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) drops += loss.should_drop(0.0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(loss.mean_rate(), 0.25);
+}
+
+TEST(GilbertElliott, WithMeanHitsTargetRate) {
+  for (const double target : {0.05, 0.2, 0.4}) {
+    auto loss = GilbertElliottLoss::with_mean(target, 5.0, Rng(2));
+    int drops = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) drops += loss.should_drop(0.0) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(drops) / n, target, 0.02) << target;
+    EXPECT_NEAR(loss.mean_rate(), target, 1e-9);
+  }
+}
+
+TEST(GilbertElliott, ProducesBursts) {
+  auto loss = GilbertElliottLoss::with_mean(0.2, 8.0, Rng(3));
+  // Measure mean run length of consecutive drops; should be near 8,
+  // far above the Bernoulli value 1/(1-p) = 1.25.
+  int runs = 0, dropped = 0;
+  bool in_run = false;
+  for (int i = 0; i < 200000; ++i) {
+    if (loss.should_drop(0.0)) {
+      ++dropped;
+      if (!in_run) {
+        ++runs;
+        in_run = true;
+      }
+    } else {
+      in_run = false;
+    }
+  }
+  const double mean_run = static_cast<double>(dropped) / runs;
+  EXPECT_GT(mean_run, 4.0);
+}
+
+TEST(PeriodicLoss, DropsEveryKth) {
+  PeriodicLoss loss(4);
+  std::vector<bool> pattern;
+  for (int i = 0; i < 8; ++i) pattern.push_back(loss.should_drop(0.0));
+  EXPECT_EQ(pattern, (std::vector<bool>{false, false, false, true, false,
+                                        false, false, true}));
+  EXPECT_DOUBLE_EQ(loss.mean_rate(), 0.25);
+}
+
+TEST(PeriodicLoss, ZeroNeverDrops) {
+  PeriodicLoss loss(0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(loss.should_drop(0.0));
+}
+
+TEST(TraceLoss, ReplaysAndWraps) {
+  TraceLoss loss({true, false, false});
+  EXPECT_TRUE(loss.should_drop(0.0));
+  EXPECT_FALSE(loss.should_drop(0.0));
+  EXPECT_FALSE(loss.should_drop(0.0));
+  EXPECT_TRUE(loss.should_drop(0.0));  // wrapped
+  EXPECT_NEAR(loss.mean_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TraceLoss, EmptyDropsNothing) {
+  TraceLoss loss({});
+  EXPECT_FALSE(loss.should_drop(0.0));
+  EXPECT_DOUBLE_EQ(loss.mean_rate(), 0.0);
+}
+
+TEST(Delay, FixedIsConstant) {
+  FixedDelay d(0.5);
+  EXPECT_DOUBLE_EQ(d.delay(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.delay(100.0), 0.5);
+}
+
+TEST(Delay, JitterWithinBounds) {
+  UniformJitterDelay d(0.1, 0.2, Rng(4));
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d.delay(0.0);
+    EXPECT_GE(v, 0.1);
+    EXPECT_LT(v, 0.3 + 1e-12);
+  }
+}
+
+TEST(Delay, ExponentialAboveFloor) {
+  ExponentialDelay d(0.05, 0.1, Rng(5));
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(d.delay(0.0), 0.05);
+}
+
+// ------------------------------------------------------------------ channel
+
+struct Msg {
+  int id = 0;
+};
+
+TEST(Channel, DeliversAfterDelay) {
+  Simulator sim;
+  Channel<Msg> ch(sim);
+  std::vector<std::pair<double, int>> got;
+  ch.add_receiver(std::make_unique<NoLoss>(),
+                  std::make_unique<FixedDelay>(0.25),
+                  [&](const Msg& m) { got.emplace_back(sim.now(), m.id); });
+  sim.at(1.0, [&] { ch.send(Msg{7}, 100); });
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].first, 1.25);
+  EXPECT_EQ(got[0].second, 7);
+}
+
+TEST(Channel, LossDropsIndependentlyPerReceiver) {
+  Simulator sim;
+  Channel<Msg> ch(sim);
+  int got_a = 0, got_b = 0;
+  ch.add_receiver(std::make_unique<PeriodicLoss>(2),  // drops every 2nd
+                  std::make_unique<FixedDelay>(0.0),
+                  [&](const Msg&) { ++got_a; });
+  ch.add_receiver(std::make_unique<NoLoss>(), std::make_unique<FixedDelay>(0.0),
+                  [&](const Msg&) { ++got_b; });
+  for (int i = 0; i < 10; ++i) ch.send(Msg{i}, 100);
+  sim.run();
+  EXPECT_EQ(got_a, 5);
+  EXPECT_EQ(got_b, 10);
+  EXPECT_EQ(ch.stats().sent, 10u);
+  EXPECT_EQ(ch.stats().delivered, 15u);
+  EXPECT_EQ(ch.stats().dropped, 5u);
+  EXPECT_EQ(ch.stats(0).dropped, 5u);
+  EXPECT_EQ(ch.stats(1).dropped, 0u);
+}
+
+TEST(Channel, ObservedLossRateTracksModel) {
+  Simulator sim;
+  Channel<Msg> ch(sim);
+  ch.add_receiver(std::make_unique<BernoulliLoss>(0.3, Rng(6)),
+                  std::make_unique<FixedDelay>(0.0), [](const Msg&) {});
+  for (int i = 0; i < 50000; ++i) ch.send(Msg{i}, 10);
+  sim.run();
+  EXPECT_NEAR(ch.stats().observed_loss_rate(), 0.3, 0.01);
+}
+
+// --------------------------------------------------------------------- link
+
+TEST(Link, ServesAtConfiguredRate) {
+  Simulator sim;
+  std::vector<double> departures;
+  Link<Msg> link(sim, sim::kbps(8),  // 1000 bytes -> 1 s each
+                 [&](const Msg&, sim::Bytes) {
+                   departures.push_back(sim.now());
+                 });
+  link.send(Msg{1}, 1000);
+  link.send(Msg{2}, 1000);
+  link.send(Msg{3}, 1000);
+  sim.run();
+  ASSERT_EQ(departures.size(), 3u);
+  EXPECT_DOUBLE_EQ(departures[0], 1.0);
+  EXPECT_DOUBLE_EQ(departures[1], 2.0);
+  EXPECT_DOUBLE_EQ(departures[2], 3.0);
+  EXPECT_EQ(link.stats().served, 3u);
+}
+
+TEST(Link, TailDropsWhenFull) {
+  Simulator sim;
+  int delivered = 0;
+  Link<Msg> link(
+      sim, sim::kbps(8), [&](const Msg&, sim::Bytes) { ++delivered; },
+      /*queue_limit=*/2);
+  // First enters service immediately (queue empty), next two queue, rest drop.
+  for (int i = 0; i < 6; ++i) link.send(Msg{i}, 1000);
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(link.stats().tail_dropped, 3u);
+}
+
+TEST(Link, IdleThenBusyAgain) {
+  Simulator sim;
+  std::vector<double> departures;
+  Link<Msg> link(sim, sim::kbps(8), [&](const Msg&, sim::Bytes) {
+    departures.push_back(sim.now());
+  });
+  link.send(Msg{1}, 1000);
+  sim.run();
+  sim.at(10.0, [&] { link.send(Msg{2}, 1000); });
+  sim.run();
+  ASSERT_EQ(departures.size(), 2u);
+  EXPECT_DOUBLE_EQ(departures[0], 1.0);
+  EXPECT_DOUBLE_EQ(departures[1], 11.0);
+}
+
+TEST(Link, UtilizationAccounting) {
+  Simulator sim;
+  Link<Msg> link(sim, sim::kbps(8), [](const Msg&, sim::Bytes) {});
+  link.send(Msg{1}, 1000);
+  link.send(Msg{2}, 1000);
+  sim.run();
+  EXPECT_DOUBLE_EQ(link.stats().busy_time, 2.0);
+  EXPECT_DOUBLE_EQ(link.stats().utilization(4.0), 0.5);
+}
+
+TEST(Link, ZeroRateNeverDelivers) {
+  Simulator sim;
+  int delivered = 0;
+  Link<Msg> link(sim, 0.0, [&](const Msg&, sim::Bytes) { ++delivered; });
+  link.send(Msg{1}, 1000);
+  sim.run_until(1e6);
+  EXPECT_EQ(delivered, 0);
+}
+
+}  // namespace
+}  // namespace sst::net

@@ -1,0 +1,229 @@
+// Property-based suites:
+//   * NamespaceTree vs a flat reference model under thousands of random
+//     operations (structure, digests, leaf counts always agree).
+//   * Digest soundness: equal trees <=> equal root digests (no false
+//     mismatches; collisions are astronomically unlikely).
+//   * Eventual consistency (the paper's core property, Section 2.1): every
+//     protocol variant converges to c = 1 once the input freezes, across
+//     seeds, loss rates, and loss processes.
+//   * Experiment invariants: metrics stay in range for random configs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/random.hpp"
+#include "sstp/namespace_tree.hpp"
+
+namespace sst {
+namespace {
+
+// ------------------------------------------------- tree fuzz vs reference
+
+// Reference: a plain map from path string to (version, bytes). Mirrors the
+// tree's put/remove semantics (structural conflicts rejected).
+struct Reference {
+  std::map<std::string, std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+      leaves;
+
+  static bool prefix_of(const std::string& a, const std::string& b) {
+    // True if path a is a strict ancestor of b ("/x" of "/x/y").
+    return b.size() > a.size() && b.compare(0, a.size(), a) == 0 &&
+           b[a.size()] == '/';
+  }
+
+  bool put(const std::string& path, std::vector<std::uint8_t> data) {
+    if (path == "/") return false;
+    for (const auto& [existing, v] : leaves) {
+      if (prefix_of(existing, path)) return false;  // under a leaf
+      if (prefix_of(path, existing)) return false;  // would become internal
+    }
+    auto& slot = leaves[path];
+    slot.first += 1;
+    slot.second = std::move(data);
+    return true;
+  }
+
+  bool remove(const std::string& path) {
+    bool removed = false;
+    for (auto it = leaves.begin(); it != leaves.end();) {
+      if (it->first == path || prefix_of(path, it->first)) {
+        it = leaves.erase(it);
+        removed = true;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+};
+
+std::string random_path(sim::Rng& rng) {
+  // Small alphabet so collisions/conflicts actually happen.
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  const std::size_t depth = 1 + rng.uniform_int(3);
+  std::string path;
+  for (std::size_t i = 0; i < depth; ++i) {
+    path += "/";
+    path += kNames[rng.uniform_int(4)];
+  }
+  return path;
+}
+
+TEST(TreeFuzz, AgreesWithReferenceModel) {
+  sim::Rng rng(2026);
+  sstp::NamespaceTree tree(hash::DigestAlgo::kFnv1a);
+  Reference ref;
+
+  for (int step = 0; step < 5000; ++step) {
+    const std::string path = random_path(rng);
+    const auto op = rng.uniform_int(10);
+    if (op < 7) {
+      std::vector<std::uint8_t> data(rng.uniform_int(64),
+                                     static_cast<std::uint8_t>(step));
+      const bool tree_ok = tree.put(sstp::Path::parse(path), data);
+      const bool ref_ok = ref.put(path, data);
+      ASSERT_EQ(tree_ok, ref_ok) << "put " << path << " at step " << step;
+    } else {
+      const bool tree_ok = tree.remove(sstp::Path::parse(path));
+      const bool ref_ok = ref.remove(path);
+      ASSERT_EQ(tree_ok, ref_ok) << "remove " << path << " at step " << step;
+    }
+
+    ASSERT_EQ(tree.leaf_count(), ref.leaves.size()) << "step " << step;
+    if (step % 250 == 0) {
+      // Full structural audit.
+      for (const auto& [path_str, v] : ref.leaves) {
+        const sstp::Adu* adu = tree.find(sstp::Path::parse(path_str));
+        ASSERT_NE(adu, nullptr) << path_str;
+        ASSERT_EQ(adu->version, v.first) << path_str;
+        ASSERT_EQ(adu->data, v.second) << path_str;
+      }
+    }
+  }
+}
+
+TEST(TreeFuzz, DigestEqualityMatchesStructuralEquality) {
+  // Build two trees with the same logical content through different
+  // operation orders; digests must match. Then diverge them; digests must
+  // differ.
+  sim::Rng rng(7);
+  sstp::NamespaceTree a(hash::DigestAlgo::kFnv1a);
+  sstp::NamespaceTree b(hash::DigestAlgo::kFnv1a);
+
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> items;
+  for (int i = 0; i < 40; ++i) {
+    items.emplace_back("/dir" + std::to_string(i % 5) + "/leaf" +
+                           std::to_string(i),
+                       std::vector<std::uint8_t>(16, std::uint8_t(i)));
+  }
+  for (const auto& [p, d] : items) a.put(sstp::Path::parse(p), d);
+  // Insert into b in a shuffled order.
+  for (std::size_t i = items.size(); i-- > 0;) {
+    b.put(sstp::Path::parse(items[i].first), items[i].second);
+  }
+  // Versions are all 1 and right edges 0 in both: digests must agree.
+  EXPECT_EQ(a.root_digest(), b.root_digest());
+
+  b.advance_right_edge(sstp::Path::parse(items[3].first), 4);
+  EXPECT_NE(a.root_digest(), b.root_digest());
+}
+
+// -------------------------------------------- eventual consistency property
+
+class EventualConsistency
+    : public ::testing::TestWithParam<core::Variant> {};
+
+INSTANTIATE_TEST_SUITE_P(Variants, EventualConsistency,
+                         ::testing::Values(core::Variant::kOpenLoop,
+                                           core::Variant::kTwoQueue,
+                                           core::Variant::kFeedback),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case core::Variant::kOpenLoop: return "OpenLoop";
+                             case core::Variant::kTwoQueue: return "TwoQueue";
+                             case core::Variant::kFeedback: return "Feedback";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(EventualConsistency, StaticInputConverges) {
+  // "For a static input at the source, announce/listen provides a simple
+  // form of reliability since eventually the receiver's state will match
+  // the sender's" (Section 2.1). Workload stops at t=200; by t=2000 every
+  // variant must be fully consistent, under Bernoulli AND bursty loss,
+  // for several seeds.
+  for (const std::uint64_t seed : {1ull, 17ull, 23ull}) {
+    for (const bool bursty : {false, true}) {
+      core::ExperimentConfig cfg;
+      cfg.variant = GetParam();
+      cfg.workload.death_mode = core::DeathMode::kPerTransmission;
+      cfg.workload.p_death = 0.0;  // records are permanent
+      cfg.mu_data = sim::kbps(60);
+      cfg.hot_share = 0.5;
+      cfg.mu_fb = sim::kbps(12);
+      cfg.loss_rate = 0.3;
+      cfg.bursty_loss = bursty;
+      cfg.seed = seed;
+      cfg.duration = 2000.0;
+      cfg.warmup = 0.0;
+
+      // Near-static input: a trickle of permanent records, no updates. The
+      // final windowed sample then measures the converged store plus at
+      // most a couple of in-flight newcomers.
+      cfg.workload.insert_rate = 0.05;  // ~100 records over the whole run
+      cfg.workload.update_rate = 0.0;
+      cfg.sample_interval = 100.0;
+      const auto r = core::run_experiment(cfg);
+      ASSERT_FALSE(r.timeline.empty());
+      // The last windowed sample: essentially everything delivered.
+      EXPECT_GT(r.timeline.back().consistency, 0.97)
+          << "seed " << seed << " bursty " << bursty;
+    }
+  }
+}
+
+// -------------------------------------------------- metric range invariants
+
+TEST(ExperimentInvariants, MetricsAlwaysInRange) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 12; ++trial) {
+    core::ExperimentConfig cfg;
+    cfg.variant = static_cast<core::Variant>(rng.uniform_int(3));
+    cfg.workload.insert_rate = 0.5 + rng.uniform() * 3.0;
+    cfg.workload.update_rate = rng.uniform();
+    cfg.workload.death_mode = rng.bernoulli(0.5)
+                                  ? core::DeathMode::kPerTransmission
+                                  : core::DeathMode::kExponentialLifetime;
+    cfg.workload.p_death = 0.05 + rng.uniform() * 0.3;
+    cfg.workload.mean_lifetime = 30.0 + rng.uniform() * 120.0;
+    cfg.mu_data = sim::kbps(20 + rng.uniform() * 60);
+    cfg.hot_share = 0.2 + rng.uniform() * 0.7;
+    cfg.mu_fb = sim::kbps(rng.uniform() * 20);
+    cfg.loss_rate = rng.uniform() * 0.6;
+    cfg.num_receivers = 1 + rng.uniform_int(3);
+    cfg.duration = 400.0;
+    cfg.warmup = 50.0;
+    cfg.seed = 1000 + trial;
+    const auto r = core::run_experiment(cfg);
+
+    EXPECT_GE(r.avg_consistency, 0.0);
+    EXPECT_LE(r.avg_consistency, 1.0 + 1e-9);
+    EXPECT_GE(r.mean_latency, 0.0);
+    EXPECT_LE(r.p50_latency, r.p95_latency + 1e-9);
+    EXPECT_GE(r.observed_loss, 0.0);
+    EXPECT_LE(r.observed_loss, 1.0);
+    EXPECT_LE(r.redundant_tx, r.data_tx);
+    // Each receiver counts its own first receipt; warmup-era versions can be
+    // first-received after the stats reset, hence the slack term.
+    EXPECT_LE(r.versions_received,
+              cfg.num_receivers * r.versions_introduced + 4000);
+    EXPECT_EQ(r.hot_tx + r.cold_tx,
+              cfg.variant == core::Variant::kOpenLoop ? 0 : r.data_tx);
+  }
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,375 @@
+// Unit tests for the protocol agents: open-loop sender cycling, two-queue
+// hot/cold behaviour, NACK handling at the sender, and the receiver agent's
+// gap detection and retry logic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "core/open_loop.hpp"
+#include "core/receiver.hpp"
+#include "core/table.hpp"
+#include "core/two_queue.hpp"
+#include "core/workload.hpp"
+#include "sched/stride.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::core {
+namespace {
+
+WorkloadParams no_death_params() {
+  WorkloadParams p;
+  p.insert_rate = 0.0;  // tests insert manually
+  p.death_mode = DeathMode::kPerTransmission;
+  p.p_death = 0.0;  // immortal unless the test says otherwise
+  return p;
+}
+
+struct OpenLoopFixture {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams params = no_death_params();
+  Workload workload{sim, pub, params, sim::Rng(1)};
+  std::vector<DataMsg> sent;
+  OpenLoopSender sender{sim, pub, workload, sim::kbps(8),
+                        [this](const DataMsg& m) { sent.push_back(m); }};
+};
+
+TEST(OpenLoopSender, TransmitsAtChannelRate) {
+  OpenLoopFixture f;
+  f.pub.insert({}, 1000);  // 1000 B on 8 kbps -> 1 s per announcement
+  f.sim.run_until(5.5);
+  EXPECT_EQ(f.sent.size(), 5u);  // t = 1,2,3,4,5
+  EXPECT_DOUBLE_EQ(f.sent[0].sent_at, 1.0);
+}
+
+TEST(OpenLoopSender, CyclesThroughAllRecordsFifo) {
+  OpenLoopFixture f;
+  const Key a = f.pub.insert({}, 1000);
+  const Key b = f.pub.insert({}, 1000);
+  f.sim.run_until(4.5);
+  ASSERT_EQ(f.sent.size(), 4u);
+  EXPECT_EQ(f.sent[0].key, a);
+  EXPECT_EQ(f.sent[1].key, b);
+  EXPECT_EQ(f.sent[2].key, a);  // cycle
+  EXPECT_EQ(f.sent[3].key, b);
+}
+
+TEST(OpenLoopSender, SequenceNumbersIncrease) {
+  OpenLoopFixture f;
+  f.pub.insert({}, 1000);
+  f.sim.run_until(3.5);
+  for (std::size_t i = 0; i < f.sent.size(); ++i) {
+    EXPECT_EQ(f.sent[i].seq, i);
+  }
+}
+
+TEST(OpenLoopSender, TransmitsCurrentVersionAfterUpdate) {
+  OpenLoopFixture f;
+  const Key k = f.pub.insert({}, 1000);
+  f.sim.at(0.5, [&] { f.pub.update(k, {}); });  // mid-service
+  f.sim.run_until(1.5);
+  ASSERT_EQ(f.sent.size(), 1u);
+  EXPECT_EQ(f.sent[0].version, 2u);
+}
+
+TEST(OpenLoopSender, RemovedRecordStopsTransmitting) {
+  OpenLoopFixture f;
+  const Key k = f.pub.insert({}, 1000);
+  f.sim.at(2.5, [&] { f.pub.remove(k); });
+  f.sim.run_until(10.0);
+  // Transmissions at 1, 2; the service in flight at removal (completes at 3)
+  // is suppressed.
+  EXPECT_EQ(f.sent.size(), 2u);
+}
+
+TEST(OpenLoopSender, PerTransmissionDeathRemovesFromTable) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p = no_death_params();
+  p.p_death = 1.0;  // dies after the first transmission
+  Workload w(sim, pub, p, sim::Rng(2));
+  std::vector<DataMsg> sent;
+  OpenLoopSender sender(sim, pub, w, sim::kbps(8),
+                        [&](const DataMsg& m) { sent.push_back(m); });
+  pub.insert({}, 1000);
+  sim.run_until(10.0);
+  EXPECT_EQ(sent.size(), 1u);
+  EXPECT_EQ(pub.live_count(), 0u);
+  EXPECT_EQ(sender.stats().deaths, 1u);
+}
+
+TEST(OpenLoopSender, IdleWhenTableEmptyResumesOnInsert) {
+  OpenLoopFixture f;
+  f.sim.run_until(5.0);
+  EXPECT_TRUE(f.sent.empty());
+  f.pub.insert({}, 1000);
+  f.sim.run_until(6.5);
+  EXPECT_EQ(f.sent.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.sent[0].sent_at, 6.0);
+}
+
+// ----------------------------------------------------------------- two-queue
+
+struct TwoQueueFixture {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams params = no_death_params();
+  Workload workload{sim, pub, params, sim::Rng(3)};
+  std::vector<DataMsg> sent;
+  std::unique_ptr<TwoQueueSender> sender;
+
+  explicit TwoQueueFixture(double hot_share = 0.5, bool feedback = true) {
+    TwoQueueConfig cfg;
+    cfg.mu_data = sim::kbps(8);  // 1 s per 1000-B announcement
+    cfg.hot_share = hot_share;
+    cfg.feedback = feedback;
+    sender = std::make_unique<TwoQueueSender>(
+        sim, pub, workload, cfg, std::make_unique<sched::StrideScheduler>(),
+        [this](const DataMsg& m) { sent.push_back(m); });
+  }
+};
+
+TEST(TwoQueueSender, FirstTransmissionIsHotThenCold) {
+  TwoQueueFixture f;
+  f.pub.insert({}, 1000);
+  f.sim.run_until(3.5);
+  ASSERT_GE(f.sent.size(), 3u);
+  EXPECT_EQ(f.sender->stats().hot_tx, 1u);
+  EXPECT_EQ(f.sender->stats().cold_tx, f.sent.size() - 1);
+}
+
+TEST(TwoQueueSender, UpdateMovesRecordBackToHot) {
+  TwoQueueFixture f;
+  const Key k = f.pub.insert({}, 1000);
+  f.sim.run_until(2.5);  // hot tx at 1, cold tx at 2, cold service in flight
+  f.pub.update(k, {});
+  f.sim.run_until(4.5);  // in-flight cold tx at 3 (already v2), hot tx at 4
+  EXPECT_EQ(f.sender->stats().hot_tx, 2u);
+  EXPECT_EQ(f.sent.back().version, 2u);
+}
+
+TEST(TwoQueueSender, HotQueuePreferredByWeight) {
+  // Hot gets 75%: with a continuous stream of new records and a cold
+  // backlog, hot transmissions should be ~3x cold.
+  TwoQueueFixture f(0.75);
+  // Pre-populate cold backlog.
+  for (int i = 0; i < 50; ++i) f.pub.insert({}, 1000);
+  f.sim.run_until(60.0);  // all 50 went hot once, now cold cycles
+  f.sent.clear();
+  // Now a steady stream of fresh inserts keeps the hot queue backlogged.
+  sim::PeriodicTimer feeder(f.sim);
+  feeder.start(0.5, [&] { f.pub.insert({}, 1000); });  // 2/s >> capacity
+  const auto hot_before = f.sender->stats().hot_tx;
+  const auto cold_before = f.sender->stats().cold_tx;
+  f.sim.run_until(260.0);
+  feeder.stop();
+  const double hot = static_cast<double>(f.sender->stats().hot_tx - hot_before);
+  const double cold =
+      static_cast<double>(f.sender->stats().cold_tx - cold_before);
+  EXPECT_NEAR(hot / (hot + cold), 0.75, 0.05);
+}
+
+TEST(TwoQueueSender, WorkConservationColdGetsIdleHotBandwidth) {
+  TwoQueueFixture f(0.9);
+  f.pub.insert({}, 1000);
+  f.sim.run_until(11.5);
+  // One hot tx, then cold cycles at the full rate (1/s): ~10 cold tx.
+  EXPECT_EQ(f.sender->stats().hot_tx, 1u);
+  EXPECT_GE(f.sender->stats().cold_tx, 9u);
+}
+
+TEST(TwoQueueSender, NackMovesColdRecordToHotAsRepair) {
+  TwoQueueFixture f(0.5, /*feedback=*/true);
+  const Key k = f.pub.insert({}, 1000);
+  f.sim.run_until(1.5);  // hot tx done (seq 0), record now cold
+  ASSERT_EQ(f.sent.size(), 1u);
+  NackMsg nack;
+  nack.missing_seqs = {f.sent[0].seq};
+  f.sender->handle_nack(nack);
+  f.sim.run_until(3.5);
+  // The cold transmission in flight at NACK time completes first; the repair
+  // then goes out via the hot queue.
+  ASSERT_GE(f.sent.size(), 2u);
+  const DataMsg& repair = f.sent.back();
+  EXPECT_TRUE(repair.is_repair);
+  EXPECT_EQ(repair.repairs_seq, f.sent[0].seq);
+  EXPECT_EQ(repair.key, k);
+  EXPECT_EQ(f.sender->stats().repair_tx, 1u);
+}
+
+TEST(TwoQueueSender, NackForSupersededVersionIgnored) {
+  TwoQueueFixture f;
+  const Key k = f.pub.insert({}, 1000);
+  f.sim.run_until(1.5);
+  f.pub.update(k, {});  // version 2 now queued hot anyway
+  NackMsg nack;
+  nack.missing_seqs = {f.sent[0].seq};  // asked for version 1's tx
+  f.sender->handle_nack(nack);
+  EXPECT_EQ(f.sender->stats().nacks_ignored, 1u);
+}
+
+TEST(TwoQueueSender, NackForDeadRecordIgnored) {
+  TwoQueueFixture f;
+  const Key k = f.pub.insert({}, 1000);
+  f.sim.run_until(1.5);
+  f.pub.remove(k);
+  NackMsg nack;
+  nack.missing_seqs = {f.sent[0].seq};
+  f.sender->handle_nack(nack);
+  f.sim.run_until(5.0);
+  EXPECT_EQ(f.sender->stats().repair_tx, 0u);
+  EXPECT_EQ(f.sent.size(), 1u);
+}
+
+TEST(TwoQueueSender, NackWhenFeedbackDisabledIgnored) {
+  TwoQueueFixture f(0.5, /*feedback=*/false);
+  f.pub.insert({}, 1000);
+  f.sim.run_until(1.5);
+  NackMsg nack;
+  nack.missing_seqs = {0};
+  f.sender->handle_nack(nack);
+  EXPECT_EQ(f.sender->stats().nacks_received, 0u);
+}
+
+TEST(TwoQueueSender, DuplicateNackSuppressedWhileHot) {
+  TwoQueueFixture f;
+  f.pub.insert({}, 1000);
+  f.sim.run_until(1.5);
+  NackMsg nack;
+  nack.missing_seqs = {0};
+  f.sender->handle_nack(nack);
+  f.sender->handle_nack(nack);  // second receiver NACKs the same loss
+  EXPECT_EQ(f.sender->stats().nacks_received, 2u);
+  EXPECT_EQ(f.sender->stats().nacks_ignored, 1u);
+  f.sim.run_until(3.5);
+  EXPECT_EQ(f.sender->stats().repair_tx, 1u);
+}
+
+TEST(TwoQueueSender, SetHotShareReweights) {
+  TwoQueueFixture f(0.1);
+  f.sender->set_hot_share(0.9);
+  EXPECT_DOUBLE_EQ(f.sender->config().hot_share, 0.9);
+}
+
+// ------------------------------------------------------------ receiver agent
+
+struct ReceiverFixture {
+  sim::Simulator sim;
+  ReceiverTable table{sim, 0.0};
+  std::vector<NackMsg> nacks;
+  std::unique_ptr<ReceiverAgent> agent;
+
+  explicit ReceiverFixture(bool feedback = true) {
+    ReceiverConfig cfg;
+    cfg.feedback = feedback;
+    cfg.retry_timeout = 2.0;
+    cfg.max_retries = 2;
+    agent = std::make_unique<ReceiverAgent>(
+        sim, table, cfg, [this](const NackMsg& n) { nacks.push_back(n); });
+  }
+
+  DataMsg msg(std::uint64_t seq, Key key, Version ver = 1) {
+    DataMsg m;
+    m.seq = seq;
+    m.key = key;
+    m.version = ver;
+    return m;
+  }
+};
+
+TEST(ReceiverAgent, AppliesAnnouncementsToTable) {
+  ReceiverFixture f;
+  f.agent->handle(f.msg(0, 10));
+  EXPECT_NE(f.table.find(10), nullptr);
+  EXPECT_EQ(f.agent->stats().data_rx, 1u);
+}
+
+TEST(ReceiverAgent, DetectsGapAndNacks) {
+  ReceiverFixture f;
+  f.agent->handle(f.msg(0, 10));
+  f.agent->handle(f.msg(3, 11));  // seqs 1,2 missing
+  ASSERT_EQ(f.nacks.size(), 1u);
+  EXPECT_EQ(f.nacks[0].missing_seqs, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(f.agent->stats().gaps_detected, 2u);
+  EXPECT_EQ(f.agent->outstanding_losses(), 2u);
+}
+
+TEST(ReceiverAgent, FirstPacketLossDetected) {
+  ReceiverFixture f;
+  // Very first observed seq is 2: seqs 0,1 were lost.
+  f.agent->handle(f.msg(2, 10));
+  ASSERT_EQ(f.nacks.size(), 1u);
+  EXPECT_EQ(f.nacks[0].missing_seqs, (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(ReceiverAgent, RepairClearsOutstandingLoss) {
+  ReceiverFixture f;
+  f.agent->handle(f.msg(0, 10));
+  f.agent->handle(f.msg(2, 11));  // seq 1 missing
+  DataMsg repair = f.msg(3, 12);
+  repair.is_repair = true;
+  repair.repairs_seq = 1;
+  f.agent->handle(repair);
+  EXPECT_EQ(f.agent->outstanding_losses(), 0u);
+  EXPECT_EQ(f.agent->stats().repairs_rx, 1u);
+}
+
+TEST(ReceiverAgent, RetriesWithBackoffThenAbandons) {
+  ReceiverFixture f;  // retry_timeout 2, backoff 2, max_retries 2
+  f.agent->handle(f.msg(0, 10));
+  f.agent->handle(f.msg(2, 11));  // seq 1 missing at t=0
+  EXPECT_EQ(f.nacks.size(), 1u);
+  f.sim.run_until(2.5);  // first retry at t=2
+  EXPECT_EQ(f.nacks.size(), 2u);
+  f.sim.run_until(6.5);  // second retry at t=6 (backoff 4)
+  EXPECT_EQ(f.nacks.size(), 3u);
+  f.sim.run_until(100.0);  // abandoned at t=14 (backoff 8)
+  EXPECT_EQ(f.nacks.size(), 3u);
+  EXPECT_EQ(f.agent->stats().abandoned, 1u);
+  EXPECT_EQ(f.agent->outstanding_losses(), 0u);
+}
+
+TEST(ReceiverAgent, LateArrivalCancelsNackState) {
+  ReceiverFixture f;
+  f.agent->handle(f.msg(0, 10));
+  f.agent->handle(f.msg(2, 11));  // seq 1 "missing"
+  f.agent->handle(f.msg(1, 12));  // reordered arrival, not lost
+  EXPECT_EQ(f.agent->outstanding_losses(), 0u);
+  f.sim.run_until(100.0);
+  EXPECT_EQ(f.nacks.size(), 1u);  // no retries after cancellation
+}
+
+TEST(ReceiverAgent, NoFeedbackNoNacks) {
+  ReceiverFixture f(/*feedback=*/false);
+  f.agent->handle(f.msg(0, 10));
+  f.agent->handle(f.msg(5, 11));
+  f.sim.run_until(100.0);
+  EXPECT_TRUE(f.nacks.empty());
+  EXPECT_EQ(f.agent->stats().gaps_detected, 0u);
+  // Announcements still apply.
+  EXPECT_NE(f.table.find(11), nullptr);
+}
+
+TEST(ReceiverAgent, BatchesLargeGapsIntoMultipleNacks) {
+  sim::Simulator sim;
+  ReceiverTable table(sim, 0.0);
+  ReceiverConfig cfg;
+  cfg.feedback = true;
+  cfg.max_batch = 8;
+  std::vector<NackMsg> nacks;
+  ReceiverAgent agent(sim, table, cfg,
+                      [&](const NackMsg& n) { nacks.push_back(n); });
+  DataMsg m;
+  m.seq = 20;  // 20 missing seqs -> 3 NACK packets (8+8+4)
+  m.key = 1;
+  m.version = 1;
+  agent.handle(m);
+  ASSERT_EQ(nacks.size(), 3u);
+  EXPECT_EQ(nacks[0].missing_seqs.size(), 8u);
+  EXPECT_EQ(nacks[2].missing_seqs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sst::core

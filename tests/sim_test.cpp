@@ -1,0 +1,308 @@
+// Tests for the discrete-event engine: event ordering, cancellation, timers,
+// and the deterministic random streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sim/units.hpp"
+
+namespace sst::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (auto f = q.pop()) f->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (auto f = q.pop()) f->fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel is a no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelMiddleOfHeap) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId mid = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (auto f = q.pop()) f->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId first = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(first);
+  ASSERT_TRUE(q.next_time().has_value());
+  EXPECT_DOUBLE_EQ(*q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelOfNoEventIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kNoEvent));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1;
+  sim.at(7.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  double seen = -1;
+  sim.at(10.0, [&] {
+    sim.after(5.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 15.0);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  double seen = -1;
+  sim.at(10.0, [&] {
+    sim.at(3.0, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  const auto n = sim.run_until(5.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, EventAtDeadlineFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.after(1.0, chain);
+  };
+  sim.after(1.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Timer, ReArmCancelsPrevious) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim);
+  t.arm(5.0, [&] { fired = 1; });
+  sim.run_until(2.0);
+  t.arm(5.0, [&] { fired = 2; });  // refresh resets the timer
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(Timer, DestructionCancels) {
+  Simulator sim;
+  bool fired = false;
+  {
+    Timer t(sim);
+    t.arm(1.0, [&] { fired = true; });
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, CallbackMayReArmItself) {
+  Simulator sim;
+  int count = 0;
+  Timer t(sim);
+  std::function<void()> fn = [&] {
+    if (++count < 5) t.arm(1.0, fn);
+  };
+  t.arm(1.0, fn);
+  sim.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(PeriodicTimer, FiresEveryPeriod) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTimer t(sim);
+  t.start(2.0, [&] { times.push_back(sim.now()); });
+  sim.run_until(9.0);
+  t.stop();
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer t(sim);
+  t.start(1.0, [&] { ++count; });
+  sim.run_until(3.5);
+  t.stop();
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+// ------------------------------------------------------------------ random
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  const Rng root(7);
+  Rng a = root.fork("loss", 0);
+  Rng b = root.fork("loss", 1);
+  Rng c = root.fork("delay", 0);
+  Rng a2 = root.fork("loss", 0);
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  // Different tags/indices diverge (overwhelmingly likely).
+  Rng a3 = root.fork("loss", 0);
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+  EXPECT_NE(b.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(2);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(3);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+  EXPECT_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_EQ(rng.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+  EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(9);
+  // failures before success, p = 0.25 => mean = (1-p)/p = 3.
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.geometric(0.25));
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(1.5, 2.0), 2.0);
+  }
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(kbps(45), 45000.0);
+  EXPECT_DOUBLE_EQ(mbps(1.5), 1.5e6);
+  EXPECT_DOUBLE_EQ(bits(1000), 8000.0);
+  // 1000-byte packet on 8 kbps channel: exactly 1 second.
+  EXPECT_DOUBLE_EQ(transmission_time(1000, kbps(8)), 1.0);
+  EXPECT_GT(transmission_time(1000, 0.0), 1e100);
+}
+
+}  // namespace
+}  // namespace sst::sim

@@ -1,0 +1,166 @@
+// Tests for the profile-driven bandwidth allocator and the loss estimator.
+#include <gtest/gtest.h>
+
+#include "sstp/allocator.hpp"
+#include "sstp/receiver_report.hpp"
+
+namespace sst::sstp {
+namespace {
+
+BandwidthAllocator make_default(
+    BandwidthAllocator::Config cfg = BandwidthAllocator::Config{}) {
+  return BandwidthAllocator(cfg, empirical_feedback_profile());
+}
+
+TEST(Allocator, SplitsSumToTotal) {
+  const auto alloc = make_default().allocate(0.2, sim::kbps(15));
+  EXPECT_NEAR(alloc.mu_data + alloc.mu_fb, sim::kbps(60), 1e-6);
+  EXPECT_GT(alloc.mu_data, 0.0);
+}
+
+TEST(Allocator, NoLossNeedsLittleFeedback) {
+  const auto a0 = make_default().allocate(0.0, sim::kbps(15));
+  const auto a4 = make_default().allocate(0.4, sim::kbps(15));
+  EXPECT_LE(a0.mu_fb, a4.mu_fb);
+}
+
+TEST(Allocator, TargetDrivesFeedbackShare) {
+  BandwidthAllocator::Config lax;
+  lax.target_consistency = 0.80;
+  BandwidthAllocator::Config strict;
+  strict.target_consistency = 0.95;
+  const auto lax_alloc = make_default(lax).allocate(0.3, sim::kbps(15));
+  const auto strict_alloc = make_default(strict).allocate(0.3, sim::kbps(15));
+  EXPECT_LE(lax_alloc.mu_fb, strict_alloc.mu_fb);
+}
+
+TEST(Allocator, UnreachableTargetPicksBestShare) {
+  BandwidthAllocator::Config cfg;
+  cfg.target_consistency = 0.999;  // unattainable at 50% loss
+  const auto alloc = make_default(cfg).allocate(0.5, sim::kbps(15));
+  // Figure 9's optimum at high loss sits near 30% feedback.
+  EXPECT_NEAR(alloc.mu_fb / cfg.total_bandwidth, 0.3, 0.15);
+}
+
+TEST(Allocator, HotShareCoversInflatedArrivalRate) {
+  const auto alloc = make_default().allocate(0.4, sim::kbps(15));
+  // hot >= app * headroom / (1 - loss) = 15 * 1.2 / 0.6 = 30 kbps.
+  EXPECT_GE(alloc.hot_share * alloc.mu_data, sim::kbps(30) * 0.999);
+}
+
+TEST(Allocator, RateWarningWhenAppExceedsCapacity) {
+  BandwidthAllocator::Config cfg;
+  cfg.total_bandwidth = sim::kbps(30);
+  const auto alloc = make_default(cfg).allocate(0.4, sim::kbps(25));
+  EXPECT_TRUE(alloc.rate_warning);
+  EXPECT_LT(alloc.max_app_rate, sim::kbps(25));
+}
+
+TEST(Allocator, NoWarningWithHeadroom) {
+  const auto alloc = make_default().allocate(0.05, sim::kbps(5));
+  EXPECT_FALSE(alloc.rate_warning);
+  EXPECT_GE(alloc.max_app_rate, sim::kbps(5));
+}
+
+TEST(Allocator, SharesRespectBounds) {
+  BandwidthAllocator::Config cfg;
+  cfg.max_fb_share = 0.25;
+  cfg.min_hot_share = 0.2;
+  cfg.max_hot_share = 0.8;
+  const auto a = make_default(cfg).allocate(0.5, sim::kbps(50));
+  EXPECT_LE(a.mu_fb / cfg.total_bandwidth, 0.25 + 1e-9);
+  EXPECT_GE(a.hot_share, 0.2);
+  EXPECT_LE(a.hot_share, 0.8);
+}
+
+TEST(Allocator, LatencyProfileShapesColdShare) {
+  // Synthetic T_recv profile: latency minimized at cold share 0.4; tiny
+  // cold shares are slow (recoveries wait), huge ones too (hot starves).
+  analysis::Profile2D t_recv(
+      {0.0, 0.5}, {0.1, 0.2, 0.3, 0.4, 0.5},
+      {{9.0, 5.0, 3.0, 2.0, 2.1}, {12.0, 8.0, 5.0, 3.0, 3.2}});
+  auto alloc = make_default();
+  alloc.set_latency_profile(t_recv);
+  const auto a = alloc.allocate(0.1, sim::kbps(5));  // light load: room
+  // Smallest cold share within 10% of the minimum is 0.4 -> hot 0.6.
+  EXPECT_NEAR(a.hot_share, 0.6, 1e-9);
+}
+
+TEST(Allocator, LatencyProfileNeverStarvesHotFloor) {
+  // The app needs nearly everything hot; the profile's preferred cold share
+  // (0.5) must be overridden by the absorption floor.
+  analysis::Profile2D t_recv({0.0, 0.5}, {0.1, 0.5},
+                             {{5.0, 1.0}, {8.0, 2.0}});
+  BandwidthAllocator::Config cfg;
+  cfg.total_bandwidth = sim::kbps(60);
+  auto alloc = make_default(cfg);
+  alloc.set_latency_profile(t_recv);
+  const auto a = alloc.allocate(0.3, sim::kbps(20));
+  // hot floor = (20*1.5/0.7 + 0.3*mu_data) / (1.3*mu_data): well over 0.5.
+  EXPECT_GT(a.hot_share, 0.6);
+}
+
+TEST(Allocator, PredictExposesProfile) {
+  const auto alloc = make_default();
+  EXPECT_GT(alloc.predict(0.0, 0.2), alloc.predict(0.5, 0.2));
+  EXPECT_GT(alloc.predict(0.4, 0.3), alloc.predict(0.4, 0.7));
+}
+
+// -------------------------------------------------------------- estimator
+
+TEST(LossEstimator, ZeroLossStream) {
+  LossEstimator est;
+  for (std::uint64_t s = 0; s < 100; ++s) est.on_seq(s);
+  const auto iv = est.close_interval();
+  EXPECT_EQ(iv.received, 100u);
+  EXPECT_EQ(iv.expected, 100u);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+}
+
+TEST(LossEstimator, DetectsGapLoss) {
+  LossEstimator est(1.0, 1);  // no smoothing, no minimum sample count
+  // Receive 0..9 except 3,4,7 -> 7 of 10.
+  for (const std::uint64_t s : {0, 1, 2, 5, 6, 8, 9}) est.on_seq(s);
+  est.close_interval();
+  EXPECT_NEAR(est.estimate(), 0.3, 1e-9);
+}
+
+TEST(LossEstimator, EwmaSmoothes) {
+  LossEstimator est(0.5, 1);
+  for (const std::uint64_t s : {0, 1, 2, 3}) est.on_seq(s);  // 0% loss
+  est.close_interval();
+  for (const std::uint64_t s : {4, 7}) est.on_seq(s);  // 2 of 4 -> 50%
+  est.close_interval();
+  EXPECT_NEAR(est.estimate(), 0.25, 1e-9);
+}
+
+TEST(LossEstimator, IntervalsResetCleanly) {
+  LossEstimator est(1.0, 1);
+  for (const std::uint64_t s : {0, 2}) est.on_seq(s);  // 1 lost of 3
+  const auto iv1 = est.close_interval();
+  EXPECT_EQ(iv1.expected, 3u);
+  for (const std::uint64_t s : {3, 4, 5}) est.on_seq(s);  // clean interval
+  est.close_interval();
+  EXPECT_NEAR(est.estimate(), 0.0, 1e-9);
+}
+
+TEST(LossEstimator, NoDataNoEstimate) {
+  LossEstimator est;
+  EXPECT_FALSE(est.has_data());
+  const auto iv = est.close_interval();
+  EXPECT_EQ(iv.expected, 0u);
+}
+
+TEST(LossEstimator, TinyIntervalsCarryOver) {
+  LossEstimator est(1.0, 8);
+  for (const std::uint64_t s : {0, 1, 2}) est.on_seq(s);  // 3 < min_samples
+  est.close_interval();
+  EXPECT_FALSE(est.has_data());  // carried, not counted
+  for (const std::uint64_t s : {3, 4, 5, 6, 9}) est.on_seq(s);  // total 8 of 10
+  est.close_interval();
+  EXPECT_TRUE(est.has_data());
+  EXPECT_NEAR(est.estimate(), 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace sst::sstp

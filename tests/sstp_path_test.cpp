@@ -1,0 +1,63 @@
+// Tests for SSTP namespace paths.
+#include <gtest/gtest.h>
+
+#include "sstp/path.hpp"
+
+namespace sst::sstp {
+namespace {
+
+TEST(Path, ParseAndRender) {
+  EXPECT_EQ(Path::parse("/a/b/c").str(), "/a/b/c");
+  EXPECT_EQ(Path::parse("a/b/c").str(), "/a/b/c");
+  EXPECT_EQ(Path::parse("/").str(), "/");
+  EXPECT_EQ(Path::parse("").str(), "/");
+  EXPECT_EQ(Path::parse("//a///b//").str(), "/a/b");
+}
+
+TEST(Path, RootProperties) {
+  const Path root;
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.depth(), 0u);
+  EXPECT_EQ(root.leaf_name(), "");
+  EXPECT_TRUE(root.parent().is_root());
+}
+
+TEST(Path, ParentAndLeafName) {
+  const Path p = Path::parse("/a/b/c");
+  EXPECT_EQ(p.depth(), 3u);
+  EXPECT_EQ(p.leaf_name(), "c");
+  EXPECT_EQ(p.parent().str(), "/a/b");
+  EXPECT_EQ(p.parent().parent().str(), "/a");
+  EXPECT_TRUE(p.parent().parent().parent().is_root());
+}
+
+TEST(Path, Child) {
+  EXPECT_EQ(Path{}.child("x").str(), "/x");
+  EXPECT_EQ(Path::parse("/a").child("b").str(), "/a/b");
+}
+
+TEST(Path, Contains) {
+  const Path a = Path::parse("/a");
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_TRUE(a.contains(Path::parse("/a/b/c")));
+  EXPECT_FALSE(a.contains(Path::parse("/ab")));
+  EXPECT_FALSE(a.contains(Path{}));
+  EXPECT_TRUE(Path{}.contains(a));  // root contains everything
+}
+
+TEST(Path, OrderingIsLexicographic) {
+  EXPECT_LT(Path::parse("/a"), Path::parse("/a/b"));
+  EXPECT_LT(Path::parse("/a/b"), Path::parse("/b"));
+  // Map-range property used by clear_pending_under: descendants of /a sort
+  // contiguously after /a and before /b.
+  EXPECT_LT(Path::parse("/a"), Path::parse("/a/z"));
+  EXPECT_LT(Path::parse("/a/z"), Path::parse("/aa"));
+}
+
+TEST(Path, Equality) {
+  EXPECT_EQ(Path::parse("/x/y"), Path::parse("x/y"));
+  EXPECT_NE(Path::parse("/x/y"), Path::parse("/x/z"));
+}
+
+}  // namespace
+}  // namespace sst::sstp

@@ -1,0 +1,242 @@
+// Tests for the SSTP namespace tree: structure, digests, chunk assembly,
+// removal/pruning, and the recursive summary invariants of Section 6.2.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sstp/namespace_tree.hpp"
+
+namespace sst::sstp {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> out;
+  for (const int v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+class TreeTest : public ::testing::TestWithParam<hash::DigestAlgo> {
+ protected:
+  NamespaceTree tree_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Algos, TreeTest,
+                         ::testing::Values(hash::DigestAlgo::kMd5,
+                                           hash::DigestAlgo::kFnv1a),
+                         [](const auto& info) {
+                           return info.param == hash::DigestAlgo::kMd5
+                                      ? "Md5"
+                                      : "Fnv";
+                         });
+
+TEST_P(TreeTest, PutCreatesLeafWithVersion1) {
+  EXPECT_TRUE(tree_.put(Path::parse("/a/b"), bytes({1, 2, 3})));
+  const Adu* adu = tree_.find(Path::parse("/a/b"));
+  ASSERT_NE(adu, nullptr);
+  EXPECT_EQ(adu->version, 1u);
+  EXPECT_EQ(adu->total_size, 3u);
+  EXPECT_EQ(adu->right_edge, 0u);  // nothing transmitted yet
+  EXPECT_EQ(tree_.leaf_count(), 1u);
+  EXPECT_TRUE(tree_.exists(Path::parse("/a")));      // internal node created
+  EXPECT_EQ(tree_.find(Path::parse("/a")), nullptr); // ... but not a leaf
+}
+
+TEST_P(TreeTest, PutAgainBumpsVersionAndResetsEdge) {
+  tree_.put(Path::parse("/x"), bytes({1}));
+  tree_.advance_right_edge(Path::parse("/x"), 1);
+  tree_.put(Path::parse("/x"), bytes({2, 3}));
+  const Adu* adu = tree_.find(Path::parse("/x"));
+  EXPECT_EQ(adu->version, 2u);
+  EXPECT_EQ(adu->right_edge, 0u);
+  EXPECT_EQ(tree_.leaf_count(), 1u);
+}
+
+TEST_P(TreeTest, PutRejectsRootAndConflicts) {
+  EXPECT_FALSE(tree_.put(Path{}, bytes({1})));
+  tree_.put(Path::parse("/a/b"), bytes({1}));
+  EXPECT_FALSE(tree_.put(Path::parse("/a"), bytes({2})));      // internal
+  EXPECT_FALSE(tree_.put(Path::parse("/a/b/c"), bytes({2})));  // under leaf
+}
+
+TEST_P(TreeTest, DigestChangesOnContentAndVersion) {
+  tree_.put(Path::parse("/a"), bytes({1, 2}));
+  const auto d1 = tree_.root_digest();
+  tree_.advance_right_edge(Path::parse("/a"), 2);
+  const auto d2 = tree_.root_digest();
+  EXPECT_NE(d1, d2);  // right edge advanced
+  tree_.put(Path::parse("/a"), bytes({1, 2}));
+  const auto d3 = tree_.root_digest();
+  EXPECT_NE(d2, d3);  // version bumped
+}
+
+TEST_P(TreeTest, DigestPropagatesUpward) {
+  tree_.put(Path::parse("/dir/leaf1"), bytes({1}));
+  tree_.put(Path::parse("/dir/leaf2"), bytes({2}));
+  const auto root1 = tree_.root_digest();
+  const auto dir1 = *tree_.digest(Path::parse("/dir"));
+  tree_.advance_right_edge(Path::parse("/dir/leaf2"), 1);
+  EXPECT_NE(*tree_.digest(Path::parse("/dir")), dir1);
+  EXPECT_NE(tree_.root_digest(), root1);
+}
+
+TEST_P(TreeTest, SiblingChangeDoesNotAffectOtherSubtree) {
+  tree_.put(Path::parse("/a/x"), bytes({1}));
+  tree_.put(Path::parse("/b/y"), bytes({2}));
+  const auto a1 = *tree_.digest(Path::parse("/a"));
+  tree_.advance_right_edge(Path::parse("/b/y"), 1);
+  EXPECT_EQ(*tree_.digest(Path::parse("/a")), a1);
+}
+
+TEST_P(TreeTest, IdenticalTreesIdenticalDigests) {
+  NamespaceTree other(GetParam());
+  for (auto* t : {&tree_, &other}) {
+    t->put(Path::parse("/a/1"), bytes({1, 2}));
+    t->put(Path::parse("/a/2"), bytes({3}));
+    t->put(Path::parse("/b"), bytes({4}));
+    t->advance_right_edge(Path::parse("/a/1"), 2);
+  }
+  EXPECT_EQ(tree_.root_digest(), other.root_digest());
+}
+
+TEST_P(TreeTest, InsertionOrderIrrelevant) {
+  NamespaceTree other(GetParam());
+  tree_.put(Path::parse("/a"), bytes({1}));
+  tree_.put(Path::parse("/b"), bytes({2}));
+  other.put(Path::parse("/b"), bytes({2}));
+  other.put(Path::parse("/a"), bytes({1}));
+  EXPECT_EQ(tree_.root_digest(), other.root_digest());
+}
+
+TEST_P(TreeTest, RenamedChildChangesDigest) {
+  NamespaceTree other(GetParam());
+  tree_.put(Path::parse("/a"), bytes({1}));
+  other.put(Path::parse("/b"), bytes({1}));
+  EXPECT_NE(tree_.root_digest(), other.root_digest());
+}
+
+TEST_P(TreeTest, RemovePrunesEmptyAncestors) {
+  tree_.put(Path::parse("/a/b/c"), bytes({1}));
+  tree_.put(Path::parse("/a/d"), bytes({2}));
+  EXPECT_TRUE(tree_.remove(Path::parse("/a/b/c")));
+  EXPECT_FALSE(tree_.exists(Path::parse("/a/b")));  // pruned
+  EXPECT_TRUE(tree_.exists(Path::parse("/a")));     // still has /a/d
+  EXPECT_EQ(tree_.leaf_count(), 1u);
+  EXPECT_TRUE(tree_.remove(Path::parse("/a/d")));
+  EXPECT_FALSE(tree_.exists(Path::parse("/a")));
+  EXPECT_EQ(tree_.leaf_count(), 0u);
+}
+
+TEST_P(TreeTest, RemoveSubtreeCountsLeaves) {
+  tree_.put(Path::parse("/a/1"), bytes({1}));
+  tree_.put(Path::parse("/a/2"), bytes({2}));
+  tree_.put(Path::parse("/b"), bytes({3}));
+  EXPECT_TRUE(tree_.remove(Path::parse("/a")));
+  EXPECT_EQ(tree_.leaf_count(), 1u);
+  EXPECT_FALSE(tree_.remove(Path::parse("/a")));
+}
+
+TEST_P(TreeTest, EmptyTreesHaveEqualDigests) {
+  NamespaceTree other(GetParam());
+  EXPECT_EQ(tree_.root_digest(), other.root_digest());
+  tree_.put(Path::parse("/a"), bytes({1}));
+  tree_.remove(Path::parse("/a"));
+  EXPECT_EQ(tree_.root_digest(), other.root_digest());
+}
+
+TEST_P(TreeTest, ChildrenSummariesOrderedAndTyped) {
+  tree_.put(Path::parse("/dir/z"), bytes({1}), {"type=image"});
+  tree_.put(Path::parse("/dir/a/sub"), bytes({2}));
+  const auto kids = tree_.children(Path::parse("/dir"));
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0].name, "a");
+  EXPECT_FALSE(kids[0].is_leaf);
+  EXPECT_EQ(kids[1].name, "z");
+  EXPECT_TRUE(kids[1].is_leaf);
+  EXPECT_EQ(kids[1].tags, (MetaTags{"type=image"}));
+  EXPECT_EQ(kids[1].digest, *tree_.digest(Path::parse("/dir/z")));
+}
+
+TEST_P(TreeTest, ForEachLeafVisitsAllInOrder) {
+  tree_.put(Path::parse("/b"), bytes({1}));
+  tree_.put(Path::parse("/a/2"), bytes({2}));
+  tree_.put(Path::parse("/a/1"), bytes({3}));
+  std::vector<std::string> seen;
+  tree_.for_each_leaf(Path{}, [&](const Path& p, const Adu&) {
+    seen.push_back(p.str());
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"/a/1", "/a/2", "/b"}));
+}
+
+// ----------------------------------------------------------- chunk assembly
+
+TEST_P(TreeTest, ApplyChunksInOrder) {
+  const Path p = Path::parse("/f");
+  EXPECT_TRUE(tree_.apply_chunk(p, 1, 4, 0, bytes({10, 11}), {}));
+  const Adu* adu = tree_.find(p);
+  EXPECT_EQ(adu->right_edge, 2u);
+  EXPECT_FALSE(adu->complete());
+  EXPECT_TRUE(tree_.apply_chunk(p, 1, 4, 2, bytes({12, 13}), {}));
+  adu = tree_.find(p);
+  EXPECT_EQ(adu->right_edge, 4u);
+  EXPECT_TRUE(adu->complete());
+  EXPECT_EQ(adu->data, bytes({10, 11, 12, 13}));
+}
+
+TEST_P(TreeTest, StaleVersionChunkIgnored) {
+  const Path p = Path::parse("/f");
+  tree_.apply_chunk(p, 2, 2, 0, bytes({5, 6}), {});
+  EXPECT_FALSE(tree_.apply_chunk(p, 1, 2, 0, bytes({9, 9}), {}));
+  EXPECT_EQ(tree_.find(p)->data, bytes({5, 6}));
+}
+
+TEST_P(TreeTest, NewerVersionResetsBuffer) {
+  const Path p = Path::parse("/f");
+  tree_.apply_chunk(p, 1, 2, 0, bytes({1, 2}), {});
+  tree_.apply_chunk(p, 2, 3, 0, bytes({7}), {});
+  const Adu* adu = tree_.find(p);
+  EXPECT_EQ(adu->version, 2u);
+  EXPECT_EQ(adu->right_edge, 1u);
+  EXPECT_EQ(adu->total_size, 3u);
+  EXPECT_FALSE(adu->complete());
+}
+
+TEST_P(TreeTest, OutOfOrderChunkFreezesEdgeUntilHoleFills) {
+  const Path p = Path::parse("/f");
+  tree_.apply_chunk(p, 1, 4, 2, bytes({12, 13}), {});  // hole at [0,2)
+  EXPECT_EQ(tree_.find(p)->right_edge, 0u);
+  tree_.apply_chunk(p, 1, 4, 0, bytes({10, 11}), {});
+  // The hole filled; the edge advances over the in-order prefix it knows.
+  EXPECT_EQ(tree_.find(p)->right_edge, 2u);
+  // A covering retransmission completes it (the repair protocol resends
+  // from the receiver's advertised edge).
+  tree_.apply_chunk(p, 1, 4, 2, bytes({12, 13}), {});
+  EXPECT_TRUE(tree_.find(p)->complete());
+}
+
+TEST_P(TreeTest, MalformedChunkRejected) {
+  const Path p = Path::parse("/f");
+  EXPECT_FALSE(tree_.apply_chunk(p, 1, 2, 1, bytes({1, 2, 3}), {}));  // past end
+  EXPECT_FALSE(tree_.apply_chunk(Path{}, 1, 1, 0, bytes({1}), {}));   // root
+}
+
+TEST_P(TreeTest, AdvanceRightEdgeClampsAtTotal) {
+  tree_.put(Path::parse("/x"), bytes({1, 2, 3}));
+  EXPECT_TRUE(tree_.advance_right_edge(Path::parse("/x"), 100));
+  EXPECT_EQ(tree_.find(Path::parse("/x"))->right_edge, 3u);
+  EXPECT_FALSE(tree_.advance_right_edge(Path::parse("/nope"), 1));
+}
+
+TEST_P(TreeTest, SenderReceiverDigestsConvergeWhenFullyReceived) {
+  // The wire invariant: receiver digest matches sender digest exactly when
+  // the receiver holds every transmitted byte of the current version.
+  NamespaceTree recv(GetParam());
+  tree_.put(Path::parse("/doc"), bytes({1, 2, 3, 4}));
+  tree_.advance_right_edge(Path::parse("/doc"), 4);  // fully transmitted
+  recv.apply_chunk(Path::parse("/doc"), 1, 4, 0, bytes({1, 2}), {});
+  EXPECT_NE(recv.root_digest(), tree_.root_digest());
+  recv.apply_chunk(Path::parse("/doc"), 1, 4, 2, bytes({3, 4}), {});
+  EXPECT_EQ(recv.root_digest(), tree_.root_digest());
+}
+
+}  // namespace
+}  // namespace sst::sstp

@@ -1,0 +1,225 @@
+// Tests for the SSTP wire format: round trips, canonicality, and decoder
+// robustness against truncated/corrupted/hostile input.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sstp/wire.hpp"
+
+namespace sst::sstp {
+namespace {
+
+template <class T>
+T roundtrip(const T& msg) {
+  const auto bytes = encode(Message(msg));
+  const auto decoded = decode(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  const T* out = std::get_if<T>(&*decoded);
+  EXPECT_NE(out, nullptr);
+  return *out;
+}
+
+TEST(Wire, DataRoundTrip) {
+  DataMsg m;
+  m.path = Path::parse("/slides/deck/page1");
+  m.version = 42;
+  m.total_size = 9000;
+  m.offset = 1000;
+  m.chunk = {1, 2, 3, 4, 5};
+  m.tags = {"type=slide", "prio=high"};
+  m.seq = 987654321;
+  m.is_repair = true;
+  const DataMsg out = roundtrip(m);
+  EXPECT_EQ(out.path, m.path);
+  EXPECT_EQ(out.version, 42u);
+  EXPECT_EQ(out.total_size, 9000u);
+  EXPECT_EQ(out.offset, 1000u);
+  EXPECT_EQ(out.chunk, m.chunk);
+  EXPECT_EQ(out.tags, m.tags);
+  EXPECT_EQ(out.seq, 987654321u);
+  EXPECT_TRUE(out.is_repair);
+}
+
+TEST(Wire, SummaryRoundTrip) {
+  SummaryMsg m;
+  m.root_digest = hash::Digest::of_string("tree", hash::DigestAlgo::kMd5);
+  m.epoch = 77;
+  m.leaf_count = 1234;
+  const SummaryMsg out = roundtrip(m);
+  EXPECT_EQ(out.root_digest, m.root_digest);
+  EXPECT_EQ(out.epoch, 77u);
+  EXPECT_EQ(out.leaf_count, 1234u);
+}
+
+TEST(Wire, SigRequestRoundTrip) {
+  SigRequestMsg m;
+  m.path = Path::parse("/a/b");
+  EXPECT_EQ(roundtrip(m).path, m.path);
+}
+
+TEST(Wire, SigRequestRootPathAllowed) {
+  SigRequestMsg m;  // root query is the common first descent step
+  const auto out = roundtrip(m);
+  EXPECT_TRUE(out.path.is_root());
+}
+
+TEST(Wire, SignaturesRoundTrip) {
+  SignaturesMsg m;
+  m.path = Path::parse("/dir");
+  m.node_digest = hash::Digest::of_string("dir", hash::DigestAlgo::kFnv1a);
+  ChildSummary a;
+  a.name = "leaf";
+  a.digest = hash::Digest::of_leaf(10, 2, hash::DigestAlgo::kFnv1a);
+  a.is_leaf = true;
+  a.tags = {"t=1"};
+  ChildSummary b;
+  b.name = "subdir";
+  b.digest = hash::Digest::of_string("x", hash::DigestAlgo::kFnv1a);
+  b.is_leaf = false;
+  m.children = {a, b};
+  const SignaturesMsg out = roundtrip(m);
+  ASSERT_EQ(out.children.size(), 2u);
+  EXPECT_EQ(out.children[0].name, "leaf");
+  EXPECT_TRUE(out.children[0].is_leaf);
+  EXPECT_EQ(out.children[0].digest, a.digest);
+  EXPECT_EQ(out.children[0].tags, a.tags);
+  EXPECT_FALSE(out.children[1].is_leaf);
+}
+
+TEST(Wire, NackRoundTrip) {
+  NackMsg m;
+  m.path = Path::parse("/a");
+  m.version_hint = 3;
+  m.from_offset = 512;
+  const NackMsg out = roundtrip(m);
+  EXPECT_EQ(out.version_hint, 3u);
+  EXPECT_EQ(out.from_offset, 512u);
+}
+
+TEST(Wire, ReceiverReportRoundTrip) {
+  ReceiverReportMsg m;
+  m.loss_estimate = 0.375;
+  m.received = 100;
+  m.expected = 160;
+  const ReceiverReportMsg out = roundtrip(m);
+  EXPECT_DOUBLE_EQ(out.loss_estimate, 0.375);
+  EXPECT_EQ(out.received, 100u);
+  EXPECT_EQ(out.expected, 160u);
+}
+
+TEST(Wire, EmptyChunkAllowed) {
+  DataMsg m;
+  m.path = Path::parse("/empty");
+  m.version = 1;
+  m.total_size = 0;
+  const DataMsg out = roundtrip(m);
+  EXPECT_TRUE(out.chunk.empty());
+}
+
+// ------------------------------------------------------------- bad inputs
+
+TEST(Wire, EmptyBufferRejected) {
+  EXPECT_FALSE(decode({}).has_value());
+}
+
+TEST(Wire, UnknownTypeRejected) {
+  EXPECT_FALSE(decode({0x7F}).has_value());
+  EXPECT_FALSE(decode({0x00}).has_value());
+}
+
+TEST(Wire, EveryTruncationRejected) {
+  DataMsg m;
+  m.path = Path::parse("/a/b");
+  m.version = 1;
+  m.total_size = 8;
+  m.offset = 4;
+  m.chunk = {1, 2, 3, 4};
+  m.tags = {"x=y"};
+  const auto bytes = encode(Message(m));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() +
+                                      static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(decode(cut).has_value()) << "len=" << len;
+  }
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  SummaryMsg m;
+  auto bytes = encode(Message(m));
+  bytes.push_back(0xAB);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, DataChunkBeyondTotalRejected) {
+  DataMsg m;
+  m.path = Path::parse("/a");
+  m.version = 1;
+  m.total_size = 2;
+  m.offset = 1;
+  m.chunk = {1, 2, 3};  // offset + chunk > total
+  const auto bytes = encode(Message(m));
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, DataWithRootPathRejected) {
+  // Encode a data message manually with a root path by abusing encode of a
+  // valid message, then flipping its component count to zero.
+  DataMsg m;
+  m.path = Path::parse("/a");
+  m.version = 1;
+  m.total_size = 0;
+  auto bytes = encode(Message(m));
+  // Byte 0 is the type; byte 1 the component count; bytes 2.. "a".
+  bytes[1] = 0;
+  // Remove the 2-byte component ("len=1", 'a') to keep the rest aligned.
+  bytes.erase(bytes.begin() + 2, bytes.begin() + 4);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, HostileChildCountRejected) {
+  SignaturesMsg m;
+  m.path = Path::parse("/d");
+  auto bytes = encode(Message(m));
+  // The child count is the last 4 bytes (u32 little-endian); claim 2^32-1.
+  for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+    bytes[i] = 0xFF;
+  }
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, OutOfRangeLossEstimateRejected) {
+  ReceiverReportMsg m;
+  m.loss_estimate = 0.5;
+  auto ok = encode(Message(m));
+  EXPECT_TRUE(decode(ok).has_value());
+  m.loss_estimate = 1.5;
+  EXPECT_FALSE(decode(encode(Message(m))).has_value());
+  m.loss_estimate = -0.1;
+  EXPECT_FALSE(decode(encode(Message(m))).has_value());
+}
+
+TEST(Wire, FuzzCorruptionNeverCrashes) {
+  // Flip every single byte of a valid message through all 256 values and
+  // make sure decode either fails cleanly or returns something (no crash,
+  // no sanitizer trip). Sampled positions to keep runtime sane.
+  DataMsg m;
+  m.path = Path::parse("/fuzz/target");
+  m.version = 5;
+  m.total_size = 64;
+  m.offset = 0;
+  m.chunk.assign(64, 0x55);
+  m.tags = {"a=b"};
+  const auto bytes = encode(Message(m));
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 3) {
+    auto mutated = bytes;
+    for (int v = 0; v < 256; v += 17) {
+      mutated[pos] = static_cast<std::uint8_t>(v);
+      (void)decode(mutated);  // must not crash
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sst::sstp

@@ -1,0 +1,151 @@
+// Tests for time-weighted averaging, Welford statistics, histograms, and
+// result tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.hpp"
+#include "stats/series.hpp"
+#include "stats/time_average.hpp"
+#include "stats/welford.hpp"
+
+namespace sst::stats {
+namespace {
+
+TEST(TimeAverage, PiecewiseConstantExact) {
+  TimeAverage ta(0.0, 1.0);
+  ta.update(2.0, 0.0);  // value 1 for [0,2)
+  ta.update(4.0, 0.5);  // value 0 for [2,4)
+  // value 0.5 for [4,8)
+  EXPECT_DOUBLE_EQ(ta.average(8.0), (2.0 * 1.0 + 2.0 * 0.0 + 4.0 * 0.5) / 8.0);
+}
+
+TEST(TimeAverage, InitialValueOnly) {
+  TimeAverage ta(0.0, 0.75);
+  EXPECT_DOUBLE_EQ(ta.average(10.0), 0.75);
+}
+
+TEST(TimeAverage, ZeroDurationReturnsCurrent) {
+  TimeAverage ta(5.0, 0.3);
+  EXPECT_DOUBLE_EQ(ta.average(), 0.3);
+}
+
+TEST(TimeAverage, ResetDiscardsHistory) {
+  TimeAverage ta(0.0, 0.0);
+  ta.update(10.0, 1.0);  // 0 over [0,10)
+  ta.reset(10.0);
+  // From 10 on, value is 1.
+  EXPECT_DOUBLE_EQ(ta.average(20.0), 1.0);
+}
+
+TEST(TimeAverage, OutOfOrderUpdatesClamped) {
+  TimeAverage ta(0.0, 1.0);
+  ta.update(5.0, 0.0);
+  ta.update(3.0, 0.5);  // stale timestamp: applies at t=5
+  EXPECT_DOUBLE_EQ(ta.average(10.0), (5.0 * 1.0 + 5.0 * 0.5) / 10.0);
+}
+
+TEST(TimeAverage, IntegralDifferencing) {
+  TimeAverage ta(0.0, 2.0);
+  ta.advance(3.0);
+  const double i1 = ta.integral();
+  ta.update(5.0, 4.0);
+  ta.advance(7.0);
+  const double i2 = ta.integral();
+  // Window [3,7): 2*2 + 4*2 = 12.
+  EXPECT_DOUBLE_EQ(i2 - i1, 12.0);
+}
+
+TEST(Welford, MeanAndVariance) {
+  Welford w;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, SingleSample) {
+  Welford w;
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.sem(), 0.0);
+}
+
+TEST(Welford, CiShrinksWithSamples) {
+  Welford small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(i % 100);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 2.0);
+}
+
+TEST(Samples, ExactQuantiles) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Samples, AddAfterQuantileStillCorrect) {
+  Samples s;
+  s.add(10.0);
+  (void)s.quantile(0.5);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(ResultTable, RowsAndColumns) {
+  ResultTable t({"x", "y"});
+  t.add_row({1.0, 2.0});
+  t.add_row({3.0, 4.0});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.row(1)[1], 4.0);
+}
+
+TEST(ResultTable, PrintsWithoutCrashing) {
+  ResultTable t({"loss", "consistency"});
+  t.add_row({0.1, 0.95});
+  t.add_row({0.5, 0.6180339});
+  t.add_row({1e-9, 123456789.0});
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  ASSERT_NE(devnull, nullptr);
+  t.print(devnull, "Figure X");
+  t.print_tsv(devnull);
+  std::fclose(devnull);
+}
+
+}  // namespace
+}  // namespace sst::stats

@@ -1,0 +1,183 @@
+// Tests for the publisher and receiver soft state tables.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::core {
+namespace {
+
+TEST(PublisherTable, InsertAssignsUniqueKeysAndVersion1) {
+  PublisherTable t;
+  const Key a = t.insert({}, 100);
+  const Key b = t.insert({}, 100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.find(a)->version, 1u);
+  EXPECT_EQ(t.live_count(), 2u);
+  EXPECT_EQ(t.total_inserts(), 2u);
+}
+
+TEST(PublisherTable, UpdateBumpsVersionAndStoresValue) {
+  PublisherTable t;
+  const Key k = t.insert({1, 2}, 100);
+  EXPECT_TRUE(t.update(k, {3, 4}));
+  const Record* r = t.find(k);
+  EXPECT_EQ(r->version, 2u);
+  EXPECT_EQ(r->value, (std::vector<std::uint8_t>{3, 4}));
+}
+
+TEST(PublisherTable, UpdateOrRemoveMissingKeyFails) {
+  PublisherTable t;
+  EXPECT_FALSE(t.update(42, {}));
+  EXPECT_FALSE(t.remove(42));
+}
+
+TEST(PublisherTable, RemoveDeletesAndKeysNeverReused) {
+  PublisherTable t;
+  const Key a = t.insert({}, 100);
+  EXPECT_TRUE(t.remove(a));
+  EXPECT_EQ(t.find(a), nullptr);
+  const Key b = t.insert({}, 100);
+  EXPECT_NE(a, b);
+}
+
+TEST(PublisherTable, ListenersSeeAllChangesInOrder) {
+  PublisherTable t;
+  std::vector<std::pair<ChangeKind, Version>> events;
+  t.subscribe([&](const Record& r, ChangeKind k) {
+    events.emplace_back(k, r.version);
+  });
+  const Key k = t.insert({}, 100);
+  t.update(k, {});
+  t.update(k, {});
+  t.remove(k);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], std::make_pair(ChangeKind::kInsert, Version{1}));
+  EXPECT_EQ(events[1], std::make_pair(ChangeKind::kUpdate, Version{2}));
+  EXPECT_EQ(events[2], std::make_pair(ChangeKind::kUpdate, Version{3}));
+  EXPECT_EQ(events[3], std::make_pair(ChangeKind::kRemove, Version{3}));
+}
+
+TEST(PublisherTable, ForEachVisitsLiveOnly) {
+  PublisherTable t;
+  const Key a = t.insert({}, 100);
+  t.insert({}, 100);
+  t.remove(a);
+  int count = 0;
+  t.for_each([&](const Record&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+// ---------------------------------------------------------------- receiver
+
+TEST(ReceiverTable, RefreshInsertsAndUpdates) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 0.0);
+  t.refresh(1, 1);
+  ASSERT_NE(t.find(1), nullptr);
+  EXPECT_EQ(t.find(1)->version, 1u);
+  t.refresh(1, 3);
+  EXPECT_EQ(t.find(1)->version, 3u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ReceiverTable, StaleVersionIgnoredButTimerReset) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 10.0);
+  t.refresh(1, 5);
+  sim.run_until(8.0);
+  t.refresh(1, 2);  // stale announcement still proves liveness
+  EXPECT_EQ(t.find(1)->version, 5u);
+  sim.run_until(17.0);  // 8 + 10 > 17: still alive
+  EXPECT_NE(t.find(1), nullptr);
+  sim.run_until(18.5);  // expired at 18
+  EXPECT_EQ(t.find(1), nullptr);
+}
+
+TEST(ReceiverTable, ExpiresWithoutRefresh) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 5.0);
+  std::vector<Key> expired;
+  t.on_expire([&](Key k, Version) { expired.push_back(k); });
+  t.refresh(7, 1);
+  sim.run_until(4.9);
+  EXPECT_EQ(t.size(), 1u);
+  sim.run_until(5.1);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(expired, (std::vector<Key>{7}));
+}
+
+TEST(ReceiverTable, RefreshResetsExpiry) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 5.0);
+  t.refresh(7, 1);
+  sim.at(4.0, [&] { t.refresh(7, 1); });
+  sim.run_until(8.0);
+  EXPECT_EQ(t.size(), 1u);  // would have expired at 5 without the refresh
+  sim.run_until(9.5);
+  EXPECT_EQ(t.size(), 0u);  // expires at 9
+}
+
+TEST(ReceiverTable, ZeroTtlNeverExpires) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 0.0);
+  t.refresh(1, 1);
+  sim.run_until(1e6);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ReceiverTable, RemoveNotifiesAndCancelsTimer) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 5.0);
+  int expirations = 0;
+  t.on_expire([&](Key, Version) { ++expirations; });
+  t.refresh(1, 1);
+  t.remove(1);
+  EXPECT_EQ(expirations, 1);
+  sim.run_until(10.0);
+  EXPECT_EQ(expirations, 1);  // timer must not double-fire
+}
+
+TEST(ReceiverTable, RemoveMissingIsNoop) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 5.0);
+  int expirations = 0;
+  t.on_expire([&](Key, Version) { ++expirations; });
+  t.remove(99);
+  EXPECT_EQ(expirations, 0);
+}
+
+TEST(ReceiverTable, RefreshListenerFlags) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 0.0);
+  std::vector<std::pair<bool, bool>> flags;  // (was_new, version_changed)
+  t.on_refresh([&](Key, Version, bool was_new, bool changed) {
+    flags.emplace_back(was_new, changed);
+  });
+  t.refresh(1, 1);  // new
+  t.refresh(1, 1);  // duplicate refresh
+  t.refresh(1, 2);  // update
+  t.refresh(1, 1);  // stale
+  ASSERT_EQ(flags.size(), 4u);
+  EXPECT_EQ(flags[0], std::make_pair(true, true));
+  EXPECT_EQ(flags[1], std::make_pair(false, false));
+  EXPECT_EQ(flags[2], std::make_pair(false, true));
+  EXPECT_EQ(flags[3], std::make_pair(false, false));
+}
+
+TEST(ReceiverTable, TtlChangeAppliesToNextRefresh) {
+  sim::Simulator sim;
+  ReceiverTable t(sim, 5.0);
+  t.refresh(1, 1);
+  t.set_ttl(20.0);
+  t.refresh(1, 1);  // re-arms with the new TTL
+  sim.run_until(15.0);
+  EXPECT_EQ(t.size(), 1u);
+  sim.run_until(21.0);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sst::core

@@ -1,0 +1,153 @@
+// Tests for the synthetic publisher workload.
+#include <gtest/gtest.h>
+
+#include "core/table.hpp"
+#include "core/workload.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::core {
+namespace {
+
+TEST(Workload, PoissonInsertRate) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p;
+  p.insert_rate = 5.0;
+  p.death_mode = DeathMode::kPerTransmission;  // nothing removes records
+  Workload w(sim, pub, p, sim::Rng(1));
+  w.start();
+  sim.run_until(2000.0);
+  // ~10000 inserts expected; Poisson sd ~100.
+  EXPECT_NEAR(static_cast<double>(w.inserts()), 10000.0, 400.0);
+  EXPECT_EQ(pub.live_count(), w.inserts());
+}
+
+TEST(Workload, ExponentialLifetimeRemovesRecords) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p;
+  p.insert_rate = 2.0;
+  p.death_mode = DeathMode::kExponentialLifetime;
+  p.mean_lifetime = 10.0;
+  Workload w(sim, pub, p, sim::Rng(2));
+  w.start();
+  sim.run_until(3000.0);
+  // Steady state (M/M/inf): E[live] = rate * mean lifetime = 20.
+  EXPECT_NEAR(static_cast<double>(pub.live_count()), 20.0, 15.0);
+  EXPECT_GT(w.inserts(), 5000u);
+}
+
+TEST(Workload, FixedLifetimeExact) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p;
+  p.insert_rate = 1.0;
+  p.death_mode = DeathMode::kFixedLifetime;
+  p.mean_lifetime = 5.0;
+  Workload w(sim, pub, p, sim::Rng(3));
+  w.start();
+  sim.run_until(100.0);
+  w.stop();
+  sim.run_until(200.0);  // all lifetimes run out
+  EXPECT_EQ(pub.live_count(), 0u);
+}
+
+TEST(Workload, UpdatesTargetLiveKeys) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p;
+  p.insert_rate = 1.0;
+  p.update_rate = 5.0;
+  p.death_mode = DeathMode::kPerTransmission;
+  Workload w(sim, pub, p, sim::Rng(4));
+  std::uint64_t update_events = 0;
+  pub.subscribe([&](const Record&, ChangeKind k) {
+    if (k == ChangeKind::kUpdate) ++update_events;
+  });
+  w.start();
+  sim.run_until(1000.0);
+  EXPECT_NEAR(static_cast<double>(update_events), 5000.0, 400.0);
+  EXPECT_EQ(update_events, w.updates());
+}
+
+TEST(Workload, NoUpdatesBeforeFirstInsert) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p;
+  p.insert_rate = 0.001;  // essentially never
+  p.update_rate = 100.0;
+  Workload w(sim, pub, p, sim::Rng(5));
+  w.start();
+  sim.run_until(10.0);
+  EXPECT_EQ(w.updates(), 0u);  // no live keys to update
+}
+
+TEST(Workload, StopHaltsArrivals) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p;
+  p.insert_rate = 10.0;
+  Workload w(sim, pub, p, sim::Rng(6));
+  w.start();
+  sim.run_until(10.0);
+  const auto count = w.inserts();
+  w.stop();
+  sim.run_until(100.0);
+  EXPECT_EQ(w.inserts(), count);
+}
+
+TEST(Workload, DeterministicAcrossRuns) {
+  auto run = [] {
+    sim::Simulator sim;
+    PublisherTable pub;
+    WorkloadParams p;
+    p.insert_rate = 3.0;
+    p.update_rate = 1.0;
+    p.death_mode = DeathMode::kExponentialLifetime;
+    p.mean_lifetime = 7.0;
+    Workload w(sim, pub, p, sim::Rng(42));
+    w.start();
+    sim.run_until(500.0);
+    return std::make_tuple(w.inserts(), w.updates(), pub.live_count());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Workload, DeathDrawMatchesProbability) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p;
+  p.p_death = 0.2;
+  Workload w(sim, pub, p, sim::Rng(7));
+  int deaths = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) deaths += w.draw_death() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(deaths) / n, 0.2, 0.01);
+}
+
+TEST(Workload, PayloadSizeHonored) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  WorkloadParams p;
+  p.insert_rate = 100.0;
+  p.payload_size = 48;
+  p.record_size = 256;
+  Workload w(sim, pub, p, sim::Rng(8));
+  w.start();
+  sim.run_until(1.0);
+  ASSERT_GT(pub.live_count(), 0u);
+  pub.for_each([](const Record& r) {
+    EXPECT_EQ(r.value.size(), 48u);
+    EXPECT_EQ(r.size, 256u);
+  });
+}
+
+TEST(Workload, InsertRateFromKbpsConversion) {
+  // 15 kbps of 1000-byte (8 kbit) records = 1.875 records/s.
+  EXPECT_DOUBLE_EQ(insert_rate_from_kbps(15.0, 1000), 1.875);
+  EXPECT_DOUBLE_EQ(insert_rate_from_kbps(8.0, 1000), 1.0);
+}
+
+}  // namespace
+}  // namespace sst::core

@@ -1,0 +1,78 @@
+// flags.hpp — minimal --key=value flag parsing for the CLI tools.
+//
+// No dependencies, no registry: call `Flags::parse(argc, argv)` and pull
+// typed values with defaults. Unknown flags are collected so tools can
+// reject typos instead of silently ignoring them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sst::tools {
+
+class Flags {
+ public:
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        f.values_[arg] = "true";  // boolean flag
+      } else {
+        f.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+    return f;
+  }
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& def) const {
+    touch(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  [[nodiscard]] double num(const std::string& key, double def) const {
+    touch(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+
+  [[nodiscard]] bool flag(const std::string& key, bool def = false) const {
+    touch(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return it->second != "false" && it->second != "0";
+  }
+
+  /// Call after all lookups: exits with a message if the command line held
+  /// flags no lookup ever asked about (typo protection).
+  void reject_unknown() const {
+    bool bad = false;
+    for (const auto& [key, value] : values_) {
+      if (!known_.contains(key)) {
+        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+        bad = true;
+      }
+    }
+    if (bad) std::exit(2);
+  }
+
+ private:
+  void touch(const std::string& key) const { known_.insert(key); }
+
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> known_;
+};
+
+}  // namespace sst::tools

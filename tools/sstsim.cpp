@@ -1,0 +1,205 @@
+// sstsim — run a soft state (or hard-state baseline) experiment from the
+// command line and print every metric; the scriptable front-end to the
+// experiment harness.
+//
+// Examples:
+//   sstsim --variant=feedback --lambda-kbps=15 --mu-data-kbps=42 \
+//          --mu-fb-kbps=18 --hot-share=0.85 --loss=0.4 --duration=3000
+//   sstsim --variant=openloop --lambda-kbps=20 --mu-data-kbps=128 \
+//          --death=per-tx --p-death=0.2 --loss=0.1 --timeline=100
+//   sstsim --variant=hardstate --lambda-kbps=10 --loss=0.02 \
+//          --outage=900:1020
+//   sstsim --help
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "arq/experiment.hpp"
+#include "core/experiment.hpp"
+#include "flags.hpp"
+
+namespace {
+
+using namespace sst;
+
+constexpr const char* kHelp = R"(sstsim — soft state protocol simulator
+
+  --variant=openloop|twoqueue|feedback|hardstate   protocol (default feedback)
+
+workload:
+  --lambda-kbps=15        new-record rate (1000-B records)
+  --update-rate=0         in-place updates/sec over the live set
+  --death=exp|per-tx|fixed|pareto   lifetime model (default exp)
+  --p-death=0.1           per-transmission death probability (per-tx)
+  --lifetime=120          mean record lifetime seconds (exp/fixed/pareto)
+  --record-bytes=1000     announcement size
+
+bandwidth & network:
+  --mu-data-kbps=45       data bandwidth
+  --mu-fb-kbps=0          feedback bandwidth (feedback/hardstate ACK path)
+  --hot-share=0.5         hot fraction of data bandwidth
+  --loss=0.1              forward loss rate
+  --shared-loss=0         backbone loss shared by all receivers
+  --bursty                Gilbert-Elliott loss (mean --loss, burst 4)
+  --delay=0.01            one-way propagation delay seconds
+  --receivers=1           subscriber count
+  --multicast-fb          shared feedback group with slotting/damping
+  --slot=0.5              NACK slot max (with --multicast-fb)
+  --outage=START:END[,START:END...]   total outage windows (seconds)
+
+run control:
+  --duration=2000 --warmup=200 --seed=1
+  --timeline=0            sample c(t) every N seconds (0 off)
+  --scheduler=stride|lottery|wfq|drr|hier
+)";
+
+std::vector<std::pair<double, double>> parse_outages(const std::string& s) {
+  std::vector<std::pair<double, double>> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto colon = s.find(':', pos);
+    if (colon == std::string::npos) break;
+    auto comma = s.find(',', colon);
+    if (comma == std::string::npos) comma = s.size();
+    out.emplace_back(std::atof(s.substr(pos, colon - pos).c_str()),
+                     std::atof(s.substr(colon + 1, comma - colon - 1).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void print_timeline(const std::vector<core::TimelinePoint>& timeline) {
+  if (timeline.empty()) return;
+  std::printf("\n  time_s  c(t)\n");
+  for (const auto& p : timeline) {
+    std::printf("  %6.0f  %.4f\n", p.time, p.consistency);
+  }
+}
+
+int run_hard(const tools::Flags& flags) {
+  arq::HardStateConfig cfg;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(
+      flags.num("lambda-kbps", 10.0),
+      static_cast<sim::Bytes>(flags.num("record-bytes", 1000)));
+  cfg.workload.update_rate = flags.num("update-rate", 0.0);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = flags.num("lifetime", 120.0);
+  cfg.mu_data = sim::kbps(flags.num("mu-data-kbps", 45.0));
+  cfg.mu_ack = sim::kbps(flags.num("mu-fb-kbps", 15.0));
+  cfg.loss_rate = flags.num("loss", 0.1);
+  cfg.delay = flags.num("delay", 0.01);
+  cfg.outages = parse_outages(flags.str("outage", ""));
+  cfg.duration = flags.num("duration", 2000.0);
+  cfg.warmup = flags.num("warmup", 200.0);
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+  cfg.sample_interval = flags.num("timeline", 0.0);
+  flags.reject_unknown();
+
+  const auto r = arq::run_hard_state(cfg);
+  std::printf("variant            hardstate\n");
+  std::printf("avg_consistency    %.4f\n", r.avg_consistency);
+  std::printf("mean_latency_s     %.3f\n", r.mean_latency);
+  std::printf("p95_latency_s      %.3f\n", r.p95_latency);
+  std::printf("data_tx            %llu (retransmits %llu)\n",
+              static_cast<unsigned long long>(r.data_tx),
+              static_cast<unsigned long long>(r.retransmits));
+  std::printf("connection_deaths  %llu (snapshot ops %llu, flushes %llu)\n",
+              static_cast<unsigned long long>(r.connection_deaths),
+              static_cast<unsigned long long>(r.snapshot_ops),
+              static_cast<unsigned long long>(r.table_flushes));
+  std::printf("offered_kbps       data %.2f + ack %.2f\n",
+              r.offered_data_kbps, r.offered_ack_kbps);
+  print_timeline(r.timeline);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = sst::tools::Flags::parse(argc, argv);
+  if (flags.flag("help")) {
+    std::fputs(kHelp, stdout);
+    return 0;
+  }
+
+  const std::string variant = flags.str("variant", "feedback");
+  if (variant == "hardstate") return run_hard(flags);
+
+  core::ExperimentConfig cfg;
+  if (variant == "openloop") {
+    cfg.variant = core::Variant::kOpenLoop;
+  } else if (variant == "twoqueue") {
+    cfg.variant = core::Variant::kTwoQueue;
+  } else if (variant == "feedback") {
+    cfg.variant = core::Variant::kFeedback;
+  } else {
+    std::fprintf(stderr, "unknown --variant=%s\n", variant.c_str());
+    return 2;
+  }
+
+  const auto record_bytes =
+      static_cast<sim::Bytes>(flags.num("record-bytes", 1000));
+  cfg.workload.record_size = record_bytes;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(
+      flags.num("lambda-kbps", 15.0), record_bytes);
+  cfg.workload.update_rate = flags.num("update-rate", 0.0);
+  const std::string death = flags.str("death", "exp");
+  if (death == "per-tx") {
+    cfg.workload.death_mode = core::DeathMode::kPerTransmission;
+  } else if (death == "fixed") {
+    cfg.workload.death_mode = core::DeathMode::kFixedLifetime;
+  } else if (death == "pareto") {
+    cfg.workload.death_mode = core::DeathMode::kParetoLifetime;
+  } else {
+    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  }
+  cfg.workload.p_death = flags.num("p-death", 0.1);
+  cfg.workload.mean_lifetime = flags.num("lifetime", 120.0);
+
+  cfg.mu_data = sim::kbps(flags.num("mu-data-kbps", 45.0));
+  cfg.mu_fb = sim::kbps(flags.num("mu-fb-kbps", 0.0));
+  cfg.hot_share = flags.num("hot-share", 0.5);
+  cfg.loss_rate = flags.num("loss", 0.1);
+  cfg.shared_loss_rate = flags.num("shared-loss", 0.0);
+  cfg.bursty_loss = flags.flag("bursty");
+  cfg.delay = flags.num("delay", 0.01);
+  cfg.num_receivers = static_cast<std::size_t>(flags.num("receivers", 1));
+  cfg.multicast_feedback = flags.flag("multicast-fb");
+  cfg.receiver.nack_slot_max = flags.num("slot", 0.5);
+  cfg.outages = parse_outages(flags.str("outage", ""));
+  cfg.duration = flags.num("duration", 2000.0);
+  cfg.warmup = flags.num("warmup", 200.0);
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+  cfg.sample_interval = flags.num("timeline", 0.0);
+
+  const std::string sched = flags.str("scheduler", "stride");
+  if (sched == "lottery") cfg.scheduler = core::SchedulerKind::kLottery;
+  if (sched == "wfq") cfg.scheduler = core::SchedulerKind::kWfq;
+  if (sched == "drr") cfg.scheduler = core::SchedulerKind::kDrr;
+  if (sched == "hier") cfg.scheduler = core::SchedulerKind::kHierarchical;
+  flags.reject_unknown();
+
+  const auto r = core::run_experiment(cfg);
+  std::printf("variant            %s\n", variant.c_str());
+  std::printf("avg_consistency    %.4f\n", r.avg_consistency);
+  std::printf("mean_latency_s     %.3f (p50 %.3f, p95 %.3f)\n",
+              r.mean_latency, r.p50_latency, r.p95_latency);
+  std::printf("data_tx            %llu (hot %llu, cold %llu, repairs %llu)\n",
+              static_cast<unsigned long long>(r.data_tx),
+              static_cast<unsigned long long>(r.hot_tx),
+              static_cast<unsigned long long>(r.cold_tx),
+              static_cast<unsigned long long>(r.repair_tx));
+  std::printf("redundant_fraction %.4f\n", r.redundant_fraction);
+  std::printf("nacks              sent %llu, received %llu, suppressed %llu\n",
+              static_cast<unsigned long long>(r.nacks_sent),
+              static_cast<unsigned long long>(r.nacks_received),
+              static_cast<unsigned long long>(r.nacks_suppressed));
+  std::printf("observed_loss      %.4f\n", r.observed_loss);
+  std::printf("offered_kbps       data %.2f + fb %.2f\n",
+              r.offered_data_kbps, r.offered_fb_kbps);
+  std::printf("workload           %llu inserts, %llu updates, live %zu\n",
+              static_cast<unsigned long long>(r.inserts),
+              static_cast<unsigned long long>(r.updates), r.final_live);
+  print_timeline(r.timeline);
+  return 0;
+}
