@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_hot_knee"
+  "../bench/bench_fig10_hot_knee.pdb"
+  "CMakeFiles/bench_fig10_hot_knee.dir/bench_fig10_hot_knee.cpp.o"
+  "CMakeFiles/bench_fig10_hot_knee.dir/bench_fig10_hot_knee.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hot_knee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

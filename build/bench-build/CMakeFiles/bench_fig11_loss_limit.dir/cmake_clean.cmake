@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_loss_limit"
+  "../bench/bench_fig11_loss_limit.pdb"
+  "CMakeFiles/bench_fig11_loss_limit.dir/bench_fig11_loss_limit.cpp.o"
+  "CMakeFiles/bench_fig11_loss_limit.dir/bench_fig11_loss_limit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_loss_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_openloop_consistency"
+  "../bench/bench_fig3_openloop_consistency.pdb"
+  "CMakeFiles/bench_fig3_openloop_consistency.dir/bench_fig3_openloop_consistency.cpp.o"
+  "CMakeFiles/bench_fig3_openloop_consistency.dir/bench_fig3_openloop_consistency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_openloop_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_redundancy"
+  "../bench/bench_fig4_redundancy.pdb"
+  "CMakeFiles/bench_fig4_redundancy.dir/bench_fig4_redundancy.cpp.o"
+  "CMakeFiles/bench_fig4_redundancy.dir/bench_fig4_redundancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_two_queue"
+  "../bench/bench_fig5_two_queue.pdb"
+  "CMakeFiles/bench_fig5_two_queue.dir/bench_fig5_two_queue.cpp.o"
+  "CMakeFiles/bench_fig5_two_queue.dir/bench_fig5_two_queue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_two_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

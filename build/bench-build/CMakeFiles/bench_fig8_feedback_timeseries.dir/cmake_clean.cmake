@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_feedback_timeseries"
+  "../bench/bench_fig8_feedback_timeseries.pdb"
+  "CMakeFiles/bench_fig8_feedback_timeseries.dir/bench_fig8_feedback_timeseries.cpp.o"
+  "CMakeFiles/bench_fig8_feedback_timeseries.dir/bench_fig8_feedback_timeseries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_feedback_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_feedback_alloc"
+  "../bench/bench_fig9_feedback_alloc.pdb"
+  "CMakeFiles/bench_fig9_feedback_alloc.dir/bench_fig9_feedback_alloc.cpp.o"
+  "CMakeFiles/bench_fig9_feedback_alloc.dir/bench_fig9_feedback_alloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_feedback_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

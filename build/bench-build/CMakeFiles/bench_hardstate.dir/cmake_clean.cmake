@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hardstate"
+  "../bench/bench_hardstate.pdb"
+  "CMakeFiles/bench_hardstate.dir/bench_hardstate.cpp.o"
+  "CMakeFiles/bench_hardstate.dir/bench_hardstate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hardstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multicast_damping"
+  "../bench/bench_multicast_damping.pdb"
+  "CMakeFiles/bench_multicast_damping.dir/bench_multicast_damping.cpp.o"
+  "CMakeFiles/bench_multicast_damping.dir/bench_multicast_damping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicast_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

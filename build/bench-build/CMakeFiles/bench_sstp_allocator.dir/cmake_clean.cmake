@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sstp_allocator"
+  "../bench/bench_sstp_allocator.pdb"
+  "CMakeFiles/bench_sstp_allocator.dir/bench_sstp_allocator.cpp.o"
+  "CMakeFiles/bench_sstp_allocator.dir/bench_sstp_allocator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sstp_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sstp_namespace"
+  "../bench/bench_sstp_namespace.pdb"
+  "CMakeFiles/bench_sstp_namespace.dir/bench_sstp_namespace.cpp.o"
+  "CMakeFiles/bench_sstp_namespace.dir/bench_sstp_namespace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sstp_namespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

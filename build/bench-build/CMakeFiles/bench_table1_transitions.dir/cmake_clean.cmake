@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_transitions"
+  "../bench/bench_table1_transitions.pdb"
+  "CMakeFiles/bench_table1_transitions.dir/bench_table1_transitions.cpp.o"
+  "CMakeFiles/bench_table1_transitions.dir/bench_table1_transitions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_updates.dir/routing_updates.cpp.o"
+  "CMakeFiles/routing_updates.dir/routing_updates.cpp.o.d"
+  "routing_updates"
+  "routing_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_whiteboard.dir/shared_whiteboard.cpp.o"
+  "CMakeFiles/shared_whiteboard.dir/shared_whiteboard.cpp.o.d"
+  "shared_whiteboard"
+  "shared_whiteboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_whiteboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_analysis.dir/jackson.cpp.o"
+  "CMakeFiles/sst_analysis.dir/jackson.cpp.o.d"
+  "CMakeFiles/sst_analysis.dir/profiles.cpp.o"
+  "CMakeFiles/sst_analysis.dir/profiles.cpp.o.d"
+  "libsst_analysis.a"
+  "libsst_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

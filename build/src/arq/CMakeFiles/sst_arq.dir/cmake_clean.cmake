@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_arq.dir/experiment.cpp.o"
+  "CMakeFiles/sst_arq.dir/experiment.cpp.o.d"
+  "CMakeFiles/sst_arq.dir/receiver.cpp.o"
+  "CMakeFiles/sst_arq.dir/receiver.cpp.o.d"
+  "CMakeFiles/sst_arq.dir/sender.cpp.o"
+  "CMakeFiles/sst_arq.dir/sender.cpp.o.d"
+  "libsst_arq.a"
+  "libsst_arq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_arq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

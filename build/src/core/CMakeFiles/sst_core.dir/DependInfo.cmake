@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/sst_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/sst_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/open_loop.cpp" "src/core/CMakeFiles/sst_core.dir/open_loop.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/open_loop.cpp.o.d"
+  "/root/repo/src/core/receiver.cpp" "src/core/CMakeFiles/sst_core.dir/receiver.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/receiver.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/sst_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/two_queue.cpp" "src/core/CMakeFiles/sst_core.dir/two_queue.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/two_queue.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/sst_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sst_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sst_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sst_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

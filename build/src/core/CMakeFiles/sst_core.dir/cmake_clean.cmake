@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_core.dir/experiment.cpp.o"
+  "CMakeFiles/sst_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sst_core.dir/monitor.cpp.o"
+  "CMakeFiles/sst_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/sst_core.dir/open_loop.cpp.o"
+  "CMakeFiles/sst_core.dir/open_loop.cpp.o.d"
+  "CMakeFiles/sst_core.dir/receiver.cpp.o"
+  "CMakeFiles/sst_core.dir/receiver.cpp.o.d"
+  "CMakeFiles/sst_core.dir/table.cpp.o"
+  "CMakeFiles/sst_core.dir/table.cpp.o.d"
+  "CMakeFiles/sst_core.dir/two_queue.cpp.o"
+  "CMakeFiles/sst_core.dir/two_queue.cpp.o.d"
+  "CMakeFiles/sst_core.dir/workload.cpp.o"
+  "CMakeFiles/sst_core.dir/workload.cpp.o.d"
+  "libsst_core.a"
+  "libsst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_hash.dir/digest.cpp.o"
+  "CMakeFiles/sst_hash.dir/digest.cpp.o.d"
+  "CMakeFiles/sst_hash.dir/md5.cpp.o"
+  "CMakeFiles/sst_hash.dir/md5.cpp.o.d"
+  "libsst_hash.a"
+  "libsst_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_net.dir/loss.cpp.o"
+  "CMakeFiles/sst_net.dir/loss.cpp.o.d"
+  "libsst_net.a"
+  "libsst_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

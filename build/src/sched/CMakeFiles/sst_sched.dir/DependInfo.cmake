@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/drr.cpp" "src/sched/CMakeFiles/sst_sched.dir/drr.cpp.o" "gcc" "src/sched/CMakeFiles/sst_sched.dir/drr.cpp.o.d"
+  "/root/repo/src/sched/hierarchical.cpp" "src/sched/CMakeFiles/sst_sched.dir/hierarchical.cpp.o" "gcc" "src/sched/CMakeFiles/sst_sched.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/sched/lottery.cpp" "src/sched/CMakeFiles/sst_sched.dir/lottery.cpp.o" "gcc" "src/sched/CMakeFiles/sst_sched.dir/lottery.cpp.o.d"
+  "/root/repo/src/sched/stride.cpp" "src/sched/CMakeFiles/sst_sched.dir/stride.cpp.o" "gcc" "src/sched/CMakeFiles/sst_sched.dir/stride.cpp.o.d"
+  "/root/repo/src/sched/wfq.cpp" "src/sched/CMakeFiles/sst_sched.dir/wfq.cpp.o" "gcc" "src/sched/CMakeFiles/sst_sched.dir/wfq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sst_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

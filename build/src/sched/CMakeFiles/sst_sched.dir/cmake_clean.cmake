@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_sched.dir/drr.cpp.o"
+  "CMakeFiles/sst_sched.dir/drr.cpp.o.d"
+  "CMakeFiles/sst_sched.dir/hierarchical.cpp.o"
+  "CMakeFiles/sst_sched.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/sst_sched.dir/lottery.cpp.o"
+  "CMakeFiles/sst_sched.dir/lottery.cpp.o.d"
+  "CMakeFiles/sst_sched.dir/stride.cpp.o"
+  "CMakeFiles/sst_sched.dir/stride.cpp.o.d"
+  "CMakeFiles/sst_sched.dir/wfq.cpp.o"
+  "CMakeFiles/sst_sched.dir/wfq.cpp.o.d"
+  "libsst_sched.a"
+  "libsst_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

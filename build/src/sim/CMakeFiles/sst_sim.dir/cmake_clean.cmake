@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sst_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sst_sim.dir/random.cpp.o"
+  "CMakeFiles/sst_sim.dir/random.cpp.o.d"
+  "CMakeFiles/sst_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sst_sim.dir/simulator.cpp.o.d"
+  "libsst_sim.a"
+  "libsst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sstp/allocator.cpp" "src/sstp/CMakeFiles/sst_sstp.dir/allocator.cpp.o" "gcc" "src/sstp/CMakeFiles/sst_sstp.dir/allocator.cpp.o.d"
+  "/root/repo/src/sstp/namespace_tree.cpp" "src/sstp/CMakeFiles/sst_sstp.dir/namespace_tree.cpp.o" "gcc" "src/sstp/CMakeFiles/sst_sstp.dir/namespace_tree.cpp.o.d"
+  "/root/repo/src/sstp/path.cpp" "src/sstp/CMakeFiles/sst_sstp.dir/path.cpp.o" "gcc" "src/sstp/CMakeFiles/sst_sstp.dir/path.cpp.o.d"
+  "/root/repo/src/sstp/receiver.cpp" "src/sstp/CMakeFiles/sst_sstp.dir/receiver.cpp.o" "gcc" "src/sstp/CMakeFiles/sst_sstp.dir/receiver.cpp.o.d"
+  "/root/repo/src/sstp/sender.cpp" "src/sstp/CMakeFiles/sst_sstp.dir/sender.cpp.o" "gcc" "src/sstp/CMakeFiles/sst_sstp.dir/sender.cpp.o.d"
+  "/root/repo/src/sstp/session.cpp" "src/sstp/CMakeFiles/sst_sstp.dir/session.cpp.o" "gcc" "src/sstp/CMakeFiles/sst_sstp.dir/session.cpp.o.d"
+  "/root/repo/src/sstp/wire.cpp" "src/sstp/CMakeFiles/sst_sstp.dir/wire.cpp.o" "gcc" "src/sstp/CMakeFiles/sst_sstp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sst_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sst_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sst_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sst_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_sstp.dir/allocator.cpp.o"
+  "CMakeFiles/sst_sstp.dir/allocator.cpp.o.d"
+  "CMakeFiles/sst_sstp.dir/namespace_tree.cpp.o"
+  "CMakeFiles/sst_sstp.dir/namespace_tree.cpp.o.d"
+  "CMakeFiles/sst_sstp.dir/path.cpp.o"
+  "CMakeFiles/sst_sstp.dir/path.cpp.o.d"
+  "CMakeFiles/sst_sstp.dir/receiver.cpp.o"
+  "CMakeFiles/sst_sstp.dir/receiver.cpp.o.d"
+  "CMakeFiles/sst_sstp.dir/sender.cpp.o"
+  "CMakeFiles/sst_sstp.dir/sender.cpp.o.d"
+  "CMakeFiles/sst_sstp.dir/session.cpp.o"
+  "CMakeFiles/sst_sstp.dir/session.cpp.o.d"
+  "CMakeFiles/sst_sstp.dir/wire.cpp.o"
+  "CMakeFiles/sst_sstp.dir/wire.cpp.o.d"
+  "libsst_sstp.a"
+  "libsst_sstp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_sstp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

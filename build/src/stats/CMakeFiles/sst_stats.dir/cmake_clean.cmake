@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_stats.dir/series.cpp.o"
+  "CMakeFiles/sst_stats.dir/series.cpp.o.d"
+  "libsst_stats.a"
+  "libsst_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

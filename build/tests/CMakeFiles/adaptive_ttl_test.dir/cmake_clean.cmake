@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_ttl_test.dir/adaptive_ttl_test.cpp.o"
+  "CMakeFiles/adaptive_ttl_test.dir/adaptive_ttl_test.cpp.o.d"
+  "adaptive_ttl_test"
+  "adaptive_ttl_test.pdb"
+  "adaptive_ttl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_ttl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstp_allocator_test.dir/sstp_allocator_test.cpp.o"
+  "CMakeFiles/sstp_allocator_test.dir/sstp_allocator_test.cpp.o.d"
+  "sstp_allocator_test"
+  "sstp_allocator_test.pdb"
+  "sstp_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstp_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstp_path_test.dir/sstp_path_test.cpp.o"
+  "CMakeFiles/sstp_path_test.dir/sstp_path_test.cpp.o.d"
+  "sstp_path_test"
+  "sstp_path_test.pdb"
+  "sstp_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstp_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstp_priority_test.dir/sstp_priority_test.cpp.o"
+  "CMakeFiles/sstp_priority_test.dir/sstp_priority_test.cpp.o.d"
+  "sstp_priority_test"
+  "sstp_priority_test.pdb"
+  "sstp_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstp_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstp_session_test.dir/sstp_session_test.cpp.o"
+  "CMakeFiles/sstp_session_test.dir/sstp_session_test.cpp.o.d"
+  "sstp_session_test"
+  "sstp_session_test.pdb"
+  "sstp_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstp_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstp_tree_test.dir/sstp_tree_test.cpp.o"
+  "CMakeFiles/sstp_tree_test.dir/sstp_tree_test.cpp.o.d"
+  "sstp_tree_test"
+  "sstp_tree_test.pdb"
+  "sstp_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstp_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstp_wire_test.dir/sstp_wire_test.cpp.o"
+  "CMakeFiles/sstp_wire_test.dir/sstp_wire_test.cpp.o.d"
+  "sstp_wire_test"
+  "sstp_wire_test.pdb"
+  "sstp_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstp_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

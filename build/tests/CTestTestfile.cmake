@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/sstp_path_test[1]_include.cmake")
+include("/root/repo/build/tests/sstp_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/sstp_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/sstp_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/sstp_session_test[1]_include.cmake")
+include("/root/repo/build/tests/arq_test[1]_include.cmake")
+include("/root/repo/build/tests/multicast_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_ttl_test[1]_include.cmake")
+include("/root/repo/build/tests/sstp_priority_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/profilegen.cpp" "tools/CMakeFiles/profilegen.dir/profilegen.cpp.o" "gcc" "tools/CMakeFiles/profilegen.dir/profilegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sst_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sst_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sst_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sst_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sst_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

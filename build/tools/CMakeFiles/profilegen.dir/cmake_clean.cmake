@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profilegen.dir/profilegen.cpp.o"
+  "CMakeFiles/profilegen.dir/profilegen.cpp.o.d"
+  "profilegen"
+  "profilegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profilegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

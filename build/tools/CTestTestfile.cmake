@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sstsim_smoke_feedback "/root/repo/build/tools/sstsim" "--variant=feedback" "--lambda-kbps=10" "--mu-data-kbps=40" "--mu-fb-kbps=10" "--loss=0.2" "--duration=300" "--warmup=50")
+set_tests_properties(sstsim_smoke_feedback PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sstsim_smoke_hardstate "/root/repo/build/tools/sstsim" "--variant=hardstate" "--lambda-kbps=10" "--loss=0.02" "--duration=300" "--warmup=50")
+set_tests_properties(sstsim_smoke_hardstate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sstsim_smoke_timeline "/root/repo/build/tools/sstsim" "--variant=openloop" "--death=per-tx" "--p-death=0.2" "--loss=0.1" "--duration=300" "--warmup=50" "--timeline=100")
+set_tests_properties(sstsim_smoke_timeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sstsim_help "/root/repo/build/tools/sstsim" "--help")
+set_tests_properties(sstsim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
