@@ -1,0 +1,291 @@
+// Fault recovery: soft state vs hard state (paper Sections 1 & 5.1, made
+// quantitative with the sst::fault injector).
+//
+// The paper's robustness argument is qualitative: soft state "recovers from
+// failure by virtue of the periodic announce/listen update process", while
+// hard state "would have to simultaneously detect the failure, explicitly
+// tear down the old state, and re-establish the state along the new path".
+// Three experiments put numbers on it:
+//
+//   A. Crash-duration sweep: the sender dies for D in {30, 60, 120, 240} s.
+//      Soft state measures recovery via the RecoveryTracker (time from
+//      restart back to c >= 0.9, consistency deficit, repair packets spent).
+//      The hard-state baseline suffers an equal-length total outage and must
+//      reset the connection and resynchronize a snapshot; its recovery time
+//      and deficit are read off the sampled c(t) timeline.
+//   B. Announcement-bandwidth sweep: a fixed 120 s crash at mu_data in
+//      {30, 45, 60, 90} kbps. The paper's model says reconvergence is driven
+//      by the announcement rate — more bandwidth, faster catch-up after the
+//      restart.
+//   C. A combined scripted plan — crash, then a per-receiver partition,
+//      then a late joiner, then a loss burst — the full churn story in one
+//      run, with per-fault recovery records and the joiner's catch-up
+//      latency.
+//
+// Besides the tables, the bench emits one JSON document (between
+// BEGIN-JSON / END-JSON markers) with every number above, for plotting.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "arq/experiment.hpp"
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "stats/series.hpp"
+
+namespace {
+
+using namespace sst;
+
+constexpr double kThreshold = 0.9;
+constexpr double kCrashAt = 600.0;
+
+core::ExperimentConfig soft_config() {
+  core::ExperimentConfig cfg;
+  cfg.variant = core::Variant::kFeedback;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(10.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 240.0;
+  cfg.mu_data = sim::kbps(60);
+  cfg.mu_fb = sim::kbps(15);
+  cfg.hot_share = 0.7;
+  cfg.loss_rate = 0.05;
+  cfg.num_receivers = 2;
+  cfg.duration = 2000.0;
+  cfg.warmup = 200.0;
+  return cfg;
+}
+
+arq::HardStateConfig hard_config() {
+  arq::HardStateConfig cfg;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(10.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 240.0;
+  cfg.mu_data = sim::kbps(60);
+  cfg.mu_ack = sim::kbps(15);
+  cfg.loss_rate = 0.05;
+  cfg.duration = 2000.0;
+  cfg.warmup = 200.0;
+  cfg.sender.initial_rto = 0.5;
+  cfg.sample_interval = 5.0;
+  return cfg;
+}
+
+/// Recovery metrics read off a sampled c(t) timeline: recovery time is from
+/// the outage end to the first sample at-or-above the threshold, the deficit
+/// is the rectangle-rule integral of (threshold - c)+ from outage start to
+/// recovery (or the end of the run).
+struct TimelineRecovery {
+  double recovery_s = -1.0;  // negative: never recovered
+  double deficit = 0.0;
+};
+
+template <class Timeline>
+TimelineRecovery timeline_recovery(const Timeline& timeline, double fault_start,
+                                   double fault_end) {
+  TimelineRecovery out;
+  double prev_time = fault_start;
+  double prev_c = kThreshold;  // assume healthy before the fault
+  bool open = false;
+  for (const auto& p : timeline) {
+    if (p.time < fault_start) continue;
+    if (open && prev_c < kThreshold) {
+      out.deficit += (kThreshold - prev_c) * (p.time - prev_time);
+    }
+    open = true;
+    prev_time = p.time;
+    prev_c = p.consistency;
+    if (p.time >= fault_end && p.consistency >= kThreshold) {
+      out.recovery_s = p.time - fault_end;
+      return out;
+    }
+  }
+  return out;  // never recovered within the run
+}
+
+/// Prints a double as a JSON number, with null for non-finite values
+/// ("never recovered" is +inf in RecoveryRecord terms).
+void json_num(double v) {
+  if (std::isfinite(v)) {
+    std::printf("%.4f", v);
+  } else {
+    std::printf("null");
+  }
+}
+
+double finite_or_neg(double v) {
+  return std::isfinite(v) ? v : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Fault recovery: crash duration & announcement bandwidth "
+      "(soft vs hard state)",
+      "lambda=10 kbps, mu=60+15 kbps, 5% loss, 2 receivers, crash at t=600, "
+      "threshold c=0.9",
+      "soft state recovers through the normal announce/listen process — "
+      "recovery time scales with the announcement rate, not the outage "
+      "length; hard state must detect the failure, reset, and resync a "
+      "snapshot");
+
+  // ------------------------------------------------- A. crash duration sweep
+  struct CrashRow {
+    double duration;
+    stats::RecoveryRecord soft;
+    TimelineRecovery hard;
+    double hard_resets;
+    double hard_snapshots;
+  };
+  std::vector<CrashRow> crash_rows;
+
+  stats::ResultTable sweep_a({"crash s", "soft rec s", "soft deficit",
+                              "soft repair", "hard rec s", "hard deficit",
+                              "hard resets"});
+  for (const double d : {30.0, 60.0, 120.0, 240.0}) {
+    fault::FaultPlan plan;
+    plan.crash(kCrashAt, d);
+    fault::InjectorConfig inj;
+    inj.threshold = kThreshold;
+    const auto soft = fault::run_experiment_with_faults(soft_config(), plan,
+                                                        inj);
+
+    auto hard_cfg = hard_config();
+    hard_cfg.outages = {{kCrashAt, kCrashAt + d}};
+    const auto hard = arq::run_hard_state(hard_cfg);
+    const auto hard_rec =
+        timeline_recovery(hard.timeline, kCrashAt, kCrashAt + d);
+
+    const auto& rec = soft.recoveries.front();
+    sweep_a.add_row({d, finite_or_neg(rec.recovery_time()), rec.deficit,
+                     rec.repair_overhead, hard_rec.recovery_s,
+                     hard_rec.deficit,
+                     static_cast<double>(hard.connection_deaths)});
+    crash_rows.push_back({d, rec, hard_rec,
+                          static_cast<double>(hard.connection_deaths),
+                          static_cast<double>(hard.snapshot_ops)});
+  }
+  sweep_a.print(stdout,
+                "A. Sender crash of duration D (negative recovery = never)");
+
+  // ------------------------------------------- B. announcement-bandwidth sweep
+  struct BwRow {
+    double mu_kbps;
+    stats::RecoveryRecord rec;
+    double avg_consistency;
+  };
+  std::vector<BwRow> bw_rows;
+
+  stats::ResultTable sweep_b(
+      {"mu kbps", "recovery s", "deficit", "repair pkts", "avg c"});
+  for (const double mu : {30.0, 45.0, 60.0, 90.0}) {
+    auto cfg = soft_config();
+    cfg.mu_data = sim::kbps(mu);
+    fault::FaultPlan plan;
+    plan.crash(kCrashAt, 120.0);
+    fault::InjectorConfig inj;
+    inj.threshold = kThreshold;
+    const auto run = fault::run_experiment_with_faults(cfg, plan, inj);
+    const auto& rec = run.recoveries.front();
+    sweep_b.add_row({mu, finite_or_neg(rec.recovery_time()), rec.deficit,
+                     rec.repair_overhead, run.base.avg_consistency});
+    bw_rows.push_back({mu, rec, run.base.avg_consistency});
+  }
+  sweep_b.print(stdout,
+                "B. 120 s crash vs announcement bandwidth (soft state)");
+
+  // ---------------------------------------------- C. combined scripted plan
+  fault::FaultPlan script;
+  script.crash(400.0, 60.0)
+      .partition(0, 700.0, 60.0)
+      .join(1000.0)
+      .burst_loss(0.5, 1300.0, 30.0);
+  fault::InjectorConfig inj;
+  inj.threshold = kThreshold;
+  const auto combined =
+      fault::run_experiment_with_faults(soft_config(), script, inj);
+
+  std::printf("\nC. Scripted plan: crash@400+60; partition:0@700+60; "
+              "join@1000; burst:0.5@1300+30\n");
+  std::printf("  %-14s %9s %9s %11s %9s %12s\n", "fault", "injected",
+              "cleared", "recovery_s", "deficit", "repair_pkts");
+  for (const auto& rec : combined.recoveries) {
+    std::printf("  %-14s %9.1f %9.1f ", rec.label.c_str(), rec.injected_at,
+                rec.cleared_at);
+    if (rec.recovered()) {
+      std::printf("%11.2f", rec.recovery_time());
+    } else {
+      std::printf("%11s", "never");
+    }
+    std::printf(" %9.2f %12.0f\n", rec.deficit, rec.repair_overhead);
+  }
+  for (std::size_t i = 0; i < combined.join_catch_up.size(); ++i) {
+    if (combined.join_catch_up[i] >= 0) {
+      std::printf("  late joiner %zu caught up (c >= %.1f) in %.2f s\n", i,
+                  kThreshold, combined.join_catch_up[i]);
+    } else {
+      std::printf("  late joiner %zu never caught up\n", i);
+    }
+  }
+
+  // ------------------------------------------------------------ JSON output
+  std::printf("\nBEGIN-JSON\n");
+  std::printf("{\"threshold\": %.2f,\n \"crash_sweep\": [", kThreshold);
+  for (std::size_t i = 0; i < crash_rows.size(); ++i) {
+    const auto& r = crash_rows[i];
+    std::printf("%s\n  {\"duration_s\": %.0f, \"soft\": {\"recovery_s\": ",
+                i ? "," : "", r.duration);
+    json_num(r.soft.recovery_time());
+    std::printf(", \"deficit\": %.4f, \"repair_pkts\": %.0f}, "
+                "\"hard\": {\"recovery_s\": ",
+                r.soft.deficit, r.soft.repair_overhead);
+    json_num(r.hard.recovery_s >= 0
+                 ? r.hard.recovery_s
+                 : std::numeric_limits<double>::infinity());
+    std::printf(", \"deficit\": %.4f, \"resets\": %.0f, "
+                "\"snapshot_ops\": %.0f}}",
+                r.hard.deficit, r.hard_resets, r.hard_snapshots);
+  }
+  std::printf("],\n \"bandwidth_sweep\": [");
+  for (std::size_t i = 0; i < bw_rows.size(); ++i) {
+    const auto& r = bw_rows[i];
+    std::printf("%s\n  {\"mu_kbps\": %.0f, \"recovery_s\": ", i ? "," : "",
+                r.mu_kbps);
+    json_num(r.rec.recovery_time());
+    std::printf(", \"deficit\": %.4f, \"repair_pkts\": %.0f, "
+                "\"avg_consistency\": %.4f}",
+                r.rec.deficit, r.rec.repair_overhead, r.avg_consistency);
+  }
+  std::printf("],\n \"scripted\": {\"faults\": [");
+  for (std::size_t i = 0; i < combined.recoveries.size(); ++i) {
+    const auto& rec = combined.recoveries[i];
+    std::printf("%s\n  {\"label\": \"%s\", \"injected_at\": %.1f, "
+                "\"cleared_at\": %.1f, \"recovery_s\": ",
+                i ? "," : "", rec.label.c_str(), rec.injected_at,
+                rec.cleared_at);
+    json_num(rec.recovery_time());
+    std::printf(", \"deficit\": %.4f, \"repair_pkts\": %.0f}", rec.deficit,
+                rec.repair_overhead);
+  }
+  std::printf("],\n  \"join_catch_up_s\": [");
+  for (std::size_t i = 0; i < combined.join_catch_up.size(); ++i) {
+    if (i) std::printf(", ");
+    json_num(combined.join_catch_up[i] >= 0
+                 ? combined.join_catch_up[i]
+                 : std::numeric_limits<double>::infinity());
+  }
+  std::printf("]}}\n");
+  std::printf("END-JSON\n");
+
+  std::printf(
+      "\nShape check: A — soft recovery time is roughly flat in D (the "
+      "announce process resumes at full rate regardless of how long the "
+      "sender was down) while the deficit grows ~linearly with D; hard "
+      "state burns a connection reset + snapshot resync per crash. B — "
+      "soft recovery time falls as announcement bandwidth grows. C — every "
+      "fault recovers; the late joiner converges by listening alone.\n");
+  return 0;
+}

@@ -2,18 +2,11 @@
 
 #include <memory>
 
-#include "core/monitor.hpp"
-#include "core/open_loop.hpp"
-#include "core/two_queue.hpp"
-#include "net/channel.hpp"
-#include "net/link.hpp"
 #include "sched/drr.hpp"
 #include "sched/hierarchical.hpp"
 #include "sched/lottery.hpp"
 #include "sched/stride.hpp"
 #include "sched/wfq.hpp"
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
 
 namespace sst::core {
 
@@ -36,8 +29,13 @@ std::unique_ptr<sched::Scheduler> make_scheduler(SchedulerKind kind,
   return std::make_unique<sched::StrideScheduler>();
 }
 
-std::unique_ptr<net::LossModel> make_loss(const ExperimentConfig& cfg,
-                                          double rate, sim::Rng rng) {
+// Every loss process is wrapped in a SwitchableLoss so faults can be applied
+// to the live run. The wrapper's own RNG is only drawn while extra loss is
+// active, and the base process is always stepped first, so the wrapper is
+// draw-for-draw invisible until a fault actually fires.
+std::unique_ptr<net::SwitchableLoss> make_loss(const ExperimentConfig& cfg,
+                                               double rate, sim::Rng rng,
+                                               sim::Rng switch_rng) {
   std::unique_ptr<net::LossModel> base;
   if (rate <= 0.0) {
     base = std::make_unique<net::NoLoss>();
@@ -48,9 +46,9 @@ std::unique_ptr<net::LossModel> make_loss(const ExperimentConfig& cfg,
     base = std::make_unique<net::BernoulliLoss>(rate, rng);
   }
   if (!cfg.outages.empty()) {
-    return std::make_unique<net::OutageLoss>(std::move(base), cfg.outages);
+    base = std::make_unique<net::OutageLoss>(std::move(base), cfg.outages);
   }
-  return base;
+  return std::make_unique<net::SwitchableLoss>(std::move(base), switch_rng);
 }
 
 std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg,
@@ -64,281 +62,366 @@ std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg,
 
 }  // namespace
 
-ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  sim::Simulator sim;
-  const sim::Rng root(cfg.seed);
-
-  PublisherTable pub;
-  // Construction order fixes listener order: monitor sees changes first, so
-  // consistency bookkeeping is current when protocol hooks run.
-  ConsistencyMonitor monitor(sim, pub);
-  Workload workload(sim, pub, cfg.workload, root.fork("workload"));
-
-  // Receivers.
-  std::vector<std::unique_ptr<ReceiverTable>> tables;
-  std::vector<std::unique_ptr<ReceiverAgent>> agents;
-  // Feedback path per receiver: ReceiverAgent -> Link(mu_fb) -> lossy
-  // reverse channel -> sender.handle_nack.
-  std::vector<std::unique_ptr<net::Link<NackMsg>>> fb_links;
-  std::vector<std::unique_ptr<net::Channel<NackMsg>>> fb_channels;
-
-  net::Channel<DataMsg> data_channel(sim);
-
-  const bool feedback = cfg.variant == Variant::kFeedback;
-  const double nack_loss =
-      cfg.nack_loss_rate < 0 ? cfg.loss_rate : cfg.nack_loss_rate;
-
-  // The sender is created after the channel wiring below; NACK delivery
-  // closes over this pointer.
-  TwoQueueSender* tq_sender = nullptr;
-
+Experiment::Experiment(ExperimentConfig config)
+    : cfg_(std::move(config)),
+      root_(cfg_.seed),
+      feedback_(cfg_.variant == Variant::kFeedback),
+      nack_loss_(cfg_.nack_loss_rate < 0 ? cfg_.loss_rate
+                                         : cfg_.nack_loss_rate),
+      monitor_(sim_, pub_),
+      workload_(sim_, pub_, cfg_.workload, root_.fork("workload")),
+      data_channel_(sim_),
+      shared_rng_(root_.fork("shared-loss")),
+      base_mu_(cfg_.mu_data) {
   // Multicast feedback: one shared group over which every NACK reaches the
   // sender and every other receiver (observe_nack), enabling slotting and
-  // damping. Built after the agents exist; senders enqueue into it via the
-  // shared pointer below.
-  std::unique_ptr<net::Channel<NackMsg>> mcast_fb;
-  if (feedback && cfg.multicast_feedback) {
-    mcast_fb = std::make_unique<net::Channel<NackMsg>>(sim);
-    mcast_fb->add_receiver(
-        make_loss(cfg, nack_loss, root.fork("nack-loss-sender")),
-        make_delay(cfg, root.fork("nack-delay-sender")),
-        [&tq_sender](const NackMsg& nack) {
-          if (tq_sender != nullptr) tq_sender->handle_nack(nack);
+  // damping.
+  if (feedback_ && cfg_.multicast_feedback) {
+    mcast_fb_ = std::make_unique<net::Channel<NackMsg>>(sim_);
+    mcast_fb_->add_receiver(
+        make_loss(cfg_, nack_loss_, root_.fork("nack-loss-sender"),
+                  root_.fork("switch-nack-sender")),
+        make_delay(cfg_, root_.fork("nack-delay-sender")),
+        [this](const NackMsg& nack) {
+          if (tq_sender_ != nullptr) tq_sender_->handle_nack(nack);
         });
   }
 
-  for (std::size_t r = 0; r < cfg.num_receivers; ++r) {
-    tables.push_back(
-        std::make_unique<ReceiverTable>(sim, cfg.receiver_ttl));
-    monitor.attach(*tables.back());
-
-    std::unique_ptr<net::Channel<NackMsg>>* fb_channel_slot = nullptr;
-    if (feedback && !cfg.multicast_feedback) {
-      fb_channels.push_back(std::make_unique<net::Channel<NackMsg>>(sim));
-      fb_channel_slot = &fb_channels.back();
-      (*fb_channel_slot)
-          ->add_receiver(
-              make_loss(cfg, nack_loss, root.fork("nack-loss", r)),
-              make_delay(cfg, root.fork("nack-delay", r)),
-              [&tq_sender](const NackMsg& nack) {
-                if (tq_sender != nullptr) tq_sender->handle_nack(nack);
-              });
-      // NACKs drain at mu_fb; a bounded queue drops feedback bursts that
-      // exceed the budget instead of letting stale NACKs pile up.
-      net::Channel<NackMsg>* chan = fb_channel_slot->get();
-      fb_links.push_back(std::make_unique<net::Link<NackMsg>>(
-          sim, cfg.mu_fb,
-          [chan](const NackMsg& nack, sim::Bytes size) {
-            chan->send(nack, size);
-          },
-          /*queue_limit=*/8));
-    }
-
-    ReceiverConfig rcfg = cfg.receiver;
-    rcfg.feedback = feedback;
-    if (cfg.multicast_feedback) {
-      net::Channel<NackMsg>* group = mcast_fb.get();
-      const auto origin = static_cast<std::uint32_t>(r + 1);
-      agents.push_back(std::make_unique<ReceiverAgent>(
-          sim, *tables.back(), rcfg,
-          [group, origin](const NackMsg& nack) {
-            if (group != nullptr) {
-              NackMsg tagged = nack;
-              tagged.origin = origin;
-              group->send(tagged, tagged.size);
-            }
-          },
-          root.fork("agent", r)));
-    } else {
-      net::Link<NackMsg>* link = feedback ? fb_links.back().get() : nullptr;
-      agents.push_back(std::make_unique<ReceiverAgent>(
-          sim, *tables.back(), rcfg,
-          [link](const NackMsg& nack) {
-            if (link != nullptr) link->send(nack, nack.size);
-          },
-          root.fork("agent", r)));
-    }
-
-    const double fwd_loss = r < cfg.receiver_loss_rates.size()
-                                ? cfg.receiver_loss_rates[r]
-                                : cfg.loss_rate;
-    ReceiverAgent* agent = agents.back().get();
-    if (feedback && cfg.multicast_feedback) {
-      // This receiver also overhears the group's NACK traffic.
-      const auto origin = static_cast<std::uint32_t>(r + 1);
-      mcast_fb->add_receiver(
-          make_loss(cfg, nack_loss, root.fork("nack-observe-loss", r)),
-          make_delay(cfg, root.fork("nack-observe-delay", r)),
-          [agent, origin](const NackMsg& nack) {
-            if (nack.origin != origin) agent->observe_nack(nack);
-          });
-    }
-    data_channel.add_receiver(
-        make_loss(cfg, fwd_loss, root.fork("loss", r)),
-        make_delay(cfg, root.fork("delay", r)),
-        [agent](const DataMsg& msg) { agent->handle(msg); });
-  }
+  for (std::size_t r = 0; r < cfg_.num_receivers; ++r) add_receiver_rig();
 
   // Oracle removal: the paper's model eliminates expired records "from both
-  // the sender's and receivers' tables".
-  if (cfg.oracle_remove) {
-    std::vector<ReceiverTable*> raw;
-    raw.reserve(tables.size());
-    for (auto& t : tables) raw.push_back(t.get());
-    pub.subscribe([raw](const Record& rec, ChangeKind kind) {
+  // the sender's and receivers' tables". Iterates the live rig list so
+  // receivers joining later are covered too.
+  if (cfg_.oracle_remove) {
+    pub_.subscribe([this](const Record& rec, ChangeKind kind) {
       if (kind == ChangeKind::kRemove) {
-        for (ReceiverTable* t : raw) t->remove(rec.key);
+        for (auto& rig : receivers_) rig.table->remove(rec.key);
       }
     });
   }
 
-  // Redundancy oracle: a transmission is redundant if every receiver already
-  // holds the announced version.
-  std::uint64_t redundant_tx = 0;
-  std::vector<ReceiverTable*> raw_tables;
-  raw_tables.reserve(tables.size());
-  for (auto& t : tables) raw_tables.push_back(t.get());
-  auto count_redundant = [&redundant_tx, &raw_tables](const DataMsg& msg) {
-    for (ReceiverTable* t : raw_tables) {
-      const auto* e = t->find(msg.key);
-      if (e == nullptr || e->version < msg.version) return;
-    }
-    ++redundant_tx;
-  };
-
-  // Shared upstream (backbone) loss stage: one draw drops the packet for
-  // every receiver; survivors then face their independent leaf losses.
-  auto shared_loss =
-      std::make_shared<sim::Rng>(root.fork("shared-loss"));
-  std::uint64_t shared_drops = 0;
-  auto transmit = [&data_channel, &cfg, shared_loss,
-                   &shared_drops](const DataMsg& msg) {
-    if (cfg.shared_loss_rate > 0 &&
-        shared_loss->bernoulli(cfg.shared_loss_rate)) {
-      ++shared_drops;
-      return;
-    }
-    data_channel.send(msg, msg.size);
-  };
-
-  std::unique_ptr<OpenLoopSender> ol_sender;
-  std::unique_ptr<TwoQueueSender> tq_sender_owned;
-  if (cfg.variant == Variant::kOpenLoop) {
-    ol_sender = std::make_unique<OpenLoopSender>(sim, pub, workload,
-                                                 cfg.mu_data, transmit);
-    ol_sender->on_transmit(count_redundant);
+  if (cfg_.variant == Variant::kOpenLoop) {
+    ol_sender_ = std::make_unique<OpenLoopSender>(
+        sim_, pub_, workload_, cfg_.mu_data,
+        [this](const DataMsg& msg) { transmit(msg); });
+    ol_sender_->on_transmit([this](const DataMsg& m) { count_redundant(m); });
   } else {
     TwoQueueConfig tq;
-    tq.mu_data = cfg.mu_data;
-    tq.hot_share = cfg.hot_share;
-    tq.feedback = feedback;
-    tq_sender_owned = std::make_unique<TwoQueueSender>(
-        sim, pub, workload, tq,
-        make_scheduler(cfg.scheduler, root.fork("sched")), transmit);
-    tq_sender_owned->on_transmit(count_redundant);
-    tq_sender = tq_sender_owned.get();
+    tq.mu_data = cfg_.mu_data;
+    tq.hot_share = cfg_.hot_share;
+    tq.feedback = feedback_;
+    tq_sender_owned_ = std::make_unique<TwoQueueSender>(
+        sim_, pub_, workload_, tq,
+        make_scheduler(cfg_.scheduler, root_.fork("sched")),
+        [this](const DataMsg& msg) { transmit(msg); });
+    tq_sender_owned_->on_transmit(
+        [this](const DataMsg& m) { count_redundant(m); });
+    tq_sender_ = tq_sender_owned_.get();
   }
 
-  workload.start();
+  workload_.start();
+}
 
-  // Warm-up, then reset measurement state.
-  sim.run_until(cfg.warmup);
-  monitor.reset_stats();
-  redundant_tx = 0;
-  const SenderStats warm_sender =
-      ol_sender ? ol_sender->stats() : tq_sender->stats();
-  std::uint64_t warm_nacks_sent = 0;
-  for (const auto& a : agents) warm_nacks_sent += a->stats().nacks_sent;
-  const std::uint64_t warm_delivered = data_channel.stats().delivered;
-  const std::uint64_t warm_dropped = data_channel.stats().dropped;
-  double warm_fb_bytes = 0.0;
-  for (const auto& ch : fb_channels) warm_fb_bytes += ch->stats().bytes_sent;
-  if (mcast_fb) warm_fb_bytes += mcast_fb->stats().bytes_sent;
-  const double warm_data_bytes = data_channel.stats().bytes_sent;
+std::size_t Experiment::add_receiver_rig() {
+  const std::size_t r = receivers_.size();
+  ReceiverRig rig;
+  rig.table = std::make_unique<ReceiverTable>(sim_, cfg_.receiver_ttl);
+  monitor_.attach(*rig.table);
+
+  if (feedback_ && !cfg_.multicast_feedback) {
+    rig.fb_channel = std::make_unique<net::Channel<NackMsg>>(sim_);
+    auto rev_loss = make_loss(cfg_, nack_loss_, root_.fork("nack-loss", r),
+                              root_.fork("switch-nack", r));
+    rig.rev_switch = rev_loss.get();
+    rig.fb_channel->add_receiver(
+        std::move(rev_loss), make_delay(cfg_, root_.fork("nack-delay", r)),
+        [this](const NackMsg& nack) {
+          if (tq_sender_ != nullptr) tq_sender_->handle_nack(nack);
+        });
+    // NACKs drain at mu_fb; a bounded queue drops feedback bursts that
+    // exceed the budget instead of letting stale NACKs pile up.
+    net::Channel<NackMsg>* chan = rig.fb_channel.get();
+    rig.fb_link = std::make_unique<net::Link<NackMsg>>(
+        sim_, cfg_.mu_fb,
+        [chan](const NackMsg& nack, sim::Bytes size) {
+          chan->send(nack, size);
+        },
+        /*queue_limit=*/8);
+  }
+
+  ReceiverConfig rcfg = cfg_.receiver;
+  rcfg.feedback = feedback_;
+  if (cfg_.multicast_feedback) {
+    net::Channel<NackMsg>* group = mcast_fb_.get();
+    const auto origin = static_cast<std::uint32_t>(r + 1);
+    rig.agent = std::make_unique<ReceiverAgent>(
+        sim_, *rig.table, rcfg,
+        [this, group, origin, r](const NackMsg& nack) {
+          // A partitioned receiver's uplink is down too.
+          if (group != nullptr && !receivers_[r].partitioned) {
+            NackMsg tagged = nack;
+            tagged.origin = origin;
+            group->send(tagged, tagged.size);
+          }
+        },
+        root_.fork("agent", r));
+  } else {
+    net::Link<NackMsg>* link = feedback_ ? rig.fb_link.get() : nullptr;
+    rig.agent = std::make_unique<ReceiverAgent>(
+        sim_, *rig.table, rcfg,
+        [link](const NackMsg& nack) {
+          if (link != nullptr) link->send(nack, nack.size);
+        },
+        root_.fork("agent", r));
+  }
+
+  const double fwd_loss = r < cfg_.receiver_loss_rates.size()
+                              ? cfg_.receiver_loss_rates[r]
+                              : cfg_.loss_rate;
+  ReceiverAgent* agent = rig.agent.get();
+  if (feedback_ && cfg_.multicast_feedback) {
+    // This receiver also overhears the group's NACK traffic.
+    const auto origin = static_cast<std::uint32_t>(r + 1);
+    auto obs_loss = make_loss(cfg_, nack_loss_,
+                              root_.fork("nack-observe-loss", r),
+                              root_.fork("switch-observe", r));
+    rig.observe_switch = obs_loss.get();
+    rig.mcast_ep = mcast_fb_->add_receiver(
+        std::move(obs_loss),
+        make_delay(cfg_, root_.fork("nack-observe-delay", r)),
+        [agent, origin](const NackMsg& nack) {
+          if (nack.origin != origin) agent->observe_nack(nack);
+        });
+    rig.has_mcast_ep = true;
+  }
+  auto fwd = make_loss(cfg_, fwd_loss, root_.fork("loss", r),
+                       root_.fork("switch-loss", r));
+  rig.fwd_switch = fwd.get();
+  data_channel_.add_receiver(
+      std::move(fwd), make_delay(cfg_, root_.fork("delay", r)),
+      [agent](const DataMsg& msg) { agent->handle(msg); });
+
+  receivers_.push_back(std::move(rig));
+  return r;
+}
+
+void Experiment::transmit(const DataMsg& msg) {
+  // Shared upstream (backbone) loss stage: one draw drops the packet for
+  // every receiver; survivors then face their independent leaf losses.
+  if (cfg_.shared_loss_rate > 0 &&
+      shared_rng_.bernoulli(cfg_.shared_loss_rate)) {
+    ++shared_drops_;
+    return;
+  }
+  data_channel_.send(msg, msg.size);
+}
+
+void Experiment::count_redundant(const DataMsg& msg) {
+  // Redundancy oracle: a transmission is redundant if every (attached)
+  // receiver already holds the announced version.
+  for (const auto& rig : receivers_) {
+    if (!rig.active) continue;
+    const auto* e = rig.table->find(msg.key);
+    if (e == nullptr || e->version < msg.version) return;
+  }
+  ++redundant_tx_;
+}
+
+void Experiment::run_warmup() {
+  sim_.run_until(cfg_.warmup);
+  monitor_.reset_stats();
+  redundant_tx_ = 0;
+  warm_sender_ = ol_sender_ ? ol_sender_->stats() : tq_sender_->stats();
+  warm_nacks_sent_ = 0;
+  for (const auto& rig : receivers_) {
+    warm_nacks_sent_ += rig.agent->stats().nacks_sent;
+  }
+  warm_delivered_ = data_channel_.stats().delivered;
+  warm_dropped_ = data_channel_.stats().dropped;
+  warm_fb_bytes_ = 0.0;
+  for (const auto& rig : receivers_) {
+    if (rig.fb_channel) warm_fb_bytes_ += rig.fb_channel->stats().bytes_sent;
+  }
+  if (mcast_fb_) warm_fb_bytes_ += mcast_fb_->stats().bytes_sent;
+  warm_data_bytes_ = data_channel_.stats().bytes_sent;
+  warmed_up_ = true;
 
   // Optional c(t) timeline via integral differencing.
-  ExperimentResult result;
-  if (cfg.sample_interval > 0) {
-    auto sampler = std::make_shared<sim::PeriodicTimer>(sim);
-    auto last_integral = std::make_shared<double>(0.0);
-    const double interval = cfg.sample_interval;
-    sampler->start(interval, [&monitor, &result, last_integral, interval,
-                              &sim] {
-      const double integral = monitor.consistency_integral();
-      result.timeline.push_back(
-          TimelinePoint{sim.now(), (integral - *last_integral) / interval});
-      *last_integral = integral;
+  if (cfg_.sample_interval > 0) {
+    sampler_ = std::make_unique<sim::PeriodicTimer>(sim_);
+    last_integral_ = 0.0;
+    const double interval = cfg_.sample_interval;
+    sampler_->start(interval, [this, interval] {
+      const double integral = monitor_.consistency_integral();
+      result_.timeline.push_back(
+          TimelinePoint{sim_.now(), (integral - last_integral_) / interval});
+      last_integral_ = integral;
     });
-    sim.run_until(cfg.warmup + cfg.duration);
-    sampler->stop();
-  } else {
-    sim.run_until(cfg.warmup + cfg.duration);
   }
+}
 
-  // Collect.
-  result.avg_consistency = monitor.average_consistency();
-  auto& lat = monitor.latency();
-  result.mean_latency = lat.mean();
-  result.p50_latency = lat.quantile(0.50);
-  result.p95_latency = lat.quantile(0.95);
+void Experiment::run_until(double t) { sim_.run_until(t); }
 
-  const SenderStats s = ol_sender ? ol_sender->stats() : tq_sender->stats();
-  result.data_tx = s.data_tx - warm_sender.data_tx;
-  result.hot_tx = s.hot_tx - warm_sender.hot_tx;
-  result.cold_tx = s.cold_tx - warm_sender.cold_tx;
-  result.repair_tx = s.repair_tx - warm_sender.repair_tx;
-  result.nacks_received = s.nacks_received - warm_sender.nacks_received;
-  result.redundant_tx = redundant_tx;
-  result.redundant_fraction =
-      result.data_tx > 0
-          ? static_cast<double>(result.redundant_tx) /
-                static_cast<double>(result.data_tx)
+double Experiment::now() const { return sim_.now(); }
+
+double Experiment::instantaneous_consistency() const {
+  return monitor_.instantaneous();
+}
+
+void Experiment::crash_sender() {
+  if (tq_sender_ != nullptr) {
+    tq_sender_->pause();
+  } else if (ol_sender_) {
+    ol_sender_->pause();
+  }
+}
+
+void Experiment::restart_sender() {
+  if (tq_sender_ != nullptr) {
+    tq_sender_->resume();
+  } else if (ol_sender_) {
+    ol_sender_->resume();
+  }
+}
+
+bool Experiment::sender_crashed() const {
+  if (tq_sender_ != nullptr) return tq_sender_->paused();
+  if (ol_sender_) return ol_sender_->paused();
+  return false;
+}
+
+void Experiment::set_partition(std::size_t r, bool down) {
+  ReceiverRig& rig = receivers_.at(r);
+  rig.partitioned = down;
+  if (rig.fwd_switch != nullptr) rig.fwd_switch->set_down(down);
+  if (rig.rev_switch != nullptr) rig.rev_switch->set_down(down);
+  if (rig.observe_switch != nullptr) rig.observe_switch->set_down(down);
+}
+
+void Experiment::set_partition_all(bool down) {
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    if (receivers_[r].active) set_partition(r, down);
+  }
+}
+
+void Experiment::set_extra_loss(std::size_t r, double p) {
+  ReceiverRig& rig = receivers_.at(r);
+  if (rig.fwd_switch != nullptr) rig.fwd_switch->set_extra_loss(p);
+}
+
+void Experiment::set_extra_loss_all(double p) {
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    if (receivers_[r].active) set_extra_loss(r, p);
+  }
+}
+
+void Experiment::set_bandwidth_factor(double factor) {
+  const sim::Rate mu = base_mu_ * factor;
+  if (tq_sender_ != nullptr) {
+    tq_sender_->set_mu_data(mu);
+  } else if (ol_sender_) {
+    ol_sender_->set_mu_ch(mu);
+  }
+}
+
+std::size_t Experiment::add_receiver() { return add_receiver_rig(); }
+
+void Experiment::detach_receiver(std::size_t r) {
+  ReceiverRig& rig = receivers_.at(r);
+  if (!rig.active) return;
+  rig.active = false;
+  monitor_.detach(r);
+  rig.agent->stop();
+  data_channel_.set_receiver_enabled(r, false);
+  if (mcast_fb_ && rig.has_mcast_ep) {
+    mcast_fb_->set_receiver_enabled(rig.mcast_ep, false);
+  }
+}
+
+double Experiment::repair_traffic() const {
+  const SenderStats& s =
+      ol_sender_ ? ol_sender_->stats() : tq_sender_->stats();
+  std::uint64_t nacks = 0;
+  for (const auto& rig : receivers_) nacks += rig.agent->stats().nacks_sent;
+  return static_cast<double>(s.repair_tx + nacks);
+}
+
+ExperimentResult Experiment::finish() {
+  sim_.run_until(end_time());
+  if (sampler_) sampler_->stop();
+
+  result_.avg_consistency = monitor_.average_consistency();
+  auto& lat = monitor_.latency();
+  result_.mean_latency = lat.mean();
+  result_.p50_latency = lat.quantile(0.50);
+  result_.p95_latency = lat.quantile(0.95);
+
+  const SenderStats s = ol_sender_ ? ol_sender_->stats() : tq_sender_->stats();
+  result_.data_tx = s.data_tx - warm_sender_.data_tx;
+  result_.hot_tx = s.hot_tx - warm_sender_.hot_tx;
+  result_.cold_tx = s.cold_tx - warm_sender_.cold_tx;
+  result_.repair_tx = s.repair_tx - warm_sender_.repair_tx;
+  result_.nacks_received = s.nacks_received - warm_sender_.nacks_received;
+  result_.redundant_tx = redundant_tx_;
+  result_.redundant_fraction =
+      result_.data_tx > 0
+          ? static_cast<double>(result_.redundant_tx) /
+                static_cast<double>(result_.data_tx)
           : 0.0;
 
   std::uint64_t nacks_sent = 0;
   std::uint64_t nacks_suppressed = 0;
-  for (const auto& a : agents) {
-    nacks_sent += a->stats().nacks_sent;
-    nacks_suppressed += a->stats().suppressed;
+  for (const auto& rig : receivers_) {
+    nacks_sent += rig.agent->stats().nacks_sent;
+    nacks_suppressed += rig.agent->stats().suppressed;
   }
-  result.nacks_sent = nacks_sent - warm_nacks_sent;
-  result.nacks_suppressed = nacks_suppressed;
+  result_.nacks_sent = nacks_sent - warm_nacks_sent_;
+  result_.nacks_suppressed = nacks_suppressed;
 
   const std::uint64_t delivered =
-      data_channel.stats().delivered - warm_delivered;
+      data_channel_.stats().delivered - warm_delivered_;
   // Shared-stage drops count once per receiver (the packet reached nobody).
   // Warmup-window shared drops are not tracked separately; with warmup a
   // small fraction of the run, the bias is negligible.
-  const std::uint64_t dropped = data_channel.stats().dropped - warm_dropped +
-                                shared_drops * cfg.num_receivers;
-  result.observed_loss =
+  const std::uint64_t dropped = data_channel_.stats().dropped -
+                                warm_dropped_ +
+                                shared_drops_ * cfg_.num_receivers;
+  result_.observed_loss =
       (delivered + dropped) > 0
           ? static_cast<double>(dropped) /
                 static_cast<double>(delivered + dropped)
           : 0.0;
 
   double fb_bytes = 0.0;
-  for (const auto& ch : fb_channels) fb_bytes += ch->stats().bytes_sent;
-  if (mcast_fb) fb_bytes += mcast_fb->stats().bytes_sent;
-  result.offered_fb_kbps =
-      (fb_bytes - warm_fb_bytes) * 8.0 / cfg.duration / 1000.0;
-  result.offered_data_kbps =
-      (data_channel.stats().bytes_sent - warm_data_bytes) * 8.0 /
-      cfg.duration / 1000.0;
-
-  result.inserts = workload.inserts();
-  result.updates = workload.updates();
-  result.versions_introduced = monitor.versions_introduced();
-  result.versions_received = monitor.versions_received();
-
-  result.final_live = pub.live_count();
-  if (tq_sender != nullptr) {
-    result.final_hot_depth = tq_sender->hot_depth();
-    result.final_cold_depth = tq_sender->cold_depth();
-  } else if (ol_sender) {
-    result.final_hot_depth = ol_sender->queue_depth();
+  for (const auto& rig : receivers_) {
+    if (rig.fb_channel) fb_bytes += rig.fb_channel->stats().bytes_sent;
   }
-  return result;
+  if (mcast_fb_) fb_bytes += mcast_fb_->stats().bytes_sent;
+  result_.offered_fb_kbps =
+      (fb_bytes - warm_fb_bytes_) * 8.0 / cfg_.duration / 1000.0;
+  result_.offered_data_kbps =
+      (data_channel_.stats().bytes_sent - warm_data_bytes_) * 8.0 /
+      cfg_.duration / 1000.0;
+
+  result_.inserts = workload_.inserts();
+  result_.updates = workload_.updates();
+  result_.versions_introduced = monitor_.versions_introduced();
+  result_.versions_received = monitor_.versions_received();
+
+  result_.final_live = pub_.live_count();
+  if (tq_sender_ != nullptr) {
+    result_.final_hot_depth = tq_sender_->hot_depth();
+    result_.final_cold_depth = tq_sender_->cold_depth();
+  } else if (ol_sender_) {
+    result_.final_hot_depth = ol_sender_->queue_depth();
+  }
+  return result_;
 }
 
-}  // namespace core
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Experiment exp(cfg);
+  exp.run_warmup();
+  return exp.finish();
+}
+
+}  // namespace sst::core

@@ -6,14 +6,28 @@
 // and returns every metric the paper's figures report. All of the bench
 // binaries, most integration tests, and the SSTP profile generator are thin
 // sweeps over this harness.
+//
+// Two entry points: run_experiment() runs a fixed configuration start to
+// finish, and the Experiment class exposes the same rig incrementally — run
+// to a time, mutate the live system (crash/restart the sender, partition or
+// degrade a receiver's path, add/remove receivers, change bandwidth), run
+// on. The fault-injection layer (sst::fault) is built on the latter.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/monitor.hpp"
+#include "core/open_loop.hpp"
 #include "core/receiver.hpp"
+#include "core/two_queue.hpp"
 #include "core/workload.hpp"
+#include "net/channel.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 #include "sim/units.hpp"
 
 namespace sst::core {
@@ -122,6 +136,141 @@ struct ExperimentResult {
   std::size_t final_cold_depth = 0;
 
   std::vector<TimelinePoint> timeline;
+};
+
+/// The experiment rig, held open between run steps so faults can be applied
+/// to the live system. Usage:
+///
+///   Experiment exp(cfg);
+///   exp.run_warmup();
+///   exp.run_until(900.0); exp.crash_sender();
+///   exp.run_until(1020.0); exp.restart_sender();
+///   ExperimentResult result = exp.finish();
+///
+/// With no mutations between run_warmup() and finish(), the run is
+/// event-for-event identical to run_experiment(cfg): every fault control
+/// path draws from RNG streams of its own, so merely *constructing* the
+/// hooks perturbs nothing.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs the warm-up window, then discards transient statistics. Must be
+  /// called exactly once, before run_until()/finish().
+  void run_warmup();
+
+  /// Advances the simulation to absolute time `t` (warm-up included in the
+  /// clock; a time in the past is a no-op).
+  void run_until(double t);
+
+  /// Runs to warmup + duration and collects every metric.
+  ExperimentResult finish();
+
+  [[nodiscard]] double now() const;
+  [[nodiscard]] double end_time() const { return cfg_.warmup + cfg_.duration; }
+  [[nodiscard]] double instantaneous_consistency() const;
+  [[nodiscard]] ConsistencyMonitor& monitor() { return monitor_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
+
+  // --- live fault hooks (the sst::fault injector drives these) ---
+
+  /// Sender crash: announcements stop, the packet in service is lost, and
+  /// incoming NACKs fall on deaf ears until restart_sender().
+  void crash_sender();
+  void restart_sender();
+  [[nodiscard]] bool sender_crashed() const;
+
+  /// Partitions receiver `r` from the session (both directions: data in,
+  /// feedback out) or heals it.
+  void set_partition(std::size_t r, bool down);
+  void set_partition_all(bool down);
+
+  /// Layers transient extra loss probability `p` on receiver r's forward
+  /// path (0 restores the base process).
+  void set_extra_loss(std::size_t r, double p);
+  void set_extra_loss_all(double p);
+
+  /// Scales the sender's announcement bandwidth to factor * configured
+  /// mu_data (bandwidth degradation; 1.0 restores).
+  void set_bandwidth_factor(double factor);
+
+  /// Late join: adds a brand-new receiver (empty table) mid-run. Returns its
+  /// index. The monitor starts averaging it into c(t) immediately and
+  /// records its catch-up latency.
+  std::size_t add_receiver();
+
+  /// Receiver leave: receiver `r` stops receiving, NACKing, and counting
+  /// toward c(t). Irreversible (a rejoin is a new receiver).
+  void detach_receiver(std::size_t r);
+
+  [[nodiscard]] std::size_t receiver_count() const { return receivers_.size(); }
+  [[nodiscard]] bool receiver_active(std::size_t r) const {
+    return receivers_.at(r).active;
+  }
+
+  /// Cumulative protocol repair effort — NACK packets sent plus repair
+  /// transmissions — suitable as a RecoveryTracker traffic counter.
+  [[nodiscard]] double repair_traffic() const;
+
+ private:
+  struct ReceiverRig {
+    std::unique_ptr<ReceiverTable> table;
+    std::unique_ptr<ReceiverAgent> agent;
+    std::unique_ptr<net::Channel<NackMsg>> fb_channel;  // unicast feedback
+    std::unique_ptr<net::Link<NackMsg>> fb_link;
+    net::SwitchableLoss* fwd_switch = nullptr;      // forward data path
+    net::SwitchableLoss* rev_switch = nullptr;      // unicast feedback path
+    net::SwitchableLoss* observe_switch = nullptr;  // multicast overhearing
+    std::size_t mcast_ep = 0;   // endpoint on the shared feedback group
+    bool has_mcast_ep = false;
+    bool partitioned = false;
+    bool active = true;
+  };
+
+  std::size_t add_receiver_rig();  // shared by ctor and add_receiver()
+  void transmit(const DataMsg& msg);
+  void count_redundant(const DataMsg& msg);
+
+  ExperimentConfig cfg_;
+  sim::Simulator sim_;
+  sim::Rng root_;
+  bool feedback_ = false;
+  double nack_loss_ = 0.0;
+
+  PublisherTable pub_;
+  // Construction order fixes listener order: monitor sees changes first, so
+  // consistency bookkeeping is current when protocol hooks run.
+  ConsistencyMonitor monitor_;
+  Workload workload_;
+  net::Channel<DataMsg> data_channel_;
+  std::unique_ptr<net::Channel<NackMsg>> mcast_fb_;
+  std::vector<ReceiverRig> receivers_;
+
+  std::unique_ptr<OpenLoopSender> ol_sender_;
+  std::unique_ptr<TwoQueueSender> tq_sender_owned_;
+  TwoQueueSender* tq_sender_ = nullptr;
+
+  sim::Rng shared_rng_;
+  std::uint64_t shared_drops_ = 0;
+  std::uint64_t redundant_tx_ = 0;
+  sim::Rate base_mu_;
+
+  // Warm-up baselines (subtracted at collection).
+  bool warmed_up_ = false;
+  SenderStats warm_sender_;
+  std::uint64_t warm_nacks_sent_ = 0;
+  std::uint64_t warm_delivered_ = 0;
+  std::uint64_t warm_dropped_ = 0;
+  double warm_fb_bytes_ = 0.0;
+  double warm_data_bytes_ = 0.0;
+
+  std::unique_ptr<sim::PeriodicTimer> sampler_;
+  double last_integral_ = 0.0;
+  ExperimentResult result_;
 };
 
 /// Runs one experiment to completion. Deterministic in `config.seed`.

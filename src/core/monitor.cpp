@@ -12,12 +12,57 @@ ConsistencyMonitor::ConsistencyMonitor(sim::Simulator& sim,
 
 std::size_t ConsistencyMonitor::attach(ReceiverTable& recv) {
   const std::size_t r = receivers_.size();
-  receivers_.push_back(ReceiverView{&recv, {}});
+  ReceiverView view;
+  view.table = &recv;
+  view.joined_at = sim_->now();
+  receivers_.push_back(std::move(view));
+  ++catching_up_count_;
   recv.on_refresh([this, r](Key key, Version version, bool, bool) {
     on_receiver_refresh(r, key, version);
   });
   recv.on_expire([this, r](Key key, Version) { on_receiver_expire(r, key); });
+  // A receiver joining an (effectively) empty session is caught up at once
+  // with zero latency — in particular every construction-time receiver.
+  touch();
   return r;
+}
+
+void ConsistencyMonitor::detach(std::size_t r) {
+  auto& rv = receivers_.at(r);
+  if (!rv.active) return;
+  rv.active = false;
+  if (rv.catching_up) {
+    rv.catching_up = false;
+    --catching_up_count_;
+  }
+  // Entries waiting only on this receiver must not leak: re-run the
+  // all-received check for every pending version (these deliveries will
+  // never happen and never count toward latency).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    bool all = true;
+    for (std::size_t i = 0; i < it->second.received.size(); ++i) {
+      all = all && (it->second.received[i] || !receivers_[i].active);
+    }
+    if (all) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  touch();
+}
+
+std::size_t ConsistencyMonitor::active_receivers() const {
+  std::size_t n = 0;
+  for (const auto& rv : receivers_) n += rv.active ? 1 : 0;
+  return n;
+}
+
+double ConsistencyMonitor::receiver_consistency(std::size_t r) const {
+  const std::size_t live = live_.size();
+  if (live == 0) return 1.0;
+  return static_cast<double>(receivers_.at(r).consistent.size()) /
+         static_cast<double>(live);
 }
 
 void ConsistencyMonitor::reset_stats() {
@@ -30,13 +75,17 @@ void ConsistencyMonitor::reset_stats() {
 
 double ConsistencyMonitor::instantaneous() const {
   const std::size_t live = live_.size();
-  if (live == 0 || receivers_.empty()) return 1.0;
+  if (live == 0) return 1.0;
   double sum = 0.0;
+  std::size_t active = 0;
   for (const auto& rv : receivers_) {
+    if (!rv.active) continue;
+    ++active;
     sum += static_cast<double>(rv.consistent.size()) /
            static_cast<double>(live);
   }
-  return sum / static_cast<double>(receivers_.size());
+  if (active == 0) return 1.0;
+  return sum / static_cast<double>(active);
 }
 
 double ConsistencyMonitor::average_consistency() {
@@ -50,6 +99,17 @@ double ConsistencyMonitor::consistency_integral() {
 }
 
 void ConsistencyMonitor::touch() {
+  if (catching_up_count_ > 0) {
+    for (std::size_t r = 0; r < receivers_.size(); ++r) {
+      auto& rv = receivers_[r];
+      if (!rv.active || !rv.catching_up) continue;
+      if (receiver_consistency(r) >= catch_up_threshold_) {
+        rv.catching_up = false;
+        rv.catch_up_latency = sim_->now() - rv.joined_at;
+        --catching_up_count_;
+      }
+    }
+  }
   consistency_avg_.update(sim_->now(), instantaneous());
 }
 
@@ -66,6 +126,7 @@ void ConsistencyMonitor::on_publisher_change(const Record& rec,
         pending_.erase(KeyVer{rec.key, rec.version - 1});
         // A receiver holding the old version is no longer consistent.
         for (auto& rv : receivers_) {
+          if (!rv.active) continue;
           const auto* e = rv.table->find(rec.key);
           if (e == nullptr || e->version != rec.version) {
             rv.consistent.erase(rec.key);
@@ -75,6 +136,11 @@ void ConsistencyMonitor::on_publisher_change(const Record& rec,
       PendingVersion pv;
       pv.introduced_at = sim_->now();
       pv.received.assign(receivers_.size(), false);
+      // Detached receivers will never report receipt; pre-mark them so they
+      // cannot hold the entry open.
+      for (std::size_t i = 0; i < receivers_.size(); ++i) {
+        if (!receivers_[i].active) pv.received[i] = true;
+      }
       pending_.emplace(KeyVer{rec.key, rec.version}, std::move(pv));
       ++versions_introduced_;
       break;
@@ -92,6 +158,7 @@ void ConsistencyMonitor::on_publisher_change(const Record& rec,
 void ConsistencyMonitor::on_receiver_refresh(std::size_t r, Key key,
                                              Version version) {
   auto& rv = receivers_[r];
+  if (!rv.active) return;
   const auto live_it = live_.find(key);
   const bool matches = live_it != live_.end() && live_it->second == version;
   if (matches) {
@@ -100,9 +167,12 @@ void ConsistencyMonitor::on_receiver_refresh(std::size_t r, Key key,
     rv.consistent.erase(key);
   }
 
-  // First-receipt latency for this (key, version) at this receiver.
+  // First-receipt latency for this (key, version) at this receiver. Late
+  // joiners (index beyond the entry's snapshot) don't count toward T_recv:
+  // the version predates them.
   const auto pend_it = pending_.find(KeyVer{key, version});
-  if (pend_it != pending_.end() && !pend_it->second.received[r]) {
+  if (pend_it != pending_.end() && r < pend_it->second.received.size() &&
+      !pend_it->second.received[r]) {
     pend_it->second.received[r] = true;
     latency_.add(sim_->now() - pend_it->second.introduced_at);
     ++versions_received_;
@@ -114,6 +184,7 @@ void ConsistencyMonitor::on_receiver_refresh(std::size_t r, Key key,
 }
 
 void ConsistencyMonitor::on_receiver_expire(std::size_t r, Key key) {
+  if (!receivers_[r].active) return;
   receivers_[r].consistent.erase(key);
   touch();
 }

@@ -26,7 +26,11 @@ namespace sst::core {
 
 /// Oracle measuring consistency and receive latency across one publisher and
 /// any number of receivers. Construct it BEFORE the workload starts so it
-/// observes every record from birth.
+/// observes every record from birth. Membership is dynamic: receivers may
+/// attach (late join) and detach (leave/churn) mid-run; c(t) averages only
+/// over currently-attached receivers, and every mid-run joiner's catch-up
+/// latency — time from attach until its own consistency first reaches the
+/// catch-up threshold — is recorded.
 class ConsistencyMonitor {
  public:
   ConsistencyMonitor(sim::Simulator& sim, PublisherTable& pub);
@@ -34,9 +38,39 @@ class ConsistencyMonitor {
   ConsistencyMonitor(const ConsistencyMonitor&) = delete;
   ConsistencyMonitor& operator=(const ConsistencyMonitor&) = delete;
 
-  /// Attaches a receiver. All receivers must be attached before the workload
-  /// starts. Returns the receiver's index.
+  /// Attaches a receiver (at construction time or mid-run). Returns the
+  /// receiver's index. Mid-run joiners start with an empty consistent set
+  /// and converge purely from what they subsequently receive.
   std::size_t attach(ReceiverTable& recv);
+
+  /// Detaches receiver `r` (receiver churn): it stops counting toward c(t)
+  /// and its callbacks are ignored from now on. Indices are stable — other
+  /// receivers keep theirs, and `r` is never reused.
+  void detach(std::size_t r);
+
+  /// True while receiver `r` is attached.
+  [[nodiscard]] bool active(std::size_t r) const {
+    return receivers_.at(r).active;
+  }
+
+  /// Number of currently-attached receivers.
+  [[nodiscard]] std::size_t active_receivers() const;
+
+  /// Receiver r's own consistency: fraction of live records it holds at the
+  /// current version (1.0 for an empty live set).
+  [[nodiscard]] double receiver_consistency(std::size_t r) const;
+
+  /// Threshold a joiner's own consistency must reach to count as caught up.
+  void set_catch_up_threshold(double threshold) {
+    catch_up_threshold_ = threshold;
+  }
+
+  /// Catch-up latency of receiver `r`: seconds from attach until its own
+  /// consistency first reached the catch-up threshold; negative while still
+  /// catching up.
+  [[nodiscard]] double catch_up_latency(std::size_t r) const {
+    return receivers_.at(r).catch_up_latency;
+  }
 
   /// Discards statistics gathered so far (warm-up cutoff). Live-set and
   /// consistency state are preserved; only the averages restart.
@@ -78,6 +112,10 @@ class ConsistencyMonitor {
   struct ReceiverView {
     ReceiverTable* table = nullptr;
     std::unordered_set<Key> consistent;  // live keys held at current version
+    bool active = true;
+    bool catching_up = true;             // not yet reached the threshold
+    sim::SimTime joined_at = 0.0;
+    double catch_up_latency = -1.0;      // <0 until caught up
   };
 
   void on_publisher_change(const Record& rec, ChangeKind kind);
@@ -105,6 +143,9 @@ class ConsistencyMonitor {
     }
   };
   std::unordered_map<KeyVer, PendingVersion, KeyVerHash> pending_;
+
+  double catch_up_threshold_ = 0.9;
+  std::size_t catching_up_count_ = 0;  // receivers still converging
 
   stats::TimeAverage consistency_avg_;
   stats::Samples latency_;

@@ -38,8 +38,28 @@ void OpenLoopSender::enqueue(Key key) {
   maybe_start_service();
 }
 
+void OpenLoopSender::pause() {
+  if (paused_) return;
+  paused_ = true;
+  if (busy_) {
+    // The packet in service is lost with the crash; restore its record to
+    // the head of the cycle (unless it died while in service).
+    service_timer_.cancel();
+    busy_ = false;
+    if (queued_.contains(in_service_key_)) {
+      queue_.push_front(in_service_key_);
+    }
+  }
+}
+
+void OpenLoopSender::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  maybe_start_service();
+}
+
 void OpenLoopSender::maybe_start_service() {
-  if (busy_) return;
+  if (busy_ || paused_) return;
   // Drop dead heads lazily.
   while (!queue_.empty() && !queued_.contains(queue_.front())) {
     queue_.pop_front();
@@ -55,6 +75,7 @@ void OpenLoopSender::maybe_start_service() {
     return;
   }
   busy_ = true;
+  in_service_key_ = key;
   const sim::Duration service = sim::transmission_time(rec->size, mu_ch_);
   service_timer_.arm(service, [this, key] { complete_service(key); });
 }

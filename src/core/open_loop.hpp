@@ -47,6 +47,18 @@ class OpenLoopSender {
   [[nodiscard]] const SenderStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
+  /// Changes the channel bandwidth (fault injection: bandwidth
+  /// degradation). A transmission already in service completes at the old
+  /// rate.
+  void set_mu_ch(sim::Rate mu_ch) { mu_ch_ = mu_ch; }
+
+  /// Crash emulation. pause() quiesces the sender: the packet in service
+  /// (if any) is LOST — its record returns to the head of the queue so the
+  /// cycle still covers it after restart. resume() restarts service.
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_; }
+
   /// Observation hook fired at every transmission (after the channel send).
   void on_transmit(std::function<void(const DataMsg&)> fn) {
     observers_.push_back(std::move(fn));
@@ -67,6 +79,8 @@ class OpenLoopSender {
   std::deque<Key> queue_;
   std::unordered_set<Key> queued_;  // membership (lazy removal of dead keys)
   bool busy_ = false;
+  bool paused_ = false;
+  Key in_service_key_ = 0;
   sim::Timer service_timer_;
   std::uint64_t next_seq_ = 0;
   SenderStats stats_;

@@ -15,7 +15,14 @@ ReceiverAgent::ReceiverAgent(sim::Simulator& sim, ReceiverTable& table,
       rng_(rng),
       scanner_(sim) {}
 
+void ReceiverAgent::stop() {
+  stopped_ = true;
+  missing_.clear();
+  scanner_.stop();
+}
+
 void ReceiverAgent::handle(const DataMsg& msg) {
+  if (stopped_) return;
   ++stats_.data_rx;
   if (msg.is_repair) ++stats_.repairs_rx;
 
@@ -84,6 +91,7 @@ void ReceiverAgent::slot_fire(std::uint64_t seq) {
 }
 
 void ReceiverAgent::observe_nack(const NackMsg& nack) {
+  if (stopped_) return;
   for (const std::uint64_t seq : nack.missing_seqs) {
     const auto it = missing_.find(seq);
     if (it == missing_.end()) continue;

@@ -70,6 +70,11 @@ class ReceiverAgent {
   /// re-request) is damped — the overheard request stands in for ours.
   void observe_nack(const NackMsg& nack);
 
+  /// Receiver leave: quiesces the agent for good. Outstanding losses are
+  /// forgotten, the retry scanner stops, and later handle()/observe_nack()
+  /// calls (packets already in flight) are ignored.
+  void stop();
+
   [[nodiscard]] const ReceiverStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t outstanding_losses() const {
     return missing_.size();
@@ -94,6 +99,7 @@ class ReceiverAgent {
   std::function<void(const NackMsg&)> send_nack_;
   sim::Rng rng_;
 
+  bool stopped_ = false;
   std::uint64_t next_expected_ = 0;
   std::map<std::uint64_t, Missing> missing_;  // ordered: oldest first
   sim::PeriodicTimer scanner_;

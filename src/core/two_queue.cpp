@@ -56,8 +56,34 @@ void TwoQueueSender::to_hot(Key key) {
   maybe_start_service();
 }
 
+void TwoQueueSender::pause() {
+  if (paused_) return;
+  paused_ = true;
+  if (busy_) {
+    // The packet in service is lost with the crash. Its record must not
+    // silently leave the announcement cycle: restore it to the head of the
+    // queue it came from — unless a concurrent NACK/update already re-queued
+    // it hot (its location no longer matches), or it died.
+    service_timer_.cancel();
+    busy_ = false;
+    const auto it = state_.find(in_service_key_);
+    const QueueState origin =
+        in_service_from_hot_ ? QueueState::kHot : QueueState::kCold;
+    if (it != state_.end() && it->second.location == origin) {
+      (in_service_from_hot_ ? hot_ : cold_).push_front(in_service_key_);
+    }
+  }
+}
+
+void TwoQueueSender::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  maybe_start_service();
+}
+
 void TwoQueueSender::handle_nack(const NackMsg& nack) {
   if (!config_.feedback) return;
+  if (paused_) return;  // a crashed sender hears nothing
   ++stats_.nacks_received;
   for (const std::uint64_t seq : nack.missing_seqs) {
     const auto log_it = seq_log_.find(seq);
@@ -119,7 +145,7 @@ double TwoQueueSender::head_bits(std::deque<Key>& queue,
 }
 
 void TwoQueueSender::maybe_start_service() {
-  if (busy_) return;
+  if (busy_ || paused_) return;
   const std::array<double, 2> heads = {head_bits(hot_, QueueState::kHot),
                                        head_bits(cold_, QueueState::kCold)};
   const std::size_t cls = scheduler_->pick(heads);
@@ -131,6 +157,8 @@ void TwoQueueSender::maybe_start_service() {
   queue.pop_front();
 
   busy_ = true;
+  in_service_key_ = key;
+  in_service_from_hot_ = from_hot;
   const Record* rec = table_->find(key);  // head_bits validated it
   const sim::Duration service =
       sim::transmission_time(rec->size, config_.mu_data);

@@ -63,6 +63,18 @@ class TwoQueueSender {
   /// allocator drives this at run time).
   void set_hot_share(double hot_share);
 
+  /// Changes the data bandwidth (fault injection: bandwidth degradation).
+  /// A transmission already in service completes at the old rate.
+  void set_mu_data(sim::Rate mu_data) { config_.mu_data = mu_data; }
+
+  /// Crash emulation. pause() quiesces the sender: the packet in service
+  /// (if any) is LOST — its record returns to the head of its queue so the
+  /// announcement cycle still covers it after restart — and no further
+  /// transmissions or NACKs are processed. resume() restarts service.
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_; }
+
   /// Current hot-queue backlog (the SSTP allocator watches this to detect
   /// lambda > mu_hot and push back on the application).
   [[nodiscard]] std::size_t hot_depth() const { return hot_.size(); }
@@ -107,6 +119,9 @@ class TwoQueueSender {
   std::unordered_map<Key, KeyState> state_;
   std::size_t pending_repairs_ = 0;
   bool busy_ = false;
+  bool paused_ = false;
+  Key in_service_key_ = 0;
+  bool in_service_from_hot_ = false;
   sim::Timer service_timer_;
   std::uint64_t next_seq_ = 0;
 

@@ -1,0 +1,179 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sst::fault {
+
+namespace {
+
+std::string kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSenderCrash:
+      return "crash";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kReceiverLeave:
+      return "leave";
+    case FaultKind::kReceiverJoin:
+      return "join";
+    case FaultKind::kBurstLoss:
+      return "burst";
+    case FaultKind::kBandwidth:
+      return "bw";
+  }
+  return "?";
+}
+
+[[noreturn]] void bad(const std::string& token, const std::string& why) {
+  throw std::invalid_argument("bad fault event '" + token + "': " + why);
+}
+
+double parse_num(const std::string& token, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) bad(token, "trailing junk in number '" + text + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad(token, "expected a number, got '" + text + "'");
+  } catch (const std::out_of_range&) {
+    bad(token, "number out of range: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+std::string FaultEvent::label() const {
+  std::string out = kind_name(kind);
+  switch (kind) {
+    case FaultKind::kPartition:
+    case FaultKind::kReceiverLeave:
+      if (target != kAllReceivers) {
+        out += ":" + std::to_string(target);
+      }
+      break;
+    case FaultKind::kBurstLoss:
+    case FaultKind::kBandwidth: {
+      std::string a = std::to_string(amount);
+      a.erase(a.find_last_not_of('0') + 1);
+      if (!a.empty() && a.back() == '.') a.pop_back();
+      out += ":" + a;
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+FaultPlan& FaultPlan::crash(double at, double duration) {
+  events_.push_back(
+      {FaultKind::kSenderCrash, at, duration, kAllReceivers, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::size_t target, double at,
+                                double duration) {
+  events_.push_back({FaultKind::kPartition, at, duration, target, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::leave(std::size_t target, double at) {
+  events_.push_back({FaultKind::kReceiverLeave, at, 0.0, target, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::join(double at) {
+  events_.push_back({FaultKind::kReceiverJoin, at, 0.0, kAllReceivers, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss(double extra, double at, double duration,
+                                 std::size_t target) {
+  events_.push_back({FaultKind::kBurstLoss, at, duration, target, extra});
+  return *this;
+}
+
+FaultPlan& FaultPlan::bandwidth(double factor, double at, double duration) {
+  events_.push_back(
+      {FaultKind::kBandwidth, at, duration, kAllReceivers, factor});
+  return *this;
+}
+
+double FaultPlan::horizon() const {
+  double h = 0.0;
+  for (const auto& e : events_) h = std::max(h, e.start + e.duration);
+  return h;
+}
+
+FaultPlan FaultPlan::parse(const std::string& script) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= script.size()) {
+    std::size_t next = script.find(';', pos);
+    if (next == std::string::npos) next = script.size();
+    const std::string token = script.substr(pos, next - pos);
+    pos = next + 1;
+    if (token.empty()) {
+      if (pos > script.size()) break;
+      continue;
+    }
+
+    const std::size_t at_pos = token.find('@');
+    if (at_pos == std::string::npos) bad(token, "missing '@start'");
+    std::string head = token.substr(0, at_pos);
+    std::string when = token.substr(at_pos + 1);
+
+    std::string arg;
+    const std::size_t colon = head.find(':');
+    if (colon != std::string::npos) {
+      arg = head.substr(colon + 1);
+      head = head.substr(0, colon);
+    }
+
+    double start = 0.0;
+    double duration = 0.0;
+    const std::size_t plus = when.find('+');
+    if (plus != std::string::npos) {
+      start = parse_num(token, when.substr(0, plus));
+      duration = parse_num(token, when.substr(plus + 1));
+      if (duration < 0) bad(token, "negative duration");
+    } else {
+      start = parse_num(token, when);
+    }
+    if (start < 0) bad(token, "negative start time");
+
+    if (head == "crash") {
+      if (!arg.empty()) bad(token, "crash takes no argument");
+      plan.crash(start, duration);
+    } else if (head == "partition") {
+      std::size_t target = kAllReceivers;
+      if (!arg.empty()) {
+        target = static_cast<std::size_t>(parse_num(token, arg));
+      }
+      plan.partition(target, start, duration);
+    } else if (head == "leave") {
+      if (arg.empty()) bad(token, "leave needs a receiver index");
+      plan.leave(static_cast<std::size_t>(parse_num(token, arg)), start);
+    } else if (head == "join") {
+      if (!arg.empty()) bad(token, "join takes no argument");
+      plan.join(start);
+    } else if (head == "burst") {
+      if (arg.empty()) bad(token, "burst needs an extra-loss probability");
+      const double extra = parse_num(token, arg);
+      if (extra < 0 || extra > 1) bad(token, "extra loss must be in [0, 1]");
+      plan.burst_loss(extra, start, duration);
+    } else if (head == "bw") {
+      if (arg.empty()) bad(token, "bw needs a bandwidth factor");
+      const double factor = parse_num(token, arg);
+      if (factor <= 0) bad(token, "bandwidth factor must be positive");
+      plan.bandwidth(factor, start, duration);
+    } else {
+      bad(token, "unknown kind '" + head + "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace sst::fault

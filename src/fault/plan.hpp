@@ -1,0 +1,86 @@
+// plan.hpp — declarative fault plans (scripted failure timelines).
+//
+// The paper argues soft state's defining virtue is graceful degradation:
+// "the protocol continues operating gracefully in the presence of network
+// or system failure, and recovers from failure by virtue of the periodic
+// announce/listen update process". A FaultPlan scripts exactly those
+// failures — sender crash/restart, per-receiver partition and heal,
+// receiver churn (leave / late join), transient burst loss, bandwidth
+// degradation — as a timeline the FaultInjector replays against a live
+// harness, so the claim can be measured (recovery time, consistency
+// deficit, repair overhead) instead of asserted.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sst::fault {
+
+/// Applies to every receiver (partition / burst-loss events).
+inline constexpr std::size_t kAllReceivers =
+    std::numeric_limits<std::size_t>::max();
+
+/// What goes wrong.
+enum class FaultKind : std::uint8_t {
+  kSenderCrash,    // sender process dies for `duration`, then restarts
+  kPartition,      // receiver `target` unreachable (both ways) for `duration`
+  kReceiverLeave,  // receiver `target` leaves for good (instantaneous)
+  kReceiverJoin,   // a brand-new receiver joins (instantaneous)
+  kBurstLoss,      // extra loss `amount` on target's path for `duration`
+  kBandwidth,      // sender bandwidth scaled by factor `amount` for `duration`
+};
+
+/// One scripted fault. Times are absolute simulation time (the same clock
+/// the harness's warmup + duration run on).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSenderCrash;
+  double start = 0.0;
+  double duration = 0.0;             // 0 for instantaneous kinds
+  std::size_t target = kAllReceivers;
+  double amount = 0.0;               // burst: extra loss p; bandwidth: factor
+
+  /// Human-readable tag carried into the RecoveryRecord, e.g. "crash",
+  /// "partition:2", "burst:0.5", "bw:0.25".
+  [[nodiscard]] std::string label() const;
+};
+
+/// An ordered collection of FaultEvents, built programmatically or parsed
+/// from a script string (the sstsim --faults flag).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Builder API. All times absolute; durations in seconds.
+  FaultPlan& crash(double at, double duration);
+  FaultPlan& partition(std::size_t target, double at, double duration);
+  FaultPlan& leave(std::size_t target, double at);
+  FaultPlan& join(double at);
+  FaultPlan& burst_loss(double extra, double at, double duration,
+                        std::size_t target = kAllReceivers);
+  FaultPlan& bandwidth(double factor, double at, double duration);
+
+  /// Parses a script of ';'-separated events, each of the form
+  ///   kind[:arg]@start[+duration]
+  /// e.g. "crash@900+120;partition:0@600+60;leave:1@400;join@1200;
+  ///       burst:0.5@1500+30;bw:0.25@300+100".
+  /// kinds: crash, partition[:receiver] (no receiver = all), leave:receiver,
+  /// join, burst:extra_loss[, bw:factor]. Throws std::invalid_argument on
+  /// malformed input.
+  static FaultPlan parse(const std::string& script);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Latest end time (start + duration) across all events; 0 when empty.
+  [[nodiscard]] double horizon() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace sst::fault

@@ -52,37 +52,47 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  /// Adds a receiver endpoint. Returns its index (used in per-receiver
-  /// statistics). `loss` and `delay` must not be null.
+  /// Adds a receiver endpoint (allowed mid-run: a late joiner). Returns its
+  /// index (used in per-receiver statistics). `loss` and `delay` must not be
+  /// null.
   std::size_t add_receiver(std::unique_ptr<LossModel> loss,
                            std::unique_ptr<DelayModel> delay,
                            Handler handler) {
-    receivers_.push_back(Endpoint{std::move(loss), std::move(delay),
-                                  std::move(handler), ChannelStats{}});
+    // Endpoints live on the heap: adding a receiver mid-run must not move
+    // existing endpoints, whose handlers in-flight deliveries point at.
+    auto ep = std::make_unique<Endpoint>();
+    ep->loss = std::move(loss);
+    ep->delay = std::move(delay);
+    ep->handler = std::move(handler);
+    receivers_.push_back(std::move(ep));
     return receivers_.size() - 1;
   }
 
-  /// Transmits `msg` of wire size `size` bytes toward every receiver.
-  /// Each receiver independently loses or receives the message after its
-  /// delay. The message is copied into the in-flight event (value semantics;
-  /// M should be cheap to copy or use shared immutable payloads).
+  /// Transmits `msg` of wire size `size` bytes toward every enabled
+  /// receiver. Each receiver independently loses or receives the message
+  /// after its delay. All in-flight deliveries share ONE immutable copy of
+  /// the message — per-receiver copies made multi-receiver sends O(R) in
+  /// payload size.
   void send(const M& msg, sim::Bytes size) {
     ++stats_.sent;
     stats_.bytes_sent += size;
+    std::shared_ptr<const M> payload;
     for (auto& ep : receivers_) {
-      if (ep.loss->should_drop(sim_->now())) {
-        ++ep.stats.dropped;
+      if (!ep->enabled) continue;
+      if (ep->loss->should_drop(sim_->now())) {
+        ++ep->stats.dropped;
         ++stats_.dropped;
         if (tracer_.enabled()) tracer_.emit(sim_->now(), "drop");
         continue;
       }
-      ++ep.stats.delivered;
+      ++ep->stats.delivered;
       ++stats_.delivered;
-      const sim::Duration d = ep.delay->delay(sim_->now());
+      const sim::Duration d = ep->delay->delay(sim_->now());
+      if (!payload) payload = std::make_shared<const M>(msg);
       // The endpoint owns its handler; the channel must outlive in-flight
       // messages (channels live for the whole experiment by construction).
-      Handler& handler = ep.handler;
-      sim_->after(d, [&handler, msg] { handler(msg); });
+      Handler& handler = ep->handler;
+      sim_->after(d, [&handler, payload] { handler(*payload); });
       if (tracer_.enabled()) tracer_.emit(sim_->now(), "tx");
     }
   }
@@ -92,11 +102,23 @@ class Channel {
 
   /// Per-receiver statistics.
   [[nodiscard]] const ChannelStats& stats(std::size_t receiver) const {
-    return receivers_.at(receiver).stats;
+    return receivers_.at(receiver)->stats;
   }
 
   [[nodiscard]] std::size_t receiver_count() const {
     return receivers_.size();
+  }
+
+  /// Disables (or re-enables) delivery to a receiver endpoint. A disabled
+  /// endpoint is skipped entirely — no delivery, no loss draw, no statistics
+  /// — modelling a receiver that has left the session (distinct from a
+  /// partition, which drops and counts packets).
+  void set_receiver_enabled(std::size_t receiver, bool enabled) {
+    receivers_.at(receiver)->enabled = enabled;
+  }
+
+  [[nodiscard]] bool receiver_enabled(std::size_t receiver) const {
+    return receivers_.at(receiver)->enabled;
   }
 
  private:
@@ -105,11 +127,12 @@ class Channel {
     std::unique_ptr<DelayModel> delay;
     Handler handler;
     ChannelStats stats;
+    bool enabled = true;
   };
 
   sim::Simulator* sim_;
   sim::Tracer tracer_;
-  std::vector<Endpoint> receivers_;
+  std::vector<std::unique_ptr<Endpoint>> receivers_;
   ChannelStats stats_;
 };
 

@@ -138,6 +138,43 @@ class NoLoss final : public LossModel {
   [[nodiscard]] double mean_rate() const override { return 0.0; }
 };
 
+/// Run-time togglable fault wrapper. A fault injector flips `set_down` to
+/// emulate a partition (every packet dropped while down) and layers
+/// `set_extra_loss` on top of the base process for transient burst-loss
+/// episodes. Unlike OutageLoss, the fault windows need not be known when the
+/// channel is wired — this is what lets a scripted FaultPlan act on a live
+/// run. The base process is always stepped first so its stream advances
+/// identically whether or not a fault is active (fault windows never perturb
+/// draws after the fault heals).
+class SwitchableLoss final : public LossModel {
+ public:
+  SwitchableLoss(std::unique_ptr<LossModel> base, sim::Rng rng)
+      : base_(std::move(base)), rng_(rng) {}
+
+  void set_down(bool down) { down_ = down; }
+  void set_extra_loss(double p) { extra_ = p; }
+  [[nodiscard]] bool down() const { return down_; }
+  [[nodiscard]] double extra_loss() const { return extra_; }
+
+  bool should_drop(sim::SimTime now) override {
+    const bool base_drop = base_->should_drop(now);
+    if (down_) return true;
+    if (extra_ > 0.0 && rng_.bernoulli(extra_)) return true;
+    return base_drop;
+  }
+
+  /// Base process rate; faults are transients, not part of the mean.
+  [[nodiscard]] double mean_rate() const override {
+    return base_->mean_rate();
+  }
+
+ private:
+  std::unique_ptr<LossModel> base_;
+  sim::Rng rng_;
+  bool down_ = false;
+  double extra_ = 0.0;
+};
+
 /// Failure injection: total outage (partition) during configured time
 /// windows, delegating to a base process otherwise. Windows are half-open
 /// [start, end) and must be non-overlapping and sorted.

@@ -22,7 +22,16 @@ Receiver::Receiver(sim::Simulator& sim, ReceiverConfig config,
   }
 }
 
+void Receiver::stop() {
+  stopped_ = true;
+  pending_.clear();
+  scanner_.stop();
+  report_timer_.stop();
+  session_timer_.cancel();
+}
+
 void Receiver::handle(const WireBytes& bytes) {
+  if (stopped_) return;
   const auto msg = decode(bytes);
   if (!msg) {
     ++stats_.decode_errors;

@@ -92,6 +92,11 @@ class Receiver {
   /// Feeds a packet arriving on the forward (data) path.
   void handle(const WireBytes& bytes);
 
+  /// Receiver leave: quiesces the endpoint for good. Outstanding repairs
+  /// are dropped, all timers stop, and packets already in flight toward
+  /// this receiver are ignored on arrival.
+  void stop();
+
   /// Fired when a leaf ADU becomes complete (all bytes of a version).
   void on_complete(std::function<void(const Path&, const Adu&)> fn) {
     complete_fn_ = std::move(fn);
@@ -143,6 +148,7 @@ class Receiver {
   sim::PeriodicTimer report_timer_;
   sim::Timer session_timer_;
   bool session_live_ = false;
+  bool stopped_ = false;
 
   LossEstimator loss_;
   std::function<void(const Path&, const Adu&)> complete_fn_;

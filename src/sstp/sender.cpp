@@ -313,6 +313,7 @@ void Sender::finish_service() {
 // ----------------------------------------------------------------- feedback
 
 void Sender::handle_feedback(const WireBytes& bytes) {
+  if (paused_) return;  // a crashed sender hears nothing
   const auto msg = decode(bytes);
   if (!msg) {
     ++stats_.decode_errors;

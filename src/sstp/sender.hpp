@@ -125,6 +125,10 @@ class Sender {
   /// Applies an allocation directly (also used by the allocator path).
   void apply(const Allocation& alloc);
 
+  /// Changes the data bandwidth (fault injection: bandwidth degradation).
+  /// A transmission already in service completes at the old rate.
+  void set_mu_data(sim::Rate mu_data) { config_.mu_data = mu_data; }
+
   /// Crash/restart support: pause() silences the sender entirely (the
   /// packet in service is lost, as a crash would lose it); resume()
   /// restarts announcements — receivers that expired the session state

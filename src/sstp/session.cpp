@@ -2,15 +2,23 @@
 
 #include "net/delay.hpp"
 #include "net/loss.hpp"
-#include "sim/random.hpp"
 
 namespace sst::sstp {
 
 namespace {
 
-std::unique_ptr<net::LossModel> make_loss(double rate, sim::Rng rng) {
-  if (rate <= 0.0) return std::make_unique<net::NoLoss>();
-  return std::make_unique<net::BernoulliLoss>(rate, rng);
+// Wrapped in SwitchableLoss so faults can act on the live run; the wrapper
+// never draws from its own RNG until a fault fires, so it is draw-for-draw
+// invisible in fault-free runs.
+std::unique_ptr<net::SwitchableLoss> make_loss(double rate, sim::Rng rng,
+                                               sim::Rng switch_rng) {
+  std::unique_ptr<net::LossModel> base;
+  if (rate <= 0.0) {
+    base = std::make_unique<net::NoLoss>();
+  } else {
+    base = std::make_unique<net::BernoulliLoss>(rate, rng);
+  }
+  return std::make_unique<net::SwitchableLoss>(std::move(base), switch_rng);
 }
 
 std::unique_ptr<net::DelayModel> make_delay(const SessionConfig& cfg,
@@ -27,12 +35,11 @@ std::unique_ptr<net::DelayModel> make_delay(const SessionConfig& cfg,
 Session::Session(sim::Simulator& sim, SessionConfig config)
     : sim_(&sim),
       config_(config),
+      root_(config_.seed),
+      fb_loss_(config_.fb_loss_rate < 0 ? config_.loss_rate
+                                        : config_.fb_loss_rate),
       sampler_(sim),
       consistency_(sim.now(), 1.0) {
-  const sim::Rng root(config_.seed);
-  const double fb_loss =
-      config_.fb_loss_rate < 0 ? config_.loss_rate : config_.fb_loss_rate;
-
   data_channel_ = std::make_unique<net::Channel<WireBytes>>(sim);
 
   config_.receiver.algo = config_.sender.algo;
@@ -41,35 +48,7 @@ Session::Session(sim::Simulator& sim, SessionConfig config)
         data_channel_->send(bytes, size);
       });
 
-  for (std::size_t r = 0; r < config_.num_receivers; ++r) {
-    // Reverse path: receiver -> rate-limited link -> lossy channel -> sender.
-    fb_channels_.push_back(std::make_unique<net::Channel<WireBytes>>(sim));
-    fb_channels_.back()->add_receiver(
-        make_loss(fb_loss, root.fork("fb-loss", r)),
-        make_delay(config_, root.fork("fb-delay", r)),
-        [this](const WireBytes& bytes) { sender_->handle_feedback(bytes); });
-    net::Channel<WireBytes>* fb_chan = fb_channels_.back().get();
-    fb_links_.push_back(std::make_unique<net::Link<WireBytes>>(
-        sim, config_.mu_fb,
-        [fb_chan](const WireBytes& bytes, sim::Bytes size) {
-          fb_chan->send(bytes, size);
-        },
-        /*queue_limit=*/8));
-    net::Link<WireBytes>* fb_link = fb_links_.back().get();
-
-    receivers_.push_back(std::make_unique<Receiver>(
-        sim, config_.receiver,
-        [fb_link](const WireBytes& bytes, sim::Bytes size) {
-          fb_link->send(bytes, size);
-        },
-        root.fork("recv-rng", r)));
-
-    Receiver* recv = receivers_.back().get();
-    data_channel_->add_receiver(
-        make_loss(config_.loss_rate, root.fork("loss", r)),
-        make_delay(config_, root.fork("delay", r)),
-        [recv](const WireBytes& bytes) { recv->handle(bytes); });
-  }
+  for (std::size_t r = 0; r < config_.num_receivers; ++r) add_receiver_rig();
 
   if (config_.use_allocator) {
     sender_->set_allocator(std::make_unique<BandwidthAllocator>(
@@ -77,38 +56,151 @@ Session::Session(sim::Simulator& sim, SessionConfig config)
     // Apply the feedback side of each allocation to the reverse links (in a
     // deployment this rides in the session description / announcements).
     sender_->on_allocation([this](const Allocation& alloc) {
-      for (auto& link : fb_links_) link->set_rate(alloc.mu_fb);
+      for (auto& rig : receivers_) rig.fb_link->set_rate(alloc.mu_fb);
     });
   }
+
+  // Construction-time receivers face an (effectively) empty store and are
+  // caught up from the start, with zero latency.
+  settle_catch_ups();
 
   if (config_.sample_interval > 0) {
     sampler_.start(config_.sample_interval, [this] { sample(); });
   }
 }
 
-double Session::instantaneous_consistency() const {
-  const NamespaceTree& sender_tree = sender_->tree();
-  if (sender_tree.leaf_count() == 0 || receivers_.empty()) return 1.0;
+std::size_t Session::add_receiver_rig() {
+  const std::size_t r = receivers_.size();
+  ReceiverRig rig;
+  rig.joined_at = sim_->now();
 
-  double sum = 0.0;
-  for (const auto& recv : receivers_) {
-    const NamespaceTree& rt = recv->tree();
-    std::size_t consistent = 0;
-    sender_tree.for_each_leaf(
-        Path{}, [&rt, &consistent](const Path& path, const Adu& adu) {
-          const Adu* mirror = rt.find(path);
-          if (mirror != nullptr && mirror->version == adu.version &&
-              mirror->complete()) {
-            ++consistent;
-          }
-        });
-    sum += static_cast<double>(consistent) /
-           static_cast<double>(sender_tree.leaf_count());
+  // Reverse path: receiver -> rate-limited link -> lossy channel -> sender.
+  rig.fb_channel = std::make_unique<net::Channel<WireBytes>>(*sim_);
+  auto rev_loss = make_loss(fb_loss_, root_.fork("fb-loss", r),
+                            root_.fork("switch-fb", r));
+  rig.rev_switch = rev_loss.get();
+  rig.fb_channel->add_receiver(
+      std::move(rev_loss), make_delay(config_, root_.fork("fb-delay", r)),
+      [this](const WireBytes& bytes) { sender_->handle_feedback(bytes); });
+  net::Channel<WireBytes>* fb_chan = rig.fb_channel.get();
+  rig.fb_link = std::make_unique<net::Link<WireBytes>>(
+      *sim_, config_.mu_fb,
+      [fb_chan](const WireBytes& bytes, sim::Bytes size) {
+        fb_chan->send(bytes, size);
+      },
+      /*queue_limit=*/8);
+  net::Link<WireBytes>* fb_link = rig.fb_link.get();
+
+  rig.receiver = std::make_unique<Receiver>(
+      *sim_, config_.receiver,
+      [fb_link](const WireBytes& bytes, sim::Bytes size) {
+        fb_link->send(bytes, size);
+      },
+      root_.fork("recv-rng", r));
+
+  Receiver* recv = rig.receiver.get();
+  auto fwd_loss = make_loss(config_.loss_rate, root_.fork("loss", r),
+                            root_.fork("switch-loss", r));
+  rig.fwd_switch = fwd_loss.get();
+  data_channel_->add_receiver(
+      std::move(fwd_loss), make_delay(config_, root_.fork("delay", r)),
+      [recv](const WireBytes& bytes) { recv->handle(bytes); });
+
+  receivers_.push_back(std::move(rig));
+  return r;
+}
+
+std::size_t Session::add_receiver() { return add_receiver_rig(); }
+
+void Session::detach_receiver(std::size_t i) {
+  ReceiverRig& rig = receivers_.at(i);
+  if (!rig.active) return;
+  rig.active = false;
+  if (rig.catching_up) rig.catching_up = false;
+  rig.receiver->stop();
+  data_channel_->set_receiver_enabled(i, false);
+}
+
+void Session::set_partition(std::size_t i, bool down) {
+  ReceiverRig& rig = receivers_.at(i);
+  if (rig.fwd_switch != nullptr) rig.fwd_switch->set_down(down);
+  if (rig.rev_switch != nullptr) rig.rev_switch->set_down(down);
+}
+
+void Session::set_partition_all(bool down) {
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    if (receivers_[i].active) set_partition(i, down);
   }
-  return sum / static_cast<double>(receivers_.size());
+}
+
+void Session::set_extra_loss(std::size_t i, double p) {
+  ReceiverRig& rig = receivers_.at(i);
+  if (rig.fwd_switch != nullptr) rig.fwd_switch->set_extra_loss(p);
+}
+
+void Session::set_extra_loss_all(double p) {
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    if (receivers_[i].active) set_extra_loss(i, p);
+  }
+}
+
+void Session::set_bandwidth_factor(double factor) {
+  sender_->set_mu_data(config_.sender.mu_data * factor);
+}
+
+double Session::repair_traffic() const {
+  const SenderStats& s = sender_->stats();
+  std::uint64_t recv_side = 0;
+  for (const auto& rig : receivers_) {
+    recv_side += rig.receiver->stats().queries_tx;
+    recv_side += rig.receiver->stats().nacks_tx;
+  }
+  return static_cast<double>(s.repair_tx + s.sig_tx + recv_side);
+}
+
+double Session::receiver_consistency(std::size_t i) const {
+  const NamespaceTree& sender_tree = sender_->tree();
+  if (sender_tree.leaf_count() == 0) return 1.0;
+  const NamespaceTree& rt = receivers_.at(i).receiver->tree();
+  std::size_t consistent = 0;
+  sender_tree.for_each_leaf(
+      Path{}, [&rt, &consistent](const Path& path, const Adu& adu) {
+        const Adu* mirror = rt.find(path);
+        if (mirror != nullptr && mirror->version == adu.version &&
+            mirror->complete()) {
+          ++consistent;
+        }
+      });
+  return static_cast<double>(consistent) /
+         static_cast<double>(sender_tree.leaf_count());
+}
+
+double Session::instantaneous_consistency() const {
+  if (sender_->tree().leaf_count() == 0) return 1.0;
+  double sum = 0.0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    if (!receivers_[i].active) continue;
+    ++active;
+    sum += receiver_consistency(i);
+  }
+  if (active == 0) return 1.0;
+  return sum / static_cast<double>(active);
+}
+
+void Session::settle_catch_ups() {
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    ReceiverRig& rig = receivers_[i];
+    if (!rig.active || !rig.catching_up) continue;
+    if (receiver_consistency(i) >= config_.catch_up_threshold) {
+      rig.catching_up = false;
+      rig.catch_up_latency = sim_->now() - rig.joined_at;
+    }
+  }
 }
 
 void Session::sample() {
+  settle_catch_ups();
   consistency_.update(sim_->now(), instantaneous_consistency());
 }
 
@@ -124,7 +216,9 @@ void Session::reset_consistency_stats() {
 
 double Session::feedback_bytes() const {
   double total = 0.0;
-  for (const auto& ch : fb_channels_) total += ch->stats().bytes_sent;
+  for (const auto& rig : receivers_) {
+    total += rig.fb_channel->stats().bytes_sent;
+  }
   return total;
 }
 

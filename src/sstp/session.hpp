@@ -6,6 +6,12 @@
 // namespace trees (sampled; the trees' cached digests make each sample
 // cheap). Examples, integration tests, and the SSTP benches all ride on
 // this.
+//
+// Membership is dynamic: receivers may join mid-run (add_receiver — they
+// converge purely from summaries and recursive-descent repair, with no
+// catch-up protocol) and leave (detach_receiver); consistency averages only
+// the currently-joined receivers. The sst::fault injector drives the
+// crash/partition/extra-loss/bandwidth hooks.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,7 @@
 
 #include "net/channel.hpp"
 #include "net/link.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 #include "sstp/allocator.hpp"
@@ -40,6 +47,7 @@ struct SessionConfig {
   BandwidthAllocator::Config allocator;
 
   sim::Duration sample_interval = 0.5;  // consistency sampling cadence
+  double catch_up_threshold = 0.9;      // joiner counts as converged at this
 };
 
 /// A fully wired simulated SSTP session.
@@ -47,22 +55,73 @@ class Session {
  public:
   Session(sim::Simulator& sim, SessionConfig config);
 
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
   [[nodiscard]] Sender& sender() { return *sender_; }
   [[nodiscard]] Receiver& receiver(std::size_t i = 0) {
-    return *receivers_.at(i);
+    return *receivers_.at(i).receiver;
   }
   [[nodiscard]] std::size_t receiver_count() const {
     return receivers_.size();
   }
 
-  /// Fraction of the sender's leaves that every receiver holds complete at
-  /// the current version, averaged over receivers (1.0 for an empty store).
+  /// Fraction of the sender's leaves that every currently-joined receiver
+  /// holds complete at the current version, averaged over those receivers
+  /// (1.0 for an empty store or an empty session).
   [[nodiscard]] double instantaneous_consistency() const;
+
+  /// Receiver i's own such fraction.
+  [[nodiscard]] double receiver_consistency(std::size_t i) const;
 
   /// Time average of the sampled consistency since construction (or the last
   /// reset).
   [[nodiscard]] double average_consistency();
   void reset_consistency_stats();
+
+  // ------------------------------------------------ membership and faults
+
+  /// Late join: adds a brand-new receiver (empty tree) mid-run; returns its
+  /// index. It converges from summaries alone; its catch-up latency — time
+  /// from joining until its consistency first samples at-or-above
+  /// catch_up_threshold — is recorded (resolution: sample_interval).
+  std::size_t add_receiver();
+
+  /// Receiver leave: receiver `i` stops receiving, repairing, and counting
+  /// toward consistency. Irreversible (a rejoin is a new receiver).
+  void detach_receiver(std::size_t i);
+
+  [[nodiscard]] bool receiver_active(std::size_t i) const {
+    return receivers_.at(i).active;
+  }
+
+  /// Catch-up latency of receiver `i` (negative while still converging).
+  [[nodiscard]] double catch_up_latency(std::size_t i) const {
+    return receivers_.at(i).catch_up_latency;
+  }
+
+  /// Sender crash/restart (Sender::pause/resume plus nothing else — the
+  /// whole point is that recovery needs no special code).
+  void crash_sender() { sender_->pause(); }
+  void restart_sender() { sender_->resume(); }
+  [[nodiscard]] bool sender_crashed() const { return sender_->paused(); }
+
+  /// Partitions receiver `i` (both directions) or heals it.
+  void set_partition(std::size_t i, bool down);
+  void set_partition_all(bool down);
+
+  /// Layers transient extra loss on receiver i's forward path (0 restores).
+  void set_extra_loss(std::size_t i, double p);
+  void set_extra_loss_all(double p);
+
+  /// Scales the sender's bandwidth to factor * configured mu_data.
+  void set_bandwidth_factor(double factor);
+
+  /// Cumulative protocol repair effort — repairs + signature replies sent
+  /// plus queries + NACKs received-side — a RecoveryTracker traffic counter.
+  [[nodiscard]] double repair_traffic() const;
+
+  // ----------------------------------------------------------- statistics
 
   /// Observed forward-channel loss rate (ground truth, for comparison with
   /// the receivers' estimates).
@@ -78,15 +137,29 @@ class Session {
   [[nodiscard]] double feedback_bytes() const;
 
  private:
+  struct ReceiverRig {
+    std::unique_ptr<Receiver> receiver;
+    std::unique_ptr<net::Link<WireBytes>> fb_link;
+    std::unique_ptr<net::Channel<WireBytes>> fb_channel;
+    net::SwitchableLoss* fwd_switch = nullptr;
+    net::SwitchableLoss* rev_switch = nullptr;
+    bool active = true;
+    double joined_at = 0.0;
+    bool catching_up = true;
+    double catch_up_latency = -1.0;
+  };
+
+  std::size_t add_receiver_rig();
   void sample();
+  void settle_catch_ups();
 
   sim::Simulator* sim_;
   SessionConfig config_;
+  sim::Rng root_;
+  double fb_loss_ = 0.0;
   std::unique_ptr<net::Channel<WireBytes>> data_channel_;
   std::unique_ptr<Sender> sender_;
-  std::vector<std::unique_ptr<Receiver>> receivers_;
-  std::vector<std::unique_ptr<net::Link<WireBytes>>> fb_links_;
-  std::vector<std::unique_ptr<net::Channel<WireBytes>>> fb_channels_;
+  std::vector<ReceiverRig> receivers_;
   sim::PeriodicTimer sampler_;
   stats::TimeAverage consistency_;
 };

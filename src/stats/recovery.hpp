@@ -1,0 +1,156 @@
+// recovery.hpp — recovery-time metrics for fault-injection runs.
+//
+// The paper's robustness claim is qualitative: after a failure, soft state
+// "recovers by virtue of the periodic announce/listen update process" with no
+// special recovery code. This tracker makes the claim quantitative. It
+// watches the (piecewise-constant) system consistency signal and, for every
+// injected fault, measures
+//   - recovery time: how long after the fault CLEARS (sender restarted,
+//     partition healed, joiner admitted) consistency takes to climb back to
+//     a threshold (default 0.9);
+//   - consistency deficit: the integral of (threshold - c(t))+ over the
+//     whole episode, i.e. the area of the dip below the threshold — two
+//     faults with equal recovery times can still differ greatly in how much
+//     staleness subscribers observed;
+//   - repair-traffic overhead: via an optional traffic counter callback, the
+//     protocol effort (repairs, queries, NACK-triggered retransmissions)
+//     spent between injection and recovery.
+// The fault injector (sst::fault) drives inject/clear and samples the
+// consistency signal into observe().
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace sst::stats {
+
+/// Everything measured about one injected fault.
+struct RecoveryRecord {
+  std::string label;            // e.g. "crash", "partition:2", "join:3"
+  double injected_at = 0.0;     // when the fault hit
+  double cleared_at = -1.0;     // when the fault condition lifted (<0: never)
+  double recovered_at = -1.0;   // first c >= threshold after clearing (<0:
+                                // not yet recovered when the run ended)
+  double deficit = 0.0;         // integral of (threshold - c(t))+ dt over the
+                                // episode [injected_at, recovered_at|end]
+  double repair_overhead = 0.0; // traffic counter delta injection->recovery
+
+  [[nodiscard]] bool cleared() const { return cleared_at >= 0.0; }
+  [[nodiscard]] bool recovered() const { return recovered_at >= 0.0; }
+
+  /// Time from the fault clearing to reconvergence; +inf while unrecovered
+  /// (finite for every fault is the pass criterion of a recovery test).
+  [[nodiscard]] double recovery_time() const {
+    if (!recovered()) return std::numeric_limits<double>::infinity();
+    const double from = cleared() ? cleared_at : injected_at;
+    return recovered_at > from ? recovered_at - from : 0.0;
+  }
+};
+
+/// Accumulates RecoveryRecords from a sampled consistency signal.
+///
+/// Usage: call observe(now, c) whenever the signal is sampled (and at least
+/// once before the first fault); inject()/clear() bracket each fault. A fault
+/// recovers at the first observation at-or-after its clear time with
+/// c >= threshold. finish() closes the deficit integrals at the end of a run.
+class RecoveryTracker {
+ public:
+  explicit RecoveryTracker(double threshold = 0.9)
+      : threshold_(threshold) {}
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+  /// Optional cumulative repair-traffic counter (packets or bytes — the
+  /// caller picks the unit); sampled at injection and at recovery to compute
+  /// each record's repair_overhead.
+  void set_traffic_counter(std::function<double()> fn) {
+    traffic_fn_ = std::move(fn);
+  }
+
+  /// Feeds the piecewise-constant consistency signal. `now` must be
+  /// non-decreasing across calls.
+  void observe(double now, double consistency) {
+    integrate(now);
+    value_ = consistency;
+    settle(now);
+  }
+
+  /// Marks a fault injected at `now`; returns its index into records().
+  std::size_t inject(std::string label, double now) {
+    integrate(now);
+    RecoveryRecord rec;
+    rec.label = std::move(label);
+    rec.injected_at = now;
+    if (traffic_fn_) traffic_at_inject_.push_back(traffic_fn_());
+    else traffic_at_inject_.push_back(0.0);
+    records_.push_back(std::move(rec));
+    open_.push_back(records_.size() - 1);
+    return records_.size() - 1;
+  }
+
+  /// Marks the fault condition lifted (restart/heal). The fault may recover
+  /// immediately if consistency already sits at-or-above the threshold.
+  void clear(std::size_t fault, double now) {
+    integrate(now);
+    records_.at(fault).cleared_at = now;
+    settle(now);
+  }
+
+  /// Closes every open episode's deficit integral at the end of a run;
+  /// unrecovered faults keep recovered_at < 0 (recovery_time() = +inf).
+  void finish(double now) { integrate(now); }
+
+  [[nodiscard]] const std::vector<RecoveryRecord>& records() const {
+    return records_;
+  }
+
+  /// True when every injected fault both cleared and recovered.
+  [[nodiscard]] bool all_recovered() const {
+    for (const auto& r : records_) {
+      if (!r.recovered()) return false;
+    }
+    return true;
+  }
+
+ private:
+  // Accrues the deficit of every open episode up to `now`.
+  void integrate(double now) {
+    if (now > last_time_ && !open_.empty() && value_ < threshold_) {
+      const double area = (threshold_ - value_) * (now - last_time_);
+      for (const std::size_t i : open_) records_[i].deficit += area;
+    }
+    if (now > last_time_) last_time_ = now;
+  }
+
+  // Closes every clear-and-above-threshold episode at `now`.
+  void settle(double now) {
+    if (value_ < threshold_) return;
+    for (auto it = open_.begin(); it != open_.end();) {
+      RecoveryRecord& rec = records_[*it];
+      if (rec.cleared() && now >= rec.cleared_at) {
+        rec.recovered_at = now;
+        if (traffic_fn_) {
+          rec.repair_overhead = traffic_fn_() - traffic_at_inject_[*it];
+        }
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  double threshold_;
+  double value_ = 1.0;
+  double last_time_ = 0.0;
+  std::function<double()> traffic_fn_;
+  std::vector<RecoveryRecord> records_;
+  std::vector<double> traffic_at_inject_;  // parallel to records_
+  std::vector<std::size_t> open_;          // indices still below recovery
+};
+
+}  // namespace sst::stats

@@ -161,5 +161,111 @@ TEST(Monitor, ConsistencyBoundedZeroOne) {
   EXPECT_LE(c, 1.0);
 }
 
+// ------------------------------------------------------- dynamic membership
+
+TEST(Monitor, DetachedReceiverExcludedFromAverage) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  ConsistencyMonitor monitor(sim, pub);
+  ReceiverTable r1(sim, 0.0), r2(sim, 0.0);
+  monitor.attach(r1);
+  monitor.attach(r2);
+  const Key k = pub.insert({}, 100);
+  r1.refresh(k, 1);
+  EXPECT_DOUBLE_EQ(monitor.instantaneous(), 0.5);
+  monitor.detach(1);  // the inconsistent receiver leaves
+  EXPECT_FALSE(monitor.active(1));
+  EXPECT_DOUBLE_EQ(monitor.instantaneous(), 1.0);
+}
+
+TEST(Monitor, DetachLastReceiverVacuouslyConsistent) {
+  Fixture f;
+  f.pub.insert({}, 100);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 0.0);
+  f.monitor.detach(0);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+  EXPECT_TRUE(f.monitor.active_receivers() == 0u);
+}
+
+TEST(Monitor, MidRunAttachStartsInconsistent) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.recv.refresh(k, 1);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+  ReceiverTable late(f.sim, 0.0);
+  f.sim.run_until(5.0);
+  f.monitor.attach(late);  // empty table, one live key -> c_late = 0
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 0.5);
+  late.refresh(k, 1);
+  EXPECT_DOUBLE_EQ(f.monitor.instantaneous(), 1.0);
+}
+
+TEST(Monitor, LateJoinerCatchUpLatency) {
+  Fixture f;
+  const Key a = f.pub.insert({}, 100);
+  const Key b = f.pub.insert({}, 100);
+  f.recv.refresh(a, 1);
+  f.recv.refresh(b, 1);
+  ReceiverTable late(f.sim, 0.0);
+  f.sim.at(10.0, [&] { f.monitor.attach(late); });
+  f.sim.at(12.0, [&] { late.refresh(a, 1); });  // c_late = 0.5 < 0.9
+  f.sim.at(17.0, [&] { late.refresh(b, 1); });  // c_late = 1.0 -> caught up
+  f.sim.run_until(11.0);
+  EXPECT_LT(f.monitor.catch_up_latency(1), 0.0);  // still converging
+  f.sim.run_until(20.0);
+  EXPECT_DOUBLE_EQ(f.monitor.catch_up_latency(1), 7.0);
+}
+
+TEST(Monitor, InitialReceiverCatchesUpImmediately) {
+  Fixture f;  // attached before any publishes: already at c = 1
+  f.pub.insert({}, 100);
+  EXPECT_DOUBLE_EQ(f.monitor.catch_up_latency(0), 0.0);
+}
+
+TEST(Monitor, LateJoinerRefreshDoesNotCountTowardVersionLatency) {
+  Fixture f;
+  const Key k = f.pub.insert({}, 100);
+  f.recv.refresh(k, 1);
+  ASSERT_EQ(f.monitor.latency().count(), 1u);
+  ReceiverTable late(f.sim, 0.0);
+  f.sim.at(5.0, [&] { f.monitor.attach(late); });
+  f.sim.at(8.0, [&] { late.refresh(k, 1); });
+  f.sim.run();
+  // The joiner's catch-up receipt is not a version-propagation sample.
+  EXPECT_EQ(f.monitor.latency().count(), 1u);
+}
+
+TEST(Monitor, DetachSettlesPendingVersions) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  ConsistencyMonitor monitor(sim, pub);
+  ReceiverTable r1(sim, 0.0), r2(sim, 0.0);
+  monitor.attach(r1);
+  monitor.attach(r2);
+  const Key k = pub.insert({}, 100);
+  sim.at(3.0, [&] { r1.refresh(k, 1); });
+  // r2 never receives it; detaching r2 must settle the version as fully
+  // received (latency recorded once, from r1).
+  sim.at(6.0, [&] { monitor.detach(1); });
+  sim.run();
+  EXPECT_EQ(monitor.versions_received(), 1u);
+  EXPECT_EQ(monitor.latency().count(), 1u);
+}
+
+TEST(Monitor, TimeAverageAcrossMembershipChange) {
+  sim::Simulator sim;
+  PublisherTable pub;
+  ConsistencyMonitor monitor(sim, pub);
+  ReceiverTable r1(sim, 0.0), r2(sim, 0.0);
+  monitor.attach(r1);
+  monitor.attach(r2);
+  const Key k = pub.insert({}, 100);
+  r1.refresh(k, 1);
+  // c = 0.5 over [0,4), then r2 leaves: c = 1.0 over [4,10).
+  sim.at(4.0, [&] { monitor.detach(1); });
+  sim.run_until(10.0);
+  EXPECT_NEAR(monitor.average_consistency(), (0.5 * 4 + 1.0 * 6) / 10, 1e-12);
+}
+
 }  // namespace
 }  // namespace sst::core

@@ -107,6 +107,84 @@ TEST(Delay, ExponentialAboveFloor) {
   for (int i = 0; i < 1000; ++i) EXPECT_GE(d.delay(0.0), 0.05);
 }
 
+TEST(OutageLoss, WindowBoundariesAreHalfOpen) {
+  OutageLoss loss(std::make_unique<NoLoss>(), {{1.0, 2.0}});
+  EXPECT_FALSE(loss.should_drop(0.999));
+  EXPECT_TRUE(loss.should_drop(1.0));   // start inclusive
+  EXPECT_TRUE(loss.should_drop(1.999));
+  EXPECT_FALSE(loss.should_drop(2.0));  // end exclusive
+  EXPECT_FALSE(loss.should_drop(3.0));
+}
+
+TEST(OutageLoss, BackToBackWindowsFormContinuousOutage) {
+  OutageLoss loss(std::make_unique<NoLoss>(), {{1.0, 2.0}, {2.0, 3.0}});
+  EXPECT_FALSE(loss.should_drop(0.5));
+  EXPECT_TRUE(loss.should_drop(1.5));
+  EXPECT_TRUE(loss.should_drop(2.0));  // seam belongs to the second window
+  EXPECT_TRUE(loss.should_drop(2.5));
+  EXPECT_FALSE(loss.should_drop(3.0));
+}
+
+TEST(OutageLoss, QueryExactlyAtSeamAfterSkippingWindows) {
+  // Queries that jump past whole windows must still land correctly.
+  OutageLoss loss(std::make_unique<NoLoss>(),
+                  {{1.0, 2.0}, {5.0, 6.0}, {6.0, 7.0}});
+  EXPECT_TRUE(loss.should_drop(1.0));
+  EXPECT_TRUE(loss.should_drop(6.0));  // skipped [5,6) entirely
+  EXPECT_FALSE(loss.should_drop(7.0));
+  EXPECT_FALSE(loss.should_drop(100.0));
+}
+
+TEST(OutageLoss, MeanRateIsBaseRate) {
+  OutageLoss loss(std::make_unique<BernoulliLoss>(0.2, Rng(7)),
+                  {{0.0, 1e9}});
+  EXPECT_DOUBLE_EQ(loss.mean_rate(), 0.2);  // outages are transients
+}
+
+// ---------------------------------------------------------- switchable loss
+
+TEST(SwitchableLoss, DownDropsEverything) {
+  SwitchableLoss loss(std::make_unique<NoLoss>(), Rng(8));
+  EXPECT_FALSE(loss.should_drop(0.0));
+  loss.set_down(true);
+  EXPECT_TRUE(loss.down());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(loss.should_drop(0.0));
+  loss.set_down(false);
+  EXPECT_FALSE(loss.should_drop(0.0));
+}
+
+TEST(SwitchableLoss, ExtraLossLayersOnTopOfBase) {
+  SwitchableLoss loss(std::make_unique<BernoulliLoss>(0.1, Rng(9)), Rng(10));
+  loss.set_extra_loss(0.3);
+  int drops = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) drops += loss.should_drop(0.0) ? 1 : 0;
+  // P(drop) = 1 - (1-0.1)(1-0.3) = 0.37.
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.37, 0.01);
+  EXPECT_DOUBLE_EQ(loss.mean_rate(), 0.1);  // faults excluded from the mean
+}
+
+TEST(SwitchableLoss, FaultWindowDoesNotPerturbBaseStream) {
+  // The base process must advance draw-for-draw identically whether or not
+  // a fault was active — a healed fault leaves the future untouched.
+  SwitchableLoss faulted(std::make_unique<PeriodicLoss>(3), Rng(11));
+  PeriodicLoss plain(3);
+  std::vector<bool> got, want;
+  for (int i = 0; i < 6; ++i) {
+    faulted.should_drop(0.0);  // discard results during the fault window
+    plain.should_drop(0.0);
+  }
+  faulted.set_down(true);
+  for (int i = 0; i < 5; ++i) faulted.should_drop(0.0);
+  faulted.set_down(false);
+  for (int i = 0; i < 5; ++i) plain.should_drop(0.0);
+  for (int i = 0; i < 12; ++i) {
+    got.push_back(faulted.should_drop(0.0));
+    want.push_back(plain.should_drop(0.0));
+  }
+  EXPECT_EQ(got, want);
+}
+
 // ------------------------------------------------------------------ channel
 
 struct Msg {
@@ -155,6 +233,70 @@ TEST(Channel, ObservedLossRateTracksModel) {
   for (int i = 0; i < 50000; ++i) ch.send(Msg{i}, 10);
   sim.run();
   EXPECT_NEAR(ch.stats().observed_loss_rate(), 0.3, 0.01);
+}
+
+TEST(Channel, SharesOnePayloadAcrossReceivers) {
+  // Multi-receiver sends must not copy the message per receiver: every
+  // delivery sees the same shared immutable payload object.
+  Simulator sim;
+  Channel<Msg> ch(sim);
+  std::vector<const Msg*> seen;
+  for (int r = 0; r < 3; ++r) {
+    ch.add_receiver(std::make_unique<NoLoss>(),
+                    std::make_unique<FixedDelay>(0.1),
+                    [&](const Msg& m) { seen.push_back(&m); });
+  }
+  ch.send(Msg{1}, 100);
+  sim.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[1], seen[2]);
+}
+
+TEST(Channel, DisabledReceiverSkippedEntirely) {
+  Simulator sim;
+  Channel<Msg> ch(sim);
+  int got = 0;
+  const std::size_t r =
+      ch.add_receiver(std::make_unique<PeriodicLoss>(1),  // would drop all
+                      std::make_unique<FixedDelay>(0.0),
+                      [&](const Msg&) { ++got; });
+  ch.set_receiver_enabled(r, false);
+  EXPECT_FALSE(ch.receiver_enabled(r));
+  for (int i = 0; i < 5; ++i) ch.send(Msg{i}, 100);
+  sim.run();
+  // No delivery, no loss draw, no per-receiver statistics.
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(ch.stats(r).delivered, 0u);
+  EXPECT_EQ(ch.stats(r).dropped, 0u);
+  ch.set_receiver_enabled(r, true);
+  ch.send(Msg{9}, 100);
+  sim.run();
+  EXPECT_EQ(ch.stats(r).dropped, 1u);  // loss process resumes where it was
+}
+
+TEST(Channel, AddReceiverMidFlightKeepsInFlightDeliveries) {
+  // A late joiner must not invalidate deliveries already scheduled toward
+  // existing receivers (regression: endpoint storage reallocation used to
+  // dangle the in-flight handler references).
+  Simulator sim;
+  Channel<Msg> ch(sim);
+  int got_old = 0, got_new = 0;
+  ch.add_receiver(std::make_unique<NoLoss>(),
+                  std::make_unique<FixedDelay>(1.0),
+                  [&](const Msg&) { ++got_old; });
+  sim.at(0.0, [&] { ch.send(Msg{1}, 100); });  // in flight until t=1
+  sim.at(0.5, [&] {
+    for (int i = 0; i < 16; ++i) {  // force endpoint storage growth
+      ch.add_receiver(std::make_unique<NoLoss>(),
+                      std::make_unique<FixedDelay>(0.1),
+                      [&](const Msg&) { ++got_new; });
+    }
+  });
+  sim.at(2.0, [&] { ch.send(Msg{2}, 100); });
+  sim.run();
+  EXPECT_EQ(got_old, 2);
+  EXPECT_EQ(got_new, 16);
 }
 
 // --------------------------------------------------------------------- link

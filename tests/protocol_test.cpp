@@ -253,6 +253,75 @@ TEST(TwoQueueSender, SetHotShareReweights) {
   EXPECT_DOUBLE_EQ(f.sender->config().hot_share, 0.9);
 }
 
+// ------------------------------------------------------------ pause / crash
+
+TEST(TwoQueueSender, PauseMidServiceLosesInFlightPacket) {
+  TwoQueueFixture f;
+  f.pub.insert({}, 1000);  // 1 s per transmission
+  f.sim.at(2.5, [&] { f.sender->pause(); });  // third tx in flight (ends 3)
+  f.sim.run_until(10.0);
+  // t=1 and t=2 went out; the in-service packet died with the sender and
+  // every timer is quiesced — nothing more transmits while paused.
+  EXPECT_EQ(f.sent.size(), 2u);
+  EXPECT_TRUE(f.sender->paused());
+}
+
+TEST(TwoQueueSender, ResumeRestartsServiceWithoutStaleCompletion) {
+  TwoQueueFixture f;
+  f.pub.insert({}, 1000);
+  f.sim.at(2.5, [&] { f.sender->pause(); });
+  f.sim.at(10.0, [&] { f.sender->resume(); });
+  f.sim.run_until(12.5);
+  // No completion fires at the pre-crash finish time (t=3); service restarts
+  // from scratch at resume, so the next announcements land at 11 and 12 —
+  // and the in-service record re-entered the cycle rather than vanishing.
+  ASSERT_EQ(f.sent.size(), 4u);
+  EXPECT_DOUBLE_EQ(f.sent[2].sent_at, 11.0);
+  EXPECT_DOUBLE_EQ(f.sent[3].sent_at, 12.0);
+}
+
+TEST(TwoQueueSender, PausedSenderIgnoresNacks) {
+  TwoQueueFixture f;
+  f.pub.insert({}, 1000);
+  f.sim.run_until(1.5);  // hot tx done, record cold
+  f.sender->pause();
+  NackMsg nack;
+  nack.missing_seqs = {f.sent[0].seq};
+  f.sender->handle_nack(nack);  // a crashed sender hears nothing
+  EXPECT_EQ(f.sender->stats().nacks_received, 0u);
+  f.sender->resume();
+  f.sim.run_until(10.0);
+  EXPECT_EQ(f.sender->stats().repair_tx, 0u);
+}
+
+TEST(TwoQueueSender, PauseIdleAndDoubleResumeAreSafe) {
+  TwoQueueFixture f;
+  f.sender->pause();
+  f.sender->pause();  // idempotent
+  f.pub.insert({}, 1000);
+  f.sim.run_until(5.0);
+  EXPECT_TRUE(f.sent.empty());  // inserts while down queue but don't send
+  f.sender->resume();
+  f.sender->resume();  // idempotent
+  f.sim.run_until(6.5);
+  EXPECT_EQ(f.sent.size(), 1u);
+}
+
+TEST(OpenLoopSender, PauseQuiescesAndResumeContinuesCycle) {
+  OpenLoopFixture f;
+  const Key a = f.pub.insert({}, 1000);
+  const Key b = f.pub.insert({}, 1000);
+  f.sim.at(1.5, [&] { f.sender.pause(); });  // b's announcement in flight
+  f.sim.run_until(10.0);
+  ASSERT_EQ(f.sent.size(), 1u);  // only a at t=1
+  f.sender.resume();
+  f.sim.run_until(12.5);
+  // b was restored to the cycle head: it announces first after the restart.
+  ASSERT_EQ(f.sent.size(), 3u);
+  EXPECT_EQ(f.sent[1].key, b);
+  EXPECT_EQ(f.sent[2].key, a);
+}
+
 // ------------------------------------------------------------ receiver agent
 
 struct ReceiverFixture {

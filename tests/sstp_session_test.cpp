@@ -367,6 +367,97 @@ TEST(SstpSession, GarbageAndMisroutedPacketsAreDropped) {
   EXPECT_DOUBLE_EQ(session.instantaneous_consistency(), 1.0);
 }
 
+// -------------------------------------------------- membership & fault API
+
+TEST(SstpSession, LateJoinerConvergesByListening) {
+  sim::Simulator sim;
+  auto cfg = fast_config();
+  cfg.loss_rate = 0.2;
+  cfg.seed = 11;
+  Session session(sim, cfg);
+  for (int i = 0; i < 8; ++i) {
+    session.sender().publish(Path::parse("/j/" + std::to_string(i)),
+                             blob(500, static_cast<std::uint8_t>(i)));
+  }
+  sim.run_until(100.0);
+  ASSERT_DOUBLE_EQ(session.instantaneous_consistency(), 1.0);
+
+  const std::size_t r = session.add_receiver();
+  EXPECT_EQ(r, 1u);
+  EXPECT_TRUE(session.receiver_active(r));
+  EXPECT_LT(session.receiver_consistency(r), 1.0);  // empty tree, 8 ADUs live
+  EXPECT_LT(session.catch_up_latency(r), 0.0);      // still converging
+  sim.run_until(300.0);
+  // The joiner converged through summaries + recursive descent alone.
+  EXPECT_EQ(session.receiver(r).tree().leaf_count(), 8u);
+  EXPECT_DOUBLE_EQ(session.receiver_consistency(r), 1.0);
+  EXPECT_GE(session.catch_up_latency(r), 0.0);
+}
+
+TEST(SstpSession, DetachedReceiverExcludedFromConsistency) {
+  sim::Simulator sim;
+  auto cfg = fast_config();
+  cfg.num_receivers = 2;
+  Session session(sim, cfg);
+  session.sender().publish(Path::parse("/d"), blob(200, 1));
+  sim.run_until(20.0);
+  ASSERT_DOUBLE_EQ(session.instantaneous_consistency(), 1.0);
+
+  session.detach_receiver(1);
+  EXPECT_FALSE(session.receiver_active(1));
+  // New data converges on the remaining receiver; the departed one neither
+  // receives nor drags the average down.
+  session.sender().publish(Path::parse("/d2"), blob(200, 2));
+  sim.run_until(60.0);
+  EXPECT_DOUBLE_EQ(session.instantaneous_consistency(), 1.0);
+  EXPECT_EQ(session.receiver(0).tree().leaf_count(), 2u);
+  // The departed receiver stopped listening: it keeps what it had but never
+  // sees the new ADU.
+  EXPECT_EQ(session.receiver(1).tree().leaf_count(), 1u);
+}
+
+TEST(SstpSession, CrashSenderApiPausesAndRestartRecovers) {
+  sim::Simulator sim;
+  auto cfg = fast_config();
+  cfg.loss_rate = 0.1;
+  cfg.receiver.session_ttl = 15.0;
+  Session session(sim, cfg);
+  for (int i = 0; i < 4; ++i) {
+    session.sender().publish(Path::parse("/c/" + std::to_string(i)),
+                             blob(300, static_cast<std::uint8_t>(i)));
+  }
+  sim.run_until(30.0);
+  ASSERT_DOUBLE_EQ(session.instantaneous_consistency(), 1.0);
+
+  session.crash_sender();
+  EXPECT_TRUE(session.sender_crashed());
+  sim.run_until(60.0);  // past session_ttl: receiver state evaporates
+  EXPECT_LT(session.instantaneous_consistency(), 1.0);
+
+  session.restart_sender();
+  EXPECT_FALSE(session.sender_crashed());
+  sim.run_until(180.0);
+  EXPECT_DOUBLE_EQ(session.instantaneous_consistency(), 1.0);
+}
+
+TEST(SstpSession, PartitionHealsThroughNormalOperation) {
+  sim::Simulator sim;
+  auto cfg = fast_config();
+  Session session(sim, cfg);
+  session.sender().publish(Path::parse("/p"), blob(200, 1));
+  sim.run_until(20.0);
+  ASSERT_DOUBLE_EQ(session.instantaneous_consistency(), 1.0);
+
+  session.set_partition(0, true);
+  session.sender().publish(Path::parse("/p2"), blob(200, 2));
+  sim.run_until(60.0);
+  EXPECT_LT(session.instantaneous_consistency(), 1.0);  // missed while down
+
+  session.set_partition(0, false);
+  sim.run_until(160.0);
+  EXPECT_DOUBLE_EQ(session.instantaneous_consistency(), 1.0);
+}
+
 TEST(SstpSession, DigestAlgoInteropMd5) {
   // Same protocol run under real MD5 digests.
   sim::Simulator sim;

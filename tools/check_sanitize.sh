@@ -1,0 +1,21 @@
+#!/bin/sh
+# Builds the tree with ASan + UBSan and runs the tier-1 test suite under the
+# instrumented runtime. Any sanitizer report fails the corresponding test
+# (halt_on_error) and therefore the script.
+#
+# Usage: tools/check_sanitize.sh [build-dir]   (default: build-asan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DSST_SANITIZE=address;undefined"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "sanitize check passed: $build_dir"

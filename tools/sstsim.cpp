@@ -16,6 +16,8 @@
 
 #include "arq/experiment.hpp"
 #include "core/experiment.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "flags.hpp"
 
 namespace {
@@ -46,6 +48,15 @@ bandwidth & network:
   --multicast-fb          shared feedback group with slotting/damping
   --slot=0.5              NACK slot max (with --multicast-fb)
   --outage=START:END[,START:END...]   total outage windows (seconds)
+
+fault injection (soft-state variants):
+  --faults=SCRIPT         scripted fault timeline; ';'-separated events of
+                          the form kind[:arg]@start[+duration], e.g.
+                          --faults='crash@900+120;partition:0@600+60;
+                          leave:1@400;join@1200;burst:0.5@1500+30;
+                          bw:0.25@300+100'. Prints per-fault recovery time,
+                          consistency deficit, and repair overhead.
+  --recovery-threshold=0.9   consistency level that counts as recovered
 
 run control:
   --duration=2000 --warmup=200 --seed=1
@@ -177,9 +188,30 @@ int main(int argc, char** argv) {
   if (sched == "wfq") cfg.scheduler = core::SchedulerKind::kWfq;
   if (sched == "drr") cfg.scheduler = core::SchedulerKind::kDrr;
   if (sched == "hier") cfg.scheduler = core::SchedulerKind::kHierarchical;
+
+  const std::string faults_script = flags.str("faults", "");
+  fault::InjectorConfig inj_cfg;
+  inj_cfg.threshold = flags.num("recovery-threshold", 0.9);
   flags.reject_unknown();
 
-  const auto r = core::run_experiment(cfg);
+  core::ExperimentResult r;
+  std::vector<stats::RecoveryRecord> recoveries;
+  std::vector<double> join_catch_up;
+  if (!faults_script.empty()) {
+    fault::FaultPlan plan;
+    try {
+      plan = fault::FaultPlan::parse(faults_script);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "--faults: %s\n", e.what());
+      return 2;
+    }
+    const auto run = fault::run_experiment_with_faults(cfg, plan, inj_cfg);
+    r = run.base;
+    recoveries = run.recoveries;
+    join_catch_up = run.join_catch_up;
+  } else {
+    r = core::run_experiment(cfg);
+  }
   std::printf("variant            %s\n", variant.c_str());
   std::printf("avg_consistency    %.4f\n", r.avg_consistency);
   std::printf("mean_latency_s     %.3f (p50 %.3f, p95 %.3f)\n",
@@ -200,6 +232,27 @@ int main(int argc, char** argv) {
   std::printf("workload           %llu inserts, %llu updates, live %zu\n",
               static_cast<unsigned long long>(r.inserts),
               static_cast<unsigned long long>(r.updates), r.final_live);
+  if (!recoveries.empty()) {
+    std::printf("\n  fault            injected  cleared  recovery_s  deficit  "
+                "repair_pkts\n");
+    for (const auto& rec : recoveries) {
+      std::printf("  %-16s %8.1f %8.1f  ", rec.label.c_str(),
+                  rec.injected_at, rec.cleared_at);
+      if (rec.recovered()) {
+        std::printf("%10.2f", rec.recovery_time());
+      } else {
+        std::printf("%10s", "never");
+      }
+      std::printf("  %7.2f  %11.0f\n", rec.deficit, rec.repair_overhead);
+    }
+    for (std::size_t i = 0; i < join_catch_up.size(); ++i) {
+      if (join_catch_up[i] >= 0) {
+        std::printf("  join %zu catch-up  %.2f s\n", i, join_catch_up[i]);
+      } else {
+        std::printf("  join %zu catch-up  never\n", i);
+      }
+    }
+  }
   print_timeline(r.timeline);
   return 0;
 }
