@@ -7,10 +7,16 @@
 //      damping) — the additions that keep feedback from flooding hot.
 //   D. Workload death model (per-transmission vs exponential vs Pareto
 //      lifetimes at matched rates).
+//
+// Cells are means over N Monte-Carlo replications; the JSON carries the
+// 95% CIs — "agree within noise" is now a statement about overlapping
+// confidence intervals, not about two anecdotes.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "runner/adapters.hpp"
 #include "stats/series.hpp"
 
 namespace {
@@ -34,22 +40,36 @@ ExperimentConfig base() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto opt = bench::mc_options(argc, argv, "ablation");
   bench::banner("Ablations", "common point: lambda=15 kbps, mu_data=45 kbps, "
                 "loss=25%, exp lifetimes 120 s, two-queue",
                 "see each sub-table");
 
+  std::vector<runner::SweepPoint> points;
+  const auto replicated = [&](const ExperimentConfig& cfg,
+                              const std::string& ablation,
+                              const std::string& arm) {
+    const auto agg = runner::run_replicated(cfg, opt.runner);
+    runner::Json params = runner::Json::object();
+    params.set("ablation", runner::Json::string(ablation));
+    params.set("arm", runner::Json::string(arm));
+    points.push_back({std::move(params), agg});
+    return agg;
+  };
+
   {
     stats::ResultTable t({"scheduler", "consistency", "mean T_recv"});
     int idx = 0;
+    const char* names[] = {"stride", "lottery", "wfq", "drr", "hierarchical"};
     for (const auto kind :
          {SchedulerKind::kStride, SchedulerKind::kLottery, SchedulerKind::kWfq,
           SchedulerKind::kDrr, SchedulerKind::kHierarchical}) {
       auto cfg = base();
       cfg.scheduler = kind;
-      const auto r = run_experiment(cfg);
-      t.add_row({static_cast<double>(idx++), r.avg_consistency,
-                 r.mean_latency});
+      const auto agg = replicated(cfg, "scheduler", names[idx]);
+      t.add_row({static_cast<double>(idx++), agg.mean("avg_consistency"),
+                 agg.mean("mean_latency_s")});
     }
     t.print(stdout,
             "A. Scheduler discipline (0=stride 1=lottery 2=WFQ 3=DRR "
@@ -60,14 +80,19 @@ int main() {
     stats::ResultTable t({"mean loss", "bernoulli", "GE burst=4",
                           "GE burst=16"});
     for (const double loss : {0.1, 0.25, 0.4}) {
+      const std::string tag = std::to_string(loss);
       auto cfg = base();
       cfg.loss_rate = loss;
-      const double b = run_experiment(cfg).avg_consistency;
+      const double b =
+          replicated(cfg, "loss_pattern", "bernoulli_" + tag)
+              .mean("avg_consistency");
       cfg.bursty_loss = true;
       cfg.mean_burst_len = 4.0;
-      const double g4 = run_experiment(cfg).avg_consistency;
+      const double g4 = replicated(cfg, "loss_pattern", "ge4_" + tag)
+                            .mean("avg_consistency");
       cfg.mean_burst_len = 16.0;
-      const double g16 = run_experiment(cfg).avg_consistency;
+      const double g16 = replicated(cfg, "loss_pattern", "ge16_" + tag)
+                             .mean("avg_consistency");
       t.add_row({loss, b, g4, g16});
     }
     t.print(stdout, "B. Loss pattern at equal mean — rows should be flat "
@@ -77,6 +102,7 @@ int main() {
   {
     stats::ResultTable t({"loss", "feedback naive", "with suppression"});
     for (const double loss : {0.2, 0.4}) {
+      const std::string tag = std::to_string(loss);
       auto cfg = base();
       cfg.variant = Variant::kFeedback;
       cfg.mu_data = sim::kbps(42);
@@ -87,8 +113,10 @@ int main() {
       ExperimentConfig naive = cfg;
       naive.receiver.retry_timeout = 0.5;
       naive.receiver.max_retries = 10;
-      const double n = run_experiment(naive).avg_consistency;
-      const double s = run_experiment(cfg).avg_consistency;
+      const double n = replicated(naive, "nack_pacing", "naive_" + tag)
+                           .mean("avg_consistency");
+      const double s = replicated(cfg, "nack_pacing", "paced_" + tag)
+                           .mean("avg_consistency");
       t.add_row({loss, n, s});
     }
     t.print(stdout, "C. NACK pacing — aggressive retries must not beat "
@@ -98,8 +126,11 @@ int main() {
   {
     stats::ResultTable t({"loss", "per-tx death", "exponential", "pareto",
                           "fixed"});
+    const char* modes[] = {"per_tx", "exponential", "pareto", "fixed"};
     for (const double loss : {0.1, 0.25}) {
+      const std::string tag = std::to_string(loss);
       std::vector<double> row{loss};
+      int m = 0;
       for (const auto mode :
            {DeathMode::kPerTransmission, DeathMode::kExponentialLifetime,
             DeathMode::kParetoLifetime, DeathMode::kFixedLifetime}) {
@@ -107,7 +138,9 @@ int main() {
         cfg.loss_rate = loss;
         cfg.workload.death_mode = mode;
         cfg.workload.p_death = 0.15;  // per-tx mode only
-        row.push_back(run_experiment(cfg).avg_consistency);
+        row.push_back(
+            replicated(cfg, "death_model", std::string(modes[m++]) + "_" + tag)
+                .mean("avg_consistency"));
       }
       t.add_row(row);
     }
@@ -115,5 +148,7 @@ int main() {
                     "other; per-transmission death (short-lived records) "
                     "sits lower");
   }
+
+  bench::emit_mc(opt, points);
   return 0;
 }

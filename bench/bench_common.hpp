@@ -5,11 +5,20 @@
 // fixed parameters, the result table (same rows/series the paper reports),
 // and a short "expected shape" note quoting the paper's claim so the output
 // is self-checking by eye. EXPERIMENTS.md records paper-vs-measured.
+//
+// Simulation-backed benches additionally run every sweep point as N
+// parallel Monte-Carlo replications through sst::runner and emit one
+// canonical JSON document (schema sst-mc-v1, see runner/runner.hpp) — to
+// BENCH_<experiment>.json and to stdout between BEGIN-JSON / END-JSON
+// markers. Common flags: --reps=N --jobs=K --seed=S --out=PATH.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "flags.hpp"
+#include "runner/runner.hpp"
 #include "stats/series.hpp"
 
 namespace sst::bench {
@@ -21,6 +30,58 @@ inline void banner(const std::string& title, const std::string& params,
   std::printf("Parameters: %s\n", params.c_str());
   std::printf("Paper's claim: %s\n", paper_claim.c_str());
   std::printf("==============================================================================\n");
+}
+
+/// Monte-Carlo options shared by every replicated bench.
+struct McOptions {
+  runner::Options runner;
+  std::string experiment;  // canonical name, e.g. "fig5_two_queue"
+  std::string out;         // JSON path; default BENCH_<experiment>.json
+};
+
+/// Parses the common bench flags. `default_reps` balances statistical power
+/// against bench runtime and can always be raised with --reps.
+inline McOptions mc_options(int argc, char** argv,
+                            const std::string& experiment,
+                            std::size_t default_reps = 8,
+                            std::size_t default_jobs = 0) {
+  const auto flags = tools::Flags::parse(argc, argv);
+  McOptions opt;
+  opt.experiment = experiment;
+  opt.runner.replications = static_cast<std::size_t>(
+      flags.num("reps", static_cast<double>(default_reps)));
+  opt.runner.jobs = static_cast<std::size_t>(
+      flags.num("jobs", static_cast<double>(default_jobs)));
+  opt.runner.master_seed =
+      static_cast<std::uint64_t>(flags.num("seed", 1));
+  opt.out = flags.str("out", "BENCH_" + experiment + ".json");
+  flags.reject_unknown();
+  return opt;
+}
+
+/// Serializes the canonical document for this bench's sweep, writes it to
+/// opt.out (unless --out=-), and echoes it to stdout between markers.
+inline void emit_mc(const McOptions& opt,
+                    const std::vector<runner::SweepPoint>& points) {
+  const runner::Json doc =
+      runner::mc_document(opt.experiment, opt.runner, points);
+  if (opt.out != "-") {
+    if (runner::write_json_file(opt.out, doc)) {
+      std::printf("\nwrote %s (%zu points x %zu replications)\n",
+                  opt.out.c_str(), points.size(), opt.runner.replications);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.out.c_str());
+    }
+  }
+  std::printf("\nBEGIN-JSON\n%sEND-JSON\n", doc.dump(2).c_str());
+}
+
+/// Formats "mean ±ci95" the way the result tables report aggregated cells.
+inline std::string pm(const runner::Aggregate& agg, const char* metric) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f ±%.4f", agg.mean(metric),
+                agg.ci95(metric));
+  return buf;
 }
 
 }  // namespace sst::bench

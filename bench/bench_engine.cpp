@@ -1,0 +1,250 @@
+// Event-engine microbenchmark: the hot paths every simulation second is
+// made of, measured as Monte-Carlo replications with confidence intervals.
+//
+// Scenarios:
+//   queue_random        schedule N events at random times, pop all
+//   queue_fifo          schedule N events at monotone times, pop all
+//   queue_cancel_churn  timer-refresh pattern: schedule, cancel ~50%,
+//                       re-schedule — exercises tombstone compaction
+//   timer_refresh       Timer::arm re-arm storm through the Simulator
+//   channel_fanout      32-receiver Channel sends, shared-payload pooling
+//   experiment_e2e      a full feedback experiment; events/sec end-to-end
+//
+// Each replication re-times the scenario with a fresh seed; the runner
+// reports mean ± 95% CI. The JSON document (BENCH_engine.json) is the
+// perf baseline this repo tracks across PRs. Timing numbers are hardware
+// facts, not simulation outputs — this is the one bench whose JSON is NOT
+// expected to be byte-stable across machines or runs.
+//
+// Flags: --reps=N --jobs=K (timing fidelity wants jobs=1, the default)
+//        --seed=S --out=PATH --n=EVENTS
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "net/channel.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "runner/adapters.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace {
+
+using namespace sst;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Keep the optimizer from deleting the measured work.
+std::uint64_t g_sink_storage = 0;
+// Deprecated-free volatile sink: writes through a volatile ref defeat the
+// optimizer without the C++20-deprecated volatile compound ops.
+inline void sink(std::uint64_t v) {
+  volatile std::uint64_t* p = &g_sink_storage;
+  *p = *p + v;
+}
+
+runner::MetricRow ops_metrics(double elapsed_s, double ops) {
+  return runner::MetricRow{
+      {"ns_per_op", elapsed_s / ops * 1e9},
+      {"ops_per_s", ops / elapsed_s},
+  };
+}
+
+runner::MetricRow queue_schedule_pop(std::uint64_t seed, std::size_t n,
+                                     bool fifo) {
+  sim::Rng rng(seed);
+  std::vector<double> times(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    times[i] = fifo ? static_cast<double>(i) : rng.uniform(0.0, 1e6);
+  }
+  sim::EventQueue q;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    q.schedule(times[i], [] { sink(1); });
+  }
+  while (auto f = q.pop()) f->fn();
+  const double elapsed = seconds_since(t0);
+  return ops_metrics(elapsed, 2.0 * static_cast<double>(n));
+}
+
+runner::MetricRow queue_cancel_churn(std::uint64_t seed, std::size_t n) {
+  // The announce/listen pattern at scale: most scheduled events never fire
+  // because a refresh cancels and replaces them. Keeps a rolling window of
+  // pending timers, cancelling a random one for every new schedule.
+  sim::Rng rng(seed);
+  sim::EventQueue q;
+  std::vector<sim::EventId> pending;
+  pending.reserve(1024);
+  const auto t0 = std::chrono::steady_clock::now();
+  double now = 0.0;
+  std::size_t ops = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    now += 0.001;
+    pending.push_back(q.schedule(now + rng.uniform(0.0, 100.0),
+                                 [] { sink(1); }));
+    ++ops;
+    if (pending.size() > 512) {
+      const std::size_t victim = rng.uniform_int(pending.size());
+      q.cancel(pending[victim]);
+      pending[victim] = pending.back();
+      pending.pop_back();
+      ++ops;
+    }
+    if (q.size() > 256) {
+      if (auto f = q.pop()) f->fn();
+      ++ops;
+    }
+  }
+  while (auto f = q.pop()) f->fn();
+  const double elapsed = seconds_since(t0);
+  return ops_metrics(elapsed, static_cast<double>(ops));
+}
+
+runner::MetricRow timer_refresh(std::uint64_t seed, std::size_t n) {
+  // Receiver-side soft state: every announcement refresh re-arms an expiry
+  // timer. 64 timers, n total re-arms, driven through the Simulator.
+  sim::Rng rng(seed);
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<sim::Timer>> timers;
+  for (int i = 0; i < 64; ++i) timers.push_back(std::make_unique<sim::Timer>(sim));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& t = *timers[rng.uniform_int(timers.size())];
+    t.arm(10.0 + rng.uniform(), [] { sink(1); });
+    if (i % 16 == 0) sim.run_until(sim.now() + 0.01);
+  }
+  sim.run();
+  const double elapsed = seconds_since(t0);
+  return ops_metrics(elapsed, static_cast<double>(n));
+}
+
+runner::MetricRow channel_fanout(std::uint64_t seed, std::size_t sends) {
+  // 32-receiver multicast channel: per-send loss draws, delay draws, and one
+  // pooled payload shared by all in-flight deliveries.
+  sim::Rng rng(seed);
+  sim::Simulator sim;
+  net::Channel<core::DataMsg> channel(sim);
+  std::uint64_t delivered = 0;
+  for (int r = 0; r < 32; ++r) {
+    channel.add_receiver(
+        std::make_unique<net::BernoulliLoss>(0.1, rng.fork("loss", r)),
+        std::make_unique<net::FixedDelay>(0.01),
+        [&delivered](const core::DataMsg&) { ++delivered; });
+  }
+  core::DataMsg msg{};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < sends; ++i) {
+    channel.send(msg, 1000);
+    if (i % 64 == 0) sim.run_until(sim.now() + 0.02);
+  }
+  sim.run();
+  const double elapsed = seconds_since(t0);
+  sink(delivered);
+  // One "op" = one per-receiver delivery attempt.
+  return ops_metrics(elapsed, static_cast<double>(sends) * 32.0);
+}
+
+runner::MetricRow experiment_e2e(std::uint64_t seed) {
+  core::ExperimentConfig cfg;
+  cfg.variant = core::Variant::kFeedback;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.mu_data = sim::kbps(45);
+  cfg.mu_fb = sim::kbps(10);
+  cfg.loss_rate = 0.2;
+  cfg.num_receivers = 4;
+  cfg.duration = 500.0;
+  cfg.warmup = 50.0;
+  cfg.seed = seed;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  core::Experiment exp(cfg);
+  exp.run_warmup();
+  const auto result = exp.finish();
+  const double elapsed = seconds_since(t0);
+  const double events = static_cast<double>(exp.simulator().fired());
+  return runner::MetricRow{
+      {"events_per_s", events / elapsed},
+      {"wall_ms", elapsed * 1e3},
+      {"events", events},
+      {"avg_consistency", result.avg_consistency},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::mc_options(argc, argv, "engine", /*default_reps=*/16,
+                               /*default_jobs=*/1);
+  bench::banner(
+      "Event-engine microbenchmark (sim::EventQueue, sim::Timer, "
+      "net::Channel, end-to-end experiment)",
+      "4-ary heap, slot-store handles, tombstone compaction, inline EventFn, "
+      "pooled channel payloads",
+      "perf baseline tracked across PRs in BENCH_engine.json — not a paper "
+      "artifact");
+
+  const std::size_t n = 200000;
+  std::vector<runner::SweepPoint> points;
+  stats::ResultTable table({"scenario", "ns/op mean", "ns/op ci95"});
+  int scenario_idx = 0;
+
+  const auto run_scenario =
+      [&](const char* name,
+          const std::function<runner::MetricRow(std::uint64_t)>& body) {
+        const auto agg = runner::run_replications(
+            [&body](std::size_t, std::uint64_t seed) { return body(seed); },
+            opt.runner);
+        runner::Json params = runner::Json::object();
+        params.set("scenario", runner::Json::string(name));
+        params.set("n", runner::Json::integer(n));
+        points.push_back({std::move(params), agg});
+        table.add_row({static_cast<double>(scenario_idx++),
+                       agg.mean("ns_per_op"), agg.ci95("ns_per_op")});
+        std::printf("  %-20s %10.1f ns/op (±%.1f), %.2f Mops/s\n", name,
+                    agg.mean("ns_per_op"), agg.ci95("ns_per_op"),
+                    agg.mean("ops_per_s") / 1e6);
+      };
+
+  std::printf("\nreplications=%zu jobs=%zu n=%zu\n", opt.runner.replications,
+              opt.runner.jobs ? opt.runner.jobs : 1, n);
+  run_scenario("queue_random", [&](std::uint64_t s) {
+    return queue_schedule_pop(s, n, false);
+  });
+  run_scenario("queue_fifo", [&](std::uint64_t s) {
+    return queue_schedule_pop(s, n, true);
+  });
+  run_scenario("queue_cancel_churn",
+               [&](std::uint64_t s) { return queue_cancel_churn(s, n); });
+  run_scenario("timer_refresh",
+               [&](std::uint64_t s) { return timer_refresh(s, n); });
+  run_scenario("channel_fanout", [&](std::uint64_t s) {
+    return channel_fanout(s, n / 32);
+  });
+
+  // End-to-end: a real experiment, reported as events/sec.
+  {
+    const auto agg = runner::run_replications(
+        [](std::size_t, std::uint64_t seed) { return experiment_e2e(seed); },
+        opt.runner);
+    runner::Json params = runner::Json::object();
+    params.set("scenario", runner::Json::string("experiment_e2e"));
+    points.push_back({std::move(params), agg});
+    std::printf("  %-20s %10.0f events/s (±%.0f), %.1f ms/run\n",
+                "experiment_e2e", agg.mean("events_per_s"),
+                agg.ci95("events_per_s"), agg.mean("wall_ms"));
+  }
+
+  bench::emit_mc(opt, points);
+  return 0;
+}

@@ -22,8 +22,11 @@
 //      run, with per-fault recovery records and the joiner's catch-up
 //      latency.
 //
-// Besides the tables, the bench emits one JSON document (between
-// BEGIN-JSON / END-JSON markers) with every number above, for plotting.
+// Every sweep point is N Monte-Carlo replications through sst::runner
+// (canonical sst-mc-v1 JSON, BENCH_fault_recovery.json); recovery times in
+// the tables are conditional means over the replications that recovered
+// (mean recovery_s_sum / mean faults_recovered). The per-fault narrative in
+// C is printed from replication 0, reproducible via its derived seed.
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -33,6 +36,7 @@
 #include "core/experiment.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "runner/adapters.hpp"
 #include "stats/series.hpp"
 
 namespace {
@@ -105,23 +109,17 @@ TimelineRecovery timeline_recovery(const Timeline& timeline, double fault_start,
   return out;  // never recovered within the run
 }
 
-/// Prints a double as a JSON number, with null for non-finite values
-/// ("never recovered" is +inf in RecoveryRecord terms).
-void json_num(double v) {
-  if (std::isfinite(v)) {
-    std::printf("%.4f", v);
-  } else {
-    std::printf("null");
-  }
-}
-
-double finite_or_neg(double v) {
-  return std::isfinite(v) ? v : -1.0;
+/// Conditional mean recovery time: total recovery seconds over the
+/// replications that recovered, divided by the number that did.
+double mean_recovery(const runner::Aggregate& agg) {
+  const double recovered = agg.mean("faults_recovered");
+  return recovered > 0.0 ? agg.mean("recovery_s_sum") / recovered : -1.0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto opt = bench::mc_options(argc, argv, "fault_recovery");
   bench::banner(
       "Fault recovery: crash duration & announcement bandwidth "
       "(soft vs hard state)",
@@ -132,16 +130,9 @@ int main() {
       "length; hard state must detect the failure, reset, and resync a "
       "snapshot");
 
-  // ------------------------------------------------- A. crash duration sweep
-  struct CrashRow {
-    double duration;
-    stats::RecoveryRecord soft;
-    TimelineRecovery hard;
-    double hard_resets;
-    double hard_snapshots;
-  };
-  std::vector<CrashRow> crash_rows;
+  std::vector<runner::SweepPoint> points;
 
+  // ------------------------------------------------- A. crash duration sweep
   stats::ResultTable sweep_a({"crash s", "soft rec s", "soft deficit",
                               "soft repair", "hard rec s", "hard deficit",
                               "hard resets"});
@@ -150,35 +141,49 @@ int main() {
     plan.crash(kCrashAt, d);
     fault::InjectorConfig inj;
     inj.threshold = kThreshold;
-    const auto soft = fault::run_experiment_with_faults(soft_config(), plan,
-                                                        inj);
+    const auto soft = runner::run_replicated(soft_config(), plan, inj,
+                                             opt.runner);
+    runner::Json sp = runner::Json::object();
+    sp.set("sweep", runner::Json::string("crash"));
+    sp.set("protocol", runner::Json::string("soft"));
+    sp.set("duration_s", runner::Json::number(d));
+    points.push_back({std::move(sp), soft});
 
     auto hard_cfg = hard_config();
     hard_cfg.outages = {{kCrashAt, kCrashAt + d}};
-    const auto hard = arq::run_hard_state(hard_cfg);
-    const auto hard_rec =
-        timeline_recovery(hard.timeline, kCrashAt, kCrashAt + d);
+    const auto hard = runner::run_replications(
+        [hard_cfg, d](std::size_t, std::uint64_t seed) {
+          auto cfg = hard_cfg;
+          cfg.seed = seed;
+          const auto r = arq::run_hard_state(cfg);
+          const auto rec =
+              timeline_recovery(r.timeline, kCrashAt, kCrashAt + d);
+          return runner::MetricRow{
+              {"faults_recovered", rec.recovery_s >= 0 ? 1.0 : 0.0},
+              {"recovery_s_sum", rec.recovery_s >= 0 ? rec.recovery_s : 0.0},
+              {"consistency_deficit_sum", rec.deficit},
+              {"connection_deaths", static_cast<double>(r.connection_deaths)},
+              {"snapshot_ops", static_cast<double>(r.snapshot_ops)},
+              {"avg_consistency", r.avg_consistency},
+          };
+        },
+        opt.runner);
+    runner::Json hp = runner::Json::object();
+    hp.set("sweep", runner::Json::string("crash"));
+    hp.set("protocol", runner::Json::string("hard"));
+    hp.set("duration_s", runner::Json::number(d));
+    points.push_back({std::move(hp), hard});
 
-    const auto& rec = soft.recoveries.front();
-    sweep_a.add_row({d, finite_or_neg(rec.recovery_time()), rec.deficit,
-                     rec.repair_overhead, hard_rec.recovery_s,
-                     hard_rec.deficit,
-                     static_cast<double>(hard.connection_deaths)});
-    crash_rows.push_back({d, rec, hard_rec,
-                          static_cast<double>(hard.connection_deaths),
-                          static_cast<double>(hard.snapshot_ops)});
+    sweep_a.add_row({d, mean_recovery(soft),
+                     soft.mean("consistency_deficit_sum"),
+                     soft.mean("repair_overhead_sum"), mean_recovery(hard),
+                     hard.mean("consistency_deficit_sum"),
+                     hard.mean("connection_deaths")});
   }
   sweep_a.print(stdout,
                 "A. Sender crash of duration D (negative recovery = never)");
 
   // ------------------------------------------- B. announcement-bandwidth sweep
-  struct BwRow {
-    double mu_kbps;
-    stats::RecoveryRecord rec;
-    double avg_consistency;
-  };
-  std::vector<BwRow> bw_rows;
-
   stats::ResultTable sweep_b(
       {"mu kbps", "recovery s", "deficit", "repair pkts", "avg c"});
   for (const double mu : {30.0, 45.0, 60.0, 90.0}) {
@@ -188,11 +193,15 @@ int main() {
     plan.crash(kCrashAt, 120.0);
     fault::InjectorConfig inj;
     inj.threshold = kThreshold;
-    const auto run = fault::run_experiment_with_faults(cfg, plan, inj);
-    const auto& rec = run.recoveries.front();
-    sweep_b.add_row({mu, finite_or_neg(rec.recovery_time()), rec.deficit,
-                     rec.repair_overhead, run.base.avg_consistency});
-    bw_rows.push_back({mu, rec, run.base.avg_consistency});
+    const auto agg = runner::run_replicated(cfg, plan, inj, opt.runner);
+    runner::Json params = runner::Json::object();
+    params.set("sweep", runner::Json::string("bandwidth"));
+    params.set("mu_kbps", runner::Json::number(mu));
+    points.push_back({std::move(params), agg});
+    sweep_b.add_row({mu, mean_recovery(agg),
+                     agg.mean("consistency_deficit_sum"),
+                     agg.mean("repair_overhead_sum"),
+                     agg.mean("avg_consistency")});
   }
   sweep_b.print(stdout,
                 "B. 120 s crash vs announcement bandwidth (soft state)");
@@ -205,11 +214,22 @@ int main() {
       .burst_loss(0.5, 1300.0, 30.0);
   fault::InjectorConfig inj;
   inj.threshold = kThreshold;
-  const auto combined =
-      fault::run_experiment_with_faults(soft_config(), script, inj);
+  const auto combined_agg =
+      runner::run_replicated(soft_config(), script, inj, opt.runner);
+  runner::Json cp = runner::Json::object();
+  cp.set("sweep", runner::Json::string("scripted"));
+  points.push_back({std::move(cp), combined_agg});
+
+  // Per-fault narrative from replication 0, reproducible in isolation via
+  // the derived seed.
+  auto rep0 = soft_config();
+  rep0.seed = runner::replication_seed(opt.runner.master_seed, 0);
+  const auto combined = fault::run_experiment_with_faults(rep0, script, inj);
 
   std::printf("\nC. Scripted plan: crash@400+60; partition:0@700+60; "
-              "join@1000; burst:0.5@1300+30\n");
+              "join@1000; burst:0.5@1300+30 (replication 0 of %zu; "
+              "aggregate in JSON)\n",
+              opt.runner.replications);
   std::printf("  %-14s %9s %9s %11s %9s %12s\n", "fault", "injected",
               "cleared", "recovery_s", "deficit", "repair_pkts");
   for (const auto& rec : combined.recoveries) {
@@ -231,55 +251,6 @@ int main() {
     }
   }
 
-  // ------------------------------------------------------------ JSON output
-  std::printf("\nBEGIN-JSON\n");
-  std::printf("{\"threshold\": %.2f,\n \"crash_sweep\": [", kThreshold);
-  for (std::size_t i = 0; i < crash_rows.size(); ++i) {
-    const auto& r = crash_rows[i];
-    std::printf("%s\n  {\"duration_s\": %.0f, \"soft\": {\"recovery_s\": ",
-                i ? "," : "", r.duration);
-    json_num(r.soft.recovery_time());
-    std::printf(", \"deficit\": %.4f, \"repair_pkts\": %.0f}, "
-                "\"hard\": {\"recovery_s\": ",
-                r.soft.deficit, r.soft.repair_overhead);
-    json_num(r.hard.recovery_s >= 0
-                 ? r.hard.recovery_s
-                 : std::numeric_limits<double>::infinity());
-    std::printf(", \"deficit\": %.4f, \"resets\": %.0f, "
-                "\"snapshot_ops\": %.0f}}",
-                r.hard.deficit, r.hard_resets, r.hard_snapshots);
-  }
-  std::printf("],\n \"bandwidth_sweep\": [");
-  for (std::size_t i = 0; i < bw_rows.size(); ++i) {
-    const auto& r = bw_rows[i];
-    std::printf("%s\n  {\"mu_kbps\": %.0f, \"recovery_s\": ", i ? "," : "",
-                r.mu_kbps);
-    json_num(r.rec.recovery_time());
-    std::printf(", \"deficit\": %.4f, \"repair_pkts\": %.0f, "
-                "\"avg_consistency\": %.4f}",
-                r.rec.deficit, r.rec.repair_overhead, r.avg_consistency);
-  }
-  std::printf("],\n \"scripted\": {\"faults\": [");
-  for (std::size_t i = 0; i < combined.recoveries.size(); ++i) {
-    const auto& rec = combined.recoveries[i];
-    std::printf("%s\n  {\"label\": \"%s\", \"injected_at\": %.1f, "
-                "\"cleared_at\": %.1f, \"recovery_s\": ",
-                i ? "," : "", rec.label.c_str(), rec.injected_at,
-                rec.cleared_at);
-    json_num(rec.recovery_time());
-    std::printf(", \"deficit\": %.4f, \"repair_pkts\": %.0f}", rec.deficit,
-                rec.repair_overhead);
-  }
-  std::printf("],\n  \"join_catch_up_s\": [");
-  for (std::size_t i = 0; i < combined.join_catch_up.size(); ++i) {
-    if (i) std::printf(", ");
-    json_num(combined.join_catch_up[i] >= 0
-                 ? combined.join_catch_up[i]
-                 : std::numeric_limits<double>::infinity());
-  }
-  std::printf("]}}\n");
-  std::printf("END-JSON\n");
-
   std::printf(
       "\nShape check: A — soft recovery time is roughly flat in D (the "
       "announce process resumes at full rate regardless of how long the "
@@ -287,5 +258,7 @@ int main() {
       "state burns a connection reset + snapshot resync per crash. B — "
       "soft recovery time falls as announcement bandwidth grows. C — every "
       "fault recovers; the late joiner converges by listening alone.\n");
+
+  bench::emit_mc(opt, points);
   return 0;
 }

@@ -4,15 +4,18 @@
 // exceeds mu_hot. When mu_hot is increased beyond lambda, the consistency
 // sharply rises to almost 100%. Increasing mu_hot beyond lambda does not
 // have a significant impact." Parameters: mu_data = 38 kbps, mu_fb = 7 kbps,
-// loss rate = 10%, lambda = 15 kbps.
+// loss rate = 10%, lambda = 15 kbps. Cells are means over N replications;
+// the JSON carries the 95% CIs.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "runner/adapters.hpp"
 #include "stats/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sst;
+  auto opt = bench::mc_options(argc, argv, "fig10_hot_knee");
   bench::banner(
       "Figure 10 — consistency vs mu_hot (feedback protocol)",
       "mu_data=38 kbps, mu_fb=7 kbps, lambda=15 kbps, loss=10%, "
@@ -20,6 +23,7 @@ int main() {
       "low consistency while mu_hot < lambda; sharp rise at the "
       "mu_hot = lambda knee; flat beyond");
 
+  std::vector<runner::SweepPoint> points;
   stats::ResultTable table({"mu_hot kbps", "hot share %", "consistency",
                             "mean T_recv s", "final hot backlog"});
 
@@ -35,12 +39,17 @@ int main() {
     cfg.loss_rate = 0.10;
     cfg.duration = 3000.0;
     cfg.warmup = 500.0;
-    const auto r = core::run_experiment(cfg);
-    table.add_row({38.0 * share, share * 100, r.avg_consistency,
-                   r.mean_latency, static_cast<double>(r.final_hot_depth)});
+    const auto agg = runner::run_replicated(cfg, opt.runner);
+    runner::Json params = runner::Json::object();
+    params.set("hot_share", runner::Json::number(share));
+    points.push_back({std::move(params), agg});
+    table.add_row({38.0 * share, share * 100, agg.mean("avg_consistency"),
+                   agg.mean("mean_latency_s"), agg.mean("final_hot_depth")});
   }
   table.print(stdout, "Consistency vs hot-queue bandwidth");
   std::printf("\nShape check: knee at mu_hot ≈ 15-18 kbps (hot share "
               "~40-47%%); hot backlog explodes below the knee.\n");
+
+  bench::emit_mc(opt, points);
   return 0;
 }

@@ -7,16 +7,19 @@
 //
 // We print the analytic curve E[c(t)] for several death rates and
 // cross-validate two of them against the discrete-event simulation (the sim
-// column uses the vacuous-empty convention; see DESIGN.md).
+// column uses the vacuous-empty convention; see DESIGN.md). Sim cells are
+// means over N replications; the JSON carries the 95% CIs.
 #include <cstdio>
 
 #include "analysis/jackson.hpp"
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "runner/adapters.hpp"
 #include "stats/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sst;
+  auto opt = bench::mc_options(argc, argv, "fig3_openloop_consistency");
   bench::banner(
       "Figure 3 — E[c(t)] vs loss rate for several death rates",
       "lambda=20 kbps, mu_ch=128 kbps, 1000-B announcements",
@@ -28,11 +31,13 @@ int main() {
   const double lambda = core::insert_rate_from_kbps(lambda_kbps, 1000);
   const double mu = sim::kbps(mu_kbps) / sim::bits(1000);
 
+  std::vector<runner::SweepPoint> points;
   stats::ResultTable table({"loss", "pd=0.10", "pd=0.15", "pd=0.25",
                             "pd=0.50", "modelv .15", "sim .15", "modelv .25",
                             "sim .25"});
 
-  for (double pc = 0.0; pc <= 1.0001; pc += 0.1) {
+  for (int pc10 = 0; pc10 <= 10; ++pc10) {
+    const double pc = pc10 / 10.0;
     std::vector<double> row{pc};
     for (const double pd : {0.10, 0.15, 0.25, 0.50}) {
       analysis::OpenLoopParams p;
@@ -61,7 +66,12 @@ int main() {
       cfg.loss_rate = pc;
       cfg.duration = 3000.0;
       cfg.warmup = 300.0;
-      row.push_back(core::run_experiment(cfg).avg_consistency);
+      const auto agg = runner::run_replicated(cfg, opt.runner);
+      runner::Json params = runner::Json::object();
+      params.set("loss", runner::Json::number(pc));
+      params.set("p_death", runner::Json::number(pd));
+      points.push_back({std::move(params), agg});
+      row.push_back(agg.mean("avg_consistency"));
     }
     table.add_row(row);
   }
@@ -72,5 +82,7 @@ int main() {
   std::printf("\nShape check: every column is non-increasing in loss; "
               "columns with higher pd sit lower; each modelv/sim pair "
               "agrees within a few points.\n");
+
+  bench::emit_mc(opt, points);
   return 0;
 }

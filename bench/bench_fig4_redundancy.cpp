@@ -2,26 +2,31 @@
 //
 // Paper: "At loss rates between 0-20% and an announcement death rate of 10%,
 // about 90% of the total available bandwidth is wasted" on retransmissions of
-// records the receiver already holds.
+// records the receiver already holds. Sim cells are means over N
+// replications; the JSON carries the 95% CIs.
 #include <cstdio>
 
 #include "analysis/jackson.hpp"
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "runner/adapters.hpp"
 #include "stats/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sst;
+  auto opt = bench::mc_options(argc, argv, "fig4_redundancy");
   bench::banner(
       "Figure 4 — fraction of bandwidth on redundant transmissions vs loss",
       "open loop, pd=0.10 (plus pd=0.25 series), lambda=20 kbps, "
       "mu_ch=128 kbps",
       "~90% of bandwidth is redundant at 0-20% loss with pd=0.10");
 
+  std::vector<runner::SweepPoint> points;
   stats::ResultTable table({"loss", "model pd=0.10", "sim pd=0.10",
                             "model pd=0.25", "sim pd=0.25"});
 
-  for (double pc = 0.0; pc <= 0.9001; pc += 0.1) {
+  for (int pc10 = 0; pc10 <= 9; ++pc10) {
+    const double pc = pc10 / 10.0;
     std::vector<double> row{pc};
     for (const double pd : {0.10, 0.25}) {
       row.push_back(analysis::redundant_fraction(pc, pd));
@@ -34,12 +39,19 @@ int main() {
       cfg.loss_rate = pc;
       cfg.duration = 3000.0;
       cfg.warmup = 300.0;
-      row.push_back(core::run_experiment(cfg).redundant_fraction);
+      const auto agg = runner::run_replicated(cfg, opt.runner);
+      runner::Json params = runner::Json::object();
+      params.set("loss", runner::Json::number(pc));
+      params.set("p_death", runner::Json::number(pd));
+      points.push_back({std::move(params), agg});
+      row.push_back(agg.mean("redundant_fraction"));
     }
     table.add_row(row);
   }
   table.print(stdout, "Redundant-transmission bandwidth fraction");
   std::printf("\nShape check: high and slowly decreasing in loss rate; "
               "lower death rate wastes more.\n");
+
+  bench::emit_mc(opt, points);
   return 0;
 }

@@ -5,41 +5,21 @@
 // feedback. At loss rates over 50%, allocating additional feedback bandwidth
 // reduces consistency." And: "adding feedback can improve consistency by 10%
 // to 50% for loss rates between 5% and 40%."
+//
+// Each (share, loss) grid point is N Monte-Carlo replications; cells are
+// means, the JSON carries the 95% CIs. The delta table reuses the grid.
+#include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "runner/adapters.hpp"
 #include "stats/series.hpp"
 
-namespace {
-
-double run(double loss, double fb_share, double total_kbps) {
+int main(int argc, char** argv) {
   using namespace sst;
-  core::ExperimentConfig cfg;
-  cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
-  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
-  cfg.workload.mean_lifetime = 120.0;
-  cfg.loss_rate = loss;
-  cfg.duration = 3000.0;
-  cfg.warmup = 500.0;
-  if (fb_share <= 0.0) {
-    // The paper's fb=0 point is plain open-loop announce/listen with the
-    // whole budget as data (Figure 8's legend).
-    cfg.variant = core::Variant::kOpenLoop;
-    cfg.mu_data = sim::kbps(total_kbps);
-  } else {
-    cfg.variant = core::Variant::kFeedback;
-    cfg.mu_fb = sim::kbps(total_kbps * fb_share);
-    cfg.mu_data = sim::kbps(total_kbps * (1.0 - fb_share));
-    cfg.hot_share = 0.85;
-  }
-  return core::run_experiment(cfg).avg_consistency;
-}
-
-}  // namespace
-
-int main() {
-  using namespace sst;
+  auto opt = bench::mc_options(argc, argv, "fig9_feedback_alloc");
   bench::banner(
       "Figure 9 — consistency vs feedback share of total bandwidth, per "
       "loss rate",
@@ -52,27 +32,63 @@ int main() {
   const std::vector<double> losses = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
   const std::vector<double> shares = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7};
 
+  std::vector<runner::SweepPoint> points;
+  std::map<std::pair<double, double>, double> grid;  // (share, loss) -> mean
+
+  auto run = [&](double loss, double fb_share) {
+    core::ExperimentConfig cfg;
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    cfg.workload.mean_lifetime = 120.0;
+    cfg.loss_rate = loss;
+    cfg.duration = 3000.0;
+    cfg.warmup = 500.0;
+    if (fb_share <= 0.0) {
+      // The paper's fb=0 point is plain open-loop announce/listen with the
+      // whole budget as data (Figure 8's legend).
+      cfg.variant = core::Variant::kOpenLoop;
+      cfg.mu_data = sim::kbps(total);
+    } else {
+      cfg.variant = core::Variant::kFeedback;
+      cfg.mu_fb = sim::kbps(total * fb_share);
+      cfg.mu_data = sim::kbps(total * (1.0 - fb_share));
+      cfg.hot_share = 0.85;
+    }
+    const auto agg = runner::run_replicated(cfg, opt.runner);
+    runner::Json params = runner::Json::object();
+    params.set("fb_share", runner::Json::number(fb_share));
+    params.set("loss", runner::Json::number(loss));
+    points.push_back({std::move(params), agg});
+    const double mean = agg.mean("avg_consistency");
+    grid[{fb_share, loss}] = mean;
+    return mean;
+  };
+
   stats::ResultTable table({"fb share %", "loss=5%", "loss=10%", "loss=20%",
                             "loss=30%", "loss=40%", "loss=50%"});
   for (const double share : shares) {
     std::vector<double> row{share * 100};
-    for (const double loss : losses) row.push_back(run(loss, share, total));
+    for (const double loss : losses) row.push_back(run(loss, share));
     table.add_row(row);
   }
-  table.print(stdout, "Average system consistency");
+  table.print(stdout, "Average system consistency (mean over " +
+                          std::to_string(opt.runner.replications) +
+                          " replications)");
 
   stats::ResultTable delta({"loss", "open loop (fb=0)", "best with feedback",
                             "improvement %"});
   for (const double loss : losses) {
-    const double base = run(loss, 0.0, total);
+    const double base = grid.at({0.0, loss});
     double best = base;
     for (const double share : {0.1, 0.2, 0.3, 0.4}) {
-      best = std::max(best, run(loss, share, total));
+      best = std::max(best, grid.at({share, loss}));
     }
     delta.add_row({loss, base, best, (best - base) * 100});
   }
   delta.print(stdout, "Section 5 headline: feedback improvement by loss rate");
   std::printf("\nShape check: per-loss rows peak at a moderate share and "
               "fall at 70%%; improvement grows with loss rate.\n");
+
+  bench::emit_mc(opt, points);
   return 0;
 }

@@ -14,11 +14,16 @@
 //      through normal protocol operation; hard state detects failure via
 //      consecutive RTOs, kills the connection, then must flush the replica
 //      and resynchronize a full snapshot (BGP-session-reset style).
+//
+// Every cell is a mean over N Monte-Carlo replications (sst::runner); the
+// JSON document carries the 95% CIs. Sweep B replicates the windowed c(t)
+// trajectories: each 100 s window is its own metric.
 #include <cstdio>
 
 #include "arq/experiment.hpp"
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "runner/adapters.hpp"
 #include "stats/series.hpp"
 
 namespace {
@@ -52,9 +57,20 @@ arq::HardStateConfig hard_config() {
   return cfg;
 }
 
+runner::MetricRow timeline_row(const std::vector<core::TimelinePoint>& tl) {
+  runner::MetricRow row;
+  for (const auto& pt : tl) {
+    char name[32];
+    std::snprintf(name, sizeof name, "c_w%05.0f", pt.time);
+    row.emplace_back(name, pt.consistency);
+  }
+  return row;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto opt = bench::mc_options(argc, argv, "hardstate");
   bench::banner(
       "Hard state (ARQ) vs soft state (feedback protocol)",
       "lambda=10 kbps, 45 kbps total budget each, exponential lifetimes "
@@ -63,22 +79,33 @@ int main() {
       "and needs explicit resync after partitions; soft state: constant "
       "refresh cost, graceful degradation, recovery by normal operation");
 
+  std::vector<runner::SweepPoint> points;
+
   // ------------------------------------------------------------- sweep A
   stats::ResultTable sweep({"loss %", "hard c", "soft c", "hard kbps",
                             "soft kbps", "hard deaths"});
   for (const double loss : {0.0, 0.02, 0.05, 0.1, 0.2}) {
     auto soft = soft_config();
     soft.loss_rate = loss;
-    const auto s = core::run_experiment(soft);
+    const auto s = runner::run_replicated(soft, opt.runner);
+    runner::Json sp = runner::Json::object();
+    sp.set("protocol", runner::Json::string("soft"));
+    sp.set("loss", runner::Json::number(loss));
+    points.push_back({std::move(sp), s});
 
     auto hard = hard_config();
     hard.loss_rate = loss;
-    const auto h = arq::run_hard_state(hard);
+    const auto h = runner::run_replicated(hard, opt.runner);
+    runner::Json hp = runner::Json::object();
+    hp.set("protocol", runner::Json::string("hard"));
+    hp.set("loss", runner::Json::number(loss));
+    points.push_back({std::move(hp), h});
 
-    sweep.add_row({loss * 100, h.avg_consistency, s.avg_consistency,
-                   h.offered_data_kbps + h.offered_ack_kbps,
-                   s.offered_data_kbps + s.offered_fb_kbps,
-                   static_cast<double>(h.connection_deaths)});
+    sweep.add_row({loss * 100, h.mean("avg_consistency"),
+                   s.mean("avg_consistency"),
+                   h.mean("offered_data_kbps") + h.mean("offered_ack_kbps"),
+                   s.mean("offered_data_kbps") + s.mean("offered_fb_kbps"),
+                   h.mean("connection_deaths")});
   }
   sweep.print(stdout, "A. Steady state vs loss rate (no failures)");
 
@@ -88,31 +115,64 @@ int main() {
   soft.loss_rate = 0.02;
   soft.outages = outages;
   soft.sample_interval = 100.0;
-  const auto s = core::run_experiment(soft);
+  const auto s = runner::run_replications(
+      [soft](std::size_t, std::uint64_t seed) {
+        auto cfg = soft;
+        cfg.seed = seed;
+        return timeline_row(core::run_experiment(cfg).timeline);
+      },
+      opt.runner);
+  runner::Json sp = runner::Json::object();
+  sp.set("protocol", runner::Json::string("soft"));
+  sp.set("scenario", runner::Json::string("partition_900_1020"));
+  points.push_back({std::move(sp), s});
 
   auto hard = hard_config();
   hard.loss_rate = 0.02;
   hard.outages = outages;
   hard.sample_interval = 100.0;
-  const auto h = arq::run_hard_state(hard);
+  const auto h = runner::run_replications(
+      [hard](std::size_t, std::uint64_t seed) {
+        auto cfg = hard;
+        cfg.seed = seed;
+        const auto r = arq::run_hard_state(cfg);
+        auto row = timeline_row(r.timeline);
+        row.emplace_back("avg_consistency", r.avg_consistency);
+        row.emplace_back("connection_deaths",
+                         static_cast<double>(r.connection_deaths));
+        row.emplace_back("snapshot_ops",
+                         static_cast<double>(r.snapshot_ops));
+        row.emplace_back("acks", static_cast<double>(r.acks));
+        return row;
+      },
+      opt.runner);
+  runner::Json hp = runner::Json::object();
+  hp.set("protocol", runner::Json::string("hard"));
+  hp.set("scenario", runner::Json::string("partition_900_1020"));
+  points.push_back({std::move(hp), h});
+
+  // Soft-side scalar metrics for the cost table come from a separate
+  // replicated run with the same outage (timeline metrics above only carry
+  // the windowed consistency).
+  const auto s_scalar = runner::run_replicated(soft, opt.runner);
 
   stats::ResultTable timeline({"time s", "soft c(t)", "hard c(t)"});
-  for (std::size_t i = 0; i < s.timeline.size() && i < h.timeline.size();
-       ++i) {
-    timeline.add_row({s.timeline[i].time, s.timeline[i].consistency,
-                      h.timeline[i].consistency});
+  const auto& sm = s.metrics();
+  const auto& hm = h.metrics();
+  for (std::size_t i = 0; i < sm.size() && i < hm.size(); ++i) {
+    if (hm[i].name.rfind("c_w", 0) != 0) break;
+    timeline.add_row({(static_cast<double>(i) + 1) * 100.0,
+                      sm[i].stats.mean(), hm[i].stats.mean()});
   }
   timeline.print(stdout,
                  "B. 120 s partition at t=900-1020 (2% background loss)");
 
   stats::ResultTable cost({"metric", "soft", "hard"});
-  cost.add_row({0, s.avg_consistency, h.avg_consistency});
-  cost.add_row({1, static_cast<double>(0),
-                static_cast<double>(h.connection_deaths)});
-  cost.add_row({2, static_cast<double>(0),
-                static_cast<double>(h.snapshot_ops)});
-  cost.add_row({3, static_cast<double>(s.nacks_sent),
-                static_cast<double>(h.acks)});
+  cost.add_row({0, s_scalar.mean("avg_consistency"),
+                h.mean("avg_consistency")});
+  cost.add_row({1, 0.0, h.mean("connection_deaths")});
+  cost.add_row({2, 0.0, h.mean("snapshot_ops")});
+  cost.add_row({3, s_scalar.mean("nacks_sent"), h.mean("acks")});
   cost.print(stdout,
              "B cont. — rows: 0=avg consistency, 1=connection resets, "
              "2=snapshot ops resent, 3=feedback packets (NACKs vs ACKs)");
@@ -122,5 +182,7 @@ int main() {
       "grows; hard bandwidth << soft bandwidth at low loss. B — both dip "
       "during the partition; hard state needs a reset + full snapshot to "
       "come back, soft state just resumes.\n");
+
+  bench::emit_mc(opt, points);
   return 0;
 }

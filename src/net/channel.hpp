@@ -72,7 +72,8 @@ class Channel {
   /// receiver. Each receiver independently loses or receives the message
   /// after its delay. All in-flight deliveries share ONE immutable copy of
   /// the message — per-receiver copies made multi-receiver sends O(R) in
-  /// payload size.
+  /// payload size — and the copy itself comes from a small recycled pool, so
+  /// steady-state sends allocate nothing.
   void send(const M& msg, sim::Bytes size) {
     ++stats_.sent;
     stats_.bytes_sent += size;
@@ -88,7 +89,7 @@ class Channel {
       ++ep->stats.delivered;
       ++stats_.delivered;
       const sim::Duration d = ep->delay->delay(sim_->now());
-      if (!payload) payload = std::make_shared<const M>(msg);
+      if (!payload) payload = acquire_payload(msg);
       // The endpoint owns its handler; the channel must outlive in-flight
       // messages (channels live for the whole experiment by construction).
       Handler& handler = ep->handler;
@@ -130,10 +131,36 @@ class Channel {
     bool enabled = true;
   };
 
+  /// Reuses a pooled payload whose in-flight deliveries have all completed
+  /// (the pool holds the only remaining reference); allocates a fresh slot
+  /// while the pool is below its cap, and falls back to a one-shot
+  /// allocation under exceptional depth (long-delay links with thousands of
+  /// messages in flight). Pure memory reuse: delivery contents and order are
+  /// unaffected.
+  std::shared_ptr<const M> acquire_payload(const M& msg) {
+    for (std::size_t probe = 0; probe < pool_.size(); ++probe) {
+      pool_cursor_ = (pool_cursor_ + 1) % pool_.size();
+      auto& slot = pool_[pool_cursor_];
+      if (slot.use_count() == 1) {
+        *slot = msg;
+        return std::const_pointer_cast<const M>(slot);
+      }
+    }
+    if (pool_.size() < kPayloadPoolCap) {
+      pool_.push_back(std::make_shared<M>(msg));
+      return std::const_pointer_cast<const M>(pool_.back());
+    }
+    return std::make_shared<const M>(msg);
+  }
+
+  static constexpr std::size_t kPayloadPoolCap = 64;
+
   sim::Simulator* sim_;
   sim::Tracer tracer_;
   std::vector<std::unique_ptr<Endpoint>> receivers_;
   ChannelStats stats_;
+  std::vector<std::shared_ptr<M>> pool_;
+  std::size_t pool_cursor_ = 0;
 };
 
 }  // namespace sst::net

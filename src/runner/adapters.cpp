@@ -1,0 +1,119 @@
+#include "runner/adapters.hpp"
+
+#include <cmath>
+
+namespace sst::runner {
+
+namespace {
+
+double u64_metric(std::uint64_t v) { return static_cast<double>(v); }
+
+}  // namespace
+
+MetricRow metrics_of(const core::ExperimentResult& r) {
+  return MetricRow{
+      {"avg_consistency", r.avg_consistency},
+      {"mean_latency_s", r.mean_latency},
+      {"p50_latency_s", r.p50_latency},
+      {"p95_latency_s", r.p95_latency},
+      {"data_tx", u64_metric(r.data_tx)},
+      {"hot_tx", u64_metric(r.hot_tx)},
+      {"cold_tx", u64_metric(r.cold_tx)},
+      {"repair_tx", u64_metric(r.repair_tx)},
+      {"final_hot_depth", u64_metric(r.final_hot_depth)},
+      {"redundant_fraction", r.redundant_fraction},
+      {"nacks_sent", u64_metric(r.nacks_sent)},
+      {"nacks_suppressed", u64_metric(r.nacks_suppressed)},
+      {"observed_loss", r.observed_loss},
+      {"delivered_fraction",
+       r.versions_introduced > 0
+           ? static_cast<double>(r.versions_received) /
+                 static_cast<double>(r.versions_introduced)
+           : 0.0},
+      {"offered_data_kbps", r.offered_data_kbps},
+      {"offered_fb_kbps", r.offered_fb_kbps},
+  };
+}
+
+MetricRow metrics_of(const arq::HardStateResult& r) {
+  return MetricRow{
+      {"avg_consistency", r.avg_consistency},
+      {"mean_latency_s", r.mean_latency},
+      {"p95_latency_s", r.p95_latency},
+      {"data_tx", u64_metric(r.data_tx)},
+      {"retransmits", u64_metric(r.retransmits)},
+      {"acks", u64_metric(r.acks)},
+      {"connection_deaths", u64_metric(r.connection_deaths)},
+      {"snapshot_ops", u64_metric(r.snapshot_ops)},
+      {"offered_data_kbps", r.offered_data_kbps},
+      {"offered_ack_kbps", r.offered_ack_kbps},
+  };
+}
+
+MetricRow metrics_of(const fault::FaultRunResult& r) {
+  MetricRow row = metrics_of(r.base);
+  double recovered = 0.0, recovery_sum = 0.0;
+  double deficit_sum = 0.0, repair_sum = 0.0;
+  for (const auto& rec : r.recoveries) {
+    if (rec.recovered()) {
+      recovered += 1.0;
+      recovery_sum += rec.recovery_time();
+    }
+    deficit_sum += rec.deficit;
+    repair_sum += rec.repair_overhead;
+  }
+  double joins_caught_up = 0.0, catch_up_sum = 0.0;
+  for (const double c : r.join_catch_up) {
+    if (c >= 0.0) {
+      joins_caught_up += 1.0;
+      catch_up_sum += c;
+    }
+  }
+  row.emplace_back("faults_injected",
+                   static_cast<double>(r.recoveries.size()));
+  row.emplace_back("faults_recovered", recovered);
+  row.emplace_back("recovery_s_sum", recovery_sum);
+  row.emplace_back("consistency_deficit_sum", deficit_sum);
+  row.emplace_back("repair_overhead_sum", repair_sum);
+  row.emplace_back("joins_caught_up", joins_caught_up);
+  row.emplace_back("join_catch_up_s_sum", catch_up_sum);
+  return row;
+}
+
+Aggregate run_replicated(const core::ExperimentConfig& config,
+                         const Options& opt) {
+  return run_replications(
+      [&config](std::size_t, std::uint64_t seed) {
+        core::ExperimentConfig cfg = config;
+        cfg.seed = seed;
+        return metrics_of(core::run_experiment(cfg));
+      },
+      opt);
+}
+
+Aggregate run_replicated(const arq::HardStateConfig& config,
+                         const Options& opt) {
+  return run_replications(
+      [&config](std::size_t, std::uint64_t seed) {
+        arq::HardStateConfig cfg = config;
+        cfg.seed = seed;
+        return metrics_of(arq::run_hard_state(cfg));
+      },
+      opt);
+}
+
+Aggregate run_replicated(const core::ExperimentConfig& config,
+                         const fault::FaultPlan& plan,
+                         const fault::InjectorConfig& inj,
+                         const Options& opt) {
+  return run_replications(
+      [&config, &plan, &inj](std::size_t, std::uint64_t seed) {
+        core::ExperimentConfig cfg = config;
+        cfg.seed = seed;
+        return metrics_of(
+            fault::run_experiment_with_faults(cfg, plan, inj));
+      },
+      opt);
+}
+
+}  // namespace sst::runner

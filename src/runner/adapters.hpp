@@ -1,0 +1,48 @@
+// adapters.hpp — prebuilt runner bindings for the repo's harnesses.
+//
+// The driver itself (runner.hpp) takes an arbitrary replication callable;
+// these adapters bind it to the three standard rigs — the soft state
+// core::Experiment, the arq hard-state baseline, and fault-plan runs — and
+// fix the canonical metric row each one reports, so every bench and sstsim
+// agree on metric names.
+#pragma once
+
+#include "arq/experiment.hpp"
+#include "core/experiment.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "runner/runner.hpp"
+
+namespace sst::runner {
+
+/// Canonical metric row of a soft state run. Order is fixed; every name
+/// appears in the emitted JSON.
+MetricRow metrics_of(const core::ExperimentResult& r);
+
+/// Canonical metric row of a hard-state run.
+MetricRow metrics_of(const arq::HardStateResult& r);
+
+/// Fault-run metrics: the soft state row plus recovery aggregates
+/// (faults_injected, faults_recovered, recovery_s_sum over recovered
+/// faults, consistency_deficit_sum, repair_overhead_sum, joins_caught_up,
+/// join_catch_up_s_sum).
+MetricRow metrics_of(const fault::FaultRunResult& r);
+
+/// N replications of core::run_experiment. The config's own seed is
+/// ignored; replication i runs with replication_seed(opt.master_seed, i).
+Aggregate run_replicated(const core::ExperimentConfig& config,
+                         const Options& opt);
+
+/// N replications of the hard-state baseline.
+Aggregate run_replicated(const arq::HardStateConfig& config,
+                         const Options& opt);
+
+/// N replications of a fault-plan run (the plan and injector config are
+/// shared; each replication replays the same fault script against its own
+/// independent rig).
+Aggregate run_replicated(const core::ExperimentConfig& config,
+                         const fault::FaultPlan& plan,
+                         const fault::InjectorConfig& inj,
+                         const Options& opt);
+
+}  // namespace sst::runner

@@ -1,0 +1,118 @@
+#include "runner/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace sst::runner {
+
+namespace {
+
+void write_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_double(std::string& out, double v) {
+  // JSON has no inf/nan; the driver maps "never recovered" and friends to
+  // null before they get here, so a non-finite value is a caller bug — but
+  // emit null rather than invalid JSON.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Shortest round-trip form: deterministic, locale-independent, and reads
+  // back to exactly the same double.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void write_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInteger: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof buf, int_);
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Kind::kNumber:
+      write_double(out, num_);
+      break;
+    case Kind::kString:
+      write_escaped(out, str_);
+      break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i) out += ',';
+        write_newline_indent(out, indent, depth + 1);
+        elements_[i].write(out, indent, depth + 1);
+      }
+      write_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        write_newline_indent(out, indent, depth + 1);
+        write_escaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      write_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace sst::runner

@@ -1,0 +1,95 @@
+// json.hpp — a minimal, deterministic JSON document builder.
+//
+// The replication driver's one output format is JSON, and its determinism
+// guarantee ("--jobs=8 is byte-identical to --jobs=1") extends to the bytes
+// of that output. So the writer is built for canonical serialization:
+// objects preserve insertion order, doubles are printed with the shortest
+// round-trip representation (std::to_chars), and there is exactly one
+// spelling for every value. No parser — this repo only ever *emits* JSON.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sst::runner {
+
+/// An immutable-ish JSON value built bottom-up. Copyable; small documents
+/// only (bench summaries), so no allocation tricks.
+class Json {
+ public:
+  /// Constructs null.
+  Json() : kind_(Kind::kNull) {}
+
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+  static Json string(std::string_view s) {
+    Json j(Kind::kString);
+    j.str_ = std::string(s);
+    return j;
+  }
+  static Json number(double v) {
+    Json j(Kind::kNumber);
+    j.num_ = v;
+    return j;
+  }
+  static Json integer(std::uint64_t v) {
+    Json j(Kind::kInteger);
+    j.int_ = v;
+    return j;
+  }
+  static Json boolean(bool v) {
+    Json j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+  static Json null() { return Json(); }
+
+  /// Object member insertion (insertion order preserved). Returns *this for
+  /// chaining.
+  Json& set(std::string_view key, Json value) {
+    members_.emplace_back(std::string(key), std::move(value));
+    return *this;
+  }
+
+  /// Array element append.
+  Json& push(Json value) {
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Serializes the document. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits one line.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInteger,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::uint64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace sst::runner

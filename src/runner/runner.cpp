@@ -1,0 +1,149 @@
+#include "runner/runner.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/random.hpp"
+
+namespace sst::runner {
+
+std::uint64_t replication_seed(std::uint64_t master_seed, std::size_t rep) {
+  return sim::Rng(master_seed).fork("replication", rep).next_u64();
+}
+
+const stats::Welford* Aggregate::find(std::string_view name) const {
+  for (const auto& m : metrics_) {
+    if (m.name == name) return &m.stats;
+  }
+  return nullptr;
+}
+
+double Aggregate::mean(std::string_view name) const {
+  const auto* w = find(name);
+  return w ? w->mean() : 0.0;
+}
+
+double Aggregate::ci95(std::string_view name) const {
+  const auto* w = find(name);
+  return w ? w->ci95_half_width() : 0.0;
+}
+
+Json Aggregate::to_json() const {
+  Json obj = Json::object();
+  for (const auto& m : metrics_) {
+    Json summary = Json::object();
+    summary.set("mean", Json::number(m.stats.mean()))
+        .set("ci95", Json::number(m.stats.ci95_half_width()))
+        .set("stddev", Json::number(m.stats.stddev()))
+        .set("min", Json::number(m.stats.min()))
+        .set("max", Json::number(m.stats.max()))
+        .set("n", Json::integer(m.stats.count()));
+    obj.set(m.name, std::move(summary));
+  }
+  return obj;
+}
+
+Aggregate run_replications(const ReplicationFn& fn, const Options& opt) {
+  const std::size_t n = opt.replications;
+  std::vector<MetricRow> rows(n);
+  if (n == 0) return Aggregate(0, {});
+
+  std::size_t jobs = opt.jobs != 0
+                         ? opt.jobs
+                         : static_cast<std::size_t>(
+                               std::thread::hardware_concurrency());
+  if (jobs == 0) jobs = 1;
+  if (jobs > n) jobs = n;
+
+  // Work loop shared by the inline (jobs==1) and threaded paths: claim the
+  // next replication index, run it, store the row into its slot. Slots are
+  // disjoint, so no synchronization beyond the claim counter is needed.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t rep = next.fetch_add(1, std::memory_order_relaxed);
+      if (rep >= n) return;
+      try {
+        rows[rep] = fn(rep, replication_seed(opt.master_seed, rep));
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  // Aggregation is single-threaded and in replication order, so the
+  // floating-point accumulation sequence — and therefore every output bit —
+  // is independent of how the replications were scheduled above.
+  std::vector<MetricSummary> metrics;
+  for (const auto& [name, value] : rows[0]) {
+    metrics.push_back(MetricSummary{name, {}});
+  }
+  for (std::size_t rep = 0; rep < n; ++rep) {
+    const MetricRow& row = rows[rep];
+    if (row.size() != metrics.size()) {
+      throw std::runtime_error(
+          "runner: replication " + std::to_string(rep) +
+          " produced a different metric set than replication 0");
+    }
+    for (std::size_t m = 0; m < row.size(); ++m) {
+      if (row[m].first != metrics[m].name) {
+        throw std::runtime_error("runner: metric order mismatch at '" +
+                                 row[m].first + "' in replication " +
+                                 std::to_string(rep));
+      }
+      metrics[m].stats.add(row[m].second);
+    }
+  }
+  return Aggregate(n, std::move(metrics));
+}
+
+Json mc_document(std::string_view experiment, const Options& opt,
+                 const std::vector<SweepPoint>& points) {
+  Json doc = Json::object();
+  doc.set("schema", Json::string("sst-mc-v1"))
+      .set("experiment", Json::string(experiment))
+      .set("replications", Json::integer(opt.replications))
+      .set("master_seed", Json::integer(opt.master_seed));
+  Json arr = Json::array();
+  for (const auto& p : points) {
+    Json point = Json::object();
+    point.set("params", p.params);
+    point.set("metrics", p.aggregate.to_json());
+    arr.push(std::move(point));
+  }
+  doc.set("points", std::move(arr));
+  return doc;
+}
+
+bool write_json_file(const std::string& path, const Json& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string text = doc.dump(2);
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace sst::runner

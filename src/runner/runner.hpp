@@ -1,0 +1,132 @@
+// runner.hpp — parallel Monte-Carlo replication driver.
+//
+// Every figure in the paper is a Monte-Carlo estimate, and a single seed is
+// an anecdote: the credible way to report a consistency metric is the mean
+// over N independent replications with a confidence interval. The runner
+// fans N replications of any experiment across a thread pool and aggregates
+// their metrics into mean / 95%-CI summaries, under one hard guarantee:
+//
+//   The aggregate — down to the bytes of its JSON serialization — is
+//   IDENTICAL for any --jobs value and any thread scheduling.
+//
+// Three design rules deliver that:
+//   1. Replication i draws its seed from the master stream as
+//      Rng(master_seed).fork("replication", i) — a pure function of
+//      (master_seed, i), never of execution order. Forking is const on the
+//      parent, so sibling streams cannot perturb each other (tested).
+//   2. Workers store each replication's metric row into a slot indexed by i;
+//      Welford accumulation happens on one thread afterwards, in index
+//      order, so floating-point association is fixed.
+//   3. The JSON writer is canonical (see json.hpp) and the jobs count is
+//      deliberately absent from the document.
+//
+// The replication body is an arbitrary callable, so the same driver serves
+// core::run_experiment, the arq hard-state baseline, fault-plan runs, and
+// bespoke sstp::Session rigs (see adapters.hpp for the prebuilt bindings).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runner/json.hpp"
+#include "stats/welford.hpp"
+
+namespace sst::runner {
+
+/// Driver options. `jobs` is a pure execution detail: it MUST NOT change any
+/// result, and it is excluded from the emitted JSON.
+struct Options {
+  std::size_t replications = 32;
+  std::size_t jobs = 0;  // worker threads; 0 = hardware concurrency
+  std::uint64_t master_seed = 1;
+};
+
+/// One replication's metrics: (name, value) pairs in a fixed order. Every
+/// replication of an experiment must produce the same names in the same
+/// order (they run the same extraction code, so this is automatic).
+using MetricRow = std::vector<std::pair<std::string, double>>;
+
+/// The replication body: given the replication index and its derived seed,
+/// run one independent experiment and return its metrics. Called
+/// concurrently from multiple threads — it must not touch shared mutable
+/// state (each call builds its own Simulator, tables, channels, ...).
+using ReplicationFn =
+    std::function<MetricRow(std::size_t rep, std::uint64_t seed)>;
+
+/// Seed for replication `rep`: fork of the master stream, a pure function of
+/// (master_seed, rep). Exposed so tests and tools can reproduce any single
+/// replication in isolation (`sstsim --seed=$(this value)`).
+std::uint64_t replication_seed(std::uint64_t master_seed, std::size_t rep);
+
+/// Mean/CI summary of one metric across replications.
+struct MetricSummary {
+  std::string name;
+  stats::Welford stats;
+};
+
+/// Aggregated result of a replicated run.
+class Aggregate {
+ public:
+  Aggregate() = default;
+  Aggregate(std::size_t replications, std::vector<MetricSummary> metrics)
+      : replications_(replications), metrics_(std::move(metrics)) {}
+
+  [[nodiscard]] std::size_t replications() const { return replications_; }
+  [[nodiscard]] const std::vector<MetricSummary>& metrics() const {
+    return metrics_;
+  }
+
+  /// Summary for a named metric; nullptr if the metric does not exist.
+  [[nodiscard]] const stats::Welford* find(std::string_view name) const;
+
+  /// Mean / 95% CI half-width of a named metric (0 if absent).
+  [[nodiscard]] double mean(std::string_view name) const;
+  [[nodiscard]] double ci95(std::string_view name) const;
+
+  /// Canonical JSON object: one member per metric, in metric order —
+  /// {"<name>": {"mean":m,"ci95":h,"stddev":s,"min":a,"max":b,"n":N}, ...}
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::size_t replications_ = 0;
+  std::vector<MetricSummary> metrics_;
+};
+
+/// Runs `opt.replications` independent replications of `fn` across
+/// `opt.jobs` worker threads and aggregates the metric rows in replication
+/// order. Exceptions thrown by any replication are rethrown on the calling
+/// thread (remaining replications are abandoned).
+Aggregate run_replications(const ReplicationFn& fn, const Options& opt);
+
+/// One sweep point of a canonical Monte-Carlo document: the parameter
+/// values that identify the point plus its aggregate.
+struct SweepPoint {
+  Json params;  // object, e.g. {"loss": 0.25, "hot_share": 0.4}
+  Aggregate aggregate;
+};
+
+/// Builds the canonical document (schema "sst-mc-v1") every bench and
+/// sstsim emit:
+///
+///   {
+///     "schema": "sst-mc-v1",
+///     "experiment": "<name>",
+///     "replications": N,
+///     "master_seed": S,
+///     "points": [ {"params": {...}, "metrics": {...}}, ... ]
+///   }
+///
+/// `jobs` is intentionally not part of the schema: the document must be
+/// byte-identical however the work was scheduled.
+Json mc_document(std::string_view experiment, const Options& opt,
+                 const std::vector<SweepPoint>& points);
+
+/// Writes `doc.dump(2)` to `path`. Returns false (and leaves no partial
+/// file behind) on I/O failure.
+bool write_json_file(const std::string& path, const Json& doc);
+
+}  // namespace sst::runner

@@ -1,8 +1,11 @@
 // event.hpp — the basic unit of work in the discrete-event engine.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 
 #include "sim/units.hpp"
 
@@ -17,6 +20,93 @@ inline constexpr EventId kNoEvent = 0;
 
 /// Callback invoked when an event fires. Runs with the simulator clock set to
 /// the event's timestamp; it may schedule or cancel further events.
-using EventFn = std::function<void()>;
+///
+/// A move-only std::function replacement with a generous inline buffer:
+/// every callback the engine schedules (channel deliveries capturing a
+/// handler reference plus a shared payload, timer trampolines capturing
+/// `this`, protocol lambdas) fits inline, so the hot path never touches the
+/// allocator. Larger callables transparently spill to the heap.
+class EventFn {
+ public:
+  /// Inline capacity. 48 bytes covers every capture list in the tree; the
+  /// largest common case — a delivery lambda holding a Handler& and a
+  /// shared_ptr — needs 24.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::decay_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_) ops_->relocate(other.buf_, buf_);
+    other.ops_ = nullptr;
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      if (ops_) ops_->destroy(buf_);
+      ops_ = other.ops_;
+      if (ops_) ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() {
+    if (ops_) ops_->destroy(buf_);
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <class Fn>
+  static constexpr Ops inline_ops{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* src, void* dst) {
+        auto* f = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+
+  template <class Fn>
+  static constexpr Ops heap_ops{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* src, void* dst) {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); }};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
 
 }  // namespace sst::sim

@@ -4,36 +4,82 @@
 
 namespace sst::sim {
 
-// Min-heap ordering: earlier time first, then earlier insertion.
-static bool entry_before(SimTime at, std::uint64_t as, SimTime bt,
-                         std::uint64_t bs) {
+namespace {
+
+// Handle layout: high 32 bits generation, low 32 bits slot index + 1 (so a
+// valid id is never kNoEvent).
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<EventId>(gen) << 32) |
+         (static_cast<EventId>(slot) + 1);
+}
+
+constexpr std::uint32_t id_slot(EventId id) {
+  return static_cast<std::uint32_t>((id & 0xFFFFFFFFULL) - 1);
+}
+
+constexpr std::uint32_t id_gen(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+inline bool before(SimTime at, std::uint64_t as, SimTime bt,
+                   std::uint64_t bs) {
   if (at != bt) return at < bt;
   return as < bs;
 }
 
+// Compact once tombstones dominate; the floor keeps tiny queues out of the
+// compaction path entirely.
+constexpr std::size_t kCompactMinEntries = 64;
+
+}  // namespace
+
 EventId EventQueue::schedule(SimTime when, EventFn fn) {
-  const EventId id = next_id_++;
-  callbacks_.emplace(id, std::move(fn));
-  heap_.push_back(Entry{when, next_seq_++, id});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  const std::uint32_t gen = slots_[slot].gen;
+  heap_.push_back(Entry{when, next_seq_++, slot, gen});
   sift_up(heap_.size() - 1);
   ++live_;
-  return id;
+  return make_id(slot, gen);
 }
 
 bool EventQueue::cancel(EventId id) {
   if (id == kNoEvent) return false;
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --live_;
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= slots_.size() || slots_[slot].gen != id_gen(id)) return false;
+  slots_[slot].fn = nullptr;
+  retire(slot);
+  maybe_compact();
   return true;
 }
 
 void EventQueue::drop_cancelled_top() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
     heap_.front() = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
+  }
+}
+
+void EventQueue::maybe_compact() const {
+  // Keep the heap at most half tombstones: one O(n) sweep rebuilds the heap
+  // from the live entries, so cancel-heavy workloads (timer refresh storms)
+  // stay O(log live) instead of sifting through dead weight.
+  if (heap_.size() < kCompactMinEntries || heap_.size() < 2 * live_) return;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (entry_live(heap_[i])) heap_[out++] = heap_[i];
+  }
+  heap_.resize(out);
+  if (out > 1) {
+    for (std::size_t i = (out - 2) / 4 + 1; i-- > 0;) sift_down(i);
   }
 }
 
@@ -46,55 +92,65 @@ std::optional<SimTime> EventQueue::next_time() const {
 std::optional<EventQueue::Fired> EventQueue::pop() {
   drop_cancelled_top();
   if (heap_.empty()) return std::nullopt;
-  Entry top = heap_.front();
+  const Entry top = heap_.front();
   heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
 
-  auto it = callbacks_.find(top.id);
-  Fired fired{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_;
+  Fired fired{top.time, make_id(top.slot, top.gen),
+              std::move(slots_[top.slot].fn)};
+  retire(top.slot);
   return fired;
 }
 
 void EventQueue::clear() {
   heap_.clear();
-  callbacks_.clear();
+  // Advance every generation (rather than resetting the store) so ids issued
+  // before the clear can never alias events scheduled after it.
+  free_slots_.clear();
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    slots_[s].fn = nullptr;
+    ++slots_[s].gen;
+    free_slots_.push_back(s);
+  }
   live_ = 0;
 }
 
+// Both sifts move a "hole" instead of swapping: the displaced entry is held
+// in a local and written exactly once at its final position, halving the
+// memory traffic of the classic swap loop.
 void EventQueue::sift_up(std::size_t i) const {
+  const Entry e = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (entry_before(heap_[i].time, heap_[i].seq, heap_[parent].time,
-                     heap_[parent].seq)) {
-      std::swap(heap_[i], heap_[parent]);
-      i = parent;
-    } else {
-      break;
-    }
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e.time, e.seq, heap_[parent].time, heap_[parent].seq)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = e;
 }
 
 void EventQueue::sift_down(std::size_t i) const {
   const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
   while (true) {
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    std::size_t smallest = i;
-    if (l < n && entry_before(heap_[l].time, heap_[l].seq, heap_[smallest].time,
-                              heap_[smallest].seq)) {
-      smallest = l;
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t smallest = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c].time, heap_[c].seq, heap_[smallest].time,
+                 heap_[smallest].seq)) {
+        smallest = c;
+      }
     }
-    if (r < n && entry_before(heap_[r].time, heap_[r].seq, heap_[smallest].time,
-                              heap_[smallest].seq)) {
-      smallest = r;
+    if (!before(heap_[smallest].time, heap_[smallest].seq, e.time, e.seq)) {
+      break;
     }
-    if (smallest == i) return;
-    std::swap(heap_[i], heap_[smallest]);
+    heap_[i] = heap_[smallest];
     i = smallest;
   }
+  heap_[i] = e;
 }
 
 }  // namespace sst::sim

@@ -1,14 +1,21 @@
 // event_queue.hpp — pending-event set for the discrete-event engine.
 //
-// A binary min-heap ordered by (time, insertion sequence). Ties on time are
-// broken by insertion order so runs are fully deterministic. Cancellation is
-// lazy: cancelled entries are tombstoned and skipped on pop, which keeps both
-// schedule and cancel at O(log n) amortized without heap surgery.
+// A 4-ary min-heap ordered by (time, insertion sequence). Ties on time are
+// broken by insertion order so runs are fully deterministic. Callbacks live
+// in a slot store addressed by index; the event handle encodes (slot,
+// generation), so schedule, cancel, and pop never touch a hash table.
+// Cancellation is lazy: cancelled entries are tombstoned (their slot
+// generation advances) and skipped on pop; when tombstones outnumber live
+// events the heap is compacted in one O(n) pass.
+//
+// None of this changes observable behaviour: pops come out in strict
+// (time, seq) order whatever the heap arity or compaction schedule, so the
+// engine stays bit-deterministic.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -18,9 +25,10 @@ namespace sst::sim {
 
 /// Priority queue of timestamped callbacks.
 ///
-/// Not thread-safe; the simulation is single-threaded by design (determinism
+/// Not thread-safe; a simulation is single-threaded by design (determinism
 /// is a feature: every experiment in the paper reproduction is replayable
-/// from its seed).
+/// from its seed). Parallelism lives one level up, in sst::runner, which
+/// runs many independent single-threaded simulations at once.
 class EventQueue {
  public:
   /// Schedules `fn` to fire at absolute time `when`. Returns a handle that can
@@ -56,19 +64,40 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // insertion order; tie-break for determinism
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t gen;  // matches the slot's generation while live
   };
 
-  // The sift helpers and tombstone purge are logically const: they reorder
-  // the mutable heap without changing observable state (liveness is defined
-  // by callbacks_).
+  /// Callback storage. A slot's generation advances every time its event
+  /// fires or is cancelled, invalidating stale heap entries and old ids.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+  };
+
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slots_[e.slot].gen == e.gen;
+  }
+
+  /// Retires a slot after fire/cancel: invalidates outstanding references
+  /// and recycles the index.
+  void retire(std::uint32_t slot) {
+    ++slots_[slot].gen;
+    free_slots_.push_back(slot);
+    --live_;
+  }
+
+  // The sift helpers, tombstone purge, and compaction are logically const:
+  // they reorder the mutable heap without changing observable state
+  // (liveness is defined by the slot generations).
   void sift_up(std::size_t i) const;
   void sift_down(std::size_t i) const;
   void drop_cancelled_top() const;
+  void maybe_compact() const;
 
   mutable std::vector<Entry> heap_;
-  std::unordered_map<EventId, EventFn> callbacks_;  // absent => cancelled
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };

@@ -7,13 +7,20 @@
 //     protocol variant converges to c = 1 once the input freezes, across
 //     seeds, loss rates, and loss processes.
 //   * Experiment invariants: metrics stay in range for random configs.
+//   * EventQueue fuzz vs a sorted-map reference: random schedule / cancel /
+//     pop interleavings (crossing compaction boundaries) pop in strict
+//     (time, insertion-seq) order and never resurrect cancelled events.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <iterator>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sstp/namespace_tree.hpp"
 
@@ -223,6 +230,143 @@ TEST(ExperimentInvariants, MetricsAlwaysInRange) {
     EXPECT_EQ(r.hot_tx + r.cold_tx,
               cfg.variant == core::Variant::kOpenLoop ? 0 : r.data_tx);
   }
+}
+
+// ------------------------------------------ event queue vs reference model
+
+// Reference pending-event set: a sorted map keyed by (time, seq) — the
+// specified pop order — holding each event's id. Cancellation erases
+// eagerly, so the reference has no tombstones, no compaction, and no heap:
+// any divergence is an EventQueue bug, not a shared blind spot.
+struct QueueReference {
+  std::map<std::pair<double, std::uint64_t>, sim::EventId> pending;
+  std::uint64_t next_seq = 0;
+
+  void schedule(double time, sim::EventId id) {
+    pending.emplace(std::make_pair(time, next_seq++), id);
+  }
+
+  bool cancel(sim::EventId id) {
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      if (it->second == id) {
+        pending.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Randomized schedule/cancel/pop interleavings, including bursts that drive
+// the heap far past the compaction floor (64 entries) with mostly-dead
+// entries, so tombstone purges and live-entry rebuilds happen mid-run.
+// Invariants: pops come out in exact (time, insertion-seq) order with the
+// payload scheduled under that id; cancelled events never fire ("no
+// resurrection" across compactions); size() tracks the reference.
+TEST(EventQueueFuzz, AgreesWithReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Rng rng(seed);
+    sim::EventQueue q;
+    QueueReference ref;
+    std::map<sim::EventId, int> payload;  // id -> token the callback reports
+    int next_token = 0;
+    int fired_token = -1;
+
+    const auto do_schedule = [&] {
+      const double t = rng.uniform(0.0, 100.0);
+      const int token = next_token++;
+      const sim::EventId id =
+          q.schedule(t, [&fired_token, token] { fired_token = token; });
+      ref.schedule(t, id);
+      payload[id] = token;
+    };
+    const auto do_cancel = [&] {
+      if (payload.empty()) return;
+      auto it = payload.begin();
+      std::advance(it, static_cast<long>(rng.uniform_int(payload.size())));
+      const sim::EventId id = it->first;
+      EXPECT_EQ(q.cancel(id), ref.cancel(id));
+      payload.erase(it);
+      // Double-cancel (and kNoEvent) must be no-ops returning false.
+      EXPECT_FALSE(q.cancel(id));
+      EXPECT_FALSE(q.cancel(sim::kNoEvent));
+    };
+    const auto do_pop = [&] {
+      auto fired = q.pop();
+      if (ref.pending.empty()) {
+        EXPECT_FALSE(fired.has_value());
+        return;
+      }
+      ASSERT_TRUE(fired.has_value());
+      const auto expect = ref.pending.begin();
+      EXPECT_DOUBLE_EQ(fired->time, expect->first.first);
+      EXPECT_EQ(fired->id, expect->second);
+      fired_token = -1;
+      fired->fn();
+      EXPECT_EQ(fired_token, payload.at(expect->second));
+      payload.erase(expect->second);
+      ref.pending.erase(expect);
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+      const double r = rng.uniform();
+      // Phases: mostly-schedule bursts grow the heap well past the
+      // compaction floor; mostly-cancel phases turn it into tombstones.
+      if (step % 600 < 300 ? r < 0.6 : r < 0.2) {
+        do_schedule();
+      } else if (r < 0.8) {
+        do_cancel();
+      } else {
+        do_pop();
+      }
+      ASSERT_EQ(q.size(), ref.pending.size()) << "seed " << seed << " step "
+                                              << step;
+      ASSERT_EQ(q.empty(), ref.pending.empty());
+      if (!ref.pending.empty()) {
+        ASSERT_TRUE(q.next_time().has_value());
+        ASSERT_DOUBLE_EQ(*q.next_time(), ref.pending.begin()->first.first);
+      }
+    }
+    // Drain: the full (time, seq) order must survive everything above.
+    while (!ref.pending.empty()) do_pop();
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// Ties on time pop in insertion order even when interleaved with
+// cancellations and compaction (the determinism contract).
+TEST(EventQueueFuzz, TimeTiesPopInInsertionOrderAcrossCompaction) {
+  sim::Rng rng(99);
+  sim::EventQueue q;
+  std::vector<sim::EventId> tied;
+  std::vector<int> expected;
+  int fired = -1;
+  // 200 events at the same timestamp, interleaved with 200 doomed events
+  // that are cancelled to force tombstone-heavy compactions.
+  std::vector<sim::EventId> doomed;
+  for (int i = 0; i < 200; ++i) {
+    tied.push_back(q.schedule(5.0, [&fired, i] { fired = i; }));
+    expected.push_back(i);
+    doomed.push_back(q.schedule(rng.uniform(0.0, 4.0), [] {}));
+  }
+  for (const auto id : doomed) q.cancel(id);
+  // Cancel a pseudo-random half of the tied events too.
+  std::vector<int> survivors;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.bernoulli(0.5)) {
+      q.cancel(tied[static_cast<std::size_t>(i)]);
+    } else {
+      survivors.push_back(i);
+    }
+  }
+  for (const int want : survivors) {
+    auto f = q.pop();
+    ASSERT_TRUE(f.has_value());
+    f->fn();
+    EXPECT_EQ(fired, want);
+  }
+  EXPECT_FALSE(q.pop().has_value());
 }
 
 }  // namespace

@@ -1,0 +1,204 @@
+// sst::runner determinism and driver tests — the lock on the tentpole
+// guarantee: aggregated results are bit-identical for any --jobs value.
+//
+//   * JobsIndependence: the canonical JSON document from jobs=1 and jobs=8
+//     is byte-identical (threads race for replications, results may not).
+//   * GoldenDigest: the canonical document of a pinned config hashes to a
+//     pinned FNV-1a digest — a regression tripwire against accidental
+//     changes to the seed derivation, metric rows, Welford order, or JSON
+//     serialization. If this fails, a replication-visible behavior changed;
+//     update the constant ONLY for an intentional, documented change.
+//   * ReplicationSeeds: replication_seed is a pure function of
+//     (master_seed, i), pinned by value.
+//   * Threaded fault churn: crash + partition + join + loss burst plans
+//     replicated across 8 threads — the TSan target for concurrent
+//     Simulator/fault-injector construction and teardown.
+//   * Driver mechanics: exception propagation, metric-shape validation,
+//     JSON writer canonicalization.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "runner/adapters.hpp"
+#include "runner/json.hpp"
+#include "runner/runner.hpp"
+
+namespace sst::runner {
+namespace {
+
+// Small but non-trivial experiment: feedback variant with two receivers so
+// repair, NACK, and multicast paths all execute.
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig cfg;
+  cfg.variant = core::Variant::kFeedback;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(12.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 90.0;
+  cfg.mu_data = sim::kbps(42);
+  cfg.mu_fb = sim::kbps(12);
+  cfg.hot_share = 0.8;
+  cfg.loss_rate = 0.25;
+  cfg.num_receivers = 2;
+  cfg.duration = 300.0;
+  cfg.warmup = 50.0;
+  return cfg;
+}
+
+std::string document_for_jobs(std::size_t jobs) {
+  Options opt;
+  opt.replications = 8;
+  opt.jobs = jobs;
+  opt.master_seed = 7;
+  const Aggregate agg = run_replicated(small_config(), opt);
+  Json params = Json::object();
+  params.set("variant", Json::string("feedback"));
+  std::vector<SweepPoint> points;
+  points.push_back({std::move(params), agg});
+  return mc_document("runner_test", opt, points).dump(2);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(RunnerDeterminism, JobsIndependence) {
+  const std::string serial = document_for_jobs(1);
+  const std::string threaded = document_for_jobs(8);
+  EXPECT_EQ(serial, threaded)
+      << "aggregated JSON must not depend on the thread count";
+}
+
+TEST(RunnerDeterminism, RepeatedRunsIdentical) {
+  EXPECT_EQ(document_for_jobs(3), document_for_jobs(3));
+}
+
+// Golden digest of the canonical document for the pinned config above.
+// Regenerate with: the failure message prints the actual digest.
+TEST(RunnerDeterminism, GoldenDigest) {
+  const std::string doc = document_for_jobs(1);
+  const std::uint64_t digest = fnv1a(doc);
+  EXPECT_EQ(digest, 0x94d38228faf1d3a7ULL)
+      << "canonical document changed; actual digest 0x" << std::hex << digest
+      << " — a replication-visible behavior (seeding, metrics, Welford "
+         "order, or JSON format) is different";
+}
+
+TEST(RunnerDeterminism, ReplicationSeedsArePureAndDistinct) {
+  // Pure function of (master_seed, rep): stable across calls…
+  EXPECT_EQ(replication_seed(1, 0), replication_seed(1, 0));
+  EXPECT_EQ(replication_seed(42, 9), replication_seed(42, 9));
+  // …and distinct across reps and masters.
+  EXPECT_NE(replication_seed(1, 0), replication_seed(1, 1));
+  EXPECT_NE(replication_seed(1, 0), replication_seed(2, 0));
+  // Matches Rng::fork("replication", i) by construction.
+  sim::Rng master(123);
+  EXPECT_EQ(replication_seed(123, 5),
+            master.fork("replication", 5).next_u64());
+}
+
+// The TSan workhorse: 16 replications of a full churn plan (crash,
+// partition, late join, loss burst) across 8 threads. Every replication
+// builds and tears down its own Simulator, channels, tables, and fault
+// injector concurrently with the others.
+TEST(RunnerThreaded, FaultChurnAcrossThreads) {
+  fault::FaultPlan plan;
+  plan.crash(80.0, 20.0).partition(0, 140.0, 20.0).join(200.0).burst_loss(
+      0.5, 240.0, 15.0);
+  fault::InjectorConfig inj;
+  inj.threshold = 0.9;
+
+  Options opt;
+  opt.replications = 16;
+  opt.jobs = 8;
+  opt.master_seed = 11;
+  const Aggregate agg = run_replicated(small_config(), plan, inj, opt);
+
+  EXPECT_EQ(agg.replications(), 16u);
+  ASSERT_NE(agg.find("faults_injected"), nullptr);
+  // One recovery record per plan event: crash, partition, join, burst.
+  EXPECT_DOUBLE_EQ(agg.mean("faults_injected"), 4.0);
+  const auto* c = agg.find("avg_consistency");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(c->mean(), 0.0);
+  EXPECT_LE(c->mean(), 1.0);
+
+  // And the threaded result matches the serial one exactly.
+  Options serial = opt;
+  serial.jobs = 1;
+  const Aggregate again = run_replicated(small_config(), plan, inj, serial);
+  EXPECT_EQ(agg.to_json().dump(0), again.to_json().dump(0));
+}
+
+TEST(RunnerDriver, PropagatesReplicationExceptions) {
+  Options opt;
+  opt.replications = 8;
+  opt.jobs = 4;
+  EXPECT_THROW(
+      run_replications(
+          [](std::size_t rep, std::uint64_t) -> MetricRow {
+            if (rep == 5) throw std::runtime_error("boom");
+            return {{"x", 1.0}};
+          },
+          opt),
+      std::runtime_error);
+}
+
+TEST(RunnerDriver, RejectsMismatchedMetricRows) {
+  Options opt;
+  opt.replications = 2;
+  opt.jobs = 1;
+  EXPECT_THROW(run_replications(
+                   [](std::size_t rep, std::uint64_t) -> MetricRow {
+                     return rep == 0 ? MetricRow{{"a", 1.0}}
+                                     : MetricRow{{"b", 1.0}};
+                   },
+                   opt),
+               std::runtime_error);
+}
+
+TEST(RunnerDriver, AggregatesInReplicationOrder) {
+  Options opt;
+  opt.replications = 4;
+  opt.jobs = 2;
+  const Aggregate agg = run_replications(
+      [](std::size_t rep, std::uint64_t) -> MetricRow {
+        return {{"rep", static_cast<double>(rep)}};
+      },
+      opt);
+  const auto* m = agg.find("rep");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->mean(), 1.5);
+  EXPECT_DOUBLE_EQ(m->min(), 0.0);
+  EXPECT_DOUBLE_EQ(m->max(), 3.0);
+}
+
+TEST(RunnerJson, CanonicalFormatting) {
+  Json obj = Json::object();
+  obj.set("b", Json::number(0.1));
+  obj.set("a", Json::integer(3));  // insertion order, not sorted
+  obj.set("s", Json::string("q\"\\\n\t"));
+  Json arr = Json::array();
+  arr.push(Json::boolean(true));
+  arr.push(Json::null());
+  obj.set("arr", std::move(arr));
+  EXPECT_EQ(obj.dump(0),
+            "{\"b\":0.1,\"a\":3,\"s\":\"q\\\"\\\\\\n\\t\",\"arr\":"
+            "[true,null]}");
+  // Shortest round-trip doubles, not printf noise.
+  EXPECT_EQ(Json::number(0.30000000000000004).dump(0),
+            "0.30000000000000004");
+  EXPECT_EQ(Json::number(1e300).dump(0), "1e+300");
+}
+
+}  // namespace
+}  // namespace sst::runner

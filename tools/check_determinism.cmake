@@ -1,0 +1,41 @@
+# check_determinism.cmake — ctest driver for the jobs-independence gate.
+#
+# Runs the same replicated experiment with --jobs=1 and --jobs=8 and fails
+# unless the stdout (human summary + canonical JSON document) is
+# byte-identical. Invoked as:
+#   cmake -DSSTSIM=<path> -DWORK_DIR=<dir> -P check_determinism.cmake
+if(NOT SSTSIM)
+  message(FATAL_ERROR "pass -DSSTSIM=<path to sstsim>")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(args --variant=feedback --lambda-kbps=12 --mu-data-kbps=42
+    --mu-fb-kbps=12 --loss=0.25 --receivers=2 --duration=400 --warmup=50
+    --seed=7 --replications=8)
+
+execute_process(
+  COMMAND ${SSTSIM} ${args} --jobs=1
+  OUTPUT_FILE ${WORK_DIR}/jobs1.txt
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "sstsim --jobs=1 failed (exit ${rc1})")
+endif()
+
+execute_process(
+  COMMAND ${SSTSIM} ${args} --jobs=8
+  OUTPUT_FILE ${WORK_DIR}/jobs8.txt
+  RESULT_VARIABLE rc8)
+if(NOT rc8 EQUAL 0)
+  message(FATAL_ERROR "sstsim --jobs=8 failed (exit ${rc8})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/jobs1.txt ${WORK_DIR}/jobs8.txt
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+      "--jobs=1 and --jobs=8 output differ: the replication driver is not "
+      "schedule-independent. Compare ${WORK_DIR}/jobs1.txt vs jobs8.txt")
+endif()
+message(STATUS "jobs=1 and jobs=8 output byte-identical")

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Determinism gate: the parallel replication driver must produce
+# byte-identical output whatever --jobs is. Runs a replicated sstsim
+# experiment (and a replicated bench) at jobs=1 and jobs=8 and diffs the
+# results. Part of the tier-1 flow alongside ctest (the same gate also runs
+# inside ctest as sstsim_determinism_jobs).
+#
+# Usage: tools/check_determinism.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+sstsim="$build_dir/tools/sstsim"
+bench="$build_dir/bench/bench_fig5_two_queue"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+[ -x "$sstsim" ] || { echo "missing $sstsim — build first" >&2; exit 1; }
+
+args="--variant=feedback --lambda-kbps=12 --mu-data-kbps=42 --mu-fb-kbps=12 \
+      --loss=0.25 --receivers=2 --duration=400 --warmup=50 --seed=7 \
+      --replications=8"
+# shellcheck disable=SC2086
+"$sstsim" $args --jobs=1 > "$work/sim1.txt"
+# shellcheck disable=SC2086
+"$sstsim" $args --jobs=8 > "$work/sim8.txt"
+diff "$work/sim1.txt" "$work/sim8.txt" > /dev/null || {
+  echo "FAIL: sstsim output differs between --jobs=1 and --jobs=8" >&2
+  diff "$work/sim1.txt" "$work/sim8.txt" >&2 || true
+  exit 1
+}
+echo "sstsim: jobs=1 and jobs=8 byte-identical"
+
+if [ -x "$bench" ]; then
+  "$bench" --reps=8 --jobs=1 --out="$work/b1.json" > /dev/null
+  "$bench" --reps=8 --jobs=8 --out="$work/b8.json" > /dev/null
+  diff "$work/b1.json" "$work/b8.json" > /dev/null || {
+    echo "FAIL: bench_fig5_two_queue JSON differs between jobs=1 and jobs=8" >&2
+    exit 1
+  }
+  echo "bench_fig5_two_queue: jobs=1 and jobs=8 byte-identical"
+fi
+
+echo "determinism check passed"

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Builds the tree with ThreadSanitizer and runs the tier-1 test suite under
+# the instrumented runtime — the gate for the parallel replication driver
+# (sst::runner) and the threaded fault-churn tests. Any data-race report
+# fails the corresponding test (halt_on_error) and therefore the script.
+#
+# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tsan"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DSST_SANITIZE=thread"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$build_dir" --output-on-failure \
+        -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "tsan check passed: $build_dir"

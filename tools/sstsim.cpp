@@ -19,6 +19,8 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "flags.hpp"
+#include "runner/adapters.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 
@@ -62,6 +64,15 @@ run control:
   --duration=2000 --warmup=200 --seed=1
   --timeline=0            sample c(t) every N seconds (0 off)
   --scheduler=stride|lottery|wfq|drr|hier
+
+Monte-Carlo replication (sst::runner):
+  --replications=1        independent replications; each runs with seed
+                          Rng(--seed).fork("replication", i). With N > 1 the
+                          single-run report is replaced by mean ± 95% CI per
+                          metric plus the canonical sst-mc-v1 JSON document.
+  --jobs=0                worker threads (0 = hardware concurrency). Pure
+                          execution detail: output is byte-identical for any
+                          value.
 )";
 
 std::vector<std::pair<double, double>> parse_outages(const std::string& s) {
@@ -87,6 +98,39 @@ void print_timeline(const std::vector<core::TimelinePoint>& timeline) {
   }
 }
 
+/// Monte-Carlo options shared by all variants. Replications default to 1:
+/// the classic single-run report stays the default (and byte-identical to
+/// what this tool printed before the runner existed).
+runner::Options mc_options(const tools::Flags& flags) {
+  runner::Options opt;
+  opt.replications =
+      static_cast<std::size_t>(flags.num("replications", 1.0));
+  opt.jobs = static_cast<std::size_t>(flags.num("jobs", 0.0));
+  opt.master_seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+  return opt;
+}
+
+/// Replicated-run report: one mean ± CI line per metric, then the canonical
+/// document (the same schema every bench emits) between markers.
+void print_aggregate(const std::string& variant, const runner::Options& opt,
+                     const runner::Aggregate& agg) {
+  std::printf("variant            %s\n", variant.c_str());
+  std::printf("replications       %zu (master seed %llu)\n",
+              agg.replications(),
+              static_cast<unsigned long long>(opt.master_seed));
+  std::printf("\n  %-26s %14s %12s\n", "metric", "mean", "ci95");
+  for (const auto& m : agg.metrics()) {
+    std::printf("  %-26s %14.4f %12.4f\n", m.name.c_str(), m.stats.mean(),
+                m.stats.ci95_half_width());
+  }
+  runner::Json params = runner::Json::object();
+  params.set("variant", runner::Json::string(variant));
+  std::vector<runner::SweepPoint> points;
+  points.push_back({std::move(params), agg});
+  const runner::Json doc = runner::mc_document("sstsim", opt, points);
+  std::printf("\nBEGIN-JSON\n%sEND-JSON\n", doc.dump(2).c_str());
+}
+
 int run_hard(const tools::Flags& flags) {
   arq::HardStateConfig cfg;
   cfg.workload.insert_rate = core::insert_rate_from_kbps(
@@ -104,7 +148,13 @@ int run_hard(const tools::Flags& flags) {
   cfg.warmup = flags.num("warmup", 200.0);
   cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
   cfg.sample_interval = flags.num("timeline", 0.0);
+  const runner::Options mc = mc_options(flags);
   flags.reject_unknown();
+
+  if (mc.replications > 1) {
+    print_aggregate("hardstate", mc, runner::run_replicated(cfg, mc));
+    return 0;
+  }
 
   const auto r = arq::run_hard_state(cfg);
   std::printf("variant            hardstate\n");
@@ -192,7 +242,25 @@ int main(int argc, char** argv) {
   const std::string faults_script = flags.str("faults", "");
   fault::InjectorConfig inj_cfg;
   inj_cfg.threshold = flags.num("recovery-threshold", 0.9);
+  const runner::Options mc = mc_options(flags);
   flags.reject_unknown();
+
+  if (mc.replications > 1) {
+    if (!faults_script.empty()) {
+      fault::FaultPlan plan;
+      try {
+        plan = fault::FaultPlan::parse(faults_script);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--faults: %s\n", e.what());
+        return 2;
+      }
+      print_aggregate(variant, mc,
+                      runner::run_replicated(cfg, plan, inj_cfg, mc));
+    } else {
+      print_aggregate(variant, mc, runner::run_replicated(cfg, mc));
+    }
+    return 0;
+  }
 
   core::ExperimentResult r;
   std::vector<stats::RecoveryRecord> recoveries;
