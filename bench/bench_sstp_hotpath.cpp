@@ -1,0 +1,336 @@
+// SSTP data-plane hot-path microbenchmark: the per-announce costs the
+// sender pays on every service slot, measured as Monte-Carlo replications
+// with confidence intervals (schema sst-mc-v1, like bench_engine).
+//
+// Every scenario that has a baseline runs against BOTH trees in the same
+// binary — `impl=opt` is the production NamespaceTree (flat pooled nodes,
+// interned symbols, incremental dirty-spine digests, streaming Hasher) and
+// `impl=ref` is ReferenceTree (the original std::map + lazy recursion kept
+// verbatim as the executable specification). The committed
+// BENCH_sstp_hotpath.json therefore always carries baseline-vs-optimized
+// numbers regardless of what machine regenerates it.
+//
+// Scenarios:
+//   digest_dirty     put one random leaf, recompute the root digest —
+//                    the dirty-spine recompute the announce loop triggers
+//                    (md5 and fnv lanes; md5 is the paper's default)
+//   tree_walk        full for_each_leaf sweep of the store
+//   summary_price    price a SignaturesMsg for every internal node the way
+//                    the scheduler does (opt: wire-size arithmetic only;
+//                    ref: build the message and encode it, as the old
+//                    sender did per service slot)
+//   announce_encode  DataMsg wire encode (opt: encode_into a pooled
+//                    buffer; ref: encode() allocating a fresh vector)
+//   wire_decode      DataMsg decode, interning path components straight
+//                    from the receive buffer (no baseline pair)
+//
+// Timing numbers are hardware facts, not simulation outputs — like
+// BENCH_engine.json, this JSON is NOT expected to be byte-stable across
+// machines. tools/check_bench.sh compares regenerated numbers against the
+// committed baseline with a generous regression margin.
+//
+// Flags: --reps=N --jobs=K (timing fidelity wants jobs=1, the default)
+//        --seed=S --out=PATH
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/random.hpp"
+#include "sstp/namespace_tree.hpp"
+#include "sstp/reference_tree.hpp"
+#include "sstp/wire.hpp"
+
+namespace {
+
+using namespace sst;
+using namespace sst::sstp;
+
+// Store shape: 16 groups x 16 subdirs x 8 leaves = 2048 leaves, 272
+// internal nodes — comparable to the shared-whiteboard example at scale.
+constexpr std::size_t kGroups = 16;
+constexpr std::size_t kSubs = 16;
+constexpr std::size_t kLeaves = 8;
+
+constexpr std::size_t kDigestOps = 10000;
+constexpr std::size_t kWalkSweeps = 500;
+constexpr std::size_t kPriceRounds = 200;
+constexpr std::size_t kEncodeOps = 200000;
+constexpr std::size_t kDecodeOps = 100000;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t g_sink_storage = 0;
+inline void sink(std::uint64_t v) {
+  volatile std::uint64_t* p = &g_sink_storage;
+  *p = *p + v;
+}
+
+runner::MetricRow ops_metrics(double elapsed_s, double ops) {
+  return runner::MetricRow{
+      {"ns_per_op", elapsed_s / ops * 1e9},
+      {"ops_per_s", ops / elapsed_s},
+  };
+}
+
+const std::vector<Path>& leaf_paths() {
+  static const std::vector<Path> paths = [] {
+    std::vector<Path> out;
+    out.reserve(kGroups * kSubs * kLeaves);
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      for (std::size_t s = 0; s < kSubs; ++s) {
+        for (std::size_t l = 0; l < kLeaves; ++l) {
+          out.push_back(Path::parse("/g" + std::to_string(g) + "/s" +
+                                    std::to_string(s) + "/doc" +
+                                    std::to_string(l)));
+        }
+      }
+    }
+    return out;
+  }();
+  return paths;
+}
+
+const std::vector<Path>& internal_paths() {
+  static const std::vector<Path> paths = [] {
+    std::vector<Path> out;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      out.push_back(Path::parse("/g" + std::to_string(g)));
+      for (std::size_t s = 0; s < kSubs; ++s) {
+        out.push_back(Path::parse("/g" + std::to_string(g) + "/s" +
+                                  std::to_string(s)));
+      }
+    }
+    return out;
+  }();
+  return paths;
+}
+
+template <class Tree>
+Tree build_store(hash::DigestAlgo algo) {
+  Tree tree(algo);
+  for (const Path& p : leaf_paths()) {
+    tree.put(p, {1, 2, 3, 4}, {"type=doc"});
+  }
+  (void)tree.root_digest();  // warm every cache before timing starts
+  return tree;
+}
+
+// One announce cycle: a leaf changes, the root digest is needed again.
+template <class Tree>
+runner::MetricRow digest_dirty(std::uint64_t seed, hash::DigestAlgo algo) {
+  sim::Rng rng(seed);
+  Tree tree = build_store<Tree>(algo);
+  const auto& paths = leaf_paths();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kDigestOps; ++i) {
+    tree.put(paths[rng.uniform_int(paths.size())], {5, 6, 7});
+    sink(tree.root_digest().bytes()[0]);
+  }
+  const double elapsed = seconds_since(t0);
+  return ops_metrics(elapsed, static_cast<double>(kDigestOps));
+}
+
+template <class Tree>
+runner::MetricRow tree_walk(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Tree tree = build_store<Tree>(hash::DigestAlgo::kFnv1a);
+  sink(rng.uniform_int(2));  // same seed plumbing as the other scenarios
+  std::uint64_t visited = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t sweep = 0; sweep < kWalkSweeps; ++sweep) {
+    tree.for_each_leaf(Path{}, [&visited](const Path& p, const Adu& adu) {
+      visited += p.depth() + adu.version;
+    });
+  }
+  const double elapsed = seconds_since(t0);
+  sink(visited);
+  return ops_metrics(elapsed,
+                     static_cast<double>(kWalkSweeps * leaf_paths().size()));
+}
+
+// What the scheduler pays to price one SignaturesMsg head-of-line. The old
+// sender built the full message and encoded it just to learn its size; the
+// new one walks the child vector doing size arithmetic only.
+runner::MetricRow summary_price_opt(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  NamespaceTree tree = build_store<NamespaceTree>(hash::DigestAlgo::kFnv1a);
+  sink(rng.uniform_int(2));
+  const auto& nodes = internal_paths();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < kPriceRounds; ++round) {
+    for (const Path& p : nodes) {
+      sink(signatures_msg_wire_size(p, tree));
+    }
+  }
+  const double elapsed = seconds_since(t0);
+  return ops_metrics(elapsed,
+                     static_cast<double>(kPriceRounds * nodes.size()));
+}
+
+runner::MetricRow summary_price_ref(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  ReferenceTree tree = build_store<ReferenceTree>(hash::DigestAlgo::kFnv1a);
+  sink(rng.uniform_int(2));
+  const auto& nodes = internal_paths();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < kPriceRounds; ++round) {
+    for (const Path& p : nodes) {
+      SignaturesMsg m;
+      m.path = p;
+      m.node_digest = *tree.digest(p);
+      m.children = tree.children(p);
+      sink(encode(Message(std::move(m))).size());
+    }
+  }
+  const double elapsed = seconds_since(t0);
+  return ops_metrics(elapsed,
+                     static_cast<double>(kPriceRounds * nodes.size()));
+}
+
+DataMsg representative_data_msg() {
+  DataMsg m;
+  m.path = Path::parse("/g3/s7/doc2");
+  m.version = 12;
+  m.total_size = 4096;
+  m.offset = 1024;
+  m.chunk.assign(512, 0x5A);
+  m.tags = {"type=doc"};
+  m.seq = 99;
+  return m;
+}
+
+runner::MetricRow announce_encode(std::uint64_t seed, bool pooled) {
+  sim::Rng rng(seed);
+  const Message msg{representative_data_msg()};
+  sink(rng.uniform_int(2));
+  std::vector<std::uint8_t> buf;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kEncodeOps; ++i) {
+    if (pooled) {
+      encode_into(msg, buf);
+      sink(buf.size());
+    } else {
+      sink(encode(msg).size());
+    }
+  }
+  const double elapsed = seconds_since(t0);
+  return ops_metrics(elapsed, static_cast<double>(kEncodeOps));
+}
+
+runner::MetricRow wire_decode(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const auto bytes = encode(Message(representative_data_msg()));
+  sink(rng.uniform_int(2));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kDecodeOps; ++i) {
+    const auto msg = decode(bytes);
+    sink(msg.has_value() ? msg->index() : 0);
+  }
+  const double elapsed = seconds_since(t0);
+  return ops_metrics(elapsed, static_cast<double>(kDecodeOps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::mc_options(argc, argv, "sstp_hotpath", /*default_reps=*/8,
+                               /*default_jobs=*/1);
+  bench::banner(
+      "SSTP data-plane hot-path microbenchmark (NamespaceTree vs "
+      "ReferenceTree, wire encode/decode)",
+      "2048 leaves under 16x16 hierarchy; interned paths, flat pooled tree, "
+      "incremental dirty-spine digests, pooled wire buffers",
+      "perf baseline tracked across PRs in BENCH_sstp_hotpath.json — not a "
+      "paper artifact");
+
+  std::vector<runner::SweepPoint> points;
+  // scenario key -> ns/op mean, for the speedup summary at the end.
+  std::vector<std::pair<std::string, double>> means;
+
+  const auto run_scenario =
+      [&](const char* scenario, const char* impl, const char* algo,
+          const std::function<runner::MetricRow(std::uint64_t)>& body) {
+        const auto agg = runner::run_replications(
+            [&body](std::size_t, std::uint64_t seed) { return body(seed); },
+            opt.runner);
+        runner::Json params = runner::Json::object();
+        params.set("scenario", runner::Json::string(scenario));
+        params.set("impl", runner::Json::string(impl));
+        params.set("algo", runner::Json::string(algo));
+        params.set("leaves",
+                   runner::Json::integer(kGroups * kSubs * kLeaves));
+        points.push_back({std::move(params), agg});
+        means.emplace_back(std::string(scenario) + "/" + impl + "/" + algo,
+                           agg.mean("ns_per_op"));
+        std::printf("  %-16s %-4s %-4s %10.1f ns/op (±%.1f), %.2f Mops/s\n",
+                    scenario, impl, algo, agg.mean("ns_per_op"),
+                    agg.ci95("ns_per_op"), agg.mean("ops_per_s") / 1e6);
+      };
+
+  std::printf("\nreplications=%zu jobs=%zu\n", opt.runner.replications,
+              opt.runner.jobs ? opt.runner.jobs : 1);
+
+  run_scenario("digest_dirty", "opt", "md5", [](std::uint64_t s) {
+    return digest_dirty<NamespaceTree>(s, hash::DigestAlgo::kMd5);
+  });
+  run_scenario("digest_dirty", "ref", "md5", [](std::uint64_t s) {
+    return digest_dirty<ReferenceTree>(s, hash::DigestAlgo::kMd5);
+  });
+  run_scenario("digest_dirty", "opt", "fnv", [](std::uint64_t s) {
+    return digest_dirty<NamespaceTree>(s, hash::DigestAlgo::kFnv1a);
+  });
+  run_scenario("digest_dirty", "ref", "fnv", [](std::uint64_t s) {
+    return digest_dirty<ReferenceTree>(s, hash::DigestAlgo::kFnv1a);
+  });
+  run_scenario("tree_walk", "opt", "fnv",
+               [](std::uint64_t s) { return tree_walk<NamespaceTree>(s); });
+  run_scenario("tree_walk", "ref", "fnv",
+               [](std::uint64_t s) { return tree_walk<ReferenceTree>(s); });
+  run_scenario("summary_price", "opt", "fnv",
+               [](std::uint64_t s) { return summary_price_opt(s); });
+  run_scenario("summary_price", "ref", "fnv",
+               [](std::uint64_t s) { return summary_price_ref(s); });
+  run_scenario("announce_encode", "opt", "-", [](std::uint64_t s) {
+    return announce_encode(s, /*pooled=*/true);
+  });
+  run_scenario("announce_encode", "ref", "-", [](std::uint64_t s) {
+    return announce_encode(s, /*pooled=*/false);
+  });
+  run_scenario("wire_decode", "opt", "-",
+               [](std::uint64_t s) { return wire_decode(s); });
+
+  const auto mean_of = [&](const std::string& key) {
+    for (const auto& [k, v] : means) {
+      if (k == key) return v;
+    }
+    return 0.0;
+  };
+  std::printf("\nspeedup (ref ns/op / opt ns/op):\n");
+  for (const auto& [name, opt_key, ref_key] :
+       std::vector<std::tuple<const char*, std::string, std::string>>{
+           {"digest_dirty/md5", "digest_dirty/opt/md5",
+            "digest_dirty/ref/md5"},
+           {"digest_dirty/fnv", "digest_dirty/opt/fnv",
+            "digest_dirty/ref/fnv"},
+           {"tree_walk", "tree_walk/opt/fnv", "tree_walk/ref/fnv"},
+           {"summary_price", "summary_price/opt/fnv",
+            "summary_price/ref/fnv"},
+           {"announce_encode", "announce_encode/opt/-",
+            "announce_encode/ref/-"},
+       }) {
+    const double o = mean_of(opt_key);
+    const double r = mean_of(ref_key);
+    std::printf("  %-18s %.2fx\n", name, o > 0.0 ? r / o : 0.0);
+  }
+
+  bench::emit_mc(opt, points);
+  return 0;
+}

@@ -48,9 +48,7 @@ int main() {
   cfg.sender.class_weights = {0.85, 0.15};
   cfg.sender.classify = [&current_page](const Path& path, const MetaTags&) {
     const std::string prefix = "page" + std::to_string(current_page);
-    return (!path.components().empty() && path.components()[0] == prefix)
-               ? 0u
-               : 1u;
+    return (path.depth() > 0 && path.component(0) == prefix) ? 0u : 1u;
   };
   cfg.receiver.session_ttl = 25.0;  // presenter silence expires the board
   Session session(sim, cfg);

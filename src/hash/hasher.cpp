@@ -1,0 +1,25 @@
+#include "hash/hasher.hpp"
+
+#include "hash/fnv.hpp"
+
+namespace sst::hash {
+
+Digest Hasher::finish() {
+  if (algo_ == DigestAlgo::kMd5) {
+    return Digest(md5_.finish());
+  }
+  // Two-lane FNV widening, matching digest.cpp's layout exactly: lane 1 is
+  // plain FNV-1a over the stream; lane 2 re-hashes the stream seeded with
+  // the finished lane 1 xor a golden-ratio constant.
+  const std::span<const std::uint8_t> data(buf_.data(), buf_.size());
+  const std::uint64_t h1 = fnv1a64(data);
+  const std::uint64_t h2 = fnv1a64(data, h1 ^ 0x9E3779B97F4A7C15ULL);
+  Digest::Bytes b{};
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::uint8_t>(h1 >> (8 * i));
+    b[8 + i] = static_cast<std::uint8_t>(h2 >> (8 * i));
+  }
+  return Digest(b);
+}
+
+}  // namespace sst::hash

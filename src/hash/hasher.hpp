@@ -1,0 +1,76 @@
+// hasher.hpp — streaming digest context for the SSTP namespace hot path.
+//
+// Digest::of_bytes / of_children are one-shot: every call materializes its
+// whole input first (for internal namespace nodes, a vector<Digest> per
+// recomputation). Hasher is the incremental form — update() any number of
+// times, finish() once — producing digests bit-identical to the one-shot
+// API for the same byte stream, in both MD5 and FNV modes. The namespace
+// tree keeps one Hasher per tree and streams child summaries straight into
+// it, so digest maintenance allocates nothing in steady state.
+//
+// FNV mode note: the 128-bit widening runs a second FNV lane seeded with
+// the finished first lane (see digest.cpp), so the second pass needs the
+// full input again. Hasher therefore buffers the stream in FNV mode; the
+// buffer is a reused member, so repeated reset()/finish() cycles settle at
+// zero allocations. MD5 mode streams directly through the block context.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "hash/md5.hpp"
+
+namespace sst::hash {
+
+/// Incremental digest context. Bit-identical to the one-shot Digest
+/// factories: Hasher(algo) with update(x) then finish() equals
+/// Digest::of_bytes(x, algo) for any concatenation of updates.
+class Hasher {
+ public:
+  /// A freshly constructed Hasher is ready for update().
+  explicit Hasher(DigestAlgo algo) : algo_(algo) {}
+
+  /// Starts a new stream. Buffer capacity is retained across resets.
+  void reset() {
+    if (algo_ == DigestAlgo::kMd5) {
+      md5_.reset();
+    } else {
+      buf_.clear();
+    }
+  }
+
+  /// Absorbs raw bytes.
+  void update(std::span<const std::uint8_t> data) {
+    if (algo_ == DigestAlgo::kMd5) {
+      md5_.update(data);
+    } else {
+      buf_.insert(buf_.end(), data.begin(), data.end());
+    }
+  }
+
+  /// Absorbs text.
+  void update(std::string_view s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  /// Absorbs a digest value (the child-summary building block).
+  void update(const Digest& d) {
+    update(std::span<const std::uint8_t>(d.bytes().data(), d.bytes().size()));
+  }
+
+  /// Closes the stream and returns the digest. reset() before reuse.
+  Digest finish();
+
+  [[nodiscard]] DigestAlgo algo() const { return algo_; }
+
+ private:
+  DigestAlgo algo_;
+  Md5 md5_;
+  std::vector<std::uint8_t> buf_;  // FNV replay buffer (second lane)
+};
+
+}  // namespace sst::hash

@@ -45,7 +45,17 @@ EventId EventQueue::schedule(SimTime when, EventFn fn) {
   slots_[slot].fn = std::move(fn);
   const std::uint32_t gen = slots_[slot].gen;
   heap_.push_back(Entry{when, next_seq_++, slot, gen});
-  sift_up(heap_.size() - 1);
+  // FIFO fast path: event-driven simulations schedule mostly into the
+  // future, so the fresh entry usually stays a leaf. One inline parent check
+  // skips sift_up's hole dance (a full Entry copy in and out even when
+  // nothing moves) for that common case.
+  const std::size_t at = heap_.size() - 1;
+  if (at > 0) {
+    const std::size_t parent = (at - 1) / 4;
+    if (before(when, heap_[at].seq, heap_[parent].time, heap_[parent].seq)) {
+      sift_up(at);
+    }
+  }
   ++live_;
   return make_id(slot, gen);
 }

@@ -1,0 +1,42 @@
+#include "sstp/interner.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace sst::sstp {
+
+Interner& Interner::global() {
+  static Interner instance;
+  return instance;
+}
+
+Symbol Interner::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  // Re-check: another thread may have interned it between the locks.
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+
+  const Symbol id = count_.load(std::memory_order_relaxed);
+  const std::size_t chunk_idx = id >> kChunkBits;
+  if (chunk_idx >= kMaxChunks) {
+    throw std::length_error("sstp::Interner symbol space exhausted");
+  }
+  store_.emplace_back(name);
+  const std::string* stored = &store_.back();
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = &chunk_store_.emplace_back();
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  chunk->names[id & kChunkMask].store(stored, std::memory_order_release);
+  ids_.emplace(std::string_view(*stored), id);
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+}  // namespace sst::sstp

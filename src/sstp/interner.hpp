@@ -1,0 +1,84 @@
+// interner.hpp — process-wide string interner for namespace path components.
+//
+// Every Path stores its components as 32-bit symbol ids instead of owning
+// one heap std::string per component; the interner maps each distinct
+// component spelling (case-sensitive) to one id for the life of the
+// process. Interning makes Path copies allocation-free (the announce hot
+// path copies paths constantly), component equality an integer compare,
+// and lets the namespace tree cache per-component name digests by id.
+//
+// Symbol ids are assignment-order handles, NOT ordered like the names they
+// denote. Anything observable (wire bytes, digests, child iteration,
+// Path ordering) must compare the *names*, never the raw ids — otherwise
+// runs would depend on which thread interned a string first. See
+// DESIGN.md, "Incremental digests and interned paths".
+//
+// Thread safety: sst::runner executes replications on a thread pool and
+// every replication parses paths, so intern() takes a shared mutex
+// (reader-mode on the hit path). name(id) is lock-free: ids index into
+// chunked stable storage published with release/acquire, so the digest and
+// comparison hot paths never touch the lock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sst::sstp {
+
+/// Interned component id. Valid ids are dense from 0.
+using Symbol = std::uint32_t;
+
+/// The component-string interner. Use Interner::global(); instances are
+/// only constructed directly by tests.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// The process-wide instance every Path goes through.
+  static Interner& global();
+
+  /// Returns the symbol for `name`, interning it on first sight. Distinct
+  /// spellings (including case) get distinct symbols, and equal spellings
+  /// always return the same symbol.
+  Symbol intern(std::string_view name);
+
+  /// The spelling of a symbol previously returned by intern(). Lock-free.
+  [[nodiscard]] std::string_view name(Symbol id) const {
+    const Chunk* chunk =
+        chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    return *chunk->names[id & kChunkMask].load(std::memory_order_acquire);
+  }
+
+  /// Number of distinct symbols interned so far.
+  [[nodiscard]] std::size_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::size_t kChunkBits = 12;  // 4096 symbols per chunk
+  static constexpr std::size_t kChunkMask = (1u << kChunkBits) - 1;
+  static constexpr std::size_t kMaxChunks = 1u << 12;  // 16M symbols total
+
+  struct Chunk {
+    std::array<std::atomic<const std::string*>, 1u << kChunkBits> names{};
+  };
+
+  mutable std::shared_mutex mu_;
+  // Keys view into store_ entries, which never move (deque).
+  std::unordered_map<std::string_view, Symbol> ids_;
+  std::deque<std::string> store_;
+  std::deque<Chunk> chunk_store_;
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> count_{0};
+};
+
+}  // namespace sst::sstp

@@ -4,71 +4,156 @@
 
 namespace sst::sstp {
 
-NamespaceTree::Node* NamespaceTree::walk(const Path& path) const {
-  Node* n = root_.get();
-  for (const auto& comp : path.components()) {
-    const auto it = n->children.find(comp);
-    if (it == n->children.end()) return nullptr;
-    n = it->second.get();
+NamespaceTree::NamespaceTree(hash::DigestAlgo algo)
+    : algo_(algo), hasher_(algo) {
+  pool_.emplace_back();  // index 0: the root
+}
+
+// ----------------------------------------------------------------- pool
+
+NamespaceTree::NodeIdx NamespaceTree::alloc_node() {
+  if (!free_.empty()) {
+    const NodeIdx idx = free_.back();
+    free_.pop_back();
+    return idx;  // fields were reset by free_node; children capacity kept
+  }
+  pool_.emplace_back();
+  return static_cast<NodeIdx>(pool_.size() - 1);
+}
+
+void NamespaceTree::free_node(NodeIdx idx) {
+  Node& n = pool_[idx];
+  n.adu.reset();
+  n.children.clear();
+  n.digest_valid = false;
+  free_.push_back(idx);
+}
+
+// ------------------------------------------------------------- children
+
+NamespaceTree::NodeIdx NamespaceTree::find_child(NodeIdx parent,
+                                                 Symbol sym) const {
+  const std::vector<ChildRef>& kids = pool_[parent].children;
+  if (kids.size() <= kLinearScanMax) {
+    for (const ChildRef& c : kids) {
+      if (c.sym == sym) return c.node;
+    }
+    return kNil;
+  }
+  const Interner& in = Interner::global();
+  const std::string_view name = in.name(sym);
+  const auto it = std::lower_bound(kids.begin(), kids.end(), name,
+                                   [&in](const ChildRef& c,
+                                         std::string_view target) {
+                                     return in.name(c.sym) < target;
+                                   });
+  if (it != kids.end() && it->sym == sym) return it->node;
+  return kNil;
+}
+
+NamespaceTree::NodeIdx NamespaceTree::insert_child(NodeIdx parent,
+                                                   Symbol sym) {
+  const NodeIdx child = alloc_node();  // may reallocate pool_: do it first
+  std::vector<ChildRef>& kids = pool_[parent].children;
+  const Interner& in = Interner::global();
+  const std::string_view name = in.name(sym);
+  const auto it = std::lower_bound(kids.begin(), kids.end(), name,
+                                   [&in](const ChildRef& c,
+                                         std::string_view target) {
+                                     return in.name(c.sym) < target;
+                                   });
+  kids.insert(it, ChildRef{sym, child});
+  return child;
+}
+
+void NamespaceTree::erase_child(NodeIdx parent, Symbol sym) {
+  std::vector<ChildRef>& kids = pool_[parent].children;
+  for (auto it = kids.begin(); it != kids.end(); ++it) {
+    if (it->sym == sym) {
+      kids.erase(it);
+      return;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- walks
+
+NamespaceTree::NodeIdx NamespaceTree::walk(const Path& path) const {
+  NodeIdx n = 0;
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    n = find_child(n, path.symbol(i));
+    if (n == kNil) return kNil;
   }
   return n;
 }
 
-NamespaceTree::Node* NamespaceTree::walk_create(const Path& path) {
-  Node* n = root_.get();
-  for (const auto& comp : path.components()) {
-    if (n->adu.has_value()) return nullptr;  // a leaf blocks the way
-    auto& slot = n->children[comp];
-    if (!slot) slot = std::make_unique<Node>();
-    n = slot.get();
+NamespaceTree::NodeIdx NamespaceTree::walk_record(const Path& path) {
+  spine_.clear();
+  NodeIdx n = 0;
+  spine_.push_back(n);
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    n = find_child(n, path.symbol(i));
+    if (n == kNil) return kNil;
+    spine_.push_back(n);
   }
   return n;
 }
 
-void NamespaceTree::invalidate(const Path& path) {
-  // Invalidate cached digests along the root-to-node path.
-  Node* n = root_.get();
-  n->digest_valid = false;
-  for (const auto& comp : path.components()) {
-    const auto it = n->children.find(comp);
-    if (it == n->children.end()) return;
-    n = it->second.get();
-    n->digest_valid = false;
+NamespaceTree::NodeIdx NamespaceTree::walk_create(const Path& path) {
+  spine_.clear();
+  NodeIdx n = 0;
+  spine_.push_back(n);
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    if (pool_[n].adu.has_value()) return kNil;  // a leaf blocks the way
+    NodeIdx next = find_child(n, path.symbol(i));
+    if (next == kNil) next = insert_child(n, path.symbol(i));
+    n = next;
+    spine_.push_back(n);
   }
+  return n;
 }
+
+void NamespaceTree::mark_spine_dirty() {
+  for (const NodeIdx idx : spine_) pool_[idx].digest_valid = false;
+}
+
+// -------------------------------------------------------------- mutation
 
 bool NamespaceTree::put(const Path& path, std::vector<std::uint8_t> data,
                         MetaTags tags) {
   if (path.is_root()) return false;
-  Node* n = walk_create(path);
-  if (n == nullptr) return false;
-  if (!n->children.empty()) return false;  // already an internal node
-  const bool was_leaf = n->adu.has_value();
-  const std::uint64_t next_version = was_leaf ? n->adu->version + 1 : 1;
+  const NodeIdx idx = walk_create(path);
+  if (idx == kNil) return false;
+  Node& n = pool_[idx];
+  if (!n.children.empty()) return false;  // already an internal node
+  const bool was_leaf = n.adu.has_value();
+  const std::uint64_t next_version = was_leaf ? n.adu->version + 1 : 1;
   Adu adu;
   adu.version = next_version;
   adu.total_size = data.size();
   adu.data = std::move(data);
-  adu.right_edge = 0;  // nothing of this version transmitted yet
+  adu.right_edge = 0;
   adu.tags = std::move(tags);
-  n->adu = std::move(adu);
+  n.adu = std::move(adu);
   if (!was_leaf) ++leaf_count_;
-  invalidate(path);
+  mark_spine_dirty();
   return true;
 }
 
 bool NamespaceTree::apply_chunk(const Path& path, std::uint64_t version,
                                 std::uint64_t total_size, std::uint64_t offset,
-                                std::vector<std::uint8_t> chunk,
+                                std::span<const std::uint8_t> chunk,
                                 const MetaTags& tags) {
   if (path.is_root()) return false;
-  Node* n = walk_create(path);
-  if (n == nullptr || !n->children.empty()) return false;
-  if (!n->adu.has_value()) {
-    n->adu = Adu{};
+  const NodeIdx idx = walk_create(path);
+  if (idx == kNil) return false;
+  Node& n = pool_[idx];
+  if (!n.children.empty()) return false;
+  if (!n.adu.has_value()) {
+    n.adu = Adu{};
     ++leaf_count_;
   }
-  Adu& adu = *n->adu;
+  Adu& adu = *n.adu;
   if (version < adu.version) return false;  // stale
   if (version > adu.version) {
     adu.version = version;
@@ -76,6 +161,7 @@ bool NamespaceTree::apply_chunk(const Path& path, std::uint64_t version,
     adu.right_edge = 0;
     adu.total_size = total_size;
     adu.tags = tags;
+    adu.cached_header_size = 0;  // tags changed
   }
   if (adu.data.size() < total_size) adu.data.resize(total_size, 0);
 
@@ -83,136 +169,141 @@ bool NamespaceTree::apply_chunk(const Path& path, std::uint64_t version,
   if (end > adu.data.size()) return false;  // malformed chunk
   std::copy(chunk.begin(), chunk.end(),
             adu.data.begin() + static_cast<std::ptrdiff_t>(offset));
-  // Contiguous-prefix right edge: only in-order bytes extend it. Out-of-order
-  // chunks are buffered and counted once the hole fills (we track only the
-  // contiguous case exactly; a hole freezes the edge until a retransmission
-  // covers it, which the repair protocol guarantees).
   if (offset <= adu.right_edge && end > adu.right_edge) {
     adu.right_edge = end;
   }
-  invalidate(path);
+  mark_spine_dirty();
   return true;
 }
 
 bool NamespaceTree::advance_right_edge(const Path& path,
                                        std::uint64_t bytes_sent) {
-  Node* n = walk(path);
-  if (n == nullptr || !n->adu.has_value()) return false;
-  const std::uint64_t edge = std::min<std::uint64_t>(
-      n->adu->right_edge + bytes_sent, n->adu->total_size);
-  if (edge != n->adu->right_edge) {
-    n->adu->right_edge = edge;
-    invalidate(path);
+  const NodeIdx idx = walk_record(path);
+  if (idx == kNil || !pool_[idx].adu.has_value()) return false;
+  Adu& adu = *pool_[idx].adu;
+  const std::uint64_t edge =
+      std::min<std::uint64_t>(adu.right_edge + bytes_sent, adu.total_size);
+  if (edge != adu.right_edge) {
+    adu.right_edge = edge;
+    mark_spine_dirty();
   }
   return true;
 }
 
 bool NamespaceTree::remove(const Path& path) {
   if (path.is_root()) return false;
-  // Find the parent, erase the child, prune empty ancestors.
-  Node* parent = walk(path.parent());
-  if (parent == nullptr) return false;
-  const auto it = parent->children.find(std::string(path.leaf_name()));
-  if (it == parent->children.end()) return false;
+  const NodeIdx idx = walk_record(path);
+  if (idx == kNil) return false;
 
-  // Count leaves being removed.
+  // Free the whole subtree, counting the leaves it held.
   std::size_t removed = 0;
-  const std::function<void(const Node&)> count = [&](const Node& n) {
+  std::vector<NodeIdx> stack{idx};
+  while (!stack.empty()) {
+    const NodeIdx i = stack.back();
+    stack.pop_back();
+    Node& n = pool_[i];
     if (n.adu.has_value()) ++removed;
-    for (const auto& [name, child] : n.children) count(*child);
-  };
-  count(*it->second);
-  parent->children.erase(it);
+    for (const ChildRef& c : n.children) stack.push_back(c.node);
+    free_node(i);
+  }
   leaf_count_ -= removed;
-  invalidate(path.parent());
 
-  // Prune now-empty internal ancestors (they no longer summarize anything).
-  Path p = path.parent();
-  while (!p.is_root()) {
-    Node* n = walk(p);
-    if (n == nullptr || n->adu.has_value() || !n->children.empty()) break;
-    Node* gp = walk(p.parent());
-    gp->children.erase(std::string(p.leaf_name()));
-    p = p.parent();
+  // Detach the victim, then prune now-empty ancestors in one pass down the
+  // recorded spine — spine_[k] is the node at depth k, and path.symbol(k-1)
+  // is its name under spine_[k-1]. (The original re-walked from the root
+  // once per pruned level: O(depth^2).)
+  std::size_t level = path.depth();  // spine index of the node to detach
+  while (level >= 1) {
+    const NodeIdx parent = spine_[level - 1];
+    erase_child(parent, path.symbol(level - 1));
+    if (level == 1) break;  // the root is never pruned
+    const Node& pn = pool_[parent];
+    if (pn.adu.has_value() || !pn.children.empty()) break;
+    free_node(parent);
+    --level;
+  }
+  // Every surviving ancestor of the detachment point lost a descendant.
+  for (std::size_t i = 0; i < level; ++i) {
+    pool_[spine_[i]].digest_valid = false;
   }
   return true;
 }
 
+// ---------------------------------------------------------------- lookup
+
 bool NamespaceTree::exists(const Path& path) const {
-  return walk(path) != nullptr;
+  return walk(path) != kNil;
 }
 
 const Adu* NamespaceTree::find(const Path& path) const {
-  const Node* n = walk(path);
-  if (n == nullptr || !n->adu.has_value()) return nullptr;
-  return &*n->adu;
+  const NodeIdx idx = walk(path);
+  if (idx == kNil || !pool_[idx].adu.has_value()) return nullptr;
+  return &*pool_[idx].adu;
 }
 
-const hash::Digest& NamespaceTree::node_digest(const Node& n) const {
+const hash::Digest& NamespaceTree::name_digest(Symbol sym) const {
+  if (sym >= name_digests_.size()) {
+    name_digests_.resize(sym + 1);
+    name_digest_valid_.resize(sym + 1, 0);
+  }
+  if (!name_digest_valid_[sym]) {
+    name_digests_[sym] =
+        hash::Digest::of_string(Interner::global().name(sym), algo_);
+    name_digest_valid_[sym] = 1;
+  }
+  return name_digests_[sym];
+}
+
+const hash::Digest& NamespaceTree::node_digest(NodeIdx idx) const {
+  const Node& n = pool_[idx];
   if (n.digest_valid) return n.cached_digest;
   if (n.adu.has_value()) {
     n.cached_digest =
         hash::Digest::of_leaf(n.adu->right_edge, n.adu->version, algo_);
   } else {
-    // std::map iterates children in name order, so the digest is canonical.
-    std::vector<hash::Digest> child_digests;
-    child_digests.reserve(n.children.size());
-    for (const auto& [name, child] : n.children) {
-      // Mix the child's name in so re-labelling is visible. The name digest
-      // and subtree digest pair per child.
-      child_digests.push_back(hash::Digest::of_string(name, algo_));
-      child_digests.push_back(node_digest(*child));
+    // Two phases: first make every child digest valid (the recursion uses
+    // hasher_ itself), then stream the cached values through one pass.
+    // Byte-for-byte this feeds the same (name digest, subtree digest)
+    // sequence that of_children hashed from the materialized vector.
+    for (const ChildRef& c : n.children) {
+      if (!pool_[c.node].digest_valid) (void)node_digest(c.node);
     }
-    n.cached_digest = hash::Digest::of_children(child_digests, algo_);
+    hasher_.reset();
+    for (const ChildRef& c : n.children) {
+      hasher_.update(name_digest(c.sym));
+      hasher_.update(pool_[c.node].cached_digest);
+    }
+    n.cached_digest = hasher_.finish();
   }
   n.digest_valid = true;
   return n.cached_digest;
 }
 
 std::optional<hash::Digest> NamespaceTree::digest(const Path& path) const {
-  const Node* n = walk(path);
-  if (n == nullptr) return std::nullopt;
-  return node_digest(*n);
+  const NodeIdx idx = walk(path);
+  if (idx == kNil) return std::nullopt;
+  return node_digest(idx);
 }
 
-hash::Digest NamespaceTree::root_digest() const {
-  return node_digest(*root_);
-}
+hash::Digest NamespaceTree::root_digest() const { return node_digest(0); }
 
 std::vector<ChildSummary> NamespaceTree::children(const Path& path) const {
   std::vector<ChildSummary> out;
-  const Node* n = walk(path);
-  if (n == nullptr) return out;
-  out.reserve(n->children.size());
-  for (const auto& [name, child] : n->children) {
+  const NodeIdx idx = walk(path);
+  if (idx == kNil) return out;
+  const Node& n = pool_[idx];
+  out.reserve(n.children.size());
+  const Interner& in = Interner::global();
+  for (const ChildRef& c : n.children) {
+    const Node& child = pool_[c.node];
     ChildSummary cs;
-    cs.name = name;
-    cs.digest = node_digest(*child);
-    cs.is_leaf = child->adu.has_value();
-    if (cs.is_leaf) cs.tags = child->adu->tags;
+    cs.name = std::string(in.name(c.sym));
+    cs.digest = node_digest(c.node);
+    cs.is_leaf = child.adu.has_value();
+    if (cs.is_leaf) cs.tags = child.adu->tags;
     out.push_back(std::move(cs));
   }
   return out;
-}
-
-void NamespaceTree::for_each_leaf_impl(
-    const Path& at, const Node& n,
-    const std::function<void(const Path&, const Adu&)>& fn) const {
-  if (n.adu.has_value()) {
-    fn(at, *n.adu);
-    return;
-  }
-  for (const auto& [name, child] : n.children) {
-    for_each_leaf_impl(at.child(name), *child, fn);
-  }
-}
-
-void NamespaceTree::for_each_leaf(
-    const Path& path,
-    const std::function<void(const Path&, const Adu&)>& fn) const {
-  const Node* n = walk(path);
-  if (n == nullptr) return;
-  for_each_leaf_impl(path, *n, fn);
 }
 
 }  // namespace sst::sstp

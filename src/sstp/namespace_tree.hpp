@@ -11,17 +11,28 @@
 // which is what makes announcement-driven loss recovery scale to large data
 // stores: one root summary per refresh instead of one announcement per
 // record.
+//
+// Layout (see DESIGN.md, "Incremental digests and interned paths"): nodes
+// live in a pooled flat vector addressed by 32-bit index; each node's
+// children are a contiguous vector of {interned symbol, node index} pairs
+// kept sorted by component *name* — the canonical order the wire and the
+// digests depend on, identical to the std::map iteration order of the
+// original representation (preserved verbatim in reference_tree.hpp).
+// Digest maintenance is incremental: every mutation records the
+// root-to-leaf spine it walked and marks exactly those nodes dirty;
+// recomputation streams child summaries straight into one reused
+// hash::Hasher with a per-symbol name-digest cache, materializing nothing.
+// Digests are bit-identical to ReferenceTree's for every operation
+// sequence (enforced by the digest-equivalence fuzz test).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "hash/digest.hpp"
+#include "hash/hasher.hpp"
 #include "sstp/path.hpp"
 
 namespace sst::sstp {
@@ -42,6 +53,13 @@ struct Adu {
   std::uint64_t total_size = 0;     // full size of this version
   MetaTags tags;
 
+  /// Cached DataMsg wire size excluding the chunk payload (type byte, path,
+  /// fixed fields, tags). 0 = not computed; reset whenever path-independent
+  /// inputs (the tags) may have changed. Maintained by wire.cpp's
+  /// data_msg_wire_size so the sender's per-announcement size arithmetic is
+  /// O(1) with no trial encode.
+  mutable std::uint32_t cached_header_size = 0;
+
   [[nodiscard]] bool complete() const { return right_edge >= total_size; }
 };
 
@@ -56,8 +74,7 @@ struct ChildSummary {
 /// The namespace tree. Not thread-safe (single simulation thread).
 class NamespaceTree {
  public:
-  explicit NamespaceTree(hash::DigestAlgo algo = hash::DigestAlgo::kMd5)
-      : algo_(algo), root_(std::make_unique<Node>()) {}
+  explicit NamespaceTree(hash::DigestAlgo algo = hash::DigestAlgo::kMd5);
 
   // -------------------------------------------------------------- mutation
 
@@ -72,14 +89,15 @@ class NamespaceTree {
   /// newer version arrives. Returns true if state changed.
   bool apply_chunk(const Path& path, std::uint64_t version,
                    std::uint64_t total_size, std::uint64_t offset,
-                   std::vector<std::uint8_t> chunk, const MetaTags& tags);
+                   std::span<const std::uint8_t> chunk, const MetaTags& tags);
 
   /// Marks `bytes_sent` bytes of the leaf's current version as transmitted
   /// (sender-side right-edge advance). Returns false if no such leaf.
   bool advance_right_edge(const Path& path, std::uint64_t bytes_sent);
 
   /// Removes the node at `path` (and its whole subtree). Empty ancestors are
-  /// pruned. Returns false if no such node.
+  /// pruned (single pass over the recorded spine). Returns false if no such
+  /// node.
   bool remove(const Path& path);
 
   // ---------------------------------------------------------------- lookup
@@ -90,8 +108,8 @@ class NamespaceTree {
   /// Leaf ADU at `path`, or nullptr.
   [[nodiscard]] const Adu* find(const Path& path) const;
 
-  /// Digest of the subtree rooted at `path` (cached, recomputed lazily).
-  /// Returns nullopt if the node does not exist.
+  /// Digest of the subtree rooted at `path` (cached; only spine-dirty nodes
+  /// recompute). Returns nullopt if the node does not exist.
   [[nodiscard]] std::optional<hash::Digest> digest(const Path& path) const;
 
   /// Root digest (always defined; empty tree has a stable digest).
@@ -101,10 +119,58 @@ class NamespaceTree {
   /// missing nodes), ordered by name — the payload of signature messages.
   [[nodiscard]] std::vector<ChildSummary> children(const Path& path) const;
 
-  /// Visits every leaf (path, adu) under `path` in name order.
-  void for_each_leaf(
-      const Path& path,
-      const std::function<void(const Path&, const Adu&)>& fn) const;
+  /// Visits every leaf (path, adu) under `path` in name order. Iterative;
+  /// `fn` is any callable (no std::function indirection) and receives a
+  /// Path that is mutated in place between calls — copy it to keep it.
+  template <class Fn>
+  void for_each_leaf(const Path& path, Fn&& fn) const {
+    const NodeIdx start = walk(path);
+    if (start == kNil) return;
+    if (pool_[start].adu.has_value()) {
+      fn(path, *pool_[start].adu);
+      return;
+    }
+    Path at = path;  // extended/truncated in place during the sweep
+    struct Frame {
+      NodeIdx node;
+      std::uint32_t next = 0;  // index of the next child to visit
+    };
+    std::vector<Frame> stack;
+    stack.push_back({start});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const Node& n = pool_[f.node];
+      if (f.next == n.children.size()) {
+        stack.pop_back();
+        if (!stack.empty()) at.pop();  // undo the descent's push
+        continue;
+      }
+      const ChildRef c = n.children[f.next++];
+      const Node& child = pool_[c.node];
+      at.push(c.sym);
+      if (child.adu.has_value()) {
+        fn(static_cast<const Path&>(at), *child.adu);
+        at.pop();
+      } else {
+        stack.push_back({c.node});
+      }
+    }
+  }
+
+  /// Visits (name, is_leaf, tags-or-null) for each child of the node at
+  /// `path` in canonical order, materializing nothing — the wire layer uses
+  /// this to price signature replies without building them.
+  template <class Fn>
+  void for_each_child(const Path& path, Fn&& fn) const {
+    const NodeIdx idx = walk(path);
+    if (idx == kNil) return;
+    const Interner& in = Interner::global();
+    for (const ChildRef& c : pool_[idx].children) {
+      const Node& child = pool_[c.node];
+      const bool is_leaf = child.adu.has_value();
+      fn(in.name(c.sym), is_leaf, is_leaf ? &child.adu->tags : nullptr);
+    }
+  }
 
   /// Number of leaves in the whole tree.
   [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
@@ -112,27 +178,59 @@ class NamespaceTree {
   [[nodiscard]] hash::DigestAlgo algo() const { return algo_; }
 
  private:
+  using NodeIdx = std::uint32_t;
+  static constexpr NodeIdx kNil = 0xFFFFFFFFu;
+  /// Child sets up to this size are looked up by linear symbol scan (pure
+  /// integer compares over contiguous 8-byte pairs); larger sets binary
+  /// search by name.
+  static constexpr std::size_t kLinearScanMax = 16;
+
+  struct ChildRef {
+    Symbol sym;
+    NodeIdx node;
+  };
+
   struct Node {
     // Internal node iff adu == nullopt.
     std::optional<Adu> adu;
-    std::map<std::string, std::unique_ptr<Node>> children;
-    mutable bool digest_valid = false;
+    std::vector<ChildRef> children;  // sorted by component name (canonical)
     mutable hash::Digest cached_digest;
+    mutable bool digest_valid = false;
   };
 
-  [[nodiscard]] Node* walk(const Path& path) const;
-  /// Walks to `path`, creating internal nodes; returns null if a leaf blocks
-  /// the way.
-  Node* walk_create(const Path& path);
-  void invalidate(const Path& path);
-  [[nodiscard]] const hash::Digest& node_digest(const Node& n) const;
-  void for_each_leaf_impl(
-      const Path& at, const Node& n,
-      const std::function<void(const Path&, const Adu&)>& fn) const;
+  [[nodiscard]] NodeIdx alloc_node();
+  void free_node(NodeIdx idx);
+  [[nodiscard]] NodeIdx find_child(NodeIdx parent, Symbol sym) const;
+  /// Inserts a fresh child under `parent` at its canonical (name-sorted)
+  /// position. The symbol must not already be present.
+  NodeIdx insert_child(NodeIdx parent, Symbol sym);
+  void erase_child(NodeIdx parent, Symbol sym);
+
+  /// Walks to `path`; kNil if missing. Does not touch the spine.
+  [[nodiscard]] NodeIdx walk(const Path& path) const;
+  /// Walks to `path` recording the node spine (root first, target last)
+  /// into spine_; kNil if missing.
+  [[nodiscard]] NodeIdx walk_record(const Path& path);
+  /// Walks to `path` creating internal nodes, recording the spine; kNil if
+  /// an existing leaf blocks the way.
+  [[nodiscard]] NodeIdx walk_create(const Path& path);
+  /// Marks every node on the recorded spine digest-dirty.
+  void mark_spine_dirty();
+
+  [[nodiscard]] const hash::Digest& node_digest(NodeIdx idx) const;
+  [[nodiscard]] const hash::Digest& name_digest(Symbol sym) const;
 
   hash::DigestAlgo algo_;
-  std::unique_ptr<Node> root_;
+  std::vector<Node> pool_;          // index 0 is the root, never freed
+  std::vector<NodeIdx> free_;      // recycled pool slots (capacity kept)
+  std::vector<NodeIdx> spine_;     // scratch: last mutation's walk
   std::size_t leaf_count_ = 0;
+
+  mutable hash::Hasher hasher_;
+  // Per-symbol digest of the component name, so recomputing an internal
+  // node never re-hashes child names (the dominant MD5 cost at scale).
+  mutable std::vector<hash::Digest> name_digests_;
+  mutable std::vector<std::uint8_t> name_digest_valid_;
 };
 
 }  // namespace sst::sstp

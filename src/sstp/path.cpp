@@ -1,50 +1,131 @@
 #include "sstp/path.hpp"
 
+#include "hash/fnv.hpp"
+
 namespace sst::sstp {
 
+// Storage invariants (see push/pop):
+//  - inline_ always holds the first min(size_, kInlineDepth) symbols;
+//  - when size_ > kInlineDepth, overflow_ holds ALL size_ symbols;
+//  - when size_ <= kInlineDepth, overflow_ content is irrelevant.
+
+Path::Path(const std::vector<std::string>& components) {
+  for (const auto& c : components) push(Interner::global().intern(c));
+}
+
 Path Path::parse(std::string_view text) {
-  std::vector<std::string> parts;
+  Path p;
   std::size_t start = 0;
   while (start <= text.size()) {
     const std::size_t slash = text.find('/', start);
-    const std::size_t end = slash == std::string_view::npos ? text.size()
-                                                            : slash;
-    if (end > start) parts.emplace_back(text.substr(start, end - start));
+    const std::size_t end =
+        slash == std::string_view::npos ? text.size() : slash;
+    if (end > start) {
+      p.push(Interner::global().intern(text.substr(start, end - start)));
+    }
     if (slash == std::string_view::npos) break;
     start = slash + 1;
   }
-  return Path(std::move(parts));
+  return p;
 }
 
-std::string Path::str() const {
-  if (components_.empty()) return "/";
-  std::string out;
-  for (const auto& c : components_) {
-    out.push_back('/');
-    out.append(c);
+void Path::push(Symbol sym) {
+  if (size_ < kInlineDepth) {
+    inline_[size_] = sym;
+  } else if (size_ == kInlineDepth) {
+    // Spilling inline -> heap; overflow_ may hold stale content from an
+    // earlier deep excursion, so rebuild it from the inline mirror.
+    overflow_.assign(inline_.begin(), inline_.end());
+    overflow_.push_back(sym);
+  } else {
+    overflow_.push_back(sym);
   }
-  return out;
+  ++size_;
+  invalidate_caches();
+}
+
+void Path::pop() {
+  if (size_ == 0) return;
+  --size_;
+  if (size_ >= kInlineDepth) overflow_.pop_back();
+  invalidate_caches();
 }
 
 Path Path::parent() const {
-  if (components_.empty()) return {};
-  std::vector<std::string> parts(components_.begin(),
-                                 components_.end() - 1);
-  return Path(std::move(parts));
+  if (size_ == 0) return {};
+  Path p = *this;
+  p.pop();
+  return p;
 }
 
 Path Path::child(std::string_view name) const {
-  std::vector<std::string> parts = components_;
-  parts.emplace_back(name);
-  return Path(std::move(parts));
+  return child(Interner::global().intern(name));
+}
+
+Path Path::child(Symbol sym) const {
+  Path p = *this;
+  p.push(sym);
+  return p;
 }
 
 bool Path::contains(const Path& other) const {
-  if (other.components_.size() < components_.size()) return false;
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    if (components_[i] != other.components_[i]) return false;
+  if (other.size_ < size_) return false;
+  const Symbol* mine = data();
+  const Symbol* theirs = other.data();
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    if (mine[i] != theirs[i]) return false;
   }
   return true;
+}
+
+const std::string& Path::str() const {
+  if (!render_) {
+    std::string out;
+    if (size_ == 0) {
+      out = "/";
+    } else {
+      out.reserve(str_size());
+      for (std::uint32_t i = 0; i < size_; ++i) {
+        out.push_back('/');
+        out.append(component(i));
+      }
+    }
+    render_ = std::make_shared<const std::string>(std::move(out));
+  }
+  return *render_;
+}
+
+std::size_t Path::str_size() const {
+  if (render_) return render_->size();
+  if (size_ == 0) return 1;  // "/"
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < size_; ++i) n += 1 + component(i).size();
+  return n;
+}
+
+std::uint64_t Path::hash() const {
+  if (hash_ != 0) return hash_;
+  std::uint64_t h = hash::kFnvOffset;
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    h = hash::fnv1a64(std::string_view("/"), h);
+    h = hash::fnv1a64(component(i), h);
+  }
+  hash_ = h;
+  return h;
+}
+
+std::strong_ordering operator<=>(const Path& a, const Path& b) {
+  const std::uint32_t n = a.size_ < b.size_ ? a.size_ : b.size_;
+  const Symbol* x = a.data();
+  const Symbol* y = b.data();
+  const Interner& interner = Interner::global();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (x[i] == y[i]) continue;  // same symbol, same name
+    const int c = interner.name(x[i]).compare(interner.name(y[i]));
+    if (c != 0) return c < 0 ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+  }
+  return a.size_ <=> b.size_;
 }
 
 }  // namespace sst::sstp

@@ -59,9 +59,8 @@ void Receiver::handle_data(const DataMsg& msg) {
       before != nullptr && before->version == msg.version &&
       before->complete();
 
-  std::vector<std::uint8_t> chunk = msg.chunk;
   tree_.apply_chunk(msg.path, msg.version, msg.total_size, msg.offset,
-                    std::move(chunk), msg.tags);
+                    msg.chunk, msg.tags);
 
   const Adu* after = tree_.find(msg.path);
   if (after != nullptr && after->version == msg.version &&
@@ -183,9 +182,9 @@ void Receiver::send_repair(const Path& path, Pending& p) {
     msg = std::move(req);
     ++stats_.queries_tx;
   }
-  const WireBytes bytes = encode(msg);
-  send_feedback_(bytes,
-                 static_cast<sim::Bytes>(bytes.size() + kFramingOverhead));
+  encode_into(msg, tx_buf_);
+  send_feedback_(tx_buf_,
+                 static_cast<sim::Bytes>(tx_buf_.size() + kFramingOverhead));
 }
 
 void Receiver::scan_pending() {
@@ -224,9 +223,9 @@ void Receiver::send_report() {
   msg.received = interval.received;
   msg.expected = interval.expected;
   ++stats_.reports_tx;
-  const WireBytes bytes = encode(Message(msg));
-  send_feedback_(bytes,
-                 static_cast<sim::Bytes>(bytes.size() + kFramingOverhead));
+  encode_into(Message(msg), tx_buf_);
+  send_feedback_(tx_buf_,
+                 static_cast<sim::Bytes>(tx_buf_.size() + kFramingOverhead));
 }
 
 void Receiver::touch_session() {

@@ -143,7 +143,10 @@ class Receiver {
   sim::Rng rng_;
   NamespaceTree tree_;
 
+  // Ordered by Path's name-lexicographic comparison: clear_pending_under
+  // relies on a subtree being a contiguous lower_bound range.
   std::map<Path, Pending> pending_;
+  WireBytes tx_buf_;  // pooled encode buffer for feedback packets
   sim::PeriodicTimer scanner_;
   sim::PeriodicTimer report_timer_;
   sim::Timer session_timer_;

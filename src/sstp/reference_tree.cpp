@@ -1,0 +1,210 @@
+#include "sstp/reference_tree.hpp"
+
+#include <algorithm>
+
+namespace sst::sstp {
+
+ReferenceTree::Node* ReferenceTree::walk(const Path& path) const {
+  Node* n = root_.get();
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    const auto it = n->children.find(std::string(path.component(i)));
+    if (it == n->children.end()) return nullptr;
+    n = it->second.get();
+  }
+  return n;
+}
+
+ReferenceTree::Node* ReferenceTree::walk_create(const Path& path) {
+  Node* n = root_.get();
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    if (n->adu.has_value()) return nullptr;  // a leaf blocks the way
+    auto& slot = n->children[std::string(path.component(i))];
+    if (!slot) slot = std::make_unique<Node>();
+    n = slot.get();
+  }
+  return n;
+}
+
+void ReferenceTree::invalidate(const Path& path) {
+  Node* n = root_.get();
+  n->digest_valid = false;
+  for (std::size_t i = 0; i < path.depth(); ++i) {
+    const auto it = n->children.find(std::string(path.component(i)));
+    if (it == n->children.end()) return;
+    n = it->second.get();
+    n->digest_valid = false;
+  }
+}
+
+bool ReferenceTree::put(const Path& path, std::vector<std::uint8_t> data,
+                        MetaTags tags) {
+  if (path.is_root()) return false;
+  Node* n = walk_create(path);
+  if (n == nullptr) return false;
+  if (!n->children.empty()) return false;  // already an internal node
+  const bool was_leaf = n->adu.has_value();
+  const std::uint64_t next_version = was_leaf ? n->adu->version + 1 : 1;
+  Adu adu;
+  adu.version = next_version;
+  adu.total_size = data.size();
+  adu.data = std::move(data);
+  adu.right_edge = 0;
+  adu.tags = std::move(tags);
+  n->adu = std::move(adu);
+  if (!was_leaf) ++leaf_count_;
+  invalidate(path);
+  return true;
+}
+
+bool ReferenceTree::apply_chunk(const Path& path, std::uint64_t version,
+                                std::uint64_t total_size, std::uint64_t offset,
+                                std::span<const std::uint8_t> chunk,
+                                const MetaTags& tags) {
+  if (path.is_root()) return false;
+  Node* n = walk_create(path);
+  if (n == nullptr || !n->children.empty()) return false;
+  if (!n->adu.has_value()) {
+    n->adu = Adu{};
+    ++leaf_count_;
+  }
+  Adu& adu = *n->adu;
+  if (version < adu.version) return false;  // stale
+  if (version > adu.version) {
+    adu.version = version;
+    adu.data.clear();
+    adu.right_edge = 0;
+    adu.total_size = total_size;
+    adu.tags = tags;
+  }
+  if (adu.data.size() < total_size) adu.data.resize(total_size, 0);
+
+  const std::uint64_t end = offset + chunk.size();
+  if (end > adu.data.size()) return false;  // malformed chunk
+  std::copy(chunk.begin(), chunk.end(),
+            adu.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  if (offset <= adu.right_edge && end > adu.right_edge) {
+    adu.right_edge = end;
+  }
+  invalidate(path);
+  return true;
+}
+
+bool ReferenceTree::advance_right_edge(const Path& path,
+                                       std::uint64_t bytes_sent) {
+  Node* n = walk(path);
+  if (n == nullptr || !n->adu.has_value()) return false;
+  const std::uint64_t edge = std::min<std::uint64_t>(
+      n->adu->right_edge + bytes_sent, n->adu->total_size);
+  if (edge != n->adu->right_edge) {
+    n->adu->right_edge = edge;
+    invalidate(path);
+  }
+  return true;
+}
+
+bool ReferenceTree::remove(const Path& path) {
+  if (path.is_root()) return false;
+  Node* parent = walk(path.parent());
+  if (parent == nullptr) return false;
+  const auto it = parent->children.find(std::string(path.leaf_name()));
+  if (it == parent->children.end()) return false;
+
+  std::size_t removed = 0;
+  const std::function<void(const Node&)> count = [&](const Node& n) {
+    if (n.adu.has_value()) ++removed;
+    for (const auto& [name, child] : n.children) count(*child);
+  };
+  count(*it->second);
+  parent->children.erase(it);
+  leaf_count_ -= removed;
+  invalidate(path.parent());
+
+  // The O(depth^2) ancestor prune the production tree fixed — kept here
+  // because this file is the unoptimized specification.
+  Path p = path.parent();
+  while (!p.is_root()) {
+    Node* n = walk(p);
+    if (n == nullptr || n->adu.has_value() || !n->children.empty()) break;
+    Node* gp = walk(p.parent());
+    gp->children.erase(std::string(p.leaf_name()));
+    p = p.parent();
+  }
+  return true;
+}
+
+bool ReferenceTree::exists(const Path& path) const {
+  return walk(path) != nullptr;
+}
+
+const Adu* ReferenceTree::find(const Path& path) const {
+  const Node* n = walk(path);
+  if (n == nullptr || !n->adu.has_value()) return nullptr;
+  return &*n->adu;
+}
+
+const hash::Digest& ReferenceTree::node_digest(const Node& n) const {
+  if (n.digest_valid) return n.cached_digest;
+  if (n.adu.has_value()) {
+    n.cached_digest =
+        hash::Digest::of_leaf(n.adu->right_edge, n.adu->version, algo_);
+  } else {
+    // std::map iterates children in name order, so the digest is canonical.
+    std::vector<hash::Digest> child_digests;
+    child_digests.reserve(n.children.size());
+    for (const auto& [name, child] : n.children) {
+      child_digests.push_back(hash::Digest::of_string(name, algo_));
+      child_digests.push_back(node_digest(*child));
+    }
+    n.cached_digest = hash::Digest::of_children(child_digests, algo_);
+  }
+  n.digest_valid = true;
+  return n.cached_digest;
+}
+
+std::optional<hash::Digest> ReferenceTree::digest(const Path& path) const {
+  const Node* n = walk(path);
+  if (n == nullptr) return std::nullopt;
+  return node_digest(*n);
+}
+
+hash::Digest ReferenceTree::root_digest() const {
+  return node_digest(*root_);
+}
+
+std::vector<ChildSummary> ReferenceTree::children(const Path& path) const {
+  std::vector<ChildSummary> out;
+  const Node* n = walk(path);
+  if (n == nullptr) return out;
+  out.reserve(n->children.size());
+  for (const auto& [name, child] : n->children) {
+    ChildSummary cs;
+    cs.name = name;
+    cs.digest = node_digest(*child);
+    cs.is_leaf = child->adu.has_value();
+    if (cs.is_leaf) cs.tags = child->adu->tags;
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+void ReferenceTree::for_each_leaf_impl(
+    const Path& at, const Node& n,
+    const std::function<void(const Path&, const Adu&)>& fn) const {
+  if (n.adu.has_value()) {
+    fn(at, *n.adu);
+    return;
+  }
+  for (const auto& [name, child] : n.children) {
+    for_each_leaf_impl(at.child(name), *child, fn);
+  }
+}
+
+void ReferenceTree::for_each_leaf(
+    const Path& path,
+    const std::function<void(const Path&, const Adu&)>& fn) const {
+  const Node* n = walk(path);
+  if (n == nullptr) return;
+  for_each_leaf_impl(path, *n, fn);
+}
+
+}  // namespace sst::sstp

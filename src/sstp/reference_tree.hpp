@@ -1,0 +1,78 @@
+// reference_tree.hpp — executable specification of the namespace digests.
+//
+// This is the original std::map-based NamespaceTree kept verbatim (modulo
+// the Path accessor spelling): per-node child maps keyed by component
+// strings, lazy top-down digest recursion that materializes one
+// vector<Digest> per internal node, and std::function leaf iteration. It
+// exists for two reasons:
+//   1. the digest-equivalence fuzz test replays every randomized operation
+//      sequence against both trees and requires bit-identical digests at
+//      every node — the production NamespaceTree's incremental maintenance
+//      is only correct if it can never be distinguished from this;
+//   2. bench_sstp_hotpath runs the same scenarios against both, so the
+//      committed BENCH_sstp_hotpath.json always carries baseline-vs-
+//      optimized numbers regardless of what machine regenerates it.
+// Do not optimize this file; its value is being obviously correct.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "sstp/namespace_tree.hpp"
+#include "sstp/path.hpp"
+
+namespace sst::sstp {
+
+/// The specification tree. Same observable behaviour as NamespaceTree.
+class ReferenceTree {
+ public:
+  explicit ReferenceTree(hash::DigestAlgo algo = hash::DigestAlgo::kMd5)
+      : algo_(algo), root_(std::make_unique<Node>()) {}
+
+  bool put(const Path& path, std::vector<std::uint8_t> data,
+           MetaTags tags = {});
+  bool apply_chunk(const Path& path, std::uint64_t version,
+                   std::uint64_t total_size, std::uint64_t offset,
+                   std::span<const std::uint8_t> chunk, const MetaTags& tags);
+  bool advance_right_edge(const Path& path, std::uint64_t bytes_sent);
+  bool remove(const Path& path);
+
+  [[nodiscard]] bool exists(const Path& path) const;
+  [[nodiscard]] const Adu* find(const Path& path) const;
+  [[nodiscard]] std::optional<hash::Digest> digest(const Path& path) const;
+  [[nodiscard]] hash::Digest root_digest() const;
+  [[nodiscard]] std::vector<ChildSummary> children(const Path& path) const;
+  void for_each_leaf(
+      const Path& path,
+      const std::function<void(const Path&, const Adu&)>& fn) const;
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+  [[nodiscard]] hash::DigestAlgo algo() const { return algo_; }
+
+ private:
+  struct Node {
+    std::optional<Adu> adu;
+    std::map<std::string, std::unique_ptr<Node>> children;
+    mutable bool digest_valid = false;
+    mutable hash::Digest cached_digest;
+  };
+
+  [[nodiscard]] Node* walk(const Path& path) const;
+  Node* walk_create(const Path& path);
+  void invalidate(const Path& path);
+  [[nodiscard]] const hash::Digest& node_digest(const Node& n) const;
+  void for_each_leaf_impl(
+      const Path& at, const Node& n,
+      const std::function<void(const Path&, const Adu&)>& fn) const;
+
+  hash::DigestAlgo algo_;
+  std::unique_ptr<Node> root_;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace sst::sstp

@@ -50,7 +50,7 @@ bool Sender::publish(const Path& path, std::vector<std::uint8_t> data,
   // overhead (path, tags, fixed fields, UDP/IP). Small ADUs are dominated by
   // this overhead, and the allocator's back-pressure must account for it.
   const double overhead =
-      static_cast<double>(path.str().size()) + 96.0 +
+      static_cast<double>(path.str_size()) + 96.0 +
       static_cast<double>(kFramingOverhead);
   if (!tree_.put(path, std::move(data), std::move(tags))) return false;
   const Adu* adu = tree_.find(path);
@@ -107,8 +107,7 @@ void Sender::enqueue_data(const Path& path, std::uint64_t offset,
   maybe_start_service();
 }
 
-std::optional<std::pair<Message, sim::Bytes>> Sender::build_hot_head(
-    std::size_t cls) {
+std::optional<Sender::HotHead> Sender::peek_hot_head(std::size_t cls) {
   std::deque<TxItem>& queue = hot_[cls];
   while (!queue.empty()) {
     TxItem& item = queue.front();
@@ -119,14 +118,11 @@ std::optional<std::pair<Message, sim::Bytes>> Sender::build_hot_head(
         queue.pop_front();
         continue;
       }
-      SignaturesMsg msg;
-      msg.path = item.path;
-      msg.node_digest = *tree_.digest(item.path);
-      msg.children = tree_.children(item.path);
-      const WireBytes bytes = encode(msg);
-      return std::make_pair(Message(std::move(msg)),
-                            static_cast<sim::Bytes>(bytes.size() +
-                                                    kFramingOverhead));
+      HotHead head;
+      head.item = &item;
+      head.size = static_cast<sim::Bytes>(
+          signatures_msg_wire_size(item.path, tree_) + kFramingOverhead);
+      return head;
     }
 
     const Adu* adu = tree_.find(item.path);
@@ -152,7 +148,7 @@ std::optional<std::pair<Message, sim::Bytes>> Sender::build_hot_head(
       // through the summary digest; send one empty chunk so receivers learn
       // the version... handled below by allowing offset==end==0.
       if (adu->total_size == 0 && item.offset == 0) {
-        // fall through to build the empty chunk
+        // fall through to price the empty chunk
       } else {
         if (item.is_repair && pending_repairs_ > 0) --pending_repairs_;
         queued_paths_.erase(item.path);
@@ -161,26 +157,42 @@ std::optional<std::pair<Message, sim::Bytes>> Sender::build_hot_head(
       }
     }
 
-    DataMsg msg;
-    msg.path = item.path;
-    msg.version = adu->version;
-    msg.total_size = adu->total_size;
-    msg.offset = item.offset;
-    const std::uint64_t chunk_end =
+    HotHead head;
+    head.item = &item;
+    head.adu = adu;
+    head.chunk_end =
         std::min<std::uint64_t>(item.offset + config_.mtu,
                                 std::min(item.end, adu->total_size));
-    msg.chunk.assign(
-        adu->data.begin() + static_cast<std::ptrdiff_t>(item.offset),
-        adu->data.begin() + static_cast<std::ptrdiff_t>(chunk_end));
-    msg.tags = adu->tags;
-    msg.seq = next_seq_;  // assigned for real at transmission
-    msg.is_repair = item.is_repair;
-    const WireBytes bytes = encode(msg);
-    return std::make_pair(Message(std::move(msg)),
-                          static_cast<sim::Bytes>(bytes.size() +
-                                                  kFramingOverhead));
+    head.size = static_cast<sim::Bytes>(
+        data_msg_wire_size(item.path, *adu, head.chunk_end - item.offset) +
+        kFramingOverhead);
+    return head;
   }
   return std::nullopt;
+}
+
+Message Sender::build_hot_msg(const HotHead& head) {
+  const TxItem& item = *head.item;
+  if (item.kind == TxItem::Kind::kSignatures) {
+    SignaturesMsg msg;
+    msg.path = item.path;
+    msg.node_digest = *tree_.digest(item.path);
+    msg.children = tree_.children(item.path);
+    return msg;
+  }
+  const Adu* adu = head.adu;
+  DataMsg msg;
+  msg.path = item.path;
+  msg.version = adu->version;
+  msg.total_size = adu->total_size;
+  msg.offset = item.offset;
+  msg.chunk.assign(
+      adu->data.begin() + static_cast<std::ptrdiff_t>(item.offset),
+      adu->data.begin() + static_cast<std::ptrdiff_t>(head.chunk_end));
+  msg.tags = adu->tags;
+  msg.seq = next_seq_;  // assigned for real at transmission
+  msg.is_repair = item.is_repair;
+  return msg;
 }
 
 void Sender::consume_hot_head(std::size_t cls, const Message& msg) {
@@ -225,16 +237,17 @@ bool Sender::cold_eligible() const {
 }
 
 double Sender::hot_head_bits(std::size_t cls) {
-  const auto head = build_hot_head(cls);
+  const auto head = peek_hot_head(cls);
   if (!head) return sched::kEmpty;
-  return sim::bits(head->second);
+  return sim::bits(head->size);
 }
 
 double Sender::cold_head_bits() {
   if (!cold_eligible()) return sched::kEmpty;
-  const WireBytes bytes = encode(build_summary());
-  return sim::bits(
-      static_cast<sim::Bytes>(bytes.size() + kFramingOverhead));
+  // A SummaryMsg is fixed-size, so pricing the cold class costs neither a
+  // root-digest computation nor an encode.
+  return sim::bits(static_cast<sim::Bytes>(
+      encoded_size(SummaryMsg{}) + kFramingOverhead));
 }
 
 void Sender::arm_cold_wakeup() {
@@ -279,9 +292,9 @@ void Sender::maybe_start_service() {
   Message msg;
   sim::Bytes size = 0;
   if (cls != cold_class_) {
-    auto head = build_hot_head(cls);
-    msg = std::move(head->first);
-    size = head->second;
+    const auto head = peek_hot_head(cls);
+    size = head->size;
+    msg = build_hot_msg(*head);
     if (auto* data = std::get_if<DataMsg>(&msg)) {
       data->seq = next_seq_++;
     }
@@ -291,16 +304,16 @@ void Sender::maybe_start_service() {
     ++summary_epoch_;
     ++stats_.summary_tx;
     last_summary_ = sim_->now();
-    const WireBytes bytes = encode(msg);
-    size = static_cast<sim::Bytes>(bytes.size() + kFramingOverhead);
+    size = static_cast<sim::Bytes>(encoded_size(msg) + kFramingOverhead);
   }
 
   busy_ = true;
   stats_.bytes_tx += size;
-  const WireBytes bytes = encode(msg);
   const sim::Duration service = sim::transmission_time(size, config_.mu_data);
-  service_timer_.arm(service, [this, bytes = std::move(bytes), size] {
-    transmit_(bytes, size);
+  // The single encode happens at transmission time, into the pooled buffer.
+  service_timer_.arm(service, [this, msg = std::move(msg), size] {
+    encode_into(msg, tx_buf_);
+    transmit_(tx_buf_, size);
     finish_service();
   });
 }

@@ -20,7 +20,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "sched/hierarchical.hpp"
@@ -161,6 +161,17 @@ class Sender {
     bool is_repair = false;
   };
 
+  /// A normalized head-of-line item: stale entries already dropped, the
+  /// version refreshed, and the would-be packet size computed — without
+  /// building the message or touching the heap. The scheduler prices every
+  /// class per service slot; only the winner's message is materialized.
+  struct HotHead {
+    TxItem* item;
+    const Adu* adu = nullptr;     // null for signature heads
+    std::uint64_t chunk_end = 0;  // data heads: end of the chunk to send
+    sim::Bytes size = 0;          // wire size including framing
+  };
+
   void enqueue_data(const Path& path, std::uint64_t offset, std::uint64_t end,
                     std::uint64_t version, bool is_repair);
   [[nodiscard]] std::size_t class_of(const Path& path,
@@ -170,9 +181,10 @@ class Sender {
   /// Head-of-line packet size in bits for the scheduler, or sched::kEmpty.
   double hot_head_bits(std::size_t cls);
   double cold_head_bits();
-  /// Builds the packet for the class's hot head WITHOUT consuming it.
-  std::optional<std::pair<Message, sim::Bytes>> build_hot_head(
-      std::size_t cls);
+  /// Normalizes the class's hot head WITHOUT consuming or building it.
+  std::optional<HotHead> peek_hot_head(std::size_t cls);
+  /// Materializes the message for a peeked head.
+  Message build_hot_msg(const HotHead& head);
   void consume_hot_head(std::size_t cls, const Message& msg);
   Message build_summary();
   void handle_nack(const NackMsg& nack);
@@ -193,9 +205,10 @@ class Sender {
   std::size_t cold_class_ = 0;
 
   std::vector<std::deque<TxItem>> hot_;  // one queue per app class
-  std::set<Path> queued_paths_;    // data items queued (dedup)
-  std::set<Path> queued_sigs_;     // signature replies queued (dedup)
+  std::unordered_set<Path, PathHash> queued_paths_;  // data dedup
+  std::unordered_set<Path, PathHash> queued_sigs_;   // signature dedup
   std::size_t pending_repairs_ = 0;
+  WireBytes tx_buf_;  // pooled encode buffer: one allocation, every packet
 
   bool busy_ = false;
   bool paused_ = false;

@@ -23,8 +23,12 @@ constexpr std::size_t kMaxTags = 32;
 constexpr std::size_t kMaxChildren = 4096;
 constexpr std::size_t kMaxChunk = 1 << 20;
 
+/// Appends to a caller-owned buffer, so encode_into can reuse one pooled
+/// vector per endpoint across every packet.
 class Writer {
  public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
     for (int i = 0; i < 2; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
@@ -44,28 +48,49 @@ class Writer {
     u32(static_cast<std::uint32_t>(b.size()));
     out_.insert(out_.end(), b.begin(), b.end());
   }
-  void str(const std::string& s) {
-    u8(static_cast<std::uint8_t>(std::min<std::size_t>(s.size(), 255)));
+  void str(std::string_view s) {
+    const std::size_t len = std::min<std::size_t>(s.size(), kMaxNameLen);
+    u8(static_cast<std::uint8_t>(len));
     out_.insert(out_.end(), s.begin(),
-                s.begin() + static_cast<std::ptrdiff_t>(
-                                std::min<std::size_t>(s.size(), 255)));
+                s.begin() + static_cast<std::ptrdiff_t>(len));
   }
   void digest(const hash::Digest& d) {
     out_.insert(out_.end(), d.bytes().begin(), d.bytes().end());
   }
   void path(const Path& p) {
-    u8(static_cast<std::uint8_t>(p.components().size()));
-    for (const auto& c : p.components()) str(c);
+    u8(static_cast<std::uint8_t>(p.depth()));
+    for (std::size_t i = 0; i < p.depth(); ++i) str(p.component(i));
   }
   void tags(const MetaTags& t) {
     u8(static_cast<std::uint8_t>(std::min<std::size_t>(t.size(), kMaxTags)));
     for (std::size_t i = 0; i < t.size() && i < kMaxTags; ++i) str(t[i]);
   }
-  std::vector<std::uint8_t> take() { return std::move(out_); }
 
  private:
-  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t>& out_;
 };
+
+// Size arithmetic mirroring Writer exactly (same truncation caps), so
+// encoded_size(msg) == encode(msg).size() always — guarded by wire tests.
+std::size_t str_wire_size(std::string_view s) {
+  return 1 + std::min<std::size_t>(s.size(), kMaxNameLen);
+}
+
+std::size_t path_wire_size(const Path& p) {
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < p.depth(); ++i) {
+    n += str_wire_size(p.component(i));
+  }
+  return n;
+}
+
+std::size_t tags_wire_size(const MetaTags& t) {
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < t.size() && i < kMaxTags; ++i) {
+    n += str_wire_size(t[i]);
+  }
+  return n;
+}
 
 class Reader {
  public:
@@ -102,11 +127,21 @@ class Reader {
     pos_ += len;
     return true;
   }
-  bool str(std::string& s) {
+  /// Zero-copy string read: a view into the input buffer, valid until the
+  /// buffer dies. Used where the bytes are consumed immediately (interning,
+  /// assignment) rather than stored.
+  bool str_view(std::string_view& s) {
     std::uint8_t len;
     if (!u8(len) || len > kMaxNameLen || pos_ + len > in_.size()) return false;
-    s.assign(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    s = std::string_view(reinterpret_cast<const char*>(in_.data() + pos_),
+                         len);
     pos_ += len;
+    return true;
+  }
+  bool str(std::string& s) {
+    std::string_view v;
+    if (!str_view(v)) return false;
+    s.assign(v);
     return true;
   }
   bool digest(hash::Digest& d) {
@@ -120,14 +155,13 @@ class Reader {
   bool path(Path& p) {
     std::uint8_t n;
     if (!u8(n) || n > kMaxPathComponents) return false;
-    std::vector<std::string> comps;
-    comps.reserve(n);
+    p = Path();
+    Interner& interner = Interner::global();
     for (std::uint8_t i = 0; i < n; ++i) {
-      std::string c;
-      if (!str(c) || c.empty()) return false;  // canonical: no empty names
-      comps.push_back(std::move(c));
+      std::string_view c;
+      if (!str_view(c) || c.empty()) return false;  // canonical: no empties
+      p.push(interner.intern(c));
     }
-    p = Path(std::move(comps));
     return true;
   }
   bool tags(MetaTags& t) {
@@ -152,8 +186,9 @@ class Reader {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Message& msg) {
-  Writer w;
+void encode_into(const Message& msg, std::vector<std::uint8_t>& out) {
+  out.clear();
+  Writer w(out);
   if (const auto* m = std::get_if<DataMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(MsgType::kData));
     w.path(m->path);
@@ -194,7 +229,62 @@ std::vector<std::uint8_t> encode(const Message& msg) {
     w.u64(m6->received);
     w.u64(m6->expected);
   }
-  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(msg));
+  encode_into(msg, out);
+  return out;
+}
+
+std::size_t encoded_size(const Message& msg) {
+  if (const auto* m = std::get_if<DataMsg>(&msg)) {
+    return 1 + path_wire_size(m->path) + 8 + 8 + 8 + (4 + m->chunk.size()) +
+           tags_wire_size(m->tags) + 8 + 1;
+  }
+  if (std::get_if<SummaryMsg>(&msg) != nullptr) {
+    return 1 + 16 + 8 + 8;
+  }
+  if (const auto* m3 = std::get_if<SigRequestMsg>(&msg)) {
+    return 1 + path_wire_size(m3->path);
+  }
+  if (const auto* m4 = std::get_if<SignaturesMsg>(&msg)) {
+    std::size_t n = 1 + path_wire_size(m4->path) + 16 + 4;
+    for (const auto& c : m4->children) {
+      n += str_wire_size(c.name) + 16 + 1 + tags_wire_size(c.tags);
+    }
+    return n;
+  }
+  if (const auto* m5 = std::get_if<NackMsg>(&msg)) {
+    return 1 + path_wire_size(m5->path) + 8 + 8;
+  }
+  // ReceiverReportMsg
+  return 1 + 8 + 8 + 8;
+}
+
+std::size_t data_msg_wire_size(const Path& path, const Adu& adu,
+                               std::size_t chunk_len) {
+  if (adu.cached_header_size == 0) {
+    // type + path + version/total/offset + tags + seq + repair flag; the
+    // 4-byte chunk length prefix rides with the payload term below.
+    adu.cached_header_size = static_cast<std::uint32_t>(
+        1 + path_wire_size(path) + 8 + 8 + 8 + tags_wire_size(adu.tags) + 8 +
+        1);
+  }
+  return adu.cached_header_size + 4 + chunk_len;
+}
+
+std::size_t signatures_msg_wire_size(const Path& path,
+                                     const NamespaceTree& tree) {
+  std::size_t n = 1 + path_wire_size(path) + 16 + 4;
+  static const MetaTags kNoTags;
+  tree.for_each_child(path, [&n](std::string_view name, bool /*is_leaf*/,
+                                 const MetaTags* tags) {
+    n += str_wire_size(name) + 16 + 1 +
+         tags_wire_size(tags != nullptr ? *tags : kNoTags);
+  });
+  return n;
 }
 
 std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {

@@ -79,6 +79,28 @@ using Message =
 /// Serializes a message. Never fails (memory aside).
 std::vector<std::uint8_t> encode(const Message& msg);
 
+/// Serializes into `out` (cleared first; capacity is reused). The announce
+/// hot path encodes every packet through one pooled buffer per endpoint, so
+/// steady-state serialization allocates nothing.
+void encode_into(const Message& msg, std::vector<std::uint8_t>& out);
+
+/// Exact value of encode(msg).size() without encoding (no allocation).
+/// The scheduler charges packets by size before deciding to build them.
+[[nodiscard]] std::size_t encoded_size(const Message& msg);
+
+/// Exact encode() size of a DataMsg carrying `chunk_len` payload bytes of
+/// this (path, adu). The path+tags+fixed-field header portion is cached on
+/// the Adu after the first call, making the sender's per-announcement size
+/// arithmetic O(1).
+[[nodiscard]] std::size_t data_msg_wire_size(const Path& path, const Adu& adu,
+                                             std::size_t chunk_len);
+
+/// Exact encode() size of the SignaturesMsg the sender would build for the
+/// internal node at `path` (no message materialization; the child summaries
+/// are priced by walking the tree in place).
+[[nodiscard]] std::size_t signatures_msg_wire_size(const Path& path,
+                                                   const NamespaceTree& tree);
+
 /// Parses a message; nullopt on any malformed input (short buffer, bad type,
 /// overlong counts, non-canonical paths).
 std::optional<Message> decode(const std::vector<std::uint8_t>& bytes);

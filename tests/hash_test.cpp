@@ -1,12 +1,15 @@
 // Tests for MD5 (RFC 1321 test suite), FNV-1a, and the Digest type.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "hash/digest.hpp"
 #include "hash/fnv.hpp"
+#include "hash/hasher.hpp"
 #include "hash/md5.hpp"
 
 namespace sst::hash {
@@ -132,6 +135,68 @@ TEST(Digest, HexIs32Chars) {
 TEST(Digest, DefaultIsZero) {
   const Digest d;
   for (const auto b : d.bytes()) EXPECT_EQ(b, 0);
+}
+
+// ------------------------------------------------------- streaming Hasher
+
+TEST(Hasher, MatchesOneShotForAnyChunking) {
+  // The incremental context must be bit-identical to the one-shot factory
+  // regardless of how the input is split across update() calls.
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 300; ++i) input.push_back(static_cast<std::uint8_t>(i));
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    const Digest oneshot = Digest::of_bytes(input, algo);
+    for (const std::size_t step : {1u, 7u, 64u, 300u}) {
+      Hasher h(algo);
+      for (std::size_t at = 0; at < input.size(); at += step) {
+        const std::size_t n = std::min(step, input.size() - at);
+        h.update(std::span<const std::uint8_t>(input.data() + at, n));
+      }
+      EXPECT_EQ(h.finish(), oneshot) << "step " << step;
+    }
+  }
+}
+
+TEST(Hasher, MatchesOfChildrenStream) {
+  // Streaming digests one by one equals of_children over the vector — the
+  // namespace tree's internal-node recomputation depends on this.
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    std::vector<Digest> kids;
+    for (int i = 0; i < 9; ++i) {
+      kids.push_back(Digest::of_leaf(static_cast<std::uint64_t>(i), 1, algo));
+    }
+    Hasher h(algo);
+    for (const Digest& d : kids) h.update(d);
+    EXPECT_EQ(h.finish(), Digest::of_children(kids, algo));
+  }
+}
+
+TEST(Hasher, EmptyStreamMatchesEmptyOneShot) {
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    Hasher h(algo);
+    EXPECT_EQ(h.finish(), Digest::of_bytes({}, algo));
+    EXPECT_EQ(h.finish() == Digest(), false) << "empty digest is not zero";
+  }
+}
+
+TEST(Hasher, ResetStartsAFreshStream) {
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    Hasher h(algo);
+    h.update(std::string_view("first"));
+    (void)h.finish();
+    h.reset();
+    h.update(std::string_view("second"));
+    EXPECT_EQ(h.finish(), Digest::of_string("second", algo));
+  }
+}
+
+TEST(Hasher, TextUpdateMatchesOfString) {
+  for (const auto algo : {DigestAlgo::kMd5, DigestAlgo::kFnv1a}) {
+    Hasher h(algo);
+    h.update(std::string_view("hello/"));
+    h.update(std::string_view("world"));
+    EXPECT_EQ(h.finish(), Digest::of_string("hello/world", algo));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Digest-equivalence fuzz: the production NamespaceTree (flat pooled nodes,
+// interned symbols, incremental dirty-spine digests) must be observably
+// indistinguishable from ReferenceTree (the original std::map + lazy
+// top-down recursion, kept verbatim as the specification). Each randomized
+// operation sequence is replayed against both; any divergence in operation
+// results, root or per-node digests (MD5 and FNV), ADU state, child
+// summaries, or leaf iteration is a bug in the incremental maintenance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sstp/namespace_tree.hpp"
+#include "sstp/reference_tree.hpp"
+
+namespace sst::sstp {
+namespace {
+
+constexpr int kSequences = 1000;
+constexpr int kOpsPerSequence = 24;
+
+// Small component alphabet on shallow depths, so sequences constantly
+// collide: leaf-blocks-internal conflicts, remove-then-reput, version
+// races, and ancestor pruning all occur organically.
+const char* const kComps[] = {"a", "b", "c"};
+
+Path random_path(std::mt19937& rng) {
+  std::uniform_int_distribution<int> depth_dist(1, 3);
+  std::uniform_int_distribution<int> comp_dist(0, 2);
+  std::uniform_int_distribution<int> deep_dist(0, 39);
+  Path p;
+  if (deep_dist(rng) == 0) {
+    // Occasionally exercise the Path inline->overflow spill (depth > 8).
+    for (int i = 0; i < 10; ++i) {
+      p.push(Interner::global().intern(kComps[comp_dist(rng)]));
+    }
+    return p;
+  }
+  const int depth = depth_dist(rng);
+  for (int i = 0; i < depth; ++i) {
+    p.push(Interner::global().intern(kComps[comp_dist(rng)]));
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> random_data(std::mt19937& rng, int max_len) {
+  std::uniform_int_distribution<int> len_dist(0, max_len);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(len_dist(rng)));
+  for (auto& b : out) b = static_cast<std::uint8_t>(byte_dist(rng));
+  return out;
+}
+
+/// Enumerates every path over the alphabet up to depth 3.
+std::vector<Path> universe() {
+  std::vector<Path> out;
+  for (const char* a : kComps) {
+    out.push_back(Path::parse(std::string("/") + a));
+    for (const char* b : kComps) {
+      out.push_back(Path::parse(std::string("/") + a + "/" + b));
+      for (const char* c : kComps) {
+        out.push_back(Path::parse(std::string("/") + a + "/" + b + "/" + c));
+      }
+    }
+  }
+  return out;
+}
+
+void expect_equivalent(const NamespaceTree& tree, const ReferenceTree& ref,
+                       const std::vector<Path>& all, int seq) {
+  ASSERT_EQ(tree.root_digest(), ref.root_digest()) << "sequence " << seq;
+  ASSERT_EQ(tree.leaf_count(), ref.leaf_count()) << "sequence " << seq;
+  for (const Path& p : all) {
+    ASSERT_EQ(tree.exists(p), ref.exists(p)) << p.str() << " seq " << seq;
+    const auto dt = tree.digest(p);
+    const auto dr = ref.digest(p);
+    ASSERT_EQ(dt.has_value(), dr.has_value()) << p.str() << " seq " << seq;
+    if (dt.has_value()) {
+      ASSERT_EQ(*dt, *dr) << p.str() << " seq " << seq;
+    }
+    const Adu* at = tree.find(p);
+    const Adu* ar = ref.find(p);
+    ASSERT_EQ(at != nullptr, ar != nullptr) << p.str() << " seq " << seq;
+    if (at != nullptr) {
+      ASSERT_EQ(at->version, ar->version) << p.str();
+      ASSERT_EQ(at->right_edge, ar->right_edge) << p.str();
+      ASSERT_EQ(at->total_size, ar->total_size) << p.str();
+      ASSERT_EQ(at->data, ar->data) << p.str();
+      ASSERT_EQ(at->tags, ar->tags) << p.str();
+    }
+    const auto kt = tree.children(p);
+    const auto kr = ref.children(p);
+    ASSERT_EQ(kt.size(), kr.size()) << p.str() << " seq " << seq;
+    for (std::size_t i = 0; i < kt.size(); ++i) {
+      ASSERT_EQ(kt[i].name, kr[i].name) << p.str();
+      ASSERT_EQ(kt[i].digest, kr[i].digest) << p.str();
+      ASSERT_EQ(kt[i].is_leaf, kr[i].is_leaf) << p.str();
+      ASSERT_EQ(kt[i].tags, kr[i].tags) << p.str();
+    }
+  }
+  // Leaf iteration: identical (path, version, right_edge) sequences.
+  using LeafRow = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+  std::vector<LeafRow> lt;
+  std::vector<LeafRow> lr;
+  tree.for_each_leaf(Path{}, [&lt](const Path& p, const Adu& adu) {
+    lt.emplace_back(p.str(), adu.version, adu.right_edge);
+  });
+  ref.for_each_leaf(Path{}, [&lr](const Path& p, const Adu& adu) {
+    lr.emplace_back(p.str(), adu.version, adu.right_edge);
+  });
+  ASSERT_EQ(lt, lr) << "sequence " << seq;
+}
+
+class EquivalenceFuzz : public ::testing::TestWithParam<hash::DigestAlgo> {};
+
+INSTANTIATE_TEST_SUITE_P(Algos, EquivalenceFuzz,
+                         ::testing::Values(hash::DigestAlgo::kMd5,
+                                           hash::DigestAlgo::kFnv1a),
+                         [](const auto& info) {
+                           return info.param == hash::DigestAlgo::kMd5
+                                      ? "Md5"
+                                      : "Fnv";
+                         });
+
+TEST_P(EquivalenceFuzz, RandomizedOperationSequences) {
+  const std::vector<Path> all = universe();
+  for (int seq = 0; seq < kSequences; ++seq) {
+    std::mt19937 rng(static_cast<std::uint32_t>(
+        12345 + seq * 2 + (GetParam() == hash::DigestAlgo::kMd5 ? 0 : 1)));
+    NamespaceTree tree(GetParam());
+    ReferenceTree ref(GetParam());
+    std::uniform_int_distribution<int> op_dist(0, 9);
+    for (int op = 0; op < kOpsPerSequence; ++op) {
+      const Path p = random_path(rng);
+      switch (op_dist(rng)) {
+        case 0:
+        case 1:
+        case 2: {  // put, occasionally tagged
+          auto data = random_data(rng, 6);
+          MetaTags tags;
+          if (op_dist(rng) < 3) tags = {"k=v"};
+          ASSERT_EQ(tree.put(p, data, tags), ref.put(p, data, tags))
+              << p.str() << " seq " << seq;
+          break;
+        }
+        case 3:
+        case 4:
+        case 5: {  // apply_chunk, deliberately including stale versions,
+                   // out-of-order holes, and malformed (past-end) chunks
+          std::uniform_int_distribution<int> small(0, 3);
+          std::uniform_int_distribution<int> mid(0, 8);
+          const auto version = static_cast<std::uint64_t>(small(rng));
+          const auto total = static_cast<std::uint64_t>(mid(rng));
+          const auto offset = static_cast<std::uint64_t>(mid(rng));
+          const auto chunk = random_data(rng, 4);
+          MetaTags tags;
+          if (small(rng) == 0) tags = {"t=1"};
+          ASSERT_EQ(tree.apply_chunk(p, version, total, offset, chunk, tags),
+                    ref.apply_chunk(p, version, total, offset, chunk, tags))
+              << p.str() << " seq " << seq;
+          break;
+        }
+        case 6:
+        case 7: {  // advance the transmitted edge
+          std::uniform_int_distribution<int> step(0, 5);
+          const auto n = static_cast<std::uint64_t>(step(rng));
+          ASSERT_EQ(tree.advance_right_edge(p, n),
+                    ref.advance_right_edge(p, n))
+              << p.str() << " seq " << seq;
+          break;
+        }
+        default: {  // remove (subtrees included)
+          ASSERT_EQ(tree.remove(p), ref.remove(p))
+              << p.str() << " seq " << seq;
+          break;
+        }
+      }
+      // Root digests must agree after EVERY operation — this is what makes
+      // the incremental dirty-spine maintenance trustworthy.
+      ASSERT_EQ(tree.root_digest(), ref.root_digest())
+          << "op " << op << " seq " << seq;
+    }
+    expect_equivalent(tree, ref, all, seq);
+  }
+}
+
+}  // namespace
+}  // namespace sst::sstp

@@ -1,0 +1,92 @@
+// Tests for the component-string interner behind Path symbols.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sstp/interner.hpp"
+
+namespace sst::sstp {
+namespace {
+
+TEST(Interner, SameStringSameSymbol) {
+  Interner& in = Interner::global();
+  const Symbol a1 = in.intern("interner-test-a");
+  const Symbol a2 = in.intern("interner-test-a");
+  EXPECT_EQ(a1, a2);
+  const Symbol b = in.intern("interner-test-b");
+  EXPECT_NE(a1, b);
+}
+
+TEST(Interner, NameRoundTrips) {
+  Interner& in = Interner::global();
+  const Symbol s = in.intern("interner-test-roundtrip");
+  EXPECT_EQ(in.name(s), "interner-test-roundtrip");
+}
+
+TEST(Interner, CaseSensitiveDistinctSymbols) {
+  Interner& in = Interner::global();
+  const Symbol lower = in.intern("interner-test-case");
+  const Symbol upper = in.intern("interner-test-CASE");
+  EXPECT_NE(lower, upper);
+  EXPECT_EQ(in.name(lower), "interner-test-case");
+  EXPECT_EQ(in.name(upper), "interner-test-CASE");
+}
+
+TEST(Interner, SymbolsStableAcrossLaterInserts) {
+  Interner& in = Interner::global();
+  const Symbol early = in.intern("interner-test-stable");
+  const std::string_view early_name = in.name(early);
+  std::vector<Symbol> later;
+  for (int i = 0; i < 10000; ++i) {
+    later.push_back(in.intern("interner-test-bulk-" + std::to_string(i)));
+  }
+  // The id, the mapping, and the view survive arbitrary growth (chunked
+  // storage: names never move).
+  EXPECT_EQ(in.intern("interner-test-stable"), early);
+  EXPECT_EQ(in.name(early), "interner-test-stable");
+  EXPECT_EQ(in.name(early).data(), early_name.data());
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(in.name(later[static_cast<std::size_t>(i)]),
+              "interner-test-bulk-" + std::to_string(i));
+  }
+}
+
+TEST(Interner, EmptyStringIsInternable) {
+  Interner& in = Interner::global();
+  const Symbol e = in.intern("");
+  EXPECT_EQ(in.name(e), "");
+  EXPECT_EQ(in.intern(""), e);
+}
+
+TEST(Interner, ConcurrentInternIsConsistent) {
+  // Multiple replication threads intern scenario paths concurrently; every
+  // thread must agree on the id for a given string, and lock-free name()
+  // reads must see fully-written entries.
+  Interner& in = Interner::global();
+  constexpr int kThreads = 4;
+  constexpr int kStrings = 500;
+  std::vector<std::vector<Symbol>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&in, &ids, t] {
+      auto& mine = ids[static_cast<std::size_t>(t)];
+      mine.reserve(kStrings);
+      for (int i = 0; i < kStrings; ++i) {
+        const std::string s = "interner-test-mt-" + std::to_string(i);
+        const Symbol sym = in.intern(s);
+        if (in.name(sym) != s) std::abort();  // torn read
+        mine.push_back(sym);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<std::size_t>(t)], ids[0]);
+  }
+}
+
+}  // namespace
+}  // namespace sst::sstp

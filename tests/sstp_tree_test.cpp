@@ -226,6 +226,62 @@ TEST_P(TreeTest, AdvanceRightEdgeClampsAtTotal) {
   EXPECT_FALSE(tree_.advance_right_edge(Path::parse("/nope"), 1));
 }
 
+TEST_P(TreeTest, ApplyChunkBlockedByExistingStructure) {
+  tree_.put(Path::parse("/a/b"), bytes({1}));
+  // The target is an internal node.
+  EXPECT_FALSE(tree_.apply_chunk(Path::parse("/a"), 1, 1, 0, bytes({1}), {}));
+  // The path runs through an existing leaf.
+  EXPECT_FALSE(
+      tree_.apply_chunk(Path::parse("/a/b/c"), 1, 1, 0, bytes({1}), {}));
+  EXPECT_EQ(tree_.leaf_count(), 1u);
+}
+
+TEST_P(TreeTest, RemoveThenReputRestoresDigest) {
+  // Soft-state churn must not leave digest residue: recreating identical
+  // state after a removal yields the identical summary, so receivers that
+  // round-tripped through the deletion reconverge without special cases.
+  tree_.put(Path::parse("/a/b/c"), bytes({1, 2}));
+  tree_.put(Path::parse("/d"), bytes({3}));
+  tree_.advance_right_edge(Path::parse("/a/b/c"), 2);
+  const auto before = tree_.root_digest();
+  EXPECT_TRUE(tree_.remove(Path::parse("/a")));
+  EXPECT_NE(tree_.root_digest(), before);
+  tree_.put(Path::parse("/a/b/c"), bytes({1, 2}));
+  tree_.advance_right_edge(Path::parse("/a/b/c"), 2);
+  EXPECT_EQ(tree_.root_digest(), before);
+}
+
+TEST_P(TreeTest, DigestStableAcrossPoolRecycling) {
+  // Many remove/reput cycles recycle pooled nodes; recycled slots must not
+  // leak stale children or cached digests into the new occupant.
+  tree_.put(Path::parse("/keep"), bytes({9}));
+  const auto want = [&] {
+    tree_.put(Path::parse("/t/x"), bytes({1}));
+    tree_.put(Path::parse("/t/y/z"), bytes({2}));
+    const auto d = tree_.root_digest();
+    tree_.remove(Path::parse("/t"));
+    return d;
+  }();
+  for (int i = 0; i < 50; ++i) {
+    tree_.put(Path::parse("/t/x"), bytes({1}));
+    tree_.put(Path::parse("/t/y/z"), bytes({2}));
+    EXPECT_EQ(tree_.root_digest(), want) << "cycle " << i;
+    EXPECT_TRUE(tree_.remove(Path::parse("/t")));
+    EXPECT_EQ(tree_.leaf_count(), 1u);
+  }
+}
+
+TEST_P(TreeTest, DeepRemovePrunesWholeChain) {
+  // Ancestor pruning along a long spine (the one-pass prune path).
+  tree_.put(Path::parse("/p1/p2/p3/p4/p5/p6/p7/p8/p9/p10/leaf"), bytes({1}));
+  tree_.put(Path::parse("/p1/other"), bytes({2}));
+  EXPECT_TRUE(
+      tree_.remove(Path::parse("/p1/p2/p3/p4/p5/p6/p7/p8/p9/p10/leaf")));
+  EXPECT_FALSE(tree_.exists(Path::parse("/p1/p2")));  // chain pruned
+  EXPECT_TRUE(tree_.exists(Path::parse("/p1")));      // kept: has /p1/other
+  EXPECT_EQ(tree_.leaf_count(), 1u);
+}
+
 TEST_P(TreeTest, SenderReceiverDigestsConvergeWhenFullyReceived) {
   // The wire invariant: receiver digest matches sender digest exactly when
   // the receiver holds every transmitted byte of the current version.

@@ -221,5 +221,89 @@ TEST(Wire, FuzzCorruptionNeverCrashes) {
   SUCCEED();
 }
 
+// -------------------------------------------------- size arithmetic guards
+//
+// The scheduler prices packets with encoded_size/data_msg_wire_size BEFORE
+// deciding to build them; any drift from what encode() actually emits would
+// silently skew every simulated transmission time.
+
+std::vector<Message> representative_messages() {
+  std::vector<Message> out;
+  DataMsg d;
+  d.path = Path::parse("/slides/deck/page1");
+  d.version = 42;
+  d.total_size = 9000;
+  d.offset = 1000;
+  d.chunk = {1, 2, 3, 4, 5};
+  d.tags = {"type=slide", "prio=high"};
+  d.seq = 7;
+  d.is_repair = true;
+  out.emplace_back(d);
+  DataMsg empty;
+  empty.path = Path::parse("/x");
+  out.emplace_back(empty);
+  DataMsg overlong;
+  overlong.path = Path::parse("/n");
+  overlong.tags.assign(40, "t");  // beyond kMaxTags: writer truncates
+  overlong.tags.push_back(std::string(300, 'x'));  // beyond kMaxNameLen
+  out.emplace_back(overlong);
+  out.emplace_back(SummaryMsg{hash::Digest{}, 3, 12});
+  out.emplace_back(SigRequestMsg{Path{}});
+  out.emplace_back(SigRequestMsg{Path::parse("/a/b/c/d/e/f/g/h/i/j")});
+  SignaturesMsg s;
+  s.path = Path::parse("/dir");
+  s.children.push_back({"leaf", hash::Digest{}, true, {"k=v"}});
+  s.children.push_back({"sub", hash::Digest{}, false, {}});
+  out.emplace_back(s);
+  out.emplace_back(NackMsg{Path::parse("/a/b"), 2, 512});
+  out.emplace_back(ReceiverReportMsg{0.25, 10, 12});
+  return out;
+}
+
+TEST(Wire, EncodedSizeMatchesEncodeExactly) {
+  for (const Message& msg : representative_messages()) {
+    EXPECT_EQ(encoded_size(msg), encode(msg).size());
+  }
+}
+
+TEST(Wire, EncodeIntoMatchesEncodeAndReusesBuffer) {
+  std::vector<std::uint8_t> buf;
+  for (const Message& msg : representative_messages()) {
+    encode_into(msg, buf);
+    EXPECT_EQ(buf, encode(msg));
+  }
+}
+
+TEST(Wire, DataMsgWireSizeMatchesEncodeAndCaches) {
+  const Path path = Path::parse("/slides/deck/page1");
+  Adu adu;
+  adu.version = 3;
+  adu.total_size = 100;
+  adu.tags = {"type=slide"};
+  for (const std::size_t chunk_len : {0u, 5u, 64u}) {
+    DataMsg m;
+    m.path = path;
+    m.version = adu.version;
+    m.total_size = adu.total_size;
+    m.chunk.assign(chunk_len, 0x5A);
+    m.tags = adu.tags;
+    EXPECT_EQ(data_msg_wire_size(path, adu, chunk_len),
+              encode(Message(m)).size());
+  }
+  EXPECT_NE(adu.cached_header_size, 0u);  // cached after first use
+}
+
+TEST(Wire, SignaturesMsgWireSizePricesTheBuiltMessage) {
+  NamespaceTree tree;
+  tree.put(Path::parse("/dir/leaf"), {1, 2}, {"type=image", "res=high"});
+  tree.put(Path::parse("/dir/sub/deep"), {3});
+  const Path at = Path::parse("/dir");
+  SignaturesMsg m;
+  m.path = at;
+  m.node_digest = *tree.digest(at);
+  m.children = tree.children(at);
+  EXPECT_EQ(signatures_msg_wire_size(at, tree), encode(Message(m)).size());
+}
+
 }  // namespace
 }  // namespace sst::sstp

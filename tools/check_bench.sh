@@ -1,0 +1,97 @@
+#!/bin/sh
+# Perf-regression smoke gate: re-times the tracked microbenchmarks
+# (bench_engine, bench_sstp_hotpath) with a few quick replications and
+# compares them against the committed BENCH_<name>.json baselines. Fails if
+# any scenario regressed by more than the margin (default 25%).
+#
+# Comparison rule: the FRESH MINIMUM across smoke replications must stay
+# within margin of the COMMITTED MEAN. The min filters scheduler noise
+# (which only ever slows a run down), so three replications are enough for
+# a stable gate; the committed mean is the honest baseline. Scenarios whose
+# metric is a rate/latency other than ns_per_op (experiment_e2e) compare
+# wall_ms the same way.
+#
+# Wired into ctest as `bench_regression_smoke` (label perf-smoke,
+# RUN_SERIAL so concurrent tests don't pollute the timings). Standalone:
+#
+#   tools/check_bench.sh [build-dir]     (default: build)
+#
+# Env overrides: CHECK_BENCH_MARGIN (percent, default 25),
+#                CHECK_BENCH_REPS (default 3).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+margin=${CHECK_BENCH_MARGIN:-25}
+reps=${CHECK_BENCH_REPS:-3}
+
+# 77 is the conventional "skipped" exit code; the ctest registration maps
+# it via SKIP_RETURN_CODE so missing prerequisites never fail tier-1.
+command -v python3 > /dev/null 2>&1 || {
+  echo "SKIP: python3 not available for JSON comparison" >&2
+  exit 77
+}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+status=0
+for name in engine sstp_hotpath; do
+  bin="$build_dir/bench/bench_$name"
+  baseline="$repo_root/BENCH_$name.json"
+  if [ ! -x "$bin" ]; then
+    echo "SKIP: $bin not built" >&2
+    exit 77
+  fi
+  if [ ! -f "$baseline" ]; then
+    echo "SKIP: no committed baseline $baseline" >&2
+    exit 77
+  fi
+  echo "== bench_$name: $reps smoke replications vs $(basename "$baseline")"
+  "$bin" --reps="$reps" --jobs=1 --out="$work/$name.json" > /dev/null
+  python3 - "$baseline" "$work/$name.json" "$margin" << 'EOF' || status=1
+import json
+import sys
+
+baseline_path, fresh_path, margin = sys.argv[1], sys.argv[2], sys.argv[3]
+allowed = 1.0 + float(margin) / 100.0
+
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for point in doc["points"]:
+        key = "/".join(str(v) for v in point["params"].values())
+        metrics = point["metrics"]
+        # Lower-is-better metric per scenario: ns_per_op for the micro
+        # scenarios, wall_ms for the end-to-end experiment replication.
+        metric = "ns_per_op" if "ns_per_op" in metrics else "wall_ms"
+        out[key] = (metric, metrics[metric])
+    return out
+
+
+base, fresh = rows(baseline_path), rows(fresh_path)
+failed = False
+for key, (metric, b) in sorted(base.items()):
+    if key not in fresh:
+        print(f"  MISSING  {key} (in baseline, not in fresh run)")
+        failed = True
+        continue
+    f = fresh[key][1]
+    ratio = f["min"] / b["mean"] if b["mean"] > 0 else float("inf")
+    verdict = "ok" if ratio <= allowed else "REGRESSED"
+    print(f"  {verdict:9s} {key:42s} {metric}: baseline mean "
+          f"{b['mean']:12.1f}  fresh min {f['min']:12.1f}  ({ratio:.2f}x)")
+    if ratio > allowed:
+        failed = True
+sys.exit(1 if failed else 0)
+EOF
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: benchmark regression beyond ${margin}% — investigate before" \
+       "committing, or regenerate the baseline if the change is intended" >&2
+  exit 1
+fi
+echo "bench smoke check passed (margin ${margin}%)"
