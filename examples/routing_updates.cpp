@@ -86,7 +86,8 @@ struct Router {
       rcfg.max_retries = 6;
       peer = std::make_unique<ReceiverAgent>(
           sim, *peer_rib, rcfg,
-          [this](const NackMsg& n) { fb_link->send(n, n.size); });
+          [this](const NackMsg& n) { fb_link->send(n, n.size); },
+          sim::Rng(11));
 
       TwoQueueConfig tq;
       tq.mu_data = sim::kbps(18);
@@ -98,7 +99,8 @@ struct Router {
     } else {
       ReceiverConfig rcfg;  // passive listener
       peer = std::make_unique<ReceiverAgent>(sim, *peer_rib, rcfg,
-                                             [](const NackMsg&) {});
+                                             [](const NackMsg&) {},
+                                             sim::Rng(12));
       open_loop = std::make_unique<OpenLoopSender>(
           sim, rib, *workload, sim::kbps(24),
           [this](const DataMsg& m) { channel->send(m, m.size); });

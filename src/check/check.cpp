@@ -1,0 +1,53 @@
+#include "check/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sst::check {
+
+namespace {
+
+void default_handler(const char* subsystem, const Violations& v) {
+  std::fprintf(stderr, "sst::check: %zu invariant violation(s) in %s:\n",
+               v.size(), subsystem);
+  for (const std::string& msg : v) {
+    std::fprintf(stderr, "  - %s\n", msg.c_str());
+  }
+  std::abort();
+}
+
+// Handler swaps are test-setup only; the audit counters are touched from
+// runner worker threads, so they are atomic.
+std::atomic<Handler> g_handler{&default_handler};
+std::atomic<std::uint64_t> g_audits{0};
+std::atomic<std::uint64_t> g_violations{0};
+
+}  // namespace
+
+Handler set_handler(Handler handler) {
+  if (handler == nullptr) handler = &default_handler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void report(const char* subsystem, const Violations& v) {
+  g_audits.fetch_add(1, std::memory_order_relaxed);
+  if (v.empty()) return;
+  g_violations.fetch_add(v.size(), std::memory_order_relaxed);
+  g_handler.load(std::memory_order_acquire)(subsystem, v);
+}
+
+std::uint64_t audits_run() {
+  return g_audits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t violations_seen() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_counters() {
+  g_audits.store(0, std::memory_order_relaxed);
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sst::check

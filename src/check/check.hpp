@@ -1,0 +1,76 @@
+// check.hpp — the runtime invariant-audit core (sst::check).
+//
+// Every pooled or index-linked structure the optimization PRs introduced
+// (the 4-ary EventQueue with generation-tagged slots, the flat
+// NamespaceTree, the Interner, the Channel payload pool, the scheduler
+// hierarchy) carries a `check_invariants(check::Violations&)` method that
+// enumerates everything that must hold between operations: heap order,
+// tombstone accounting, link symmetry, free-list disjointness, bijectivity,
+// share accounting. This header is the tiny core those validators report
+// through.
+//
+// Two ways to run the validators:
+//   1. Always available: tests and the `invariant_audit` ctest sweep call
+//      check_invariants() directly on live structures (label `check`).
+//   2. SST_CHECK builds (`cmake -DSST_CHECK=ON`): the audited classes call
+//      their own validators from hooks on a fixed operation cadence, so a
+//      full fig-bench sweep self-audits end to end. See
+//      tools/check_invariants.sh and EXPERIMENTS.md for the measured
+//      overhead.
+//
+// A violation is a bug, never a recoverable condition: the default handler
+// prints every message and aborts. Tests install a capturing handler to
+// assert that deliberately corrupted structures trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Defined (to 1) by the SST_CHECK=ON build; the hooks inside the audited
+// classes compile away entirely without it.
+#if !defined(SST_CHECK_ENABLED)
+#define SST_CHECK_ENABLED 0
+#endif
+
+namespace sst::check {
+
+/// Test-only corruption helpers (src/check/corrupt.hpp). Each audited class
+/// befriends this so the corruption tests can break exactly one invariant
+/// and assert the validator trips.
+struct Corrupter;
+
+/// Human-readable invariant violations ("heap[7] orders before parent
+/// heap[1]"). Empty = structure is sound.
+using Violations = std::vector<std::string>;
+
+/// Called by report() when a validator found violations. Receives the
+/// subsystem name ("EventQueue") and the messages.
+using Handler = void (*)(const char* subsystem, const Violations& v);
+
+/// Installs a violation handler, returning the previous one. Passing
+/// nullptr restores the default (print all + abort).
+Handler set_handler(Handler handler);
+
+/// Reports a non-empty set of violations to the current handler and bumps
+/// the violation counter. No-op when `v` is empty (but still counts the
+/// audit).
+void report(const char* subsystem, const Violations& v);
+
+/// Number of report() calls made (i.e. completed audits), process-wide.
+[[nodiscard]] std::uint64_t audits_run();
+
+/// Number of individual violation messages seen, process-wide. The
+/// invariant_audit sweep asserts this stays zero across whole runs.
+[[nodiscard]] std::uint64_t violations_seen();
+
+/// Resets both counters (test isolation).
+void reset_counters();
+
+/// Cadence helper for hooks: returns true every `period`-th call per
+/// counter. Periods are powers of two so this is one AND on the hot path.
+inline bool due(std::uint64_t& counter, std::uint64_t period_pow2) {
+  return (++counter & (period_pow2 - 1)) == 0;
+}
+
+}  // namespace sst::check

@@ -1,0 +1,94 @@
+// corrupt.hpp — deliberate invariant breakage for the sst::check tests.
+//
+// Each audited class befriends check::Corrupter so the corruption tests can
+// surgically break exactly one invariant and assert the matching validator
+// trips. TEST SUPPORT ONLY: nothing outside tests/ may include this header
+// (the lint gate greps for it).
+#pragma once
+
+#include <limits>
+#include <utility>
+
+#include "net/channel.hpp"
+#include "sched/hierarchical.hpp"
+#include "sched/stride.hpp"
+#include "sched/wfq.hpp"
+#include "sim/event_queue.hpp"
+#include "sstp/interner.hpp"
+#include "sstp/namespace_tree.hpp"
+
+namespace sst::check {
+
+struct Corrupter {
+  // ------------------------------------------------------------ EventQueue
+  /// Swaps two heap entries, breaking 4-ary heap order.
+  static void eq_swap_heap(sim::EventQueue& q, std::size_t i, std::size_t j) {
+    std::swap(q.heap_[i], q.heap_[j]);
+  }
+  /// Desynchronizes the live-event counter from the slot generations.
+  static void eq_bump_live(sim::EventQueue& q) { ++q.live_; }
+  /// Pushes a still-live slot onto the free list (double-release).
+  static void eq_free_live_slot(sim::EventQueue& q) {
+    q.free_slots_.push_back(q.heap_.front().slot);
+  }
+  /// Duplicates an insertion seq, breaking the FIFO tiebreak.
+  static void eq_dup_seq(sim::EventQueue& q) {
+    q.heap_[1].seq = q.heap_[0].seq;
+  }
+
+  // --------------------------------------------------------- NamespaceTree
+  /// Swaps the root's first two children out of canonical name order.
+  static void tree_swap_children(sstp::NamespaceTree& t) {
+    std::swap(t.pool_[0].children[0], t.pool_[0].children[1]);
+  }
+  /// Desynchronizes the leaf counter.
+  static void tree_bump_leaf_count(sstp::NamespaceTree& t) {
+    ++t.leaf_count_;
+  }
+  /// Drops a node from the free list, leaking it from the pool partition.
+  static void tree_pop_free(sstp::NamespaceTree& t) { t.free_.pop_back(); }
+  /// Marks the root digest-clean regardless of dirty descendants, breaking
+  /// dirty-spine containment.
+  static void tree_force_root_clean(sstp::NamespaceTree& t) {
+    t.pool_[0].digest_valid = true;
+  }
+
+  // -------------------------------------------------------------- Interner
+  /// Publishes symbol 0's name slot as symbol 1's spelling, breaking
+  /// bijectivity (requires at least two interned symbols).
+  static void interner_mispublish(sstp::Interner& in) {
+    auto* chunk = in.chunks_[0].load(std::memory_order_acquire);
+    chunk->names[0].store(chunk->names[1].load(std::memory_order_acquire),
+                          std::memory_order_release);
+  }
+
+  // --------------------------------------------------------------- Channel
+  /// Plants a null payload-pool slot.
+  template <class M>
+  static void channel_null_slot(net::Channel<M>& ch) {
+    ch.pool_.push_back(nullptr);
+  }
+  /// Skews the aggregate delivery counter away from the endpoint sums.
+  template <class M>
+  static void channel_skew_stats(net::Channel<M>& ch) {
+    ++ch.stats_.delivered;
+  }
+
+  // ------------------------------------------------------------ schedulers
+  /// Orphans node 1, breaking parent/child link symmetry.
+  static void hier_orphan_node(sched::HierarchicalScheduler& s) {
+    s.nodes_[1].parent = std::numeric_limits<std::size_t>::max();
+  }
+  /// Negates a leaf weight, breaking share accounting.
+  static void hier_negate_weight(sched::HierarchicalScheduler& s) {
+    s.nodes_[s.leaf_of_class_.at(0)].weight = -1.0;
+  }
+  static void stride_negate_weight(sched::StrideScheduler& s) {
+    s.weights_.at(0) = -1.0;
+  }
+  static void wfq_poison_vtime(sched::WfqScheduler& s) {
+    s.vtime_ = std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+}  // namespace sst::check

@@ -37,8 +37,10 @@ void ConsistencyMonitor::detach(std::size_t r) {
   }
   // Entries waiting only on this receiver must not leak: re-run the
   // all-received check for every pending version (these deliveries will
-  // never happen and never count toward latency).
-  for (auto it = pending_.begin(); it != pending_.end();) {
+  // never happen and never count toward latency). Erasure order is
+  // invisible — nothing fires per erased entry and only aggregate counters
+  // remain — so hash-order iteration is harmless here.
+  for (auto it = pending_.begin(); it != pending_.end();) {  // sstlint: allow(unordered-iter)
     bool all = true;
     for (std::size_t i = 0; i < it->second.received.size(); ++i) {
       all = all && (it->second.received[i] || !receivers_[i].active);

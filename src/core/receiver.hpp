@@ -54,10 +54,13 @@ struct ReceiverStats {
 class ReceiverAgent {
  public:
   /// `send_nack` forwards a NACK into the reverse (feedback) path.
+  /// `rng` drives NACK slotting; callers fork it from the experiment seed
+  /// (no default — a hidden fixed seed would hand every agent the same
+  /// stream).
   ReceiverAgent(sim::Simulator& sim, ReceiverTable& table,
                 ReceiverConfig config,
                 std::function<void(const NackMsg&)> send_nack,
-                sim::Rng rng = sim::Rng(0));
+                sim::Rng rng);
 
   ReceiverAgent(const ReceiverAgent&) = delete;
   ReceiverAgent& operator=(const ReceiverAgent&) = delete;

@@ -1,6 +1,8 @@
 #include "core/table.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 namespace sst::core {
 
@@ -43,7 +45,15 @@ const Record* PublisherTable::find(Key key) const {
 
 void PublisherTable::for_each(
     const std::function<void(const Record&)>& fn) const {
-  for (const auto& [key, rec] : records_) fn(rec);
+  // Visit in key order: hash-order iteration here would leak the bucket
+  // layout into ARQ snapshot transmission order (arq::Sender uses for_each
+  // to enumerate the outgoing snapshot), breaking run-to-run determinism.
+  std::vector<Key> keys;
+  keys.reserve(records_.size());
+  for (const auto& [key, rec] : records_)  // sstlint: allow(unordered-iter)
+    keys.push_back(key);                   // (key snapshot is sorted below)
+  std::sort(keys.begin(), keys.end());
+  for (const Key key : keys) fn(records_.find(key)->second);
 }
 
 void PublisherTable::notify(const Record& rec, ChangeKind kind) {
@@ -53,7 +63,9 @@ void PublisherTable::notify(const Record& rec, ChangeKind kind) {
 // ----------------------------------------------------------------- receiver
 
 ReceiverTable::~ReceiverTable() {
-  for (auto& [key, e] : entries_) {
+  // Cancellation only marks tombstones in the event queue; no callback or
+  // output depends on the order, so hash-order iteration is harmless here.
+  for (auto& [key, e] : entries_) {  // sstlint: allow(unordered-iter)
     if (e.expiry_event != sim::kNoEvent) sim_->cancel(e.expiry_event);
   }
 }
@@ -83,10 +95,13 @@ void ReceiverTable::remove(Key key) {
 
 void ReceiverTable::clear() {
   // Snapshot the keys first: removal notifies listeners that may look the
-  // table up.
+  // table up. Sort the snapshot so the expiry notifications fan out in key
+  // order, not hash order.
   std::vector<Key> keys;
   keys.reserve(entries_.size());
-  for (const auto& [key, e] : entries_) keys.push_back(key);
+  for (const auto& [key, e] : entries_)  // sstlint: allow(unordered-iter)
+    keys.push_back(key);                 // (key snapshot is sorted below)
+  std::sort(keys.begin(), keys.end());
   for (const Key key : keys) remove(key);
 }
 

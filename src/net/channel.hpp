@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "check/check.hpp"
 #include "net/delay.hpp"
 #include "net/loss.hpp"
 #include "sim/simulator.hpp"
@@ -96,6 +98,13 @@ class Channel {
       sim_->after(d, [&handler, payload] { handler(*payload); });
       if (tracer_.enabled()) tracer_.emit(sim_->now(), "tx");
     }
+#if SST_CHECK_ENABLED
+    if (check::due(audit_tick_, 4096)) {
+      check::Violations v;
+      check_invariants(v);
+      check::report("Channel", v);
+    }
+#endif
   }
 
   /// Aggregate statistics across receivers.
@@ -122,7 +131,45 @@ class Channel {
     return receivers_.at(receiver)->enabled;
   }
 
+  /// Appends every violated invariant to `out` (sst::check): the payload
+  /// pool stays within its cap with no null or released-while-referenced
+  /// slots (each slot's use_count of at least 1 is the pool's own
+  /// reference; in-flight deliveries only ever add to it), endpoints keep
+  /// their models, and the aggregate counters equal the per-endpoint sums.
+  void check_invariants(check::Violations& out) const {
+    if (pool_.size() > kPayloadPoolCap) {
+      out.push_back("payload pool size " + std::to_string(pool_.size()) +
+                    " exceeds cap " + std::to_string(kPayloadPoolCap));
+    }
+    if (!pool_.empty() && pool_cursor_ >= pool_.size()) {
+      out.push_back("pool cursor " + std::to_string(pool_cursor_) +
+                    " out of range");
+    }
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_[i] == nullptr) {
+        out.push_back("pool slot " + std::to_string(i) + " is null");
+      } else if (pool_[i].use_count() < 1) {
+        out.push_back("pool slot " + std::to_string(i) +
+                      " lost its pool reference");
+      }
+    }
+    ChannelStats sum;
+    for (std::size_t i = 0; i < receivers_.size(); ++i) {
+      const Endpoint& ep = *receivers_[i];
+      if (ep.loss == nullptr || ep.delay == nullptr) {
+        out.push_back("endpoint " + std::to_string(i) +
+                      " missing its loss/delay model");
+      }
+      sum.delivered += ep.stats.delivered;
+      sum.dropped += ep.stats.dropped;
+    }
+    if (sum.delivered != stats_.delivered || sum.dropped != stats_.dropped) {
+      out.push_back("aggregate stats diverge from per-endpoint sums");
+    }
+  }
+
  private:
+  friend struct check::Corrupter;
   struct Endpoint {
     std::unique_ptr<LossModel> loss;
     std::unique_ptr<DelayModel> delay;
@@ -161,6 +208,7 @@ class Channel {
   ChannelStats stats_;
   std::vector<std::shared_ptr<M>> pool_;
   std::size_t pool_cursor_ = 0;
+  std::uint64_t audit_tick_ = 0;  // SST_CHECK cadence counter
 };
 
 }  // namespace sst::net

@@ -1,7 +1,9 @@
 #include "sched/hierarchical.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace sst::sched {
 
@@ -106,7 +108,73 @@ std::size_t HierarchicalScheduler::pick(std::span<const double> head_bits) {
       parent.vtime = std::max(0.0, parent.vtime - floor);
     }
   }
+#if SST_CHECK_ENABLED
+  if (check::due(audit_tick_, 4096)) {
+    check::Violations v;
+    check_invariants(v);
+    check::report("HierarchicalScheduler", v);
+  }
+#endif
   return cls;
+}
+
+void HierarchicalScheduler::check_invariants(check::Violations& out) const {
+  if (nodes_.empty() || nodes_[kRoot].parent != kNone) {
+    out.push_back("root missing or has a parent");
+    return;
+  }
+  std::vector<std::size_t> seen(nodes_.size(), 0);
+  seen[kRoot] = 1;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    // Parent/child link symmetry: each child names its parent, the parent
+    // lists the child exactly once.
+    for (const std::size_t c : n.children) {
+      if (c >= nodes_.size()) {
+        out.push_back("group " + std::to_string(id) +
+                      " links child out of range");
+        continue;
+      }
+      ++seen[c];
+      if (nodes_[c].parent != id) {
+        out.push_back("child " + std::to_string(c) + " of group " +
+                      std::to_string(id) + " names parent " +
+                      std::to_string(nodes_[c].parent));
+      }
+    }
+    if (n.leaf_class != kNone) {
+      if (!n.children.empty()) {
+        out.push_back("leaf node " + std::to_string(id) + " has children");
+      }
+      if (n.leaf_class >= leaf_of_class_.size() ||
+          leaf_of_class_[n.leaf_class] != id) {
+        out.push_back("leaf node " + std::to_string(id) +
+                      " not mirrored by the class table");
+      }
+    }
+    // Share accounting: positive weights, finite passes and virtual times.
+    if (!(n.weight > 0.0) || !std::isfinite(n.weight)) {
+      out.push_back("node " + std::to_string(id) + " has weight " +
+                    std::to_string(n.weight));
+    }
+    if (!std::isfinite(n.pass) || !std::isfinite(n.vtime)) {
+      out.push_back("node " + std::to_string(id) +
+                    " pass/vtime not finite");
+    }
+  }
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (seen[id] != 1) {
+      out.push_back("node " + std::to_string(id) + " linked " +
+                    std::to_string(seen[id]) + " times (expected 1)");
+    }
+  }
+  for (std::size_t cls = 0; cls < leaf_of_class_.size(); ++cls) {
+    const std::size_t id = leaf_of_class_[cls];
+    if (id >= nodes_.size() || nodes_[id].leaf_class != cls) {
+      out.push_back("class " + std::to_string(cls) +
+                    " does not round-trip through its leaf node");
+    }
+  }
 }
 
 }  // namespace sst::sched

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sched/scheduler.hpp"
 
 namespace sst::sched {
@@ -55,7 +57,16 @@ class HierarchicalScheduler final : public Scheduler {
 
   std::size_t pick(std::span<const double> head_bits) override;
 
+  /// Appends every violated invariant to `out` (sst::check): the
+  /// allocation tree is well-formed — parent/child links symmetric, root
+  /// parentless, leaves childless, every node reached exactly once — the
+  /// class table and the leaf nodes are in bijection, and the share
+  /// accounting (weights, passes, virtual times) stays positive and finite.
+  void check_invariants(check::Violations& out) const;
+
  private:
+  friend struct check::Corrupter;
+
   struct Node {
     std::size_t parent = kNone;
     double weight = 1.0;
@@ -78,6 +89,7 @@ class HierarchicalScheduler final : public Scheduler {
 
   std::vector<Node> nodes_;
   std::vector<std::size_t> leaf_of_class_;  // external class -> node id
+  std::uint64_t audit_tick_ = 0;            // SST_CHECK cadence counter
 };
 
 }  // namespace sst::sched

@@ -1,8 +1,11 @@
 // stride.hpp — deterministic stride scheduling (Waldspurger & Weihl, 1995).
 #pragma once
 
+#include <cmath>
+#include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sched/scheduler.hpp"
 
 namespace sst::sched {
@@ -33,7 +36,29 @@ class StrideScheduler final : public Scheduler {
 
   std::size_t pick(std::span<const double> head_bits) override;
 
+  /// Appends every violated invariant to `out` (sst::check): per-class
+  /// state vectors in lockstep, weights positive, share accounting (passes
+  /// and virtual time) finite.
+  void check_invariants(check::Violations& out) const {
+    if (pass_.size() != weights_.size() ||
+        backlogged_.size() != weights_.size()) {
+      out.push_back("per-class vectors out of lockstep");
+    }
+    for (std::size_t c = 0; c < weights_.size(); ++c) {
+      if (!(weights_[c] > 0.0) || !std::isfinite(weights_[c])) {
+        out.push_back("class " + std::to_string(c) + " has weight " +
+                      std::to_string(weights_[c]));
+      }
+      if (c < pass_.size() && !std::isfinite(pass_[c])) {
+        out.push_back("class " + std::to_string(c) + " pass not finite");
+      }
+    }
+    if (!std::isfinite(vtime_)) out.push_back("vtime not finite");
+  }
+
  private:
+  friend struct check::Corrupter;
+
   // A zero weight would make a class's stride infinite; starve it softly
   // instead so it still drains when alone (work conservation).
   static constexpr double kMinWeight = 1e-9;

@@ -7,8 +7,11 @@
 // fairness bounds without simulating the fluid GPS reference.
 #pragma once
 
+#include <cmath>
+#include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sched/scheduler.hpp"
 
 namespace sst::sched {
@@ -32,7 +35,29 @@ class WfqScheduler final : public Scheduler {
 
   std::size_t pick(std::span<const double> head_bits) override;
 
+  /// Appends every violated invariant to `out` (sst::check): tag vector in
+  /// lockstep with the weights, weights positive, finish tags and virtual
+  /// time finite.
+  void check_invariants(check::Violations& out) const {
+    if (finish_.size() != weights_.size()) {
+      out.push_back("per-class vectors out of lockstep");
+    }
+    for (std::size_t c = 0; c < weights_.size(); ++c) {
+      if (!(weights_[c] > 0.0) || !std::isfinite(weights_[c])) {
+        out.push_back("class " + std::to_string(c) + " has weight " +
+                      std::to_string(weights_[c]));
+      }
+      if (c < finish_.size() && !std::isfinite(finish_[c])) {
+        out.push_back("class " + std::to_string(c) +
+                      " finish tag not finite");
+      }
+    }
+    if (!std::isfinite(vtime_)) out.push_back("vtime not finite");
+  }
+
  private:
+  friend struct check::Corrupter;
+
   static constexpr double kMinWeight = 1e-9;
 
   std::vector<double> weights_;

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 namespace sst::sim {
@@ -47,16 +49,16 @@ EventId EventQueue::schedule(SimTime when, EventFn fn) {
   heap_.push_back(Entry{when, next_seq_++, slot, gen});
   // FIFO fast path: event-driven simulations schedule mostly into the
   // future, so the fresh entry usually stays a leaf. One inline parent check
-  // skips sift_up's hole dance (a full Entry copy in and out even when
-  // nothing moves) for that common case.
+  // skips sift_up_fresh's hole dance (a full Entry copy in and out even when
+  // nothing moves) for that common case. The fresh entry holds the maximum
+  // seq in the heap, so the (time, seq) tiebreak degenerates to a strict
+  // time comparison — no seq loads on this path at all.
   const std::size_t at = heap_.size() - 1;
-  if (at > 0) {
-    const std::size_t parent = (at - 1) / 4;
-    if (before(when, heap_[at].seq, heap_[parent].time, heap_[parent].seq)) {
-      sift_up(at);
-    }
+  if (at > 0 && when < heap_[(at - 1) / 4].time) {
+    sift_up_fresh(at);
   }
   ++live_;
+  maybe_audit();
   return make_id(slot, gen);
 }
 
@@ -67,6 +69,7 @@ bool EventQueue::cancel(EventId id) {
   slots_[slot].fn = nullptr;
   retire(slot);
   maybe_compact();
+  maybe_audit();
   return true;
 }
 
@@ -110,6 +113,7 @@ std::optional<EventQueue::Fired> EventQueue::pop() {
   Fired fired{top.time, make_id(top.slot, top.gen),
               std::move(slots_[top.slot].fn)};
   retire(top.slot);
+  maybe_audit();
   return fired;
 }
 
@@ -126,14 +130,94 @@ void EventQueue::clear() {
   live_ = 0;
 }
 
+void EventQueue::check_invariants(check::Violations& out) const {
+  // 4-ary heap order under (time, seq): every entry at or after its parent.
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    const std::size_t p = (i - 1) / 4;
+    if (before(heap_[i].time, heap_[i].seq, heap_[p].time, heap_[p].seq)) {
+      out.push_back("heap[" + std::to_string(i) + "] orders before parent " +
+                    "heap[" + std::to_string(p) + "]");
+    }
+  }
+
+  // Tombstone accounting: live_ equals the number of heap entries whose
+  // generation still matches their slot, and no live slot appears twice
+  // (a duplicate would fire one event two times).
+  std::size_t live_seen = 0;
+  std::vector<std::uint8_t> live_slot(slots_.size(), 0);
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const Entry& e = heap_[i];
+    if (e.slot >= slots_.size()) {
+      out.push_back("heap[" + std::to_string(i) + "] references slot " +
+                    std::to_string(e.slot) + " beyond store size " +
+                    std::to_string(slots_.size()));
+      continue;
+    }
+    if (!entry_live(e)) continue;
+    ++live_seen;
+    if (live_slot[e.slot]++) {
+      out.push_back("slot " + std::to_string(e.slot) +
+                    " held live by more than one heap entry");
+    }
+  }
+  if (live_seen != live_) {
+    out.push_back("live_ = " + std::to_string(live_) + " but " +
+                  std::to_string(live_seen) + " live heap entries");
+  }
+
+  // Slot-store partition: every slot is either on the free list or holds
+  // exactly one live entry; the free list never aliases a live slot.
+  std::vector<std::uint8_t> freed(slots_.size(), 0);
+  for (const std::uint32_t s : free_slots_) {
+    if (s >= slots_.size()) {
+      out.push_back("free slot " + std::to_string(s) + " out of range");
+      continue;
+    }
+    if (freed[s]++) {
+      out.push_back("slot " + std::to_string(s) + " on the free list twice");
+    }
+    if (s < live_slot.size() && live_slot[s]) {
+      out.push_back("slot " + std::to_string(s) +
+                    " both free and live in the heap");
+    }
+  }
+  if (live_ + free_slots_.size() != slots_.size()) {
+    out.push_back("slot partition broken: " + std::to_string(live_) +
+                  " live + " + std::to_string(free_slots_.size()) +
+                  " free != " + std::to_string(slots_.size()) + " slots");
+  }
+
+  // FIFO tiebreak: insertion seqs are unique and below next_seq_, so ties
+  // on time always resolve by insertion order.
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(heap_.size());
+  for (const Entry& e : heap_) {
+    if (e.seq >= next_seq_) {
+      out.push_back("entry seq " + std::to_string(e.seq) +
+                    " >= next_seq_ " + std::to_string(next_seq_));
+    }
+    seqs.push_back(e.seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  if (std::adjacent_find(seqs.begin(), seqs.end()) != seqs.end()) {
+    out.push_back("duplicate insertion seq breaks the FIFO tiebreak");
+  }
+}
+
 // Both sifts move a "hole" instead of swapping: the displaced entry is held
 // in a local and written exactly once at its final position, halving the
 // memory traffic of the classic swap loop.
-void EventQueue::sift_up(std::size_t i) const {
+// Precondition: heap_[i] is the entry schedule() just pushed, which holds
+// the maximum seq in the heap. Ties on time therefore always keep it below
+// the incumbent, and `before(e, parent)` collapses to `e.time <
+// parent.time` at every level — the seq fields never need loading. (The
+// only caller is schedule(); a general sift-up would need the full
+// tiebreak.)
+void EventQueue::sift_up_fresh(std::size_t i) const {
   const Entry e = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 4;
-    if (!before(e.time, e.seq, heap_[parent].time, heap_[parent].seq)) break;
+    if (e.time >= heap_[parent].time) break;
     heap_[i] = heap_[parent];
     i = parent;
   }

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sim/event.hpp"
 #include "sim/units.hpp"
 
@@ -60,7 +61,16 @@ class EventQueue {
   /// Discards all pending events.
   void clear();
 
+  /// Appends every violated structural invariant to `out` (sst::check):
+  /// 4-ary heap order under (time, seq), tombstone/live accounting against
+  /// the slot generations, slot-store partition (every slot either free or
+  /// holding exactly one live entry), and FIFO-tiebreak soundness (seqs
+  /// unique and below next_seq_). O(n log n); called from tests, the
+  /// invariant_audit sweep, and the SST_CHECK hooks.
+  void check_invariants(check::Violations& out) const;
+
  private:
+  friend struct check::Corrupter;
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // insertion order; tie-break for determinism
@@ -90,16 +100,28 @@ class EventQueue {
   // The sift helpers, tombstone purge, and compaction are logically const:
   // they reorder the mutable heap without changing observable state
   // (liveness is defined by the slot generations).
-  void sift_up(std::size_t i) const;
+  void sift_up_fresh(std::size_t i) const;
   void sift_down(std::size_t i) const;
   void drop_cancelled_top() const;
   void maybe_compact() const;
+
+  /// SST_CHECK hook: self-audit every 4096th mutating operation.
+  void maybe_audit() {
+#if SST_CHECK_ENABLED
+    if (check::due(audit_tick_, 4096)) {
+      check::Violations v;
+      check_invariants(v);
+      check::report("EventQueue", v);
+    }
+#endif
+  }
 
   mutable std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t audit_tick_ = 0;  // SST_CHECK cadence counter
 };
 
 }  // namespace sst::sim

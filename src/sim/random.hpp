@@ -25,7 +25,10 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
 class Rng {
  public:
   /// Constructs a stream from a 64-bit seed (expanded via SplitMix64).
-  explicit Rng(std::uint64_t seed = 0x5357'504D'6F64'656CULL);
+  /// Deliberately no default: every stream must trace back to an explicit
+  /// experiment seed (sstlint rule rng-seed), so a forgotten seed is a
+  /// compile error rather than a silently shared stream.
+  explicit Rng(std::uint64_t seed);
 
   /// Derives an independent child stream. `tag` names the consumer (e.g.
   /// "loss", "workload") so streams differ even for equal indices.

@@ -66,6 +66,9 @@ class Simulator {
   /// Total events fired over the simulator's lifetime.
   [[nodiscard]] std::uint64_t fired() const { return fired_; }
 
+  /// Read access to the pending-event set (sst::check audits and tests).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;

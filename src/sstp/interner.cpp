@@ -36,7 +36,47 @@ Symbol Interner::intern(std::string_view name) {
   chunk->names[id & kChunkMask].store(stored, std::memory_order_release);
   ids_.emplace(std::string_view(*stored), id);
   count_.store(id + 1, std::memory_order_release);
+  maybe_audit_locked();
   return id;
+}
+
+void Interner::check_invariants_locked(check::Violations& out) const {
+  const std::size_t n = size();
+  if (ids_.size() != n) {
+    out.push_back("ids_ holds " + std::to_string(ids_.size()) +
+                  " entries for " + std::to_string(n) + " issued symbols");
+  }
+  for (Symbol id = 0; id < n; ++id) {
+    const Chunk* chunk =
+        chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      out.push_back("symbol " + std::to_string(id) +
+                    " has no published chunk");
+      continue;
+    }
+    const std::string* stored =
+        chunk->names[id & kChunkMask].load(std::memory_order_acquire);
+    if (stored == nullptr) {
+      out.push_back("symbol " + std::to_string(id) +
+                    " has no published name");
+      continue;
+    }
+    // Bijectivity: the rendered name must map back to exactly this id.
+    const auto it = ids_.find(std::string_view(*stored));
+    if (it == ids_.end()) {
+      out.push_back("name of symbol " + std::to_string(id) +
+                    " missing from the id map");
+    } else if (it->second != id) {
+      out.push_back("symbol " + std::to_string(id) + " renders to '" +
+                    *stored + "' which maps back to " +
+                    std::to_string(it->second));
+    }
+  }
+}
+
+void Interner::check_invariants(check::Violations& out) const {
+  std::shared_lock lock(mu_);
+  check_invariants_locked(out);
 }
 
 }  // namespace sst::sstp

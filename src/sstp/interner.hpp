@@ -30,6 +30,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "check/check.hpp"
+
 namespace sst::sstp {
 
 /// Interned component id. Valid ids are dense from 0.
@@ -63,7 +65,27 @@ class Interner {
     return count_.load(std::memory_order_acquire);
   }
 
+  /// Appends every violated invariant to `out` (sst::check): the symbol
+  /// table is a bijection — every id in [0, size) renders to a published,
+  /// stable name, and looking that name up returns the same id — and the
+  /// id map covers exactly the issued symbols. Takes the reader lock.
+  void check_invariants(check::Violations& out) const;
+
  private:
+  friend struct check::Corrupter;
+
+  /// SST_CHECK hook: self-audit every 64th *new* symbol (called under the
+  /// writer lock, where the map and the chunks are quiescent).
+  void maybe_audit_locked() {
+#if SST_CHECK_ENABLED
+    if (check::due(audit_tick_, 64)) {
+      check::Violations v;
+      check_invariants_locked(v);
+      check::report("Interner", v);
+    }
+#endif
+  }
+  void check_invariants_locked(check::Violations& out) const;
   static constexpr std::size_t kChunkBits = 12;  // 4096 symbols per chunk
   static constexpr std::size_t kChunkMask = (1u << kChunkBits) - 1;
   static constexpr std::size_t kMaxChunks = 1u << 12;  // 16M symbols total
@@ -73,6 +95,7 @@ class Interner {
   };
 
   mutable std::shared_mutex mu_;
+  std::uint64_t audit_tick_ = 0;  // SST_CHECK cadence; writer-lock guarded
   // Keys view into store_ entries, which never move (deque).
   std::unordered_map<std::string_view, Symbol> ids_;
   std::deque<std::string> store_;

@@ -137,6 +137,7 @@ bool NamespaceTree::put(const Path& path, std::vector<std::uint8_t> data,
   n.adu = std::move(adu);
   if (!was_leaf) ++leaf_count_;
   mark_spine_dirty();
+  maybe_audit();
   return true;
 }
 
@@ -173,6 +174,7 @@ bool NamespaceTree::apply_chunk(const Path& path, std::uint64_t version,
     adu.right_edge = end;
   }
   mark_spine_dirty();
+  maybe_audit();
   return true;
 }
 
@@ -226,7 +228,102 @@ bool NamespaceTree::remove(const Path& path) {
   for (std::size_t i = 0; i < level; ++i) {
     pool_[spine_[i]].digest_valid = false;
   }
+  maybe_audit();
   return true;
+}
+
+void NamespaceTree::check_invariants(check::Violations& out) const {
+  const Interner& in = Interner::global();
+
+  // Walk the tree from the root: every child reference must stay inside the
+  // pool, appear exactly once (no sharing, no cycles), and sit in strictly
+  // name-sorted order — the canonical order the wire bytes and digests
+  // depend on.
+  std::vector<std::uint8_t> reachable(pool_.size(), 0);
+  std::size_t leaves = 0;
+  std::vector<NodeIdx> stack{0};
+  reachable[0] = 1;
+  while (!stack.empty()) {
+    const NodeIdx at = stack.back();
+    stack.pop_back();
+    const Node& n = pool_[at];
+    if (n.adu.has_value()) {
+      ++leaves;
+      if (!n.children.empty()) {
+        out.push_back("node " + std::to_string(at) +
+                      " is both a leaf and an internal node");
+      }
+      if (n.adu->right_edge > n.adu->total_size) {
+        out.push_back("node " + std::to_string(at) + " right_edge " +
+                      std::to_string(n.adu->right_edge) + " > total_size " +
+                      std::to_string(n.adu->total_size));
+      }
+    }
+    for (std::size_t c = 0; c < n.children.size(); ++c) {
+      const ChildRef& ref = n.children[c];
+      if (ref.node >= pool_.size()) {
+        out.push_back("node " + std::to_string(at) + " child " +
+                      std::to_string(c) + " index out of pool");
+        continue;
+      }
+      if (ref.node == 0) {
+        out.push_back("node " + std::to_string(at) + " links the root as " +
+                      "a child");
+        continue;
+      }
+      if (reachable[ref.node]++) {
+        out.push_back("node " + std::to_string(ref.node) +
+                      " reachable through more than one parent link");
+        continue;
+      }
+      if (c > 0 &&
+          in.name(n.children[c - 1].sym) >= in.name(ref.sym)) {
+        out.push_back("node " + std::to_string(at) +
+                      " children not strictly name-sorted at position " +
+                      std::to_string(c));
+      }
+      // Dirty-spine containment: mutations mark the whole root-to-leaf
+      // spine dirty, so a clean node can never sit above a dirty one.
+      if (n.digest_valid && !pool_[ref.node].digest_valid) {
+        out.push_back("clean node " + std::to_string(at) +
+                      " has dirty child " + std::to_string(ref.node));
+      }
+      stack.push_back(ref.node);
+    }
+  }
+  if (leaves != leaf_count_) {
+    out.push_back("leaf_count_ = " + std::to_string(leaf_count_) + " but " +
+                  std::to_string(leaves) + " reachable leaves");
+  }
+
+  // Pool partition: free-list entries are unique, unreachable, and fully
+  // reset; together with the reachable set they cover the pool.
+  std::vector<std::uint8_t> freed(pool_.size(), 0);
+  for (const NodeIdx f : free_) {
+    if (f >= pool_.size()) {
+      out.push_back("free-list entry " + std::to_string(f) +
+                    " out of pool");
+      continue;
+    }
+    if (f == 0) out.push_back("the root is on the free list");
+    if (freed[f]++) {
+      out.push_back("node " + std::to_string(f) + " on the free list twice");
+    }
+    if (reachable[f]) {
+      out.push_back("node " + std::to_string(f) +
+                    " both reachable and on the free list");
+    }
+    const Node& n = pool_[f];
+    if (n.adu.has_value() || !n.children.empty() || n.digest_valid) {
+      out.push_back("freed node " + std::to_string(f) + " not reset");
+    }
+  }
+  for (NodeIdx i = 0; i < pool_.size(); ++i) {
+    if (!reachable[i] && !freed[i]) {
+      out.push_back("node " + std::to_string(i) +
+                    " leaked: neither reachable nor free");
+    }
+  }
 }
 
 // ---------------------------------------------------------------- lookup

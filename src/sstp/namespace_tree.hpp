@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "hash/digest.hpp"
 #include "hash/hasher.hpp"
 #include "sstp/path.hpp"
@@ -177,7 +178,16 @@ class NamespaceTree {
 
   [[nodiscard]] hash::DigestAlgo algo() const { return algo_; }
 
+  /// Appends every violated structural invariant to `out` (sst::check):
+  /// pool partition (every node reachable from the root or on the free
+  /// list, never both), acyclic child links with children strictly
+  /// name-sorted, freed nodes fully reset, leaf_count_ accounting, and
+  /// dirty-spine containment (a clean node never has a dirty descendant —
+  /// the property incremental digest maintenance rests on). O(n log n).
+  void check_invariants(check::Violations& out) const;
+
  private:
+  friend struct check::Corrupter;
   using NodeIdx = std::uint32_t;
   static constexpr NodeIdx kNil = 0xFFFFFFFFu;
   /// Child sets up to this size are looked up by linear symbol scan (pure
@@ -220,7 +230,19 @@ class NamespaceTree {
   [[nodiscard]] const hash::Digest& node_digest(NodeIdx idx) const;
   [[nodiscard]] const hash::Digest& name_digest(Symbol sym) const;
 
+  /// SST_CHECK hook: self-audit every 512th mutation.
+  void maybe_audit() {
+#if SST_CHECK_ENABLED
+    if (check::due(audit_tick_, 512)) {
+      check::Violations v;
+      check_invariants(v);
+      check::report("NamespaceTree", v);
+    }
+#endif
+  }
+
   hash::DigestAlgo algo_;
+  std::uint64_t audit_tick_ = 0;    // SST_CHECK cadence counter
   std::vector<Node> pool_;          // index 0 is the root, never freed
   std::vector<NodeIdx> free_;      // recycled pool slots (capacity kept)
   std::vector<NodeIdx> spine_;     // scratch: last mutation's walk

@@ -82,9 +82,12 @@ class Receiver {
  public:
   /// `send_feedback` pushes an encoded packet (with framing-inclusive size)
   /// onto the reverse path.
+  /// `rng` drives the NACK slotting draws; callers fork it from the
+  /// experiment seed (no default — a hidden fixed seed would hand every
+  /// receiver the same stream).
   Receiver(sim::Simulator& sim, ReceiverConfig config,
            std::function<void(const WireBytes&, sim::Bytes)> send_feedback,
-           sim::Rng rng = sim::Rng(0));
+           sim::Rng rng);
 
   Receiver(const Receiver&) = delete;
   Receiver& operator=(const Receiver&) = delete;

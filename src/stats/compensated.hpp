@@ -1,0 +1,46 @@
+// compensated.hpp — Neumaier compensated summation.
+//
+// Long replications fold millions of small increments into running sums
+// (the consistency time-integral alone takes one per event). A bare
+// `sum += x` loses the low-order bits of whichever addend is smaller, and
+// the drift depends on magnitude spread — which is why the sstlint rule
+// float-accum rejects naive accumulation in sst::stats. This is the blessed
+// alternative for plain sums; Welford (welford.hpp) remains the blessed
+// form for means and variances.
+#pragma once
+
+#include <cmath>
+
+namespace sst::stats {
+
+/// Running sum with Neumaier's improved Kahan compensation: the rounding
+/// error of every add is captured in a parallel compensation term and folded
+/// back in on read, so the result is exact to within one final rounding.
+class CompensatedSum {
+ public:
+  void add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      // The compensation term accumulates values already rounded to far
+      // below the sum's ULP; compensating the compensation gains nothing.
+      comp_ += (sum_ - t) + x;  // sstlint: allow(float-accum)
+    } else {
+      comp_ += (x - t) + sum_;  // sstlint: allow(float-accum)
+    }
+    sum_ = t;
+  }
+
+  /// The compensated total.
+  [[nodiscard]] double value() const { return sum_ + comp_; }
+
+  void reset() {
+    sum_ = 0.0;
+    comp_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace sst::stats

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/compensated.hpp"
+
 namespace sst::stats {
 
 /// Fixed-width-bin histogram over [lo, hi) with overflow/underflow bins.
@@ -98,9 +100,9 @@ class Samples {
 
   [[nodiscard]] double mean() const {
     if (data_.empty()) return 0.0;
-    double s = 0.0;
-    for (const double x : data_) s += x;
-    return s / static_cast<double>(data_.size());
+    CompensatedSum s;
+    for (const double x : data_) s.add(x);
+    return s.value() / static_cast<double>(data_.size());
   }
 
  private:

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "sim/units.hpp"
+#include "stats/compensated.hpp"
 
 namespace sst::stats {
 
@@ -29,8 +30,10 @@ class TimeAverage {
   /// Accounts the current value up to `now` without changing it.
   void advance(sim::SimTime now) {
     if (now > last_time_) {
-      weighted_sum_ += value_ * (now - last_time_);
-      duration_ += now - last_time_;
+      // One increment per event over a whole replication: compensated
+      // summation keeps the integral exact where a bare += would drift.
+      weighted_sum_.add(value_ * (now - last_time_));
+      duration_.add(now - last_time_);
       last_time_ = now;
     }
   }
@@ -38,20 +41,21 @@ class TimeAverage {
   /// Time average over [start, now] after accounting up to `now`.
   [[nodiscard]] double average(sim::SimTime now) {
     advance(now);
-    return duration_ > 0 ? weighted_sum_ / duration_ : value_;
+    return average();
   }
 
   /// Time average over everything advanced so far.
   [[nodiscard]] double average() const {
-    return duration_ > 0 ? weighted_sum_ / duration_ : value_;
+    const double d = duration_.value();
+    return d > 0 ? weighted_sum_.value() / d : value_;
   }
 
   /// Drops all accumulated history; the signal keeps its current value and
   /// observation restarts at `now`. Used to discard warm-up transients.
   void reset(sim::SimTime now) {
     advance(now);
-    weighted_sum_ = 0.0;
-    duration_ = 0.0;
+    weighted_sum_.reset();
+    duration_.reset();
     last_time_ = now;
   }
 
@@ -61,16 +65,16 @@ class TimeAverage {
   /// Accumulated integral of the signal (value x time) since construction or
   /// the last reset. Windowed averages are integral differences divided by
   /// the window length.
-  [[nodiscard]] double integral() const { return weighted_sum_; }
+  [[nodiscard]] double integral() const { return weighted_sum_.value(); }
 
   /// Total observed duration.
-  [[nodiscard]] double duration() const { return duration_; }
+  [[nodiscard]] double duration() const { return duration_.value(); }
 
  private:
   sim::SimTime last_time_;
   double value_;
-  double weighted_sum_ = 0.0;
-  double duration_ = 0.0;
+  CompensatedSum weighted_sum_;
+  CompensatedSum duration_;
 };
 
 }  // namespace sst::stats

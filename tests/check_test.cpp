@@ -1,0 +1,321 @@
+// check_test.cpp — the sst::check invariant-audit layer (ctest label
+// `check`).
+//
+// Two halves:
+//   1. Reporting core: handler installation, audit/violation counters, and
+//      the power-of-two cadence helper.
+//   2. Every validator must (a) pass on a live, correctly-operated
+//      structure and (b) trip when check::Corrupter surgically breaks
+//      exactly the invariant it guards. A validator that cannot detect its
+//      own corruption is dead weight — this is the test that keeps them
+//      honest.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/corrupt.hpp"
+#include "net/channel.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "sched/hierarchical.hpp"
+#include "sched/stride.hpp"
+#include "sched/wfq.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sstp/interner.hpp"
+#include "sstp/namespace_tree.hpp"
+#include "sstp/path.hpp"
+
+namespace sst {
+namespace {
+
+using check::Violations;
+
+std::vector<std::string>& captured() {
+  static std::vector<std::string> v;
+  return v;
+}
+
+void capture_handler(const char* subsystem, const Violations& v) {
+  for (const auto& msg : v) {
+    captured().push_back(std::string(subsystem) + ": " + msg);
+  }
+}
+
+/// Installs the capturing handler for a test and restores the previous one
+/// (the default aborts, which no test wants on its own corruption).
+struct HandlerGuard {
+  HandlerGuard() : prev(check::set_handler(&capture_handler)) {
+    captured().clear();
+    check::reset_counters();
+  }
+  ~HandlerGuard() { check::set_handler(prev); }
+  check::Handler prev;
+};
+
+bool any_contains(const Violations& v, const std::string& needle) {
+  for (const auto& msg : v) {
+    if (msg.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------- core
+
+TEST(CheckCore, ReportCountsAuditsAndRoutesViolations) {
+  HandlerGuard guard;
+  check::report("Quiet", {});
+  EXPECT_EQ(check::audits_run(), 1u);
+  EXPECT_EQ(check::violations_seen(), 0u);
+  EXPECT_TRUE(captured().empty()) << "empty audits must not fire the handler";
+
+  check::report("Loud", {"first", "second"});
+  EXPECT_EQ(check::audits_run(), 2u);
+  EXPECT_EQ(check::violations_seen(), 2u);
+  ASSERT_EQ(captured().size(), 2u);
+  EXPECT_EQ(captured()[0], "Loud: first");
+}
+
+TEST(CheckCore, SetHandlerReturnsPrevious) {
+  HandlerGuard guard;
+  check::Handler mine = check::set_handler(nullptr);  // back to default
+  EXPECT_EQ(mine, &capture_handler);
+  check::set_handler(&capture_handler);  // restore for the guard's dtor
+}
+
+TEST(CheckCore, DueFiresOnPowerOfTwoCadence) {
+  std::uint64_t counter = 0;
+  int fired = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (check::due(counter, 4)) ++fired;
+  }
+  EXPECT_EQ(fired, 4) << "every 4th call exactly";
+}
+
+// ------------------------------------------------------------- EventQueue
+
+sim::EventQueue busy_queue() {
+  sim::EventQueue q;
+  for (int i = 0; i < 12; ++i) {
+    q.schedule(static_cast<sim::SimTime>(i) * 0.25, [] {});
+  }
+  // A pop and a cancel so tombstones and the free list participate too.
+  (void)q.pop();
+  const sim::EventId id = q.schedule(9.0, [] {});
+  q.cancel(id);
+  return q;
+}
+
+TEST(CheckEventQueue, CleanQueuePassesAllInvariants) {
+  sim::EventQueue q = busy_queue();
+  Violations v;
+  q.check_invariants(v);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(CheckEventQueue, HeapOrderViolationTrips) {
+  sim::EventQueue q = busy_queue();
+  check::Corrupter::eq_swap_heap(q, 0, 7);
+  Violations v;
+  q.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "orders before parent")) << v.size();
+}
+
+TEST(CheckEventQueue, LiveCounterDriftTrips) {
+  sim::EventQueue q = busy_queue();
+  check::Corrupter::eq_bump_live(q);
+  Violations v;
+  q.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "live_ = "));
+  EXPECT_TRUE(any_contains(v, "slot partition broken"));
+}
+
+TEST(CheckEventQueue, DoubleReleasedSlotTrips) {
+  sim::EventQueue q = busy_queue();
+  check::Corrupter::eq_free_live_slot(q);
+  Violations v;
+  q.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "both free and live"));
+}
+
+TEST(CheckEventQueue, DuplicateSeqBreaksFifoTiebreak) {
+  sim::EventQueue q = busy_queue();
+  check::Corrupter::eq_dup_seq(q);
+  Violations v;
+  q.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "duplicate insertion seq"));
+}
+
+// ---------------------------------------------------------- NamespaceTree
+
+sstp::NamespaceTree busy_tree() {
+  sstp::NamespaceTree t;
+  t.put(sstp::Path::parse("/b/x"), {1, 2, 3});
+  t.put(sstp::Path::parse("/a/y"), {4, 5});
+  t.put(sstp::Path::parse("/c"), {6});
+  t.remove(sstp::Path::parse("/b/x"));  // populates the free list
+  return t;
+}
+
+TEST(CheckNamespaceTree, CleanTreePassesAllInvariants) {
+  sstp::NamespaceTree t = busy_tree();
+  Violations v;
+  t.check_invariants(v);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(CheckNamespaceTree, UnsortedChildrenTrip) {
+  sstp::NamespaceTree t = busy_tree();
+  check::Corrupter::tree_swap_children(t);
+  Violations v;
+  t.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "not strictly name-sorted"));
+}
+
+TEST(CheckNamespaceTree, LeafCountDriftTrips) {
+  sstp::NamespaceTree t = busy_tree();
+  check::Corrupter::tree_bump_leaf_count(t);
+  Violations v;
+  t.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "leaf_count_"));
+}
+
+TEST(CheckNamespaceTree, LeakedPoolNodeTrips) {
+  sstp::NamespaceTree t = busy_tree();
+  check::Corrupter::tree_pop_free(t);
+  Violations v;
+  t.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "leaked"));
+}
+
+TEST(CheckNamespaceTree, DirtySpineContainmentTrips) {
+  sstp::NamespaceTree t = busy_tree();
+  // All spines are dirty right after the puts; a clean root above them
+  // breaks the containment the incremental digest pass depends on.
+  check::Corrupter::tree_force_root_clean(t);
+  Violations v;
+  t.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "dirty child"));
+}
+
+// --------------------------------------------------------------- Interner
+
+TEST(CheckInterner, GlobalTableIsBijective) {
+  // Whatever earlier tests interned, the process-wide table must hold.
+  sstp::Interner::global().intern("check-test-probe");
+  Violations v;
+  sstp::Interner::global().check_invariants(v);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(CheckInterner, MispublishedNameBreaksBijectivity) {
+  sstp::Interner in;  // local instance: never corrupt the global table
+  ASSERT_EQ(in.intern("alpha"), 0u);
+  ASSERT_EQ(in.intern("beta"), 1u);
+  Violations v;
+  in.check_invariants(v);
+  ASSERT_TRUE(v.empty()) << v.front();
+
+  check::Corrupter::interner_mispublish(in);
+  v.clear();
+  in.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "maps back to"));
+}
+
+// ---------------------------------------------------------------- Channel
+
+TEST(CheckChannel, PoolAndStatsInvariantsHoldAndTrip) {
+  sim::Simulator sim;
+  net::Channel<int> ch(sim);
+  ch.add_receiver(std::make_unique<net::BernoulliLoss>(0.3, sim::Rng(1)),
+                  std::make_unique<net::FixedDelay>(0.01), [](const int&) {});
+  ch.add_receiver(std::make_unique<net::NoLoss>(),
+                  std::make_unique<net::FixedDelay>(0.02), [](const int&) {});
+  for (int i = 0; i < 50; ++i) ch.send(i, 100);
+  sim.run_until(1.0);
+
+  Violations v;
+  ch.check_invariants(v);
+  EXPECT_TRUE(v.empty()) << v.front();
+
+  check::Corrupter::channel_skew_stats(ch);
+  v.clear();
+  ch.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "aggregate stats diverge"));
+
+  check::Corrupter::channel_null_slot(ch);
+  v.clear();
+  ch.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "is null"));
+}
+
+// ------------------------------------------------------------- schedulers
+
+TEST(CheckHierarchical, TreeInvariantsHoldAndTripOnOrphan) {
+  sched::HierarchicalScheduler s;
+  const std::size_t grp =
+      s.add_group(sched::HierarchicalScheduler::kRoot, 2.0);
+  (void)s.add_class_in(grp, 1.0);
+  (void)s.add_class_in(grp, 3.0);
+  (void)s.add_class(1.0);
+  const std::vector<double> head{400.0, 800.0, -1.0};
+  for (int i = 0; i < 32; ++i) (void)s.pick(head);
+
+  Violations v;
+  s.check_invariants(v);
+  EXPECT_TRUE(v.empty()) << v.front();
+
+  check::Corrupter::hier_orphan_node(s);
+  v.clear();
+  s.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "names parent"));
+}
+
+TEST(CheckHierarchical, NegativeLeafWeightTrips) {
+  sched::HierarchicalScheduler s;
+  (void)s.add_class(1.0);
+  check::Corrupter::hier_negate_weight(s);
+  Violations v;
+  s.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "weight"));
+}
+
+TEST(CheckStride, ShareAccountingHoldsAndTrips) {
+  sched::StrideScheduler s;
+  (void)s.add_class(1.0);
+  (void)s.add_class(2.0);
+  const std::vector<double> head{400.0, 800.0};
+  for (int i = 0; i < 16; ++i) (void)s.pick(head);
+
+  Violations v;
+  s.check_invariants(v);
+  EXPECT_TRUE(v.empty()) << v.front();
+
+  check::Corrupter::stride_negate_weight(s);
+  v.clear();
+  s.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "weight"));
+}
+
+TEST(CheckWfq, PoisonedVirtualTimeTrips) {
+  sched::WfqScheduler s;
+  (void)s.add_class(1.0);
+  const std::vector<double> head{400.0};
+  (void)s.pick(head);
+
+  Violations v;
+  s.check_invariants(v);
+  EXPECT_TRUE(v.empty()) << v.front();
+
+  check::Corrupter::wfq_poison_vtime(s);
+  v.clear();
+  s.check_invariants(v);
+  EXPECT_TRUE(any_contains(v, "vtime not finite"));
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,234 @@
+// invariant_audit_test.cpp — sweep-style invariant audits (ctest label
+// `check`).
+//
+// check_test.cpp proves each validator can detect its own corruption; this
+// file proves the REAL structures never need one to fire. Each sweep is a
+// miniature of a fig-bench workload — event-queue churn, a full core
+// experiment, an SSTP session with loss and membership churn, scheduler
+// pick storms, channel pool reuse — interleaved with explicit
+// check_invariants() calls that must come back empty every time.
+//
+// Under -DSST_CHECK=ON the structures additionally self-audit on their own
+// cadence with the default abort-on-violation handler, so these sweeps
+// double as a crash gate for the compiled-in hooks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/experiment.hpp"
+#include "net/channel.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "sched/hierarchical.hpp"
+#include "sched/stride.hpp"
+#include "sched/wfq.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sstp/interner.hpp"
+#include "sstp/path.hpp"
+#include "sstp/session.hpp"
+
+namespace sst {
+namespace {
+
+using check::Violations;
+
+/// Runs `structure.check_invariants` and fails the test in place with every
+/// violation message, tagged with where in the sweep it happened.
+template <typename T>
+void expect_clean(const T& structure, const std::string& where) {
+  Violations v;
+  structure.check_invariants(v);
+  for (const auto& msg : v) {
+    ADD_FAILURE() << where << ": " << msg;
+  }
+}
+
+// ------------------------------------------------------- event-queue churn
+
+TEST(InvariantAudit, EventQueueChurnStaysClean) {
+  sim::EventQueue q;
+  sim::Rng rng(42);
+  std::vector<sim::EventId> pending;
+  double now = 0.0;
+
+  for (int op = 0; op < 20000; ++op) {
+    const double roll = rng.uniform();
+    if (roll < 0.5 || q.empty()) {
+      pending.push_back(q.schedule(now + rng.uniform() * 10.0, [] {}));
+    } else if (roll < 0.75 && !pending.empty()) {
+      // Cancel a pseudo-random pending handle; stale handles are fine (the
+      // queue reports a no-op), which is exactly the tombstone path.
+      const std::size_t i = rng.uniform_int(pending.size());
+      (void)q.cancel(pending[i]);
+      pending[i] = pending.back();
+      pending.pop_back();
+    } else {
+      const auto fired = q.pop();
+      if (fired) now = fired->time;
+    }
+    if ((op & 511) == 511) {
+      expect_clean(q, "queue churn op " + std::to_string(op));
+    }
+  }
+  expect_clean(q, "queue churn end");
+}
+
+// ----------------------------------------------------- core experiment run
+
+TEST(InvariantAudit, CoreExperimentSweepStaysClean) {
+  core::ExperimentConfig cfg;
+  cfg.variant = core::Variant::kFeedback;
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(10.0, 1000);
+  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+  cfg.workload.mean_lifetime = 120.0;
+  cfg.mu_data = sim::kbps(60);
+  cfg.mu_fb = sim::kbps(15);
+  cfg.loss_rate = 0.1;
+  cfg.num_receivers = 2;
+  cfg.duration = 400.0;
+  cfg.warmup = 50.0;
+  cfg.seed = 7;
+
+  core::Experiment exp(cfg);
+  exp.run_warmup();
+  expect_clean(exp.simulator().queue(), "post-warmup");
+  for (double t = cfg.warmup + 25.0; t < exp.end_time(); t += 25.0) {
+    exp.run_until(t);
+    expect_clean(exp.simulator().queue(), "t=" + std::to_string(t));
+  }
+  const auto result = exp.finish();
+  expect_clean(exp.simulator().queue(), "post-finish");
+  EXPECT_GT(result.avg_consistency, 0.0);
+}
+
+// -------------------------------------- sstp session with membership churn
+
+TEST(InvariantAudit, SstpSessionChurnStaysClean) {
+  sim::Simulator sim;
+  sstp::SessionConfig cfg;
+  cfg.sender.mu_data = sim::kbps(64);
+  cfg.sender.min_summary_interval = 0.5;
+  cfg.sender.algo = hash::DigestAlgo::kFnv1a;
+  cfg.receiver.retry_timeout = 1.0;
+  cfg.receiver.report_interval = 2.0;
+  cfg.receiver.session_ttl = 0.0;
+  cfg.num_receivers = 2;
+  cfg.loss_rate = 0.2;
+  cfg.seed = 3;
+  sstp::Session session(sim, cfg);
+
+  auto audit_all = [&](const std::string& where) {
+    expect_clean(session.sender().tree(), where + " sender tree");
+    for (std::size_t i = 0; i < session.receiver_count(); ++i) {
+      if (!session.receiver_active(i)) continue;
+      expect_clean(session.receiver(i).tree(),
+                   where + " receiver " + std::to_string(i));
+    }
+    expect_clean(sstp::Interner::global(), where + " interner");
+    expect_clean(sim.queue(), where + " event queue");
+  };
+
+  sim::Rng rng(17);
+  double now = 0.0;
+  for (int round = 0; round < 12; ++round) {
+    // A burst of publishes (updates included: the path space is smaller
+    // than round*count, so versions bump and dead entries recycle).
+    for (int i = 0; i < 6; ++i) {
+      const std::string path = "/g" + std::to_string(rng.uniform_int(4)) +
+                               "/k" + std::to_string(rng.uniform_int(9));
+      std::vector<std::uint8_t> data(64 + rng.uniform_int(512),
+                                     static_cast<std::uint8_t>(round));
+      session.sender().publish(sstp::Path::parse(path), std::move(data));
+    }
+    if (round == 4) (void)session.add_receiver();  // late join, empty tree
+    if (round == 6) session.detach_receiver(0);    // leave, irreversible
+    if (round == 8) session.crash_sender();        // soft-state recovery:
+    if (round == 9) session.restart_sender();      // no special code path
+    if (round == 10) {
+      session.sender().remove(sstp::Path::parse("/g1"));  // subtree prune
+    }
+    now += 5.0;
+    sim.run_until(now);
+    audit_all("round " + std::to_string(round));
+  }
+  sim.run_until(now + 60.0);  // drain: let repair converge, TTLs fire
+  audit_all("drained");
+
+#if SST_CHECK_ENABLED
+  // The compiled-in hooks must actually have audited along the way.
+  EXPECT_GT(check::audits_run(), 0u);
+#endif
+}
+
+// ---------------------------------------------------- scheduler pick storm
+
+TEST(InvariantAudit, SchedulerChurnStaysClean) {
+  sched::StrideScheduler stride;
+  sched::WfqScheduler wfq;
+  sched::HierarchicalScheduler hier;
+  for (double w : {1.0, 2.0, 4.0}) {
+    (void)stride.add_class(w);
+    (void)wfq.add_class(w);
+  }
+  const std::size_t grp = hier.add_group(sched::HierarchicalScheduler::kRoot,
+                                         2.0);
+  (void)hier.add_class_in(grp, 1.0);
+  (void)hier.add_class_in(grp, 3.0);
+  (void)hier.add_class(1.0);
+
+  sim::Rng rng(5);
+  std::vector<double> head(3, 0.0);
+  for (int op = 0; op < 4000; ++op) {
+    for (auto& h : head) {
+      // Idle classes (-1) come and go so the vtime/pass bookkeeping sees
+      // backlog transitions, not just a steady pick rotation.
+      h = rng.uniform() < 0.2 ? -1.0 : 100.0 + rng.uniform() * 900.0;
+    }
+    (void)stride.pick(head);
+    (void)wfq.pick(head);
+    (void)hier.pick(head);
+    if ((op & 255) == 255) {
+      const std::string where = "pick storm op " + std::to_string(op);
+      expect_clean(stride, where + " stride");
+      expect_clean(wfq, where + " wfq");
+      expect_clean(hier, where + " hierarchical");
+    }
+  }
+}
+
+// ------------------------------------------------- channel payload-pool reuse
+
+TEST(InvariantAudit, ChannelPoolReuseStaysClean) {
+  sim::Simulator sim;
+  net::Channel<std::vector<std::uint8_t>> ch(sim);
+  int delivered = 0;
+  ch.add_receiver(std::make_unique<net::BernoulliLoss>(0.3, sim::Rng(1)),
+                  std::make_unique<net::FixedDelay>(0.01),
+                  [&](const std::vector<std::uint8_t>&) { ++delivered; });
+  ch.add_receiver(std::make_unique<net::NoLoss>(),
+                  std::make_unique<net::FixedDelay>(0.05),
+                  [&](const std::vector<std::uint8_t>&) { ++delivered; });
+
+  double now = 0.0;
+  for (int round = 0; round < 40; ++round) {
+    // Bursts larger than the payload-pool cap force both the recycle path
+    // and the overflow (fresh allocation) path.
+    for (int i = 0; i < 96; ++i) {
+      ch.send(std::vector<std::uint8_t>(32, static_cast<std::uint8_t>(i)),
+              100);
+    }
+    now += 0.5;
+    sim.run_until(now);
+    expect_clean(ch, "channel round " + std::to_string(round));
+  }
+  EXPECT_GT(delivered, 0);
+}
+
+}  // namespace
+}  // namespace sst

@@ -336,7 +336,8 @@ struct ReceiverFixture {
     cfg.retry_timeout = 2.0;
     cfg.max_retries = 2;
     agent = std::make_unique<ReceiverAgent>(
-        sim, table, cfg, [this](const NackMsg& n) { nacks.push_back(n); });
+        sim, table, cfg, [this](const NackMsg& n) { nacks.push_back(n); },
+        sim::Rng(0));
   }
 
   DataMsg msg(std::uint64_t seq, Key key, Version ver = 1) {
@@ -429,7 +430,8 @@ TEST(ReceiverAgent, BatchesLargeGapsIntoMultipleNacks) {
   cfg.max_batch = 8;
   std::vector<NackMsg> nacks;
   ReceiverAgent agent(sim, table, cfg,
-                      [&](const NackMsg& n) { nacks.push_back(n); });
+                      [&](const NackMsg& n) { nacks.push_back(n); },
+                      sim::Rng(0));
   DataMsg m;
   m.seq = 20;  // 20 missing seqs -> 3 NACK packets (8+8+4)
   m.key = 1;

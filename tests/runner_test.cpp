@@ -87,7 +87,11 @@ TEST(RunnerDeterminism, RepeatedRunsIdentical) {
 TEST(RunnerDeterminism, GoldenDigest) {
   const std::string doc = document_for_jobs(1);
   const std::uint64_t digest = fnv1a(doc);
-  EXPECT_EQ(digest, 0x94d38228faf1d3a7ULL)
+  // Pin regenerated after the sstlint determinism fixes: PublisherTable
+  // snapshots and ReceiverTable teardown now fan out in key order instead
+  // of hash order, and the consistency time-integral uses compensated
+  // summation (stats::CompensatedSum).
+  EXPECT_EQ(digest, 0xa4700b79e2f269f0ULL)
       << "canonical document changed; actual digest 0x" << std::hex << digest
       << " — a replication-visible behavior (seeding, metrics, Welford "
          "order, or JSON format) is different";

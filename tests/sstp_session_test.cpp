@@ -182,7 +182,7 @@ TEST(SstpSession, SessionExpiryFiresWhenSenderGoesSilent) {
   cfg.algo = hash::DigestAlgo::kFnv1a;
   cfg.session_ttl = 5.0;
   cfg.report_interval = 0.0;
-  Receiver recv(sim, cfg, [](const WireBytes&, sim::Bytes) {});
+  Receiver recv(sim, cfg, [](const WireBytes&, sim::Bytes) {}, sim::Rng(0));
   bool expired = false;
   recv.on_session_expired([&] { expired = true; });
 

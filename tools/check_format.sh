@@ -1,0 +1,57 @@
+#!/bin/sh
+# Format drift report (ctest label `lint`, non-fatal by design).
+#
+# Checks .clang-format conformance and REPORTS drift without failing: the
+# tree predates the config, and a hard gate would force a mass reformat
+# that buries real history. New/touched code converges instead.
+#
+#   tools/check_format.sh --diff-only   only files changed vs HEAD
+#                                       (plus staged/untracked sources)
+#   tools/check_format.sh               every tracked C++ file
+#
+# Exit codes: 0 always (drift is reported, not fatal); 77 when
+# clang-format is unavailable (ctest maps it to SKIPPED).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+mode=${1:---all}
+
+command -v clang-format > /dev/null 2>&1 || {
+  echo "SKIP: clang-format not installed" >&2
+  exit 77
+}
+command -v git > /dev/null 2>&1 || {
+  echo "SKIP: git not available to enumerate files" >&2
+  exit 77
+}
+
+cd "$repo_root"
+case "$mode" in
+  --diff-only)
+    files=$( (git diff --name-only HEAD; git ls-files --others --exclude-standard) \
+            | sort -u | grep -E '\.(hpp|cpp)$' || true)
+    ;;
+  --all)
+    files=$(git ls-files '*.hpp' '*.cpp')
+    ;;
+  *)
+    echo "usage: $0 [--diff-only | --all]" >&2
+    exit 2
+    ;;
+esac
+
+[ -n "$files" ] || { echo "format check: no C++ files in scope"; exit 0; }
+
+drifted=0
+total=0
+for f in $files; do
+  [ -f "$f" ] || continue
+  total=$((total + 1))
+  if ! clang-format --dry-run -Werror "$f" > /dev/null 2>&1; then
+    drifted=$((drifted + 1))
+    echo "format drift: $f"
+  fi
+done
+echo "format check: $drifted of $total file(s) drift from .clang-format" \
+     "(informational; not a gate)"
+exit 0

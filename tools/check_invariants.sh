@@ -1,0 +1,75 @@
+#!/bin/sh
+# Runtime invariant-audit gate (standalone; see also `ctest -L check`).
+#
+# Builds the tree with -DSST_CHECK=ON so every pooled/index-linked
+# structure (EventQueue, NamespaceTree, Interner, Channel pools, the
+# schedulers) self-audits on its operation cadence with the default
+# abort-on-violation handler, then:
+#
+#   1. runs the functional test suite under those compiled-in audits
+#      (perf-smoke excluded — the audits cost ~12x on the queue
+#      microbenches by design, see EXPERIMENTS.md);
+#   2. drives a real fig-bench workload end to end;
+#   3. replays the same sstsim run in the audited and the default build
+#      and requires byte-identical aggregated JSON — the hooks must be
+#      behavior-neutral, not just crash-free.
+#
+#   tools/check_invariants.sh [check-build-dir [default-build-dir]]
+#       defaults: build-check  build
+#
+# Exit codes: 0 clean; non-zero on any audit abort, test failure, or
+# digest divergence; 77 when cmake/ctest are unavailable.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+check_dir=${1:-"$repo_root/build-check"}
+default_dir=${2:-"$repo_root/build"}
+
+command -v cmake > /dev/null 2>&1 || {
+  echo "SKIP: cmake not available" >&2
+  exit 77
+}
+command -v ctest > /dev/null 2>&1 || {
+  echo "SKIP: ctest not available" >&2
+  exit 77
+}
+
+echo "== configure + build (SST_CHECK=ON): $check_dir"
+cmake -S "$repo_root" -B "$check_dir" -DSST_CHECK=ON > /dev/null
+cmake --build "$check_dir" -j"$(nproc 2> /dev/null || echo 4)" > /dev/null
+
+echo "== functional suite under compiled-in audits (perf-smoke excluded)"
+(cd "$check_dir" && ctest -LE 'perf-smoke|lint' --output-on-failure \
+    -j"$(nproc 2> /dev/null || echo 4)")
+
+echo "== fig-bench workload under audits (abort handler armed)"
+"$check_dir/bench/bench_fig5_two_queue" --reps=2 --jobs=2 \
+    --out="$check_dir/fig5_audited.json" > /dev/null
+echo "   bench_fig5_two_queue clean"
+
+# Behavior-neutrality: the audited binary must reproduce the default
+# build's aggregated sstsim JSON byte for byte (same seeds, same jobs).
+sim_args="--variant=feedback --lambda-kbps=10 --mu-data-kbps=40
+          --mu-fb-kbps=10 --loss=0.2 --duration=300 --warmup=50
+          --replications=4 --jobs=2"
+extract_json() {
+  # shellcheck disable=SC2086  # sim_args is a word list by construction
+  "$1/tools/sstsim" $sim_args | sed -n '/^BEGIN-JSON$/,/^END-JSON$/p'
+}
+if [ -x "$default_dir/tools/sstsim" ]; then
+  echo "== determinism digest: audited vs default build"
+  extract_json "$check_dir" > "$check_dir/sstsim_audited.json"
+  extract_json "$default_dir" > "$check_dir/sstsim_default.json"
+  if ! cmp -s "$check_dir/sstsim_audited.json" \
+              "$check_dir/sstsim_default.json"; then
+    echo "FAIL: SST_CHECK build diverges from the default build" >&2
+    diff "$check_dir/sstsim_default.json" "$check_dir/sstsim_audited.json" \
+      | head -20 >&2
+    exit 1
+  fi
+  echo "   byte-identical"
+else
+  echo "   (default build $default_dir not built; digest cross-check skipped)"
+fi
+
+echo "invariant audits clean"

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Static-analysis gate (ctest label `lint`). Two halves:
+#
+#   --sstlint            repo-specific determinism lint: self-test the rules
+#                        against tools/lint_fixtures/, then lint src/ and
+#                        bench/ and audit the suppression allowlist
+#                        (tools/sstlint_allowlist.txt) for drift.
+#   --clang-tidy [BUILD] curated .clang-tidy set over src/ translation
+#                        units, using BUILD/compile_commands.json
+#                        (default build dir: build).
+#
+# With no mode flag, runs both halves (clang-tidy softly, with a note when
+# the binary is missing). Each half is registered as its own ctest entry so
+# a missing tool skips (exit 77 via SKIP_RETURN_CODE) instead of failing
+# tier-1, exactly like tools/check_bench.sh.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+mode=${1:---all}
+build_dir=${2:-"$repo_root/build"}
+
+run_sstlint() {
+  command -v python3 > /dev/null 2>&1 || {
+    echo "SKIP: python3 not available for sstlint" >&2
+    exit 77
+  }
+  python3 "$repo_root/tools/sstlint.py" --self-test
+  python3 "$repo_root/tools/sstlint.py" --repo "$repo_root" --audit
+}
+
+run_clang_tidy() {
+  soft=${1:-hard}
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "SKIP: clang-tidy not installed" >&2
+    [ "$soft" = soft ] && return 0
+    exit 77
+  fi
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "SKIP: $build_dir/compile_commands.json missing (configure with" \
+         "CMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+    [ "$soft" = soft ] && return 0
+    exit 77
+  fi
+  # Sources only: headers are covered through HeaderFilterRegex.
+  find "$repo_root/src" -name '*.cpp' | sort | \
+    xargs clang-tidy -p "$build_dir" --quiet
+  echo "clang-tidy clean"
+}
+
+case "$mode" in
+  --sstlint)    run_sstlint ;;
+  --clang-tidy) run_clang_tidy hard ;;
+  --all)        run_sstlint; run_clang_tidy soft ;;
+  *)
+    echo "usage: $0 [--sstlint | --clang-tidy [build-dir] | --all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,38 @@
+// suppressed.cpp — sstlint self-test fixture (never compiled).
+//
+// The same seeded violations as known_bad.cpp, each carrying a
+// `// sstlint: allow(<rule>)` directive. The self-test asserts this file
+// produces ZERO findings and that every rule's suppression actually fires —
+// covering both the directive parser and the stale-allow detector (an
+// allow() that suppresses nothing is itself reported).
+#include "check/corrupt.hpp"  // sstlint: allow(corrupt-include)
+
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Suppressed {
+  void tick() {
+    for (const auto& kv : members_) use(kv.second);  // sstlint: allow(unordered-iter)
+    last_ = std::chrono::steady_clock::now()         // sstlint: allow(wall-clock)
+                .time_since_epoch().count();
+    jitter_ = std::rand() % 7;  // sstlint: allow(raw-rand)
+    acc_ += 0.1;                // sstlint: allow(float-accum)
+    auto rng = sim::Rng();      // sstlint: allow(rng-seed)
+    use(rng);
+  }
+
+  template <class T>
+  void use(const T&) {}
+
+  std::unordered_map<int, int> members_;
+  std::set<const Suppressed*> order_;  // sstlint: allow(ptr-key)
+  long long last_ = 0;
+  int jitter_ = 0;
+  double acc_ = 0.0;
+};
+
+}  // namespace fixture

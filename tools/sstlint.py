@@ -1,0 +1,422 @@
+#!/usr/bin/env python3
+"""sstlint — repo-specific determinism lint for the soft-state simulator.
+
+The simulator's headline guarantee is bit-identical replication output for a
+given seed (DESIGN.md, "Determinism"). General-purpose linters cannot see the
+project-specific ways that guarantee gets broken, so this pass encodes them:
+
+  unordered-iter   iteration over a std::unordered_{map,set} member: visit
+                   order follows the hash table's bucket layout, which varies
+                   with libstdc++ version, insertion history, and pointer
+                   values. Anything ordering-sensitive (scheduling, wire
+                   output, callback fan-out) must iterate a sorted snapshot.
+  ptr-key          pointer-typed keys in ordered/hashed containers (or
+                   std::hash/std::less over pointers): pointer values differ
+                   run to run under ASLR, so any iteration order or hash
+                   layout derived from them is non-reproducible.
+  wall-clock       wall/monotonic clock reads inside src/: simulation code
+                   must take time from sim::Simulator::now(), never the host
+                   (bench/ is exempt — it times real execution on purpose).
+  raw-rand         rand()/srand()/drand48()/std::random_device: unseeded or
+                   process-global entropy. All randomness flows through
+                   sim::Rng streams forked from the experiment seed.
+  float-accum      bare `x += ...` running sums on float/double state in
+                   src/stats/: naive accumulation drifts with summation
+                   order and magnitude spread; use the Welford/compensated
+                   forms (sst::stats) instead.
+  rng-seed         sim::Rng constructed without a caller-chosen seed
+                   (`Rng()`, `Rng r;`, or a `= Rng(0)` default argument):
+                   hides the stream identity from the experiment seed plan,
+                   so two components silently share draws.
+  corrupt-include  #include of check/corrupt.hpp outside tests/: the
+                   invariant Corrupter deliberately breaks data structures
+                   and must never link into the simulator proper.
+
+Suppression: append `// sstlint: allow(<rule>)` (comma-separate several
+rules) to the offending line, with a justification in the surrounding
+comment. Every suppression must also be recorded in
+tools/sstlint_allowlist.txt; `--audit` fails when the recorded and observed
+sets drift, so suppressions stay a reviewed, committed decision.
+
+Exit codes: 0 clean, 1 findings/drift, 2 usage error.
+
+Usage:
+  tools/sstlint.py [--repo DIR]            lint src/ and bench/
+  tools/sstlint.py --audit                 also diff suppressions vs allowlist
+  tools/sstlint.py --list-suppressions     print observed allowlist lines
+  tools/sstlint.py --self-test             run the rules against the fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "bench")
+EXTS = (".hpp", ".cpp")
+ALLOWLIST = os.path.join("tools", "sstlint_allowlist.txt")
+FIXTURE_DIR = os.path.join("tools", "lint_fixtures")
+
+RULES = (
+    "unordered-iter",
+    "ptr-key",
+    "wall-clock",
+    "raw-rand",
+    "float-accum",
+    "rng-seed",
+    "corrupt-include",
+)
+
+Finding = collections.namedtuple("Finding", "path line rule message")
+
+ALLOW_RE = re.compile(r"//\s*sstlint:\s*allow\(([a-z\-,\s]+)\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;{=]"
+)
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*(?:=[^;,()]*)?[;,]")
+
+PTR_KEY_RE = re.compile(
+    r"\bstd::(?:unordered_)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*"
+    r"|\bstd::(?:hash|less|greater)\s*<\s*(?:const\s+)?[\w:]+\s*\*"
+)
+WALL_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+    r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+RAW_RAND_RE = re.compile(
+    r"\bstd::random_device\b|\brandom_device\b"
+    r"|(?<!\w)s?rand\s*\(|\b[dlm]rand48\s*\("
+)
+# Rng's constructor deliberately has no default seed, so `Rng r;` is already
+# a compile error; the lint catches what still compiles — an explicit empty
+# ctor call and the `= Rng(0)` magic-zero default-argument idiom.
+RNG_SEED_RE = re.compile(
+    r"\bRng\s*\(\s*\)"
+    r"|=\s*(?:sim::)?Rng\s*\(\s*0\s*\)"
+)
+# Anchored and matched against the RAW line: the path is a string literal,
+# which strip_code blanks out of the code view.
+CORRUPT_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"check/corrupt\.hpp"')
+
+
+def strip_code(text):
+    """Blanks comments and string/char literal contents, keeping line
+    structure so findings carry real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+            elif c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+            elif c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state in ("line", "block"):
+            if state == "line" and c == "\n":
+                state = "code"
+            elif state == "block" and c == "*" and nxt == "/":
+                state = "code"
+                i += 1
+            if c == "\n":
+                out.append(c)
+            i += 1
+        else:  # str | chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":
+                out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def tu_key(relpath):
+    """Translation-unit scope: (directory, basename-without-extension), so a
+    .cpp sees the members its own header declares and nothing from
+    same-named files elsewhere (core/receiver.hpp vs sstp/receiver.hpp)."""
+    d, base = os.path.split(relpath)
+    return d, os.path.splitext(base)[0]
+
+
+class Source:
+    def __init__(self, relpath, text):
+        self.relpath = relpath
+        self.raw_lines = text.splitlines()
+        self.code_lines = strip_code(text).splitlines()
+        # Allowed rules per 1-based line number, from the RAW text (the
+        # directive lives in a comment, which strip_code removes).
+        self.allows = {}
+        for num, raw in enumerate(self.raw_lines, 1):
+            m = ALLOW_RE.search(raw)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                self.allows[num] = rules
+
+
+def collect_members(sources, decl_re, path_pred):
+    """Member names declared by decl_re, grouped by translation-unit key."""
+    members = collections.defaultdict(set)
+    for src in sources:
+        if not path_pred(src.relpath):
+            continue
+        for line in src.code_lines:
+            for m in decl_re.finditer(line):
+                members[tu_key(src.relpath)].add(m.group(1))
+    return members
+
+
+def iter_patterns(name):
+    """Regexes that detect iteration over member `name`."""
+    return (
+        re.compile(r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))?%s\b" % re.escape(name)),
+        re.compile(r"\b%s\s*\.\s*c?begin\s*\(" % re.escape(name)),
+    )
+
+
+def in_src(relpath):
+    return relpath.startswith("src" + os.sep)
+
+
+def in_stats(relpath):
+    return relpath.startswith(os.path.join("src", "stats") + os.sep)
+
+
+def scan(sources):
+    """Runs every rule; returns (findings, suppressions) where suppressions
+    maps (relpath, rule) -> count of allow() uses that actually fired."""
+    findings = []
+    suppressions = collections.Counter()
+
+    unordered = collect_members(sources, UNORDERED_DECL_RE, lambda p: True)
+    floats = collect_members(sources, FLOAT_DECL_RE, in_stats)
+
+    def emit(src, num, rule, message):
+        allowed = src.allows.get(num, set())
+        if rule in allowed:
+            suppressions[(src.relpath, rule)] += 1
+        else:
+            findings.append(Finding(src.relpath, num, rule, message))
+
+    for src in sources:
+        key = tu_key(src.relpath)
+        unordered_pats = [
+            (name, iter_patterns(name)) for name in sorted(unordered.get(key, ()))
+        ]
+        float_names = sorted(floats.get(key, ())) if in_stats(src.relpath) else []
+        float_pats = [
+            (name, re.compile(r"\b%s\s*\+=" % re.escape(name)))
+            for name in float_names
+        ]
+
+        for num, line in enumerate(src.code_lines, 1):
+            for name, pats in unordered_pats:
+                if any(p.search(line) for p in pats):
+                    emit(src, num, "unordered-iter",
+                         "iteration over unordered member '%s' follows hash "
+                         "layout; iterate a sorted snapshot" % name)
+                    break
+            if PTR_KEY_RE.search(line):
+                emit(src, num, "ptr-key",
+                     "pointer-keyed container/hasher: pointer values are not "
+                     "reproducible across runs")
+            if in_src(src.relpath) and WALL_CLOCK_RE.search(line):
+                emit(src, num, "wall-clock",
+                     "host clock read in simulation code; use "
+                     "sim::Simulator::now()")
+            if RAW_RAND_RE.search(line):
+                emit(src, num, "raw-rand",
+                     "process-global randomness; fork a sim::Rng stream from "
+                     "the experiment seed")
+            for name, pat in float_pats:
+                if pat.search(line):
+                    emit(src, num, "float-accum",
+                         "bare running sum on float state '%s'; use the "
+                         "Welford/compensated forms" % name)
+                    break
+            if RNG_SEED_RE.search(line):
+                emit(src, num, "rng-seed",
+                     "sim::Rng without a caller-chosen seed; thread the "
+                     "stream from the experiment seed plan")
+            if CORRUPT_INCLUDE_RE.search(src.raw_lines[num - 1]):
+                emit(src, num, "corrupt-include",
+                     "check/corrupt.hpp is test-only; it must not be "
+                     "included from simulator code")
+
+        # An allow() that never fired is stale: either the violation was
+        # fixed (delete the directive) or the rule name is misspelled.
+        for num, rules in sorted(src.allows.items()):
+            for rule in sorted(rules):
+                if rule not in RULES:
+                    findings.append(Finding(
+                        src.relpath, num, "bad-suppression",
+                        "allow(%s) names an unknown rule" % rule))
+                elif suppressions[(src.relpath, rule)] == 0:
+                    findings.append(Finding(
+                        src.relpath, num, "bad-suppression",
+                        "allow(%s) suppressed nothing on this line; remove "
+                        "the stale directive" % rule))
+
+    return findings, suppressions
+
+
+def load_sources(repo, roots=SCAN_DIRS):
+    sources = []
+    for root in roots:
+        top = os.path.join(repo, root)
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for fn in sorted(filenames):
+                if not fn.endswith(EXTS):
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, repo)
+                with open(path, encoding="utf-8") as f:
+                    sources.append(Source(rel, f.read()))
+    sources.sort(key=lambda s: s.relpath)
+    return sources
+
+
+def suppression_lines(suppressions):
+    return [
+        "%s\t%s\t%d" % (path, rule, count)
+        for (path, rule), count in sorted(suppressions.items())
+    ]
+
+
+def audit(repo, suppressions):
+    """Diffs observed suppressions against the committed allowlist."""
+    path = os.path.join(repo, ALLOWLIST)
+    committed = []
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            committed = [
+                ln.rstrip("\n") for ln in f
+                if ln.strip() and not ln.lstrip().startswith("#")
+            ]
+    observed = suppression_lines(suppressions)
+    if committed == observed:
+        return []
+    problems = []
+    for ln in sorted(set(observed) - set(committed)):
+        problems.append("unrecorded suppression (add to %s): %s"
+                        % (ALLOWLIST, ln.replace("\t", " ")))
+    for ln in sorted(set(committed) - set(observed)):
+        problems.append("stale allowlist entry (suppression gone): %s"
+                        % ln.replace("\t", " "))
+    if not problems:  # same set, wrong order — keep the file canonical
+        problems.append("allowlist entries out of canonical sorted order")
+    return problems
+
+
+def self_test(repo):
+    """Checks the rules against the committed fixtures: every rule fires
+    exactly once on known_bad.cpp, and suppressed.cpp is finding-free with
+    every directive accounted for."""
+    failures = []
+
+    def fixture(name, virtual_rel):
+        path = os.path.join(repo, FIXTURE_DIR, name)
+        with open(path, encoding="utf-8") as f:
+            return Source(virtual_rel, f.read())
+
+    # The fixtures are scanned under a virtual src/stats/ path so the
+    # path-scoped rules (wall-clock, float-accum) apply to them.
+    bad = fixture("known_bad.cpp", os.path.join("src", "stats", "known_bad.cpp"))
+    findings, _ = scan([bad])
+    per_rule = collections.Counter(f.rule for f in findings)
+    for rule in RULES:
+        if per_rule.get(rule, 0) != 1:
+            failures.append(
+                "known_bad.cpp: rule %s fired %d times (expected exactly 1)"
+                % (rule, per_rule.get(rule, 0)))
+    for rule, count in sorted(per_rule.items()):
+        if rule not in RULES:
+            failures.append(
+                "known_bad.cpp: unexpected rule %s fired %d times" % (rule, count))
+
+    sup = fixture("suppressed.cpp", os.path.join("src", "stats", "suppressed.cpp"))
+    findings, suppressions = scan([sup])
+    for f in findings:
+        failures.append("suppressed.cpp:%d: unexpected finding [%s] %s"
+                        % (f.line, f.rule, f.message))
+    fired = {rule for (_path, rule) in suppressions}
+    for rule in RULES:
+        if rule not in fired:
+            failures.append(
+                "suppressed.cpp: no allow(%s) suppression exercised" % rule)
+    return failures
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="sstlint", add_help=True)
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: parent of this script)")
+    ap.add_argument("--audit", action="store_true",
+                    help="also fail if suppressions drift from the allowlist")
+    ap.add_argument("--list-suppressions", action="store_true",
+                    help="print observed allowlist lines and exit")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the rules against tools/lint_fixtures/")
+    args = ap.parse_args(argv)
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    if args.self_test:
+        failures = self_test(repo)
+        for f in failures:
+            print("sstlint self-test: %s" % f, file=sys.stderr)
+        print("sstlint self-test: %s"
+              % ("FAIL" if failures else "ok (%d rules)" % len(RULES)))
+        return 1 if failures else 0
+
+    sources = load_sources(repo)
+    findings, suppressions = scan(sources)
+
+    if args.list_suppressions:
+        for ln in suppression_lines(suppressions):
+            print(ln)
+        return 0
+
+    for f in sorted(findings):
+        print("%s:%d: [%s] %s" % (f.path, f.line, f.rule, f.message))
+
+    problems = audit(repo, suppressions) if args.audit else []
+    for p in problems:
+        print("sstlint audit: %s" % p, file=sys.stderr)
+
+    total = len(findings)
+    if total or problems:
+        print("sstlint: %d finding(s), %d audit problem(s)"
+              % (total, len(problems)), file=sys.stderr)
+        return 1
+    print("sstlint: clean (%d files, %d suppression(s) on allowlist)"
+          % (len(sources), sum(suppressions.values())))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
