@@ -66,16 +66,43 @@ HardStateResult run_hard_state(const HardStateConfig& cfg) {
         if (sender_ptr != nullptr) sender_ptr->handle(msg);
       });
 
+  // Optional hostile stages between each rate-limited link and its lossy
+  // channel; only built when configured, so FIFO runs are unchanged.
+  std::unique_ptr<net::HostileChannel<ArqMsg>> fwd_hostile;
+  if (cfg.fwd_hostile.active()) {
+    fwd_hostile = std::make_unique<net::HostileChannel<ArqMsg>>(
+        sim, cfg.fwd_hostile, root.fork("hostile-fwd"),
+        [&fwd_channel](const ArqMsg& msg, sim::Bytes size) {
+          fwd_channel.send(msg, size);
+        });
+  }
+  std::unique_ptr<net::HostileChannel<ArqMsg>> ack_hostile;
+  if (cfg.ack_hostile.active()) {
+    ack_hostile = std::make_unique<net::HostileChannel<ArqMsg>>(
+        sim, cfg.ack_hostile, root.fork("hostile-ack"),
+        [&rev_channel](const ArqMsg& msg, sim::Bytes size) {
+          rev_channel.send(msg, size);
+        });
+  }
+
   net::Link<ArqMsg> fwd_link(
       sim, cfg.mu_data,
-      [&fwd_channel](const ArqMsg& msg, sim::Bytes size) {
-        fwd_channel.send(msg, size);
+      [&fwd_channel, &fwd_hostile](const ArqMsg& msg, sim::Bytes size) {
+        if (fwd_hostile != nullptr) {
+          fwd_hostile->send(msg, size);
+        } else {
+          fwd_channel.send(msg, size);
+        }
       },
       /*queue_limit=*/16);
   net::Link<ArqMsg> rev_link(
       sim, cfg.mu_ack,
-      [&rev_channel](const ArqMsg& msg, sim::Bytes size) {
-        rev_channel.send(msg, size);
+      [&rev_channel, &ack_hostile](const ArqMsg& msg, sim::Bytes size) {
+        if (ack_hostile != nullptr) {
+          ack_hostile->send(msg, size);
+        } else {
+          rev_channel.send(msg, size);
+        }
       },
       /*queue_limit=*/16);
 
@@ -129,6 +156,7 @@ HardStateResult run_hard_state(const HardStateConfig& cfg) {
       s.connects > warm_s.connects ? s.connects - warm_s.connects : 0;
   result.snapshot_ops = s.snapshot_ops - warm_s.snapshot_ops;
   result.table_flushes = r.flushes - warm_r.flushes;
+  result.stale_syns = r.stale_syns - warm_r.stale_syns;
   result.offered_data_kbps =
       (fwd_channel.stats().bytes_sent - warm_fwd_bytes) * 8.0 /
       cfg.duration / 1000.0;

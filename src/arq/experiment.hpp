@@ -14,6 +14,7 @@
 #include "arq/sender.hpp"
 #include "core/experiment.hpp"
 #include "core/workload.hpp"
+#include "net/hostile.hpp"
 #include "sim/units.hpp"
 
 namespace sst::arq {
@@ -30,6 +31,11 @@ struct HardStateConfig {
   double ack_loss_rate = -1.0;  // <0 copies loss_rate
   sim::Duration delay = 0.01;
   std::vector<std::pair<double, double>> outages;  // both directions
+
+  /// Hostile-channel behavior on the forward (data) and reverse (ACK)
+  /// paths. Inactive configs add no pipeline stages (FIFO unchanged).
+  net::HostileConfig fwd_hostile;
+  net::HostileConfig ack_hostile;
 
   sim::Duration duration = 2000.0;
   sim::Duration warmup = 200.0;
@@ -51,6 +57,7 @@ struct HardStateResult {
   std::uint64_t reconnects = 0;
   std::uint64_t snapshot_ops = 0;
   std::uint64_t table_flushes = 0;
+  std::uint64_t stale_syns = 0;  // old-incarnation SYNs the receiver ignored
   double offered_data_kbps = 0.0;
   double offered_ack_kbps = 0.0;
 

@@ -9,7 +9,14 @@ Receiver::Receiver(sim::Simulator& sim, core::ReceiverTable& table,
 void Receiver::handle(const ArqMsg& msg) {
   switch (msg.type) {
     case MsgType::kSyn: {
-      if (msg.epoch != epoch_) {
+      if (msg.epoch < epoch_) {
+        // A reordered or duplicated SYN from a dead incarnation. Adopting
+        // it would regress the epoch and wipe a healthy table; answering it
+        // would confuse the live sender. Epochs only move forward.
+        ++stats_.stale_syns;
+        break;
+      }
+      if (msg.epoch > epoch_) {
         // New incarnation: hard state cannot trust the old replica.
         if (epoch_ != 0) flush_table();
         epoch_ = msg.epoch;

@@ -26,7 +26,8 @@ struct ArqReceiverStats {
   std::uint64_t out_of_order = 0;
   std::uint64_t acks_tx = 0;
   std::uint64_t ops_applied = 0;
-  std::uint64_t flushes = 0;  // table wipes on epoch change
+  std::uint64_t flushes = 0;      // table wipes on epoch change
+  std::uint64_t stale_syns = 0;   // old-incarnation SYNs ignored
 };
 
 /// Hard-state replication receiver.

@@ -73,6 +73,16 @@ Experiment::Experiment(ExperimentConfig config)
       data_channel_(sim_),
       shared_rng_(root_.fork("shared-loss")),
       base_mu_(cfg_.mu_data) {
+  // Hostile forward stage between the sender's (shared-loss-surviving)
+  // transmissions and the data channel. Built only when configured.
+  if (cfg_.fwd_hostile.active()) {
+    fwd_hostile_ = std::make_unique<net::HostileChannel<DataMsg>>(
+        sim_, cfg_.fwd_hostile, root_.fork("hostile-fwd"),
+        [this](const DataMsg& msg, sim::Bytes size) {
+          data_channel_.send(msg, size);
+        });
+  }
+
   // Multicast feedback: one shared group over which every NACK reaches the
   // sender and every other receiver (observe_nack), enabling slotting and
   // damping.
@@ -141,10 +151,22 @@ std::size_t Experiment::add_receiver_rig() {
     // NACKs drain at mu_fb; a bounded queue drops feedback bursts that
     // exceed the budget instead of letting stale NACKs pile up.
     net::Channel<NackMsg>* chan = rig.fb_channel.get();
+    if (cfg_.fb_hostile.active()) {
+      rig.fb_hostile = std::make_unique<net::HostileChannel<NackMsg>>(
+          sim_, cfg_.fb_hostile, root_.fork("hostile-fb", r),
+          [chan](const NackMsg& nack, sim::Bytes size) {
+            chan->send(nack, size);
+          });
+    }
+    net::HostileChannel<NackMsg>* hostile = rig.fb_hostile.get();
     rig.fb_link = std::make_unique<net::Link<NackMsg>>(
         sim_, cfg_.mu_fb,
-        [chan](const NackMsg& nack, sim::Bytes size) {
-          chan->send(nack, size);
+        [chan, hostile](const NackMsg& nack, sim::Bytes size) {
+          if (hostile != nullptr) {
+            hostile->send(nack, size);
+          } else {
+            chan->send(nack, size);
+          }
         },
         /*queue_limit=*/8);
   }
@@ -154,14 +176,28 @@ std::size_t Experiment::add_receiver_rig() {
   if (cfg_.multicast_feedback) {
     net::Channel<NackMsg>* group = mcast_fb_.get();
     const auto origin = static_cast<std::uint32_t>(r + 1);
+    if (cfg_.fb_hostile.active()) {
+      // Each receiver's uplink into the shared group gets its own hostile
+      // stage (independent streams), feeding the group past it.
+      rig.fb_hostile = std::make_unique<net::HostileChannel<NackMsg>>(
+          sim_, cfg_.fb_hostile, root_.fork("hostile-fb", r),
+          [group](const NackMsg& nack, sim::Bytes size) {
+            group->send(nack, size);
+          });
+    }
+    net::HostileChannel<NackMsg>* hostile = rig.fb_hostile.get();
     rig.agent = std::make_unique<ReceiverAgent>(
         sim_, *rig.table, rcfg,
-        [this, group, origin, r](const NackMsg& nack) {
+        [this, group, hostile, origin, r](const NackMsg& nack) {
           // A partitioned receiver's uplink is down too.
           if (group != nullptr && !receivers_[r].partitioned) {
             NackMsg tagged = nack;
             tagged.origin = origin;
-            group->send(tagged, tagged.size);
+            if (hostile != nullptr) {
+              hostile->send(tagged, tagged.size);
+            } else {
+              group->send(tagged, tagged.size);
+            }
           }
         },
         root_.fork("agent", r));
@@ -213,7 +249,11 @@ void Experiment::transmit(const DataMsg& msg) {
     ++shared_drops_;
     return;
   }
-  data_channel_.send(msg, msg.size);
+  if (fwd_hostile_ != nullptr) {
+    fwd_hostile_->send(msg, msg.size);
+  } else {
+    data_channel_.send(msg, msg.size);
+  }
 }
 
 void Experiment::count_redundant(const DataMsg& msg) {

@@ -25,6 +25,7 @@
 #include "core/two_queue.hpp"
 #include "core/workload.hpp"
 #include "net/channel.hpp"
+#include "net/hostile.hpp"
 #include "net/link.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
@@ -76,6 +77,13 @@ struct ExperimentConfig {
   std::vector<std::pair<double, double>> outages;
   sim::Duration delay = 0.01;    // one-way propagation delay
   sim::Duration jitter = 0.0;    // uniform extra delay (enables reordering)
+
+  /// Hostile-channel behavior (reordering / duplication / scripted
+  /// partitions) on the shared forward path and on each receiver's feedback
+  /// path. Default-inactive configs build no pipeline stages at all, so
+  /// existing FIFO configurations stay event-for-event identical.
+  net::HostileConfig fwd_hostile;
+  net::HostileConfig fb_hostile;
 
   std::size_t num_receivers = 1;
   /// Heterogeneous receivers: per-receiver forward loss rates. When shorter
@@ -222,6 +230,7 @@ class Experiment {
     std::unique_ptr<ReceiverAgent> agent;
     std::unique_ptr<net::Channel<NackMsg>> fb_channel;  // unicast feedback
     std::unique_ptr<net::Link<NackMsg>> fb_link;
+    std::unique_ptr<net::HostileChannel<NackMsg>> fb_hostile;
     net::SwitchableLoss* fwd_switch = nullptr;      // forward data path
     net::SwitchableLoss* rev_switch = nullptr;      // unicast feedback path
     net::SwitchableLoss* observe_switch = nullptr;  // multicast overhearing
@@ -247,6 +256,7 @@ class Experiment {
   ConsistencyMonitor monitor_;
   Workload workload_;
   net::Channel<DataMsg> data_channel_;
+  std::unique_ptr<net::HostileChannel<DataMsg>> fwd_hostile_;
   std::unique_ptr<net::Channel<NackMsg>> mcast_fb_;
   std::vector<ReceiverRig> receivers_;
 

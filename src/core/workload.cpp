@@ -89,6 +89,16 @@ sim::Duration Workload::draw_lifetime() {
   return 0.0;
 }
 
+WorkloadParams sensor_workload(double lambda_kbps) {
+  WorkloadParams p;
+  p.record_size = 64;
+  p.death_mode = DeathMode::kExponentialLifetime;
+  p.mean_lifetime = 600.0;
+  p.insert_rate = 0.2;  // steady state ~ insert_rate * mean_lifetime sensors
+  p.update_rate = sim::kbps(lambda_kbps) / sim::bits(p.record_size);
+  return p;
+}
+
 std::vector<std::uint8_t> Workload::make_payload() {
   std::vector<std::uint8_t> payload(params_.payload_size);
   for (auto& b : payload) {

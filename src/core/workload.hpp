@@ -68,6 +68,15 @@ constexpr double insert_rate_from_kbps(double lambda_kbps,
   return sim::kbps(lambda_kbps) / sim::bits(record_size);
 }
 
+/// Sensor-style workload profile: a slowly-churning population of long-lived
+/// sensors (exponential lifetimes, mean 10 minutes, ~0.2 joins/sec for a
+/// ~120-sensor steady-state live set) each emitting tiny frequent value
+/// updates — 64-byte records with the whole `lambda_kbps` update budget
+/// spread uniformly over the live set. The inverse of the session-directory
+/// shape (few large rarely-changing announcements): announcement overhead
+/// dominates payload, and the hot queue sees high fan-in of small updates.
+WorkloadParams sensor_workload(double lambda_kbps);
+
 /// Drives a PublisherTable with Poisson inserts, optional Poisson updates,
 /// and lifetime-driven removals. Deterministic given its Rng.
 class Workload {

@@ -101,6 +101,31 @@ FaultPlan& FaultPlan::bandwidth(double factor, double at, double duration) {
   return *this;
 }
 
+std::vector<std::pair<double, double>> FaultPlan::partition_windows(
+    std::size_t target) const {
+  std::vector<std::pair<double, double>> windows;
+  for (const auto& e : events_) {
+    if (e.kind != FaultKind::kPartition) continue;
+    if (e.target != target && e.target != kAllReceivers &&
+        target != kAllReceivers) {
+      continue;
+    }
+    windows.emplace_back(e.start, e.start + e.duration);
+  }
+  std::sort(windows.begin(), windows.end());
+  // Merge overlapping/abutting windows into the canonical sorted
+  // non-overlapping form PartitionChannel's cursor scan assumes.
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& w : windows) {
+    if (!merged.empty() && w.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, w.second);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
 double FaultPlan::horizon() const {
   double h = 0.0;
   for (const auto& e : events_) h = std::max(h, e.start + e.duration);

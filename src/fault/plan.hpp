@@ -79,6 +79,15 @@ class FaultPlan {
   /// Latest end time (start + duration) across all events; 0 when empty.
   [[nodiscard]] double horizon() const;
 
+  /// The plan's partition events affecting receiver `target` (its own plus
+  /// kAllReceivers events), as sorted non-overlapping half-open [start, end)
+  /// windows — the exact shape net::PartitionConfig wants, which is how a
+  /// scripted fault plan drives a PartitionChannel. Overlapping or abutting
+  /// event windows are merged; zero-duration events yield zero-capacity
+  /// windows (which drop nothing).
+  [[nodiscard]] std::vector<std::pair<double, double>> partition_windows(
+      std::size_t target = kAllReceivers) const;
+
  private:
   std::vector<FaultEvent> events_;
 };

@@ -1,0 +1,124 @@
+#include "net/hostile.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace sst::net {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+double parse_num(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("hostile spec: bad ") + what +
+                                " value '" + s + "'");
+  }
+}
+
+}  // namespace
+
+HostileConfig HostileConfig::parse(const std::string& spec) {
+  HostileConfig cfg;
+  for (const std::string& field : split(spec, ';')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("hostile spec: field '" + field +
+                                  "' has no '='");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    if (key == "reorder") {
+      const auto parts = split(val, ':');
+      if (parts.size() != 2) {
+        throw std::invalid_argument(
+            "hostile spec: reorder wants PROB:MAX_EXTRA");
+      }
+      cfg.reorder.prob = parse_num(parts[0], "reorder prob");
+      cfg.reorder.max_extra = parse_num(parts[1], "reorder max_extra");
+    } else if (key == "dup") {
+      const auto parts = split(val, ':');
+      if (parts.empty() || parts.size() > 4) {
+        throw std::invalid_argument(
+            "hostile spec: dup wants PROB[:CONTINUE[:MAX[:SPREAD]]]");
+      }
+      cfg.duplicate.prob = parse_num(parts[0], "dup prob");
+      if (parts.size() > 1) {
+        cfg.duplicate.burst_continue = parse_num(parts[1], "dup continue");
+      }
+      if (parts.size() > 2) {
+        cfg.duplicate.max_copies =
+            static_cast<std::size_t>(parse_num(parts[2], "dup max copies"));
+      }
+      if (parts.size() > 3) {
+        cfg.duplicate.spread = parse_num(parts[3], "dup spread");
+      }
+    } else if (key == "partition") {
+      for (const std::string& win : split(val, ',')) {
+        const auto parts = split(win, ':');
+        if (parts.size() != 2) {
+          throw std::invalid_argument(
+              "hostile spec: partition wants START:END[,START:END...]");
+        }
+        cfg.partition.windows.emplace_back(
+            parse_num(parts[0], "partition start"),
+            parse_num(parts[1], "partition end"));
+      }
+    } else {
+      throw std::invalid_argument("hostile spec: unknown field '" + key +
+                                  "'");
+    }
+  }
+  return cfg;
+}
+
+std::string HostileConfig::describe() const {
+  if (!active()) return "fifo";
+  std::string out;
+  char buf[96];
+  if (reorder.active()) {
+    std::snprintf(buf, sizeof buf, "reorder(p=%g,d=%g)", reorder.prob,
+                  reorder.max_extra);
+    out += buf;
+  }
+  if (duplicate.active()) {
+    if (!out.empty()) out += ' ';
+    std::snprintf(buf, sizeof buf, "dup(p=%g,cont=%g,max=%zu,spread=%g)",
+                  duplicate.prob, duplicate.burst_continue,
+                  duplicate.max_copies, duplicate.spread);
+    out += buf;
+  }
+  if (partition.active()) {
+    if (!out.empty()) out += ' ';
+    out += "partition(";
+    for (std::size_t i = 0; i < partition.windows.size(); ++i) {
+      if (i > 0) out += ',';
+      std::snprintf(buf, sizeof buf, "%g:%g", partition.windows[i].first,
+                    partition.windows[i].second);
+      out += buf;
+    }
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace sst::net

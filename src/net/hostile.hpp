@@ -1,0 +1,389 @@
+// hostile.hpp — hostile-channel models: reordering, duplication, partitions.
+//
+// The paper's announce/listen argument is usually tested over FIFO,
+// duplicate-free, merely-lossy channels — the friendliest network there is.
+// The self-stabilizing-communication literature makes convergence over
+// non-FIFO unreliable channels the correctness bar instead. This family
+// supplies that adversary as composable send-side stages a harness can put
+// in front of any net::Channel:
+//
+//   ReorderChannel    — with probability `prob`, holds a message back by a
+//                       bounded uniform extra delay, letting later traffic
+//                       overtake it (bounded-displacement reordering; bound
+//                       or probability zero degenerates to a synchronous
+//                       pass-through, byte- and event-identical to FIFO).
+//   DuplicateChannel  — i.i.d. per-message duplication, optionally bursty
+//                       (geometric extra-copy count); copies re-enter the
+//                       pipeline downstream, so each one faces independent
+//                       loss — a duplicate can survive its dropped original.
+//   PartitionChannel  — scripted half-open [start, end) outage windows
+//                       (typically extracted from an sst::fault plan via
+//                       fault::partition_windows) plus a live set_down
+//                       toggle, composing with SwitchableLoss faults on the
+//                       channel behind it.
+//   HostileChannel    — the three in a fixed pipeline (partition, then
+//                       duplication, then reordering) behind one config.
+//
+// Every stage draws only from its own forked sim::Rng stream (fully
+// deterministic, and stages never perturb each other's draws) and carries a
+// check_invariants() validator like every other pooled structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/check.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace sst::net {
+
+/// Bounded random reordering: each message is independently held back with
+/// probability `prob` by an extra delay drawn uniform in [0, max_extra).
+/// Messages not held pass through synchronously, so displacement is bounded
+/// by whatever the surrounding traffic does within max_extra seconds.
+struct ReorderConfig {
+  double prob = 0.0;            // P(message is held back)
+  sim::Duration max_extra = 0.0;  // upper bound on the extra delay
+
+  [[nodiscard]] bool active() const { return prob > 0.0 && max_extra > 0.0; }
+};
+
+/// Duplication: with probability `prob` a message is copied. The copy count
+/// is 1 + Geometric(burst_continue), capped at max_copies (burst_continue =
+/// 0 gives classic i.i.d. single duplication). Copy i is re-injected after a
+/// deterministic i * spread seconds — back-to-back for spread = 0 — so
+/// duplicates trail their original and can land out of order behind newer
+/// traffic.
+struct DuplicateConfig {
+  double prob = 0.0;            // P(message gets duplicated at all)
+  double burst_continue = 0.0;  // P(one more copy | a copy was just made)
+  std::size_t max_copies = 4;   // cap on extra copies per message
+  sim::Duration spread = 0.0;   // copy i re-injected after i * spread
+
+  [[nodiscard]] bool active() const { return prob > 0.0; }
+};
+
+/// Scripted burst partitions: every message offered during a half-open
+/// [start, end) window is dropped. Windows must be sorted and
+/// non-overlapping; a zero-length window [t, t) drops nothing. A live
+/// set_down toggle composes with the script for injector-driven runs.
+struct PartitionConfig {
+  using Window = std::pair<sim::SimTime, sim::SimTime>;
+  std::vector<Window> windows;
+
+  [[nodiscard]] bool active() const { return !windows.empty(); }
+};
+
+/// One hostile pipeline's full parameterization. Default-constructed =
+/// transparent (nothing enabled), which every harness treats as "do not
+/// build the pipeline at all", keeping existing FIFO configurations
+/// event-for-event identical.
+struct HostileConfig {
+  ReorderConfig reorder;
+  DuplicateConfig duplicate;
+  PartitionConfig partition;
+
+  [[nodiscard]] bool active() const {
+    return reorder.active() || duplicate.active() || partition.active();
+  }
+
+  /// Parses a ';'-separated spec (the sstsim --hostile flag):
+  ///   reorder=PROB:MAX_EXTRA
+  ///   dup=PROB[:CONTINUE[:MAX_COPIES[:SPREAD]]]
+  ///   partition=START:END[,START:END...]
+  /// e.g. "reorder=0.3:0.2;dup=0.1:0.5:3:0.05;partition=600:660".
+  /// Throws std::invalid_argument on malformed input.
+  static HostileConfig parse(const std::string& spec);
+
+  /// Human-readable one-liner ("reorder(p=0.3,d=0.2) dup(p=0.1)").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Counters a hostile stage accumulates.
+struct HostileStats {
+  std::uint64_t sent = 0;        // messages offered to the stage
+  std::uint64_t held = 0;        // reorder: messages delayed
+  std::uint64_t released = 0;    // reorder: delayed messages delivered
+  std::uint64_t duplicated = 0;  // duplicate: extra copies scheduled
+  std::uint64_t dup_delivered = 0;  // duplicate: extra copies delivered
+  std::uint64_t partition_drops = 0;
+};
+
+namespace detail {
+
+/// Shared invariants of the probabilistic stage configs.
+inline void check_probability(const char* what, double p,
+                              check::Violations& out) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    out.push_back(std::string(what) + " probability " + std::to_string(p) +
+                  " outside [0,1]");
+  }
+}
+
+}  // namespace detail
+
+/// Bounded-displacement reordering stage. See ReorderConfig.
+template <class M>
+class ReorderChannel {
+ public:
+  using Sink = std::function<void(const M&, sim::Bytes)>;
+
+  ReorderChannel(sim::Simulator& sim, ReorderConfig config, sim::Rng rng,
+                 Sink sink)
+      : sim_(&sim), config_(config), rng_(rng), sink_(std::move(sink)) {}
+
+  ReorderChannel(const ReorderChannel&) = delete;
+  ReorderChannel& operator=(const ReorderChannel&) = delete;
+
+  void send(const M& msg, sim::Bytes size) {
+    ++stats_.sent;
+    // The Bernoulli draw happens whenever the stage is active, so the
+    // stream's position never depends on downstream behaviour.
+    if (!config_.active() || !rng_.bernoulli(config_.prob)) {
+      sink_(msg, size);  // synchronous: bound 0 degenerates to FIFO exactly
+      return;
+    }
+    ++stats_.held;
+    ++in_flight_;
+    const sim::Duration extra = rng_.uniform() * config_.max_extra;
+    sim_->after(extra, [this, msg, size] {
+      --in_flight_;
+      ++stats_.released;
+      sink_(msg, size);
+    });
+  }
+
+  [[nodiscard]] const HostileStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
+  /// Appends every violated invariant to `out`: counter consistency
+  /// (held = released + in-flight, and nothing held that was never sent)
+  /// and config sanity.
+  void check_invariants(check::Violations& out) const {
+    detail::check_probability("reorder", config_.prob, out);
+    if (config_.max_extra < 0.0) {
+      out.push_back("reorder max_extra is negative");
+    }
+    if (stats_.held != stats_.released + in_flight_) {
+      out.push_back("reorder held " + std::to_string(stats_.held) +
+                    " != released " + std::to_string(stats_.released) +
+                    " + in-flight " + std::to_string(in_flight_));
+    }
+    if (stats_.held > stats_.sent) {
+      out.push_back("reorder held more messages than were sent");
+    }
+  }
+
+ private:
+  sim::Simulator* sim_;
+  ReorderConfig config_;
+  sim::Rng rng_;
+  Sink sink_;
+  HostileStats stats_;
+  std::size_t in_flight_ = 0;
+};
+
+/// Duplication stage. See DuplicateConfig. The original always passes
+/// through synchronously; extra copies re-enter downstream later, so when a
+/// lossy channel sits behind this stage every copy takes independent loss
+/// draws — the duplicate-of-a-dropped-original case arises naturally.
+template <class M>
+class DuplicateChannel {
+ public:
+  using Sink = std::function<void(const M&, sim::Bytes)>;
+
+  DuplicateChannel(sim::Simulator& sim, DuplicateConfig config, sim::Rng rng,
+                   Sink sink)
+      : sim_(&sim), config_(config), rng_(rng), sink_(std::move(sink)) {}
+
+  DuplicateChannel(const DuplicateChannel&) = delete;
+  DuplicateChannel& operator=(const DuplicateChannel&) = delete;
+
+  void send(const M& msg, sim::Bytes size) {
+    ++stats_.sent;
+    sink_(msg, size);
+    if (!config_.active() || !rng_.bernoulli(config_.prob)) return;
+    std::size_t copies = 1;
+    while (copies < config_.max_copies && config_.burst_continue > 0.0 &&
+           rng_.bernoulli(config_.burst_continue)) {
+      ++copies;
+    }
+    for (std::size_t i = 1; i <= copies; ++i) {
+      ++stats_.duplicated;
+      ++in_flight_;
+      const sim::Duration lag = config_.spread * static_cast<double>(i);
+      sim_->after(lag, [this, msg, size] {
+        --in_flight_;
+        ++stats_.dup_delivered;
+        sink_(msg, size);
+      });
+    }
+  }
+
+  [[nodiscard]] const HostileStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
+  /// Appends every violated invariant to `out`: copy accounting
+  /// (scheduled = delivered + in-flight) and config sanity.
+  void check_invariants(check::Violations& out) const {
+    detail::check_probability("duplicate", config_.prob, out);
+    detail::check_probability("duplicate burst", config_.burst_continue, out);
+    if (config_.spread < 0.0) out.push_back("duplicate spread is negative");
+    if (config_.max_copies == 0) {
+      out.push_back("duplicate max_copies is zero (stage can never fire)");
+    }
+    if (stats_.duplicated != stats_.dup_delivered + in_flight_) {
+      out.push_back("duplicate copies " + std::to_string(stats_.duplicated) +
+                    " != delivered " + std::to_string(stats_.dup_delivered) +
+                    " + in-flight " + std::to_string(in_flight_));
+    }
+  }
+
+ private:
+  sim::Simulator* sim_;
+  DuplicateConfig config_;
+  sim::Rng rng_;
+  Sink sink_;
+  HostileStats stats_;
+  std::size_t in_flight_ = 0;
+};
+
+/// Scripted-partition stage. See PartitionConfig. Draws no randomness at
+/// all; the window cursor advances monotonically with simulation time (the
+/// same scheme as OutageLoss).
+template <class M>
+class PartitionChannel {
+ public:
+  using Sink = std::function<void(const M&, sim::Bytes)>;
+
+  PartitionChannel(sim::Simulator& sim, PartitionConfig config, Sink sink)
+      : sim_(&sim), config_(std::move(config)), sink_(std::move(sink)) {}
+
+  PartitionChannel(const PartitionChannel&) = delete;
+  PartitionChannel& operator=(const PartitionChannel&) = delete;
+
+  void send(const M& msg, sim::Bytes size) {
+    ++stats_.sent;
+    if (down_now()) {
+      ++stats_.partition_drops;
+      return;
+    }
+    sink_(msg, size);
+  }
+
+  /// Live toggle (fault-injector hook); composes with the scripted windows.
+  void set_down(bool down) { down_ = down; }
+  [[nodiscard]] bool down() const { return down_; }
+
+  [[nodiscard]] const HostileStats& stats() const { return stats_; }
+
+  /// Appends every violated invariant to `out`: windows sorted,
+  /// non-overlapping, non-negative length; cursor in range; drop accounting.
+  void check_invariants(check::Violations& out) const {
+    for (std::size_t i = 0; i < config_.windows.size(); ++i) {
+      const auto& w = config_.windows[i];
+      if (w.second < w.first) {
+        out.push_back("partition window " + std::to_string(i) +
+                      " ends before it starts");
+      }
+      if (i > 0 && w.first < config_.windows[i - 1].second) {
+        out.push_back("partition windows " + std::to_string(i - 1) + " and " +
+                      std::to_string(i) + " overlap or are unsorted");
+      }
+    }
+    if (next_ > config_.windows.size()) {
+      out.push_back("partition window cursor out of range");
+    }
+    if (stats_.partition_drops > stats_.sent) {
+      out.push_back("partition dropped more messages than were sent");
+    }
+  }
+
+ private:
+  [[nodiscard]] bool down_now() {
+    if (down_) return true;
+    const sim::SimTime now = sim_->now();
+    while (next_ < config_.windows.size() &&
+           now >= config_.windows[next_].second) {
+      ++next_;
+    }
+    return next_ < config_.windows.size() &&
+           now >= config_.windows[next_].first &&
+           now < config_.windows[next_].second;
+  }
+
+  sim::Simulator* sim_;
+  PartitionConfig config_;
+  Sink sink_;
+  HostileStats stats_;
+  std::size_t next_ = 0;  // first window not yet ended
+  bool down_ = false;
+};
+
+/// The full hostile pipeline: partition (a severed path transports
+/// nothing), then duplication, then reordering — so every duplicate copy is
+/// itself independently reordered, the worst interleaving the three stages
+/// can jointly produce. One forked RNG seeds the probabilistic stages.
+template <class M>
+class HostileChannel {
+ public:
+  using Sink = std::function<void(const M&, sim::Bytes)>;
+
+  HostileChannel(sim::Simulator& sim, const HostileConfig& config,
+                 const sim::Rng& rng, Sink sink)
+      : reorder_(sim, config.reorder, rng.fork("reorder"), std::move(sink)),
+        duplicate_(sim, config.duplicate, rng.fork("dup"),
+                   [this](const M& m, sim::Bytes s) { reorder_.send(m, s); }),
+        partition_(sim, config.partition, [this](const M& m, sim::Bytes s) {
+          duplicate_.send(m, s);
+        }) {}
+
+  HostileChannel(const HostileChannel&) = delete;
+  HostileChannel& operator=(const HostileChannel&) = delete;
+
+  void send(const M& msg, sim::Bytes size) {
+    partition_.send(msg, size);
+#if SST_CHECK_ENABLED
+    if (check::due(audit_tick_, 4096)) {
+      check::Violations v;
+      check_invariants(v);
+      check::report("HostileChannel", v);
+    }
+#endif
+  }
+
+  /// Live partition toggle (fault-injector hook).
+  void set_down(bool down) { partition_.set_down(down); }
+
+  [[nodiscard]] const HostileStats& reorder_stats() const {
+    return reorder_.stats();
+  }
+  [[nodiscard]] const HostileStats& duplicate_stats() const {
+    return duplicate_.stats();
+  }
+  [[nodiscard]] const HostileStats& partition_stats() const {
+    return partition_.stats();
+  }
+
+  /// Appends every violated invariant of all three stages to `out`.
+  void check_invariants(check::Violations& out) const {
+    reorder_.check_invariants(out);
+    duplicate_.check_invariants(out);
+    partition_.check_invariants(out);
+  }
+
+ private:
+  // Declaration order is construction order: each earlier member is the
+  // sink of the later one, captured by `this` (hence non-movable).
+  ReorderChannel<M> reorder_;
+  DuplicateChannel<M> duplicate_;
+  PartitionChannel<M> partition_;
+  std::uint64_t audit_tick_ = 0;  // SST_CHECK cadence counter
+};
+
+}  // namespace sst::net

@@ -156,11 +156,29 @@ class SwitchableLoss final : public LossModel {
   [[nodiscard]] bool down() const { return down_; }
   [[nodiscard]] double extra_loss() const { return extra_; }
 
+  /// Layers a whole second loss process on top of the base (e.g. a
+  /// Gilbert-Elliott burst process a fault plan switches in over a
+  /// Bernoulli base). The extra model COMPOSES with the base — either
+  /// process dropping drops the packet — instead of replacing it, and once
+  /// installed it is stepped on every transmission (like the base) so
+  /// removing it never perturbs its own stream mid-episode. Pass nullptr to
+  /// remove; base draws are unaffected either way.
+  void set_extra_model(std::unique_ptr<LossModel> extra) {
+    extra_model_ = std::move(extra);
+  }
+  [[nodiscard]] const LossModel* extra_model() const {
+    return extra_model_.get();
+  }
+
   bool should_drop(sim::SimTime now) override {
+    // Base (and any extra model) are always stepped first, so their streams
+    // advance identically whether or not a fault window is active.
     const bool base_drop = base_->should_drop(now);
+    const bool extra_model_drop =
+        extra_model_ != nullptr && extra_model_->should_drop(now);
     if (down_) return true;
     if (extra_ > 0.0 && rng_.bernoulli(extra_)) return true;
-    return base_drop;
+    return base_drop || extra_model_drop;
   }
 
   /// Base process rate; faults are transients, not part of the mean.
@@ -170,6 +188,7 @@ class SwitchableLoss final : public LossModel {
 
  private:
   std::unique_ptr<LossModel> base_;
+  std::unique_ptr<LossModel> extra_model_;
   sim::Rng rng_;
   bool down_ = false;
   double extra_ = 0.0;

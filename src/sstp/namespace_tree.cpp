@@ -127,7 +127,15 @@ bool NamespaceTree::put(const Path& path, std::vector<std::uint8_t> data,
   Node& n = pool_[idx];
   if (!n.children.empty()) return false;  // already an internal node
   const bool was_leaf = n.adu.has_value();
-  const std::uint64_t next_version = was_leaf ? n.adu->version + 1 : 1;
+  // Fresh leaves start above the version floor, not at 1: if this path (or
+  // any other) was removed and is now being re-published, restarting at 1
+  // would alias the new incarnation with the old one — a receiver that
+  // never saw the removal would keep the stale body forever, since its
+  // (version, right_edge) leaf digest can agree while the data differs.
+  // Remove-free histories keep the floor at 0, so their versions (and
+  // digests) are unchanged.
+  const std::uint64_t next_version =
+      was_leaf ? n.adu->version + 1 : version_floor_ + 1;
   Adu adu;
   adu.version = next_version;
   adu.total_size = data.size();
@@ -197,14 +205,19 @@ bool NamespaceTree::remove(const Path& path) {
   const NodeIdx idx = walk_record(path);
   if (idx == kNil) return false;
 
-  // Free the whole subtree, counting the leaves it held.
+  // Free the whole subtree, counting the leaves it held and raising the
+  // version floor past them (see put: re-published paths must never reuse
+  // a removed incarnation's version numbers).
   std::size_t removed = 0;
   std::vector<NodeIdx> stack{idx};
   while (!stack.empty()) {
     const NodeIdx i = stack.back();
     stack.pop_back();
     Node& n = pool_[i];
-    if (n.adu.has_value()) ++removed;
+    if (n.adu.has_value()) {
+      ++removed;
+      if (n.adu->version > version_floor_) version_floor_ = n.adu->version;
+    }
     for (const ChildRef& c : n.children) stack.push_back(c.node);
     free_node(i);
   }

@@ -247,6 +247,9 @@ class NamespaceTree {
   std::vector<NodeIdx> free_;      // recycled pool slots (capacity kept)
   std::vector<NodeIdx> spine_;     // scratch: last mutation's walk
   std::size_t leaf_count_ = 0;
+  // Highest version ever removed; fresh leaves start above it so versions
+  // stay monotone across remove/re-publish incarnations of a path.
+  std::uint64_t version_floor_ = 0;
 
   mutable hash::Hasher hasher_;
   // Per-symbol digest of the component name, so recomputing an internal

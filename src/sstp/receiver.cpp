@@ -48,10 +48,27 @@ void Receiver::handle(const WireBytes& bytes) {
   }
 }
 
+// Feeds the loss estimator and tracks the newest forward-path sequence.
+// Returns true when `seq` is older than something already heard — the
+// packet is a reordered or duplicated replay of past sender state.
+bool Receiver::note_fwd_seq(std::uint64_t seq) {
+  loss_.on_seq(seq);
+  const bool stale = seen_fwd_seq_ && seq < latest_fwd_seq_;
+  if (!stale) {
+    latest_fwd_seq_ = seq;
+    seen_fwd_seq_ = true;
+  }
+  return stale;
+}
+
 void Receiver::handle_data(const DataMsg& msg) {
   ++stats_.data_rx;
   if (msg.is_repair) ++stats_.repairs_rx;
-  loss_.on_seq(msg.seq);
+  // Stale data chunks are still applied: apply_chunk is version-guarded and
+  // idempotent, so a late chunk of the current version is useful and a late
+  // chunk of an old version is a no-op. Only destructive announcement
+  // handling (below) needs the staleness guard.
+  note_fwd_seq(msg.seq);
   touch_session();
 
   const Adu* before = tree_.find(msg.path);
@@ -77,6 +94,13 @@ void Receiver::handle_data(const DataMsg& msg) {
 void Receiver::handle_summary(const SummaryMsg& msg) {
   ++stats_.summaries_rx;
   touch_session();
+  if (note_fwd_seq(msg.seq)) {
+    // A stale summary describes a root digest the sender has since moved
+    // past; matching it would clear repairs for the wrong state, and
+    // mismatching it would start a descent toward dead state.
+    ++stats_.stale_rx;
+    return;
+  }
   if (msg.root_digest == tree_.root_digest()) {
     // Fully consistent: drop every outstanding repair.
     pending_.clear();
@@ -89,6 +113,13 @@ void Receiver::handle_summary(const SummaryMsg& msg) {
 void Receiver::handle_signatures(const SignaturesMsg& msg) {
   ++stats_.signatures_rx;
   touch_session();
+  if (note_fwd_seq(msg.seq)) {
+    // A stale signatures reply advertises an old child set: pruning from it
+    // would delete subtrees the sender still has (state regression). Drop
+    // it; the outstanding query retries against fresh state.
+    ++stats_.stale_rx;
+    return;
+  }
 
   // The query that asked for these signatures is answered.
   pending_.erase(msg.path);
@@ -124,6 +155,18 @@ void Receiver::handle_signatures(const SignaturesMsg& msg) {
     if (local.has_value() && *local == child.digest) {
       clear_pending_under(cpath);  // whole subtree already consistent
       continue;
+    }
+    // Shape conflict: a local leaf where the sender now has a subtree (or
+    // the reverse) can never be patched by chunks — the tree rejects writes
+    // through a mismatched node kind, so repair would retry forever. This
+    // signatures reply passed the staleness guard, so the sender's shape is
+    // authoritative: drop the local node and rebuild it through repair.
+    if (local.has_value() &&
+        (tree_.find(cpath) != nullptr) != child.is_leaf) {
+      tree_.remove(cpath);
+      clear_pending_under(cpath);
+      ++stats_.shape_repairs;
+      if (removed_fn_) removed_fn_(cpath);
     }
     ensure_pending(cpath, /*is_nack=*/child.is_leaf);
   }

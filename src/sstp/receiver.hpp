@@ -72,6 +72,8 @@ struct ReceiverStats {
   std::uint64_t gave_up = 0;
   std::uint64_t removed_subtrees = 0;
   std::uint64_t skipped_no_interest = 0;
+  std::uint64_t stale_rx = 0;  // reordered/duplicated old announcements
+  std::uint64_t shape_repairs = 0;  // leaf-vs-subtree conflicts resolved
   std::uint64_t decode_errors = 0;
   std::uint64_t session_expiries = 0;
   std::uint64_t adu_completions = 0;
@@ -132,6 +134,7 @@ class Receiver {
   void handle_data(const DataMsg& msg);
   void handle_summary(const SummaryMsg& msg);
   void handle_signatures(const SignaturesMsg& msg);
+  bool note_fwd_seq(std::uint64_t seq);
   void ensure_pending(const Path& path, bool is_nack);
   void clear_pending_under(const Path& path);
   void send_repair(const Path& path, Pending& p);
@@ -155,6 +158,11 @@ class Receiver {
   sim::Timer session_timer_;
   bool session_live_ = false;
   bool stopped_ = false;
+
+  // Highest forward-path sequence heard; Summary/Signatures older than it
+  // are stale replays under reordering/duplication and must not act.
+  std::uint64_t latest_fwd_seq_ = 0;
+  bool seen_fwd_seq_ = false;
 
   LossEstimator loss_;
   std::function<void(const Path&, const Adu&)> complete_fn_;

@@ -1,9 +1,17 @@
 // receiver_report.hpp — RTCP-style loss measurement (paper Section 6.1).
 //
 // "SSTP uses measured packet loss rates using RTCP-style receiver reports"
-// to drive the allocator. The receiver counts data sequence numbers; each
-// reporting interval it computes the interval loss fraction and folds it
-// into an EWMA, which rides back to the sender in ReceiverReportMsg.
+// to drive the allocator. The receiver counts forward-path sequence numbers
+// (data, summaries, and signatures share one seq space); each reporting
+// interval it computes the interval loss fraction and folds it into an
+// EWMA, which rides back to the sender in ReceiverReportMsg.
+//
+// Honest caveat under hostile channels: a duplicated packet increments the
+// received count twice, and a packet reordered across an interval boundary
+// is counted in the later interval — both bias the estimate low (the
+// min(received, expected) clamp keeps it in range but cannot tell a
+// duplicate from a recovered loss, the same ambiguity a real RTCP receiver
+// faces without per-seq bookkeeping).
 #pragma once
 
 #include <algorithm>

@@ -43,7 +43,10 @@ bool ReferenceTree::put(const Path& path, std::vector<std::uint8_t> data,
   if (n == nullptr) return false;
   if (!n->children.empty()) return false;  // already an internal node
   const bool was_leaf = n->adu.has_value();
-  const std::uint64_t next_version = was_leaf ? n->adu->version + 1 : 1;
+  // Fresh leaves start above the version floor so a re-published path can
+  // never alias a removed incarnation's versions (see NamespaceTree::put).
+  const std::uint64_t next_version =
+      was_leaf ? n->adu->version + 1 : version_floor_ + 1;
   Adu adu;
   adu.version = next_version;
   adu.total_size = data.size();
@@ -111,7 +114,10 @@ bool ReferenceTree::remove(const Path& path) {
 
   std::size_t removed = 0;
   const std::function<void(const Node&)> count = [&](const Node& n) {
-    if (n.adu.has_value()) ++removed;
+    if (n.adu.has_value()) {
+      ++removed;
+      if (n.adu->version > version_floor_) version_floor_ = n.adu->version;
+    }
     for (const auto& [name, child] : n.children) count(*child);
   };
   count(*it->second);

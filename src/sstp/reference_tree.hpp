@@ -73,6 +73,9 @@ class ReferenceTree {
   hash::DigestAlgo algo_;
   std::unique_ptr<Node> root_;
   std::size_t leaf_count_ = 0;
+  // Highest version ever removed; fresh leaves start above it so versions
+  // stay monotone across remove/re-publish incarnations of a path.
+  std::uint64_t version_floor_ = 0;
 };
 
 }  // namespace sst::sstp

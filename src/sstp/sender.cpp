@@ -295,12 +295,19 @@ void Sender::maybe_start_service() {
     const auto head = peek_hot_head(cls);
     size = head->size;
     msg = build_hot_msg(*head);
+    // Every forward packet consumes one slot of the shared sequence space,
+    // so receivers can order announcements as well as data: a reordered or
+    // duplicated Summary/Signatures carrying an old seq is recognizably
+    // stale and must never regress receiver state.
     if (auto* data = std::get_if<DataMsg>(&msg)) {
       data->seq = next_seq_++;
+    } else if (auto* sigs = std::get_if<SignaturesMsg>(&msg)) {
+      sigs->seq = next_seq_++;
     }
     consume_hot_head(cls, msg);
   } else {
     msg = build_summary();
+    std::get<SummaryMsg>(msg).seq = next_seq_++;
     ++summary_epoch_;
     ++stats_.summary_tx;
     last_summary_ = sim_->now();

@@ -21,13 +21,13 @@ std::unique_ptr<net::SwitchableLoss> make_loss(double rate, sim::Rng rng,
   return std::make_unique<net::SwitchableLoss>(std::move(base), switch_rng);
 }
 
-std::unique_ptr<net::DelayModel> make_delay(const SessionConfig& cfg,
+std::unique_ptr<net::DelayModel> make_delay(sim::Duration delay,
+                                            sim::Duration jitter,
                                             sim::Rng rng) {
-  if (cfg.jitter > 0.0) {
-    return std::make_unique<net::UniformJitterDelay>(cfg.delay, cfg.jitter,
-                                                     rng);
+  if (jitter > 0.0) {
+    return std::make_unique<net::UniformJitterDelay>(delay, jitter, rng);
   }
-  return std::make_unique<net::FixedDelay>(cfg.delay);
+  return std::make_unique<net::FixedDelay>(delay);
 }
 
 }  // namespace
@@ -42,10 +42,25 @@ Session::Session(sim::Simulator& sim, SessionConfig config)
       consistency_(sim.now(), 1.0) {
   data_channel_ = std::make_unique<net::Channel<WireBytes>>(sim);
 
+  // Hostile forward path (reorder/dup/partition) sits between the sender
+  // and the shared data channel. Only built when configured: an inactive
+  // config leaves the FIFO path (and its RNG streams) untouched.
+  if (config_.fwd_hostile.active()) {
+    fwd_hostile_ = std::make_unique<net::HostileChannel<WireBytes>>(
+        sim, config_.fwd_hostile, root_.fork("hostile-fwd"),
+        [this](const WireBytes& bytes, sim::Bytes size) {
+          data_channel_->send(bytes, size);
+        });
+  }
+
   config_.receiver.algo = config_.sender.algo;
   sender_ = std::make_unique<Sender>(
       sim, config_.sender, [this](const WireBytes& bytes, sim::Bytes size) {
-        data_channel_->send(bytes, size);
+        if (fwd_hostile_ != nullptr) {
+          fwd_hostile_->send(bytes, size);
+        } else {
+          data_channel_->send(bytes, size);
+        }
       });
 
   for (std::size_t r = 0; r < config_.num_receivers; ++r) add_receiver_rig();
@@ -74,19 +89,40 @@ std::size_t Session::add_receiver_rig() {
   ReceiverRig rig;
   rig.joined_at = sim_->now();
 
-  // Reverse path: receiver -> rate-limited link -> lossy channel -> sender.
+  // Reverse path: receiver -> rate-limited link -> optional hostile stage
+  // -> lossy channel -> sender. Delay/jitter fall back to the forward-path
+  // values when unset, so the two directions can be configured
+  // asymmetrically (e.g. a clean feedback path under a hostile forward one,
+  // or vice versa) without disturbing existing symmetric setups.
+  const sim::Duration fb_delay =
+      config_.fb_delay < 0 ? config_.delay : config_.fb_delay;
+  const sim::Duration fb_jitter =
+      config_.fb_jitter < 0 ? config_.jitter : config_.fb_jitter;
   rig.fb_channel = std::make_unique<net::Channel<WireBytes>>(*sim_);
   auto rev_loss = make_loss(fb_loss_, root_.fork("fb-loss", r),
                             root_.fork("switch-fb", r));
   rig.rev_switch = rev_loss.get();
   rig.fb_channel->add_receiver(
-      std::move(rev_loss), make_delay(config_, root_.fork("fb-delay", r)),
+      std::move(rev_loss),
+      make_delay(fb_delay, fb_jitter, root_.fork("fb-delay", r)),
       [this](const WireBytes& bytes) { sender_->handle_feedback(bytes); });
   net::Channel<WireBytes>* fb_chan = rig.fb_channel.get();
+  if (config_.fb_hostile.active()) {
+    rig.fb_hostile = std::make_unique<net::HostileChannel<WireBytes>>(
+        *sim_, config_.fb_hostile, root_.fork("hostile-fb", r),
+        [fb_chan](const WireBytes& bytes, sim::Bytes size) {
+          fb_chan->send(bytes, size);
+        });
+  }
+  net::HostileChannel<WireBytes>* fb_hostile = rig.fb_hostile.get();
   rig.fb_link = std::make_unique<net::Link<WireBytes>>(
       *sim_, config_.mu_fb,
-      [fb_chan](const WireBytes& bytes, sim::Bytes size) {
-        fb_chan->send(bytes, size);
+      [fb_chan, fb_hostile](const WireBytes& bytes, sim::Bytes size) {
+        if (fb_hostile != nullptr) {
+          fb_hostile->send(bytes, size);
+        } else {
+          fb_chan->send(bytes, size);
+        }
       },
       /*queue_limit=*/8);
   net::Link<WireBytes>* fb_link = rig.fb_link.get();
@@ -103,7 +139,8 @@ std::size_t Session::add_receiver_rig() {
                             root_.fork("switch-loss", r));
   rig.fwd_switch = fwd_loss.get();
   data_channel_->add_receiver(
-      std::move(fwd_loss), make_delay(config_, root_.fork("delay", r)),
+      std::move(fwd_loss),
+      make_delay(config_.delay, config_.jitter, root_.fork("delay", r)),
       [recv](const WireBytes& bytes) { recv->handle(bytes); });
 
   receivers_.push_back(std::move(rig));

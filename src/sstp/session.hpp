@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "net/hostile.hpp"
 #include "net/link.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -41,7 +42,16 @@ struct SessionConfig {
   double fb_loss_rate = -1.0;       // reverse loss; <0 copies loss_rate
   sim::Duration delay = 0.01;
   sim::Duration jitter = 0.0;
+  sim::Duration fb_delay = -1.0;    // reverse delay; <0 copies delay
+  sim::Duration fb_jitter = -1.0;   // reverse jitter; <0 copies jitter
   std::uint64_t seed = 1;
+
+  // Hostile-channel behavior (reordering / duplication / scripted
+  // partitions), applied to the forward path and, independently, to each
+  // receiver's feedback path. Default-inactive configs add no stages, so
+  // existing FIFO sessions are event-for-event unchanged.
+  net::HostileConfig fwd_hostile;
+  net::HostileConfig fb_hostile;
 
   bool use_allocator = false;
   BandwidthAllocator::Config allocator;
@@ -141,6 +151,7 @@ class Session {
     std::unique_ptr<Receiver> receiver;
     std::unique_ptr<net::Link<WireBytes>> fb_link;
     std::unique_ptr<net::Channel<WireBytes>> fb_channel;
+    std::unique_ptr<net::HostileChannel<WireBytes>> fb_hostile;
     net::SwitchableLoss* fwd_switch = nullptr;
     net::SwitchableLoss* rev_switch = nullptr;
     bool active = true;
@@ -158,6 +169,7 @@ class Session {
   sim::Rng root_;
   double fb_loss_ = 0.0;
   std::unique_ptr<net::Channel<WireBytes>> data_channel_;
+  std::unique_ptr<net::HostileChannel<WireBytes>> fwd_hostile_;
   std::unique_ptr<Sender> sender_;
   std::vector<ReceiverRig> receivers_;
   sim::PeriodicTimer sampler_;

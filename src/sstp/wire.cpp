@@ -204,6 +204,7 @@ void encode_into(const Message& msg, std::vector<std::uint8_t>& out) {
     w.digest(m2->root_digest);
     w.u64(m2->epoch);
     w.u64(m2->leaf_count);
+    w.u64(m2->seq);
   } else if (const auto* m3 = std::get_if<SigRequestMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(MsgType::kSigRequest));
     w.path(m3->path);
@@ -211,6 +212,7 @@ void encode_into(const Message& msg, std::vector<std::uint8_t>& out) {
     w.u8(static_cast<std::uint8_t>(MsgType::kSignatures));
     w.path(m4->path);
     w.digest(m4->node_digest);
+    w.u64(m4->seq);
     w.u32(static_cast<std::uint32_t>(m4->children.size()));
     for (const auto& c : m4->children) {
       w.str(c.name);
@@ -244,13 +246,13 @@ std::size_t encoded_size(const Message& msg) {
            tags_wire_size(m->tags) + 8 + 1;
   }
   if (std::get_if<SummaryMsg>(&msg) != nullptr) {
-    return 1 + 16 + 8 + 8;
+    return 1 + 16 + 8 + 8 + 8;
   }
   if (const auto* m3 = std::get_if<SigRequestMsg>(&msg)) {
     return 1 + path_wire_size(m3->path);
   }
   if (const auto* m4 = std::get_if<SignaturesMsg>(&msg)) {
-    std::size_t n = 1 + path_wire_size(m4->path) + 16 + 4;
+    std::size_t n = 1 + path_wire_size(m4->path) + 16 + 8 + 4;
     for (const auto& c : m4->children) {
       n += str_wire_size(c.name) + 16 + 1 + tags_wire_size(c.tags);
     }
@@ -277,7 +279,7 @@ std::size_t data_msg_wire_size(const Path& path, const Adu& adu,
 
 std::size_t signatures_msg_wire_size(const Path& path,
                                      const NamespaceTree& tree) {
-  std::size_t n = 1 + path_wire_size(path) + 16 + 4;
+  std::size_t n = 1 + path_wire_size(path) + 16 + 8 + 4;
   static const MetaTags kNoTags;
   tree.for_each_child(path, [&n](std::string_view name, bool /*is_leaf*/,
                                  const MetaTags* tags) {
@@ -311,7 +313,7 @@ std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
     case MsgType::kSummary: {
       SummaryMsg m;
       if (!r.digest(m.root_digest) || !r.u64(m.epoch) ||
-          !r.u64(m.leaf_count) || !r.done()) {
+          !r.u64(m.leaf_count) || !r.u64(m.seq) || !r.done()) {
         return std::nullopt;
       }
       return m;
@@ -324,8 +326,8 @@ std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
     case MsgType::kSignatures: {
       SignaturesMsg m;
       std::uint32_t n;
-      if (!r.path(m.path) || !r.digest(m.node_digest) || !r.u32(n) ||
-          n > kMaxChildren) {
+      if (!r.path(m.path) || !r.digest(m.node_digest) || !r.u64(m.seq) ||
+          !r.u32(n) || n > kMaxChildren) {
         return std::nullopt;
       }
       m.children.resize(n);

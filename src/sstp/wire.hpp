@@ -44,6 +44,7 @@ struct SummaryMsg {
   hash::Digest root_digest;
   std::uint64_t epoch = 0;       // sender's announcement counter
   std::uint64_t leaf_count = 0;  // advisory, for receiver progress metrics
+  std::uint64_t seq = 0;         // per-sender transmission sequence
 };
 
 /// Recursive-descent repair query.
@@ -55,6 +56,7 @@ struct SigRequestMsg {
 struct SignaturesMsg {
   Path path;
   hash::Digest node_digest;
+  std::uint64_t seq = 0;  // per-sender transmission sequence
   std::vector<ChildSummary> children;
 };
 

@@ -1,0 +1,479 @@
+// Hostile-channel model tests: FIFO degeneration (reorder bound 0 must be
+// byte- and event-identical to a plain pass-through), half-open partition
+// window semantics including zero-capacity windows, duplicate-survives-
+// dropped-original ordering, determinism under sim::Rng streams, the
+// SwitchableLoss extra-model composition, fault-plan partition-window
+// extraction, and the --hostile spec grammar.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/check.hpp"
+#include "fault/plan.hpp"
+#include "net/channel.hpp"
+#include "net/delay.hpp"
+#include "net/hostile.hpp"
+#include "net/loss.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::net {
+namespace {
+
+/// One observed delivery: (sim time, message id).
+using Trace = std::vector<std::pair<double, int>>;
+
+/// Feeds `count` integer messages into `channel` at `gap`-second intervals
+/// and runs the simulator dry.
+template <class Ch>
+void drive(sim::Simulator& sim, Ch& channel, int count, double gap) {
+  for (int i = 0; i < count; ++i) {
+    sim.after(gap * i, [&channel, i] { channel.send(i, 100); });
+  }
+  sim.run_until(1e9);
+}
+
+// ------------------------------------------------------- FIFO degeneration
+
+TEST(ReorderChannel, BoundZeroIsByteIdenticalFifo) {
+  // max_extra = 0 deactivates the stage: every message must pass through
+  // synchronously, in order, at its exact send time — indistinguishable
+  // from having no stage at all, which is what keeps golden digests safe.
+  sim::Simulator sim;
+  Trace got;
+  ReorderConfig cfg;
+  cfg.prob = 1.0;  // would hold everything if the bound were positive
+  cfg.max_extra = 0.0;
+  ReorderChannel<int> chan(sim, cfg, sim::Rng(1), [&](const int& m, sim::Bytes) {
+    got.emplace_back(sim.now(), m);
+  });
+  drive(sim, chan, 50, 0.01);
+
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(got[i].second, i);
+    EXPECT_DOUBLE_EQ(got[i].first, 0.01 * i);  // synchronous, zero extra delay
+  }
+  EXPECT_EQ(chan.stats().held, 0u);
+  check::Violations v;
+  chan.check_invariants(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ReorderChannel, ProbZeroIsByteIdenticalFifo) {
+  sim::Simulator sim;
+  Trace got;
+  ReorderConfig cfg;
+  cfg.prob = 0.0;
+  cfg.max_extra = 5.0;
+  ReorderChannel<int> chan(sim, cfg, sim::Rng(1), [&](const int& m, sim::Bytes) {
+    got.emplace_back(sim.now(), m);
+  });
+  drive(sim, chan, 20, 0.5);
+  ASSERT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(got[i].second, i);
+    EXPECT_DOUBLE_EQ(got[i].first, 0.5 * i);
+  }
+}
+
+TEST(ReorderChannel, ActuallyReordersAndDrainsClean) {
+  sim::Simulator sim;
+  Trace got;
+  ReorderConfig cfg;
+  cfg.prob = 0.5;
+  cfg.max_extra = 1.0;  // far larger than the 10ms send gap
+  ReorderChannel<int> chan(sim, cfg, sim::Rng(7), [&](const int& m, sim::Bytes) {
+    got.emplace_back(sim.now(), m);
+  });
+  drive(sim, chan, 200, 0.01);
+
+  ASSERT_EQ(got.size(), 200u);  // reordering never loses anything
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    if (got[i].second < got[i - 1].second) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order) << "p=0.5 with a 100x-gap bound must reorder";
+  EXPECT_GT(chan.stats().held, 50u);
+  EXPECT_EQ(chan.stats().held, chan.stats().released);  // fully drained
+  EXPECT_EQ(chan.in_flight(), 0u);
+  check::Violations v;
+  chan.check_invariants(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ReorderChannel, DisplacementBoundedByMaxExtra) {
+  // A held message re-emerges within max_extra of its send time, so no
+  // delivery can trail its send by more than the bound.
+  sim::Simulator sim;
+  std::vector<double> sent_at(100, 0.0);
+  ReorderConfig cfg;
+  cfg.prob = 1.0;
+  cfg.max_extra = 0.25;
+  ReorderChannel<int> chan(sim, cfg, sim::Rng(3), [&](const int& m, sim::Bytes) {
+    EXPECT_LE(sim.now() - sent_at[static_cast<std::size_t>(m)], 0.25 + 1e-12);
+  });
+  for (int i = 0; i < 100; ++i) {
+    sent_at[static_cast<std::size_t>(i)] = 0.02 * i;
+    sim.after(0.02 * i, [&chan, i] { chan.send(i, 64); });
+  }
+  sim.run_until(1e9);
+  EXPECT_EQ(chan.stats().released, 100u);
+}
+
+// -------------------------------------------------------------- partitions
+
+TEST(PartitionChannel, ZeroCapacityWindowDropsNothing) {
+  // [5, 5) is empty as a half-open interval: a message offered at exactly
+  // t=5 must sail through. (Fault plans with zero-duration partitions
+  // produce these.)
+  sim::Simulator sim;
+  PartitionConfig cfg;
+  cfg.windows = {{5.0, 5.0}};
+  Trace got;
+  PartitionChannel<int> chan(sim, cfg, [&](const int& m, sim::Bytes) {
+    got.emplace_back(sim.now(), m);
+  });
+  sim.after(4.0, [&] { chan.send(0, 10); });
+  sim.after(5.0, [&] { chan.send(1, 10); });
+  sim.after(6.0, [&] { chan.send(2, 10); });
+  sim.run_until(10.0);
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(chan.stats().partition_drops, 0u);
+  check::Violations v;
+  chan.check_invariants(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(PartitionChannel, WindowsAreHalfOpen) {
+  sim::Simulator sim;
+  PartitionConfig cfg;
+  cfg.windows = {{5.0, 10.0}, {20.0, 30.0}};
+  std::vector<int> got;
+  PartitionChannel<int> chan(
+      sim, cfg, [&](const int& m, sim::Bytes) { got.push_back(m); });
+  const double times[] = {4.999, 5.0, 9.999, 10.0, 15.0, 20.0, 29.0, 30.0};
+  for (int i = 0; i < 8; ++i) {
+    sim.after(times[i], [&chan, i] { chan.send(i, 10); });
+  }
+  sim.run_until(100.0);
+  // Start inclusive, end exclusive: 5.0, 9.999, 20.0, 29.0 are eaten.
+  EXPECT_EQ(got, (std::vector<int>{0, 3, 4, 7}));
+  EXPECT_EQ(chan.stats().partition_drops, 4u);
+}
+
+TEST(PartitionChannel, LiveToggleComposesWithScript) {
+  sim::Simulator sim;
+  PartitionConfig cfg;
+  cfg.windows = {{10.0, 20.0}};
+  std::vector<int> got;
+  PartitionChannel<int> chan(
+      sim, cfg, [&](const int& m, sim::Bytes) { got.push_back(m); });
+  chan.send(0, 10);  // t=0, up -> delivered
+  chan.set_down(true);
+  chan.send(1, 10);  // live toggle -> dropped even outside the script
+  chan.set_down(false);
+  sim.after(15.0, [&] { chan.send(2, 10); });  // scripted window -> dropped
+  sim.after(25.0, [&] { chan.send(3, 10); });  // healed -> delivered
+  sim.run_until(100.0);
+  EXPECT_EQ(got, (std::vector<int>{0, 3}));
+  EXPECT_EQ(chan.stats().partition_drops, 2u);
+}
+
+TEST(PartitionChannel, InvariantsCatchUnsortedWindows) {
+  sim::Simulator sim;
+  PartitionConfig cfg;
+  cfg.windows = {{10.0, 20.0}, {15.0, 25.0}};  // overlapping
+  PartitionChannel<int> chan(sim, cfg, [](const int&, sim::Bytes) {});
+  check::Violations v;
+  chan.check_invariants(v);
+  EXPECT_FALSE(v.empty());
+}
+
+// ------------------------------------------------------------- duplication
+
+TEST(DuplicateChannel, DuplicateSurvivesDroppedOriginal) {
+  // The stage re-injects copies downstream, so each copy takes its own loss
+  // draw on the channel behind it. With a trace that drops exactly the
+  // first transmission, the original dies and its duplicate delivers — the
+  // receiver sees the message once, later than the original would have
+  // arrived. This is the ordering hazard the receiver seq guards exist for.
+  sim::Simulator sim;
+  std::vector<std::pair<double, int>> got;
+  Channel<int> lossy(sim);
+  lossy.add_receiver(std::make_unique<TraceLoss>(std::vector<bool>{
+                         true, false, false, false}),  // drop 1st only
+                     std::make_unique<FixedDelay>(0.01),
+                     [&](const int& m) { got.emplace_back(sim.now(), m); });
+
+  DuplicateConfig cfg;
+  cfg.prob = 1.0;      // always duplicate
+  cfg.spread = 0.005;  // copy trails the original by 5ms
+  DuplicateChannel<int> dup(
+      sim, cfg, sim::Rng(5),
+      [&lossy](const int& m, sim::Bytes s) { lossy.send(m, s); });
+
+  dup.send(42, 100);
+  sim.run_until(10.0);
+
+  ASSERT_EQ(got.size(), 1u) << "original dropped, duplicate delivered";
+  EXPECT_EQ(got[0].second, 42);
+  EXPECT_DOUBLE_EQ(got[0].first, 0.015);  // spread + channel delay
+  EXPECT_EQ(dup.stats().duplicated, 1u);
+  EXPECT_EQ(dup.stats().dup_delivered, 1u);
+  check::Violations v;
+  dup.check_invariants(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(DuplicateChannel, BurstCopiesCappedAtMax) {
+  sim::Simulator sim;
+  std::uint64_t delivered = 0;
+  DuplicateConfig cfg;
+  cfg.prob = 1.0;
+  cfg.burst_continue = 1.0;  // always continue -> cap must bite
+  cfg.max_copies = 3;
+  DuplicateChannel<int> dup(sim, cfg, sim::Rng(2),
+                            [&](const int&, sim::Bytes) { ++delivered; });
+  for (int i = 0; i < 10; ++i) dup.send(i, 10);
+  sim.run_until(10.0);
+  // Each send: 1 original + exactly max_copies copies.
+  EXPECT_EQ(delivered, 10u * 4u);
+  EXPECT_EQ(dup.stats().duplicated, 30u);
+}
+
+TEST(DuplicateChannel, ProbZeroPassesThroughUntouched) {
+  sim::Simulator sim;
+  Trace got;
+  DuplicateChannel<int> dup(sim, DuplicateConfig{}, sim::Rng(2),
+                            [&](const int& m, sim::Bytes) {
+                              got.emplace_back(sim.now(), m);
+                            });
+  drive(sim, dup, 10, 0.1);
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i].second, i);
+  EXPECT_EQ(dup.stats().duplicated, 0u);
+}
+
+// ------------------------------------------------------- full pipeline
+
+TEST(HostileChannel, DeterministicUnderSameSeed) {
+  // Two identically-seeded pipelines over identical offered traffic must
+  // produce identical delivery traces, time-stamps included.
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    HostileConfig cfg;
+    cfg.reorder = {0.4, 0.3};
+    cfg.duplicate.prob = 0.3;
+    cfg.duplicate.burst_continue = 0.5;
+    cfg.duplicate.spread = 0.02;
+    cfg.partition.windows = {{1.0, 1.5}};
+    Trace got;
+    HostileChannel<int> chan(sim, cfg, sim::Rng(seed),
+                             [&](const int& m, sim::Bytes) {
+                               got.emplace_back(sim.now(), m);
+                             });
+    drive(sim, chan, 300, 0.01);
+    check::Violations v;
+    chan.check_invariants(v);
+    EXPECT_TRUE(v.empty());
+    return got;
+  };
+  const Trace a = run(11);
+  const Trace b = run(11);
+  const Trace c = run(12);
+  EXPECT_EQ(a, b) << "same seed must replay the exact interleaving";
+  EXPECT_NE(a, c) << "different seed must not";
+}
+
+TEST(HostileChannel, PipelineComposesAllThreeStages) {
+  sim::Simulator sim;
+  HostileConfig cfg;
+  cfg.reorder = {0.5, 0.2};
+  cfg.duplicate.prob = 0.5;
+  cfg.partition.windows = {{0.5, 1.0}};
+  std::uint64_t delivered = 0;
+  HostileChannel<int> chan(sim, cfg, sim::Rng(9),
+                           [&](const int&, sim::Bytes) { ++delivered; });
+  drive(sim, chan, 200, 0.01);
+
+  const HostileStats& p = chan.partition_stats();
+  const HostileStats& d = chan.duplicate_stats();
+  const HostileStats& r = chan.reorder_stats();
+  EXPECT_EQ(p.sent, 200u);
+  EXPECT_GT(p.partition_drops, 0u);  // ~50 sends fall in [0.5, 1.0)
+  // Everything surviving the partition entered the duplicate stage; every
+  // copy entered the reorder stage.
+  EXPECT_EQ(d.sent, p.sent - p.partition_drops);
+  EXPECT_EQ(r.sent, d.sent + d.duplicated);
+  EXPECT_EQ(delivered, r.sent);  // reorder delays but never drops
+  check::Violations v;
+  chan.check_invariants(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(HostileChannel, InactiveConfigIsTransparent) {
+  sim::Simulator sim;
+  Trace got;
+  HostileChannel<int> chan(sim, HostileConfig{}, sim::Rng(1),
+                           [&](const int& m, sim::Bytes) {
+                             got.emplace_back(sim.now(), m);
+                           });
+  drive(sim, chan, 25, 0.04);
+  ASSERT_EQ(got.size(), 25u);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(got[i].second, i);
+    EXPECT_DOUBLE_EQ(got[i].first, 0.04 * i);
+  }
+}
+
+// ----------------------------------------------- SwitchableLoss composition
+
+TEST(SwitchableLoss, ExtraModelComposesInsteadOfReplacing) {
+  // Base drops nothing; the extra model drops every 2nd packet. Composition
+  // is OR: either process dropping drops the packet.
+  SwitchableLoss loss(std::make_unique<NoLoss>(), sim::Rng(1));
+  loss.set_extra_model(std::make_unique<PeriodicLoss>(2));
+  std::vector<bool> drops;
+  for (int i = 0; i < 6; ++i) drops.push_back(loss.should_drop(0.0));
+  EXPECT_EQ(drops, (std::vector<bool>{false, true, false, true, false, true}));
+  // The base still owns the mean; transients never pollute it.
+  EXPECT_DOUBLE_EQ(loss.mean_rate(), 0.0);
+}
+
+TEST(SwitchableLoss, ExtraModelOrsWithLossyBase) {
+  // Base drops every 3rd, extra drops every 2nd: the union pattern.
+  SwitchableLoss loss(std::make_unique<PeriodicLoss>(3), sim::Rng(1));
+  loss.set_extra_model(std::make_unique<PeriodicLoss>(2));
+  std::vector<bool> drops;
+  for (int i = 0; i < 6; ++i) drops.push_back(loss.should_drop(0.0));
+  // packet:      1      2     3     4     5      6
+  // base(3):     -      -     X     -     -      X
+  // extra(2):    -      X     -     X     -      X
+  EXPECT_EQ(drops, (std::vector<bool>{false, true, true, true, false, true}));
+}
+
+TEST(SwitchableLoss, ExtraModelSteppedWhileDown) {
+  // The extra model advances even while a partition masks its verdicts, so
+  // healing the partition never perturbs the extra model's own stream.
+  SwitchableLoss loss(std::make_unique<NoLoss>(), sim::Rng(1));
+  loss.set_extra_model(std::make_unique<PeriodicLoss>(3));
+  EXPECT_FALSE(loss.should_drop(0.0));  // extra step 1
+  loss.set_down(true);
+  EXPECT_TRUE(loss.should_drop(0.0));  // down; extra step 2 still consumed
+  loss.set_down(false);
+  EXPECT_TRUE(loss.should_drop(0.0))
+      << "step 3 of PeriodicLoss(3) proves the model advanced while down";
+}
+
+TEST(SwitchableLoss, ExtraModelRemovableWithNull) {
+  SwitchableLoss loss(std::make_unique<NoLoss>(), sim::Rng(1));
+  loss.set_extra_model(std::make_unique<PeriodicLoss>(1));  // drop everything
+  EXPECT_TRUE(loss.should_drop(0.0));
+  loss.set_extra_model(nullptr);
+  EXPECT_EQ(loss.extra_model(), nullptr);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(loss.should_drop(0.0));
+}
+
+TEST(SwitchableLoss, ExtraModelComposesWithExtraLossAndDown) {
+  // All three fault layers coexist: scripted extra model, transient extra
+  // probability, live down toggle.
+  SwitchableLoss loss(std::make_unique<NoLoss>(), sim::Rng(1));
+  loss.set_extra_model(std::make_unique<PeriodicLoss>(2));
+  loss.set_extra_loss(1.0);
+  EXPECT_TRUE(loss.should_drop(0.0));  // extra_ = 1.0 drops everything
+  loss.set_extra_loss(0.0);
+  EXPECT_TRUE(loss.should_drop(0.0));   // extra model step 2: drop
+  EXPECT_FALSE(loss.should_drop(0.0));  // step 3: pass
+}
+
+// --------------------------------------------- fault-plan partition windows
+
+TEST(FaultPlanWindows, ExtractsSortedMergedWindows) {
+  fault::FaultPlan plan;
+  plan.partition(0, 600.0, 60.0);
+  plan.partition(fault::kAllReceivers, 650.0, 30.0);  // overlaps receiver 0's
+  plan.partition(1, 100.0, 50.0);
+  plan.crash(900.0, 10.0);  // non-partition events are ignored
+  plan.partition(0, 700.0, 0.0);  // zero-duration -> zero-capacity window
+
+  const auto w0 = plan.partition_windows(0);
+  ASSERT_EQ(w0.size(), 2u);
+  EXPECT_DOUBLE_EQ(w0[0].first, 600.0);
+  EXPECT_DOUBLE_EQ(w0[0].second, 680.0);  // merged with the all-receivers one
+  EXPECT_DOUBLE_EQ(w0[1].first, 700.0);
+  EXPECT_DOUBLE_EQ(w0[1].second, 700.0);
+
+  const auto w1 = plan.partition_windows(1);
+  ASSERT_EQ(w1.size(), 2u);
+  EXPECT_DOUBLE_EQ(w1[0].first, 100.0);
+  EXPECT_DOUBLE_EQ(w1[0].second, 150.0);
+  EXPECT_DOUBLE_EQ(w1[1].first, 650.0);
+  EXPECT_DOUBLE_EQ(w1[1].second, 680.0);
+
+  // The extracted windows satisfy PartitionChannel's own invariants.
+  sim::Simulator sim;
+  PartitionConfig cfg;
+  cfg.windows = plan.partition_windows(0);
+  PartitionChannel<int> chan(sim, cfg, [](const int&, sim::Bytes) {});
+  check::Violations v;
+  chan.check_invariants(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(FaultPlanWindows, EmptyPlanAndNoPartitions) {
+  fault::FaultPlan plan;
+  EXPECT_TRUE(plan.partition_windows().empty());
+  plan.crash(10.0, 5.0).burst_loss(0.5, 20.0, 5.0);
+  EXPECT_TRUE(plan.partition_windows().empty());
+}
+
+// ---------------------------------------------------------- spec grammar
+
+TEST(HostileSpec, ParsesFullSpecRoundTrip) {
+  const auto cfg = HostileConfig::parse(
+      "reorder=0.3:0.2;dup=0.1:0.5:3:0.05;partition=600:660,700:760");
+  EXPECT_DOUBLE_EQ(cfg.reorder.prob, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.reorder.max_extra, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.duplicate.prob, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.duplicate.burst_continue, 0.5);
+  EXPECT_EQ(cfg.duplicate.max_copies, 3u);
+  EXPECT_DOUBLE_EQ(cfg.duplicate.spread, 0.05);
+  ASSERT_EQ(cfg.partition.windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.partition.windows[0].first, 600.0);
+  EXPECT_DOUBLE_EQ(cfg.partition.windows[1].second, 760.0);
+  EXPECT_TRUE(cfg.active());
+  EXPECT_NE(cfg.describe(), "fifo");
+}
+
+TEST(HostileSpec, PartialSpecsAndDefaults) {
+  const auto dup_only = HostileConfig::parse("dup=0.2");
+  EXPECT_TRUE(dup_only.duplicate.active());
+  EXPECT_FALSE(dup_only.reorder.active());
+  EXPECT_FALSE(dup_only.partition.active());
+  EXPECT_EQ(dup_only.duplicate.max_copies, 4u);  // default preserved
+
+  const auto empty = HostileConfig::parse("");
+  EXPECT_FALSE(empty.active());
+  EXPECT_EQ(empty.describe(), "fifo");
+}
+
+TEST(HostileSpec, RejectsMalformedInput) {
+  EXPECT_THROW(HostileConfig::parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(HostileConfig::parse("reorder"), std::invalid_argument);
+  EXPECT_THROW(HostileConfig::parse("reorder=0.5"), std::invalid_argument);
+  EXPECT_THROW(HostileConfig::parse("reorder=a:b"), std::invalid_argument);
+  EXPECT_THROW(HostileConfig::parse("dup="), std::invalid_argument);
+  EXPECT_THROW(HostileConfig::parse("partition=10"), std::invalid_argument);
+  EXPECT_THROW(HostileConfig::parse("partition=10:20:30"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sst::net

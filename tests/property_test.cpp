@@ -34,6 +34,10 @@ namespace {
 struct Reference {
   std::map<std::string, std::pair<std::uint64_t, std::vector<std::uint8_t>>>
       leaves;
+  // Mirrors the tree's incarnation rule: fresh leaves start above the
+  // highest version ever removed, so re-published paths never alias a dead
+  // incarnation's versions.
+  std::uint64_t version_floor = 0;
 
   static bool prefix_of(const std::string& a, const std::string& b) {
     // True if path a is a strict ancestor of b ("/x" of "/x/y").
@@ -47,9 +51,13 @@ struct Reference {
       if (prefix_of(existing, path)) return false;  // under a leaf
       if (prefix_of(path, existing)) return false;  // would become internal
     }
-    auto& slot = leaves[path];
-    slot.first += 1;
-    slot.second = std::move(data);
+    const auto it = leaves.find(path);
+    if (it == leaves.end()) {
+      leaves[path] = {version_floor + 1, std::move(data)};
+    } else {
+      it->second.first += 1;
+      it->second.second = std::move(data);
+    }
     return true;
   }
 
@@ -57,6 +65,7 @@ struct Reference {
     bool removed = false;
     for (auto it = leaves.begin(); it != leaves.end();) {
       if (it->first == path || prefix_of(path, it->first)) {
+        if (it->second.first > version_floor) version_floor = it->second.first;
         it = leaves.erase(it);
         removed = true;
       } else {

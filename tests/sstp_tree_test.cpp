@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sstp/namespace_tree.hpp"
+#include "sstp/reference_tree.hpp"
 
 namespace sst::sstp {
 namespace {
@@ -236,37 +237,53 @@ TEST_P(TreeTest, ApplyChunkBlockedByExistingStructure) {
   EXPECT_EQ(tree_.leaf_count(), 1u);
 }
 
-TEST_P(TreeTest, RemoveThenReputRestoresDigest) {
-  // Soft-state churn must not leave digest residue: recreating identical
-  // state after a removal yields the identical summary, so receivers that
-  // round-tripped through the deletion reconverge without special cases.
+TEST_P(TreeTest, RemoveThenReputBumpsIncarnation) {
+  // Soft-state churn must be distinguishable: recreating identical content
+  // after a removal is a *new incarnation* — higher version, different
+  // summary. If the digest returned to its pre-removal value, a receiver
+  // still holding the dead incarnation (same version, possibly a different
+  // body) would either see "already consistent" or NACK from a right edge
+  // past the new total_size, and repair would livelock. The version floor
+  // guarantees versions stay monotone across incarnations of a path.
   tree_.put(Path::parse("/a/b/c"), bytes({1, 2}));
   tree_.put(Path::parse("/d"), bytes({3}));
   tree_.advance_right_edge(Path::parse("/a/b/c"), 2);
   const auto before = tree_.root_digest();
+  const std::uint64_t old_version =
+      tree_.find(Path::parse("/a/b/c"))->version;
   EXPECT_TRUE(tree_.remove(Path::parse("/a")));
   EXPECT_NE(tree_.root_digest(), before);
   tree_.put(Path::parse("/a/b/c"), bytes({1, 2}));
   tree_.advance_right_edge(Path::parse("/a/b/c"), 2);
-  EXPECT_EQ(tree_.root_digest(), before);
+  const Adu* fresh = tree_.find(Path::parse("/a/b/c"));
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_GT(fresh->version, old_version);
+  EXPECT_NE(tree_.root_digest(), before);
+  // The floor only moves on removal: the untouched leaf keeps its version.
+  EXPECT_EQ(tree_.find(Path::parse("/d"))->version, 1u);
 }
 
-TEST_P(TreeTest, DigestStableAcrossPoolRecycling) {
+TEST_P(TreeTest, PoolRecyclingLeaksNothing) {
   // Many remove/reput cycles recycle pooled nodes; recycled slots must not
-  // leak stale children or cached digests into the new occupant.
+  // leak stale children or cached digests into the new occupant. Versions
+  // climb across incarnations (the digest is *expected* to change every
+  // cycle), so the oracle is a ReferenceTree replaying the same history on
+  // fresh heap nodes — any residue in a recycled pool slot diverges from it.
+  ReferenceTree ref{GetParam()};
   tree_.put(Path::parse("/keep"), bytes({9}));
-  const auto want = [&] {
-    tree_.put(Path::parse("/t/x"), bytes({1}));
-    tree_.put(Path::parse("/t/y/z"), bytes({2}));
-    const auto d = tree_.root_digest();
-    tree_.remove(Path::parse("/t"));
-    return d;
-  }();
+  ref.put(Path::parse("/keep"), bytes({9}));
+  auto prev = tree_.root_digest();
   for (int i = 0; i < 50; ++i) {
     tree_.put(Path::parse("/t/x"), bytes({1}));
     tree_.put(Path::parse("/t/y/z"), bytes({2}));
-    EXPECT_EQ(tree_.root_digest(), want) << "cycle " << i;
+    ref.put(Path::parse("/t/x"), bytes({1}));
+    ref.put(Path::parse("/t/y/z"), bytes({2}));
+    EXPECT_EQ(tree_.root_digest(), ref.root_digest()) << "cycle " << i;
+    EXPECT_NE(tree_.root_digest(), prev) << "cycle " << i;  // new incarnation
+    prev = tree_.root_digest();
     EXPECT_TRUE(tree_.remove(Path::parse("/t")));
+    EXPECT_TRUE(ref.remove(Path::parse("/t")));
+    EXPECT_EQ(tree_.root_digest(), ref.root_digest()) << "cycle " << i;
     EXPECT_EQ(tree_.leaf_count(), 1u);
   }
 }

@@ -31,6 +31,26 @@ diff "$work/sim1.txt" "$work/sim8.txt" > /dev/null || {
 }
 echo "sstsim: jobs=1 and jobs=8 byte-identical"
 
+# Hostile-channel determinism: the reorder/dup/partition pipelines draw from
+# forked Rng streams, so replicated runs must stay byte-identical across
+# --jobs too — on both the forward and feedback paths, sensor profile
+# included (the workload most sensitive to delivery order).
+hostile_args="--variant=feedback --profile=sensor --lambda-kbps=10 \
+      --mu-data-kbps=42 --mu-fb-kbps=12 --loss=0.1 --receivers=3 \
+      --duration=400 --warmup=50 --seed=11 --replications=8 \
+      --hostile=reorder=0.3:0.2;dup=0.2:0.5;partition=120:150 \
+      --fb-hostile=dup=0.1"
+# shellcheck disable=SC2086
+"$sstsim" $hostile_args --jobs=1 > "$work/hostile1.txt"
+# shellcheck disable=SC2086
+"$sstsim" $hostile_args --jobs=8 > "$work/hostile8.txt"
+diff "$work/hostile1.txt" "$work/hostile8.txt" > /dev/null || {
+  echo "FAIL: hostile sstsim output differs between --jobs=1 and --jobs=8" >&2
+  diff "$work/hostile1.txt" "$work/hostile8.txt" >&2 || true
+  exit 1
+}
+echo "sstsim hostile: jobs=1 and jobs=8 byte-identical"
+
 if [ -x "$bench" ]; then
   "$bench" --reps=8 --jobs=1 --out="$work/b1.json" > /dev/null
   "$bench" --reps=8 --jobs=8 --out="$work/b8.json" > /dev/null

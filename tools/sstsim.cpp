@@ -19,6 +19,7 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "flags.hpp"
+#include "net/hostile.hpp"
 #include "runner/adapters.hpp"
 #include "runner/runner.hpp"
 
@@ -37,6 +38,10 @@ workload:
   --p-death=0.1           per-transmission death probability (per-tx)
   --lifetime=120          mean record lifetime seconds (exp/fixed/pareto)
   --record-bytes=1000     announcement size
+  --profile=sensor        sensor-style preset: ~120 long-lived 64-B sensors,
+                          --lambda-kbps (default 8) all spent on tiny
+                          in-place updates, 8 receivers by default. Replaces
+                          the workload flags above.
 
 bandwidth & network:
   --mu-data-kbps=45       data bandwidth
@@ -50,6 +55,11 @@ bandwidth & network:
   --multicast-fb          shared feedback group with slotting/damping
   --slot=0.5              NACK slot max (with --multicast-fb)
   --outage=START:END[,START:END...]   total outage windows (seconds)
+  --hostile=SPEC          hostile forward path: ';'-separated fields
+                          reorder=PROB:MAX_EXTRA, dup=PROB[:CONT[:MAX[:SPR]]],
+                          partition=START:END[,...], e.g.
+                          --hostile='reorder=0.3:0.2;dup=0.1:0.5'
+  --fb-hostile=SPEC       same, on the feedback (hardstate: ACK) path
 
 fault injection (soft-state variants):
   --faults=SCRIPT         scripted fault timeline; ';'-separated events of
@@ -101,6 +111,21 @@ void print_timeline(const std::vector<core::TimelinePoint>& timeline) {
 /// Monte-Carlo options shared by all variants. Replications default to 1:
 /// the classic single-run report stays the default (and byte-identical to
 /// what this tool printed before the runner existed).
+/// Parses a --hostile / --fb-hostile spec into `out`; false (after printing
+/// the error) on malformed input. An absent flag leaves `out` inactive.
+bool parse_hostile(const tools::Flags& flags, const char* name,
+                   net::HostileConfig& out) {
+  const std::string spec = flags.str(name, "");
+  if (spec.empty()) return true;
+  try {
+    out = net::HostileConfig::parse(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "--%s: %s\n", name, e.what());
+    return false;
+  }
+  return true;
+}
+
 runner::Options mc_options(const tools::Flags& flags) {
   runner::Options opt;
   opt.replications =
@@ -133,12 +158,20 @@ void print_aggregate(const std::string& variant, const runner::Options& opt,
 
 int run_hard(const tools::Flags& flags) {
   arq::HardStateConfig cfg;
-  cfg.workload.insert_rate = core::insert_rate_from_kbps(
-      flags.num("lambda-kbps", 10.0),
-      static_cast<sim::Bytes>(flags.num("record-bytes", 1000)));
-  cfg.workload.update_rate = flags.num("update-rate", 0.0);
-  cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
-  cfg.workload.mean_lifetime = flags.num("lifetime", 120.0);
+  if (flags.str("profile", "") == "sensor") {
+    cfg.workload = core::sensor_workload(flags.num("lambda-kbps", 8.0));
+  } else {
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(
+        flags.num("lambda-kbps", 10.0),
+        static_cast<sim::Bytes>(flags.num("record-bytes", 1000)));
+    cfg.workload.update_rate = flags.num("update-rate", 0.0);
+    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    cfg.workload.mean_lifetime = flags.num("lifetime", 120.0);
+  }
+  if (!parse_hostile(flags, "hostile", cfg.fwd_hostile) ||
+      !parse_hostile(flags, "fb-hostile", cfg.ack_hostile)) {
+    return 2;
+  }
   cfg.mu_data = sim::kbps(flags.num("mu-data-kbps", 45.0));
   cfg.mu_ack = sim::kbps(flags.num("mu-fb-kbps", 15.0));
   cfg.loss_rate = flags.num("loss", 0.1);
@@ -198,24 +231,33 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto record_bytes =
-      static_cast<sim::Bytes>(flags.num("record-bytes", 1000));
-  cfg.workload.record_size = record_bytes;
-  cfg.workload.insert_rate = core::insert_rate_from_kbps(
-      flags.num("lambda-kbps", 15.0), record_bytes);
-  cfg.workload.update_rate = flags.num("update-rate", 0.0);
-  const std::string death = flags.str("death", "exp");
-  if (death == "per-tx") {
-    cfg.workload.death_mode = core::DeathMode::kPerTransmission;
-  } else if (death == "fixed") {
-    cfg.workload.death_mode = core::DeathMode::kFixedLifetime;
-  } else if (death == "pareto") {
-    cfg.workload.death_mode = core::DeathMode::kParetoLifetime;
+  const bool sensor = flags.str("profile", "") == "sensor";
+  if (sensor) {
+    cfg.workload = core::sensor_workload(flags.num("lambda-kbps", 8.0));
   } else {
-    cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    const auto record_bytes =
+        static_cast<sim::Bytes>(flags.num("record-bytes", 1000));
+    cfg.workload.record_size = record_bytes;
+    cfg.workload.insert_rate = core::insert_rate_from_kbps(
+        flags.num("lambda-kbps", 15.0), record_bytes);
+    cfg.workload.update_rate = flags.num("update-rate", 0.0);
+    const std::string death = flags.str("death", "exp");
+    if (death == "per-tx") {
+      cfg.workload.death_mode = core::DeathMode::kPerTransmission;
+    } else if (death == "fixed") {
+      cfg.workload.death_mode = core::DeathMode::kFixedLifetime;
+    } else if (death == "pareto") {
+      cfg.workload.death_mode = core::DeathMode::kParetoLifetime;
+    } else {
+      cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+    }
+    cfg.workload.p_death = flags.num("p-death", 0.1);
+    cfg.workload.mean_lifetime = flags.num("lifetime", 120.0);
   }
-  cfg.workload.p_death = flags.num("p-death", 0.1);
-  cfg.workload.mean_lifetime = flags.num("lifetime", 120.0);
+  if (!parse_hostile(flags, "hostile", cfg.fwd_hostile) ||
+      !parse_hostile(flags, "fb-hostile", cfg.fb_hostile)) {
+    return 2;
+  }
 
   cfg.mu_data = sim::kbps(flags.num("mu-data-kbps", 45.0));
   cfg.mu_fb = sim::kbps(flags.num("mu-fb-kbps", 0.0));
@@ -224,7 +266,8 @@ int main(int argc, char** argv) {
   cfg.shared_loss_rate = flags.num("shared-loss", 0.0);
   cfg.bursty_loss = flags.flag("bursty");
   cfg.delay = flags.num("delay", 0.01);
-  cfg.num_receivers = static_cast<std::size_t>(flags.num("receivers", 1));
+  cfg.num_receivers =
+      static_cast<std::size_t>(flags.num("receivers", sensor ? 8 : 1));
   cfg.multicast_feedback = flags.flag("multicast-fb");
   cfg.receiver.nack_slot_max = flags.num("slot", 0.5);
   cfg.outages = parse_outages(flags.str("outage", ""));
