@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/experiment.hpp"
 #include "flags.hpp"
 #include "runner/runner.hpp"
 #include "stats/series.hpp"
@@ -37,6 +39,8 @@ struct McOptions {
   runner::Options runner;
   std::string experiment;  // canonical name, e.g. "fig5_two_queue"
   std::string out;         // JSON path; default BENCH_<experiment>.json
+  core::Backend backend = core::Backend::kDiscrete;  // --backend=
+  double cohort = 1e6;     // fluid/hybrid population (--cohort=)
 };
 
 /// Parses the common bench flags. `default_reps` balances statistical power
@@ -55,6 +59,17 @@ inline McOptions mc_options(int argc, char** argv,
   opt.runner.master_seed =
       static_cast<std::uint64_t>(flags.num("seed", 1));
   opt.out = flags.str("out", "BENCH_" + experiment + ".json");
+  const std::string backend = flags.str("backend", "discrete");
+  if (backend == "fluid") {
+    opt.backend = core::Backend::kFluid;
+  } else if (backend == "hybrid") {
+    opt.backend = core::Backend::kHybrid;
+  } else if (backend != "discrete") {
+    std::fprintf(stderr, "unknown --backend=%s (want discrete|fluid|hybrid)\n",
+                 backend.c_str());
+    std::exit(2);
+  }
+  opt.cohort = flags.num("cohort", 1e6);
   flags.reject_unknown();
   return opt;
 }

@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
 
       core::ExperimentConfig cfg;
       cfg.variant = core::Variant::kOpenLoop;
+      cfg.backend = opt.backend;
+      cfg.fluid_cohort = opt.cohort;
       cfg.workload.insert_rate = lambda;
       cfg.workload.death_mode = core::DeathMode::kPerTransmission;
       cfg.workload.p_death = pd;

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   auto run = [&](double hot_share, double loss) {
     core::ExperimentConfig cfg;
     cfg.variant = core::Variant::kTwoQueue;
+    cfg.backend = opt.backend;
+    cfg.fluid_cohort = opt.cohort;
     cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
     cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
     cfg.workload.mean_lifetime = 120.0;
@@ -72,6 +74,8 @@ int main(int argc, char** argv) {
   for (const int l : {10, 25, 40}) {
     core::ExperimentConfig cfg;
     cfg.variant = core::Variant::kOpenLoop;
+    cfg.backend = opt.backend;
+    cfg.fluid_cohort = opt.cohort;
     cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
     cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
     cfg.workload.mean_lifetime = 120.0;

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   std::map<double, runner::Aggregate> series;
   for (const double share : shares) {
     core::ExperimentConfig cfg;
+    cfg.backend = opt.backend;
+    cfg.fluid_cohort = opt.cohort;
     cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
     cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
     cfg.workload.mean_lifetime = 120.0;

@@ -1,0 +1,288 @@
+// meanfield.hpp — fluid (mean-field) receiver-population backend.
+//
+// The discrete simulator instantiates every receiver as an event-driven
+// object, which caps sweeps at thousands of nodes. This module evolves the
+// *population-level* consistency distribution instead: per-state occupancy
+// fractions for the paper's receiver states — fresh / stale / inconsistent /
+// recovering — as a system of ODEs in the announce rate, loss rate, TTL,
+// and feedback parameters, integrated with a deterministic fixed-step RK4.
+// One integration costs the same whether the cohort is 10^3 or 10^7
+// receivers, which is the point: loss-rate × population sweeps that are
+// unaffordable discretely run in milliseconds per point.
+//
+// Model (DESIGN.md "Mean-field fluid receiver tier" has the derivation):
+//
+//   - Records: live count n(t); inserts at rate lambda; deaths either
+//     per-transmission (probability p_death at every announce service — the
+//     paper's queueing model) or memoryless lifetime (rate 1/mean_lifetime).
+//   - A representative receiver tracks each live record in one of:
+//       fresh         holds the current version, TTL not expired
+//       stale         entry expired at the receiver (TTL) while still live
+//       inconsistent  lacks the current version; subdivided into the
+//                     hot-pending pool (awaiting first/updated transmission
+//                     through the hot queue) and an Erlang-k chain modelling
+//                     the wait for the next *cold-cycle* announcement. The
+//                     chain matters: the announce cycle visits each record
+//                     once per rotation, so the recovery delay is close to
+//                     deterministic, and an exponential-rate approximation
+//                     overstates short recoveries enough to bias E[c] by
+//                     several points at realistic parameters.
+//       recovering    (feedback variant) the receiver observed a sequence
+//                     gap for a lost transmission and entered the
+//                     NACK/repair loop: detection + feedback transit, the
+//                     repair's wait in the sender's hot queue, and — when
+//                     the repair itself is lost — the receiver's retry
+//                     timeout (with backoff, and abandonment to the cold
+//                     cycle after max_retries), mirroring
+//                     ReceiverAgent::scan_retries().
+//   - Sender queues are fluid. The hot "queue" is really a slot share of the
+//     single mu_announce link (the discrete sender serves one link and a
+//     stride scheduler splits slots), so the hot wait is M/D/1-with-vacations
+//     at the FULL link speed: residual slot + backlog drain + own slot. The
+//     cold cycle serves the remaining bandwidth (work conservation); a
+//     record re-joining its tail waits behind the queue at JOIN time —
+//     population growth adds entries only behind it, and entries ahead that
+//     die before their slot are lazily skipped, which compounds to
+//     W = ln(1 + delta Q / mu_cold) / delta. Both corrections are worth
+//     several consistency points at the paper's operating points.
+//   - Feedback implosion is where the cohort size M enters: every
+//     transmission is lost by some receiver with probability
+//     1 - (1 - p_eff)^M, each such loss solicits a repair (deduplicated per
+//     sequence by the sender), and the pending-repair damping cap gates the
+//     inflow — exactly the sender-side NACK damping of TwoQueueConfig.
+//
+// Determinism: the integrator is pure arithmetic — no wall clock, no RNG,
+// no containers with address-dependent order — so its output is
+// byte-identical across runs, replication counts, and --jobs values by
+// construction. Accumulated integrals (the E[c(t)] time average, the
+// transmission counters) use stats::CompensatedSum, not naive +=.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/compensated.hpp"
+
+namespace sst::analysis {
+
+/// Which protocol variant the fluid population runs.
+enum class FluidVariant : std::uint8_t {
+  kOpenLoop,  // one FIFO announce cycle over everything
+  kTwoQueue,  // hot/cold split, no feedback
+  kFeedback,  // hot/cold + receiver NACKs and hot-queue repairs
+};
+
+/// How records leave the live set.
+enum class FluidDeath : std::uint8_t {
+  kPerTransmission,  // death drawn with probability p_death at each service
+  kLifetime,         // memoryless lifetime, rate 1 / mean_lifetime
+};
+
+/// Inputs of the fluid model. Rates are in events per second; the announce
+/// and NACK bandwidths are expressed in packets per second so the model is
+/// independent of wire sizes (core::Experiment converts from kbps).
+struct FluidParams {
+  FluidVariant variant = FluidVariant::kOpenLoop;
+
+  // -- workload
+  double lambda = 2.5;        // new-record inserts/s (Poisson in the sim)
+  double update_rate = 0.0;   // in-place updates/s over the whole live set
+  FluidDeath death = FluidDeath::kPerTransmission;
+  double p_death = 0.1;       // per-transmission death probability
+  double mean_lifetime = 120.0;  // seconds (kLifetime)
+
+  // -- bandwidth & network
+  double mu_announce = 16.0;  // total data bandwidth, announcements/s
+  double hot_share = 0.5;     // hot fraction of mu_announce (two-queue/fb)
+  double mu_nack = 1.875;     // per-receiver feedback capacity, NACK pkts/s
+  double loss = 0.1;          // forward loss probability per transmission
+  double nack_loss = -1.0;    // reverse loss; < 0 copies `loss`
+  double receiver_ttl = 0.0;  // receiver-side entry TTL seconds; 0 disables
+  double delay = 0.01;        // one-way propagation delay
+
+  // -- receiver retry policy (feedback variant; receiver.hpp defaults)
+  double retry_timeout = 2.0;  // base re-NACK timeout for a lost repair
+  double retry_backoff = 2.0;  // timeout multiplier per retry
+  int max_retries = 4;         // then the loss is abandoned to the cold cycle
+
+  // -- population
+  double cohort = 1e6;        // receiver population size M
+  double max_pending_repairs = 64;  // sender NACK-damping cap
+  double nack_batch = 64;     // missing seqs per NACK packet
+  double fb_queue_limit = 8;  // per-receiver feedback-link queue depth
+                              // (overflow drops add to the NACK loss)
+
+  // -- initial condition (default: empty system, cold start)
+  double initial_live = 0.0;  // pre-populated live records at t = 0
+  double initial_consistency = 1.0;  // fresh fraction of the initial set;
+                                     // the rest starts mid-cold-cycle
+
+  // -- integration
+  double duration = 2000.0;   // measured window (after warmup)
+  double warmup = 200.0;      // transient discarded from averages
+  double dt = 0.01;           // RK4 step; shrunk automatically if the
+                              // fastest rate demands it (see meanfield.cpp)
+  double sample_interval = 0.0;  // > 0 records a windowed c(t) timeline
+  int cold_stages = 8;        // Erlang stages approximating the cold cycle
+};
+
+/// Per-state occupancy of the receiver population, as fractions of the live
+/// set. Sums to 1 (up to integration round-off) whenever live > 0.
+struct FluidOccupancy {
+  double fresh = 0.0;
+  double stale = 0.0;
+  double inconsistent = 0.0;
+  double recovering = 0.0;
+};
+
+/// One point of the fluid c(t) timeline (windowed mean, like the discrete
+/// harness's TimelinePoint).
+struct FluidPoint {
+  double time = 0.0;
+  double consistency = 0.0;
+};
+
+/// Everything one fluid run reports.
+struct FluidResult {
+  double avg_consistency = 0.0;  // time-average fresh fraction, post-warmup
+  FluidOccupancy occupancy;      // at the end of the run
+  FluidOccupancy avg_occupancy;  // time-averaged over the measured window
+  double live = 0.0;             // records at end of run
+  double hot_backlog = 0.0;      // sender hot-queue entries at end
+  double repair_backlog = 0.0;   // pending repair entries at end
+
+  // Cumulative flows over the measured window (fluid analogues of the
+  // discrete ExperimentResult counters).
+  double announce_tx = 0.0;      // announcements transmitted (hot + cold)
+  double repair_tx = 0.0;        // NACK-triggered repair transmissions
+  double nacks_per_receiver = 0.0;  // NACK packets one receiver sent
+  double redundant_tx = 0.0;     // announcements of records the
+                                 // representative receiver already held
+
+  std::vector<FluidPoint> timeline;
+};
+
+/// The integrator, exposed incrementally so a live simulation (the hybrid
+/// backend, sstp::Session's cohort tier) can advance the cohort in lockstep
+/// with simulated time. solve_fluid() below is the one-call wrapper.
+class FluidIntegrator {
+ public:
+  explicit FluidIntegrator(FluidParams params);
+
+  /// Advances the population to absolute time `t` (no-op for t <= now()).
+  void advance(double t);
+
+  [[nodiscard]] double now() const { return t_; }
+  [[nodiscard]] const FluidParams& params() const { return p_; }
+
+  /// Instantaneous fresh fraction of the live population (1 when empty —
+  /// the monitor's vacuous-empty convention).
+  [[nodiscard]] double consistency() const;
+
+  /// Instantaneous per-state occupancy fractions.
+  [[nodiscard]] FluidOccupancy occupancy() const;
+
+  [[nodiscard]] double live() const;
+  [[nodiscard]] double hot_backlog() const;
+  [[nodiscard]] double repair_backlog() const;
+
+  /// Integral of the fresh fraction dt since the last reset_stats();
+  /// windowed averages are computed by differencing this.
+  [[nodiscard]] double consistency_integral() const;
+
+  /// Time-average fresh fraction since the last reset_stats().
+  [[nodiscard]] double average_consistency() const;
+
+  /// Time-averaged per-state occupancy since the last reset_stats().
+  [[nodiscard]] FluidOccupancy average_occupancy() const;
+
+  /// Cumulative flow counters since the last reset_stats().
+  [[nodiscard]] double announce_tx() const { return announce_tx_.value(); }
+  [[nodiscard]] double repair_tx() const { return repair_tx_.value(); }
+  [[nodiscard]] double nacks_per_receiver() const {
+    return nacks_per_receiver_.value();
+  }
+  [[nodiscard]] double redundant_tx() const { return redundant_tx_.value(); }
+
+  /// Cumulative repair effort (cohort NACK packets + repair transmissions)
+  /// — a RecoveryTracker-compatible traffic counter.
+  [[nodiscard]] double repair_traffic() const;
+
+  /// Warm-up cutoff: discards accumulated statistics, keeps state.
+  void reset_stats();
+
+  /// Raw state vector (tests: conservation and convergence-order checks).
+  /// Layout: [n, F, S, IH, RQd, RQr, HR, RT, IC_1..IC_k] — RT is the
+  /// retry-wait pool (lost repair, waiting out the receiver's timeout).
+  [[nodiscard]] const std::vector<double>& state() const { return y_; }
+
+ private:
+  // Instantaneous rates shared between rhs() and step()'s flow counters.
+  struct Rates {
+    double r_hot_tx = 0.0;   // per-entry hot service rate (sender-side)
+    double r_hot_rx = 0.0;   // ... as seen by the receiver (+ delay)
+    double rho_hot = 0.0;    // hot utilization estimate
+    double s_hot = 0.0;      // hot transmissions/s
+    double mu_cold = 0.0;    // bandwidth left for the cold cycle
+    double n_cold = 0.0;     // records in the cold rotation
+    double a_cold = 0.0;     // per-record cold announce rate
+    double sigma = 0.0;      // Erlang stage rate (= cold_stages * a_cold)
+    double cold_flux = 0.0;  // cold transmissions/s
+    double tx_total = 0.0;   // hot + cold transmissions/s
+    double kappa = 0.0;      // loss-detection + NACK-transit rate
+    double nack_pkt_rate = 0.0;  // NACK packets/s one receiver emits
+    double r_retry = 0.0;    // retry-pool drain rate
+    double abandon = 0.0;    // P[retry saga exhausts max_retries]
+    double hr_inflow = 0.0;  // repair-pool admission rate
+  };
+  [[nodiscard]] Rates compute_rates(const std::vector<double>& y) const;
+
+  void rhs(const std::vector<double>& y, std::vector<double>& dy) const;
+  void step(double h);
+
+  FluidParams p_;
+  double nack_loss_ = 0.0;
+  double retry_wait_ = 0.0;  // backoff-weighted mean re-NACK wait at wire
+                             // loss (seed for the congestion-aware rates)
+  double dt_ = 0.01;     // effective step (auto-clamped)
+  double t_ = 0.0;
+  std::vector<double> y_;
+
+  // Work buffers for the RK4 stages (no per-step allocation).
+  std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+
+  stats::CompensatedSum c_integral_;      // fresh-fraction time integral
+  stats::CompensatedSum occ_integral_[4]; // per-state occupancy integrals
+  stats::CompensatedSum announce_tx_;
+  stats::CompensatedSum repair_tx_;
+  stats::CompensatedSum nacks_per_receiver_;
+  stats::CompensatedSum redundant_tx_;
+  double stats_since_ = 0.0;
+};
+
+/// Runs the fluid population start to finish: integrates warmup + duration,
+/// averaging (and sampling the timeline) over the post-warmup window.
+FluidResult solve_fluid(const FluidParams& params);
+
+/// Closed-form fixed point of the *saturated* open-loop fluid model with
+/// per-transmission death (lambda >= mu * p_death): the stationary fresh
+/// fraction solves lambda (1 - f) = mu (1-p_death)(1-p_loss) f, giving
+///
+///   c* = mu (1-p_death)(1-p_loss) / (lambda + mu (1-p_death)(1-p_loss)).
+///
+/// At the stability boundary lambda = mu * p_death this reduces exactly to
+/// Jackson's class mix X_C / X = (1-p_loss)(1-p_death) / (1 - p_loss
+/// (1-p_death)) — the paper's E[c(t)] at rho = 1 — which is the seam the
+/// fluid-vs-closed-form tests pin down.
+double open_loop_fluid_fixed_point(double lambda, double mu, double p_loss,
+                                   double p_death);
+
+/// Closed-form fixed point of the open-loop fluid model with memoryless
+/// lifetimes (death rate 1/mean_lifetime) and per-record announce rate
+/// `announce_rate` (= mu / n* at the stationary live count):
+///   c* = a (1-p) / (a (1-p) + 1/tau + u/n*)  with a = announce_rate.
+/// Exposed for the loss=0 seam tests; the integrator must land on it.
+double open_loop_lifetime_fixed_point(double announce_rate, double p_loss,
+                                      double mean_lifetime);
+
+}  // namespace sst::analysis

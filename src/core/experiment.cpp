@@ -269,6 +269,10 @@ void Experiment::count_redundant(const DataMsg& msg) {
 
 void Experiment::run_warmup() {
   sim_.run_until(cfg_.warmup);
+  if (fluid_) {
+    fluid_->advance(cfg_.warmup);
+    fluid_->reset_stats();
+  }
   monitor_.reset_stats();
   redundant_tx_ = 0;
   warm_sender_ = ol_sender_ ? ol_sender_->stats() : tq_sender_->stats();
@@ -300,7 +304,10 @@ void Experiment::run_warmup() {
   }
 }
 
-void Experiment::run_until(double t) { sim_.run_until(t); }
+void Experiment::run_until(double t) {
+  sim_.run_until(t);
+  if (fluid_) fluid_->advance(sim_.now());
+}
 
 double Experiment::now() const { return sim_.now(); }
 
@@ -383,7 +390,16 @@ double Experiment::repair_traffic() const {
       ol_sender_ ? ol_sender_->stats() : tq_sender_->stats();
   std::uint64_t nacks = 0;
   for (const auto& rig : receivers_) nacks += rig.agent->stats().nacks_sent;
-  return static_cast<double>(s.repair_tx + nacks);
+  double total = static_cast<double>(s.repair_tx + nacks);
+  if (fluid_) total += fluid_->repair_traffic();
+  return total;
+}
+
+void Experiment::attach_fluid_cohort(double m) {
+  analysis::FluidParams fp = fluid_params_from(cfg_);
+  fp.cohort = m;
+  fluid_m_ = m;
+  fluid_ = std::make_unique<analysis::FluidIntegrator>(fp);
 }
 
 ExperimentResult Experiment::finish() {
@@ -391,6 +407,22 @@ ExperimentResult Experiment::finish() {
   if (sampler_) sampler_->stop();
 
   result_.avg_consistency = monitor_.average_consistency();
+  if (fluid_) {
+    // Blend the fluid cohort into the aggregate with population weights:
+    // the tracked receivers and the cohort observe the same announce
+    // stream, so E[c] over the whole population is the weighted mean.
+    fluid_->advance(end_time());
+    const auto n = static_cast<double>(monitor_.active_receivers());
+    const double cf = fluid_->average_consistency();
+    result_.fluid_cohort = fluid_m_;
+    result_.fluid_consistency = cf;
+    result_.fluid_live = fluid_->live();
+    result_.fluid_occupancy = fluid_->average_occupancy();
+    if (fluid_m_ > 0.0) {
+      result_.avg_consistency =
+          (n * result_.avg_consistency + fluid_m_ * cf) / (n + fluid_m_);
+    }
+  }
   auto& lat = monitor_.latency();
   result_.mean_latency = lat.mean();
   result_.p50_latency = lat.quantile(0.50);
@@ -458,8 +490,116 @@ ExperimentResult Experiment::finish() {
   return result_;
 }
 
+analysis::FluidParams fluid_params_from(const ExperimentConfig& cfg) {
+  analysis::FluidParams fp;
+  switch (cfg.variant) {
+    case Variant::kOpenLoop:
+      fp.variant = analysis::FluidVariant::kOpenLoop;
+      break;
+    case Variant::kTwoQueue:
+      fp.variant = analysis::FluidVariant::kTwoQueue;
+      break;
+    case Variant::kFeedback:
+      fp.variant = analysis::FluidVariant::kFeedback;
+      break;
+  }
+
+  fp.lambda = cfg.workload.insert_rate;
+  fp.update_rate = cfg.workload.update_rate;
+  if (cfg.workload.death_mode == DeathMode::kPerTransmission) {
+    fp.death = analysis::FluidDeath::kPerTransmission;
+    fp.p_death = cfg.workload.p_death;
+  } else {
+    // Fixed and Pareto lifetimes approximate as memoryless with the same
+    // mean — the fluid flows depend on lifetimes only through their rate.
+    fp.death = analysis::FluidDeath::kLifetime;
+    fp.mean_lifetime = cfg.workload.mean_lifetime;
+  }
+
+  const double record_bits = sim::bits(cfg.workload.record_size);
+  fp.mu_announce = record_bits > 0.0 ? cfg.mu_data / record_bits : 0.0;
+  fp.hot_share = cfg.hot_share;
+  const double nack_bits = sim::bits(cfg.receiver.nack_size);
+  fp.mu_nack = nack_bits > 0.0 ? cfg.mu_fb / nack_bits : 0.0;
+
+  // One shared-stage draw drops the packet for every receiver; leaf loss is
+  // then independent: p_eff = shared + (1 - shared) * leaf. (Bursty loss
+  // keeps the same mean, which is all the fluid flows see.)
+  fp.loss = cfg.shared_loss_rate +
+            (1.0 - cfg.shared_loss_rate) * cfg.loss_rate;
+  fp.nack_loss = cfg.nack_loss_rate;
+  fp.receiver_ttl = cfg.receiver_ttl;
+  fp.delay = cfg.delay;
+  fp.retry_timeout = cfg.receiver.retry_timeout;
+  fp.retry_backoff = cfg.receiver.retry_backoff;
+  fp.max_retries = cfg.receiver.max_retries;
+
+  fp.cohort = cfg.fluid_cohort;
+  fp.max_pending_repairs =
+      static_cast<double>(TwoQueueConfig{}.max_pending_repairs);
+  fp.nack_batch = static_cast<double>(cfg.receiver.max_batch);
+
+  fp.duration = cfg.duration;
+  fp.warmup = cfg.warmup;
+  fp.sample_interval = cfg.sample_interval;
+  return fp;
+}
+
+namespace {
+
+// Pure-fluid backend: no event simulation at all, just the ODE cohort.
+ExperimentResult run_fluid(const ExperimentConfig& cfg) {
+  const analysis::FluidParams fp = fluid_params_from(cfg);
+  const analysis::FluidResult fr = analysis::solve_fluid(fp);
+
+  ExperimentResult r;
+  r.avg_consistency = fr.avg_consistency;
+  r.fluid_cohort = cfg.fluid_cohort;
+  r.fluid_consistency = fr.avg_consistency;
+  r.fluid_live = fr.live;
+  r.fluid_occupancy = fr.avg_occupancy;
+
+  r.data_tx = static_cast<std::uint64_t>(fr.announce_tx);
+  r.repair_tx = static_cast<std::uint64_t>(fr.repair_tx);
+  r.redundant_tx = static_cast<std::uint64_t>(fr.redundant_tx);
+  r.redundant_fraction =
+      fr.announce_tx > 0.0 ? fr.redundant_tx / fr.announce_tx : 0.0;
+  r.nacks_sent =
+      static_cast<std::uint64_t>(fr.nacks_per_receiver * cfg.fluid_cohort);
+  r.observed_loss = fp.loss;
+
+  const double record_bits = sim::bits(cfg.workload.record_size);
+  r.offered_data_kbps =
+      cfg.duration > 0.0
+          ? fr.announce_tx * record_bits / cfg.duration / 1000.0
+          : 0.0;
+  const double nack_bits = sim::bits(cfg.receiver.nack_size);
+  r.offered_fb_kbps =
+      cfg.duration > 0.0
+          ? fr.nacks_per_receiver * nack_bits / cfg.duration / 1000.0
+          : 0.0;
+
+  r.inserts = static_cast<std::uint64_t>(fp.lambda *
+                                         (cfg.warmup + cfg.duration));
+  r.updates = 0;
+  r.final_live = static_cast<std::size_t>(fr.live);
+  r.final_hot_depth = static_cast<std::size_t>(fr.hot_backlog);
+
+  r.timeline.reserve(fr.timeline.size());
+  for (const auto& pt : fr.timeline) {
+    r.timeline.push_back(TimelinePoint{pt.time, pt.consistency});
+  }
+  return r;
+}
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  if (cfg.backend == Backend::kFluid) return run_fluid(cfg);
   Experiment exp(cfg);
+  if (cfg.backend == Backend::kHybrid) {
+    exp.attach_fluid_cohort(cfg.fluid_cohort);
+  }
   exp.run_warmup();
   return exp.finish();
 }

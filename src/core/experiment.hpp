@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/meanfield.hpp"
 #include "core/monitor.hpp"
 #include "core/open_loop.hpp"
 #include "core/receiver.hpp"
@@ -38,6 +39,13 @@ enum class Variant : std::uint8_t {
   kOpenLoop,  // Section 3: single FIFO announcement cycle
   kTwoQueue,  // Section 4: hot/cold queues, no feedback
   kFeedback,  // Section 5: hot/cold queues + receiver NACKs
+};
+
+/// Which population backend evaluates the experiment.
+enum class Backend : std::uint8_t {
+  kDiscrete,  // every receiver an event-driven object (the default)
+  kFluid,     // pure mean-field ODE cohort (analysis::FluidIntegrator)
+  kHybrid,    // N discrete receivers + an aggregate fluid cohort of M
 };
 
 /// Which proportional-share discipline splits hot/cold bandwidth.
@@ -100,6 +108,14 @@ struct ExperimentConfig {
   /// study stale-entry behaviour with real TTL expiry.
   bool oracle_remove = true;
 
+  /// Population backend. kFluid replaces the event-driven receivers with a
+  /// mean-field cohort (deterministic, seed-independent); kHybrid keeps the
+  /// num_receivers discrete receivers and adds an aggregate fluid cohort of
+  /// fluid_cohort receivers advanced in lockstep with simulated time,
+  /// blended into avg_consistency with population weights.
+  Backend backend = Backend::kDiscrete;
+  double fluid_cohort = 1e6;  // cohort size M (kFluid / kHybrid)
+
   sim::Duration duration = 2000.0;  // measured simulation time
   sim::Duration warmup = 200.0;     // discarded transient
   std::uint64_t seed = 1;
@@ -142,6 +158,12 @@ struct ExperimentResult {
   std::size_t final_live = 0;
   std::size_t final_hot_depth = 0;
   std::size_t final_cold_depth = 0;
+
+  // Fluid-tier outputs (backend kFluid/kHybrid; zeros otherwise).
+  double fluid_cohort = 0.0;       // cohort size M that contributed
+  double fluid_consistency = 0.0;  // the fluid tier's own E[c(t)]
+  double fluid_live = 0.0;         // fluid live-record estimate at end
+  analysis::FluidOccupancy fluid_occupancy;  // time-averaged occupancy
 
   std::vector<TimelinePoint> timeline;
 };
@@ -221,8 +243,21 @@ class Experiment {
   }
 
   /// Cumulative protocol repair effort — NACK packets sent plus repair
-  /// transmissions — suitable as a RecoveryTracker traffic counter.
+  /// transmissions — suitable as a RecoveryTracker traffic counter. With a
+  /// fluid cohort attached, includes the cohort's modeled repair flows.
   [[nodiscard]] double repair_traffic() const;
+
+  /// Attaches an aggregate mean-field cohort of `m` receivers (the hybrid
+  /// population tier). The cohort shares the sender's multicast announce
+  /// stream — its parameters derive from this experiment's config — and is
+  /// advanced in lockstep with simulated time. finish() blends it into
+  /// avg_consistency with population weights m : num_receivers and reports
+  /// its occupancy in the fluid_* result fields. Call before run_warmup().
+  void attach_fluid_cohort(double m);
+
+  [[nodiscard]] const analysis::FluidIntegrator* fluid_cohort() const {
+    return fluid_.get();
+  }
 
  private:
   struct ReceiverRig {
@@ -281,9 +316,21 @@ class Experiment {
   std::unique_ptr<sim::PeriodicTimer> sampler_;
   double last_integral_ = 0.0;
   ExperimentResult result_;
+
+  std::unique_ptr<analysis::FluidIntegrator> fluid_;  // hybrid cohort tier
+  double fluid_m_ = 0.0;
 };
 
-/// Runs one experiment to completion. Deterministic in `config.seed`.
+/// Maps an experiment configuration onto the mean-field model's parameter
+/// space: kbps bandwidths become announcement/NACK packet rates, the
+/// workload's death mode picks the fluid death law (fixed/Pareto lifetimes
+/// approximate as memoryless with the same mean), and shared + leaf loss
+/// compose into one effective per-receiver loss probability.
+analysis::FluidParams fluid_params_from(const ExperimentConfig& config);
+
+/// Runs one experiment to completion with config.backend selecting the
+/// population tier. Deterministic in `config.seed` (the pure-fluid backend
+/// is seed-independent by construction).
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
 }  // namespace sst::core

@@ -75,6 +75,18 @@ Session::Session(sim::Simulator& sim, SessionConfig config)
     });
   }
 
+  // Mean-field cohort tier: the fluid population shares the forward
+  // channel's loss/delay characteristics; workload and bandwidth rates come
+  // from the caller-provided fluid params.
+  if (config_.fluid_cohort > 0.0) {
+    analysis::FluidParams fp = config_.fluid;
+    fp.cohort = config_.fluid_cohort;
+    fp.loss = config_.loss_rate;
+    fp.nack_loss = fb_loss_;
+    fp.delay = config_.delay;
+    fluid_ = std::make_unique<analysis::FluidIntegrator>(fp);
+  }
+
   // Construction-time receivers face an (effectively) empty store and are
   // caught up from the start, with zero latency.
   settle_catch_ups();
@@ -192,7 +204,9 @@ double Session::repair_traffic() const {
     recv_side += rig.receiver->stats().queries_tx;
     recv_side += rig.receiver->stats().nacks_tx;
   }
-  return static_cast<double>(s.repair_tx + s.sig_tx + recv_side);
+  double total = static_cast<double>(s.repair_tx + s.sig_tx + recv_side);
+  if (fluid_) total += fluid_->repair_traffic();
+  return total;
 }
 
 double Session::receiver_consistency(std::size_t i) const {
@@ -213,16 +227,23 @@ double Session::receiver_consistency(std::size_t i) const {
 }
 
 double Session::instantaneous_consistency() const {
-  if (sender_->tree().leaf_count() == 0) return 1.0;
   double sum = 0.0;
-  std::size_t active = 0;
-  for (std::size_t i = 0; i < receivers_.size(); ++i) {
-    if (!receivers_[i].active) continue;
-    ++active;
-    sum += receiver_consistency(i);
+  double weight = 0.0;
+  if (sender_->tree().leaf_count() > 0) {
+    for (std::size_t i = 0; i < receivers_.size(); ++i) {
+      if (!receivers_[i].active) continue;
+      weight += 1.0;
+      sum += receiver_consistency(i);
+    }
   }
-  if (active == 0) return 1.0;
-  return sum / static_cast<double>(active);
+  // The fluid cohort contributes with its population weight (its own
+  // vacuous-empty convention covers the empty-store case).
+  if (fluid_) {
+    sum += fluid_->consistency() * fluid_->params().cohort;
+    weight += fluid_->params().cohort;
+  }
+  if (weight == 0.0) return 1.0;
+  return sum / weight;
 }
 
 void Session::settle_catch_ups() {
@@ -238,15 +259,18 @@ void Session::settle_catch_ups() {
 
 void Session::sample() {
   settle_catch_ups();
+  if (fluid_) fluid_->advance(sim_->now());
   consistency_.update(sim_->now(), instantaneous_consistency());
 }
 
 double Session::average_consistency() {
+  if (fluid_) fluid_->advance(sim_->now());
   consistency_.update(sim_->now(), instantaneous_consistency());
   return consistency_.average();
 }
 
 void Session::reset_consistency_stats() {
+  if (fluid_) fluid_->advance(sim_->now());
   consistency_.update(sim_->now(), instantaneous_consistency());
   consistency_.reset(sim_->now());
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/meanfield.hpp"
 #include "net/channel.hpp"
 #include "net/hostile.hpp"
 #include "net/link.hpp"
@@ -58,6 +59,17 @@ struct SessionConfig {
 
   sim::Duration sample_interval = 0.5;  // consistency sampling cadence
   double catch_up_threshold = 0.9;      // joiner counts as converged at this
+
+  /// Mean-field cohort tier: when > 0, the session carries an aggregate
+  /// fluid population of this many receivers alongside the num_receivers
+  /// tracked discrete ones. The cohort is advanced in lockstep with
+  /// simulated time and blended into (instantaneous and averaged)
+  /// consistency and repair_traffic() with population weights. Workload and
+  /// bandwidth rates for the cohort come from `fluid`; the session
+  /// overrides its cohort size, loss rates, and delay to match the
+  /// configured channels.
+  double fluid_cohort = 0.0;
+  analysis::FluidParams fluid;
 };
 
 /// A fully wired simulated SSTP session.
@@ -139,6 +151,11 @@ class Session {
     return data_channel_->stats().observed_loss_rate();
   }
 
+  /// The mean-field cohort tier, or nullptr when fluid_cohort == 0.
+  [[nodiscard]] const analysis::FluidIntegrator* fluid_cohort() const {
+    return fluid_.get();
+  }
+
   /// Forward bytes offered to the channel (data + summaries + signatures).
   [[nodiscard]] double forward_bytes() const {
     return data_channel_->stats().bytes_sent;
@@ -174,6 +191,7 @@ class Session {
   std::vector<ReceiverRig> receivers_;
   sim::PeriodicTimer sampler_;
   stats::TimeAverage consistency_;
+  std::unique_ptr<analysis::FluidIntegrator> fluid_;  // cohort tier
 };
 
 }  // namespace sst::sstp

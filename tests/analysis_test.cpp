@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/jackson.hpp"
+#include "analysis/meanfield.hpp"
 #include "analysis/profiles.hpp"
 
 namespace sst::analysis {
@@ -166,6 +167,69 @@ TEST(Profile2D, RejectsBadInput) {
                std::invalid_argument);
   EXPECT_THROW(Profile2D({0.0}, {0.0}, {{1.0, 2.0}}), std::invalid_argument);
   EXPECT_THROW(Profile2D({0.0, 1.0}, {0.0}, {{1.0}}), std::invalid_argument);
+}
+
+// -- fluid-vs-closed-form seams ---------------------------------------------
+// At the stability boundary lambda = mu * p_death the fluid fixed point
+// must reduce to the paper's analytic E[c(t)] — Jackson's class mix
+// X_C / X = (1-p)(1-pd) / (1 - p(1-pd)) — EXACTLY, not within a CI. This is
+// an algebraic identity between the two models, so the tolerance is
+// round-off, not statistics.
+TEST(FluidSeam, PerTxFixedPointMatchesJacksonClassMixAtRhoOne) {
+  const double mu = 16.0;
+  const double pd = 0.1;
+  for (const double p : {0.0, 0.05, 0.2, 0.5, 0.9}) {
+    const double cf = open_loop_fluid_fixed_point(mu * pd, mu, p, pd);
+    const auto s = solve_open_loop(params(mu * pd, mu, p, pd));
+    EXPECT_NEAR(cf, s.consistency, 1e-12) << "p=" << p;
+  }
+}
+
+// The integrator must land on the saturated per-transmission fixed point.
+// Convergence is O(1/n): the saturated population grows linearly, and the
+// n/(n+1) server-occupancy factor decays the residual with it, so at
+// t = 10^4 (n ~ 4000) the deterministic gap sits below 2e-4 — far inside
+// any Monte-Carlo CI, and shrinking with horizon, which a constant model
+// bias would not do.
+TEST(FluidSeam, IntegratorLandsOnSaturatedPerTxFixedPoint) {
+  for (const double p : {0.0, 0.2}) {
+    FluidParams fp;
+    fp.variant = FluidVariant::kOpenLoop;
+    fp.death = FluidDeath::kPerTransmission;
+    fp.mu_announce = 16.0;
+    fp.p_death = 0.1;
+    fp.lambda = 2.0;  // strictly above the mu * pd boundary: saturated
+    fp.loss = p;
+    fp.delay = 0.0;  // the closed form has no propagation term
+    fp.initial_live = 16.0;
+    FluidIntegrator fi(fp);
+    fi.advance(10000.0);
+    const double cf = open_loop_fluid_fixed_point(2.0, 16.0, p, 0.1);
+    EXPECT_NEAR(fi.consistency(), cf, 2e-4) << "p=" << p;
+  }
+}
+
+// Lifetime-death fixed point at loss = 0, started AT the stationary live
+// count: the integrator must hold the population there and settle on the
+// closed form. The residual tolerance is the Erlang-k vs exponential
+// announce-interval gap (the closed form assumes memoryless refresh).
+TEST(FluidSeam, IntegratorLandsOnLifetimeFixedPointAtLossZero) {
+  FluidParams fp;
+  fp.variant = FluidVariant::kOpenLoop;
+  fp.death = FluidDeath::kLifetime;
+  fp.mean_lifetime = 120.0;
+  fp.mu_announce = 16.0;
+  fp.lambda = 1.875;
+  fp.loss = 0.0;
+  fp.delay = 0.0;
+  const double nstar = 1.875 * 120.0;
+  fp.initial_live = nstar;
+  FluidIntegrator fi(fp);
+  fi.advance(5000.0);
+  EXPECT_NEAR(fi.live(), nstar, 1e-6 * nstar);
+  const double a = fp.mu_announce * (nstar / (nstar + 1.0)) / nstar;
+  const double cf = open_loop_lifetime_fixed_point(a, 0.0, 120.0);
+  EXPECT_NEAR(fi.consistency(), cf, 1e-3);
 }
 
 TEST(Profile2D, OpenLoopProfileMatchesModel) {

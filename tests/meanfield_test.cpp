@@ -1,0 +1,199 @@
+// Integrator property tests for the mean-field fluid backend: conservation
+// of probability mass, non-negativity at hostile corners of the parameter
+// space, RK4 convergence order, and bit-exact determinism. The fluid-vs-
+// discrete cross-validation lives in meanfield_validation_test.cpp (label
+// meanfield); the fluid-vs-closed-form seams live in analysis_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/meanfield.hpp"
+
+namespace sst::analysis {
+namespace {
+
+FluidParams base_params(FluidVariant variant) {
+  FluidParams p;
+  p.variant = variant;
+  p.lambda = 1.875;
+  p.death = FluidDeath::kLifetime;
+  p.mean_lifetime = 120.0;
+  p.mu_announce = 5.625;
+  p.hot_share = 0.85;
+  p.mu_nack = 1.875;
+  p.loss = 0.1;
+  p.duration = 300.0;
+  p.warmup = 50.0;
+  return p;
+}
+
+// Occupancy fractions must sum to 1 whenever the population is non-empty:
+// every flow in the RHS moves mass between named states (or pairs a state
+// flow with a live-count flow), so conservation is structural, and the test
+// demands it to near round-off.
+TEST(MeanField, OccupancySumsToOne) {
+  for (const auto variant : {FluidVariant::kOpenLoop, FluidVariant::kTwoQueue,
+                             FluidVariant::kFeedback}) {
+    FluidIntegrator fi(base_params(variant));
+    for (double t = 5.0; t <= 200.0; t += 5.0) {
+      fi.advance(t);
+      const FluidOccupancy o = fi.occupancy();
+      ASSERT_GT(fi.live(), 0.0);
+      EXPECT_NEAR(o.fresh + o.stale + o.inconsistent + o.recovering, 1.0,
+                  1e-12)
+          << "variant=" << static_cast<int>(variant) << " t=" << t;
+    }
+  }
+}
+
+// The receiver-state mass must also track the live-record count: states are
+// per-record fractions of the same population the workload grows/shrinks.
+TEST(MeanField, StateMassTracksLiveCount) {
+  FluidParams p = base_params(FluidVariant::kFeedback);
+  p.receiver_ttl = 30.0;
+  FluidIntegrator fi(p);
+  fi.advance(400.0);
+  const auto& y = fi.state();
+  double mass = 0.0;
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if (i != 6) mass += y[i];  // skip HR: sender backlog, not receiver mass
+  }
+  EXPECT_NEAR(mass, y[0], 1e-6 * y[0]);
+}
+
+// Hostile corners: near-total loss, tiny TTLs, update storms, zero feedback
+// bandwidth. The clamps in the RHS must keep every state (and thus every
+// occupancy fraction) non-negative and bounded.
+TEST(MeanField, NonNegativeAtExtremeCorners) {
+  struct Corner {
+    double loss, ttl, update_rate, mu_nack;
+  };
+  const Corner corners[] = {
+      {0.99, 0.0, 0.0, 1.875},  // everything lost
+      {0.0, 0.05, 0.0, 1.875},  // TTL far below the announce cycle
+      {0.25, 1.0, 50.0, 1.875}, // update storm + aggressive TTL
+      {0.5, 0.0, 0.0, 0.0},     // feedback with no feedback bandwidth
+      {1.0, 0.1, 10.0, 0.01},   // total loss, all mechanisms on
+  };
+  for (const auto variant : {FluidVariant::kOpenLoop, FluidVariant::kTwoQueue,
+                             FluidVariant::kFeedback}) {
+    for (const Corner& c : corners) {
+      FluidParams p = base_params(variant);
+      p.loss = c.loss;
+      p.receiver_ttl = c.ttl;
+      p.update_rate = c.update_rate;
+      p.mu_nack = c.mu_nack;
+      FluidIntegrator fi(p);
+      for (double t = 10.0; t <= 300.0; t += 10.0) {
+        fi.advance(t);
+        for (const double v : fi.state()) {
+          EXPECT_GE(v, -1e-9) << "variant=" << static_cast<int>(variant)
+                              << " loss=" << c.loss << " ttl=" << c.ttl;
+        }
+        const FluidOccupancy o = fi.occupancy();
+        for (const double f :
+             {o.fresh, o.stale, o.inconsistent, o.recovering}) {
+          EXPECT_GE(f, -1e-9);
+          EXPECT_LE(f, 1.0 + 1e-9);
+        }
+        const double cons = fi.consistency();
+        EXPECT_GE(cons, -1e-9);
+        EXPECT_LE(cons, 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+// Step-halving estimate of the global convergence order: RK4 is fourth
+// order, so err(h)/err(h/2) ~ 16 and the log2 ratio of successive
+// differences ~ 4. Measured on the final state away from any active clamp.
+TEST(MeanField, RK4ConvergenceOrder) {
+  auto final_fresh = [](double dt) {
+    FluidParams p;
+    p.variant = FluidVariant::kTwoQueue;
+    p.lambda = 1.875;
+    p.death = FluidDeath::kLifetime;
+    p.mean_lifetime = 120.0;
+    p.mu_announce = 4.0;   // keeps the auto-clamp (1/(k*mu)) above our dt
+    p.cold_stages = 4;
+    p.hot_share = 0.85;
+    p.loss = 0.1;
+    p.dt = dt;
+    FluidIntegrator fi(p);
+    // Measure mid-transient: by t ~ 50 the fixed point has contracted the
+    // truncation error below round-off and the order estimate is noise.
+    fi.advance(5.0);
+    return fi.state();
+  };
+  const auto a = final_fresh(0.05);
+  const auto b = final_fresh(0.025);
+  const auto c = final_fresh(0.0125);
+  double d_ab = 0.0;
+  double d_bc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d_ab += (a[i] - b[i]) * (a[i] - b[i]);
+    d_bc += (b[i] - c[i]) * (b[i] - c[i]);
+  }
+  d_ab = std::sqrt(d_ab);
+  d_bc = std::sqrt(d_bc);
+  ASSERT_GT(d_bc, 0.0);
+  const double order = std::log2(d_ab / d_bc);
+  EXPECT_GT(order, 3.0) << "d_ab=" << d_ab << " d_bc=" << d_bc;
+  EXPECT_LT(order, 5.5) << "d_ab=" << d_ab << " d_bc=" << d_bc;
+}
+
+// Pure arithmetic, no RNG, no address-dependent iteration: two runs with
+// identical params must agree bit for bit — not "within tolerance".
+TEST(MeanField, BitExactAcrossRuns) {
+  for (const auto variant : {FluidVariant::kOpenLoop, FluidVariant::kTwoQueue,
+                             FluidVariant::kFeedback}) {
+    FluidParams p = base_params(variant);
+    p.receiver_ttl = 45.0;
+    p.sample_interval = 10.0;
+    const FluidResult r1 = solve_fluid(p);
+    const FluidResult r2 = solve_fluid(p);
+    EXPECT_EQ(r1.avg_consistency, r2.avg_consistency);
+    EXPECT_EQ(r1.live, r2.live);
+    EXPECT_EQ(r1.announce_tx, r2.announce_tx);
+    EXPECT_EQ(r1.repair_tx, r2.repair_tx);
+    ASSERT_EQ(r1.timeline.size(), r2.timeline.size());
+    for (std::size_t i = 0; i < r1.timeline.size(); ++i) {
+      EXPECT_EQ(r1.timeline[i].consistency, r2.timeline[i].consistency);
+    }
+  }
+}
+
+// Incremental advance() through arbitrary absolute times must keep the
+// integrator on its fixed step grid: advancing to the same final time in
+// one call or many is the hybrid-backend contract (the sim advances the
+// cohort at every sample tick).
+TEST(MeanField, AdvanceIsIdempotentAndMonotone) {
+  FluidParams p = base_params(FluidVariant::kFeedback);
+  FluidIntegrator fi(p);
+  fi.advance(100.0);
+  const double c100 = fi.consistency();
+  fi.advance(100.0);  // no-op
+  fi.advance(99.0);   // backwards: no-op
+  EXPECT_EQ(fi.consistency(), c100);
+  EXPECT_EQ(fi.now(), 100.0);
+}
+
+// Stats reset (the warmup cutoff) must zero the averages but not the state.
+TEST(MeanField, ResetStatsKeepsState) {
+  FluidParams p = base_params(FluidVariant::kTwoQueue);
+  FluidIntegrator fi(p);
+  fi.advance(50.0);
+  const double live = fi.live();
+  const double cons = fi.consistency();
+  fi.reset_stats();
+  EXPECT_EQ(fi.live(), live);
+  EXPECT_EQ(fi.consistency(), cons);
+  EXPECT_EQ(fi.consistency_integral(), 0.0);
+  EXPECT_EQ(fi.announce_tx(), 0.0);
+  fi.advance(60.0);
+  EXPECT_NEAR(fi.average_consistency(), cons, 0.05);
+}
+
+}  // namespace
+}  // namespace sst::analysis

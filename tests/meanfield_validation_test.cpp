@@ -1,0 +1,163 @@
+// Fluid-vs-discrete cross-validation (ctest -L meanfield).
+//
+// For every cell of a loss x variant grid, the mean-field ODE backend must
+// reproduce the discrete-event simulator's average consistency within the
+// Monte-Carlo 95% confidence interval of the discrete replications — the
+// fluid model is only useful if it is a faithful stand-in for the event
+// simulation it replaces at scale. The fluid params are derived from the
+// *same* ExperimentConfig through core::fluid_params_from, so the two
+// backends see identical workloads, bandwidths, and loss processes; the
+// cohort is pinned to the discrete receiver count so the feedback coupling
+// compares like with like.
+//
+// Also here: the --jobs determinism contract for the fluid and hybrid
+// backends — replicated aggregates must be byte-identical for any worker
+// count, because the fluid integrator is pure arithmetic and the discrete
+// replications are seeded per replication index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/meanfield.hpp"
+#include "core/experiment.hpp"
+#include "runner/adapters.hpp"
+
+namespace sst {
+namespace {
+
+enum class Rig { kOpenLoopPerTx, kTwoQueueLifetime, kFeedback };
+
+// One operating point per protocol variant, chosen inside the paper's
+// parameter ranges and away from degenerate regimes:
+//   open-loop  saturated per-transmission death (rho > 1, live set grows)
+//   two-queue  15 kbps inserts / 45 kbps channel, exponential lifetimes
+//   feedback   same workload plus a 15 kbps NACK path
+core::ExperimentConfig cell_config(Rig rig, double loss) {
+  core::ExperimentConfig cfg;
+  cfg.loss_rate = loss;
+  cfg.num_receivers = 2;
+  cfg.duration = 2000.0;
+  cfg.warmup = 200.0;
+  switch (rig) {
+    case Rig::kOpenLoopPerTx:
+      cfg.variant = core::Variant::kOpenLoop;
+      cfg.workload.insert_rate = core::insert_rate_from_kbps(24.0, 1000);
+      cfg.workload.death_mode = core::DeathMode::kPerTransmission;
+      cfg.workload.p_death = 0.15;
+      cfg.mu_data = sim::kbps(128);
+      break;
+    case Rig::kTwoQueueLifetime:
+      cfg.variant = core::Variant::kTwoQueue;
+      cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+      cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+      cfg.workload.mean_lifetime = 120.0;
+      cfg.mu_data = sim::kbps(45);
+      cfg.hot_share = 0.85;
+      break;
+    case Rig::kFeedback:
+      cfg.variant = core::Variant::kFeedback;
+      cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
+      cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
+      cfg.workload.mean_lifetime = 120.0;
+      cfg.mu_data = sim::kbps(45);
+      cfg.mu_fb = sim::kbps(15);
+      cfg.hot_share = 0.85;
+      break;
+  }
+  return cfg;
+}
+
+void expect_fluid_within_ci(Rig rig, double loss) {
+  core::ExperimentConfig cfg = cell_config(rig, loss);
+
+  runner::Options opt;
+  opt.replications = 6;
+  opt.jobs = 4;
+  opt.master_seed = 7;
+  const auto agg = runner::run_replicated(cfg, opt);
+  const double disc_mean = agg.mean("avg_consistency");
+  const double ci95 = agg.ci95("avg_consistency");
+
+  analysis::FluidParams fp = core::fluid_params_from(cfg);
+  fp.cohort = static_cast<double>(cfg.num_receivers);
+  const double fluid = analysis::solve_fluid(fp).avg_consistency;
+
+  EXPECT_LE(std::abs(fluid - disc_mean), ci95)
+      << "rig=" << static_cast<int>(rig) << " loss=" << loss
+      << " fluid=" << fluid << " discrete=" << disc_mean << " ±" << ci95;
+}
+
+TEST(MeanFieldValidation, OpenLoopLoss00) {
+  expect_fluid_within_ci(Rig::kOpenLoopPerTx, 0.0);
+}
+TEST(MeanFieldValidation, OpenLoopLoss05) {
+  expect_fluid_within_ci(Rig::kOpenLoopPerTx, 0.05);
+}
+TEST(MeanFieldValidation, OpenLoopLoss25) {
+  expect_fluid_within_ci(Rig::kOpenLoopPerTx, 0.25);
+}
+
+TEST(MeanFieldValidation, TwoQueueLoss00) {
+  expect_fluid_within_ci(Rig::kTwoQueueLifetime, 0.0);
+}
+TEST(MeanFieldValidation, TwoQueueLoss05) {
+  expect_fluid_within_ci(Rig::kTwoQueueLifetime, 0.05);
+}
+TEST(MeanFieldValidation, TwoQueueLoss25) {
+  expect_fluid_within_ci(Rig::kTwoQueueLifetime, 0.25);
+}
+
+TEST(MeanFieldValidation, FeedbackLoss00) {
+  expect_fluid_within_ci(Rig::kFeedback, 0.0);
+}
+TEST(MeanFieldValidation, FeedbackLoss05) {
+  expect_fluid_within_ci(Rig::kFeedback, 0.05);
+}
+TEST(MeanFieldValidation, FeedbackLoss25) {
+  expect_fluid_within_ci(Rig::kFeedback, 0.25);
+}
+
+// Replicated aggregates of the fluid backend must not depend on the worker
+// count — bit for bit, the check_determinism.sh contract.
+TEST(MeanFieldValidation, FluidBackendJobsInvariant) {
+  core::ExperimentConfig cfg = cell_config(Rig::kFeedback, 0.1);
+  cfg.backend = core::Backend::kFluid;
+  cfg.fluid_cohort = 1e6;
+  cfg.duration = 500.0;
+
+  runner::Options o1;
+  o1.replications = 4;
+  o1.master_seed = 3;
+  o1.jobs = 1;
+  runner::Options o8 = o1;
+  o8.jobs = 8;
+  const auto a1 = runner::run_replicated(cfg, o1);
+  const auto a8 = runner::run_replicated(cfg, o8);
+  EXPECT_EQ(a1.mean("avg_consistency"), a8.mean("avg_consistency"));
+  EXPECT_EQ(a1.mean("repair_tx"), a8.mean("repair_tx"));
+  EXPECT_EQ(a1.ci95("avg_consistency"), 0.0);  // fluid: all reps identical
+}
+
+// Same for hybrid: the discrete half is seeded per replication index and
+// the fluid half is deterministic, so jobs is a pure execution detail.
+TEST(MeanFieldValidation, HybridBackendJobsInvariant) {
+  core::ExperimentConfig cfg = cell_config(Rig::kTwoQueueLifetime, 0.1);
+  cfg.backend = core::Backend::kHybrid;
+  cfg.fluid_cohort = 1000.0;
+  cfg.duration = 500.0;
+
+  runner::Options o1;
+  o1.replications = 4;
+  o1.master_seed = 3;
+  o1.jobs = 1;
+  runner::Options o8 = o1;
+  o8.jobs = 8;
+  const auto a1 = runner::run_replicated(cfg, o1);
+  const auto a8 = runner::run_replicated(cfg, o8);
+  EXPECT_EQ(a1.mean("avg_consistency"), a8.mean("avg_consistency"));
+  EXPECT_EQ(a1.ci95("avg_consistency"), a8.ci95("avg_consistency"));
+  EXPECT_EQ(a1.mean("data_tx"), a8.mean("data_tx"));
+}
+
+}  // namespace
+}  // namespace sst

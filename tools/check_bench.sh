@@ -1,8 +1,9 @@
 #!/bin/sh
 # Perf-regression smoke gate: re-times the tracked microbenchmarks
-# (bench_engine, bench_sstp_hotpath) with a few quick replications and
-# compares them against the committed BENCH_<name>.json baselines. Fails if
-# any scenario regressed by more than the margin (default 25%).
+# (bench_engine, bench_sstp_hotpath, bench_meanfield) with a few quick
+# replications and compares them against the committed BENCH_<name>.json
+# baselines. Fails if any scenario regressed by more than the margin
+# (default 25%).
 #
 # Comparison rule: the FRESH MINIMUM across smoke replications must stay
 # within margin of the COMMITTED MEAN. The min filters scheduler noise
@@ -36,7 +37,7 @@ work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
 status=0
-for name in engine sstp_hotpath; do
+for name in engine sstp_hotpath meanfield; do
   bin="$build_dir/bench/bench_$name"
   baseline="$repo_root/BENCH_$name.json"
   if [ ! -x "$bin" ]; then

@@ -51,6 +51,25 @@ diff "$work/hostile1.txt" "$work/hostile8.txt" > /dev/null || {
 }
 echo "sstsim hostile: jobs=1 and jobs=8 byte-identical"
 
+# Fluid and hybrid backends: the mean-field tier is pure arithmetic (no RNG
+# in the fluid path, forked Rng streams in the hybrid's discrete cohort), so
+# byte-identical output across --jobs is the same hard contract.
+for backend in fluid hybrid; do
+  fluid_args="--variant=feedback --backend=$backend --lambda-kbps=12 \
+        --mu-data-kbps=42 --mu-fb-kbps=12 --loss=0.25 --receivers=2 \
+        --duration=400 --warmup=50 --seed=7 --replications=8"
+  # shellcheck disable=SC2086
+  "$sstsim" $fluid_args --jobs=1 > "$work/${backend}_1.txt"
+  # shellcheck disable=SC2086
+  "$sstsim" $fluid_args --jobs=8 > "$work/${backend}_8.txt"
+  diff "$work/${backend}_1.txt" "$work/${backend}_8.txt" > /dev/null || {
+    echo "FAIL: sstsim --backend=$backend differs between --jobs=1 and --jobs=8" >&2
+    diff "$work/${backend}_1.txt" "$work/${backend}_8.txt" >&2 || true
+    exit 1
+  }
+  echo "sstsim --backend=$backend: jobs=1 and jobs=8 byte-identical"
+done
+
 if [ -x "$bench" ]; then
   "$bench" --reps=8 --jobs=1 --out="$work/b1.json" > /dev/null
   "$bench" --reps=8 --jobs=8 --out="$work/b8.json" > /dev/null

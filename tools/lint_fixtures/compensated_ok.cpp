@@ -1,0 +1,55 @@
+// compensated_ok.cpp — sstlint self-test fixture (never compiled).
+//
+// Mirrors the accumulation idioms of the mean-field fluid integrator
+// (src/analysis/meanfield.cpp): Kahan/compensated running sums for the
+// long-horizon trapezoid integrals, and RK4 state combines written as
+// whole-value assignments. None of these are bare `+=` running sums on
+// float state, so float-accum (and every other rule) must stay QUIET here —
+// the self-test asserts this file is finding-free with no allow()
+// directives. Scanned under the virtual path src/stats/compensated_ok.cpp
+// so the path-scoped float-accum rule applies.
+#include <vector>
+
+namespace fixture {
+
+// Stand-in for stats::CompensatedSum: the compensated form is the blessed
+// way to integrate c(t) over 10^5+ fixed steps without drift.
+class CompensatedSum {
+ public:
+  void add(double x) {
+    const double t = sum_ + x;
+    if ((sum_ >= x ? sum_ - t + x : x - t + sum_) != 0.0) {
+      carry_ = (sum_ >= x ? sum_ - t + x : x - t + sum_);
+    }
+    sum_ = t;
+  }
+  double value() const { return sum_ + carry_; }
+
+ private:
+  double sum_ = 0.0;    // updated only through add(): no bare running sum
+  double carry_ = 0.0;
+};
+
+class FluidLikeIntegrator {
+ public:
+  void step(double dt) {
+    // RK4 combine as a whole-value assignment, not an in-place `+=` drip:
+    // the truncation error stays O(h^4) and the lint stays quiet.
+    const double h6 = dt / 6.0;
+    for (std::size_t i = 0; i < y_.size(); ++i) {
+      y_[i] = y_[i] + h6 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+    }
+    // Trapezoid accumulation of the observable goes through the
+    // compensated sum, never through a double member.
+    occ_integral_.add(0.5 * dt * (prev_c_ + cur_c_));
+    prev_c_ = cur_c_;  // plain assignment: allowed on float state
+  }
+
+ private:
+  std::vector<double> y_, k1_, k2_, k3_, k4_;
+  CompensatedSum occ_integral_;
+  double prev_c_ = 0.0;
+  double cur_c_ = 0.0;
+};
+
+}  // namespace fixture

@@ -357,6 +357,17 @@ def self_test(repo):
             failures.append(
                 "known_bad.cpp: unexpected rule %s fired %d times" % (rule, count))
 
+    # Compensated/assignment-form accumulators (the mean-field integrator
+    # idiom) must NOT trip float-accum: the rule targets bare `+=` running
+    # sums, and a false positive here would push real ODE code toward
+    # allow() noise.
+    ok = fixture("compensated_ok.cpp",
+                 os.path.join("src", "stats", "compensated_ok.cpp"))
+    findings, _ = scan([ok])
+    for f in findings:
+        failures.append("compensated_ok.cpp:%d: unexpected finding [%s] %s"
+                        % (f.line, f.rule, f.message))
+
     sup = fixture("suppressed.cpp", os.path.join("src", "stats", "suppressed.cpp"))
     findings, suppressions = scan([sup])
     for f in findings:

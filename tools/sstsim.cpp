@@ -75,6 +75,13 @@ run control:
   --timeline=0            sample c(t) every N seconds (0 off)
   --scheduler=stride|lottery|wfq|drr|hier
 
+population tier (soft-state variants):
+  --backend=discrete      discrete = event simulation of --receivers
+                          fluid    = mean-field ODE cohort only (no RNG;
+                                     byte-identical for any --jobs)
+                          hybrid   = both, population-weighted blend
+  --cohort=1e6            fluid/hybrid cohort size (receivers)
+
 Monte-Carlo replication (sst::runner):
   --replications=1        independent replications; each runs with seed
                           Rng(--seed).fork("replication", i). With N > 1 the
@@ -276,6 +283,19 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
   cfg.sample_interval = flags.num("timeline", 0.0);
 
+  const std::string backend = flags.str("backend", "discrete");
+  if (backend == "discrete") {
+    cfg.backend = core::Backend::kDiscrete;
+  } else if (backend == "fluid") {
+    cfg.backend = core::Backend::kFluid;
+  } else if (backend == "hybrid") {
+    cfg.backend = core::Backend::kHybrid;
+  } else {
+    std::fprintf(stderr, "unknown --backend=%s\n", backend.c_str());
+    return 2;
+  }
+  cfg.fluid_cohort = flags.num("cohort", 1e6);
+
   const std::string sched = flags.str("scheduler", "stride");
   if (sched == "lottery") cfg.scheduler = core::SchedulerKind::kLottery;
   if (sched == "wfq") cfg.scheduler = core::SchedulerKind::kWfq;
@@ -343,6 +363,11 @@ int main(int argc, char** argv) {
   std::printf("workload           %llu inserts, %llu updates, live %zu\n",
               static_cast<unsigned long long>(r.inserts),
               static_cast<unsigned long long>(r.updates), r.final_live);
+  if (cfg.backend != core::Backend::kDiscrete) {
+    std::printf("fluid_cohort       %.0f receivers, c %.4f, live/receiver "
+                "%.2f\n",
+                r.fluid_cohort, r.fluid_consistency, r.fluid_live);
+  }
   if (!recoveries.empty()) {
     std::printf("\n  fault            injected  cleared  recovery_s  deficit  "
                 "repair_pkts\n");
