@@ -41,6 +41,7 @@ struct McOptions {
   std::string out;         // JSON path; default BENCH_<experiment>.json
   core::Backend backend = core::Backend::kDiscrete;  // --backend=
   double cohort = 1e6;     // fluid/hybrid population (--cohort=)
+  std::size_t shards = 1;  // sharded engine crew per replication (--shards=)
 };
 
 /// Parses the common bench flags. `default_reps` balances statistical power
@@ -70,6 +71,15 @@ inline McOptions mc_options(int argc, char** argv,
     std::exit(2);
   }
   opt.cohort = flags.num("cohort", 1e6);
+  const double shards = flags.num("shards", 1.0);
+  if (!(shards >= 1.0)) {
+    std::fprintf(stderr, "--shards must be an integer >= 1\n");
+    std::exit(2);
+  }
+  opt.shards = static_cast<std::size_t>(shards);
+  // Each replication spins up its own shard crew; shrink the automatic
+  // replication fan-out so shards x jobs stays within the host.
+  opt.runner.threads_per_replication = opt.shards;
   flags.reject_unknown();
   return opt;
 }

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
       cfg.variant = core::Variant::kOpenLoop;
       cfg.backend = opt.backend;
       cfg.fluid_cohort = opt.cohort;
+      cfg.shards = opt.shards;
       cfg.workload.insert_rate = lambda;
       cfg.workload.death_mode = core::DeathMode::kPerTransmission;
       cfg.workload.p_death = pd;

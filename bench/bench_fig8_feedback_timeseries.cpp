@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     core::ExperimentConfig cfg;
     cfg.backend = opt.backend;
     cfg.fluid_cohort = opt.cohort;
+    cfg.shards = opt.shards;
     cfg.workload.insert_rate = core::insert_rate_from_kbps(15.0, 1000);
     cfg.workload.death_mode = core::DeathMode::kExponentialLifetime;
     cfg.workload.mean_lifetime = 120.0;

@@ -1,0 +1,107 @@
+// Shard-scaling benchmark: end-to-end wall time of ONE replication of the
+// feedback experiment on the sharded conservative-lookahead engine, swept
+// over K in {1,2,4,8} shard workers x receiver population. The paper's
+// large-session regime (10k receivers) is the headline row; the small
+// population shows the honest fixed overhead of the epoch barriers when
+// there is little work per shard per epoch.
+//
+// Every (K, population) cell runs the SAME experiment per seed — the engine
+// guarantees bit-identical results for any K (enforced by the determinism
+// gates), so the only thing varying across a row is wall time. The JSON
+// document (BENCH_shard_engine.json) is a perf baseline tracked across PRs
+// via tools/check_bench.sh; like BENCH_engine.json it is a hardware fact,
+// not a simulation output, and is NOT byte-stable across machines.
+//
+// Flags: --reps=N --jobs=K --seed=S --out=PATH (timing fidelity wants
+// jobs=1, the default: the shard crew itself is the parallelism under test)
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "runner/runner.hpp"
+
+namespace {
+
+using namespace sst;
+
+core::ExperimentConfig session_cfg(std::size_t receivers, std::size_t shards,
+                                   std::uint64_t seed) {
+  // The acceptance configuration: a large feedback session with a positive
+  // propagation delay (the lookahead window) and enough loss to keep the
+  // NACK path busy.
+  core::ExperimentConfig cfg;
+  cfg.variant = core::Variant::kFeedback;
+  cfg.num_receivers = receivers;
+  cfg.mu_data = sim::kbps(45);
+  cfg.mu_fb = sim::kbps(64);
+  cfg.loss_rate = 0.1;
+  cfg.delay = 0.05;
+  cfg.duration = 20.0;
+  cfg.warmup = 5.0;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  return cfg;
+}
+
+runner::MetricRow time_one(std::size_t receivers, std::size_t shards,
+                           std::uint64_t seed) {
+  const auto cfg = session_cfg(receivers, shards, seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = core::run_experiment(cfg);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return runner::MetricRow{
+      {"wall_ms", elapsed * 1e3},
+      {"avg_consistency", result.avg_consistency},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::mc_options(argc, argv, "shard_engine",
+                               /*default_reps=*/3, /*default_jobs=*/1);
+  bench::banner(
+      "Sharded-engine scaling (K shard workers x receiver population)",
+      "feedback, mu-data=45kbps, mu-fb=64kbps, loss=0.1, delay=0.05, "
+      "duration=20s, warmup=5s",
+      "perf baseline tracked across PRs in BENCH_shard_engine.json — not a "
+      "paper artifact; results are bit-identical across K by construction");
+
+  const std::vector<std::size_t> populations = {2000, 10000};
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+
+  std::vector<runner::SweepPoint> points;
+  std::printf("\nreplications=%zu jobs=%zu\n", opt.runner.replications,
+              opt.runner.jobs ? opt.runner.jobs : 1);
+  std::printf("  %-10s %-8s %14s %14s\n", "receivers", "shards",
+              "wall_ms mean", "vs K=1");
+  for (const std::size_t receivers : populations) {
+    double k1_mean = 0.0;
+    for (const std::size_t shards : shard_counts) {
+      runner::Options ropt = opt.runner;
+      ropt.threads_per_replication = shards;
+      const auto agg = runner::run_replications(
+          [&](std::size_t, std::uint64_t seed) {
+            return time_one(receivers, shards, seed);
+          },
+          ropt);
+      runner::Json params = runner::Json::object();
+      params.set("receivers",
+                 runner::Json::integer(static_cast<std::int64_t>(receivers)));
+      params.set("shards",
+                 runner::Json::integer(static_cast<std::int64_t>(shards)));
+      const double mean = agg.mean("wall_ms");
+      if (shards == 1) k1_mean = mean;
+      std::printf("  %-10zu %-8zu %14.1f %13.2fx\n", receivers, shards, mean,
+                  k1_mean > 0.0 ? k1_mean / mean : 0.0);
+      points.push_back({std::move(params), agg});
+    }
+  }
+
+  bench::emit_mc(opt, points);
+  return 0;
+}

@@ -2,65 +2,14 @@
 
 #include <memory>
 
-#include "sched/drr.hpp"
-#include "sched/hierarchical.hpp"
-#include "sched/lottery.hpp"
-#include "sched/stride.hpp"
-#include "sched/wfq.hpp"
+#include "core/rig_build.hpp"
+#include "core/sharded.hpp"
 
 namespace sst::core {
 
-namespace {
-
-std::unique_ptr<sched::Scheduler> make_scheduler(SchedulerKind kind,
-                                                 const sim::Rng& rng) {
-  switch (kind) {
-    case SchedulerKind::kStride:
-      return std::make_unique<sched::StrideScheduler>();
-    case SchedulerKind::kLottery:
-      return std::make_unique<sched::LotteryScheduler>(rng.fork("lottery"));
-    case SchedulerKind::kWfq:
-      return std::make_unique<sched::WfqScheduler>();
-    case SchedulerKind::kDrr:
-      return std::make_unique<sched::DrrScheduler>();
-    case SchedulerKind::kHierarchical:
-      return std::make_unique<sched::HierarchicalScheduler>();
-  }
-  return std::make_unique<sched::StrideScheduler>();
-}
-
-// Every loss process is wrapped in a SwitchableLoss so faults can be applied
-// to the live run. The wrapper's own RNG is only drawn while extra loss is
-// active, and the base process is always stepped first, so the wrapper is
-// draw-for-draw invisible until a fault actually fires.
-std::unique_ptr<net::SwitchableLoss> make_loss(const ExperimentConfig& cfg,
-                                               double rate, sim::Rng rng,
-                                               sim::Rng switch_rng) {
-  std::unique_ptr<net::LossModel> base;
-  if (rate <= 0.0) {
-    base = std::make_unique<net::NoLoss>();
-  } else if (cfg.bursty_loss) {
-    base = std::make_unique<net::GilbertElliottLoss>(
-        net::GilbertElliottLoss::with_mean(rate, cfg.mean_burst_len, rng));
-  } else {
-    base = std::make_unique<net::BernoulliLoss>(rate, rng);
-  }
-  if (!cfg.outages.empty()) {
-    base = std::make_unique<net::OutageLoss>(std::move(base), cfg.outages);
-  }
-  return std::make_unique<net::SwitchableLoss>(std::move(base), switch_rng);
-}
-
-std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg,
-                                            sim::Rng rng) {
-  if (cfg.jitter > 0.0) {
-    return std::make_unique<net::UniformJitterDelay>(cfg.delay, cfg.jitter,
-                                                     rng);
-  }
-  return std::make_unique<net::FixedDelay>(cfg.delay);
-}
-
-}  // namespace
+using rig::make_delay;
+using rig::make_loss;
+using rig::make_scheduler;
 
 Experiment::Experiment(ExperimentConfig config)
     : cfg_(std::move(config)),
@@ -596,6 +545,13 @@ ExperimentResult run_fluid(const ExperimentConfig& cfg) {
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.backend == Backend::kFluid) return run_fluid(cfg);
+  if (cfg.shards > 1) {
+    // The sharded engine covers a (large) subset of configurations; outside
+    // it, fall back to the single-queue engine. CLI front ends call
+    // sharded_supported() themselves to warn about the fallback.
+    std::string why;
+    if (sharded_supported(cfg, why)) return run_sharded(cfg);
+  }
   Experiment exp(cfg);
   if (cfg.backend == Backend::kHybrid) {
     exp.attach_fluid_cohort(cfg.fluid_cohort);

@@ -116,6 +116,15 @@ struct ExperimentConfig {
   Backend backend = Backend::kDiscrete;
   double fluid_cohort = 1e6;  // cohort size M (kFluid / kHybrid)
 
+  /// Event-engine shards for ONE replication (kDiscrete/kHybrid backends).
+  /// 1 = the classic single-queue engine. K > 1 partitions the receivers
+  /// into K contiguous blocks, each advanced on its own event queue in
+  /// conservative-lookahead epochs (src/core/sharded.*). Results are
+  /// bit-identical across shard counts for any supported configuration;
+  /// unsupported combinations (see sharded_supported()) silently fall back
+  /// to the single-queue engine under run_experiment().
+  std::size_t shards = 1;
+
   sim::Duration duration = 2000.0;  // measured simulation time
   sim::Duration warmup = 200.0;     // discarded transient
   std::uint64_t seed = 1;

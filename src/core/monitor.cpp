@@ -4,18 +4,28 @@ namespace sst::core {
 
 ConsistencyMonitor::ConsistencyMonitor(sim::Simulator& sim,
                                        PublisherTable& pub)
-    : sim_(&sim), pub_(&pub), consistency_avg_(sim.now(), 1.0) {
-  pub_->subscribe([this](const Record& rec, ChangeKind kind) {
-    on_publisher_change(rec, kind);
+    : ConsistencyMonitor(sim) {
+  pub.subscribe([this](const Record& rec, ChangeKind kind) {
+    apply_publisher_change(rec, kind);
   });
 }
 
+ConsistencyMonitor::ConsistencyMonitor(sim::Simulator& sim)
+    : sim_(&sim), seg_start_(sim.now()), reset_time_(sim.now()) {}
+
 std::size_t ConsistencyMonitor::attach(ReceiverTable& recv) {
+  const sim::SimTime now = sim_->now();
+  close_segment(now);
   const std::size_t r = receivers_.size();
   ReceiverView view;
   view.table = &recv;
-  view.joined_at = sim_->now();
+  view.joined_at = now;
+  view.attach_serial = intro_serial_;
+  // c_r starts at the vacuous 1.0 for an empty live set, else 0 (the joiner
+  // holds nothing yet).
+  view.avg = stats::TimeAverage(now, live_.empty() ? 1.0 : 0.0);
   receivers_.push_back(std::move(view));
+  ++active_count_;
   ++catching_up_count_;
   recv.on_refresh([this, r](Key key, Version version, bool, bool) {
     on_receiver_refresh(r, key, version);
@@ -23,41 +33,21 @@ std::size_t ConsistencyMonitor::attach(ReceiverTable& recv) {
   recv.on_expire([this, r](Key key, Version) { on_receiver_expire(r, key); });
   // A receiver joining an (effectively) empty session is caught up at once
   // with zero latency — in particular every construction-time receiver.
-  touch();
+  check_catch_up(r, now);
   return r;
 }
 
 void ConsistencyMonitor::detach(std::size_t r) {
   auto& rv = receivers_.at(r);
   if (!rv.active) return;
+  const sim::SimTime now = sim_->now();
+  close_segment(now);
   rv.active = false;
+  --active_count_;
   if (rv.catching_up) {
     rv.catching_up = false;
     --catching_up_count_;
   }
-  // Entries waiting only on this receiver must not leak: re-run the
-  // all-received check for every pending version (these deliveries will
-  // never happen and never count toward latency). Erasure order is
-  // invisible — nothing fires per erased entry and only aggregate counters
-  // remain — so hash-order iteration is harmless here.
-  for (auto it = pending_.begin(); it != pending_.end();) {  // sstlint: allow(unordered-iter)
-    bool all = true;
-    for (std::size_t i = 0; i < it->second.received.size(); ++i) {
-      all = all && (it->second.received[i] || !receivers_[i].active);
-    }
-    if (all) {
-      it = pending_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  touch();
-}
-
-std::size_t ConsistencyMonitor::active_receivers() const {
-  std::size_t n = 0;
-  for (const auto& rv : receivers_) n += rv.active ? 1 : 0;
-  return n;
 }
 
 double ConsistencyMonitor::receiver_consistency(std::size_t r) const {
@@ -68,9 +58,19 @@ double ConsistencyMonitor::receiver_consistency(std::size_t r) const {
 }
 
 void ConsistencyMonitor::reset_stats() {
-  consistency_avg_.update(sim_->now(), instantaneous());
-  consistency_avg_.reset(sim_->now());
-  latency_ = stats::Samples{};
+  const sim::SimTime now = sim_->now();
+  for (auto& rv : receivers_) {
+    if (rv.active) {
+      rv.avg.reset(now);
+      rv.ckpt = 0.0;
+    }
+    rv.latency.clear();
+  }
+  closed_.reset();
+  seg_start_ = now;
+  reset_time_ = now;
+  merged_latency_ = stats::Samples{};
+  merged_dirty_ = false;
   versions_introduced_ = 0;
   versions_received_ = 0;
 }
@@ -91,41 +91,80 @@ double ConsistencyMonitor::instantaneous() const {
 }
 
 double ConsistencyMonitor::average_consistency() {
-  touch();
-  return consistency_avg_.average();
+  const sim::SimTime now = sim_->now();
+  if (!(now > reset_time_)) return instantaneous();
+  return consistency_integral() / (now - reset_time_);
 }
 
 double ConsistencyMonitor::consistency_integral() {
-  touch();
-  return consistency_avg_.integral();
+  return closed_.value() + open_segment_integral(sim_->now());
 }
 
-void ConsistencyMonitor::touch() {
-  if (catching_up_count_ > 0) {
-    for (std::size_t r = 0; r < receivers_.size(); ++r) {
-      auto& rv = receivers_[r];
-      if (!rv.active || !rv.catching_up) continue;
-      if (receiver_consistency(r) >= catch_up_threshold_) {
-        rv.catching_up = false;
-        rv.catch_up_latency = sim_->now() - rv.joined_at;
-        --catching_up_count_;
-      }
-    }
+double ConsistencyMonitor::open_segment_integral(sim::SimTime now) {
+  if (active_count_ == 0) {
+    // Vacuous consistency: c(t) = 1 while nobody is attached.
+    return now - seg_start_;
   }
-  consistency_avg_.update(sim_->now(), instantaneous());
+  stats::CompensatedSum sum;
+  for (auto& rv : receivers_) {
+    if (!rv.active) continue;
+    rv.avg.advance(now);
+    sum.add(rv.avg.integral() - rv.ckpt);
+  }
+  return sum.value() / static_cast<double>(active_count_);
 }
 
-void ConsistencyMonitor::on_publisher_change(const Record& rec,
-                                             ChangeKind kind) {
+void ConsistencyMonitor::close_segment(sim::SimTime now) {
+  closed_.add(open_segment_integral(now));
+  seg_start_ = now;
+  for (auto& rv : receivers_) {
+    if (rv.active) rv.ckpt = rv.avg.integral();
+  }
+}
+
+void ConsistencyMonitor::advance_all(sim::SimTime now) {
+  for (auto& rv : receivers_) {
+    if (rv.active) rv.avg.advance(now);
+  }
+}
+
+stats::Samples& ConsistencyMonitor::latency() {
+  if (merged_dirty_) {
+    merged_latency_ = stats::Samples{};
+    for (const auto& rv : receivers_) {
+      for (const double x : rv.latency) merged_latency_.add(x);
+    }
+    merged_dirty_ = false;
+  }
+  return merged_latency_;
+}
+
+void ConsistencyMonitor::touch_all(sim::SimTime now) {
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    auto& rv = receivers_[r];
+    if (!rv.active) continue;
+    rv.avg.update(now, receiver_consistency(r));
+    check_catch_up(r, now);
+  }
+}
+
+void ConsistencyMonitor::check_catch_up(std::size_t r, sim::SimTime now) {
+  auto& rv = receivers_[r];
+  if (!rv.active || !rv.catching_up) return;
+  if (receiver_consistency(r) >= catch_up_threshold_) {
+    rv.catching_up = false;
+    rv.catch_up_latency = now - rv.joined_at;
+    --catching_up_count_;
+  }
+}
+
+void ConsistencyMonitor::apply_publisher_change(const Record& rec,
+                                                ChangeKind kind) {
+  const sim::SimTime now = sim_->now();
   switch (kind) {
     case ChangeKind::kInsert:
     case ChangeKind::kUpdate: {
-      live_[rec.key] = rec.version;
-      // The new version supersedes any pending older one for latency
-      // purposes: keep both pending entries (first receipt of the old
-      // version no longer counts; erase it).
       if (kind == ChangeKind::kUpdate) {
-        pending_.erase(KeyVer{rec.key, rec.version - 1});
         // A receiver holding the old version is no longer consistent.
         for (auto& rv : receivers_) {
           if (!rv.active) continue;
@@ -135,60 +174,60 @@ void ConsistencyMonitor::on_publisher_change(const Record& rec,
           }
         }
       }
-      PendingVersion pv;
-      pv.introduced_at = sim_->now();
-      pv.received.assign(receivers_.size(), false);
-      // Detached receivers will never report receipt; pre-mark them so they
-      // cannot hold the entry open.
-      for (std::size_t i = 0; i < receivers_.size(); ++i) {
-        if (!receivers_[i].active) pv.received[i] = true;
-      }
-      pending_.emplace(KeyVer{rec.key, rec.version}, std::move(pv));
+      auto& lr = live_[rec.key];
+      lr.version = rec.version;
+      lr.introduced_at = now;
+      lr.serial = ++intro_serial_;
       ++versions_introduced_;
       break;
     }
     case ChangeKind::kRemove: {
-      pending_.erase(KeyVer{rec.key, rec.version});
       live_.erase(rec.key);
-      for (auto& rv : receivers_) rv.consistent.erase(rec.key);
+      for (auto& rv : receivers_) {
+        rv.consistent.erase(rec.key);
+        rv.counted.erase(rec.key);
+      }
       break;
     }
   }
-  touch();
+  touch_all(now);
 }
 
 void ConsistencyMonitor::on_receiver_refresh(std::size_t r, Key key,
                                              Version version) {
   auto& rv = receivers_[r];
   if (!rv.active) return;
+  const sim::SimTime now = sim_->now();
   const auto live_it = live_.find(key);
-  const bool matches = live_it != live_.end() && live_it->second == version;
+  const bool matches =
+      live_it != live_.end() && live_it->second.version == version;
   if (matches) {
     rv.consistent.insert(key);
+    // First-receipt latency for this (key, version) at this receiver. Late
+    // joiners (attached at or after introduction) don't count toward
+    // T_recv: the version predates them.
+    if (live_it->second.serial > rv.attach_serial) {
+      const auto counted_it = rv.counted.find(key);
+      if (counted_it == rv.counted.end() || counted_it->second < version) {
+        rv.counted[key] = version;
+        rv.latency.push_back(now - live_it->second.introduced_at);
+        merged_dirty_ = true;
+        ++versions_received_;
+      }
+    }
   } else {
     rv.consistent.erase(key);
   }
-
-  // First-receipt latency for this (key, version) at this receiver. Late
-  // joiners (index beyond the entry's snapshot) don't count toward T_recv:
-  // the version predates them.
-  const auto pend_it = pending_.find(KeyVer{key, version});
-  if (pend_it != pending_.end() && r < pend_it->second.received.size() &&
-      !pend_it->second.received[r]) {
-    pend_it->second.received[r] = true;
-    latency_.add(sim_->now() - pend_it->second.introduced_at);
-    ++versions_received_;
-    bool all = true;
-    for (const bool got : pend_it->second.received) all = all && got;
-    if (all) pending_.erase(pend_it);
-  }
-  touch();
+  rv.avg.update(now, receiver_consistency(r));
+  check_catch_up(r, now);
 }
 
 void ConsistencyMonitor::on_receiver_expire(std::size_t r, Key key) {
-  if (!receivers_[r].active) return;
-  receivers_[r].consistent.erase(key);
-  touch();
+  auto& rv = receivers_[r];
+  if (!rv.active) return;
+  rv.consistent.erase(key);
+  rv.avg.update(sim_->now(), receiver_consistency(r));
+  check_catch_up(r, sim_->now());
 }
 
 }  // namespace sst::core

@@ -9,6 +9,21 @@
 //     c(t) = (1/R) * sum_r |consistent_r(t)| / |L(t)|     (c(t)=1 if L empty)
 // and E[c(t)] is its exact time average, accumulated event-by-event because
 // c(t) is piecewise constant.
+//
+// Decomposed form (sharded engine). c(t) is a sum of per-receiver signals
+// c_r(t) = |consistent_r(t)| / |L(t)| that change only at (a) that receiver's
+// own refresh/expire events and (b) publisher changes. The monitor therefore
+// keeps one TimeAverage per receiver and reduces
+//     ∫ c dt = (1/A) * sum_r ∫ c_r dt
+// over the active set in receiver-index order with a CompensatedSum at query
+// time. Dynamic membership closes the current segment (the active set A is
+// constant within a segment) so mid-run join/leave keeps the exact legacy
+// semantics. The decomposition is what makes the sharded engine possible:
+// each shard owns a monitor over its receivers, publisher changes are
+// broadcast through the epoch log, and the coordinator's cross-shard
+// reduction in global receiver order is bit-identical to the single-monitor
+// reduction (see DESIGN.md, "Sharded engine"). It is also the single biggest
+// serial win at scale: a receiver event costs O(1), not O(R).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +34,7 @@
 #include "core/record.hpp"
 #include "core/table.hpp"
 #include "sim/simulator.hpp"
+#include "stats/compensated.hpp"
 #include "stats/histogram.hpp"
 #include "stats/time_average.hpp"
 
@@ -34,6 +50,12 @@ namespace sst::core {
 class ConsistencyMonitor {
  public:
   ConsistencyMonitor(sim::Simulator& sim, PublisherTable& pub);
+
+  /// Shard-mode constructor: no publisher table on this side of the shard
+  /// boundary. The shard coordinator replays publisher changes in epoch-log
+  /// order through apply_publisher_change(), which keeps every shard's
+  /// live-set mirror bit-identical to the root's publisher table.
+  explicit ConsistencyMonitor(sim::Simulator& sim);
 
   ConsistencyMonitor(const ConsistencyMonitor&) = delete;
   ConsistencyMonitor& operator=(const ConsistencyMonitor&) = delete;
@@ -54,7 +76,12 @@ class ConsistencyMonitor {
   }
 
   /// Number of currently-attached receivers.
-  [[nodiscard]] std::size_t active_receivers() const;
+  [[nodiscard]] std::size_t active_receivers() const { return active_count_; }
+
+  /// Number of receivers ever attached (indices are stable, never reused).
+  [[nodiscard]] std::size_t receiver_count() const {
+    return receivers_.size();
+  }
 
   /// Receiver r's own consistency: fraction of live records it holds at the
   /// current version (1.0 for an empty live set).
@@ -88,11 +115,13 @@ class ConsistencyMonitor {
 
   /// Receive-latency samples: time from a (key, version) entering the system
   /// to its FIRST receipt at each receiver, measured over successful
-  /// deliveries only (as in the paper's T_recv).
-  [[nodiscard]] stats::Samples& latency() { return latency_; }
+  /// deliveries only (as in the paper's T_recv). Samples are merged from the
+  /// per-receiver streams in receiver-index order (deterministic, and the
+  /// same order the shard coordinator uses for its global merge).
+  [[nodiscard]] stats::Samples& latency();
 
   /// Number of live records right now.
-  [[nodiscard]] std::size_t live_count() const { return pub_->live_count(); }
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
 
   /// Number of (key,version) pairs introduced / first-received since the last
   /// reset_stats().
@@ -103,52 +132,93 @@ class ConsistencyMonitor {
     return versions_received_;
   }
 
+  // ---------------------------------------------------------- shard surface
+  //
+  // The shard coordinator drives per-shard monitors through these. They are
+  // ordinary public API (used by tests too); nothing here is thread-aware —
+  // all cross-thread ordering is the coordinator's barrier protocol.
+
+  /// Replays one publisher change into the live-set mirror. The subscribing
+  /// constructor wires this to PublisherTable::subscribe; shard workers call
+  /// it directly in epoch-log order.
+  void apply_publisher_change(const Record& rec, ChangeKind kind);
+
+  /// Folds every active receiver's consistency signal forward to `now`
+  /// without changing it (epoch fences, sample points, reductions).
+  void advance_all(sim::SimTime now);
+
+  /// ∫ c_r dt since the last reset for receiver `r` (advance first).
+  [[nodiscard]] double receiver_integral(std::size_t r) const {
+    return receivers_.at(r).avg.integral();
+  }
+
+  /// Receiver r's latency samples in receipt order (shard-merge input).
+  [[nodiscard]] const std::vector<double>& receiver_latency_samples(
+      std::size_t r) const {
+    return receivers_.at(r).latency;
+  }
+
  private:
-  struct PendingVersion {
-    sim::SimTime introduced_at = 0;
-    std::vector<bool> received;  // per receiver
+  struct LiveRec {
+    Version version = 0;
+    sim::SimTime introduced_at = 0.0;
+    // Monotone introduction serial: receiver r counts a first receipt toward
+    // T_recv only when the version was introduced strictly after r attached
+    // (serial > attach_serial), the same late-joiner rule the previous
+    // received-bitmap representation enforced by snapshotting the receiver
+    // count at introduction time.
+    std::uint64_t serial = 0;
   };
 
   struct ReceiverView {
     ReceiverTable* table = nullptr;
     std::unordered_set<Key> consistent;  // live keys held at current version
+    // Highest version of each key already counted toward T_recv, so TTL
+    // expiry + re-receipt of the same version is not double-counted.
+    std::unordered_map<Key, Version> counted;
+    stats::TimeAverage avg;        // time average of c_r(t)
+    std::vector<double> latency;   // first-receipt samples, receipt order
+    double ckpt = 0.0;             // ∫c_r dt at the open segment's start
+    std::uint64_t attach_serial = 0;
     bool active = true;
-    bool catching_up = true;             // not yet reached the threshold
+    bool catching_up = true;       // not yet reached the threshold
     sim::SimTime joined_at = 0.0;
-    double catch_up_latency = -1.0;      // <0 until caught up
+    double catch_up_latency = -1.0;  // <0 until caught up
   };
 
-  void on_publisher_change(const Record& rec, ChangeKind kind);
   void on_receiver_refresh(std::size_t r, Key key, Version version);
   void on_receiver_expire(std::size_t r, Key key);
-  void touch();  // fold the (possibly changed) c(t) into the time average
+  void check_catch_up(std::size_t r, sim::SimTime now);
+  /// Advances + re-values every active receiver (publisher changes move
+  /// every c_r at once because |L| changes).
+  void touch_all(sim::SimTime now);
+  /// ∫c dt over the open segment [seg_start_, now): advances the active
+  /// receivers and reduces their integrals in index order.
+  double open_segment_integral(sim::SimTime now);
+  /// Folds the open segment into closed_ and starts a new segment at `now`
+  /// (called at every membership change, where A jumps).
+  void close_segment(sim::SimTime now);
 
   sim::Simulator* sim_;
-  PublisherTable* pub_;
   std::vector<ReceiverView> receivers_;
 
   // Live records and their current versions, mirrored from the publisher.
-  std::unordered_map<Key, Version> live_;
-
-  // Outstanding (key, version) pairs not yet received everywhere.
-  struct KeyVer {
-    Key key;
-    Version version;
-    bool operator==(const KeyVer&) const = default;
-  };
-  struct KeyVerHash {
-    std::size_t operator()(const KeyVer& kv) const {
-      return std::hash<std::uint64_t>()(kv.key * 0x9E3779B97F4A7C15ULL ^
-                                        kv.version);
-    }
-  };
-  std::unordered_map<KeyVer, PendingVersion, KeyVerHash> pending_;
+  std::unordered_map<Key, LiveRec> live_;
+  std::uint64_t intro_serial_ = 0;
 
   double catch_up_threshold_ = 0.9;
   std::size_t catching_up_count_ = 0;  // receivers still converging
+  std::size_t active_count_ = 0;
 
-  stats::TimeAverage consistency_avg_;
-  stats::Samples latency_;
+  // Segmented E[c] accumulator: closed_ holds ∫c dt over finished segments
+  // (membership constant within each), the open segment is reduced from the
+  // per-receiver integrals on demand.
+  stats::CompensatedSum closed_;
+  sim::SimTime seg_start_ = 0.0;
+  sim::SimTime reset_time_ = 0.0;
+
+  stats::Samples merged_latency_;
+  bool merged_dirty_ = true;
   std::uint64_t versions_introduced_ = 0;
   std::uint64_t versions_received_ = 0;
 };

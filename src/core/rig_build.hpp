@@ -1,0 +1,73 @@
+// rig_build.hpp — shared factories for experiment plumbing (loss, delay,
+// scheduler stacks), used by both the single-queue Experiment and the
+// sharded engine (sharded.cpp). Keeping them in one place is a determinism
+// requirement, not a style choice: the sharded engine's bit-identity
+// guarantee rests on every endpoint consuming EXACTLY the draw sequence the
+// single-queue engine would, so the model stack built around each forked
+// stream must come from the same code.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/experiment.hpp"
+#include "net/delay.hpp"
+#include "net/loss.hpp"
+#include "sched/drr.hpp"
+#include "sched/hierarchical.hpp"
+#include "sched/lottery.hpp"
+#include "sched/stride.hpp"
+#include "sched/wfq.hpp"
+#include "sim/random.hpp"
+
+namespace sst::core::rig {
+
+inline std::unique_ptr<sched::Scheduler> make_scheduler(SchedulerKind kind,
+                                                        const sim::Rng& rng) {
+  switch (kind) {
+    case SchedulerKind::kStride:
+      return std::make_unique<sched::StrideScheduler>();
+    case SchedulerKind::kLottery:
+      return std::make_unique<sched::LotteryScheduler>(rng.fork("lottery"));
+    case SchedulerKind::kWfq:
+      return std::make_unique<sched::WfqScheduler>();
+    case SchedulerKind::kDrr:
+      return std::make_unique<sched::DrrScheduler>();
+    case SchedulerKind::kHierarchical:
+      return std::make_unique<sched::HierarchicalScheduler>();
+  }
+  return std::make_unique<sched::StrideScheduler>();
+}
+
+// Every loss process is wrapped in a SwitchableLoss so faults can be applied
+// to the live run. The wrapper's own RNG is only drawn while extra loss is
+// active, and the base process is always stepped first, so the wrapper is
+// draw-for-draw invisible until a fault actually fires.
+inline std::unique_ptr<net::SwitchableLoss> make_loss(
+    const ExperimentConfig& cfg, double rate, sim::Rng rng,
+    sim::Rng switch_rng) {
+  std::unique_ptr<net::LossModel> base;
+  if (rate <= 0.0) {
+    base = std::make_unique<net::NoLoss>();
+  } else if (cfg.bursty_loss) {
+    base = std::make_unique<net::GilbertElliottLoss>(
+        net::GilbertElliottLoss::with_mean(rate, cfg.mean_burst_len, rng));
+  } else {
+    base = std::make_unique<net::BernoulliLoss>(rate, rng);
+  }
+  if (!cfg.outages.empty()) {
+    base = std::make_unique<net::OutageLoss>(std::move(base), cfg.outages);
+  }
+  return std::make_unique<net::SwitchableLoss>(std::move(base), switch_rng);
+}
+
+inline std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg,
+                                                   sim::Rng rng) {
+  if (cfg.jitter > 0.0) {
+    return std::make_unique<net::UniformJitterDelay>(cfg.delay, cfg.jitter,
+                                                     rng);
+  }
+  return std::make_unique<net::FixedDelay>(cfg.delay);
+}
+
+}  // namespace sst::core::rig

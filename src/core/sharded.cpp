@@ -1,0 +1,726 @@
+// sharded.cpp — the sharded conservative-lookahead engine (see sharded.hpp).
+//
+// Bit-identity ground rules, mirrored from the single-queue engine:
+//   * Every RNG stream is root_.fork(tag, index) with the SAME tags and
+//     indices as Experiment — fork() is pure, so WHERE a stream is consumed
+//     (root or shard) never changes its draws.
+//   * Shards own contiguous receiver blocks, so visiting shards in index
+//     order visits receivers in global index order; every cross-shard
+//     reduction below (integral sums, latency merge, byte totals) walks that
+//     order, reproducing the single monitor's arithmetic term for term.
+//   * The root's epoch log replays publisher changes and transmissions into
+//     each shard at the exact times the single engine processed them; the
+//     fence/run_until recipe parks every clock exactly on each boundary, so
+//     timestamped bookkeeping (TimeAverage rectangles, reset times) rounds
+//     identically.
+#include "core/sharded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/rig_build.hpp"
+#include "sim/shard.hpp"
+#include "stats/compensated.hpp"
+#include "stats/histogram.hpp"
+
+namespace sst::core {
+
+namespace {
+
+/// One externally-visible root action, replayed by every shard in log order.
+struct RootEvent {
+  enum class Kind : std::uint8_t {
+    kChange,  // publisher table change (monitor mirror + oracle removal)
+    kData,    // transmission entering the forward data channel
+    kProbe,   // redundancy oracle probe at sender transmit time
+  };
+
+  Kind kind = Kind::kChange;
+  sim::SimTime time = 0.0;
+  Record rec;                             // kChange payload
+  ChangeKind change = ChangeKind::kInsert;
+  DataMsg msg;                            // kData / kProbe payload
+  sim::Bytes size = 0;                    // kData wire size
+};
+
+/// One receiver's worth of shard-local protocol state (the sharded analogue
+/// of Experiment::ReceiverRig, minus the fault-injection hooks, which the
+/// sharded engine does not expose).
+struct ShardRig {
+  std::unique_ptr<ReceiverTable> table;
+  std::unique_ptr<ReceiverAgent> agent;
+  std::unique_ptr<net::Channel<NackMsg>> fb_channel;  // unicast feedback
+  std::unique_ptr<net::Link<NackMsg>> fb_link;
+  std::unique_ptr<net::HostileChannel<NackMsg>> fb_hostile;
+};
+
+/// Everything one worker thread owns. Heap-allocated so addresses captured
+/// by protocol lambdas (mailbox, channels) survive container growth.
+struct Shard {
+  Shard() : monitor(sim), data(sim) {}
+
+  sim::Simulator sim;
+  ConsistencyMonitor monitor;       // shard-mode: fed by the epoch log
+  net::Channel<DataMsg> data;       // this shard's slice of the data channel
+  std::vector<ShardRig> rigs;       // local order == global receiver order
+  sim::SpscMailbox<NackMsg> mailbox;  // worker -> root NACK lane
+  std::vector<std::uint8_t> probe_holds;  // per-probe local redundancy AND
+  std::size_t log_cursor = 0;
+  std::uint64_t audit_tick = 0;     // SST_CHECK cadence counter
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(const ExperimentConfig& cfg);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  ExperimentResult run();
+
+ private:
+  /// What the workers read each epoch (published before the start barrier).
+  struct EpochPlan {
+    double fence = 0.0;
+    double run_to = 0.0;
+    std::size_t log_end = 0;
+  };
+
+  void build_rig(Shard& sh, std::size_t r);
+  void root_transmit(const DataMsg& msg);
+  void append_data(const DataMsg& msg, sim::Bytes size);
+  void append_probe(const DataMsg& msg);
+  void drain_nacks();
+  void worker_epoch(std::size_t s);
+  void warm_reset();
+  [[nodiscard]] const SenderStats& sender_stats() const;
+  double global_integral(double now);
+  [[nodiscard]] double global_instantaneous() const;
+  ExperimentResult collect(double end);
+
+  ExperimentConfig cfg_;
+  sim::Rng root_;
+  bool feedback_ = false;
+  double nack_loss_ = 0.0;
+
+  PublisherTable pub_;
+  sim::Simulator rsim_;  // the root executor's event queue
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<net::HostileChannel<DataMsg>> fwd_hostile_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::unique_ptr<OpenLoopSender> ol_sender_;
+  std::unique_ptr<TwoQueueSender> tq_sender_;
+
+  sim::Rng shared_rng_;
+  std::uint64_t shared_drops_ = 0;
+  // Root-side mirror of the single engine's aggregate channel byte counter:
+  // accumulated with the same plain += in the same send order.
+  double data_bytes_ = 0.0;
+
+  std::vector<RootEvent> log_;
+  std::vector<double> probe_times_;  // transmit time of probe i (global)
+  EpochPlan plan_;
+
+  std::unique_ptr<analysis::FluidIntegrator> fluid_;  // hybrid cohort tier
+  double fluid_m_ = 0.0;
+
+  // Warm-up baselines (subtracted at collection), captured at the warm-up
+  // barrier exactly as the single engine captures them after run_warmup().
+  bool warmed_ = false;
+  SenderStats warm_sender_;
+  std::uint64_t warm_nacks_sent_ = 0;
+  std::uint64_t warm_delivered_ = 0;
+  std::uint64_t warm_dropped_ = 0;
+  double warm_fb_bytes_ = 0.0;
+  double warm_data_bytes_ = 0.0;
+
+  double last_integral_ = 0.0;
+  ExperimentResult result_;
+
+  // Cross-shard NACK merge scratch (reused every epoch).
+  struct PendingNack {
+    double due = 0.0;
+    std::size_t shard = 0;
+    std::uint64_t seq = 0;
+    NackMsg nack;
+  };
+  std::vector<sim::SpscMailbox<NackMsg>::Stamped> scratch_;
+  std::vector<PendingNack> batch_;
+};
+
+ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
+    : cfg_(cfg),
+      root_(cfg_.seed),
+      feedback_(cfg_.variant == Variant::kFeedback),
+      nack_loss_(cfg_.nack_loss_rate < 0 ? cfg_.loss_rate
+                                         : cfg_.nack_loss_rate),
+      shared_rng_(root_.fork("shared-loss")) {
+  // The epoch-log appender takes the monitor's subscription slot (first):
+  // shards replay each change into their monitors before anything else
+  // reacts, preserving the single engine's listener order.
+  pub_.subscribe([this](const Record& rec, ChangeKind kind) {
+    RootEvent e;
+    e.kind = RootEvent::Kind::kChange;
+    e.time = rsim_.now();
+    e.rec = rec;
+    e.change = kind;
+    log_.push_back(std::move(e));
+  });
+  workload_ = std::make_unique<Workload>(rsim_, pub_, cfg_.workload,
+                                         root_.fork("workload"));
+
+  if (cfg_.fwd_hostile.active()) {
+    fwd_hostile_ = std::make_unique<net::HostileChannel<DataMsg>>(
+        rsim_, cfg_.fwd_hostile, root_.fork("hostile-fwd"),
+        [this](const DataMsg& msg, sim::Bytes size) {
+          append_data(msg, size);
+        });
+  }
+
+  const std::size_t total = cfg_.num_receivers;
+  const std::size_t shards =
+      std::min(std::max<std::size_t>(cfg_.shards, 1), total);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    const auto [lo, hi] = sim::shard_bounds(s, total, shards);
+    for (std::size_t r = lo; r < hi; ++r) build_rig(*shards_.back(), r);
+  }
+
+  if (cfg_.variant == Variant::kOpenLoop) {
+    ol_sender_ = std::make_unique<OpenLoopSender>(
+        rsim_, pub_, *workload_, cfg_.mu_data,
+        [this](const DataMsg& msg) { root_transmit(msg); });
+    ol_sender_->on_transmit([this](const DataMsg& m) { append_probe(m); });
+  } else {
+    TwoQueueConfig tq;
+    tq.mu_data = cfg_.mu_data;
+    tq.hot_share = cfg_.hot_share;
+    tq.feedback = feedback_;
+    tq_sender_ = std::make_unique<TwoQueueSender>(
+        rsim_, pub_, *workload_, tq,
+        rig::make_scheduler(cfg_.scheduler, root_.fork("sched")),
+        [this](const DataMsg& msg) { root_transmit(msg); });
+    tq_sender_->on_transmit([this](const DataMsg& m) { append_probe(m); });
+  }
+
+  if (cfg_.backend == Backend::kHybrid) {
+    analysis::FluidParams fp = fluid_params_from(cfg_);
+    fp.cohort = cfg_.fluid_cohort;
+    fluid_m_ = cfg_.fluid_cohort;
+    fluid_ = std::make_unique<analysis::FluidIntegrator>(fp);
+  }
+
+  workload_->start();
+}
+
+void ShardedEngine::build_rig(Shard& sh, std::size_t r) {
+  // Mirrors Experiment::add_receiver_rig (unicast-feedback shape) with every
+  // stream forked under the receiver's GLOBAL index r; components live on
+  // the shard's simulator, except the NACK channel's far end, which is a
+  // remote endpoint feeding the shard's mailbox.
+  ShardRig rig;
+  rig.table = std::make_unique<ReceiverTable>(sh.sim, cfg_.receiver_ttl);
+  sh.monitor.attach(*rig.table);
+
+  if (feedback_) {
+    rig.fb_channel = std::make_unique<net::Channel<NackMsg>>(sh.sim);
+    auto rev_loss =
+        rig::make_loss(cfg_, nack_loss_, root_.fork("nack-loss", r),
+                       root_.fork("switch-nack", r));
+    sim::SpscMailbox<NackMsg>* mailbox = &sh.mailbox;
+    rig.fb_channel->add_remote_receiver(
+        std::move(rev_loss),
+        rig::make_delay(cfg_, root_.fork("nack-delay", r)),
+        [mailbox](const NackMsg& nack, sim::SimTime arrival) {
+          mailbox->push(arrival, nack);
+        });
+    net::Channel<NackMsg>* chan = rig.fb_channel.get();
+    if (cfg_.fb_hostile.active()) {
+      rig.fb_hostile = std::make_unique<net::HostileChannel<NackMsg>>(
+          sh.sim, cfg_.fb_hostile, root_.fork("hostile-fb", r),
+          [chan](const NackMsg& nack, sim::Bytes size) {
+            chan->send(nack, size);
+          });
+    }
+    net::HostileChannel<NackMsg>* hostile = rig.fb_hostile.get();
+    rig.fb_link = std::make_unique<net::Link<NackMsg>>(
+        sh.sim, cfg_.mu_fb,
+        [chan, hostile](const NackMsg& nack, sim::Bytes size) {
+          if (hostile != nullptr) {
+            hostile->send(nack, size);
+          } else {
+            chan->send(nack, size);
+          }
+        },
+        /*queue_limit=*/8);
+  }
+
+  ReceiverConfig rcfg = cfg_.receiver;
+  rcfg.feedback = feedback_;
+  net::Link<NackMsg>* link = feedback_ ? rig.fb_link.get() : nullptr;
+  rig.agent = std::make_unique<ReceiverAgent>(
+      sh.sim, *rig.table, rcfg,
+      [link](const NackMsg& nack) {
+        if (link != nullptr) link->send(nack, nack.size);
+      },
+      root_.fork("agent", r));
+
+  const double fwd_loss = r < cfg_.receiver_loss_rates.size()
+                              ? cfg_.receiver_loss_rates[r]
+                              : cfg_.loss_rate;
+  ReceiverAgent* agent = rig.agent.get();
+  auto fwd = rig::make_loss(cfg_, fwd_loss, root_.fork("loss", r),
+                            root_.fork("switch-loss", r));
+  sh.data.add_receiver(std::move(fwd),
+                       rig::make_delay(cfg_, root_.fork("delay", r)),
+                       [agent](const DataMsg& msg) { agent->handle(msg); });
+
+  sh.rigs.push_back(std::move(rig));
+}
+
+void ShardedEngine::root_transmit(const DataMsg& msg) {
+  if (cfg_.shared_loss_rate > 0 &&
+      shared_rng_.bernoulli(cfg_.shared_loss_rate)) {
+    ++shared_drops_;
+    return;
+  }
+  if (fwd_hostile_ != nullptr) {
+    fwd_hostile_->send(msg, msg.size);
+  } else {
+    append_data(msg, msg.size);
+  }
+}
+
+void ShardedEngine::append_data(const DataMsg& msg, sim::Bytes size) {
+  data_bytes_ += size;
+  RootEvent e;
+  e.kind = RootEvent::Kind::kData;
+  e.time = rsim_.now();
+  e.msg = msg;
+  e.size = size;
+  log_.push_back(std::move(e));
+}
+
+void ShardedEngine::append_probe(const DataMsg& msg) {
+  probe_times_.push_back(rsim_.now());
+  RootEvent e;
+  e.kind = RootEvent::Kind::kProbe;
+  e.time = rsim_.now();
+  e.msg = msg;
+  log_.push_back(std::move(e));
+}
+
+void ShardedEngine::drain_nacks() {
+  if (!feedback_) return;
+  batch_.clear();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    scratch_.clear();
+    shards_[s]->mailbox.drain(scratch_);
+    for (auto& st : scratch_) {
+      batch_.push_back(PendingNack{st.due, s, st.seq, std::move(st.payload)});
+    }
+  }
+  if (batch_.empty()) return;
+  // Deterministic cross-shard merge: arrival time, then shard, then the
+  // producer's FIFO seq. Same-time arrivals across shards are common under
+  // constant delays (phase-locked retry scanners), but the merge order at a
+  // tie cannot leak into sender state: TwoQueueSender defers same-instant
+  // NACKs and applies them in canonical content order (see handle_nack),
+  // which is what makes this schedule-insertion order reproducible against
+  // the single-queue engine.
+  std::sort(batch_.begin(), batch_.end(),
+            [](const PendingNack& a, const PendingNack& b) {
+              if (a.due != b.due) return a.due < b.due;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+#if SST_CHECK_ENABLED
+  {
+    // Conservative-horizon audit: a drained NACK due before the root's
+    // clock would mean an epoch outran the lookahead bound.
+    check::Violations v;
+    for (const auto& p : batch_) {
+      if (p.due < rsim_.now()) {
+        v.push_back("NACK due " + std::to_string(p.due) +
+                    " is before the root clock " +
+                    std::to_string(rsim_.now()) +
+                    " (conservative lookahead violated)");
+      }
+    }
+    check::report("ShardedEngine", v);
+  }
+#endif
+  TwoQueueSender* sender = tq_sender_.get();
+  for (auto& p : batch_) {
+    rsim_.at(p.due, [sender, nack = std::move(p.nack)] {
+      sender->handle_nack(nack);
+    });
+  }
+}
+
+void ShardedEngine::worker_epoch(std::size_t s) {
+  Shard& sh = *shards_[s];
+  sim::Simulator& wsim = sh.sim;
+  while (sh.log_cursor < plan_.log_end) {
+    const RootEvent& e = log_[sh.log_cursor++];
+    // Local events strictly before the entry run first; then the entry is
+    // applied with the clock parked exactly at its timestamp (root-before-
+    // local at equal times, matching the root's execution order).
+    wsim.set_fence(e.time);
+    wsim.run_until(e.time);
+    switch (e.kind) {
+      case RootEvent::Kind::kChange:
+        sh.monitor.apply_publisher_change(e.rec, e.change);
+        if (cfg_.oracle_remove && e.change == ChangeKind::kRemove) {
+          for (auto& rg : sh.rigs) rg.table->remove(e.rec.key);
+        }
+        break;
+      case RootEvent::Kind::kData:
+        sh.data.send(e.msg, e.size);
+        break;
+      case RootEvent::Kind::kProbe: {
+        bool held = true;
+        for (const auto& rg : sh.rigs) {
+          const auto* entry = rg.table->find(e.msg.key);
+          if (entry == nullptr || entry->version < e.msg.version) {
+            held = false;
+            break;
+          }
+        }
+        sh.probe_holds.push_back(held ? std::uint8_t{1} : std::uint8_t{0});
+        break;
+      }
+    }
+  }
+  wsim.set_fence(plan_.fence);
+  wsim.run_until(plan_.run_to);
+#if SST_CHECK_ENABLED
+  if (check::due(sh.audit_tick, 16)) {
+    check::Violations v;
+    sh.mailbox.check_invariants(v);
+    check::report("ShardedEngine", v);
+  }
+#endif
+}
+
+void ShardedEngine::warm_reset() {
+  // The warm-up barrier parks every clock (root and shards) exactly at
+  // cfg_.warmup, so each monitor's reset_stats() pins the same reset time
+  // the single engine records.
+  warmed_ = true;
+  if (fluid_) {
+    fluid_->advance(cfg_.warmup);
+    fluid_->reset_stats();
+  }
+  for (auto& sh : shards_) sh->monitor.reset_stats();
+  warm_sender_ = sender_stats();
+  warm_nacks_sent_ = 0;
+  for (const auto& sh : shards_) {
+    for (const auto& rg : sh->rigs) {
+      warm_nacks_sent_ += rg.agent->stats().nacks_sent;
+    }
+  }
+  warm_delivered_ = 0;
+  warm_dropped_ = 0;
+  for (const auto& sh : shards_) {
+    warm_delivered_ += sh->data.stats().delivered;
+    warm_dropped_ += sh->data.stats().dropped;
+  }
+  warm_fb_bytes_ = 0.0;
+  for (const auto& sh : shards_) {
+    for (const auto& rg : sh->rigs) {
+      if (rg.fb_channel) warm_fb_bytes_ += rg.fb_channel->stats().bytes_sent;
+    }
+  }
+  warm_data_bytes_ = data_bytes_;
+}
+
+const SenderStats& ShardedEngine::sender_stats() const {
+  return ol_sender_ ? ol_sender_->stats() : tq_sender_->stats();
+}
+
+double ShardedEngine::global_integral(double now) {
+  // ConsistencyMonitor::consistency_integral() with the per-receiver
+  // reduction spanning shards: advance everyone to `now`, then sum the
+  // per-receiver integrals in GLOBAL receiver order with one CompensatedSum
+  // — the same terms in the same order as the single monitor (post-reset,
+  // each receiver's segment checkpoint is 0 and the closed-segment
+  // accumulator is empty, so the raw integrals are those terms).
+  for (auto& sh : shards_) sh->monitor.advance_all(now);
+  stats::CompensatedSum sum;
+  for (auto& sh : shards_) {
+    for (std::size_t r = 0; r < sh->rigs.size(); ++r) {
+      sum.add(sh->monitor.receiver_integral(r));
+    }
+  }
+  return sum.value() / static_cast<double>(cfg_.num_receivers);
+}
+
+double ShardedEngine::global_instantaneous() const {
+  // ConsistencyMonitor::instantaneous() over the global receiver order.
+  // Every shard mirrors the same live set; shard 0 always exists.
+  if (shards_[0]->monitor.live_count() == 0) return 1.0;
+  double sum = 0.0;
+  for (const auto& sh : shards_) {
+    for (std::size_t r = 0; r < sh->rigs.size(); ++r) {
+      sum += sh->monitor.receiver_consistency(r);
+    }
+  }
+  return sum / static_cast<double>(cfg_.num_receivers);
+}
+
+ExperimentResult ShardedEngine::run() {
+  const double end = cfg_.warmup + cfg_.duration;
+  const sim::Duration lookahead = sharded_lookahead(cfg_);
+
+  // Sample instants, accumulated exactly as the single engine's
+  // PeriodicTimer accumulates them: each fire time is the previous plus the
+  // interval, starting from the warm-up cutoff.
+  std::vector<double> samples;
+  if (cfg_.sample_interval > 0) {
+    for (double t = cfg_.warmup + cfg_.sample_interval; t <= end;
+         t += cfg_.sample_interval) {
+      samples.push_back(t);
+    }
+  }
+
+  std::vector<sim::SimTime> specials = samples;
+  if (cfg_.warmup > 0.0) specials.push_back(cfg_.warmup);
+  const auto schedule =
+      sim::make_epoch_schedule(end, cfg_.warmup, lookahead,
+                               std::move(specials));
+#if SST_CHECK_ENABLED
+  if (!schedule.empty()) {
+    check::Violations v;
+    sim::check_epoch_schedule(schedule, end, lookahead, v);
+    check::report("ShardedEngine", v);
+  }
+#endif
+
+  // Degenerate warm-up (warmup <= 0): reset baselines before any event runs,
+  // like run_warmup() at time zero.
+  if (!(cfg_.warmup > 0.0)) warm_reset();
+
+  // Audited shard-worker capture: worker_epoch(s) reads the engine's
+  // published epoch inputs (log_, plan_) and writes only shard s's own
+  // state; the crew's two barrier crossings per epoch order every such
+  // access against the coordinator (see ShardCrew's contract).
+  sim::ShardCrew crew(shards_.size(),
+                      [this](std::size_t s) { worker_epoch(s); });  // sstlint: allow(shard-capture)
+
+  std::size_t next_sample = 0;
+  for (const auto& b : schedule) {
+    // NACKs pushed during the previous epoch are at least one full epoch of
+    // lookahead away, so scheduling them before the root runs keeps every
+    // delivery in its correct epoch.
+    drain_nacks();
+    const double fence =
+        b.inclusive
+            ? std::nextafter(b.time, std::numeric_limits<double>::infinity())
+            : b.time;
+    rsim_.set_fence(fence);
+    rsim_.run_until(b.time);
+    plan_.fence = fence;
+    plan_.run_to = b.time;
+    plan_.log_end = log_.size();
+    crew.run_epoch();
+    // Every shard consumed the full log (the root never appends while the
+    // workers run), so the epoch's entries can be recycled.
+    log_.clear();
+    for (auto& sh : shards_) sh->log_cursor = 0;
+
+    if (!warmed_ && b.time == cfg_.warmup) warm_reset();
+    if (next_sample < samples.size() && b.time == samples[next_sample]) {
+      ++next_sample;
+      const double integral = global_integral(b.time);
+      result_.timeline.push_back(TimelinePoint{
+          b.time, (integral - last_integral_) / cfg_.sample_interval});
+      last_integral_ = integral;
+    }
+  }
+  if (!warmed_) warm_reset();  // empty schedule (end <= 0): still collect
+  return collect(end);
+}
+
+ExperimentResult ShardedEngine::collect(double end) {
+  if (end > cfg_.warmup) {
+    result_.avg_consistency = global_integral(end) / (end - cfg_.warmup);
+  } else {
+    result_.avg_consistency = global_instantaneous();
+  }
+  if (fluid_) {
+    fluid_->advance(end);
+    const auto n = static_cast<double>(cfg_.num_receivers);
+    const double cf = fluid_->average_consistency();
+    result_.fluid_cohort = fluid_m_;
+    result_.fluid_consistency = cf;
+    result_.fluid_live = fluid_->live();
+    result_.fluid_occupancy = fluid_->average_occupancy();
+    if (fluid_m_ > 0.0) {
+      result_.avg_consistency =
+          (n * result_.avg_consistency + fluid_m_ * cf) / (n + fluid_m_);
+    }
+  }
+
+  // Latency merge: receiver-major in global receiver order — the exact
+  // insertion order the single monitor rebuilds, which the mean's
+  // compensated accumulation depends on.
+  stats::Samples lat;
+  for (const auto& sh : shards_) {
+    for (std::size_t r = 0; r < sh->rigs.size(); ++r) {
+      for (const double x : sh->monitor.receiver_latency_samples(r)) {
+        lat.add(x);
+      }
+    }
+  }
+  result_.mean_latency = lat.mean();  // before quantile(): mean is
+  result_.p50_latency = lat.quantile(0.50);  // insertion-order sensitive
+  result_.p95_latency = lat.quantile(0.95);
+
+  const SenderStats s = sender_stats();
+  result_.data_tx = s.data_tx - warm_sender_.data_tx;
+  result_.hot_tx = s.hot_tx - warm_sender_.hot_tx;
+  result_.cold_tx = s.cold_tx - warm_sender_.cold_tx;
+  result_.repair_tx = s.repair_tx - warm_sender_.repair_tx;
+  result_.nacks_received = s.nacks_received - warm_sender_.nacks_received;
+
+  // Redundancy: probe i was redundant iff every shard's local AND held.
+  // Warm-up probes are excluded by time, mirroring the counter reset.
+#if SST_CHECK_ENABLED
+  {
+    check::Violations v;
+    for (std::size_t si = 0; si < shards_.size(); ++si) {
+      if (shards_[si]->probe_holds.size() != probe_times_.size()) {
+        v.push_back("shard " + std::to_string(si) + " judged " +
+                    std::to_string(shards_[si]->probe_holds.size()) +
+                    " probes, root logged " +
+                    std::to_string(probe_times_.size()));
+      }
+    }
+    check::report("ShardedEngine", v);
+  }
+#endif
+  std::uint64_t redundant = 0;
+  for (std::size_t i = 0; i < probe_times_.size(); ++i) {
+    if (!(probe_times_[i] > cfg_.warmup)) continue;
+    bool all = true;
+    for (const auto& sh : shards_) {
+      if (sh->probe_holds[i] == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++redundant;
+  }
+  result_.redundant_tx = redundant;
+  result_.redundant_fraction =
+      result_.data_tx > 0
+          ? static_cast<double>(result_.redundant_tx) /
+                static_cast<double>(result_.data_tx)
+          : 0.0;
+
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_suppressed = 0;
+  for (const auto& sh : shards_) {
+    for (const auto& rg : sh->rigs) {
+      nacks_sent += rg.agent->stats().nacks_sent;
+      nacks_suppressed += rg.agent->stats().suppressed;
+    }
+  }
+  result_.nacks_sent = nacks_sent - warm_nacks_sent_;
+  result_.nacks_suppressed = nacks_suppressed;
+
+  std::uint64_t delivered_total = 0;
+  std::uint64_t dropped_total = 0;
+  for (const auto& sh : shards_) {
+    delivered_total += sh->data.stats().delivered;
+    dropped_total += sh->data.stats().dropped;
+  }
+  const std::uint64_t delivered = delivered_total - warm_delivered_;
+  const std::uint64_t dropped =
+      dropped_total - warm_dropped_ + shared_drops_ * cfg_.num_receivers;
+  result_.observed_loss =
+      (delivered + dropped) > 0
+          ? static_cast<double>(dropped) /
+                static_cast<double>(delivered + dropped)
+          : 0.0;
+
+  double fb_bytes = 0.0;
+  for (const auto& sh : shards_) {
+    for (const auto& rg : sh->rigs) {
+      if (rg.fb_channel) fb_bytes += rg.fb_channel->stats().bytes_sent;
+    }
+  }
+  result_.offered_fb_kbps =
+      (fb_bytes - warm_fb_bytes_) * 8.0 / cfg_.duration / 1000.0;
+  result_.offered_data_kbps =
+      (data_bytes_ - warm_data_bytes_) * 8.0 / cfg_.duration / 1000.0;
+
+  result_.inserts = workload_->inserts();
+  result_.updates = workload_->updates();
+  // Every shard replays every publisher change, so introductions are
+  // counted identically everywhere; receipts are per-receiver, so they sum.
+  result_.versions_introduced = shards_[0]->monitor.versions_introduced();
+  std::uint64_t versions_received = 0;
+  for (const auto& sh : shards_) {
+    versions_received += sh->monitor.versions_received();
+  }
+  result_.versions_received = versions_received;
+
+  result_.final_live = pub_.live_count();
+  if (tq_sender_) {
+    result_.final_hot_depth = tq_sender_->hot_depth();
+    result_.final_cold_depth = tq_sender_->cold_depth();
+  } else if (ol_sender_) {
+    result_.final_hot_depth = ol_sender_->queue_depth();
+  }
+  return result_;
+}
+
+}  // namespace
+
+bool sharded_supported(const ExperimentConfig& cfg, std::string& why) {
+  if (cfg.backend == Backend::kFluid) {
+    why = "the pure-fluid backend has no event engine to shard";
+    return false;
+  }
+  if (cfg.num_receivers == 0) {
+    why = "no receivers to partition";
+    return false;
+  }
+  if (cfg.variant == Variant::kFeedback) {
+    if (cfg.multicast_feedback) {
+      why = "multicast feedback couples every receiver to every NACK "
+            "(no conservative lookahead)";
+      return false;
+    }
+    if (!(cfg.delay > 0.0)) {
+      why = "feedback with zero propagation delay leaves no conservative "
+            "lookahead";
+      return false;
+    }
+  }
+  why.clear();
+  return true;
+}
+
+sim::Duration sharded_lookahead(const ExperimentConfig& cfg) {
+  return cfg.variant == Variant::kFeedback
+             ? cfg.delay
+             : std::numeric_limits<sim::Duration>::infinity();
+}
+
+ExperimentResult run_sharded(const ExperimentConfig& cfg) {
+  ShardedEngine engine(cfg);
+  return engine.run();
+}
+
+}  // namespace sst::core

@@ -1,0 +1,56 @@
+// sharded.hpp — the sharded conservative-lookahead event engine.
+//
+// run_sharded() executes ONE replication of an ExperimentConfig across
+// cfg.shards worker threads plus a root executor, and returns a result that
+// is bit-identical to run_experiment() on the single-queue engine for every
+// supported configuration (the determinism ctest gates enforce this).
+//
+// Decomposition. The receivers are split into contiguous index blocks
+// (sim::shard_bounds); each shard owns its receivers' tables, agents,
+// forward-channel endpoints, feedback pipelines, and a per-shard
+// ConsistencyMonitor, all driven by the shard's own Simulator. The root
+// executor owns everything single-instance: publisher table, workload,
+// sender, shared-loss stage, hostile forward stage. Time advances in
+// lock-step epochs bounded by the conservative lookahead W (the minimum
+// cross-shard channel latency): per epoch the root runs first, appending its
+// externally-visible actions (publisher changes, channel transmissions,
+// redundancy probes) to an epoch log, then every shard replays the log
+// interleaved with its local events. Worker→root feedback (NACKs) crosses
+// through per-shard mailboxes drained at the next barrier — safe because any
+// NACK sent during epoch j arrives no earlier than the end of epoch j+1.
+// See DESIGN.md, "Sharded engine" for the full protocol and the
+// bit-identity argument.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "sim/units.hpp"
+
+namespace sst::core {
+
+/// True when `cfg` falls inside the sharded engine's envelope. On false,
+/// `why` explains the fallback (human-readable, used by CLI warnings):
+/// the pure-fluid backend has no event engine, an empty receiver set has
+/// nothing to partition, and feedback needs a positive propagation delay
+/// (the lookahead) over unicast NACK paths (multicast feedback couples all
+/// receivers to every NACK with no lower latency bound).
+bool sharded_supported(const ExperimentConfig& cfg, std::string& why);
+
+/// The conservative lookahead W for `cfg`: the minimum latency of any
+/// worker→root channel. Feedback runs use the one-way propagation delay
+/// (every NACK spends at least `delay` on its channel; the rate-limited
+/// uplink, hostile stages, and jitter only add). Without feedback there is
+/// no worker→root edge at all, so W is infinite and epochs stretch between
+/// "special" instants (warm-up cutoff, sample points, end of run).
+[[nodiscard]] sim::Duration sharded_lookahead(const ExperimentConfig& cfg);
+
+/// Runs one replication of `cfg` on the sharded engine, using
+/// min(cfg.shards, cfg.num_receivers) worker threads. Precondition:
+/// sharded_supported(cfg). Bit-identical to the single-queue engine for any
+/// shard count, up to ties at exactly equal event times (measure-zero for
+/// the continuous-time workloads; the tie policy is documented in
+/// DESIGN.md).
+ExperimentResult run_sharded(const ExperimentConfig& cfg);
+
+}  // namespace sst::core

@@ -1,5 +1,6 @@
 #include "core/two_queue.hpp"
 
+#include <algorithm>
 #include <array>
 
 namespace sst::core {
@@ -85,6 +86,33 @@ void TwoQueueSender::handle_nack(const NackMsg& nack) {
   if (!config_.feedback) return;
   if (paused_) return;  // a crashed sender hears nothing
   ++stats_.nacks_received;
+  // Stash only; the first stash of the instant schedules the flush, which
+  // the kernel runs after every event already queued for this timestamp
+  // (see the header contract on canonical same-instant ordering).
+  pending_nacks_.push_back(nack);
+  if (pending_nacks_.size() == 1) {
+    sim_->at(sim_->now(), [this] { flush_nacks(); });
+  }
+}
+
+void TwoQueueSender::flush_nacks() {
+  // Canonical content order. Ties in content are interchangeable — the
+  // sender's reaction depends only on the seqs named — so stable_sort's
+  // stash-order residue cannot leak into state.
+  std::stable_sort(pending_nacks_.begin(), pending_nacks_.end(),
+                   [](const NackMsg& a, const NackMsg& b) {
+                     if (a.missing_seqs != b.missing_seqs) {
+                       return a.missing_seqs < b.missing_seqs;
+                     }
+                     if (a.size != b.size) return a.size < b.size;
+                     return a.origin < b.origin;
+                   });
+  for (const NackMsg& nack : pending_nacks_) apply_nack(nack);
+  pending_nacks_.clear();
+  maybe_start_service();
+}
+
+void TwoQueueSender::apply_nack(const NackMsg& nack) {
   for (const std::uint64_t seq : nack.missing_seqs) {
     const auto log_it = seq_log_.find(seq);
     if (log_it == seq_log_.end()) {
@@ -122,7 +150,6 @@ void TwoQueueSender::handle_nack(const NackMsg& nack) {
     ++pending_repairs_;
     hot_.push_back(key);
   }
-  maybe_start_service();
 }
 
 double TwoQueueSender::head_bits(std::deque<Key>& queue,

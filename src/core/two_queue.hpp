@@ -57,6 +57,17 @@ class TwoQueueSender {
   TwoQueueSender& operator=(const TwoQueueSender&) = delete;
 
   /// Delivers a receiver NACK (ignored unless config.feedback).
+  ///
+  /// Same-instant NACKs are applied in canonical content order, not arrival
+  /// order: handle_nack() only stashes the message, and a same-timestamp
+  /// flush event applies the whole batch sorted by (missing_seqs, size,
+  /// origin) after every other event at that instant has run. Exact arrival
+  /// ties are endemic under constant delays — receivers that detect the same
+  /// gap share announce arrival times, so their retry scanners stay
+  /// phase-locked — and the sender's reaction (which key reaches the hot
+  /// queue first) must not depend on how the event queue happened to
+  /// interleave them, or the sharded engine's cross-shard NACK merge could
+  /// not reproduce the single-queue run.
   void handle_nack(const NackMsg& nack);
 
   /// Re-splits the data bandwidth between hot and cold (SSTP's adaptive
@@ -100,6 +111,8 @@ class TwoQueueSender {
   void drop_key_state(Key key);  // erase bookkeeping incl. repair counter
 
   void on_table_change(const Record& rec, ChangeKind kind);
+  void apply_nack(const NackMsg& nack);  // queue flips for one stashed NACK
+  void flush_nacks();                    // end-of-instant canonical apply
   void to_hot(Key key);
   void maybe_start_service();
   void complete_service(Key key, bool from_hot);
@@ -132,6 +145,9 @@ class TwoQueueSender {
   };
   std::unordered_map<std::uint64_t, LogEntry> seq_log_;
   std::deque<std::uint64_t> seq_order_;  // eviction order
+
+  // NACKs stashed this instant; flushed by a same-timestamp event.
+  std::vector<NackMsg> pending_nacks_;
 
   SenderStats stats_;
 };

@@ -70,6 +70,29 @@ class Channel {
     return receivers_.size() - 1;
   }
 
+  /// Delivery callback for a receiver that lives on ANOTHER shard's event
+  /// queue: invoked at SEND time with the already-drawn arrival time. The
+  /// sharded engine needs the arrival time eagerly — the receiving side's
+  /// epoch has not run yet when the send happens — so a remote endpoint
+  /// replaces the local schedule-after-delay step with this callback.
+  using RemoteHandler = std::function<void(const M&, sim::SimTime arrival)>;
+
+  /// Adds a cross-shard receiver endpoint. Loss and delay are drawn exactly
+  /// as for a local endpoint (same models, same stream order, same
+  /// statistics), but instead of scheduling delivery on this simulator,
+  /// `remote` is called immediately with the message and its arrival time
+  /// now + delay. Used by the sharded engine's worker→root feedback path.
+  std::size_t add_remote_receiver(std::unique_ptr<LossModel> loss,
+                                  std::unique_ptr<DelayModel> delay,
+                                  RemoteHandler remote) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->loss = std::move(loss);
+    ep->delay = std::move(delay);
+    ep->remote = std::move(remote);
+    receivers_.push_back(std::move(ep));
+    return receivers_.size() - 1;
+  }
+
   /// Transmits `msg` of wire size `size` bytes toward every enabled
   /// receiver. Each receiver independently loses or receives the message
   /// after its delay. All in-flight deliveries share ONE immutable copy of
@@ -91,6 +114,13 @@ class Channel {
       ++ep->stats.delivered;
       ++stats_.delivered;
       const sim::Duration d = ep->delay->delay(sim_->now());
+      if (ep->remote) {
+        // Cross-shard endpoint: hand over (message, arrival time) now; the
+        // receiving shard schedules the delivery on its own queue.
+        ep->remote(msg, sim_->now() + d);
+        if (tracer_.enabled()) tracer_.emit(sim_->now(), "tx");
+        continue;
+      }
       if (!payload) payload = acquire_payload(msg);
       // The endpoint owns its handler; the channel must outlive in-flight
       // messages (channels live for the whole experiment by construction).
@@ -174,6 +204,7 @@ class Channel {
     std::unique_ptr<LossModel> loss;
     std::unique_ptr<DelayModel> delay;
     Handler handler;
+    RemoteHandler remote;  // set instead of handler for cross-shard endpoints
     ChannelStats stats;
     bool enabled = true;
   };

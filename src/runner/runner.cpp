@@ -52,10 +52,14 @@ Aggregate run_replications(const ReplicationFn& fn, const Options& opt) {
   std::vector<MetricRow> rows(n);
   if (n == 0) return Aggregate(0, {});
 
-  std::size_t jobs = opt.jobs != 0
-                         ? opt.jobs
-                         : static_cast<std::size_t>(
-                               std::thread::hardware_concurrency());
+  std::size_t jobs = opt.jobs;
+  if (jobs == 0) {
+    const auto hw =
+        static_cast<std::size_t>(std::thread::hardware_concurrency());
+    const std::size_t per =
+        opt.threads_per_replication > 0 ? opt.threads_per_replication : 1;
+    jobs = hw / per;  // leave room for each replication's own shard crew
+  }
   if (jobs == 0) jobs = 1;
   if (jobs > n) jobs = n;
 

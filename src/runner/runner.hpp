@@ -42,6 +42,12 @@ namespace sst::runner {
 struct Options {
   std::size_t replications = 32;
   std::size_t jobs = 0;  // worker threads; 0 = hardware concurrency
+  /// Threads each replication uses internally (the sharded engine's shard
+  /// count, ExperimentConfig::shards). Consulted only when jobs == 0: the
+  /// automatic jobs count becomes hardware / threads_per_replication
+  /// (floored, min 1) so shards x jobs does not oversubscribe the host.
+  /// Like jobs, a pure execution detail — never changes results.
+  std::size_t threads_per_replication = 1;
   std::uint64_t master_seed = 1;
 };
 

@@ -74,6 +74,11 @@ bool EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::drop_cancelled_top() const {
+  // Tombstone-free queues (no cancels since the last purge) skip the
+  // per-call liveness probe: entry_live is a dependent load into the slot
+  // store, paid on EVERY pop/next_time otherwise. heap_.size() == live_
+  // detects the common case for free.
+  if (heap_.size() == live_) return;
   while (!heap_.empty() && !entry_live(heap_.front())) {
     heap_.front() = heap_.back();
     heap_.pop_back();
@@ -98,17 +103,18 @@ void EventQueue::maybe_compact() const {
 
 std::optional<SimTime> EventQueue::next_time() const {
   drop_cancelled_top();
-  if (heap_.empty()) return std::nullopt;
+  if (heap_.empty() || heap_.front().time >= fence_) return std::nullopt;
   return heap_.front().time;
 }
 
 std::optional<EventQueue::Fired> EventQueue::pop() {
   drop_cancelled_top();
-  if (heap_.empty()) return std::nullopt;
+  if (heap_.empty() || heap_.front().time >= fence_) return std::nullopt;
   const Entry top = heap_.front();
   heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
+  if (top.time > max_popped_) max_popped_ = top.time;
 
   Fired fired{top.time, make_id(top.slot, top.gen),
               std::move(slots_[top.slot].fn)};
@@ -202,6 +208,15 @@ void EventQueue::check_invariants(check::Violations& out) const {
   if (std::adjacent_find(seqs.begin(), seqs.end()) != seqs.end()) {
     out.push_back("duplicate insertion seq breaks the FIFO tiebreak");
   }
+
+  // Fence soundness: fences are monotone non-decreasing in the barrier
+  // protocol, so a popped timestamp at or beyond the current fence means an
+  // event executed past its conservative-lookahead horizon.
+  if (max_popped_ >= fence_) {
+    out.push_back("popped event at t=" + std::to_string(max_popped_) +
+                  " at or beyond fence t=" + std::to_string(fence_) +
+                  " (lookahead horizon violated)");
+  }
 }
 
 // Both sifts move a "hole" instead of swapping: the displaced entry is held
@@ -246,5 +261,12 @@ void EventQueue::sift_down(std::size_t i) const {
   }
   heap_[i] = e;
 }
+
+// A bottom-up (Wegener) hole refill — descend pulling the min child up
+// unconditionally, then sift the displaced tail up from the leaf — was
+// measured against this top-down sift on the queue_fifo / queue_random
+// scenarios and LOST on both (see EXPERIMENTS.md, "FIFO fast path under
+// fencing"): the saved compare-per-level never beats the extra leaf-to-root
+// walk with this entry layout. Keeping the simpler form.
 
 }  // namespace sst::sim

@@ -8,13 +8,21 @@
 // generation advances) and skipped on pop; when tombstones outnumber live
 // events the heap is compacted in one O(n) pass.
 //
+// Epoch fencing (sharded engine): set_fence(t) hides every entry with
+// time >= t from pop()/next_time(), so a shard's event loop structurally
+// cannot execute past its conservative-lookahead horizon — the fence IS the
+// barrier-protocol guarantee, not a convention callers must remember. The
+// fence only filters; entries beyond it stay queued and reappear when the
+// coordinator raises the fence for the next epoch.
+//
 // None of this changes observable behaviour: pops come out in strict
-// (time, seq) order whatever the heap arity or compaction schedule, so the
-// engine stays bit-deterministic.
+// (time, seq) order whatever the heap arity, fence schedule, or compaction
+// schedule, so the engine stays bit-deterministic.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -47,8 +55,24 @@ class EventQueue {
   /// Number of live events pending.
   [[nodiscard]] std::size_t size() const { return live_; }
 
-  /// Timestamp of the earliest live event, if any.
+  /// Timestamp of the earliest live event strictly before the fence, if any.
   [[nodiscard]] std::optional<SimTime> next_time() const;
+
+  /// Sets the epoch fence: pop() and next_time() ignore entries with
+  /// time >= `fence` (they stay queued). The default fence is +infinity
+  /// (no fencing). Fences are expected to be monotone non-decreasing over a
+  /// run — check_invariants() reports a fence below an already-popped
+  /// timestamp, which is exactly "an event executed beyond its lookahead
+  /// horizon" in the shard barrier protocol.
+  void set_fence(SimTime fence) { fence_ = fence; }
+
+  /// Current epoch fence (+infinity when unfenced).
+  [[nodiscard]] SimTime fence() const { return fence_; }
+
+  /// Timestamp of the latest event popped so far (-infinity before the
+  /// first pop). Monotone non-decreasing by heap order; the shard runner's
+  /// horizon validator compares it against the fence.
+  [[nodiscard]] SimTime max_popped() const { return max_popped_; }
 
   /// Removes and returns the earliest live event. Returns nullopt if empty.
   struct Fired {
@@ -64,8 +88,9 @@ class EventQueue {
   /// Appends every violated structural invariant to `out` (sst::check):
   /// 4-ary heap order under (time, seq), tombstone/live accounting against
   /// the slot generations, slot-store partition (every slot either free or
-  /// holding exactly one live entry), and FIFO-tiebreak soundness (seqs
-  /// unique and below next_seq_). O(n log n); called from tests, the
+  /// holding exactly one live entry), FIFO-tiebreak soundness (seqs
+  /// unique and below next_seq_), and fence soundness (no popped timestamp
+  /// at or beyond the current fence). O(n log n); called from tests, the
   /// invariant_audit sweep, and the SST_CHECK hooks.
   void check_invariants(check::Violations& out) const;
 
@@ -122,6 +147,8 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::uint64_t audit_tick_ = 0;  // SST_CHECK cadence counter
+  SimTime fence_ = std::numeric_limits<SimTime>::infinity();
+  SimTime max_popped_ = -std::numeric_limits<SimTime>::infinity();
 };
 
 }  // namespace sst::sim

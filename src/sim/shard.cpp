@@ -1,0 +1,109 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sst::sim {
+
+std::vector<EpochBoundary> make_epoch_schedule(SimTime end, SimTime warmup,
+                                               Duration lookahead,
+                                               std::vector<SimTime> specials) {
+  const bool bounded =
+      lookahead > 0.0 && lookahead < std::numeric_limits<Duration>::infinity();
+  specials.push_back(end);
+  std::sort(specials.begin(), specials.end());
+  specials.erase(std::unique(specials.begin(), specials.end()),
+                 specials.end());
+
+  std::vector<EpochBoundary> schedule;
+  SimTime last = 0.0;
+  std::size_t si = 0;
+  while (last < end) {
+    while (si < specials.size() && specials[si] <= last) ++si;
+    // si < specials.size() always holds here: `end` is a special and
+    // last < end.
+    SimTime next = specials[si];
+    if (bounded && last + lookahead < next) next = last + lookahead;
+    schedule.push_back(EpochBoundary{next, next == warmup || next == end});
+    last = next;
+  }
+  return schedule;
+}
+
+void check_epoch_schedule(const std::vector<EpochBoundary>& schedule,
+                          SimTime end, Duration lookahead,
+                          check::Violations& out) {
+  const bool bounded =
+      lookahead > 0.0 && lookahead < std::numeric_limits<Duration>::infinity();
+  SimTime prev = 0.0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const SimTime t = schedule[i].time;
+    if (!(t > prev)) {
+      out.push_back("barrier " + std::to_string(i) + " at t=" +
+                    std::to_string(t) + " not after its predecessor t=" +
+                    std::to_string(prev) + " (barrier monotonicity)");
+    }
+    // One ulp of slack: boundaries are built by repeated addition.
+    if (bounded && t - prev > lookahead * (1.0 + 1e-12)) {
+      out.push_back("epoch " + std::to_string(i) + " spans " +
+                    std::to_string(t - prev) + " > lookahead " +
+                    std::to_string(lookahead));
+    }
+    prev = t;
+  }
+  if (schedule.empty() || schedule.back().time != end) {
+    out.push_back("schedule does not end at t=" + std::to_string(end));
+  }
+}
+
+ShardCrew::ShardCrew(std::size_t shards, EpochFn fn)
+    : fn_(std::move(fn)),
+      gate_(static_cast<std::ptrdiff_t>(shards) + 1),
+      errors_(shards) {
+  threads_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Audited shard-worker capture: worker_loop touches only gate_, stop_,
+    // fn_, and its own errors_ slot, each ordered by the barrier itself.
+    threads_.emplace_back([this, s] { worker_loop(s); });  // sstlint: allow(shard-capture)
+  }
+}
+
+ShardCrew::~ShardCrew() { stop(); }
+
+void ShardCrew::worker_loop(std::size_t shard) {
+  while (true) {
+    gate_.arrive_and_wait();  // epoch start (or shutdown)
+    if (stop_) return;
+    try {
+      fn_(shard);
+    } catch (...) {
+      errors_[shard] = std::current_exception();
+    }
+    gate_.arrive_and_wait();  // epoch done
+  }
+}
+
+void ShardCrew::run_epoch() {
+  if (stopped_) {
+    throw std::logic_error("ShardCrew::run_epoch after the crew stopped");
+  }
+  gate_.arrive_and_wait();  // release workers into the epoch
+  gate_.arrive_and_wait();  // wait for all of them
+  for (std::size_t s = 0; s < errors_.size(); ++s) {
+    if (errors_[s]) {
+      const std::exception_ptr err = errors_[s];
+      stop();  // orderly shutdown so no thread is left parked on the barrier
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ShardCrew::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_ = true;             // published by the barrier's release
+  gate_.arrive_and_wait();  // matches the workers' epoch-start arrive
+  for (auto& t : threads_) t.join();
+}
+
+}  // namespace sst::sim

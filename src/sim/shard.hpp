@@ -1,0 +1,192 @@
+// shard.hpp — building blocks for the sharded conservative-lookahead engine.
+//
+// The sharded engine splits ONE replication across K shard workers plus a
+// root executor (the coordinator's thread). Time advances in lock-step
+// epochs no longer than the minimum cross-shard channel latency W (the
+// conservative lookahead, Chandy–Misra style): within an epoch no shard can
+// observe an input it has not already been handed, so every shard's event
+// loop runs free of cross-thread synchronization. The pieces here are
+// engine-agnostic:
+//
+//   * shard_of / shard_bounds — the contiguous-block receiver partition,
+//     chosen so that iterating shards in order visits receivers in global
+//     index order (what makes cross-shard metric reductions bit-identical
+//     to the single-queue engine's).
+//   * SpscMailbox<T> — the worker→root message lane. Single producer
+//     (the shard worker, during its epoch phase), single consumer (the
+//     coordinator, strictly between phase barriers). The phase barrier IS
+//     the synchronization: producer and consumer are never active at once,
+//     so the mailbox needs no atomics — what it checks instead is protocol
+//     discipline (push seqs strictly FIFO, drains only ever observe a
+//     fully-published suffix).
+//   * make_epoch_schedule — the barrier timetable: W-spaced steps snapped
+//     to the "special" instants (warm-up cutoff, sample points, end time)
+//     that the coordinator must hit exactly.
+//   * ShardCrew — K long-lived worker threads advanced one epoch at a time
+//     through a std::barrier (futex-parked, so oversubscribed hosts don't
+//     spin), with worker exceptions carried back to the coordinator.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/check.hpp"
+#include "sim/units.hpp"
+
+namespace sst::sim {
+
+/// Shard owning receiver `r` out of `total`, split into `shards` contiguous
+/// blocks of near-equal size. Monotone in `r`: the concatenation of shard
+/// 0's receivers, then shard 1's, … is exactly 0..total-1, so per-shard
+/// state laid out in local order reduces in global order by visiting shards
+/// in index order.
+[[nodiscard]] constexpr std::size_t shard_of(std::size_t r, std::size_t total,
+                                             std::size_t shards) {
+  return r * shards / total;
+}
+
+/// Global receiver range [first, last) owned by `shard`.
+[[nodiscard]] constexpr std::pair<std::size_t, std::size_t> shard_bounds(
+    std::size_t shard, std::size_t total, std::size_t shards) {
+  // Inverse of shard_of's floor division: smallest r with r*K >= s*R.
+  const auto lo = (shard * total + shards - 1) / shards;
+  const auto hi = ((shard + 1) * total + shards - 1) / shards;
+  return {lo, hi};
+}
+
+/// Single-producer single-consumer mailbox for timestamped cross-shard
+/// messages. The producer (shard worker) pushes during its epoch phase; the
+/// consumer (coordinator) drains strictly between phase barriers, so the
+/// barrier's happens-before edge covers every push. Push order is the
+/// producer's send order; entries carry a per-mailbox FIFO seq so the
+/// coordinator's cross-shard merge can tie-break deterministically on
+/// (due, shard, seq).
+template <class T>
+class SpscMailbox {
+ public:
+  struct Stamped {
+    SimTime due = 0.0;     // delivery time at the consumer
+    std::uint64_t seq = 0;  // producer-side FIFO sequence
+    T payload;
+  };
+
+  /// Producer side: queues `payload` for consumer delivery at `due`.
+  void push(SimTime due, T payload) {
+    items_.push_back(Stamped{due, next_seq_++, std::move(payload)});
+  }
+
+  /// Consumer side: appends every pending entry to `out` in push order and
+  /// empties the mailbox.
+  void drain(std::vector<Stamped>& out) {
+    drained_ += items_.size();
+    for (auto& it : items_) out.push_back(std::move(it));
+    items_.clear();
+  }
+
+  [[nodiscard]] std::size_t pending() const { return items_.size(); }
+  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+
+  /// Appends every violated invariant to `out` (sst::check): conservation
+  /// (every seq ever issued is either drained or still pending) and FIFO
+  /// order (pending seqs strictly increasing, all above the drained prefix).
+  void check_invariants(check::Violations& out) const {
+    if (drained_ + items_.size() != next_seq_) {
+      out.push_back("mailbox conservation broken: " +
+                    std::to_string(drained_) + " drained + " +
+                    std::to_string(items_.size()) + " pending != " +
+                    std::to_string(next_seq_) + " pushed");
+    }
+    std::uint64_t prev = drained_;  // pending seqs follow the drained prefix
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      const std::uint64_t expect = prev + i;
+      if (items_[i].seq != expect) {
+        out.push_back("mailbox FIFO broken at slot " + std::to_string(i) +
+                      ": seq " + std::to_string(items_[i].seq) +
+                      " != expected " + std::to_string(expect));
+        break;
+      }
+    }
+  }
+
+ private:
+  std::vector<Stamped> items_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t drained_ = 0;
+};
+
+/// One barrier instant in the epoch timetable.
+struct EpochBoundary {
+  SimTime time = 0.0;
+  /// Events at exactly `time` belong to the epoch ENDING here (the fence is
+  /// nudged one ulp past `time`). True only for boundaries that must mirror
+  /// the single-queue engine's inclusive run_until semantics: the warm-up
+  /// cutoff and the end of the run.
+  bool inclusive = false;
+};
+
+/// Builds the barrier timetable for a run over [0, end]: steps of at most
+/// `lookahead` (infinity or <=0 means unbounded — no cross-shard feedback),
+/// snapped exactly onto `specials` (each must satisfy 0 < t <= end; pass the
+/// warm-up cutoff and every sample instant; `end` itself is appended). The
+/// warm-up time `warmup` and `end` get inclusive boundaries. The result is
+/// strictly increasing and ends at `end`.
+[[nodiscard]] std::vector<EpochBoundary> make_epoch_schedule(
+    SimTime end, SimTime warmup, Duration lookahead,
+    std::vector<SimTime> specials);
+
+/// Appends every violated timetable invariant to `out`: boundaries strictly
+/// increasing, gaps no wider than the lookahead, last boundary at `end`.
+void check_epoch_schedule(const std::vector<EpochBoundary>& schedule,
+                          SimTime end, Duration lookahead,
+                          check::Violations& out);
+
+/// K long-lived shard worker threads advanced in lock-step epochs.
+///
+/// Per epoch the coordinator publishes whatever per-epoch inputs the workers
+/// read (the epoch log, fences), then calls run_epoch(): every worker runs
+/// `fn(shard)` once, and run_epoch returns after all of them finish. The two
+/// barrier crossings per epoch give the full happens-before sandwich —
+/// coordinator writes → workers read, workers write → coordinator reads —
+/// so no other synchronization is needed anywhere in the engine.
+///
+/// A worker exception is caught, carried across the barrier, and rethrown
+/// from run_epoch() on the coordinator thread (lowest shard id wins); the
+/// crew is permanently stopped first so threads never deadlock on a barrier
+/// the coordinator has abandoned.
+class ShardCrew {
+ public:
+  using EpochFn = std::function<void(std::size_t shard)>;
+
+  ShardCrew(std::size_t shards, EpochFn fn);
+  ~ShardCrew();
+
+  ShardCrew(const ShardCrew&) = delete;
+  ShardCrew& operator=(const ShardCrew&) = delete;
+
+  /// Runs one epoch on every worker; returns when all are done. Rethrows
+  /// the first worker exception (by shard id) after stopping the crew.
+  void run_epoch();
+
+  [[nodiscard]] std::size_t shards() const { return threads_.size(); }
+
+ private:
+  void worker_loop(std::size_t shard);
+  void stop();
+
+  EpochFn fn_;
+  std::barrier<> gate_;
+  std::vector<std::exception_ptr> errors_;
+  bool stop_ = false;     // written by coordinator before the start barrier
+  bool stopped_ = false;  // coordinator-side: crew already shut down
+  std::vector<std::thread> threads_;  // last member: starts after the rest
+};
+
+}  // namespace sst::sim

@@ -4,7 +4,9 @@
 // shared clock, the kernel fires them in timestamp order, and time advances
 // instantaneously between events. Everything in this reproduction — channels,
 // protocol timers, workload arrival processes, measurement sampling — runs on
-// one Simulator instance.
+// one Simulator instance. The sharded engine (sim/shard.hpp) runs one
+// Simulator per shard, each still strictly single-threaded; set_fence() and
+// advance_to() are the two hooks its barrier protocol needs.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +61,21 @@ class Simulator {
 
   /// Fires at most one event. Returns false if the queue was empty.
   bool step();
+
+  /// Sets the event-queue epoch fence (exclusive): run_until()/step() will
+  /// not fire events at or after `fence` until it is raised. Used by the
+  /// sharded engine to bound each shard at its conservative-lookahead
+  /// horizon; +infinity (the default) disables fencing.
+  void set_fence(SimTime fence) { queue_.set_fence(fence); }
+
+  /// Advances the clock to `t` without firing events (no-op if `t` is in the
+  /// past). The sharded engine uses this to apply a cross-shard event log:
+  /// each logged event is replayed at its original timestamp, so callbacks it
+  /// schedules land at the same absolute times they would have in the
+  /// unsharded run.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
 
   /// Number of live pending events.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/messages.hpp"
@@ -207,6 +208,7 @@ TEST(TwoQueueSender, NackForSupersededVersionIgnored) {
   NackMsg nack;
   nack.missing_seqs = {f.sent[0].seq};  // asked for version 1's tx
   f.sender->handle_nack(nack);
+  f.sim.run_until(1.5);  // same-instant flush applies the stashed NACK
   EXPECT_EQ(f.sender->stats().nacks_ignored, 1u);
 }
 
@@ -242,9 +244,40 @@ TEST(TwoQueueSender, DuplicateNackSuppressedWhileHot) {
   f.sender->handle_nack(nack);
   f.sender->handle_nack(nack);  // second receiver NACKs the same loss
   EXPECT_EQ(f.sender->stats().nacks_received, 2u);
+  f.sim.run_until(1.5);  // same-instant flush applies the stashed batch
   EXPECT_EQ(f.sender->stats().nacks_ignored, 1u);
   f.sim.run_until(3.5);
   EXPECT_EQ(f.sender->stats().repair_tx, 1u);
+}
+
+TEST(TwoQueueSender, SameInstantNacksReactIdenticallyForAnyArrivalOrder) {
+  // Exact NACK arrival ties are endemic under constant delays — receivers
+  // that detect the same gap share announce arrival times, so their retry
+  // scanners stay phase-locked — and the sender's reaction (which key
+  // reaches the hot queue first) must not depend on how the event queue
+  // interleaved the arrivals, or the sharded engine's cross-shard merge
+  // could not reproduce the single-queue run (DESIGN.md, bit-identity
+  // property 5).
+  auto run = [](bool reversed) {
+    TwoQueueFixture f;
+    f.pub.insert({}, 1000);
+    f.pub.insert({}, 1000);
+    f.sim.run_until(2.5);  // both announced hot (seqs 0 and 1), now cycling
+    NackMsg a;
+    a.missing_seqs = {0};
+    NackMsg b;
+    b.missing_seqs = {1};
+    f.sim.at(2.6, [&f, &a, &b, reversed] {
+      f.sender->handle_nack(reversed ? b : a);
+      f.sender->handle_nack(reversed ? a : b);
+    });
+    f.sim.run_until(6.5);
+    std::vector<std::pair<Key, bool>> log;
+    log.reserve(f.sent.size());
+    for (const DataMsg& m : f.sent) log.emplace_back(m.key, m.is_repair);
+    return log;
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(TwoQueueSender, SetHotShareReweights) {

@@ -1,0 +1,323 @@
+// Tests for the sharded conservative-lookahead engine: the partition and
+// mailbox building blocks, the epoch timetable's lookahead property (no
+// epoch spans more than W, so no shard can execute past barrier + W before
+// the next barrier commit), the supported-configuration envelope, and the
+// headline guarantee — bit-identical results for any shard count, alone and
+// composed with the replication driver's jobs fan-out, including over
+// hostile channel pipelines.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/experiment.hpp"
+#include "core/sharded.hpp"
+#include "runner/adapters.hpp"
+#include "runner/runner.hpp"
+#include "sim/shard.hpp"
+
+namespace sst {
+namespace {
+
+// ---------------------------------------------------------------- partition
+
+TEST(ShardPartition, BoundsConcatenateToGlobalOrder) {
+  for (std::size_t total : {1u, 2u, 7u, 8u, 100u, 1001u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 4u, 8u}) {
+      if (shards > total) continue;
+      std::size_t expect = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [lo, hi] = sim::shard_bounds(s, total, shards);
+        EXPECT_EQ(lo, expect) << "total=" << total << " shards=" << shards;
+        EXPECT_LT(lo, hi);  // every shard owns at least one receiver
+        for (std::size_t r = lo; r < hi; ++r) {
+          EXPECT_EQ(sim::shard_of(r, total, shards), s);
+        }
+        expect = hi;
+      }
+      EXPECT_EQ(expect, total);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ mailbox
+
+TEST(ShardMailbox, FifoSeqAndConservation) {
+  sim::SpscMailbox<int> mb;
+  mb.push(1.0, 10);
+  mb.push(2.0, 20);
+  mb.push(2.0, 30);
+  EXPECT_EQ(mb.pending(), 3u);
+  EXPECT_EQ(mb.pushed(), 3u);
+
+  check::Violations v;
+  mb.check_invariants(v);
+  EXPECT_TRUE(v.empty());
+
+  std::vector<sim::SpscMailbox<int>::Stamped> out;
+  mb.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].seq, i);
+  EXPECT_EQ(out[2].payload, 30);
+  EXPECT_EQ(mb.pending(), 0u);
+
+  // Seqs keep rising across drains, so (due, shard, seq) stays a total
+  // order over a whole run, not just one epoch.
+  mb.push(3.0, 40);
+  out.clear();
+  mb.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 3u);
+
+  v.clear();
+  mb.check_invariants(v);
+  EXPECT_TRUE(v.empty());
+}
+
+// ------------------------------------------------------------- epoch schedule
+
+TEST(ShardSchedule, LookaheadBoundsEveryEpoch) {
+  // The conservative-lookahead property at the timetable level: with
+  // barrier fences at these instants, no shard is ever asked to run more
+  // than W past the last committed barrier.
+  const double end = 400.0;
+  const double warmup = 50.0;
+  const double w = 0.05;
+  std::vector<double> specials = {warmup, 55.0, 60.0, 65.0};
+  const auto schedule = sim::make_epoch_schedule(end, warmup, w, specials);
+
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_DOUBLE_EQ(schedule.back().time, end);
+  double prev = 0.0;
+  for (const auto& b : schedule) {
+    EXPECT_GT(b.time, prev);
+    EXPECT_LE(b.time - prev, w * (1.0 + 1e-12));
+    prev = b.time;
+  }
+  // Specials are hit exactly (bitwise), and warm-up/end are the inclusive
+  // boundaries that mirror the single-queue engine's run_until semantics.
+  for (const double t : specials) {
+    bool hit = false;
+    for (const auto& b : schedule) {
+      if (b.time == t) {
+        hit = true;
+        EXPECT_EQ(b.inclusive, t == warmup);
+      }
+    }
+    EXPECT_TRUE(hit) << "special " << t << " not on a barrier";
+  }
+  EXPECT_TRUE(schedule.back().inclusive);
+
+  check::Violations v;
+  sim::check_epoch_schedule(schedule, end, w, v);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(ShardSchedule, UnboundedLookaheadStretchesBetweenSpecials) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto schedule =
+      sim::make_epoch_schedule(100.0, 10.0, inf, {10.0, 40.0});
+  // Only the specials and the end remain: {10, 40, 100}.
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(schedule[1].time, 40.0);
+  EXPECT_DOUBLE_EQ(schedule[2].time, 100.0);
+
+  check::Violations v;
+  sim::check_epoch_schedule(schedule, 100.0, inf, v);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+// ------------------------------------------------------------------ envelope
+
+core::ExperimentConfig small_cfg(core::Variant variant) {
+  core::ExperimentConfig cfg;
+  cfg.variant = variant;
+  cfg.workload.insert_rate = 12.0;
+  cfg.workload.update_rate = 3.0;
+  cfg.mu_data = sim::kbps(42);
+  cfg.mu_fb = sim::kbps(12);
+  cfg.loss_rate = 0.25;
+  cfg.num_receivers = 7;
+  cfg.delay = 0.05;
+  cfg.duration = 60.0;
+  cfg.warmup = 10.0;
+  cfg.seed = 7;
+  cfg.sample_interval = 5.0;
+  return cfg;
+}
+
+TEST(ShardedEnvelope, SupportedConfigurations) {
+  std::string why;
+  EXPECT_TRUE(core::sharded_supported(small_cfg(core::Variant::kFeedback),
+                                      why));
+  EXPECT_TRUE(core::sharded_supported(small_cfg(core::Variant::kOpenLoop),
+                                      why));
+  EXPECT_TRUE(core::sharded_supported(small_cfg(core::Variant::kTwoQueue),
+                                      why));
+
+  auto hybrid = small_cfg(core::Variant::kFeedback);
+  hybrid.backend = core::Backend::kHybrid;
+  hybrid.fluid_cohort = 100.0;
+  EXPECT_TRUE(core::sharded_supported(hybrid, why));
+}
+
+TEST(ShardedEnvelope, UnsupportedConfigurationsExplainWhy) {
+  std::string why;
+
+  auto fluid = small_cfg(core::Variant::kFeedback);
+  fluid.backend = core::Backend::kFluid;
+  EXPECT_FALSE(core::sharded_supported(fluid, why));
+  EXPECT_FALSE(why.empty());
+
+  auto empty = small_cfg(core::Variant::kOpenLoop);
+  empty.num_receivers = 0;
+  EXPECT_FALSE(core::sharded_supported(empty, why));
+
+  auto zero_delay = small_cfg(core::Variant::kFeedback);
+  zero_delay.delay = 0.0;
+  EXPECT_FALSE(core::sharded_supported(zero_delay, why));
+  EXPECT_NE(why.find("delay"), std::string::npos);
+
+  auto multicast = small_cfg(core::Variant::kFeedback);
+  multicast.multicast_feedback = true;
+  EXPECT_FALSE(core::sharded_supported(multicast, why));
+}
+
+TEST(ShardedEnvelope, LookaheadIsDelayForFeedbackElseInfinite) {
+  EXPECT_DOUBLE_EQ(core::sharded_lookahead(small_cfg(core::Variant::kFeedback)),
+                   0.05);
+  EXPECT_TRUE(std::isinf(
+      core::sharded_lookahead(small_cfg(core::Variant::kOpenLoop))));
+  EXPECT_TRUE(std::isinf(
+      core::sharded_lookahead(small_cfg(core::Variant::kTwoQueue))));
+}
+
+// -------------------------------------------------------------- bit identity
+
+/// Bitwise comparison of every scalar field plus the c(t) timeline —
+/// memcmp on the doubles, so -0.0 vs 0.0 or a single ulp of drift fails.
+void expect_identical(const core::ExperimentResult& a,
+                      const core::ExperimentResult& b,
+                      const std::string& what) {
+#define SST_CHK(f) \
+  EXPECT_EQ(std::memcmp(&a.f, &b.f, sizeof a.f), 0) << what << " field " #f
+  SST_CHK(avg_consistency);
+  SST_CHK(mean_latency);
+  SST_CHK(p50_latency);
+  SST_CHK(p95_latency);
+  SST_CHK(data_tx);
+  SST_CHK(hot_tx);
+  SST_CHK(cold_tx);
+  SST_CHK(repair_tx);
+  SST_CHK(redundant_tx);
+  SST_CHK(nacks_sent);
+  SST_CHK(nacks_received);
+  SST_CHK(nacks_suppressed);
+  SST_CHK(redundant_fraction);
+  SST_CHK(observed_loss);
+  SST_CHK(offered_data_kbps);
+  SST_CHK(offered_fb_kbps);
+  SST_CHK(inserts);
+  SST_CHK(updates);
+  SST_CHK(versions_introduced);
+  SST_CHK(versions_received);
+  SST_CHK(final_live);
+  SST_CHK(final_hot_depth);
+  SST_CHK(final_cold_depth);
+#undef SST_CHK
+  ASSERT_EQ(a.timeline.size(), b.timeline.size()) << what;
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a.timeline[i].time, &b.timeline[i].time,
+                          sizeof(double)),
+              0)
+        << what << " timeline[" << i << "].time";
+    EXPECT_EQ(std::memcmp(&a.timeline[i].consistency,
+                          &b.timeline[i].consistency, sizeof(double)),
+              0)
+        << what << " timeline[" << i << "].consistency";
+  }
+}
+
+TEST(ShardedIdentity, MatchesSingleQueueAcrossVariantsAndShardCounts) {
+  for (const auto variant : {core::Variant::kOpenLoop,
+                             core::Variant::kTwoQueue,
+                             core::Variant::kFeedback}) {
+    core::ExperimentConfig cfg = small_cfg(variant);
+    const auto ref = core::run_experiment(cfg);
+    for (const std::size_t k : {2u, 4u, 8u}) {
+      cfg.shards = k;
+      const auto got = core::run_experiment(cfg);
+      expect_identical(ref, got,
+                       "variant=" + std::to_string(static_cast<int>(variant)) +
+                           " K=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(ShardedIdentity, HybridBackendMatches) {
+  core::ExperimentConfig cfg = small_cfg(core::Variant::kFeedback);
+  cfg.backend = core::Backend::kHybrid;
+  cfg.fluid_cohort = 100.0;
+  const auto ref = core::run_experiment(cfg);
+  cfg.shards = 4;
+  const auto got = core::run_experiment(cfg);
+  expect_identical(ref, got, "hybrid K=4");
+}
+
+TEST(ShardedIdentity, HostilePipelinesMatch) {
+  // The hostile x sharded slice: reordering and duplication on the forward
+  // path, reordering on every feedback path. Both stay shard-local (the
+  // forward stage runs on the root, each feedback stage inside its shard),
+  // so the sharded run must still be bitwise identical.
+  core::ExperimentConfig cfg = small_cfg(core::Variant::kFeedback);
+  cfg.fwd_hostile.reorder.prob = 0.3;
+  cfg.fwd_hostile.reorder.max_extra = 0.2;
+  cfg.fwd_hostile.duplicate.prob = 0.2;
+  cfg.fwd_hostile.duplicate.spread = 0.02;
+  cfg.fb_hostile.reorder.prob = 0.25;
+  cfg.fb_hostile.reorder.max_extra = 0.1;
+
+  const auto ref = core::run_experiment(cfg);
+  EXPECT_GT(ref.avg_consistency, 0.0);  // the slice actually converges
+  EXPECT_LE(ref.avg_consistency, 1.0);
+  for (const std::size_t k : {2u, 4u}) {
+    cfg.shards = k;
+    const auto got = core::run_experiment(cfg);
+    expect_identical(ref, got, "hostile K=" + std::to_string(k));
+  }
+}
+
+TEST(ShardedIdentity, ComposesWithReplicationJobs) {
+  // shards x jobs matrix through the replication driver: the aggregated
+  // JSON document must be byte-identical for K in {1,2,4,8} x jobs in
+  // {1,8}. Mirrors the sstsim_determinism_shards ctest gate in-process.
+  core::ExperimentConfig cfg = small_cfg(core::Variant::kFeedback);
+  cfg.duration = 30.0;
+
+  runner::Options opt;
+  opt.replications = 4;
+  opt.master_seed = 7;
+  opt.jobs = 1;
+  cfg.shards = 1;
+  const std::string ref =
+      runner::run_replicated(cfg, opt).to_json().dump(2);
+
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t jobs : {1u, 8u}) {
+      if (k == 1 && jobs == 1) continue;
+      cfg.shards = k;
+      opt.jobs = jobs;
+      opt.threads_per_replication = k;
+      const std::string got =
+          runner::run_replicated(cfg, opt).to_json().dump(2);
+      EXPECT_EQ(ref, got) << "K=" << k << " jobs=" << jobs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Perf-regression smoke gate: re-times the tracked microbenchmarks
-# (bench_engine, bench_sstp_hotpath, bench_meanfield) with a few quick
-# replications and compares them against the committed BENCH_<name>.json
-# baselines. Fails if any scenario regressed by more than the margin
-# (default 25%).
+# (bench_engine, bench_sstp_hotpath, bench_meanfield, bench_shard_scaling)
+# with a few quick replications and compares them against the committed
+# BENCH_<name>.json baselines. Fails if any scenario regressed by more than
+# the margin (default 25%).
 #
 # Comparison rule: the FRESH MINIMUM across smoke replications must stay
 # within margin of the COMMITTED MEAN. The min filters scheduler noise
@@ -37,9 +37,14 @@ work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
 status=0
-for name in engine sstp_hotpath meanfield; do
+# bench-binary-suffix:baseline-name pairs (bench_shard_scaling emits the
+# canonical experiment name "shard_engine", so its baseline differs).
+for pair in engine:engine sstp_hotpath:sstp_hotpath meanfield:meanfield \
+            shard_scaling:shard_engine; do
+  name=${pair%%:*}
+  base_name=${pair#*:}
   bin="$build_dir/bench/bench_$name"
-  baseline="$repo_root/BENCH_$name.json"
+  baseline="$repo_root/BENCH_$base_name.json"
   if [ ! -x "$bin" ]; then
     echo "SKIP: $bin not built" >&2
     exit 77

@@ -51,6 +51,26 @@ diff "$work/hostile1.txt" "$work/hostile8.txt" > /dev/null || {
 }
 echo "sstsim hostile: jobs=1 and jobs=8 byte-identical"
 
+# Sharded engine: splitting ONE replication across K worker threads must be
+# as invisible as the replication fan-out — byte-identical output for any
+# --shards, composed with any --jobs (the full K x jobs matrix also runs in
+# ctest as sstsim_determinism_shards).
+shard_args="--variant=feedback --lambda-kbps=12 --mu-data-kbps=42 \
+      --mu-fb-kbps=12 --loss=0.25 --receivers=8 --delay=0.05 --duration=400 \
+      --warmup=50 --seed=7 --replications=8"
+# shellcheck disable=SC2086
+"$sstsim" $shard_args --shards=1 --jobs=1 > "$work/shard_ref.txt"
+for k in 2 4 8; do
+  # shellcheck disable=SC2086
+  "$sstsim" $shard_args --shards=$k --jobs=8 > "$work/shard_$k.txt"
+  diff "$work/shard_ref.txt" "$work/shard_$k.txt" > /dev/null || {
+    echo "FAIL: sstsim output differs between --shards=1 and --shards=$k" >&2
+    diff "$work/shard_ref.txt" "$work/shard_$k.txt" >&2 || true
+    exit 1
+  }
+done
+echo "sstsim sharded: shards in {1,2,4,8} x jobs byte-identical"
+
 # Fluid and hybrid backends: the mean-field tier is pure arithmetic (no RNG
 # in the fluid path, forked Rng streams in the hybrid's discrete cohort), so
 # byte-identical output across --jobs is the same hard contract.

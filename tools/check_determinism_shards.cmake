@@ -1,0 +1,55 @@
+# check_determinism_shards.cmake — ctest driver for the shard-count gate.
+#
+# The sharded conservative-lookahead engine must be a pure execution detail:
+# for a fixed seed the stdout (human summary + canonical JSON document) must
+# be byte-identical for every --shards value, composed with any --jobs
+# value. Runs the matrix K in {1,2,4,8} x jobs in {1,8} against the
+# K=1/jobs=1 reference. Invoked as:
+#   cmake -DSSTSIM=<path> -DWORK_DIR=<dir> -P check_determinism_shards.cmake
+if(NOT SSTSIM)
+  message(FATAL_ERROR "pass -DSSTSIM=<path to sstsim>")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Same shape as check_determinism.cmake but with a positive propagation
+# delay (the lookahead window) and enough receivers to populate 8 shards.
+set(args --variant=feedback --lambda-kbps=12 --mu-data-kbps=42
+    --mu-fb-kbps=12 --loss=0.25 --receivers=8 --delay=0.05 --duration=200
+    --warmup=50 --seed=7 --replications=4)
+
+execute_process(
+  COMMAND ${SSTSIM} ${args} --shards=1 --jobs=1
+  OUTPUT_FILE ${WORK_DIR}/shards1_jobs1.txt
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sstsim --shards=1 --jobs=1 failed (exit ${rc})")
+endif()
+
+foreach(shards 1 2 4 8)
+  foreach(jobs 1 8)
+    if(shards EQUAL 1 AND jobs EQUAL 1)
+      continue()
+    endif()
+    set(out ${WORK_DIR}/shards${shards}_jobs${jobs}.txt)
+    execute_process(
+      COMMAND ${SSTSIM} ${args} --shards=${shards} --jobs=${jobs}
+      OUTPUT_FILE ${out}
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+          "sstsim --shards=${shards} --jobs=${jobs} failed (exit ${rc})")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${WORK_DIR}/shards1_jobs1.txt ${out}
+      RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR
+          "--shards=${shards} --jobs=${jobs} output differs from the "
+          "single-queue reference: the sharded engine is not bitwise "
+          "shard-count-independent. Compare ${WORK_DIR}/shards1_jobs1.txt "
+          "vs ${out}")
+    endif()
+  endforeach()
+endforeach()
+message(STATUS "shards x jobs matrix output byte-identical")

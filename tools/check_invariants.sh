@@ -72,4 +72,28 @@ else
   echo "   (default build $default_dir not built; digest cross-check skipped)"
 fi
 
+# Sharded engine under audits: the SST_CHECK build arms the engine's own
+# validators (mailbox FIFO/conservation, epoch-schedule monotonicity, the
+# no-event-past-the-lookahead-horizon audit in the NACK merge) — a 4-shard
+# run must finish clean AND reproduce the audited single-queue run byte for
+# byte.
+echo "== sharded engine under audits"
+shard_args="--variant=feedback --lambda-kbps=12 --mu-data-kbps=42
+            --mu-fb-kbps=12 --loss=0.25 --receivers=8 --delay=0.05
+            --duration=300 --warmup=50 --seed=7 --replications=4 --jobs=2"
+# shellcheck disable=SC2086  # shard_args is a word list by construction
+"$check_dir/tools/sstsim" $shard_args --shards=1 \
+    > "$check_dir/sstsim_shards1.txt"
+# shellcheck disable=SC2086
+"$check_dir/tools/sstsim" $shard_args --shards=4 \
+    > "$check_dir/sstsim_shards4.txt"
+if ! cmp -s "$check_dir/sstsim_shards1.txt" "$check_dir/sstsim_shards4.txt"
+then
+  echo "FAIL: audited sharded run diverges from audited single-queue run" >&2
+  diff "$check_dir/sstsim_shards1.txt" "$check_dir/sstsim_shards4.txt" \
+    | head -20 >&2
+  exit 1
+fi
+echo "   4-shard run clean and byte-identical"
+
 echo "invariant audits clean"

@@ -23,6 +23,10 @@ struct KnownBad {
     acc_ += 0.1;                                     // float-accum
     auto rng = sim::Rng();                           // rng-seed
     use(rng);
+    sim::ShardCrew crew(4, [this](std::size_t s) {   // shard-capture
+      use(s);
+    });
+    use(crew);
   }
 
   template <class T>

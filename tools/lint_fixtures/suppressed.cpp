@@ -23,6 +23,10 @@ struct Suppressed {
     acc_ += 0.1;                // sstlint: allow(float-accum)
     auto rng = sim::Rng();      // sstlint: allow(rng-seed)
     use(rng);
+    sim::ShardCrew crew(4, [this](std::size_t s) {  // sstlint: allow(shard-capture)
+      use(s);
+    });
+    use(crew);
   }
 
   template <class T>

@@ -31,6 +31,14 @@ project-specific ways that guarantee gets broken, so this pass encodes them:
   corrupt-include  #include of check/corrupt.hpp outside tests/: the
                    invariant Corrupter deliberately breaks data structures
                    and must never link into the simulator proper.
+  shard-capture    a lambda handed to sim::ShardCrew capturing `&` or
+                   `this`: everything it can reach becomes shared mutable
+                   state visible from K shard worker threads at once. The
+                   sharded engine's phase-barrier protocol makes specific
+                   captures safe (workers only touch their own shard's
+                   state between barriers), but each such capture is an
+                   audited decision — suppress with allow(shard-capture)
+                   plus an allowlist entry, citing the barrier argument.
 
 Suppression: append `// sstlint: allow(<rule>)` (comma-separate several
 rules) to the offending line, with a justification in the surrounding
@@ -68,6 +76,7 @@ RULES = (
     "float-accum",
     "rng-seed",
     "corrupt-include",
+    "shard-capture",
 )
 
 Finding = collections.namedtuple("Finding", "path line rule message")
@@ -102,6 +111,13 @@ RNG_SEED_RE = re.compile(
 # Anchored and matched against the RAW line: the path is a string literal,
 # which strip_code blanks out of the code view.
 CORRUPT_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"check/corrupt\.hpp"')
+
+# ShardCrew wiring sites: the construction (or the crew's own ctor) opens a
+# short window in which any by-reference/this lambda capture is the worker
+# entry point — the exact place shared mutable state leaks onto K threads.
+SHARD_CREW_RE = re.compile(r"\bShardCrew\b")
+SHARD_CAPTURE_RE = re.compile(r"\[\s*(?:&|this\b)")
+SHARD_CREW_WINDOW = 12  # lines: construction + init-list + thread spawn loop
 
 
 def strip_code(text):
@@ -232,7 +248,18 @@ def scan(sources):
             for name in float_names
         ]
 
+        crew_window = 0
         for num, line in enumerate(src.code_lines, 1):
+            if SHARD_CREW_RE.search(line):
+                crew_window = SHARD_CREW_WINDOW
+            if crew_window > 0 and SHARD_CAPTURE_RE.search(line):
+                emit(src, num, "shard-capture",
+                     "lambda capturing '&'/'this' reaches shard worker "
+                     "threads; audit the shared state it exposes and record "
+                     "the suppression")
+                crew_window = 0  # one finding per wiring site
+            elif crew_window > 0:
+                crew_window -= 1
             for name, pats in unordered_pats:
                 if any(p.search(line) for p in pats):
                     emit(src, num, "unordered-iter",

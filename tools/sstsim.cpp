@@ -16,6 +16,7 @@
 
 #include "arq/experiment.hpp"
 #include "core/experiment.hpp"
+#include "core/sharded.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "flags.hpp"
@@ -74,6 +75,15 @@ run control:
   --duration=2000 --warmup=200 --seed=1
   --timeline=0            sample c(t) every N seconds (0 off)
   --scheduler=stride|lottery|wfq|drr|hier
+  --shards=1              event-engine shards for EACH replication: K > 1
+                          partitions the receivers across K worker threads
+                          advanced in conservative-lookahead epochs. Output
+                          is byte-identical for any supported K; unsupported
+                          combinations (fluid backend, multicast feedback,
+                          feedback with --delay=0) warn and fall back to the
+                          single-queue engine, and K > --receivers clamps.
+                          With --jobs=0 the replication pool leaves room for
+                          the shard crews (jobs = hardware / shards).
 
 population tier (soft-state variants):
   --backend=discrete      discrete = event simulation of --receivers
@@ -188,6 +198,11 @@ int run_hard(const tools::Flags& flags) {
   cfg.warmup = flags.num("warmup", 200.0);
   cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
   cfg.sample_interval = flags.num("timeline", 0.0);
+  if (flags.num("shards", 1.0) != 1.0) {
+    std::fprintf(stderr,
+                 "warning: --shards applies to the soft-state variants only; "
+                 "ignoring\n");
+  }
   const runner::Options mc = mc_options(flags);
   flags.reject_unknown();
 
@@ -305,7 +320,39 @@ int main(int argc, char** argv) {
   const std::string faults_script = flags.str("faults", "");
   fault::InjectorConfig inj_cfg;
   inj_cfg.threshold = flags.num("recovery-threshold", 0.9);
-  const runner::Options mc = mc_options(flags);
+
+  const double shards_req = flags.num("shards", 1.0);
+  if (!(shards_req >= 1.0)) {
+    std::fprintf(stderr, "--shards must be an integer >= 1\n");
+    return 2;
+  }
+  cfg.shards = static_cast<std::size_t>(shards_req);
+  if (cfg.shards > cfg.num_receivers) {
+    const std::size_t clamped =
+        cfg.num_receivers > 0 ? cfg.num_receivers : 1;
+    std::fprintf(stderr,
+                 "warning: --shards=%zu exceeds --receivers=%zu; using %zu\n",
+                 cfg.shards, cfg.num_receivers, clamped);
+    cfg.shards = clamped;
+  }
+  if (cfg.shards > 1) {
+    std::string why;
+    if (!faults_script.empty()) {
+      std::fprintf(stderr,
+                   "warning: fault injection drives the single-queue engine; "
+                   "ignoring --shards\n");
+      cfg.shards = 1;
+    } else if (!core::sharded_supported(cfg, why)) {
+      std::fprintf(stderr,
+                   "warning: --shards unsupported for this configuration "
+                   "(%s); using the single-queue engine\n",
+                   why.c_str());
+      cfg.shards = 1;
+    }
+  }
+
+  runner::Options mc = mc_options(flags);
+  mc.threads_per_replication = cfg.shards;
   flags.reject_unknown();
 
   if (mc.replications > 1) {
