@@ -94,7 +94,8 @@ void BM_SchedulerStride(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerStride);
 void BM_SchedulerLottery(benchmark::State& state) {
-  scheduler_bench(state, sched::LotteryScheduler{sim::Rng(3)});
+  sim::Rng lottery_rng(3);  // named stream: seed visible in the seed plan
+  scheduler_bench(state, sched::LotteryScheduler{lottery_rng});
 }
 BENCHMARK(BM_SchedulerLottery);
 void BM_SchedulerWfq(benchmark::State& state) {

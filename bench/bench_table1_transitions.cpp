@@ -63,7 +63,13 @@ Transitions run(double p_loss, double p_death, std::uint64_t seed) {
   sender.on_transmit([&](const DataMsg& m) {
     const auto* e = recv.find(m.key);
     const bool before = e != nullptr && e->version >= m.version;
-    sim.after(0.0, [&t, &recv, &pub, m, before] {
+    // Capture pointers by value: t/recv/pub outlive the probe (the sim run
+    // ends inside this scope), but the probe lambda must not hold stack
+    // references into a frame the event queue outlives in general.
+    sim.after(0.0, [tp = &t, rp = &recv, pp = &pub, m, before] {
+      auto& t = *tp;
+      auto& recv = *rp;
+      auto& pub = *pp;
       const bool dead = pub.find(m.key) == nullptr;
       const auto* e2 = recv.find(m.key);
       const bool after = e2 != nullptr && e2->version >= m.version;

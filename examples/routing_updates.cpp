@@ -55,7 +55,8 @@ struct Router {
     wp.insert_rate = 0.0;
     wp.death_mode = DeathMode::kPerTransmission;
     wp.p_death = 0.0;
-    workload = std::make_unique<Workload>(sim, rib, wp, sim::Rng(5));
+    sim::Rng workload_rng(5);  // named streams: every seed is auditable here
+    workload = std::make_unique<Workload>(sim, rib, wp, workload_rng);
 
     peer_rib = std::make_unique<ReceiverTable>(sim, /*ttl=*/300.0);  // ~10x the
     // refresh cycle, RIP-style margin against refresh loss
@@ -66,8 +67,9 @@ struct Router {
     if (use_feedback) {
       fb_channel = std::make_unique<net::Channel<NackMsg>>(sim);
       // `feedback` (a member) is assigned below, before any NACK can arrive.
+      sim::Rng fb_loss_rng(7);
       fb_channel->add_receiver(
-          std::make_unique<net::BernoulliLoss>(kLoss, sim::Rng(7)),
+          std::make_unique<net::BernoulliLoss>(kLoss, fb_loss_rng),
           std::make_unique<net::FixedDelay>(0.02),
           [this](const NackMsg& n) {
             if (feedback) feedback->handle_nack(n);
@@ -84,10 +86,10 @@ struct Router {
       rcfg.nack_size = 100;   // a NACK names a few 32-bit seqs: small
       rcfg.retry_timeout = 0.5;  // snappy re-request on a low-RTT peering
       rcfg.max_retries = 6;
+      sim::Rng peer_rng(11);
       peer = std::make_unique<ReceiverAgent>(
           sim, *peer_rib, rcfg,
-          [this](const NackMsg& n) { fb_link->send(n, n.size); },
-          sim::Rng(11));
+          [this](const NackMsg& n) { fb_link->send(n, n.size); }, peer_rng);
 
       TwoQueueConfig tq;
       tq.mu_data = sim::kbps(18);
@@ -98,16 +100,17 @@ struct Router {
           [this](const DataMsg& m) { channel->send(m, m.size); });
     } else {
       ReceiverConfig rcfg;  // passive listener
+      sim::Rng peer_rng(12);
       peer = std::make_unique<ReceiverAgent>(sim, *peer_rib, rcfg,
-                                             [](const NackMsg&) {},
-                                             sim::Rng(12));
+                                             [](const NackMsg&) {}, peer_rng);
       open_loop = std::make_unique<OpenLoopSender>(
           sim, rib, *workload, sim::kbps(24),
           [this](const DataMsg& m) { channel->send(m, m.size); });
     }
 
+    sim::Rng data_loss_rng(6);
     channel->add_receiver(
-        std::make_unique<net::BernoulliLoss>(kLoss, sim::Rng(6)),
+        std::make_unique<net::BernoulliLoss>(kLoss, data_loss_rng),
         std::make_unique<net::FixedDelay>(0.02),
         [this](const DataMsg& m) { peer->handle(m); });
 

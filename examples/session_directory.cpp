@@ -60,7 +60,8 @@ int main() {
   wp.insert_rate = 0.0;
   wp.death_mode = DeathMode::kPerTransmission;
   wp.p_death = 0.0;
-  Workload workload(sim, directory, wp, sim::Rng(1));
+  sim::Rng workload_rng(1);  // named streams: every seed is auditable here
+  Workload workload(sim, directory, wp, workload_rng);
 
   // The SAP announcement channel: 16 kbps of directory bandwidth, 15% loss,
   // two listening directories — one present from the start, one late joiner.
@@ -68,15 +69,17 @@ int main() {
   auto early = std::make_unique<ReceiverTable>(sim, /*ttl=*/45.0);
   auto late = std::make_unique<ReceiverTable>(sim, /*ttl=*/45.0);
 
+  sim::Rng early_loss_rng(2);
   channel.add_receiver(
-      std::make_unique<net::BernoulliLoss>(0.15, sim::Rng(2)),
+      std::make_unique<net::BernoulliLoss>(0.15, early_loss_rng),
       std::make_unique<net::FixedDelay>(0.05),
       [&](const DataMsg& m) { early->refresh(m.key, m.version); });
 
   // The late joiner's handler starts deaf and tunes in at t=300.
   bool late_tuned_in = false;
+  sim::Rng late_loss_rng(3);
   channel.add_receiver(
-      std::make_unique<net::BernoulliLoss>(0.15, sim::Rng(3)),
+      std::make_unique<net::BernoulliLoss>(0.15, late_loss_rng),
       std::make_unique<net::FixedDelay>(0.05), [&](const DataMsg& m) {
         if (late_tuned_in) late->refresh(m.key, m.version);
       });
@@ -106,28 +109,31 @@ int main() {
               "loss)\n");
   const Key lecture = directory.insert(text("CS268 lecture"), 400);
   const Key concert = directory.insert(text("net-radio concert"), 400);
-  sim.at(120.0, [&] {
-    const Key bof = directory.insert(text("IETF BOF"), 400);
+  // Scheduled lambdas capture pointers by value: main()'s locals do outlive
+  // the run here, but events must never hold by-reference captures into a
+  // stack frame (tools/sstlyz.py ref-capture contract).
+  sim.at(120.0, [dir = &directory] {
+    const Key bof = dir->insert(text("IETF BOF"), 400);
     (void)bof;
   });
 
   // Late joiner tunes in mid-session.
-  sim.at(300.0, [&] {
-    late_tuned_in = true;
+  sim.at(300.0, [tuned = &late_tuned_in, simp = &sim] {
+    *tuned = true;
     std::printf("t=%6.1fs  [late dir ] tuned into the announcement channel\n",
-                sim.now());
+                simp->now());
   });
 
   // The concert ends normally at t=500 (announcer withdraws it).
-  sim.at(500.0, [&] { directory.remove(concert); });
+  sim.at(500.0, [dir = &directory, concert] { dir->remove(concert); });
 
   // The lecture's announcer CRASHES at t=650 — no teardown is ever sent.
   // Soft state handles it: both directories expire the entry ~45 s later.
-  sim.at(650.0, [&] {
+  sim.at(650.0, [dir = &directory, namesp = &names, simp = &sim, lecture] {
     std::printf("t=%6.1fs  [announcer] crash! '%s' stops being refreshed "
                 "(no teardown message)\n",
-                sim.now(), names[lecture].c_str());
-    directory.remove(lecture);  // the crash, from the channel's viewpoint
+                simp->now(), (*namesp)[lecture].c_str());
+    dir->remove(lecture);  // the crash, from the channel's viewpoint
   });
 
   sim.run_until(900.0);

@@ -47,6 +47,15 @@ namespace sst::core {
 /// over currently-attached receivers, and every mid-run joiner's catch-up
 /// latency — time from attach until its own consistency first reaches the
 /// catch-up threshold — is recorded.
+///
+/// Ownership (check/annotate.hpp): the class itself carries no capability
+/// attributes because the same type serves both engines — in the
+/// single-queue engine there are no roles at all. In the sharded engine
+/// each instance is SST_SHARD_LOCAL state, guarded at its owning site
+/// (core::Shard::monitor): the owning worker drives it during epochs, and
+/// the coordinator adopts the shard role between barriers for the
+/// cross-shard reductions (advance_all, receiver_integral, the latency
+/// merge).
 class ConsistencyMonitor {
  public:
   ConsistencyMonitor(sim::Simulator& sim, PublisherTable& pub);

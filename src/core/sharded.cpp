@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/annotate.hpp"
 #include "check/check.hpp"
 #include "core/rig_build.hpp"
 #include "sim/shard.hpp"
@@ -62,17 +63,24 @@ struct ShardRig {
 
 /// Everything one worker thread owns. Heap-allocated so addresses captured
 /// by protocol lambdas (mailbox, channels) survive container growth.
+///
+/// Every member except the mailbox is SST_SHARD_LOCAL: touched by the
+/// owning worker during its epoch phase, and by the coordinator between
+/// barriers (reductions, warm reset), which adopts the shard role wholesale
+/// while the workers are parked. The mailbox carries its own role-split
+/// producer/consumer contract (sim::SpscMailbox), so it stays unguarded
+/// here — its methods are the capability boundary.
 struct Shard {
   Shard() : monitor(sim), data(sim) {}
 
-  sim::Simulator sim;
-  ConsistencyMonitor monitor;       // shard-mode: fed by the epoch log
-  net::Channel<DataMsg> data;       // this shard's slice of the data channel
-  std::vector<ShardRig> rigs;       // local order == global receiver order
-  sim::SpscMailbox<NackMsg> mailbox;  // worker -> root NACK lane
-  std::vector<std::uint8_t> probe_holds;  // per-probe local redundancy AND
-  std::size_t log_cursor = 0;
-  std::uint64_t audit_tick = 0;     // SST_CHECK cadence counter
+  sim::Simulator sim SST_SHARD_LOCAL;
+  ConsistencyMonitor monitor SST_SHARD_LOCAL;  // fed by the epoch log
+  net::Channel<DataMsg> data SST_SHARD_LOCAL;  // shard's data-channel slice
+  std::vector<ShardRig> rigs SST_SHARD_LOCAL;  // local order == global order
+  sim::SpscMailbox<NackMsg> mailbox;  // worker -> root NACK lane (role-split)
+  std::vector<std::uint8_t> probe_holds SST_SHARD_LOCAL;  // local AND verdicts
+  std::size_t log_cursor SST_SHARD_LOCAL = 0;
+  std::uint64_t audit_tick SST_SHARD_LOCAL = 0;  // SST_CHECK cadence counter
 };
 
 class ShardedEngine {
@@ -92,57 +100,71 @@ class ShardedEngine {
     std::size_t log_end = 0;
   };
 
+  // Ownership capability map (see check/annotate.hpp and DESIGN.md): the
+  // constructor runs before any worker thread exists (analysis-exempt);
+  // afterwards every method declares the role(s) it runs under. Root-side
+  // methods that reduce shard state additionally require the shard role —
+  // the coordinator adopts it between barriers, while the workers are
+  // parked.
   void build_rig(Shard& sh, std::size_t r);
-  void root_transmit(const DataMsg& msg);
-  void append_data(const DataMsg& msg, sim::Bytes size);
-  void append_probe(const DataMsg& msg);
-  void drain_nacks();
-  void worker_epoch(std::size_t s);
-  void warm_reset();
-  [[nodiscard]] const SenderStats& sender_stats() const;
-  double global_integral(double now);
-  [[nodiscard]] double global_instantaneous() const;
-  ExperimentResult collect(double end);
+  void root_transmit(const DataMsg& msg) SST_REQUIRES_ROOT SST_REQUIRES_FENCE;
+  void append_data(const DataMsg& msg, sim::Bytes size) SST_REQUIRES_ROOT
+      SST_REQUIRES_FENCE;
+  void append_probe(const DataMsg& msg) SST_REQUIRES_ROOT SST_REQUIRES_FENCE;
+  void drain_nacks() SST_REQUIRES_ROOT;
+  void worker_epoch(std::size_t s) SST_REQUIRES_SHARD
+      SST_REQUIRES_FENCE_SHARED;
+  void warm_reset() SST_REQUIRES_ROOT SST_REQUIRES_SHARD;
+  [[nodiscard]] const SenderStats& sender_stats() const SST_REQUIRES_ROOT;
+  double global_integral(double now) SST_REQUIRES_SHARD;
+  [[nodiscard]] double global_instantaneous() const SST_REQUIRES_SHARD;
+  ExperimentResult collect(double end) SST_REQUIRES_ROOT SST_REQUIRES_SHARD;
 
+  // Immutable after construction: readable from any role without a guard.
   ExperimentConfig cfg_;
-  sim::Rng root_;
+  sim::Rng root_;  // consumed only during construction (stream forking)
   bool feedback_ = false;
   double nack_loss_ = 0.0;
 
-  PublisherTable pub_;
-  sim::Simulator rsim_;  // the root executor's event queue
-  std::unique_ptr<Workload> workload_;
-  std::unique_ptr<net::HostileChannel<DataMsg>> fwd_hostile_;
+  PublisherTable pub_ SST_ROOT_ONLY;
+  sim::Simulator rsim_ SST_ROOT_ONLY;  // the root executor's event queue
+  std::unique_ptr<Workload> workload_ SST_ROOT_ONLY;
+  std::unique_ptr<net::HostileChannel<DataMsg>> fwd_hostile_ SST_ROOT_ONLY;
+  // The vector itself is frozen after construction (stable topology); the
+  // pointed-to Shard state carries its own member-level guards.
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::unique_ptr<OpenLoopSender> ol_sender_;
-  std::unique_ptr<TwoQueueSender> tq_sender_;
+  std::unique_ptr<OpenLoopSender> ol_sender_ SST_ROOT_ONLY;
+  std::unique_ptr<TwoQueueSender> tq_sender_ SST_ROOT_ONLY;
 
-  sim::Rng shared_rng_;
-  std::uint64_t shared_drops_ = 0;
+  sim::Rng shared_rng_ SST_ROOT_ONLY;
+  std::uint64_t shared_drops_ SST_ROOT_ONLY = 0;
   // Root-side mirror of the single engine's aggregate channel byte counter:
   // accumulated with the same plain += in the same send order.
-  double data_bytes_ = 0.0;
+  double data_bytes_ SST_ROOT_ONLY = 0.0;
 
-  std::vector<RootEvent> log_;
-  std::vector<double> probe_times_;  // transmit time of probe i (global)
-  EpochPlan plan_;
+  // Epoch inputs: written by the root between barriers (exclusive fence),
+  // read by every worker during an epoch (shared fence) — the annotations
+  // prove workers never WRITE the log.
+  std::vector<RootEvent> log_ SST_EPOCH_SHARED;
+  EpochPlan plan_ SST_EPOCH_SHARED;
+  std::vector<double> probe_times_ SST_ROOT_ONLY;  // probe i's transmit time
 
-  std::unique_ptr<analysis::FluidIntegrator> fluid_;  // hybrid cohort tier
-  double fluid_m_ = 0.0;
+  std::unique_ptr<analysis::FluidIntegrator> fluid_ SST_ROOT_ONLY;
+  double fluid_m_ = 0.0;  // frozen after construction
 
   // Warm-up baselines (subtracted at collection), captured at the warm-up
   // barrier exactly as the single engine captures them after run_warmup().
-  bool warmed_ = false;
-  SenderStats warm_sender_;
-  std::uint64_t warm_nacks_sent_ = 0;
-  std::uint64_t warm_delivered_ = 0;
-  std::uint64_t warm_dropped_ = 0;
-  double warm_fb_bytes_ = 0.0;
-  double warm_data_bytes_ = 0.0;
+  bool warmed_ SST_ROOT_ONLY = false;
+  SenderStats warm_sender_ SST_ROOT_ONLY;
+  std::uint64_t warm_nacks_sent_ SST_ROOT_ONLY = 0;
+  std::uint64_t warm_delivered_ SST_ROOT_ONLY = 0;
+  std::uint64_t warm_dropped_ SST_ROOT_ONLY = 0;
+  double warm_fb_bytes_ SST_ROOT_ONLY = 0.0;
+  double warm_data_bytes_ SST_ROOT_ONLY = 0.0;
 
-  double last_integral_ = 0.0;
-  ExperimentResult result_;
+  double last_integral_ SST_ROOT_ONLY = 0.0;
+  ExperimentResult result_ SST_ROOT_ONLY;
 
   // Cross-shard NACK merge scratch (reused every epoch).
   struct PendingNack {
@@ -151,8 +173,8 @@ class ShardedEngine {
     std::uint64_t seq = 0;
     NackMsg nack;
   };
-  std::vector<sim::SpscMailbox<NackMsg>::Stamped> scratch_;
-  std::vector<PendingNack> batch_;
+  std::vector<sim::SpscMailbox<NackMsg>::Stamped> scratch_ SST_ROOT_ONLY;
+  std::vector<PendingNack> batch_ SST_ROOT_ONLY;
 };
 
 ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
@@ -166,6 +188,11 @@ ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
   // shards replay each change into their monitors before anything else
   // reacts, preserving the single engine's listener order.
   pub_.subscribe([this](const Record& rec, ChangeKind kind) {
+    // Publisher changes fire on the root simulator between barriers (the
+    // workload runs there), where the coordinator holds the epoch fence
+    // exclusively — the only writer of log_.
+    check::root_role.assert_held();
+    check::epoch_fence.assert_held();
     RootEvent e;
     e.kind = RootEvent::Kind::kChange;
     e.time = rsim_.now();
@@ -180,6 +207,10 @@ ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
     fwd_hostile_ = std::make_unique<net::HostileChannel<DataMsg>>(
         rsim_, cfg_.fwd_hostile, root_.fork("hostile-fwd"),
         [this](const DataMsg& msg, sim::Bytes size) {
+          // Hostile-channel delivery runs on the root simulator between
+          // barriers: root role + exclusive fence, like every root event.
+          check::root_role.assert_held();
+          check::epoch_fence.assert_held();
           append_data(msg, size);
         });
   }
@@ -194,11 +225,21 @@ ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
     for (std::size_t r = lo; r < hi; ++r) build_rig(*shards_.back(), r);
   }
 
+  // Sender transmit/probe hooks all fire on the root simulator between
+  // barriers (the sender's service process lives there): root role +
+  // exclusive fence, per the epoch protocol.
   if (cfg_.variant == Variant::kOpenLoop) {
     ol_sender_ = std::make_unique<OpenLoopSender>(
-        rsim_, pub_, *workload_, cfg_.mu_data,
-        [this](const DataMsg& msg) { root_transmit(msg); });
-    ol_sender_->on_transmit([this](const DataMsg& m) { append_probe(m); });
+        rsim_, pub_, *workload_, cfg_.mu_data, [this](const DataMsg& msg) {
+          check::root_role.assert_held();
+          check::epoch_fence.assert_held();
+          root_transmit(msg);
+        });
+    ol_sender_->on_transmit([this](const DataMsg& m) {
+      check::root_role.assert_held();
+      check::epoch_fence.assert_held();
+      append_probe(m);
+    });
   } else {
     TwoQueueConfig tq;
     tq.mu_data = cfg_.mu_data;
@@ -207,8 +248,16 @@ ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
     tq_sender_ = std::make_unique<TwoQueueSender>(
         rsim_, pub_, *workload_, tq,
         rig::make_scheduler(cfg_.scheduler, root_.fork("sched")),
-        [this](const DataMsg& msg) { root_transmit(msg); });
-    tq_sender_->on_transmit([this](const DataMsg& m) { append_probe(m); });
+        [this](const DataMsg& msg) {
+          check::root_role.assert_held();
+          check::epoch_fence.assert_held();
+          root_transmit(msg);
+        });
+    tq_sender_->on_transmit([this](const DataMsg& m) {
+      check::root_role.assert_held();
+      check::epoch_fence.assert_held();
+      append_probe(m);
+    });
   }
 
   if (cfg_.backend == Backend::kHybrid) {
@@ -222,6 +271,13 @@ ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
 }
 
 void ShardedEngine::build_rig(Shard& sh, std::size_t r) {
+  // Construction phase: no worker threads exist yet, so the constructing
+  // thread owns every role at once. Asserted (not REQUIRES'd) because the
+  // caller is the constructor, which Clang's analysis exempts from
+  // guarded_by checks — functions called FROM it are not.
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+
   // Mirrors Experiment::add_receiver_rig (unicast-feedback shape) with every
   // stream forked under the receiver's GLOBAL index r; components live on
   // the shard's simulator, except the NACK channel's far end, which is a
@@ -240,6 +296,10 @@ void ShardedEngine::build_rig(Shard& sh, std::size_t r) {
         std::move(rev_loss),
         rig::make_delay(cfg_, root_.fork("nack-delay", r)),
         [mailbox](const NackMsg& nack, sim::SimTime arrival) {
+          // The feedback channel lives on the shard's simulator, so this
+          // delivery runs inside the owning worker's epoch phase — exactly
+          // the producer side of the mailbox's SPSC contract.
+          check::shard_role.assert_held();
           mailbox->push(arrival, nack);
         });
     net::Channel<NackMsg>* chan = rig.fb_channel.get();
@@ -478,6 +538,15 @@ double ShardedEngine::global_instantaneous() const {
 }
 
 ExperimentResult ShardedEngine::run() {
+  // The coordinator thread drives the whole run. Between barriers it holds
+  // the root role, the epoch fence EXCLUSIVELY (sole writer of log_/plan_),
+  // and — because every worker is parked at the barrier — the shard role
+  // for its cross-shard reductions. ShardCrew's barrier sandwich is the
+  // protocol argument; TSan and the byte-identity matrix verify it.
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  check::epoch_fence.assert_held();
+
   const double end = cfg_.warmup + cfg_.duration;
   const sim::Duration lookahead = sharded_lookahead(cfg_);
 
@@ -513,8 +582,15 @@ ExperimentResult ShardedEngine::run() {
   // published epoch inputs (log_, plan_) and writes only shard s's own
   // state; the crew's two barrier crossings per epoch order every such
   // access against the coordinator (see ShardCrew's contract).
-  sim::ShardCrew crew(shards_.size(),
-                      [this](std::size_t s) { worker_epoch(s); });  // sstlint: allow(shard-capture)
+  sim::ShardCrew crew(shards_.size(), [this](std::size_t s) {  // sstlint: allow(shard-capture)
+    // Worker-side epoch entry: inside its epoch phase the worker owns its
+    // shard's state exclusively and reads the barrier-published epoch
+    // inputs — the shard role plus a SHARED fence (workers never write
+    // log_/plan_; the analysis rejects it).
+    check::shard_role.assert_held();
+    check::epoch_fence.assert_held_shared();
+    worker_epoch(s);
+  });
 
   std::size_t next_sample = 0;
   for (const auto& b : schedule) {

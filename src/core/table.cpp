@@ -50,8 +50,8 @@ void PublisherTable::for_each(
   // to enumerate the outgoing snapshot), breaking run-to-run determinism.
   std::vector<Key> keys;
   keys.reserve(records_.size());
-  for (const auto& [key, rec] : records_)  // sstlint: allow(unordered-iter)
-    keys.push_back(key);                   // (key snapshot is sorted below)
+  for (const auto& [key, rec] : records_)
+    keys.push_back(key);  // key snapshot only; sorted before use below
   std::sort(keys.begin(), keys.end());
   for (const Key key : keys) fn(records_.find(key)->second);
 }
@@ -99,8 +99,8 @@ void ReceiverTable::clear() {
   // order, not hash order.
   std::vector<Key> keys;
   keys.reserve(entries_.size());
-  for (const auto& [key, e] : entries_)  // sstlint: allow(unordered-iter)
-    keys.push_back(key);                 // (key snapshot is sorted below)
+  for (const auto& [key, e] : entries_)
+    keys.push_back(key);  // key snapshot only; sorted before use below
   std::sort(keys.begin(), keys.end());
   for (const Key key : keys) remove(key);
 }

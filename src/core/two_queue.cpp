@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "check/annotate.hpp"
+
 namespace sst::core {
 
 TwoQueueSender::TwoQueueSender(sim::Simulator& sim, PublisherTable& table,
@@ -85,13 +87,22 @@ void TwoQueueSender::resume() {
 void TwoQueueSender::handle_nack(const NackMsg& nack) {
   if (!config_.feedback) return;
   if (paused_) return;  // a crashed sender hears nothing
+  // Whoever delivers a NACK is the thread driving sim_ (the root executor's
+  // cross-shard merge schedules onto it; the single engine's feedback
+  // channel lives on it) — the owning-engine serial role by construction.
+  check::engine_role.assert_held();
   ++stats_.nacks_received;
   // Stash only; the first stash of the instant schedules the flush, which
   // the kernel runs after every event already queued for this timestamp
   // (see the header contract on canonical same-instant ordering).
   pending_nacks_.push_back(nack);
   if (pending_nacks_.size() == 1) {
-    sim_->at(sim_->now(), [this] { flush_nacks(); });
+    sim_->at(sim_->now(), [this] {
+      // Runs on the same simulator that accepted the stash: same thread,
+      // same engine role.
+      check::engine_role.assert_held();
+      flush_nacks();
+    });
   }
 }
 

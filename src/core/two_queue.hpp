@@ -19,6 +19,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "check/annotate.hpp"
 #include "core/messages.hpp"
 #include "core/open_loop.hpp"  // SenderStats
 #include "core/table.hpp"
@@ -112,7 +113,10 @@ class TwoQueueSender {
 
   void on_table_change(const Record& rec, ChangeKind kind);
   void apply_nack(const NackMsg& nack);  // queue flips for one stashed NACK
-  void flush_nacks();                    // end-of-instant canonical apply
+  /// End-of-instant canonical apply. Engine role: only the thread driving
+  /// sim_ may touch the stash (handle_nack asserts it at the entry point —
+  /// the caller is that thread by construction in both engines).
+  void flush_nacks() SST_REQUIRES_ENGINE;
   void to_hot(Key key);
   void maybe_start_service();
   void complete_service(Key key, bool from_hot);
@@ -146,8 +150,11 @@ class TwoQueueSender {
   std::unordered_map<std::uint64_t, LogEntry> seq_log_;
   std::deque<std::uint64_t> seq_order_;  // eviction order
 
-  // NACKs stashed this instant; flushed by a same-timestamp event.
-  std::vector<NackMsg> pending_nacks_;
+  // NACKs stashed this instant; flushed by a same-timestamp event. Guarded
+  // by the owning-engine serial role: in the sharded engine the stash is
+  // shared state the root executor alone may touch (the cross-shard merge
+  // feeds it), and the annotation proves no worker-side path reaches it.
+  std::vector<NackMsg> pending_nacks_ SST_ENGINE_SERIAL;
 
   SenderStats stats_;
 };

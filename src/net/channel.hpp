@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/annotate.hpp"
 #include "check/check.hpp"
 #include "net/delay.hpp"
 #include "net/loss.hpp"
@@ -100,6 +101,10 @@ class Channel {
   /// payload size — and the copy itself comes from a small recycled pool, so
   /// steady-state sends allocate nothing.
   void send(const M& msg, sim::Bytes size) {
+    // The caller is the thread driving sim_ by construction (senders and
+    // links schedule onto the channel's own simulator) — the owning-engine
+    // serial role that guards the recycled payload pool.
+    check::engine_role.assert_held();
     ++stats_.sent;
     stats_.bytes_sent += size;
     std::shared_ptr<const M> payload;
@@ -122,10 +127,12 @@ class Channel {
         continue;
       }
       if (!payload) payload = acquire_payload(msg);
-      // The endpoint owns its handler; the channel must outlive in-flight
-      // messages (channels live for the whole experiment by construction).
-      Handler& handler = ep->handler;
-      sim_->after(d, [&handler, payload] { handler(*payload); });
+      // The endpoint owns its handler; endpoints are heap-allocated and
+      // never destroyed mid-run (see add_receiver), so capturing the
+      // endpoint pointer BY VALUE keeps the delivery valid even if the
+      // receivers_ vector reallocates while this message is in flight.
+      Endpoint* const endpoint = ep.get();
+      sim_->after(d, [endpoint, payload] { endpoint->handler(*payload); });
       if (tracer_.enabled()) tracer_.emit(sim_->now(), "tx");
     }
 #if SST_CHECK_ENABLED
@@ -166,7 +173,7 @@ class Channel {
   /// slots (each slot's use_count of at least 1 is the pool's own
   /// reference; in-flight deliveries only ever add to it), endpoints keep
   /// their models, and the aggregate counters equal the per-endpoint sums.
-  void check_invariants(check::Violations& out) const {
+  void check_invariants(check::Violations& out) const SST_REQUIRES_ENGINE {
     if (pool_.size() > kPayloadPoolCap) {
       out.push_back("payload pool size " + std::to_string(pool_.size()) +
                     " exceeds cap " + std::to_string(kPayloadPoolCap));
@@ -215,7 +222,7 @@ class Channel {
   /// allocation under exceptional depth (long-delay links with thousands of
   /// messages in flight). Pure memory reuse: delivery contents and order are
   /// unaffected.
-  std::shared_ptr<const M> acquire_payload(const M& msg) {
+  std::shared_ptr<const M> acquire_payload(const M& msg) SST_REQUIRES_ENGINE {
     for (std::size_t probe = 0; probe < pool_.size(); ++probe) {
       pool_cursor_ = (pool_cursor_ + 1) % pool_.size();
       auto& slot = pool_[pool_cursor_];
@@ -237,9 +244,12 @@ class Channel {
   sim::Tracer tracer_;
   std::vector<std::unique_ptr<Endpoint>> receivers_;
   ChannelStats stats_;
-  std::vector<std::shared_ptr<M>> pool_;
-  std::size_t pool_cursor_ = 0;
-  std::uint64_t audit_tick_ = 0;  // SST_CHECK cadence counter
+  // The recycled payload pool is single-threaded-by-design hot-path state:
+  // only the thread driving sim_ (the owning-engine serial role) may touch
+  // it — in the sharded engine that is the owning shard's worker.
+  std::vector<std::shared_ptr<M>> pool_ SST_ENGINE_SERIAL;
+  std::size_t pool_cursor_ SST_ENGINE_SERIAL = 0;
+  std::uint64_t audit_tick_ SST_ENGINE_SERIAL = 0;  // SST_CHECK cadence
 };
 
 }  // namespace sst::net

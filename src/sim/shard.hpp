@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/annotate.hpp"
 #include "check/check.hpp"
 #include "sim/units.hpp"
 
@@ -69,6 +70,13 @@ namespace sst::sim {
 /// producer's send order; entries carry a per-mailbox FIFO seq so the
 /// coordinator's cross-shard merge can tie-break deterministically on
 /// (due, shard, seq).
+///
+/// Capability contract: the producer API requires the shard role, the
+/// consumer API the root role (check/annotate.hpp). The roles carry the
+/// WHO of the SPSC discipline through the static analysis; the WHEN — the
+/// two sides never being active at once — is the barrier protocol itself,
+/// which TSan and the determinism matrix verify. The methods being the
+/// only access path is what makes the method-level contract complete.
 template <class T>
 class SpscMailbox {
  public:
@@ -79,13 +87,14 @@ class SpscMailbox {
   };
 
   /// Producer side: queues `payload` for consumer delivery at `due`.
-  void push(SimTime due, T payload) {
+  /// Shard-worker role only (the owning shard, during its epoch phase).
+  void push(SimTime due, T payload) SST_REQUIRES_SHARD {
     items_.push_back(Stamped{due, next_seq_++, std::move(payload)});
   }
 
   /// Consumer side: appends every pending entry to `out` in push order and
-  /// empties the mailbox.
-  void drain(std::vector<Stamped>& out) {
+  /// empties the mailbox. Root role only (between phase barriers).
+  void drain(std::vector<Stamped>& out) SST_REQUIRES_ROOT {
     drained_ += items_.size();
     for (auto& it : items_) out.push_back(std::move(it));
     items_.clear();
@@ -97,7 +106,9 @@ class SpscMailbox {
   /// Appends every violated invariant to `out` (sst::check): conservation
   /// (every seq ever issued is either drained or still pending) and FIFO
   /// order (pending seqs strictly increasing, all above the drained prefix).
-  void check_invariants(check::Violations& out) const {
+  /// Runs on the producer side (the worker's SST_CHECK cadence hook), hence
+  /// the shard role.
+  void check_invariants(check::Violations& out) const SST_REQUIRES_SHARD {
     if (drained_ + items_.size() != next_seq_) {
       out.push_back("mailbox conservation broken: " +
                     std::to_string(drained_) + " drained + " +
@@ -173,7 +184,8 @@ class ShardCrew {
 
   /// Runs one epoch on every worker; returns when all are done. Rethrows
   /// the first worker exception (by shard id) after stopping the crew.
-  void run_epoch();
+  /// Root role only: only the coordinator may cross the barrier.
+  void run_epoch() SST_REQUIRES_ROOT;
 
   [[nodiscard]] std::size_t shards() const { return threads_.size(); }
 

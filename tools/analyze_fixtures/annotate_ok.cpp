@@ -1,0 +1,34 @@
+// annotate_ok.cpp — MUST compile clean under -Werror=thread-safety.
+//
+// The same member accesses as annotate_violation.cpp, but with the root
+// role properly threaded: one method REQUIRES it (callers must prove it),
+// the entry point asserts it with the protocol justification, exactly the
+// two patterns the real engine uses (core/sharded.cpp). Never part of any
+// build target.
+#include "check/annotate.hpp"
+
+namespace fixture {
+
+class Engine {
+ public:
+  // Entry point: asserts the role (the caller is the coordinator thread by
+  // construction in this fixture's imaginary protocol), then calls into
+  // the REQUIRES-annotated internals.
+  void run() {
+    ::sst::check::root_role.assert_held();
+    step();
+  }
+
+ private:
+  void step() SST_REQUIRES_ROOT {
+    ++epoch_count_;
+    last_ = epoch_count_ * 2.0;
+  }
+
+  unsigned long epoch_count_ SST_ROOT_ONLY = 0;
+  double last_ SST_ROOT_ONLY = 0.0;
+};
+
+void drive(Engine& e) { e.run(); }
+
+}  // namespace fixture

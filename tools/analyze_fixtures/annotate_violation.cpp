@@ -1,0 +1,28 @@
+// annotate_violation.cpp — MUST NOT compile under -Werror=thread-safety.
+//
+// The gate's teeth (tools/check_analyze.sh): an unannotated function reads
+// and writes SST_ROOT_ONLY state without holding the root role. If this
+// file ever compiles clean under Clang, the capability macros have stopped
+// lowering to real attributes and the whole analysis layer is vacuous.
+// Never part of any build target.
+#include "check/annotate.hpp"
+
+namespace fixture {
+
+class Engine {
+ public:
+  // No role required, no role asserted: both accesses below must draw
+  // -Wthread-safety-analysis diagnostics.
+  void rogue() {
+    ++epoch_count_;              // write of root-only state, role not held
+    last_ = epoch_count_ * 2.0;  // and a read-modify-write
+  }
+
+ private:
+  unsigned long epoch_count_ SST_ROOT_ONLY = 0;
+  double last_ SST_ROOT_ONLY = 0.0;
+};
+
+void drive(Engine& e) { e.rogue(); }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// sstlint fixture: the allowlist path for shard-capture. A ShardCrew wiring
+// whose worker lambda captures by reference IS the sanctioned design (the
+// lambda is the worker entry point); the allow() must suppress the finding,
+// and the self-test asserts the suppression count EXACTLY — so a rule that
+// silently stops firing is caught even under its allow(). Never compiled.
+#include <cstddef>
+
+namespace fixture {
+
+void wire(std::size_t shards) {
+  sim::ShardCrew crew(shards, [&](std::size_t s) {  // sstlint: allow(shard-capture)
+    (void)s;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// sstlint fixture: sorted-snapshot collect loops must NOT trip
+// unordered-iter — in both braceless shapes (body on the for line, body on
+// the following line). Also carries an allow() naming a rule owned by
+// tools/sstlyz.py: sstlint must pass it through rather than reporting an
+// unknown-rule bad-suppression. Never compiled.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class Table {
+ public:
+  std::vector<int> sorted_keys() const {
+    std::vector<int> keys;
+    for (const auto& kv : members_) keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  std::vector<int> sorted_keys_two_line() const {
+    std::vector<int> keys;
+    for (const auto& kv : members_)
+      keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  // Passthrough: iter-taint belongs to sstlyz; sstlint must stay silent.
+  void touch() const {}  // sstlint: allow(iter-taint)
+
+ private:
+  std::unordered_map<int, int> members_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,898 @@
+#!/usr/bin/env python3
+"""sstlyz — structural analyzer for the soft-state simulator's concurrency
+and determinism contracts.
+
+Where sstlint (tools/sstlint.py) matches single lines, sstlyz reasons over
+program STRUCTURE: function definitions with their bodies, a call graph, the
+capability annotations from src/check/annotate.hpp, and loop/lambda extents.
+That lets it express the rules the regexes structurally cannot:
+
+  root-reach    functions reachable from ShardCrew worker entry points (the
+                crew lambda, and anything annotated SST_REQUIRES_SHARD
+                without SST_REQUIRES_ROOT) must not touch SST_ROOT_ONLY
+                state — computed over the call graph, not per line.
+  ref-capture   lambdas scheduled into the event machinery (Simulator::at/
+                after, EventQueue::schedule, Timer::arm) must not capture
+                locals by reference: the lambda outlives the scope, so the
+                capture dangles. `this` and by-value captures are fine.
+  iter-taint    iteration over a std::unordered_{map,set} member whose loop
+                body REACHES an ordered sink (event scheduling, wire
+                encoding, digest update, channel send) through the call
+                graph. The sorted-snapshot idiom — a body that only
+                collects into a vector — is structurally quiet, where
+                sstlint's unordered-iter regex cannot tell the difference.
+  rng-reseed    a literal-seeded sim::Rng temporary (`Rng(3)` passed as an
+                argument or assigned): a nameless stream invisible to the
+                experiment seed plan. Name the root (`sim::Rng root(3);`)
+                and fork() children from it. tools/ is exempt.
+  fence-read    a function that touches SST_EPOCH_SHARED state without
+                declaring SST_REQUIRES_FENCE[_SHARED] or asserting the
+                epoch fence: the barrier-published epoch inputs may only be
+                read inside a fence-scoped region.
+
+Engines: the default `builtin` engine is a dependency-free structural
+frontend (comment/string stripping, brace-matched function and loop
+extents, a name-resolved call graph with member-type hints) so the rules
+run on every toolchain in CI. `--engine=libclang` swaps in a clang.cindex
+frontend for AST-exact function extents when libclang is installed, and
+skips with exit 77 when it is not; `auto` uses libclang when importable.
+
+Suppression shares sstlint's grammar: `// sstlint: allow(<rule>)` on the
+finding's line, recorded in tools/sstlyz_allowlist.txt (same
+`path<TAB>rule<TAB>count` format, audited by --audit). sstlint's own rule
+names are recognized and left for sstlint to judge, and vice versa.
+
+Exit codes: 0 clean, 1 findings/drift/self-test failure, 2 usage or
+malformed compile_commands, 77 forced engine unavailable.
+
+Usage:
+  tools/sstlyz.py [--repo DIR]               analyze src/, bench/, examples/
+  tools/sstlyz.py --compile-commands DB.json restrict .cpp TUs to the build's
+  tools/sstlyz.py --audit                    diff suppressions vs allowlist
+  tools/sstlyz.py --list-suppressions        print observed allowlist lines
+  tools/sstlyz.py --stats                    per-rule hit/suppression counts
+  tools/sstlyz.py --self-test                run rules against the fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "bench", "examples")
+EXTS = (".hpp", ".cpp")
+ALLOWLIST = os.path.join("tools", "sstlyz_allowlist.txt")
+FIXTURE_DIR = os.path.join("tools", "lyz_fixtures")
+
+RULES = (
+    "root-reach",
+    "ref-capture",
+    "iter-taint",
+    "rng-reseed",
+    "fence-read",
+)
+
+# sstlint's rules share the allow() grammar; directives naming them are that
+# tool's to audit, never "unknown" here (and sstlint returns the courtesy
+# via its EXTERNAL_RULES set).
+EXTERNAL_RULES = frozenset((
+    "unordered-iter", "ptr-key", "wall-clock", "raw-rand", "float-accum",
+    "rng-seed", "corrupt-include", "shard-capture",
+))
+
+Finding = collections.namedtuple("Finding", "path line rule message")
+
+ALLOW_RE = re.compile(r"//\s*sstlint:\s*allow\(([a-z\-,\s]+)\)")
+
+KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "new", "delete", "do", "else", "case",
+    "throw", "noexcept", "alignas", "assert", "defined",
+))
+
+# Annotated member declarations: `Type name SST_ROOT_ONLY ...;` — the macro
+# follows the declarator (Abseil placement), so the identifier right before
+# it is the member.
+ROOT_ONLY_RE = re.compile(r"\b(\w+)\s+SST_ROOT_ONLY\b")
+EPOCH_SHARED_RE = re.compile(r"\b(\w+)\s+SST_EPOCH_SHARED\b")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;{=]"
+)
+
+# Member declarations with a resolvable class type, for receiver-typed call
+# resolution (`sh.data.send(` -> Channel::send, not every send in the repo).
+MEMBER_TYPE_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:std::unique_ptr<\s*)?"
+    r"([A-Za-z_][\w]*(?:::[A-Za-z_][\w]*)*)\s*(?:<[^;<>()]*>)?\s*>?\s*[*&]?\s+"
+    r"(\w+)\s*(?:SST_[A-Z_]+(?:\([^()]*\))?\s*)*(?:=[^;]*)?[;{]"
+)
+
+RNG_RESEED_RE = re.compile(r"\b(?:sim::)?Rng\s*\(\s*\d+\s*\)")
+
+SINK_NAMES = ("at", "after", "schedule", "arm")
+SINK_CALL_RE = re.compile(r"(?:\.|->)\s*(?:%s)\s*\(" % "|".join(SINK_NAMES))
+
+ORDERED_SINK_RE = re.compile(
+    r"(?:\.|->)\s*(?:at|after|schedule|arm|update|send|encode\w*)\s*\("
+    r"|\bschedule\s*\(|\bdigest\s*\(|\btransmit_?\s*\(|\bemit\s*\("
+)
+
+FUNC_HEAD_RE = re.compile(
+    r"(?P<name>~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*"
+    r"\((?P<args>[^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)"
+    r"(?P<trail>[^;{}]*?)\{"
+)
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:SST_CAPABILITY\s*\([^)]*\)\s*)?"
+    r"([A-Za-z_]\w*)[^;{]*\{"
+)
+
+# A REQUIRES-annotated declaration (class body, no definition): the macro
+# lives on the first declaration only, so rule checks must read it here.
+DECL_REQ_RE = re.compile(
+    r"\b(\w+)\s*\(((?:[^;{}()]|\([^()]*\))*)\)\s*"
+    r"((?:const|noexcept|override|final|\s)*"
+    r"(?:SST_REQUIRES\w*(?:\s*\((?:[^()]|\([^()]*\))*\))?\s*)+)\s*;"
+)
+
+CALL_RE = re.compile(r"(?:(\w+)\s*(\.|->)\s*)?([A-Za-z_]\w*)\s*\(")
+
+LAMBDA_INTRO_RE = re.compile(r"\[([^\[\]]*)\]\s*(?=[({]|mutable\b)")
+
+
+def strip_code(text):
+    """Blanks comments and string/char literal contents, keeping line
+    structure so findings carry real line numbers (sstlint's algorithm)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+            elif c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+            elif c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state in ("line", "block"):
+            if state == "line" and c == "\n":
+                state = "code"
+            elif state == "block" and c == "*" and nxt == "/":
+                state = "code"
+                i += 1
+            if c == "\n":
+                out.append(c)
+            i += 1
+        else:  # str | chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":
+                out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def tu_key(relpath):
+    """Translation-unit scope: (directory, basename-without-extension), so
+    core/sharded.cpp and its members never leak into other files' checks."""
+    d, base = os.path.split(relpath)
+    return d, os.path.splitext(base)[0]
+
+
+def match_brace(text, open_pos):
+    """Index one past the `}` matching the `{` at open_pos, or len(text)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+class FunctionDef:
+    """One function (or constructor) definition with its body extent."""
+
+    def __init__(self, name, relpath, head_line, body, body_line, trail,
+                 cls=None):
+        self.name = name              # unqualified
+        self.relpath = relpath
+        self.head_line = head_line    # 1-based line of the header
+        self.body = body              # stripped body text (between braces)
+        self.body_line = body_line    # 1-based line the body starts on
+        self.trail = trail            # text between `)` and `{` (annotations)
+        self.cls = cls                # enclosing/qualifying class, if known
+
+    def requires(self):
+        req = set()
+        text = self.trail
+        if "SST_REQUIRES_ROOT" in text or "root_role" in text:
+            req.add("root")
+        if "SST_REQUIRES_SHARD" in text or "shard_role" in text:
+            req.add("shard")
+        if "SST_REQUIRES_FENCE" in text or "epoch_fence" in text:
+            req.add("fence")
+        if "SST_REQUIRES_ENGINE" in text or "engine_role" in text:
+            req.add("engine")
+        return req
+
+    def body_line_of(self, pattern):
+        """1-based file line of the first body line matching `pattern`."""
+        for off, line in enumerate(self.body.splitlines()):
+            if pattern.search(line):
+                return self.body_line + off
+        return self.head_line
+
+
+class Source:
+    def __init__(self, relpath, text):
+        self.relpath = relpath
+        self.raw_lines = text.splitlines()
+        self.code = strip_code(text)
+        self.code_lines = self.code.splitlines()
+        self.allows = {}
+        for num, raw in enumerate(self.raw_lines, 1):
+            m = ALLOW_RE.search(raw)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                self.allows[num] = rules
+        self._line_starts = [0]
+        for line in self.code.splitlines(keepends=True):
+            self._line_starts.append(self._line_starts[-1] + len(line))
+
+    def line_at(self, pos):
+        """1-based line containing character offset `pos` of the code."""
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= pos:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def class_spans(self):
+        """[(class name, start, end)] built from brace-matched heads."""
+        spans = []
+        for m in CLASS_HEAD_RE.finditer(self.code):
+            open_pos = m.end() - 1
+            spans.append((m.group(1), open_pos, match_brace(self.code,
+                                                           open_pos)))
+        return spans
+
+    def functions(self):
+        """Builtin frontend: function definitions via brace matching. The
+        libclang engine replaces this method's output with AST extents."""
+        spans = self.class_spans()
+        defs = []
+        pos = 0
+        while True:
+            m = FUNC_HEAD_RE.search(self.code, pos)
+            if not m:
+                break
+            open_pos = m.end() - 1
+            name = m.group("name").replace(" ", "").split("::")[-1]
+            if name in KEYWORDS or name.startswith("SST_"):
+                pos = m.start() + 1
+                continue
+            end = match_brace(self.code, open_pos)
+            qualified = m.group("name").replace(" ", "")
+            cls = qualified.split("::")[-2] if "::" in qualified else None
+            if cls is None:
+                for cname, cstart, cend in spans:
+                    if cstart < m.start() < cend:
+                        cls = cname  # innermost wins via later overwrite
+            defs.append(FunctionDef(
+                name=name,
+                relpath=self.relpath,
+                head_line=self.line_at(m.start()),
+                body=self.code[open_pos + 1:end - 1],
+                body_line=self.line_at(open_pos),
+                trail=m.group("trail"),
+                cls=cls,
+            ))
+            pos = end
+        return defs
+
+
+# --------------------------------------------------------------- the program
+
+class Program:
+    """Whole-repo view: sources, function defs, annotations, call graph."""
+
+    def __init__(self, sources, engine="builtin"):
+        self.sources = sources
+        self.by_path = {s.relpath: s for s in sources}
+        self.defs = []
+        for src in sources:
+            self.defs.extend(extract_functions(src, engine))
+        self.defs_by_name = collections.defaultdict(list)
+        for d in self.defs:
+            self.defs_by_name[d.name].append(d)
+
+        # Annotated members and member-type hints, per translation unit.
+        self.root_only = collections.defaultdict(set)
+        self.epoch_shared = collections.defaultdict(set)
+        self.unordered = collections.defaultdict(set)
+        self.member_types = collections.defaultdict(dict)
+        # REQUIRES annotations live on the in-class DECLARATION; merge them
+        # into a per-name record so out-of-class definitions inherit them.
+        self.decl_requires = collections.defaultdict(set)
+        for src in sources:
+            key = tu_key(src.relpath)
+            for line in src.code_lines:
+                for m in ROOT_ONLY_RE.finditer(line):
+                    self.root_only[key].add(m.group(1))
+                for m in EPOCH_SHARED_RE.finditer(line):
+                    self.epoch_shared[key].add(m.group(1))
+                for m in UNORDERED_DECL_RE.finditer(line):
+                    self.unordered[key].add(m.group(1))
+                m = MEMBER_TYPE_RE.match(line)
+                if m and m.group(1) not in ("return", "delete", "using"):
+                    cls = m.group(1).split("::")[-1]
+                    self.member_types[key][m.group(2)] = cls
+            for m in DECL_REQ_RE.finditer(src.code):
+                trail = m.group(3)
+                req = set()
+                if "SST_REQUIRES_ROOT" in trail:
+                    req.add("root")
+                if "SST_REQUIRES_SHARD" in trail:
+                    req.add("shard")
+                if "SST_REQUIRES_FENCE" in trail:
+                    req.add("fence")
+                if "SST_REQUIRES_ENGINE" in trail:
+                    req.add("engine")
+                if req:
+                    self.decl_requires[m.group(1)] |= req
+
+    def requires_of(self, fdef):
+        return fdef.requires() | self.decl_requires.get(fdef.name, set())
+
+    def callees(self, body, key):
+        """Called defs from `body`, receiver-typed where a member-type hint
+        resolves the class, name-union otherwise."""
+        out = []
+        for m in CALL_RE.finditer(body):
+            recv, _op, name = m.group(1), m.group(2), m.group(3)
+            if name in KEYWORDS or name.startswith("SST_"):
+                continue
+            cands = self.defs_by_name.get(name, ())
+            if not cands:
+                continue
+            if recv is not None:
+                cls = self.member_types[key].get(recv)
+                if cls is not None:
+                    # The receiver's class is known: resolve strictly within
+                    # it. Zero matches means a library-type method (e.g.
+                    # `heap_.at(i)` on a std::vector) — DON'T fall back to the
+                    # name union, or vector::at would alias Simulator::at and
+                    # drag the whole event machinery into every closure.
+                    out.extend(d for d in cands if d.cls == cls)
+                    continue
+            # Unqualified name union: prefer defs in the caller's own TU
+            # (header + source pair), else fall back to library (src/) defs.
+            # bench/ and examples/ are leaf programs — library code never
+            # calls into them, so a free `report()` helper in an example must
+            # not alias check::report for the whole closure.
+            local = [d for d in cands if tu_key(d.relpath) == key]
+            if local:
+                out.extend(local)
+            else:
+                out.extend(d for d in cands if d.relpath.startswith("src/"))
+        return out
+
+    def closure(self, seed_defs):
+        """Transitive callee closure over the name-resolved call graph."""
+        seen = set()
+        work = list(seed_defs)
+        result = []
+        while work:
+            d = work.pop()
+            ident = id(d)
+            if ident in seen:
+                continue
+            seen.add(ident)
+            result.append(d)
+            work.extend(self.callees(d.body, tu_key(d.relpath)))
+        return result
+
+
+def extract_functions(src, engine):
+    if engine == "libclang":
+        try:
+            return libclang_functions(src)
+        except Exception:  # any parse hiccup: fall back, never lose coverage
+            return src.functions()
+    return src.functions()
+
+
+def libclang_functions(src):
+    """AST-exact function extents via clang.cindex. Only reached when the
+    caller verified the import (see resolve_engine); the rules themselves
+    are engine-independent."""
+    import clang.cindex as ci  # noqa: import guarded by resolve_engine
+
+    index = ci.Index.create()
+    tu = index.parse(src.relpath, args=["-std=c++20"],
+                     unsaved_files=[(src.relpath, "\n".join(src.raw_lines))],
+                     options=ci.TranslationUnit.PARSE_INCOMPLETE)
+    defs = []
+
+    def visit(cursor, cls):
+        for child in cursor.get_children():
+            kind = child.kind.name
+            if kind in ("CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE"):
+                visit(child, child.spelling or cls)
+                continue
+            if kind in ("CXX_METHOD", "FUNCTION_DECL", "CONSTRUCTOR",
+                        "DESTRUCTOR", "FUNCTION_TEMPLATE") \
+                    and child.is_definition():
+                ext = child.extent
+                lines = src.code_lines[ext.start.line - 1:ext.end.line]
+                body = "\n".join(lines)
+                brace = body.find("{")
+                head, body = body[:brace], body[brace + 1:]
+                parent = child.semantic_parent
+                pcls = parent.spelling if parent and parent.kind.name in (
+                    "CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE") else cls
+                defs.append(FunctionDef(
+                    name=child.spelling.split("::")[-1],
+                    relpath=src.relpath,
+                    head_line=ext.start.line,
+                    body=body,
+                    body_line=ext.start.line + head.count("\n"),
+                    trail=head[head.rfind(")") + 1:] if ")" in head else "",
+                    cls=pcls,
+                ))
+            visit(child, cls)
+
+    visit(tu.cursor, None)
+    return defs if defs else src.functions()
+
+
+# -------------------------------------------------------------------- rules
+
+def emit(src, num, rule, message, findings, suppressions):
+    allowed = src.allows.get(num, set())
+    if rule in allowed:
+        suppressions[(src.relpath, rule)] += 1
+    else:
+        findings.append(Finding(src.relpath, num, rule, message))
+
+
+def rule_root_reach(prog, findings, suppressions):
+    """Worker-reachable code must not touch SST_ROOT_ONLY state."""
+    entries = []
+    for d in prog.defs:
+        req = prog.requires_of(d)
+        if "shard" in req and "root" not in req:
+            entries.append(d)
+    # ShardCrew wiring sites: the crew lambda's calls are worker entries.
+    for src in prog.sources:
+        for m in re.finditer(r"\bShardCrew\b", src.code):
+            window = src.code[m.end():m.end() + 600]
+            lam = LAMBDA_INTRO_RE.search(window)
+            if not lam:
+                continue
+            brace = window.find("{", lam.end())
+            if brace < 0:
+                continue
+            body = window[brace + 1:match_brace(window, brace) - 1]
+            entries.extend(prog.callees(body, tu_key(src.relpath)))
+
+    reported = set()
+    for d in prog.closure(entries):
+        key = tu_key(d.relpath)
+        members = prog.root_only.get(key, ())
+        for member in sorted(members):
+            pat = re.compile(r"\b%s\b" % re.escape(member))
+            if not pat.search(d.body):
+                continue
+            line = d.body_line_of(pat)
+            if (d.relpath, line, member) in reported:
+                continue
+            reported.add((d.relpath, line, member))
+            emit(prog.by_path[d.relpath], line, "root-reach",
+                 "'%s()' is reachable from shard-worker entry points but "
+                 "touches SST_ROOT_ONLY member '%s'; root state must stay "
+                 "on the coordinator side of the barrier" % (d.name, member),
+                 findings, suppressions)
+
+
+def rule_ref_capture(prog, findings, suppressions):
+    """No by-reference captures in lambdas handed to the event machinery."""
+    for src in prog.sources:
+        for m in SINK_CALL_RE.finditer(src.code):
+            open_pos = src.code.find("(", m.start())
+            depth = 0
+            end = len(src.code)
+            for i in range(open_pos, len(src.code)):
+                c = src.code[i]
+                if c in "({":
+                    depth += 1
+                elif c in ")}":
+                    depth -= 1
+                    if depth == 0:
+                        end = i
+                        break
+            span = src.code[open_pos:end]
+            for lam in LAMBDA_INTRO_RE.finditer(span):
+                captures = [c.strip() for c in lam.group(1).split(",")
+                            if c.strip()]
+                bad = [c for c in captures
+                       if c == "&" or (c.startswith("&") and
+                                       not c.startswith("&&"))]
+                if not bad:
+                    continue
+                line = src.line_at(open_pos + lam.start())
+                emit(src, line, "ref-capture",
+                     "lambda scheduled into the event machinery captures "
+                     "%s by reference; the lambda outlives this scope — "
+                     "capture by value (pointers to heap-pinned state are "
+                     "fine)" % ", ".join("'%s'" % b for b in bad),
+                     findings, suppressions)
+
+
+def rule_iter_taint(prog, findings, suppressions):
+    """Unordered iteration whose body reaches an ordered sink."""
+    for src in prog.sources:
+        key = tu_key(src.relpath)
+        members = prog.unordered.get(key, ())
+        if not members:
+            continue
+        for member in sorted(members):
+            loop_re = re.compile(
+                r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))?%s\s*\)\s*"
+                % re.escape(member))
+            for m in loop_re.finditer(src.code):
+                brace = src.code.find("{", m.end() - 1)
+                semi = src.code.find(";", m.end() - 1)
+                if brace >= 0 and (semi < 0 or brace < semi):
+                    body = src.code[brace + 1:match_brace(src.code,
+                                                          brace) - 1]
+                else:  # single-statement loop body
+                    body = src.code[m.end():semi if semi >= 0 else None]
+                tainted = ORDERED_SINK_RE.search(body) is not None
+                if not tainted:
+                    seeds = prog.callees(body, key)
+                    tainted = any(
+                        ORDERED_SINK_RE.search(d.body)
+                        for d in prog.closure(seeds))
+                if tainted:
+                    emit(src, src.line_at(m.start()), "iter-taint",
+                         "iteration over unordered member '%s' reaches an "
+                         "ordered sink (scheduling/encoding/digest/send); "
+                         "iterate a sorted snapshot instead" % member,
+                         findings, suppressions)
+
+
+def rule_rng_reseed(prog, findings, suppressions):
+    """No literal-seeded Rng temporaries; name the root stream."""
+    for src in prog.sources:
+        for num, line in enumerate(src.code_lines, 1):
+            for m in RNG_RESEED_RE.finditer(line):
+                emit(src, num, "rng-reseed",
+                     "literal-seeded sim::Rng temporary '%s': the stream "
+                     "has no name in the seed plan — declare a named root "
+                     "(`sim::Rng root(N);`) and fork() children from it"
+                     % m.group(0).strip(), findings, suppressions)
+
+
+def rule_fence_read(prog, findings, suppressions):
+    """SST_EPOCH_SHARED access only inside fence-scoped regions."""
+    for d in prog.defs:
+        key = tu_key(d.relpath)
+        members = prog.epoch_shared.get(key, ())
+        if not members:
+            continue
+        req = prog.requires_of(d)
+        if "fence" in req:
+            continue
+        if "epoch_fence.assert_held" in d.body:
+            continue  # asserted, with the justifying comment at the site
+        for member in sorted(members):
+            pat = re.compile(r"\b%s\b" % re.escape(member))
+            if not pat.search(d.body):
+                continue
+            emit(prog.by_path[d.relpath], d.body_line_of(pat), "fence-read",
+                 "'%s()' touches SST_EPOCH_SHARED member '%s' without "
+                 "SST_REQUIRES_FENCE[_SHARED] or an epoch_fence assert; "
+                 "barrier-published state is fence-scoped" % (d.name, member),
+                 findings, suppressions)
+
+
+ALL_RULES = (
+    rule_root_reach,
+    rule_ref_capture,
+    rule_iter_taint,
+    rule_rng_reseed,
+    rule_fence_read,
+)
+
+
+def scan(sources, engine="builtin"):
+    """Runs every rule; returns (findings, suppressions)."""
+    prog = Program(sources, engine=engine)
+    findings = []
+    suppressions = collections.Counter()
+    for rule in ALL_RULES:
+        rule(prog, findings, suppressions)
+
+    # Stale/unknown allow() directives, for sstlyz's rules only.
+    for src in sources:
+        for num, rules in sorted(src.allows.items()):
+            for rule in sorted(rules):
+                if rule in EXTERNAL_RULES:
+                    continue  # sstlint's to audit
+                if rule not in RULES:
+                    findings.append(Finding(
+                        src.relpath, num, "bad-suppression",
+                        "allow(%s) names an unknown rule" % rule))
+                elif suppressions[(src.relpath, rule)] == 0:
+                    findings.append(Finding(
+                        src.relpath, num, "bad-suppression",
+                        "allow(%s) suppressed nothing on this line; remove "
+                        "the stale directive" % rule))
+    return findings, suppressions
+
+
+# ------------------------------------------------------------------ loading
+
+def load_compile_commands(path):
+    """TU set from a compile_commands.json; exits 2 with a readable message
+    on malformed input (a silent empty DB would vacuously pass the gate)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            db = json.load(f)
+        if not isinstance(db, list):
+            raise ValueError("top-level JSON value is not an array")
+        files = []
+        for entry in db:
+            if not isinstance(entry, dict) or "file" not in entry:
+                raise ValueError("entry without a 'file' field")
+            files.append(entry["file"])
+        return files
+    except (OSError, ValueError) as exc:
+        print("sstlyz: malformed compile_commands at %s: %s" % (path, exc),
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def load_sources(repo, compile_commands=None):
+    tu_files = None
+    if compile_commands is not None:
+        tu_files = set()
+        for f in load_compile_commands(compile_commands):
+            rel = os.path.relpath(os.path.realpath(f), os.path.realpath(repo))
+            tu_files.add(rel)
+    sources = []
+    for root in SCAN_DIRS:
+        top = os.path.join(repo, root)
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for fn in sorted(filenames):
+                if not fn.endswith(EXTS):
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, repo)
+                # The DB restricts .cpp TUs (flag parity with the build);
+                # headers are always in scope — they hold the annotations.
+                if (tu_files is not None and fn.endswith(".cpp")
+                        and rel not in tu_files):
+                    continue
+                with open(path, encoding="utf-8") as f:
+                    sources.append(Source(rel, f.read()))
+    sources.sort(key=lambda s: s.relpath)
+    return sources
+
+
+def suppression_lines(suppressions):
+    return [
+        "%s\t%s\t%d" % (path, rule, count)
+        for (path, rule), count in sorted(suppressions.items())
+    ]
+
+
+def audit(repo, suppressions):
+    """Diffs observed suppressions against the committed allowlist."""
+    path = os.path.join(repo, ALLOWLIST)
+    committed = []
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            committed = [
+                ln.rstrip("\n") for ln in f
+                if ln.strip() and not ln.lstrip().startswith("#")
+            ]
+    observed = suppression_lines(suppressions)
+    if committed == observed:
+        return []
+    problems = []
+    for ln in sorted(set(observed) - set(committed)):
+        problems.append("unrecorded suppression (add to %s): %s"
+                        % (ALLOWLIST, ln.replace("\t", " ")))
+    for ln in sorted(set(committed) - set(observed)):
+        problems.append("stale allowlist entry (suppression gone): %s"
+                        % ln.replace("\t", " "))
+    if not problems:
+        problems.append("allowlist entries out of canonical sorted order")
+    return problems
+
+
+# ---------------------------------------------------------------- self-test
+
+# Every rule must trip on its bad fixture and stay quiet on its good one;
+# the suppressed fixture must suppress each rule exactly once. Fixtures are
+# scanned under virtual src/ paths so TU scoping behaves as in the tree.
+SELF_TEST_MATRIX = (
+    ("root_reach_bad.cpp", {"root-reach": 1}),
+    ("root_reach_ok.cpp", {}),
+    ("ref_capture_bad.cpp", {"ref-capture": 1}),
+    ("ref_capture_ok.cpp", {}),
+    ("iter_taint_bad.cpp", {"iter-taint": 1}),
+    ("iter_taint_ok.cpp", {}),
+    ("rng_reseed_bad.cpp", {"rng-reseed": 1}),
+    ("rng_reseed_ok.cpp", {}),
+    ("fence_read_bad.cpp", {"fence-read": 1}),
+    ("fence_read_ok.cpp", {}),
+)
+
+
+def self_test(repo):
+    failures = []
+
+    def fixture(name):
+        path = os.path.join(repo, FIXTURE_DIR, name)
+        with open(path, encoding="utf-8") as f:
+            return Source(os.path.join("src", "fixture",
+                                       name), f.read())
+
+    for name, expected in SELF_TEST_MATRIX:
+        findings, _sup = scan([fixture(name)])
+        per_rule = collections.Counter(f.rule for f in findings)
+        for rule in RULES:
+            want = expected.get(rule, 0)
+            if per_rule.get(rule, 0) != want:
+                failures.append(
+                    "%s: rule %s fired %d times (expected %d)"
+                    % (name, rule, per_rule.get(rule, 0), want))
+        for f in findings:
+            if f.rule not in RULES:
+                failures.append("%s:%d: unexpected [%s] %s"
+                                % (name, f.line, f.rule, f.message))
+
+    # The suppressed fixture: zero findings, each rule suppressed EXACTLY
+    # once — asserting the counts, not just the rule set, so a rule that
+    # silently stops firing is caught even under its allow().
+    sup_src = fixture("lyz_suppressed.cpp")
+    findings, suppressions = scan([sup_src])
+    for f in findings:
+        failures.append("lyz_suppressed.cpp:%d: unexpected finding [%s] %s"
+                        % (f.line, f.rule, f.message))
+    for rule in RULES:
+        got = suppressions.get((sup_src.relpath, rule), 0)
+        if got != 1:
+            failures.append(
+                "lyz_suppressed.cpp: allow(%s) suppressed %d finding(s) "
+                "(expected exactly 1)" % (rule, got))
+    return failures
+
+
+# --------------------------------------------------------------------- main
+
+def resolve_engine(requested):
+    """auto -> libclang when importable, else builtin. A FORCED libclang
+    that cannot import is a skip (77): the environment, not the tree, is
+    what's missing — ctest's SKIP_RETURN_CODE treats it accordingly."""
+    if requested == "builtin":
+        return "builtin"
+    try:
+        import clang.cindex  # noqa: F401
+        return "libclang"
+    except ImportError:
+        if requested == "libclang":
+            print("SKIP: clang.cindex (libclang) not importable; the "
+                  "builtin engine covers these rules — install libclang "
+                  "python bindings to force AST extents", file=sys.stderr)
+            sys.exit(77)
+        return "builtin"
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="sstlyz", add_help=True)
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: parent of this script)")
+    ap.add_argument("--compile-commands", default=None, metavar="DB",
+                    help="compile_commands.json restricting the .cpp TU set")
+    ap.add_argument("--engine", choices=("auto", "builtin", "libclang"),
+                    default="auto",
+                    help="frontend: builtin (pure python), libclang "
+                         "(clang.cindex; skips 77 if missing), auto")
+    ap.add_argument("--audit", action="store_true",
+                    help="also fail if suppressions drift from the allowlist")
+    ap.add_argument("--list-suppressions", action="store_true",
+                    help="print observed allowlist lines and exit")
+    ap.add_argument("--stats", action="store_true",
+                    help="print per-rule finding/suppression counts")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the rules against tools/lyz_fixtures/")
+    args = ap.parse_args(argv)
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    engine = resolve_engine(args.engine)
+
+    if args.self_test:
+        failures = self_test(repo)
+        for f in failures:
+            print("sstlyz self-test: %s" % f, file=sys.stderr)
+        print("sstlyz self-test: %s"
+              % ("FAIL" if failures else "ok (%d rules, %d fixtures)"
+                 % (len(RULES), len(SELF_TEST_MATRIX) + 1)))
+        return 1 if failures else 0
+
+    sources = load_sources(repo, args.compile_commands)
+    findings, suppressions = scan(sources, engine=engine)
+
+    if args.list_suppressions:
+        for ln in suppression_lines(suppressions):
+            print(ln)
+        return 0
+
+    if args.stats:
+        hit = collections.Counter(f.rule for f in findings)
+        sup = collections.Counter(rule for (_p, rule) in suppressions.elements())
+        print("rule            findings  suppressions")
+        for rule in RULES:
+            print("%-15s %8d  %12d" % (rule, hit.get(rule, 0),
+                                       sup.get(rule, 0)))
+        extra = sorted(set(hit) - set(RULES))
+        for rule in extra:
+            print("%-15s %8d  %12d" % (rule, hit[rule], 0))
+
+    for f in sorted(findings):
+        print("%s:%d: [%s] %s" % (f.path, f.line, f.rule, f.message))
+
+    problems = audit(repo, suppressions) if args.audit else []
+    for p in problems:
+        print("sstlyz audit: %s" % p, file=sys.stderr)
+
+    total = len(findings)
+    if total or problems:
+        print("sstlyz: %d finding(s), %d audit problem(s)"
+              % (total, len(problems)), file=sys.stderr)
+        return 1
+    print("sstlyz: clean (%d files, %d function defs, engine=%s, "
+          "%d suppression(s) on allowlist)"
+          % (len(sources), len(Program(sources).defs), engine,
+             sum(suppressions.values())))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
