@@ -5,6 +5,20 @@
 // population shows the honest fixed overhead of the epoch barriers when
 // there is little work per shard per epoch.
 //
+// Three lanes:
+//   * dense — the original unicast-feedback sweep over {2000, 10000}
+//     receivers (params unchanged so baselines stay comparable across PRs);
+//   * mcast — the 10k-receiver multicast-feedback session (SRM slotting
+//     through the root-hosted NACK group), the paper's scalable-feedback
+//     configuration;
+//   * churn — a sparse, faulted timeline (crash + partition + leave/join
+//     over a low-rate workload) whose quiescent stretches are where
+//     idle-epoch skipping collapses the barrier count.
+// Every sharded cell also records epochs_executed / epochs_skipped /
+// barrier_wait_ms, so BENCH_shard_engine.json shows the skipping win
+// directly (executed + skipped = what the static W-spaced schedule would
+// have run).
+//
 // Every (K, population) cell runs the SAME experiment per seed — the engine
 // guarantees bit-identical results for any K (enforced by the determinism
 // gates), so the only thing varying across a row is wall time. The JSON
@@ -16,10 +30,14 @@
 // jobs=1, the default: the shard crew itself is the parallelism under test)
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "core/sharded.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "runner/runner.hpp"
 
 namespace {
@@ -45,18 +63,79 @@ core::ExperimentConfig session_cfg(std::size_t receivers, std::size_t shards,
   return cfg;
 }
 
-runner::MetricRow time_one(std::size_t receivers, std::size_t shards,
-                           std::uint64_t seed) {
-  const auto cfg = session_cfg(receivers, shards, seed);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto result = core::run_experiment(cfg);
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+struct Timed {
+  double wall_ms = 0.0;
+  double avg_consistency = 0.0;
+  core::ShardedRunStats stats;  // zeros on the single-queue engine
+};
+
+runner::MetricRow to_row(const Timed& t) {
   return runner::MetricRow{
-      {"wall_ms", elapsed * 1e3},
-      {"avg_consistency", result.avg_consistency},
+      {"wall_ms", t.wall_ms},
+      {"avg_consistency", t.avg_consistency},
+      {"epochs_executed", static_cast<double>(t.stats.epochs_executed)},
+      {"epochs_skipped", static_cast<double>(t.stats.epochs_skipped)},
+      {"barrier_wait_ms", t.stats.barrier_wait_seconds * 1e3},
   };
+}
+
+runner::MetricRow time_one(std::size_t receivers, std::size_t shards,
+                           std::uint64_t seed, bool multicast) {
+  auto cfg = session_cfg(receivers, shards, seed);
+  if (multicast) {
+    cfg.multicast_feedback = true;
+    // SRM sizing: the slot scales with the group (10k receivers share the
+    // NACK channel), and every overheard NACK costs O(group) observe
+    // deliveries, so a short window with a wide slot keeps the smoke gate
+    // fast while still exercising the full slotting/damping machinery.
+    cfg.receiver.nack_slot_max = 1.0;
+    cfg.warmup = 1.0;
+    cfg.duration = 3.0;
+  }
+  Timed t;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = shards > 1 ? core::run_sharded(cfg, &t.stats)
+                                 : core::run_experiment(cfg);
+  t.wall_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count() *
+      1e3;
+  t.avg_consistency = result.avg_consistency;
+  return to_row(t);
+}
+
+runner::MetricRow time_churn(std::size_t receivers, std::size_t shards,
+                             std::uint64_t seed) {
+  // Churn-shaped sweep: a sparse session (slow announce cycle, trickle
+  // workload, small W) with a mid-run sender crash, a partition window, and
+  // receiver leave/join. Most of the run is quiescent — exactly the regime
+  // where the dynamic timetable should execute a small fraction of the
+  // static W-spaced barriers (the acceptance bar is >= 5x fewer).
+  auto cfg = session_cfg(receivers, shards, seed);
+  cfg.workload.insert_rate = core::insert_rate_from_kbps(1.0, 1000);
+  cfg.mu_data = sim::kbps(4);
+  cfg.mu_fb = sim::kbps(16);
+  cfg.delay = 0.02;
+  cfg.duration = 60.0;
+  fault::FaultPlan plan;
+  plan.crash(20.0, 15.0)
+      .partition(0, 45.0, 8.0)
+      .leave(1, 55.0)
+      .join(58.0);
+  fault::InjectorConfig inj;
+  inj.sample_interval = 0.5;  // the sampler's ticks each force a barrier
+  Timed t;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto run =
+      shards > 1
+          ? fault::run_sharded_with_faults(cfg, plan, inj, &t.stats)
+          : fault::run_experiment_with_faults(cfg, plan, inj);
+  t.wall_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count() *
+      1e3;
+  t.avg_consistency = run.base.avg_consistency;
+  return to_row(t);
 }
 
 }  // namespace
@@ -67,37 +146,51 @@ int main(int argc, char** argv) {
   bench::banner(
       "Sharded-engine scaling (K shard workers x receiver population)",
       "feedback, mu-data=45kbps, mu-fb=64kbps, loss=0.1, delay=0.05, "
-      "duration=20s, warmup=5s",
+      "duration=20s, warmup=5s; lanes: dense / mcast / churn",
       "perf baseline tracked across PRs in BENCH_shard_engine.json — not a "
       "paper artifact; results are bit-identical across K by construction");
 
-  const std::vector<std::size_t> populations = {2000, 10000};
   const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+
+  struct Lane {
+    const char* name;  // "" = the original dense sweep (params unchanged)
+    std::size_t receivers;
+  };
+  const std::vector<Lane> lanes = {
+      {"", 2000}, {"", 10000}, {"mcast", 10000}, {"churn", 1000}};
 
   std::vector<runner::SweepPoint> points;
   std::printf("\nreplications=%zu jobs=%zu\n", opt.runner.replications,
               opt.runner.jobs ? opt.runner.jobs : 1);
-  std::printf("  %-10s %-8s %14s %14s\n", "receivers", "shards",
-              "wall_ms mean", "vs K=1");
-  for (const std::size_t receivers : populations) {
+  std::printf("  %-7s %-10s %-8s %14s %8s %10s %10s\n", "lane", "receivers",
+              "shards", "wall_ms mean", "vs K=1", "epochs", "skipped");
+  for (const Lane& lane : lanes) {
+    const bool mcast = std::string(lane.name) == "mcast";
+    const bool churn = std::string(lane.name) == "churn";
     double k1_mean = 0.0;
     for (const std::size_t shards : shard_counts) {
       runner::Options ropt = opt.runner;
       ropt.threads_per_replication = shards;
       const auto agg = runner::run_replications(
           [&](std::size_t, std::uint64_t seed) {
-            return time_one(receivers, shards, seed);
+            return churn ? time_churn(lane.receivers, shards, seed)
+                         : time_one(lane.receivers, shards, seed, mcast);
           },
           ropt);
       runner::Json params = runner::Json::object();
-      params.set("receivers",
-                 runner::Json::integer(static_cast<std::int64_t>(receivers)));
+      params.set("receivers", runner::Json::integer(
+                                  static_cast<std::int64_t>(lane.receivers)));
       params.set("shards",
                  runner::Json::integer(static_cast<std::int64_t>(shards)));
+      if (lane.name[0] != '\0') {
+        params.set("lane", runner::Json::string(lane.name));
+      }
       const double mean = agg.mean("wall_ms");
       if (shards == 1) k1_mean = mean;
-      std::printf("  %-10zu %-8zu %14.1f %13.2fx\n", receivers, shards, mean,
-                  k1_mean > 0.0 ? k1_mean / mean : 0.0);
+      std::printf("  %-7s %-10zu %-8zu %14.1f %7.2fx %10.0f %10.0f\n",
+                  lane.name[0] ? lane.name : "dense", lane.receivers, shards,
+                  mean, k1_mean > 0.0 ? k1_mean / mean : 0.0,
+                  agg.mean("epochs_executed"), agg.mean("epochs_skipped"));
       points.push_back({std::move(params), agg});
     }
   }

@@ -127,3 +127,12 @@ inline constexpr Role engine_role{};
 #define SST_REQUIRES_FENCE_SHARED \
   SST_REQUIRES_SHARED(::sst::check::epoch_fence)
 #define SST_REQUIRES_ENGINE SST_REQUIRES(::sst::check::engine_role)
+
+// Coordinator domain (the fault path): between barriers the coordinator
+// holds the root role AND — because every worker is parked — the shard role.
+// Fault hooks (crash, partition, churn) run at fence-snapped instants on the
+// root simulator, so they mutate root state and shard state in one scope;
+// this pair is their declared requirement. sstlyz's root-reach rule treats
+// the pair as both domains at once.
+#define SST_REQUIRES_COORDINATOR \
+  SST_REQUIRES(::sst::check::root_role, ::sst::check::shard_role)

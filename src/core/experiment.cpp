@@ -1,6 +1,10 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <mutex>
+#include <set>
 
 #include "core/rig_build.hpp"
 #include "core/sharded.hpp"
@@ -130,8 +134,8 @@ std::size_t Experiment::add_receiver_rig() {
       // stage (independent streams), feeding the group past it.
       rig.fb_hostile = std::make_unique<net::HostileChannel<NackMsg>>(
           sim_, cfg_.fb_hostile, root_.fork("hostile-fb", r),
-          [group](const NackMsg& nack, sim::Bytes size) {
-            group->send(nack, size);
+          [this](const NackMsg& nack, sim::Bytes size) {
+            group_nack_send(nack, size);
           });
     }
     net::HostileChannel<NackMsg>* hostile = rig.fb_hostile.get();
@@ -145,7 +149,7 @@ std::size_t Experiment::add_receiver_rig() {
             if (hostile != nullptr) {
               hostile->send(tagged, tagged.size);
             } else {
-              group->send(tagged, tagged.size);
+              group_nack_send(tagged, tagged.size);
             }
           }
         },
@@ -202,6 +206,29 @@ void Experiment::transmit(const DataMsg& msg) {
     fwd_hostile_->send(msg, msg.size);
   } else {
     data_channel_.send(msg, msg.size);
+  }
+}
+
+void Experiment::group_nack_send(const NackMsg& nack, sim::Bytes size) {
+  // Stash only; the first stash of the instant schedules the flush, which
+  // the kernel runs after every event already queued for this timestamp.
+  // Flushing in canonical content order makes the group-entry order at an
+  // exact tie — and with it every observe endpoint's per-NACK loss/delay
+  // draw — a pure function of the NACKs themselves, which the sharded
+  // engine's cross-shard drain reproduces without the global event queue
+  // (same contract as TwoQueueSender::handle_nack on the sender lane).
+  pending_group_.emplace_back(nack, size);
+  if (pending_group_.size() == 1) {
+    sim_.at(sim_.now(), [this] {
+      std::stable_sort(pending_group_.begin(), pending_group_.end(),
+                       [](const auto& a, const auto& b) {
+                         return nack_content_less(a.first, b.first);
+                       });
+      for (const auto& [msg, bytes] : pending_group_) {
+        mcast_fb_->send(msg, bytes);
+      }
+      pending_group_.clear();
+    });
   }
 }
 
@@ -547,10 +574,26 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.backend == Backend::kFluid) return run_fluid(cfg);
   if (cfg.shards > 1) {
     // The sharded engine covers a (large) subset of configurations; outside
-    // it, fall back to the single-queue engine. CLI front ends call
-    // sharded_supported() themselves to warn about the fallback.
+    // it, fall back to the single-queue engine. Surface each distinct
+    // fallback reason once per process — a sweep that silently runs
+    // single-queue looks exactly like one that sharded, and "why is this
+    // not faster" deserves an answer without a debugger. CLI front ends
+    // that pre-check sharded_supported() and clamp cfg.shards themselves
+    // never reach this notice.
     std::string why;
     if (sharded_supported(cfg, why)) return run_sharded(cfg);
+    static std::mutex seen_mu;
+    static std::set<std::string> seen;
+    {
+      const std::lock_guard<std::mutex> lock(seen_mu);
+      if (seen.insert(why).second) {
+        std::fprintf(stderr,
+                     "note: shards=%zu requested but %s; using the "
+                     "single-queue engine (further runs with this reason "
+                     "stay quiet)\n",
+                     cfg.shards, why.c_str());
+      }
+    }
   }
   Experiment exp(cfg);
   if (cfg.backend == Backend::kHybrid) {

@@ -287,6 +287,13 @@ class Experiment {
   std::size_t add_receiver_rig();  // shared by ctor and add_receiver()
   void transmit(const DataMsg& msg);
   void count_redundant(const DataMsg& msg);
+  /// Entry point into the shared feedback group. Same-instant sends are
+  /// stashed and flushed at the end of the instant in canonical content
+  /// order (nack_content_less), not event order: each observe endpoint
+  /// consumes one loss/delay draw per NACK in group-entry order, so the
+  /// order at an exact tie must be one the sharded engine's cross-shard
+  /// drain can reproduce without the global event queue.
+  void group_nack_send(const NackMsg& nack, sim::Bytes size);
 
   ExperimentConfig cfg_;
   sim::Simulator sim_;
@@ -302,6 +309,7 @@ class Experiment {
   net::Channel<DataMsg> data_channel_;
   std::unique_ptr<net::HostileChannel<DataMsg>> fwd_hostile_;
   std::unique_ptr<net::Channel<NackMsg>> mcast_fb_;
+  std::vector<std::pair<NackMsg, sim::Bytes>> pending_group_;  // see group_nack_send
   std::vector<ReceiverRig> receivers_;
 
   std::unique_ptr<OpenLoopSender> ol_sender_;

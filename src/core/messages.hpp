@@ -42,4 +42,21 @@ struct NackMsg {
   std::uint32_t origin = 0;
 };
 
+/// Canonical content order for same-instant NACK ties: (missing_seqs, size,
+/// origin). Exact ties are endemic under constant delays — receivers that
+/// detect the same gap share announce arrival times, so their retry scanners
+/// stay phase-locked and emit in the same instant. Every point where
+/// same-instant NACKs merge (the sender's end-of-instant flush, the multicast
+/// group's entry, the sharded engine's cross-shard drain) must agree on one
+/// order that does not depend on how an event queue happened to interleave
+/// them, or the sharded engine could not reproduce the single-queue run.
+[[nodiscard]] inline bool nack_content_less(const NackMsg& a,
+                                            const NackMsg& b) {
+  if (a.missing_seqs != b.missing_seqs) {
+    return a.missing_seqs < b.missing_seqs;
+  }
+  if (a.size != b.size) return a.size < b.size;
+  return a.origin < b.origin;
+}
+
 }  // namespace sst::core

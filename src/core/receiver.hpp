@@ -39,6 +39,24 @@ struct ReceiverConfig {
   sim::Duration nack_slot_max = 0.0;
 };
 
+/// Greatest lower bound of the extra latency the slotting schedule imposes
+/// between a receiver observing a loss and its NACK entering the feedback
+/// path. The sharded engine's damping-aware lookahead is
+///     W = delay + nack_slot_floor(cfg.receiver)
+/// and this function is the single place the bound is derived from the
+/// protocol: the slot is drawn U(0, nack_slot_max), whose infimum is 0 for
+/// every nack_slot_max > 0, and the degenerate nack_slot_max == 0 case
+/// sends the NACK immediately (note_missing skips the slot timer entirely).
+/// Either way the safe floor is exactly 0 — a NACK can leave in the same
+/// instant the loss is detected — so today the bound adds nothing to
+/// `delay`; a future deterministic minimum-slot schedule (e.g. SRM's
+/// C1*d_S,r term with C1 > 0) would raise it here and the epoch timetable
+/// would widen automatically.
+[[nodiscard]] constexpr sim::Duration nack_slot_floor(
+    const ReceiverConfig& /*config*/) {
+  return 0.0;
+}
+
 /// Counters a receiver accumulates.
 struct ReceiverStats {
   std::uint64_t data_rx = 0;

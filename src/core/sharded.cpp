@@ -8,24 +8,40 @@
 //     order visits receivers in global index order; every cross-shard
 //     reduction below (integral sums, latency merge, byte totals) walks that
 //     order, reproducing the single monitor's arithmetic term for term.
-//   * The root's epoch log replays publisher changes and transmissions into
-//     each shard at the exact times the single engine processed them; the
-//     fence/run_until recipe parks every clock exactly on each boundary, so
-//     timestamped bookkeeping (TimeAverage rectangles, reset times) rounds
-//     identically.
+//   * The root's epoch log replays publisher changes, transmissions, and
+//     overheard group NACKs into each shard at the exact times the single
+//     engine processed them; the fence/run_until recipe parks every clock
+//     exactly on each boundary, so timestamped bookkeeping (TimeAverage
+//     rectangles, reset times) rounds identically.
+//   * Multicast feedback routes through a root-hosted group channel: shard
+//     uplinks cross the mailbox lane, the coordinator replays each send on
+//     the group at its exact send instant (a dedicated carrier clock), and
+//     the overheard copies come back to the owning shards through the epoch
+//     log — same streams, same draw order, same arithmetic as the single
+//     engine's shared group.
+//   * Fault hooks (crash, partition, churn, bandwidth) run in coordinator
+//     context at fence-snapped barrier instants, where every clock is parked
+//     exactly at the hook time — the same state the single engine exposes —
+//     and dynamic membership mirrors the monitor's segmented E[c]
+//     accumulator at the global level (g_closed_/g_ckpt_ below).
 #include "core/sharded.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "check/annotate.hpp"
 #include "check/check.hpp"
+#include "core/receiver.hpp"
 #include "core/rig_build.hpp"
+#include "net/loss.hpp"
 #include "sim/shard.hpp"
 #include "stats/compensated.hpp"
 #include "stats/histogram.hpp"
@@ -40,6 +56,7 @@ struct RootEvent {
     kChange,  // publisher table change (monitor mirror + oracle removal)
     kData,    // transmission entering the forward data channel
     kProbe,   // redundancy oracle probe at sender transmit time
+    kNack,    // group NACK overheard by one receiver (multicast damping)
   };
 
   Kind kind = Kind::kChange;
@@ -48,17 +65,28 @@ struct RootEvent {
   ChangeKind change = ChangeKind::kInsert;
   DataMsg msg;                            // kData / kProbe payload
   sim::Bytes size = 0;                    // kData wire size
+  NackMsg nack;                           // kNack payload
+  std::size_t nack_rec = 0;               // kNack: observing receiver (global)
 };
 
 /// One receiver's worth of shard-local protocol state (the sharded analogue
-/// of Experiment::ReceiverRig, minus the fault-injection hooks, which the
-/// sharded engine does not expose).
+/// of Experiment::ReceiverRig, including the fault-injection hooks: the
+/// switch pointers are flipped by the coordinator at barrier instants).
 struct ShardRig {
   std::unique_ptr<ReceiverTable> table;
   std::unique_ptr<ReceiverAgent> agent;
   std::unique_ptr<net::Channel<NackMsg>> fb_channel;  // unicast feedback
   std::unique_ptr<net::Link<NackMsg>> fb_link;
   std::unique_ptr<net::HostileChannel<NackMsg>> fb_hostile;
+  // Fault surface (mirrors ReceiverRig): loss switches on the forward,
+  // unicast-reverse, and multicast-observe paths, plus membership state.
+  net::SwitchableLoss* fwd_switch = nullptr;
+  net::SwitchableLoss* rev_switch = nullptr;
+  net::SwitchableLoss* observe_switch = nullptr;
+  std::size_t mcast_ep = 0;   // observe endpoint on the root-hosted group
+  bool has_mcast_ep = false;
+  bool partitioned = false;
+  bool active = true;
 };
 
 /// Everything one worker thread owns. Heap-allocated so addresses captured
@@ -66,10 +94,10 @@ struct ShardRig {
 ///
 /// Every member except the mailbox is SST_SHARD_LOCAL: touched by the
 /// owning worker during its epoch phase, and by the coordinator between
-/// barriers (reductions, warm reset), which adopts the shard role wholesale
-/// while the workers are parked. The mailbox carries its own role-split
-/// producer/consumer contract (sim::SpscMailbox), so it stays unguarded
-/// here — its methods are the capability boundary.
+/// barriers (reductions, warm reset, fault hooks), which adopts the shard
+/// role wholesale while the workers are parked. The mailbox carries its own
+/// role-split producer/consumer contract (sim::SpscMailbox), so it stays
+/// unguarded here — its methods are the capability boundary.
 struct Shard {
   Shard() : monitor(sim), data(sim) {}
 
@@ -81,16 +109,47 @@ struct Shard {
   std::vector<std::uint8_t> probe_holds SST_SHARD_LOCAL;  // local AND verdicts
   std::size_t log_cursor SST_SHARD_LOCAL = 0;
   std::uint64_t audit_tick SST_SHARD_LOCAL = 0;  // SST_CHECK cadence counter
+  // First global receiver index this shard owns (immutable: late joins
+  // append to the LAST shard's tail, so global == base + local throughout).
+  std::size_t base = 0;
 };
 
 class ShardedEngine {
  public:
-  explicit ShardedEngine(const ExperimentConfig& cfg);
+  ShardedEngine(const ExperimentConfig& cfg,
+                std::vector<double> extra_specials);
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-  ExperimentResult run();
+  ExperimentResult run(ShardedRunStats* stats);
+
+  /// The root executor's event queue (where fault timelines are armed).
+  [[nodiscard]] sim::Simulator& simulator() { return rsim_; }
+
+  void set_warmup_hook(std::function<void()> hook) {
+    warmup_hook_ = std::move(hook);
+  }
+
+  // Fault surface, mirroring core::Experiment's. Coordinator context only:
+  // between barriers (fault hooks fire at fence-snapped instants on rsim_,
+  // or before/after run()), where the caller holds the root role and — with
+  // every worker parked — the shard role too.
+  void crash_sender() SST_REQUIRES_COORDINATOR;
+  void restart_sender() SST_REQUIRES_COORDINATOR;
+  void set_partition(std::size_t r, bool down) SST_REQUIRES_COORDINATOR;
+  void set_partition_all(bool down) SST_REQUIRES_COORDINATOR;
+  void set_extra_loss(std::size_t r, double p) SST_REQUIRES_COORDINATOR;
+  void set_extra_loss_all(double p) SST_REQUIRES_COORDINATOR;
+  void set_bandwidth_factor(double factor) SST_REQUIRES_COORDINATOR;
+  std::size_t add_receiver() SST_REQUIRES_COORDINATOR;
+  void detach_receiver(std::size_t r) SST_REQUIRES_COORDINATOR;
+  [[nodiscard]] double instantaneous_consistency() const
+      SST_REQUIRES_COORDINATOR;
+  [[nodiscard]] double repair_traffic() const SST_REQUIRES_COORDINATOR;
+  [[nodiscard]] double catch_up_latency(std::size_t r) const
+      SST_REQUIRES_COORDINATOR;
+  [[nodiscard]] std::size_t receiver_count() const SST_REQUIRES_COORDINATOR;
 
  private:
   /// What the workers read each epoch (published before the start barrier).
@@ -103,9 +162,9 @@ class ShardedEngine {
   // Ownership capability map (see check/annotate.hpp and DESIGN.md): the
   // constructor runs before any worker thread exists (analysis-exempt);
   // afterwards every method declares the role(s) it runs under. Root-side
-  // methods that reduce shard state additionally require the shard role —
-  // the coordinator adopts it between barriers, while the workers are
-  // parked.
+  // methods that reduce or mutate shard state additionally require the
+  // shard role — the coordinator adopts it between barriers, while the
+  // workers are parked.
   void build_rig(Shard& sh, std::size_t r);
   void root_transmit(const DataMsg& msg) SST_REQUIRES_ROOT SST_REQUIRES_FENCE;
   void append_data(const DataMsg& msg, sim::Bytes size) SST_REQUIRES_ROOT
@@ -116,13 +175,22 @@ class ShardedEngine {
       SST_REQUIRES_FENCE_SHARED;
   void warm_reset() SST_REQUIRES_ROOT SST_REQUIRES_SHARD;
   [[nodiscard]] const SenderStats& sender_stats() const SST_REQUIRES_ROOT;
-  double global_integral(double now) SST_REQUIRES_SHARD;
-  [[nodiscard]] double global_instantaneous() const SST_REQUIRES_SHARD;
+  // Segmented global E[c] mirror (the single monitor's closed_/ckpt/seg_start
+  // machinery lifted to the cross-shard reduction): ∫c dt over the OPEN
+  // segment, the closed+open total, and the segment close performed at every
+  // membership change, where the active count jumps.
+  double open_global_integral(double now) SST_REQUIRES_ROOT
+      SST_REQUIRES_SHARD;
+  double global_consistency_integral(double now) SST_REQUIRES_ROOT
+      SST_REQUIRES_SHARD;
+  void close_global_segment(double now) SST_REQUIRES_ROOT SST_REQUIRES_SHARD;
+  [[nodiscard]] double global_instantaneous() const SST_REQUIRES_ROOT
+      SST_REQUIRES_SHARD;
   ExperimentResult collect(double end) SST_REQUIRES_ROOT SST_REQUIRES_SHARD;
 
   // Immutable after construction: readable from any role without a guard.
   ExperimentConfig cfg_;
-  sim::Rng root_;  // consumed only during construction (stream forking)
+  sim::Rng root_;  // stream forking (construction and late joins)
   bool feedback_ = false;
   double nack_loss_ = 0.0;
 
@@ -130,9 +198,21 @@ class ShardedEngine {
   sim::Simulator rsim_ SST_ROOT_ONLY;  // the root executor's event queue
   std::unique_ptr<Workload> workload_ SST_ROOT_ONLY;
   std::unique_ptr<net::HostileChannel<DataMsg>> fwd_hostile_ SST_ROOT_ONLY;
+
+  // Multicast feedback group, root-hosted. The carrier simulator exists only
+  // to hold the group's clock at each replayed send instant (it never runs
+  // events); declared before the channel so the channel, which references
+  // it, is destroyed first.
+  sim::Simulator gsim_ SST_ROOT_ONLY;
+  std::unique_ptr<net::Channel<NackMsg>> mcast_fb_ SST_ROOT_ONLY;
+
   // The vector itself is frozen after construction (stable topology); the
   // pointed-to Shard state carries its own member-level guards.
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Global receiver index -> (shard, local rig index). Grows on late joins,
+  // which append to the LAST shard so global order stays contiguous.
+  std::vector<std::pair<std::size_t, std::size_t>> locate_ SST_ROOT_ONLY;
 
   std::unique_ptr<OpenLoopSender> ol_sender_ SST_ROOT_ONLY;
   std::unique_ptr<TwoQueueSender> tq_sender_ SST_ROOT_ONLY;
@@ -150,6 +230,11 @@ class ShardedEngine {
   EpochPlan plan_ SST_EPOCH_SHARED;
   std::vector<double> probe_times_ SST_ROOT_ONLY;  // probe i's transmit time
 
+  // Fence-snap requests from the fault driver: every instant a hook may
+  // fire. Filtered to (0, end] and merged into the special set by run().
+  std::vector<double> extra_specials_ SST_ROOT_ONLY;
+  std::function<void()> warmup_hook_ SST_ROOT_ONLY;
+
   std::unique_ptr<analysis::FluidIntegrator> fluid_ SST_ROOT_ONLY;
   double fluid_m_ = 0.0;  // frozen after construction
 
@@ -162,6 +247,19 @@ class ShardedEngine {
   std::uint64_t warm_dropped_ SST_ROOT_ONLY = 0;
   double warm_fb_bytes_ SST_ROOT_ONLY = 0.0;
   double warm_data_bytes_ SST_ROOT_ONLY = 0.0;
+
+  // Segmented global E[c] accumulator, mirroring ConsistencyMonitor's
+  // closed_/ckpt/seg_start_ machinery across shards: g_closed_ holds ∫c dt
+  // over finished segments (membership constant within each), the open
+  // segment is reduced from the per-shard raw integrals minus their
+  // checkpoints. With static membership every checkpoint stays 0.0 and
+  // g_closed_ stays empty, so the reduction is bit-for-bit the pre-fault
+  // engine's (x - 0.0 == x; the divide happens AFTER the compensated sum,
+  // exactly as in the monitor).
+  stats::CompensatedSum g_closed_ SST_ROOT_ONLY;
+  std::vector<double> g_ckpt_ SST_ROOT_ONLY;  // by global receiver index
+  double g_seg_start_ SST_ROOT_ONLY = 0.0;
+  std::size_t g_active_ SST_ROOT_ONLY = 0;
 
   double last_integral_ SST_ROOT_ONLY = 0.0;
   ExperimentResult result_ SST_ROOT_ONLY;
@@ -177,13 +275,15 @@ class ShardedEngine {
   std::vector<PendingNack> batch_ SST_ROOT_ONLY;
 };
 
-ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
+ShardedEngine::ShardedEngine(const ExperimentConfig& cfg,
+                             std::vector<double> extra_specials)
     : cfg_(cfg),
       root_(cfg_.seed),
       feedback_(cfg_.variant == Variant::kFeedback),
       nack_loss_(cfg_.nack_loss_rate < 0 ? cfg_.loss_rate
                                          : cfg_.nack_loss_rate),
-      shared_rng_(root_.fork("shared-loss")) {
+      shared_rng_(root_.fork("shared-loss")),
+      extra_specials_(std::move(extra_specials)) {
   // The epoch-log appender takes the monitor's subscription slot (first):
   // shards replay each change into their monitors before anything else
   // reacts, preserving the single engine's listener order.
@@ -215,6 +315,31 @@ ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
         });
   }
 
+  // Multicast feedback: the shared group lives on the root side (every
+  // receiver couples through it), carried by gsim_ so each replayed send
+  // draws its per-endpoint loss and delay at the exact instant the single
+  // engine's group->send did. Endpoint 0 is the sender, as in Experiment;
+  // the per-receiver observe endpoints follow in build_rig order.
+  if (feedback_ && cfg_.multicast_feedback) {
+    mcast_fb_ = std::make_unique<net::Channel<NackMsg>>(gsim_);
+    mcast_fb_->add_remote_receiver(
+        rig::make_loss(cfg_, nack_loss_, root_.fork("nack-loss-sender"),
+                       root_.fork("switch-nack-sender")),
+        rig::make_delay(cfg_, root_.fork("nack-delay-sender")),
+        [this](const NackMsg& nack, sim::SimTime arrival) {
+          // Group replay runs on the coordinator between barriers
+          // (drain_nacks): root role, sole writer of the root queue.
+          check::root_role.assert_held();
+          rsim_.at(arrival, [this, nack] {
+            // Fires on the root simulator between barriers: root role +
+            // exclusive fence, like every root event.
+            check::root_role.assert_held();
+            check::epoch_fence.assert_held();
+            if (tq_sender_) tq_sender_->handle_nack(nack);
+          });
+        });
+  }
+
   const std::size_t total = cfg_.num_receivers;
   const std::size_t shards =
       std::min(std::max<std::size_t>(cfg_.shards, 1), total);
@@ -222,8 +347,14 @@ ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
   for (std::size_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
     const auto [lo, hi] = sim::shard_bounds(s, total, shards);
-    for (std::size_t r = lo; r < hi; ++r) build_rig(*shards_.back(), r);
+    shards_.back()->base = lo;
+    for (std::size_t r = lo; r < hi; ++r) {
+      build_rig(*shards_.back(), r);
+      locate_.emplace_back(s, shards_.back()->rigs.size() - 1);
+    }
   }
+  g_active_ = locate_.size();
+  g_ckpt_.assign(locate_.size(), 0.0);
 
   // Sender transmit/probe hooks all fire on the root simulator between
   // barriers (the sender's service process lives there): root role +
@@ -271,26 +402,31 @@ ShardedEngine::ShardedEngine(const ExperimentConfig& cfg)
 }
 
 void ShardedEngine::build_rig(Shard& sh, std::size_t r) {
-  // Construction phase: no worker threads exist yet, so the constructing
-  // thread owns every role at once. Asserted (not REQUIRES'd) because the
-  // caller is the constructor, which Clang's analysis exempts from
-  // guarded_by checks — functions called FROM it are not.
+  // Single-owner phase: at construction no worker threads exist yet, and at
+  // a late join the caller is the coordinator between barriers (workers
+  // parked) — either way the calling thread owns every role at once.
+  // Asserted (not REQUIRES'd) because the constructor is one of the
+  // callers, and Clang exempts constructors from guarded_by checks —
+  // functions called FROM it are not.
   check::root_role.assert_held();
   check::shard_role.assert_held();
 
-  // Mirrors Experiment::add_receiver_rig (unicast-feedback shape) with every
-  // stream forked under the receiver's GLOBAL index r; components live on
-  // the shard's simulator, except the NACK channel's far end, which is a
-  // remote endpoint feeding the shard's mailbox.
+  // Mirrors Experiment::add_receiver_rig with every stream forked under the
+  // receiver's GLOBAL index r; components live on the shard's simulator,
+  // except the feedback far ends: the unicast NACK channel's sender side is
+  // a remote endpoint feeding the shard's mailbox, and the multicast
+  // group's endpoints live on the root-hosted group (observe deliveries
+  // return through the epoch log).
   ShardRig rig;
   rig.table = std::make_unique<ReceiverTable>(sh.sim, cfg_.receiver_ttl);
   sh.monitor.attach(*rig.table);
 
-  if (feedback_) {
+  if (feedback_ && !cfg_.multicast_feedback) {
     rig.fb_channel = std::make_unique<net::Channel<NackMsg>>(sh.sim);
     auto rev_loss =
         rig::make_loss(cfg_, nack_loss_, root_.fork("nack-loss", r),
                        root_.fork("switch-nack", r));
+    rig.rev_switch = rev_loss.get();
     sim::SpscMailbox<NackMsg>* mailbox = &sh.mailbox;
     rig.fb_channel->add_remote_receiver(
         std::move(rev_loss),
@@ -325,20 +461,99 @@ void ShardedEngine::build_rig(Shard& sh, std::size_t r) {
 
   ReceiverConfig rcfg = cfg_.receiver;
   rcfg.feedback = feedback_;
-  net::Link<NackMsg>* link = feedback_ ? rig.fb_link.get() : nullptr;
-  rig.agent = std::make_unique<ReceiverAgent>(
-      sh.sim, *rig.table, rcfg,
-      [link](const NackMsg& nack) {
-        if (link != nullptr) link->send(nack, nack.size);
-      },
-      root_.fork("agent", r));
+  if (cfg_.multicast_feedback) {
+    // Uplink into the shared group: tag the NACK with its origin and cross
+    // the mailbox lane; the coordinator replays the send on the root-hosted
+    // group at this exact instant. Captures are by Shard pointer + local
+    // index (the rigs vector reallocates on late joins; Shard is
+    // heap-stable).
+    Shard* shp = &sh;
+    const std::size_t local = sh.rigs.size();
+    const bool has_group = mcast_fb_ != nullptr;
+    const auto origin = static_cast<std::uint32_t>(r + 1);
+    if (cfg_.fb_hostile.active()) {
+      // Each receiver's uplink into the shared group gets its own hostile
+      // stage (independent streams), feeding the mailbox past it.
+      rig.fb_hostile = std::make_unique<net::HostileChannel<NackMsg>>(
+          sh.sim, cfg_.fb_hostile, root_.fork("hostile-fb", r),
+          [shp](const NackMsg& nack, sim::Bytes size) {
+            // Hostile delivery runs on the shard's simulator inside the
+            // owning worker's epoch phase — the mailbox's producer side.
+            check::shard_role.assert_held();
+            // Hostile stages preserve the wire size (nack.size); the group
+            // replay re-sends it from the payload.
+            static_cast<void>(size);
+            shp->mailbox.push(shp->sim.now(), nack);
+          });
+    }
+    net::HostileChannel<NackMsg>* hostile = rig.fb_hostile.get();
+    rig.agent = std::make_unique<ReceiverAgent>(
+        sh.sim, *rig.table, rcfg,
+        [shp, local, hostile, origin, has_group](const NackMsg& nack) {
+          // Agent NACK emission runs on the shard's simulator inside the
+          // owning worker's epoch phase — the mailbox's producer side.
+          check::shard_role.assert_held();
+          // A partitioned receiver's uplink is down too.
+          if (!has_group || shp->rigs[local].partitioned) return;
+          NackMsg tagged = nack;
+          tagged.origin = origin;
+          if (hostile != nullptr) {
+            hostile->send(tagged, tagged.size);
+          } else {
+            shp->mailbox.push(shp->sim.now(), tagged);
+          }
+        },
+        root_.fork("agent", r));
+  } else {
+    net::Link<NackMsg>* link = feedback_ ? rig.fb_link.get() : nullptr;
+    rig.agent = std::make_unique<ReceiverAgent>(
+        sh.sim, *rig.table, rcfg,
+        [link](const NackMsg& nack) {
+          if (link != nullptr) link->send(nack, nack.size);
+        },
+        root_.fork("agent", r));
+  }
 
   const double fwd_loss = r < cfg_.receiver_loss_rates.size()
                               ? cfg_.receiver_loss_rates[r]
                               : cfg_.loss_rate;
   ReceiverAgent* agent = rig.agent.get();
+  if (feedback_ && cfg_.multicast_feedback) {
+    // This receiver also overhears the group's NACK traffic: a remote
+    // endpoint on the root-hosted group draws the same loss and delay as
+    // the single engine's local endpoint, then routes the overheard copy
+    // back to the owning shard through the epoch log.
+    const auto origin = static_cast<std::uint32_t>(r + 1);
+    auto obs_loss = rig::make_loss(cfg_, nack_loss_,
+                                   root_.fork("nack-observe-loss", r),
+                                   root_.fork("switch-observe", r));
+    rig.observe_switch = obs_loss.get();
+    rig.mcast_ep = mcast_fb_->add_remote_receiver(
+        std::move(obs_loss),
+        rig::make_delay(cfg_, root_.fork("nack-observe-delay", r)),
+        [this, origin, r](const NackMsg& nack, sim::SimTime arrival) {
+          // Group replay runs on the coordinator between barriers
+          // (drain_nacks): root role, sole writer of the root queue.
+          check::root_role.assert_held();
+          if (nack.origin == origin) return;
+          rsim_.at(arrival, [this, nack, r] {
+            // Fires on the root simulator between barriers, where the
+            // coordinator holds the epoch fence exclusively (log writer).
+            check::root_role.assert_held();
+            check::epoch_fence.assert_held();
+            RootEvent e;
+            e.kind = RootEvent::Kind::kNack;
+            e.time = rsim_.now();
+            e.nack = nack;
+            e.nack_rec = r;
+            log_.push_back(std::move(e));
+          });
+        });
+    rig.has_mcast_ep = true;
+  }
   auto fwd = rig::make_loss(cfg_, fwd_loss, root_.fork("loss", r),
                             root_.fork("switch-loss", r));
+  rig.fwd_switch = fwd.get();
   sh.data.add_receiver(std::move(fwd),
                        rig::make_delay(cfg_, root_.fork("delay", r)),
                        [agent](const DataMsg& msg) { agent->handle(msg); });
@@ -389,19 +604,59 @@ void ShardedEngine::drain_nacks() {
     }
   }
   if (batch_.empty()) return;
-  // Deterministic cross-shard merge: arrival time, then shard, then the
-  // producer's FIFO seq. Same-time arrivals across shards are common under
+  // Deterministic cross-shard merge: due time, then shard, then the
+  // producer's FIFO seq. Same-time entries across shards are common under
   // constant delays (phase-locked retry scanners), but the merge order at a
-  // tie cannot leak into sender state: TwoQueueSender defers same-instant
+  // tie cannot leak: in the unicast lane TwoQueueSender defers same-instant
   // NACKs and applies them in canonical content order (see handle_nack),
-  // which is what makes this schedule-insertion order reproducible against
-  // the single-queue engine.
+  // and the multicast lane re-sorts same-due ties below.
   std::sort(batch_.begin(), batch_.end(),
             [](const PendingNack& a, const PendingNack& b) {
               if (a.due != b.due) return a.due < b.due;
               if (a.shard != b.shard) return a.shard < b.shard;
               return a.seq < b.seq;
             });
+  if (mcast_fb_) {
+    // Same-due sends must enter the group in the single engine's canonical
+    // content order (Experiment::group_nack_send): every observe endpoint
+    // consumes one loss/delay draw per NACK in group-entry order, so
+    // (shard, seq) residue at an exact tie would hand those draws to
+    // different packets than the single-queue run. Stable over the primary
+    // sort: equal-content ties keep (shard, seq) order, and equal content
+    // (origin included) makes them interchangeable.
+    std::stable_sort(batch_.begin(), batch_.end(),
+                     [](const PendingNack& a, const PendingNack& b) {
+                       if (a.due != b.due) return a.due < b.due;
+                       return nack_content_less(a.nack, b.nack);
+                     });
+#if SST_CHECK_ENABLED
+    {
+      // Conservative-horizon audit, multicast lane: `due` is the SEND
+      // instant on the group, whose first influence is its earliest
+      // arrival, due + delay. A first influence before the root clock
+      // would mean an epoch outran the damping-aware lookahead.
+      check::Violations v;
+      for (const auto& p : batch_) {
+        if (p.due + cfg_.delay < rsim_.now()) {
+          v.push_back("group NACK sent at " + std::to_string(p.due) +
+                      " influences before the root clock " +
+                      std::to_string(rsim_.now()) +
+                      " (conservative lookahead violated)");
+        }
+      }
+      check::report("ShardedEngine", v);
+    }
+#endif
+    for (auto& p : batch_) {
+      // Replay the uplink send at its exact send instant: the carrier
+      // clock parks at `due`, so every endpoint's loss and delay draws
+      // happen in the same order, at the same times, as the single
+      // engine's group->send.
+      gsim_.advance_to(p.due);
+      mcast_fb_->send(p.nack, p.nack.size);
+    }
+    return;
+  }
 #if SST_CHECK_ENABLED
   {
     // Conservative-horizon audit: a drained NACK due before the root's
@@ -449,6 +704,7 @@ void ShardedEngine::worker_epoch(std::size_t s) {
       case RootEvent::Kind::kProbe: {
         bool held = true;
         for (const auto& rg : sh.rigs) {
+          if (!rg.active) continue;  // detached receivers leave the oracle
           const auto* entry = rg.table->find(e.msg.key);
           if (entry == nullptr || entry->version < e.msg.version) {
             held = false;
@@ -458,6 +714,13 @@ void ShardedEngine::worker_epoch(std::size_t s) {
         sh.probe_holds.push_back(held ? std::uint8_t{1} : std::uint8_t{0});
         break;
       }
+      case RootEvent::Kind::kNack:
+        // Overheard group NACK: only the owning shard applies it (a stopped
+        // agent ignores it, matching the single engine's detach semantics).
+        if (e.nack_rec >= sh.base && e.nack_rec - sh.base < sh.rigs.size()) {
+          sh.rigs[e.nack_rec - sh.base].agent->observe_nack(e.nack);
+        }
+        break;
     }
   }
   wsim.set_fence(plan_.fence);
@@ -481,6 +744,12 @@ void ShardedEngine::warm_reset() {
     fluid_->reset_stats();
   }
   for (auto& sh : shards_) sh->monitor.reset_stats();
+  // Segmented-mirror restart: the per-shard monitors just reset their raw
+  // integrals, so every checkpoint returns to zero and no segment is
+  // closed — the same state the single monitor's reset_stats() leaves.
+  g_closed_.reset();
+  std::fill(g_ckpt_.begin(), g_ckpt_.end(), 0.0);
+  g_seg_start_ = rsim_.now();
   warm_sender_ = sender_stats();
   warm_nacks_sent_ = 0;
   for (const auto& sh : shards_) {
@@ -500,6 +769,7 @@ void ShardedEngine::warm_reset() {
       if (rg.fb_channel) warm_fb_bytes_ += rg.fb_channel->stats().bytes_sent;
     }
   }
+  if (mcast_fb_) warm_fb_bytes_ += mcast_fb_->stats().bytes_sent;
   warm_data_bytes_ = data_bytes_;
 }
 
@@ -507,21 +777,43 @@ const SenderStats& ShardedEngine::sender_stats() const {
   return ol_sender_ ? ol_sender_->stats() : tq_sender_->stats();
 }
 
-double ShardedEngine::global_integral(double now) {
-  // ConsistencyMonitor::consistency_integral() with the per-receiver
+double ShardedEngine::open_global_integral(double now) {
+  // ConsistencyMonitor::open_segment_integral() with the per-receiver
   // reduction spanning shards: advance everyone to `now`, then sum the
-  // per-receiver integrals in GLOBAL receiver order with one CompensatedSum
-  // — the same terms in the same order as the single monitor (post-reset,
-  // each receiver's segment checkpoint is 0 and the closed-segment
-  // accumulator is empty, so the raw integrals are those terms).
+  // active receivers' (integral - checkpoint) terms in GLOBAL receiver
+  // order with one CompensatedSum and divide AFTER the sum — the same
+  // terms, same order, same rounding as the single monitor.
   for (auto& sh : shards_) sh->monitor.advance_all(now);
+  if (g_active_ == 0) return now - g_seg_start_;  // c(t) = 1 with no receivers
   stats::CompensatedSum sum;
-  for (auto& sh : shards_) {
+  for (const auto& sh : shards_) {
     for (std::size_t r = 0; r < sh->rigs.size(); ++r) {
-      sum.add(sh->monitor.receiver_integral(r));
+      if (!sh->monitor.active(r)) continue;
+      sum.add(sh->monitor.receiver_integral(r) - g_ckpt_[sh->base + r]);
     }
   }
-  return sum.value() / static_cast<double>(cfg_.num_receivers);
+  return sum.value() / static_cast<double>(g_active_);
+}
+
+double ShardedEngine::global_consistency_integral(double now) {
+  // ConsistencyMonitor::consistency_integral(): finished segments plus the
+  // open one.
+  return g_closed_.value() + open_global_integral(now);
+}
+
+void ShardedEngine::close_global_segment(double now) {
+  // ConsistencyMonitor::close_segment(): fold the open segment into the
+  // closed accumulator and start a new one at `now`, re-checkpointing every
+  // active receiver's raw integral. Called at every membership change,
+  // where the active count jumps.
+  g_closed_.add(open_global_integral(now));
+  g_seg_start_ = now;
+  for (const auto& sh : shards_) {
+    for (std::size_t r = 0; r < sh->rigs.size(); ++r) {
+      if (!sh->monitor.active(r)) continue;
+      g_ckpt_[sh->base + r] = sh->monitor.receiver_integral(r);
+    }
+  }
 }
 
 double ShardedEngine::global_instantaneous() const {
@@ -531,13 +823,15 @@ double ShardedEngine::global_instantaneous() const {
   double sum = 0.0;
   for (const auto& sh : shards_) {
     for (std::size_t r = 0; r < sh->rigs.size(); ++r) {
+      if (!sh->monitor.active(r)) continue;
       sum += sh->monitor.receiver_consistency(r);
     }
   }
-  return sum / static_cast<double>(cfg_.num_receivers);
+  if (g_active_ == 0) return 1.0;
+  return sum / static_cast<double>(g_active_);
 }
 
-ExperimentResult ShardedEngine::run() {
+ExperimentResult ShardedEngine::run(ShardedRunStats* stats) {
   // The coordinator thread drives the whole run. Between barriers it holds
   // the root role, the epoch fence EXCLUSIVELY (sole writer of log_/plan_),
   // and — because every worker is parked at the barrier — the shard role
@@ -547,8 +841,13 @@ ExperimentResult ShardedEngine::run() {
   check::shard_role.assert_held();
   check::epoch_fence.assert_held();
 
+  if (stats != nullptr) *stats = ShardedRunStats{};
+
   const double end = cfg_.warmup + cfg_.duration;
   const sim::Duration lookahead = sharded_lookahead(cfg_);
+  const bool bounded =
+      lookahead > 0.0 &&
+      lookahead < std::numeric_limits<sim::Duration>::infinity();
 
   // Sample instants, accumulated exactly as the single engine's
   // PeriodicTimer accumulates them: each fire time is the previous plus the
@@ -561,22 +860,26 @@ ExperimentResult ShardedEngine::run() {
     }
   }
 
+  // Special instants the timetable must hit exactly: the warm-up cutoff,
+  // every sample point, every fence-snap request from the fault driver, and
+  // the end of the run. Duplicates (a fault instant on a sample tick, built
+  // with the same float arithmetic) collapse.
   std::vector<sim::SimTime> specials = samples;
   if (cfg_.warmup > 0.0) specials.push_back(cfg_.warmup);
-  const auto schedule =
-      sim::make_epoch_schedule(end, cfg_.warmup, lookahead,
-                               std::move(specials));
-#if SST_CHECK_ENABLED
-  if (!schedule.empty()) {
-    check::Violations v;
-    sim::check_epoch_schedule(schedule, end, lookahead, v);
-    check::report("ShardedEngine", v);
+  for (const double t : extra_specials_) {
+    if (t > 0.0 && t <= end) specials.push_back(t);
   }
-#endif
+  specials.push_back(end);
+  std::sort(specials.begin(), specials.end());
+  specials.erase(std::unique(specials.begin(), specials.end()),
+                 specials.end());
 
   // Degenerate warm-up (warmup <= 0): reset baselines before any event runs,
   // like run_warmup() at time zero.
-  if (!(cfg_.warmup > 0.0)) warm_reset();
+  if (!(cfg_.warmup > 0.0)) {
+    warm_reset();
+    if (warmup_hook_) warmup_hook_();
+  }
 
   // Audited shard-worker capture: worker_epoch(s) reads the engine's
   // published epoch inputs (log_, plan_) and writes only shard s's own
@@ -592,12 +895,42 @@ ExperimentResult ShardedEngine::run() {
     worker_epoch(s);
   });
 
+  // Dynamic timetable (idle-epoch skipping): instead of marching fixed
+  // W-spaced barriers, reduce min(next pending event) across every queue at
+  // each barrier and jump straight to min(next special, that floor + W) —
+  // quiescent stretches cost one epoch instead of span/W of them.
   std::size_t next_sample = 0;
-  for (const auto& b : schedule) {
-    // NACKs pushed during the previous epoch are at least one full epoch of
-    // lookahead away, so scheduling them before the root runs keeps every
-    // delivery in its correct epoch.
-    drain_nacks();
+  std::size_t cursor = 0;
+  double last = 0.0;
+  while (last < end) {
+    sim::SimTime tmin = std::numeric_limits<sim::SimTime>::infinity();
+    if (bounded) {
+      tmin = rsim_.next_event_time();
+      for (const auto& sh : shards_) {
+        tmin = std::min(tmin, sh->sim.next_event_time());
+      }
+    }
+    const sim::EpochBoundary b = sim::next_epoch_boundary(
+        last, end, cfg_.warmup, lookahead, tmin, specials, cursor);
+#if SST_CHECK_ENABLED
+    {
+      check::Violations v;
+      if (!(b.time > last)) {
+        v.push_back("barrier at t=" + std::to_string(b.time) +
+                    " not after its predecessor t=" + std::to_string(last) +
+                    " (barrier monotonicity)");
+      }
+      // One ulp of slack, as in check_epoch_schedule: the horizon is built
+      // by floating-point addition.
+      if (bounded &&
+          b.time - std::max(tmin, last) > lookahead * (1.0 + 1e-12)) {
+        v.push_back("barrier at t=" + std::to_string(b.time) +
+                    " outruns the conservative horizon " +
+                    std::to_string(std::max(tmin, last) + lookahead));
+      }
+      check::report("ShardedEngine", v);
+    }
+#endif
     const double fence =
         b.inclusive
             ? std::nextafter(b.time, std::numeric_limits<double>::infinity())
@@ -607,34 +940,79 @@ ExperimentResult ShardedEngine::run() {
     plan_.fence = fence;
     plan_.run_to = b.time;
     plan_.log_end = log_.size();
-    crew.run_epoch();
+    if (stats != nullptr) {
+      // barrier_wait_seconds measures HOST time the coordinator spends in
+      // the epoch barrier — a profiling counter, deliberately not simulated
+      // time, and only read when the caller asked for stats. It never feeds
+      // back into simulation state, so determinism is untouched.
+      const auto t0 = std::chrono::steady_clock::now();  // sstlint: allow(wall-clock)
+      crew.run_epoch();
+      stats->barrier_wait_seconds +=
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now() - t0)  // sstlint: allow(wall-clock)
+              .count();
+    } else {
+      crew.run_epoch();
+    }
     // Every shard consumed the full log (the root never appends while the
     // workers run), so the epoch's entries can be recycled.
     log_.clear();
     for (auto& sh : shards_) sh->log_cursor = 0;
-
-    if (!warmed_ && b.time == cfg_.warmup) warm_reset();
+    // Drain at the epoch's bottom: nothing runs on rsim_ between here and
+    // the next boundary's run_until, so the schedule-insertion order is the
+    // top-of-next-epoch order the static engine used — and multicast group
+    // sends falling at or before a warm-up/end fence hit the channel's byte
+    // counters before the baselines/collection below read them, exactly as
+    // the single engine's synchronous group->send does.
+    drain_nacks();
+    if (stats != nullptr) {
+      ++stats->epochs_executed;
+      if (bounded) {
+        // What the static W-spaced schedule would have executed across this
+        // span (1e-9 absorbs the repeated-addition rounding).
+        const double span = b.time - last;
+        const double static_epochs = std::ceil(span / lookahead - 1e-9);
+        if (static_epochs > 1.0) {
+          stats->epochs_skipped +=
+              static_cast<std::uint64_t>(static_epochs) - 1;
+        }
+      }
+    }
+    if (!warmed_ && b.time == cfg_.warmup) {
+      warm_reset();
+      // The sharded mirror of "after run_warmup()": statistics just reset,
+      // every clock parked exactly at the cutoff — where the fault driver
+      // arms its timeline.
+      if (warmup_hook_) warmup_hook_();
+    }
     if (next_sample < samples.size() && b.time == samples[next_sample]) {
       ++next_sample;
-      const double integral = global_integral(b.time);
+      const double integral = global_consistency_integral(b.time);
       result_.timeline.push_back(TimelinePoint{
           b.time, (integral - last_integral_) / cfg_.sample_interval});
       last_integral_ = integral;
     }
+    last = b.time;
   }
-  if (!warmed_) warm_reset();  // empty schedule (end <= 0): still collect
+  if (!warmed_) {
+    warm_reset();  // empty timetable (end <= 0): still collect
+    if (warmup_hook_) warmup_hook_();
+  }
   return collect(end);
 }
 
 ExperimentResult ShardedEngine::collect(double end) {
   if (end > cfg_.warmup) {
-    result_.avg_consistency = global_integral(end) / (end - cfg_.warmup);
+    result_.avg_consistency =
+        global_consistency_integral(end) / (end - cfg_.warmup);
   } else {
     result_.avg_consistency = global_instantaneous();
   }
   if (fluid_) {
     fluid_->advance(end);
-    const auto n = static_cast<double>(cfg_.num_receivers);
+    // Population weight n mirrors monitor_.active_receivers(): churn moves
+    // the blend the same way in both engines.
+    const auto n = static_cast<double>(g_active_);
     const double cf = fluid_->average_consistency();
     result_.fluid_cohort = fluid_m_;
     result_.fluid_consistency = cf;
@@ -735,6 +1113,7 @@ ExperimentResult ShardedEngine::collect(double end) {
       if (rg.fb_channel) fb_bytes += rg.fb_channel->stats().bytes_sent;
     }
   }
+  if (mcast_fb_) fb_bytes += mcast_fb_->stats().bytes_sent;
   result_.offered_fb_kbps =
       (fb_bytes - warm_fb_bytes_) * 8.0 / cfg_.duration / 1000.0;
   result_.offered_data_kbps =
@@ -761,7 +1140,242 @@ ExperimentResult ShardedEngine::collect(double end) {
   return result_;
 }
 
+// --------------------------------------------------------- fault surface
+// All of these mirror core::Experiment's methods line for line; the only
+// sharded additions are the locate_ indirection and the global segment
+// close at membership changes.
+
+void ShardedEngine::crash_sender() {
+  if (tq_sender_) {
+    tq_sender_->pause();
+  } else if (ol_sender_) {
+    ol_sender_->pause();
+  }
+}
+
+void ShardedEngine::restart_sender() {
+  if (tq_sender_) {
+    tq_sender_->resume();
+  } else if (ol_sender_) {
+    ol_sender_->resume();
+  }
+}
+
+void ShardedEngine::set_partition(std::size_t r, bool down) {
+  const auto [s, i] = locate_.at(r);
+  ShardRig& rig = shards_[s]->rigs[i];
+  rig.partitioned = down;
+  if (rig.fwd_switch != nullptr) rig.fwd_switch->set_down(down);
+  if (rig.rev_switch != nullptr) rig.rev_switch->set_down(down);
+  if (rig.observe_switch != nullptr) rig.observe_switch->set_down(down);
+}
+
+void ShardedEngine::set_partition_all(bool down) {
+  for (std::size_t r = 0; r < locate_.size(); ++r) {
+    const auto [s, i] = locate_[r];
+    if (shards_[s]->rigs[i].active) set_partition(r, down);
+  }
+}
+
+void ShardedEngine::set_extra_loss(std::size_t r, double p) {
+  const auto [s, i] = locate_.at(r);
+  ShardRig& rig = shards_[s]->rigs[i];
+  if (rig.fwd_switch != nullptr) rig.fwd_switch->set_extra_loss(p);
+}
+
+void ShardedEngine::set_extra_loss_all(double p) {
+  for (std::size_t r = 0; r < locate_.size(); ++r) {
+    const auto [s, i] = locate_[r];
+    if (shards_[s]->rigs[i].active) set_extra_loss(r, p);
+  }
+}
+
+void ShardedEngine::set_bandwidth_factor(double factor) {
+  const sim::Rate mu = cfg_.mu_data * factor;
+  if (tq_sender_) {
+    tq_sender_->set_mu_data(mu);
+  } else if (ol_sender_) {
+    ol_sender_->set_mu_ch(mu);
+  }
+}
+
+std::size_t ShardedEngine::add_receiver() {
+  // The active count jumps: close the global segment first, over the
+  // pre-join membership — the same order ConsistencyMonitor::attach uses.
+  close_global_segment(rsim_.now());
+  const std::size_t r = locate_.size();
+  Shard& sh = *shards_.back();  // tail shard keeps global order contiguous
+  build_rig(sh, r);
+  locate_.emplace_back(shards_.size() - 1, sh.rigs.size() - 1);
+  ++g_active_;
+  g_ckpt_.push_back(0.0);  // the joiner's raw integral starts at zero
+  return r;
+}
+
+void ShardedEngine::detach_receiver(std::size_t r) {
+  const auto [s, i] = locate_.at(r);
+  Shard& sh = *shards_[s];
+  ShardRig& rig = sh.rigs[i];
+  if (!rig.active) return;
+  // Close over the pre-leave membership, then drop the receiver — the same
+  // order ConsistencyMonitor::detach uses (its own shard-local close runs
+  // inside detach(), at the same parked instant).
+  close_global_segment(rsim_.now());
+  rig.active = false;
+  --g_active_;
+  sh.monitor.detach(i);
+  rig.agent->stop();
+  sh.data.set_receiver_enabled(i, false);
+  if (mcast_fb_ && rig.has_mcast_ep) {
+    mcast_fb_->set_receiver_enabled(rig.mcast_ep, false);
+  }
+}
+
+double ShardedEngine::instantaneous_consistency() const {
+  return global_instantaneous();
+}
+
+double ShardedEngine::repair_traffic() const {
+  const SenderStats& s = sender_stats();
+  std::uint64_t nacks = 0;
+  for (const auto& sh : shards_) {
+    for (const auto& rg : sh->rigs) nacks += rg.agent->stats().nacks_sent;
+  }
+  double total = static_cast<double>(s.repair_tx + nacks);
+  if (fluid_) total += fluid_->repair_traffic();
+  return total;
+}
+
+double ShardedEngine::catch_up_latency(std::size_t r) const {
+  const auto [s, i] = locate_.at(r);
+  return shards_[s]->monitor.catch_up_latency(i);
+}
+
+std::size_t ShardedEngine::receiver_count() const { return locate_.size(); }
+
 }  // namespace
+
+struct ShardedExperiment::Impl {
+  ShardedEngine engine;
+  Impl(const ExperimentConfig& cfg, std::vector<double> barriers)
+      : engine(cfg, std::move(barriers)) {}
+};
+
+ShardedExperiment::ShardedExperiment(const ExperimentConfig& cfg,
+                                     std::vector<double> barrier_instants)
+    : impl_(std::make_unique<Impl>(cfg, std::move(barrier_instants))) {}
+
+ShardedExperiment::~ShardedExperiment() = default;
+
+sim::Simulator& ShardedExperiment::simulator() {
+  return impl_->engine.simulator();
+}
+
+void ShardedExperiment::set_warmup_hook(std::function<void()> hook) {
+  impl_->engine.set_warmup_hook(std::move(hook));
+}
+
+ExperimentResult ShardedExperiment::run(ShardedRunStats* stats) {
+  return impl_->engine.run(stats);
+}
+
+// The fault surface below asserts the coordinator pair at every entry: a
+// hook fires at a fence-snapped barrier instant on the root simulator (or
+// before run() starts / after it returns), where the calling thread is the
+// root executor AND — with every worker parked at the barrier — the sole
+// owner of all shard state. ShardCrew's barrier sandwich is the protocol
+// argument; TSan and the byte-identity matrix verify it.
+
+void ShardedExperiment::crash_sender() {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  impl_->engine.crash_sender();
+}
+
+void ShardedExperiment::restart_sender() {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  impl_->engine.restart_sender();
+}
+
+void ShardedExperiment::set_partition(std::size_t r, bool down) {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  impl_->engine.set_partition(r, down);
+}
+
+void ShardedExperiment::set_partition_all(bool down) {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  impl_->engine.set_partition_all(down);
+}
+
+void ShardedExperiment::set_extra_loss(std::size_t r, double p) {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  impl_->engine.set_extra_loss(r, p);
+}
+
+void ShardedExperiment::set_extra_loss_all(double p) {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  impl_->engine.set_extra_loss_all(p);
+}
+
+void ShardedExperiment::set_bandwidth_factor(double factor) {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  impl_->engine.set_bandwidth_factor(factor);
+}
+
+std::size_t ShardedExperiment::add_receiver() {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  return impl_->engine.add_receiver();
+}
+
+void ShardedExperiment::detach_receiver(std::size_t r) {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  impl_->engine.detach_receiver(r);
+}
+
+double ShardedExperiment::instantaneous_consistency() const {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  return impl_->engine.instantaneous_consistency();
+}
+
+double ShardedExperiment::repair_traffic() const {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  return impl_->engine.repair_traffic();
+}
+
+double ShardedExperiment::catch_up_latency(std::size_t r) const {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  return impl_->engine.catch_up_latency(r);
+}
+
+std::size_t ShardedExperiment::receiver_count() const {
+  // Coordinator context between barriers (see block comment above).
+  check::root_role.assert_held();
+  check::shard_role.assert_held();
+  return impl_->engine.receiver_count();
+}
 
 bool sharded_supported(const ExperimentConfig& cfg, std::string& why) {
   if (cfg.backend == Backend::kFluid) {
@@ -772,31 +1386,35 @@ bool sharded_supported(const ExperimentConfig& cfg, std::string& why) {
     why = "no receivers to partition";
     return false;
   }
-  if (cfg.variant == Variant::kFeedback) {
-    if (cfg.multicast_feedback) {
-      why = "multicast feedback couples every receiver to every NACK "
-            "(no conservative lookahead)";
-      return false;
-    }
-    if (!(cfg.delay > 0.0)) {
-      why = "feedback with zero propagation delay leaves no conservative "
-            "lookahead";
-      return false;
-    }
+  if (cfg.variant == Variant::kFeedback && !(cfg.delay > 0.0)) {
+    why = "feedback with zero propagation delay leaves no conservative "
+          "lookahead";
+    return false;
   }
   why.clear();
   return true;
 }
 
 sim::Duration sharded_lookahead(const ExperimentConfig& cfg) {
+  // Damping-aware bound: a NACK spends at least `delay` on whichever
+  // feedback path it takes (unicast reverse channel, or the multicast
+  // group's per-endpoint delay — jitter and rate limits only add), and the
+  // SRM slotting schedule holds its emission for at least the slot floor.
+  // Multicast observation obeys the same bound, which is what lets the
+  // overheard copies ride the epoch log.
   return cfg.variant == Variant::kFeedback
-             ? cfg.delay
+             ? cfg.delay + nack_slot_floor(cfg.receiver)
              : std::numeric_limits<sim::Duration>::infinity();
 }
 
 ExperimentResult run_sharded(const ExperimentConfig& cfg) {
-  ShardedEngine engine(cfg);
-  return engine.run();
+  return run_sharded(cfg, nullptr);
+}
+
+ExperimentResult run_sharded(const ExperimentConfig& cfg,
+                             ShardedRunStats* stats) {
+  ShardedEngine engine(cfg, {});
+  return engine.run(stats);
 }
 
 }  // namespace sst::core

@@ -111,13 +111,7 @@ void TwoQueueSender::flush_nacks() {
   // sender's reaction depends only on the seqs named — so stable_sort's
   // stash-order residue cannot leak into state.
   std::stable_sort(pending_nacks_.begin(), pending_nacks_.end(),
-                   [](const NackMsg& a, const NackMsg& b) {
-                     if (a.missing_seqs != b.missing_seqs) {
-                       return a.missing_seqs < b.missing_seqs;
-                     }
-                     if (a.size != b.size) return a.size < b.size;
-                     return a.origin < b.origin;
-                   });
+                   nack_content_less);
   for (const NackMsg& nack : pending_nacks_) apply_nack(nack);
   pending_nacks_.clear();
   maybe_start_service();

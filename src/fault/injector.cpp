@@ -33,6 +33,35 @@ Hooks hooks_for(core::Experiment& exp) {
   return h;
 }
 
+Hooks hooks_for(core::ShardedExperiment& exp) {
+  Hooks h;
+  h.crash = [&exp] { exp.crash_sender(); };
+  h.restart = [&exp] { exp.restart_sender(); };
+  h.set_partition = [&exp](std::size_t target, bool down) {
+    if (target == kAllReceivers) {
+      exp.set_partition_all(down);
+    } else {
+      exp.set_partition(target, down);
+    }
+  };
+  h.set_extra_loss = [&exp](std::size_t target, double p) {
+    if (target == kAllReceivers) {
+      exp.set_extra_loss_all(p);
+    } else {
+      exp.set_extra_loss(target, p);
+    }
+  };
+  h.set_bandwidth_factor = [&exp](double f) { exp.set_bandwidth_factor(f); };
+  h.leave = [&exp](std::size_t target) { exp.detach_receiver(target); };
+  h.join = [&exp] { return exp.add_receiver(); };
+  h.consistency = [&exp] { return exp.instantaneous_consistency(); };
+  h.traffic = [&exp] { return exp.repair_traffic(); };
+  h.catch_up_latency = [&exp](std::size_t r) {
+    return exp.catch_up_latency(r);
+  };
+  return h;
+}
+
 Hooks hooks_for(sstp::Session& session) {
   Hooks h;
   h.crash = [&session] { session.crash_sender(); };
@@ -211,9 +240,67 @@ std::vector<double> FaultInjector::join_catch_up_latencies() const {
   return out;
 }
 
+std::vector<double> fault_barrier_instants(const core::ExperimentConfig& cfg,
+                                           const FaultPlan& plan,
+                                           const InjectorConfig& injector) {
+  // Mirror arm()'s arithmetic digit for digit. arm() runs at the warm-up
+  // cutoff (now == cfg.warmup) and schedules through Simulator::after(),
+  // which clamps negative delays to zero — so an event's hook fires at
+  //     warmup + max(start - warmup, 0)
+  // and, for ongoing faults, its end hook at
+  //     warmup + max(start + duration - warmup, 0).
+  // The consistency sampler is a sim::PeriodicTimer started at arm time: it
+  // first fires one period after the start and reschedules at each fire
+  // time, so its ticks accumulate by repeated addition from warmup. The
+  // engine fence-snaps barriers by exact floating-point comparison against
+  // these instants, so any deviation here would leave a hook un-fenced.
+  std::vector<double> out;
+  const double warmup = cfg.warmup;
+  const double end = cfg.warmup + cfg.duration;
+  for (const FaultEvent& e : plan.events()) {
+    out.push_back(warmup + std::max(e.start - warmup, 0.0));
+    if (e.duration > 0) {
+      out.push_back(warmup + std::max(e.start + e.duration - warmup, 0.0));
+    }
+  }
+  if (injector.sample_interval > 0) {
+    for (double t = warmup + injector.sample_interval; t <= end;
+         t += injector.sample_interval) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+FaultRunResult run_sharded_with_faults(const core::ExperimentConfig& cfg,
+                                       const FaultPlan& plan,
+                                       InjectorConfig injector,
+                                       core::ShardedRunStats* stats) {
+  core::ShardedExperiment exp(cfg, fault_barrier_instants(cfg, plan,
+                                                          injector));
+  FaultInjector inj(exp.simulator(), plan, hooks_for(exp), injector);
+  exp.set_warmup_hook([&inj] { inj.arm(); });
+  FaultRunResult out;
+  out.base = exp.run(stats);
+  inj.finalize();
+  out.recoveries = inj.records();
+  out.join_catch_up = inj.join_catch_up_latencies();
+  return out;
+}
+
 FaultRunResult run_experiment_with_faults(const core::ExperimentConfig& cfg,
                                           const FaultPlan& plan,
                                           InjectorConfig injector) {
+  if (cfg.shards > 1 && cfg.backend != core::Backend::kHybrid) {
+    // Faulted runs shard too, inside the same envelope as fault-free runs.
+    // kHybrid is excluded here (not in sharded_supported) because this
+    // single-queue path never attaches the fluid cohort — the sharded
+    // engine does, so dispatching would change results, not preserve them.
+    std::string why;
+    if (core::sharded_supported(cfg, why)) {
+      return run_sharded_with_faults(cfg, plan, injector);
+    }
+  }
   core::Experiment exp(cfg);
   FaultInjector inj(exp.simulator(), plan, hooks_for(exp), injector);
   exp.run_warmup();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sharded.hpp"
 #include "fault/plan.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
@@ -47,8 +48,10 @@ struct Hooks {
   std::function<double(std::size_t)> catch_up_latency;
 };
 
-/// Binds the hook bundle to a core experiment / an SSTP session.
+/// Binds the hook bundle to a core experiment / a sharded replication / an
+/// SSTP session.
 Hooks hooks_for(core::Experiment& exp);
+Hooks hooks_for(core::ShardedExperiment& exp);
 Hooks hooks_for(sstp::Session& session);
 
 /// Injector configuration.
@@ -132,11 +135,34 @@ struct FaultRunResult {
   std::vector<double> join_catch_up;  // per join event (negative: never)
 };
 
+/// Every instant at which the injector touches the harness when armed at
+/// the warm-up cutoff of `cfg`: fault starts, fault ends, and consistency
+/// sampler ticks, computed with the exact floating-point arithmetic arm()
+/// and sim::PeriodicTimer use. These are the barrier instants a
+/// core::ShardedExperiment must fence-snap so hooks fire against a fully
+/// parked, single-queue-equivalent state.
+std::vector<double> fault_barrier_instants(const core::ExperimentConfig& cfg,
+                                           const FaultPlan& plan,
+                                           const InjectorConfig& injector);
+
 /// One-call convenience: runs a core experiment with a fault plan applied
 /// after warm-up. Deterministic in cfg.seed (the injector draws no
-/// randomness of its own).
+/// randomness of its own). Configurations inside the sharded envelope with
+/// cfg.shards > 1 run on the sharded engine (bit-identical results, see
+/// run_sharded_with_faults); everything else runs single-queue.
 FaultRunResult run_experiment_with_faults(const core::ExperimentConfig& cfg,
                                           const FaultPlan& plan,
                                           InjectorConfig injector = {});
+
+/// The sharded path run_experiment_with_faults dispatches to: constructs a
+/// ShardedExperiment with the plan's fence-snapped barrier instants, arms
+/// the injector from the warm-up hook, and runs to completion.
+/// Precondition: sharded_supported(cfg). `stats` (optional) receives the
+/// engine's scheduling counters — faulted/churn runs are where idle-epoch
+/// skipping pays, so bench_shard_scaling reads them from here.
+FaultRunResult run_sharded_with_faults(const core::ExperimentConfig& cfg,
+                                       const FaultPlan& plan,
+                                       InjectorConfig injector = {},
+                                       core::ShardedRunStats* stats = nullptr);
 
 }  // namespace sst::fault

@@ -136,7 +136,10 @@ FaultPlan FaultPlan::parse(const std::string& script) {
   FaultPlan plan;
   std::size_t pos = 0;
   while (pos <= script.size()) {
-    std::size_t next = script.find(';', pos);
+    // ';' and ',' both separate events: the grammar uses neither, ';' needs
+    // quoting in shells, and CMake test scripts cannot carry it through a
+    // variable expansion at all.
+    std::size_t next = script.find_first_of(";,", pos);
     if (next == std::string::npos) next = script.size();
     const std::string token = script.substr(pos, next - pos);
     pos = next + 1;

@@ -61,7 +61,7 @@ class FaultPlan {
                         std::size_t target = kAllReceivers);
   FaultPlan& bandwidth(double factor, double at, double duration);
 
-  /// Parses a script of ';'-separated events, each of the form
+  /// Parses a script of ';'- or ','-separated events, each of the form
   ///   kind[:arg]@start[+duration]
   /// e.g. "crash@900+120;partition:0@600+60;leave:1@400;join@1200;
   ///       burst:0.5@1500+30;bw:0.25@300+100".

@@ -54,11 +54,11 @@ Aggregate run_replications(const ReplicationFn& fn, const Options& opt) {
 
   std::size_t jobs = opt.jobs;
   if (jobs == 0) {
-    const auto hw =
-        static_cast<std::size_t>(std::thread::hardware_concurrency());
-    const std::size_t per =
-        opt.threads_per_replication > 0 ? opt.threads_per_replication : 1;
-    jobs = hw / per;  // leave room for each replication's own shard crew
+    // Budget the pool around each replication's own shard crew; see
+    // auto_jobs for why this rounds up rather than down.
+    jobs = auto_jobs(
+        static_cast<std::size_t>(std::thread::hardware_concurrency()),
+        opt.threads_per_replication);
   }
   if (jobs == 0) jobs = 1;
   if (jobs > n) jobs = n;

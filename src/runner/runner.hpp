@@ -44,12 +44,30 @@ struct Options {
   std::size_t jobs = 0;  // worker threads; 0 = hardware concurrency
   /// Threads each replication uses internally (the sharded engine's shard
   /// count, ExperimentConfig::shards). Consulted only when jobs == 0: the
-  /// automatic jobs count becomes hardware / threads_per_replication
-  /// (floored, min 1) so shards x jobs does not oversubscribe the host.
-  /// Like jobs, a pure execution detail — never changes results.
+  /// automatic jobs count becomes auto_jobs(hardware, this) so shards x
+  /// jobs roughly fills — without hard-capping below — the host. Like
+  /// jobs, a pure execution detail — never changes results.
   std::size_t threads_per_replication = 1;
   std::uint64_t master_seed = 1;
 };
+
+/// Automatic replication-pool width for a host with `hardware` threads when
+/// each replication internally runs `threads_per_replication` threads:
+/// ceil(hardware / threads_per_replication), min 1. Ceiling, not floor —
+/// shard crews spend much of their life parked at epoch barriers, so
+/// rounding the pool DOWN strands hardware (the old floor gave 8 cores /
+/// 3-shard replications = 2 jobs, leaving a quarter of the machine idle and
+/// — worse — gave 1 job whenever shards exceeded the core count, even
+/// though the crew itself already oversubscribes then). Mild
+/// oversubscription is the cheaper error; exact fitting is what explicit
+/// --jobs is for.
+[[nodiscard]] constexpr std::size_t auto_jobs(
+    std::size_t hardware, std::size_t threads_per_replication) {
+  const std::size_t per =
+      threads_per_replication > 0 ? threads_per_replication : 1;
+  const std::size_t hw = hardware > 0 ? hardware : 1;
+  return (hw + per - 1) / per;
+}
 
 /// One replication's metrics: (name, value) pairs in a fixed order. Every
 /// replication of an experiment must produce the same names in the same

@@ -107,6 +107,12 @@ std::optional<SimTime> EventQueue::next_time() const {
   return heap_.front().time;
 }
 
+std::optional<SimTime> EventQueue::next_time_unfenced() const {
+  drop_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().time;
+}
+
 std::optional<EventQueue::Fired> EventQueue::pop() {
   drop_cancelled_top();
   if (heap_.empty() || heap_.front().time >= fence_) return std::nullopt;

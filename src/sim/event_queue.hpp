@@ -58,6 +58,13 @@ class EventQueue {
   /// Timestamp of the earliest live event strictly before the fence, if any.
   [[nodiscard]] std::optional<SimTime> next_time() const;
 
+  /// Timestamp of the earliest live event regardless of the fence, if any.
+  /// The sharded engine's idle-epoch skip (the GVT-style min-next-event
+  /// reduction at each barrier) needs to see past the previous epoch's
+  /// fence: the queue may be quiescent for a long stretch beyond it, and
+  /// the next barrier can jump straight to min(next event) + lookahead.
+  [[nodiscard]] std::optional<SimTime> next_time_unfenced() const;
+
   /// Sets the epoch fence: pop() and next_time() ignore entries with
   /// time >= `fence` (they stay queued). The default fence is +infinity
   /// (no fencing). Fences are expected to be monotone non-decreasing over a

@@ -56,6 +56,26 @@ void check_epoch_schedule(const std::vector<EpochBoundary>& schedule,
   }
 }
 
+EpochBoundary next_epoch_boundary(SimTime last, SimTime end, SimTime warmup,
+                                  Duration lookahead, SimTime min_next_event,
+                                  const std::vector<SimTime>& specials,
+                                  std::size_t& cursor) {
+  const bool bounded =
+      lookahead > 0.0 && lookahead < std::numeric_limits<Duration>::infinity();
+  while (cursor < specials.size() && specials[cursor] <= last) ++cursor;
+  // cursor < specials.size() always holds here: `end` is a special and
+  // last < end.
+  SimTime next = specials[cursor];
+  if (bounded) {
+    // Events already fired never reappear, so min_next_event >= last; the
+    // clamp only guards a root queue whose earliest entry sits exactly at
+    // the previous inclusive barrier (fired, tombstone not yet dropped).
+    const SimTime floor = std::max(min_next_event, last);
+    if (floor + lookahead < next) next = floor + lookahead;
+  }
+  return EpochBoundary{next, next == warmup || next == end};
+}
+
 ShardCrew::ShardCrew(std::size_t shards, EpochFn fn)
     : fn_(std::move(fn)),
       gate_(static_cast<std::ptrdiff_t>(shards) + 1),

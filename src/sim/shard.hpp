@@ -159,6 +159,26 @@ void check_epoch_schedule(const std::vector<EpochBoundary>& schedule,
                           SimTime end, Duration lookahead,
                           check::Violations& out);
 
+/// Picks the next barrier after `last` for the DYNAMIC timetable (idle-epoch
+/// skipping): instead of marching fixed lookahead-spaced steps, the
+/// coordinator reduces min(next pending event) across the root and every
+/// shard at each barrier and jumps straight to
+///     min(first special > last, min_next_event + lookahead).
+/// The jump is conservative for exactly the reason the static schedule is:
+/// no event exists anywhere in (last, min_next_event), so no cross-shard
+/// influence can materialize before min_next_event + lookahead — quiescent
+/// stretches (fault recovery tails, churn gaps) collapse into one epoch.
+/// `specials` must be sorted, strictly positive, and contain `end`; `cursor`
+/// is the caller's monotone index into it (entries at or before `last` are
+/// skipped). An unbounded lookahead (<= 0 or infinite) jumps special to
+/// special, which is the static schedule's behavior for that case.
+/// Boundaries at `warmup` and `end` are inclusive, as in the static
+/// schedule.
+[[nodiscard]] EpochBoundary next_epoch_boundary(
+    SimTime last, SimTime end, SimTime warmup, Duration lookahead,
+    SimTime min_next_event, const std::vector<SimTime>& specials,
+    std::size_t& cursor);
+
 /// K long-lived shard worker threads advanced in lock-step epochs.
 ///
 /// Per epoch the coordinator publishes whatever per-epoch inputs the workers

@@ -77,6 +77,14 @@ class Simulator {
     if (t > now_) now_ = t;
   }
 
+  /// Timestamp of the earliest pending event regardless of the fence;
+  /// +infinity when the queue is empty. The sharded coordinator reduces
+  /// this across every shard at each barrier to skip quiescent epochs.
+  [[nodiscard]] SimTime next_event_time() const {
+    const auto t = queue_.next_time_unfenced();
+    return t ? *t : std::numeric_limits<SimTime>::infinity();
+  }
+
   /// Number of live pending events.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 

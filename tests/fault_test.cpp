@@ -64,6 +64,17 @@ TEST(FaultPlan, LabelsAreHumanReadable) {
 TEST(FaultPlan, EmptyAndSeparatorOnlyScriptsAreEmpty) {
   EXPECT_TRUE(FaultPlan::parse("").empty());
   EXPECT_TRUE(FaultPlan::parse(";;").empty());
+  EXPECT_TRUE(FaultPlan::parse(",;,").empty());
+}
+
+TEST(FaultPlan, CommaSeparatesEventsLikeSemicolon) {
+  // ',' is an alternate separator: ';' needs shell quoting and cannot pass
+  // through a CMake variable expansion at all (it splits the list).
+  const auto plan = FaultPlan::parse("crash@90+20,partition:2@130+20;join@180");
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kSenderCrash);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kPartition);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kReceiverJoin);
 }
 
 TEST(FaultPlan, RejectsMalformedScripts) {

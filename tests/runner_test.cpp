@@ -192,6 +192,26 @@ TEST(RunnerDriver, AggregatesInReplicationOrder) {
   EXPECT_DOUBLE_EQ(m->max(), 3.0);
 }
 
+TEST(RunnerDriver, AutoJobsBudgetsByCeilingDivision) {
+  // jobs == 0 sizes the pool as ceil(hardware / threads_per_replication):
+  // shard crews park at barriers most of the time, so rounding down
+  // strands cores. Exact division stays exact.
+  EXPECT_EQ(auto_jobs(8, 1), 8u);
+  EXPECT_EQ(auto_jobs(8, 2), 4u);
+  EXPECT_EQ(auto_jobs(8, 8), 1u);
+  // Non-dividing cases round UP (the old floor gave 2, 1, and 1 here).
+  EXPECT_EQ(auto_jobs(8, 3), 3u);
+  EXPECT_EQ(auto_jobs(9, 4), 3u);
+  EXPECT_EQ(auto_jobs(7, 6), 2u);
+  // More shards than cores: the crew alone oversubscribes; still 1 job,
+  // never 0.
+  EXPECT_EQ(auto_jobs(4, 16), 1u);
+  // Degenerate inputs (hardware_concurrency() may report 0) stay sane.
+  EXPECT_EQ(auto_jobs(0, 4), 1u);
+  EXPECT_EQ(auto_jobs(8, 0), 8u);
+  EXPECT_EQ(auto_jobs(0, 0), 1u);
+}
+
 TEST(RunnerJson, CanonicalFormatting) {
   Json obj = Json::object();
   obj.set("b", Json::number(0.1));

@@ -71,6 +71,46 @@ for k in 2 4 8; do
 done
 echo "sstsim sharded: shards in {1,2,4,8} x jobs byte-identical"
 
+# Multicast feedback shards too: the shared NACK group is root-hosted and
+# replayed through the epoch log, so SRM slotting and cross-shard damping
+# must survive the split bitwise.
+mcast_args="--variant=feedback --lambda-kbps=12 --mu-data-kbps=42 \
+      --mu-fb-kbps=12 --loss=0.25 --receivers=8 --delay=0.05 \
+      --multicast-fb --slot=0.1 --duration=400 --warmup=50 --seed=7 \
+      --replications=8"
+# shellcheck disable=SC2086
+"$sstsim" $mcast_args --shards=1 --jobs=1 > "$work/mcast_ref.txt"
+for k in 2 4 8; do
+  # shellcheck disable=SC2086
+  "$sstsim" $mcast_args --shards=$k --jobs=8 > "$work/mcast_$k.txt"
+  diff "$work/mcast_ref.txt" "$work/mcast_$k.txt" > /dev/null || {
+    echo "FAIL: multicast output differs between --shards=1 and --shards=$k" >&2
+    diff "$work/mcast_ref.txt" "$work/mcast_$k.txt" >&2 || true
+    exit 1
+  }
+done
+echo "sstsim multicast sharded: shards in {1,2,4,8} byte-identical"
+
+# Faulted runs shard too: every injector instant (fault starts/ends,
+# consistency sampler ticks) is fence-snapped onto a barrier, so the whole
+# recovery report must match the single-queue engine bitwise.
+fault_args="--variant=feedback --lambda-kbps=12 --mu-data-kbps=42 \
+      --mu-fb-kbps=12 --loss=0.25 --receivers=8 --delay=0.05 \
+      --duration=400 --warmup=50 --seed=7 --replications=8 \
+      --faults=crash@150+30;partition:2@220+40;burst:0.5@300+30;leave:1@360;join@370"
+# shellcheck disable=SC2086
+"$sstsim" $fault_args --shards=1 --jobs=1 > "$work/fault_ref.txt"
+for k in 2 4 8; do
+  # shellcheck disable=SC2086
+  "$sstsim" $fault_args --shards=$k --jobs=8 > "$work/fault_$k.txt"
+  diff "$work/fault_ref.txt" "$work/fault_$k.txt" > /dev/null || {
+    echo "FAIL: faulted output differs between --shards=1 and --shards=$k" >&2
+    diff "$work/fault_ref.txt" "$work/fault_$k.txt" >&2 || true
+    exit 1
+  }
+done
+echo "sstsim faulted sharded: shards in {1,2,4,8} byte-identical"
+
 # Fluid and hybrid backends: the mean-field tier is pure arithmetic (no RNG
 # in the fluid path, forked Rng streams in the hybrid's discrete cohort), so
 # byte-identical output across --jobs is the same hard contract.

@@ -53,3 +53,48 @@ foreach(shards 1 2 4 8)
   endforeach()
 endforeach()
 message(STATUS "shards x jobs matrix output byte-identical")
+
+# Two more rows through the same matrix, exercising the lanes the base
+# config misses: multicast feedback (the root-hosted NACK group, slotting
+# and cross-shard damping through the epoch log) and a scripted fault
+# timeline (fence-snapped injector hooks, including churn). Kept to the
+# diagonal K in {2,8} x jobs=8 — the full matrix above already proves the
+# jobs axis.
+set(mcast_args --variant=feedback --lambda-kbps=12 --mu-data-kbps=42
+    --mu-fb-kbps=12 --loss=0.25 --receivers=8 --delay=0.05 --multicast-fb
+    --slot=0.1 --duration=200 --warmup=50 --seed=7 --replications=4)
+set(fault_args --variant=feedback --lambda-kbps=12 --mu-data-kbps=42
+    --mu-fb-kbps=12 --loss=0.25 --receivers=8 --delay=0.05 --duration=200
+    --warmup=50 --seed=7 --replications=4
+    --faults=crash@90+20,partition:2@130+20,leave:1@170,join@180)
+
+foreach(lane mcast fault)
+  execute_process(
+    COMMAND ${SSTSIM} ${${lane}_args} --shards=1 --jobs=1
+    OUTPUT_FILE ${WORK_DIR}/${lane}_ref.txt
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sstsim ${lane} reference run failed (exit ${rc})")
+  endif()
+  foreach(shards 2 8)
+    set(out ${WORK_DIR}/${lane}_shards${shards}.txt)
+    execute_process(
+      COMMAND ${SSTSIM} ${${lane}_args} --shards=${shards} --jobs=8
+      OUTPUT_FILE ${out}
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+          "sstsim ${lane} --shards=${shards} failed (exit ${rc})")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${WORK_DIR}/${lane}_ref.txt ${out}
+      RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR
+          "${lane} --shards=${shards} output differs from the single-queue "
+          "reference. Compare ${WORK_DIR}/${lane}_ref.txt vs ${out}")
+    endif()
+  endforeach()
+endforeach()
+message(STATUS "multicast + faulted shard rows byte-identical")

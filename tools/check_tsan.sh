@@ -31,4 +31,15 @@ TSAN_OPTIONS="halt_on_error=1" \
     --delay=0.05 --duration=120 --warmup=20 --seed=7 \
     --shards=8 --replications=4 --jobs=2 > /dev/null
 
+# The same 8-shard crew through the new lanes: the root-hosted multicast
+# NACK group (epoch-log replay of overheard NACKs into every shard) and
+# fence-snapped fault-injector hooks mutating shard state mid-run, churn
+# included.
+TSAN_OPTIONS="halt_on_error=1" \
+  "$build_dir/tools/sstsim" --variant=feedback --lambda-kbps=12 \
+    --mu-data-kbps=42 --mu-fb-kbps=12 --loss=0.25 --receivers=64 \
+    --delay=0.05 --multicast-fb --slot=0.1 --duration=120 --warmup=20 \
+    --seed=7 --shards=8 --replications=4 --jobs=2 \
+    --faults='crash@40+10;partition:3@60+10;leave:2@80;join@90' > /dev/null
+
 echo "tsan check passed: $build_dir"

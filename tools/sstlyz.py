@@ -10,7 +10,13 @@ That lets it express the rules the regexes structurally cannot:
   root-reach    functions reachable from ShardCrew worker entry points (the
                 crew lambda, and anything annotated SST_REQUIRES_SHARD
                 without SST_REQUIRES_ROOT) must not touch SST_ROOT_ONLY
-                state — computed over the call graph, not per line.
+                state — computed over the call graph, not per line. The
+                fault path's SST_REQUIRES_COORDINATOR pair reads as root
+                AND shard at once (annotate.hpp: every worker is parked
+                between barriers), so a coordinator hook is never a worker
+                entry — and worker-reachable code CALLING one is itself a
+                finding, even when the hook's root state lives in another
+                translation unit.
   ref-capture   lambdas scheduled into the event machinery (Simulator::at/
                 after, EventQueue::schedule, Timer::arm) must not capture
                 locals by reference: the lambda outlives the scope, so the
@@ -233,6 +239,12 @@ class FunctionDef:
     def requires(self):
         req = set()
         text = self.trail
+        # The coordinator pair is both domains at once (annotate.hpp): the
+        # fault hooks run between barriers, where the root executor also
+        # owns every parked shard. Tracked as a third token so root-reach
+        # can flag worker-side CALLS of a hook, not just member touches.
+        if "SST_REQUIRES_COORDINATOR" in text:
+            req.update(("root", "shard", "coordinator"))
         if "SST_REQUIRES_ROOT" in text or "root_role" in text:
             req.add("root")
         if "SST_REQUIRES_SHARD" in text or "shard_role" in text:
@@ -361,6 +373,8 @@ class Program:
             for m in DECL_REQ_RE.finditer(src.code):
                 trail = m.group(3)
                 req = set()
+                if "SST_REQUIRES_COORDINATOR" in trail:
+                    req.update(("root", "shard", "coordinator"))
                 if "SST_REQUIRES_ROOT" in trail:
                     req.add("root")
                 if "SST_REQUIRES_SHARD" in trail:
@@ -508,7 +522,8 @@ def rule_root_reach(prog, findings, suppressions):
             entries.extend(prog.callees(body, tu_key(src.relpath)))
 
     reported = set()
-    for d in prog.closure(entries):
+    closure = prog.closure(entries)
+    for d in closure:
         key = tu_key(d.relpath)
         members = prog.root_only.get(key, ())
         for member in sorted(members):
@@ -523,6 +538,29 @@ def rule_root_reach(prog, findings, suppressions):
                  "'%s()' is reachable from shard-worker entry points but "
                  "touches SST_ROOT_ONLY member '%s'; root state must stay "
                  "on the coordinator side of the barrier" % (d.name, member),
+                 findings, suppressions)
+
+    # Fault-path extension: a coordinator hook (SST_REQUIRES_COORDINATOR =
+    # root AND shard, valid only while every worker is parked between
+    # barriers) called from worker-reachable code is a protocol violation at
+    # the CALL SITE — visible even when the hook's root-only members live in
+    # a different translation unit than the caller.
+    for d in closure:
+        if "coordinator" in prog.requires_of(d):
+            continue  # hook-to-hook calls stay inside the parked window
+        for callee in prog.callees(d.body, tu_key(d.relpath)):
+            if "coordinator" not in prog.requires_of(callee):
+                continue
+            pat = re.compile(r"\b%s\s*\(" % re.escape(callee.name))
+            line = d.body_line_of(pat)
+            if (d.relpath, line, callee.name) in reported:
+                continue
+            reported.add((d.relpath, line, callee.name))
+            emit(prog.by_path[d.relpath], line, "root-reach",
+                 "'%s()' is reachable from shard-worker entry points but "
+                 "calls coordinator hook '%s()' (SST_REQUIRES_COORDINATOR); "
+                 "fault hooks presume parked workers and may only run "
+                 "between barriers" % (d.name, callee.name),
                  findings, suppressions)
 
 
@@ -747,8 +785,11 @@ def audit(repo, suppressions):
 # ---------------------------------------------------------------- self-test
 
 # Every rule must trip on its bad fixture and stay quiet on its good one;
-# the suppressed fixture must suppress each rule exactly once. Fixtures are
-# scanned under virtual src/ paths so TU scoping behaves as in the tree.
+# the suppressed fixture must suppress each rule exactly once. Entries may
+# carry a third dict pinning EXACT per-rule suppression counts (the
+# coordinator trio uses it: the same findings, each under its allow()).
+# Fixtures are scanned under virtual src/ paths so TU scoping behaves as in
+# the tree.
 SELF_TEST_MATRIX = (
     ("root_reach_bad.cpp", {"root-reach": 1}),
     ("root_reach_ok.cpp", {}),
@@ -760,6 +801,15 @@ SELF_TEST_MATRIX = (
     ("rng_reseed_ok.cpp", {}),
     ("fence_read_bad.cpp", {"fence-read": 1}),
     ("fence_read_ok.cpp", {}),
+    # SST_REQUIRES_COORDINATOR (the fault path): the pair must read as root
+    # AND shard at once — half-recognition would turn every fault hook into
+    # a worker entry (the ok fixture pins that), and a worker-side CALL of a
+    # hook is a root-reach finding in its own right (the bad fixture: one
+    # call-site finding + one member touch, plus fence-read proving the pair
+    # does NOT grant the epoch fence).
+    ("coordinator_bad.cpp", {"root-reach": 2, "fence-read": 1}),
+    ("coordinator_ok.cpp", {}),
+    ("coordinator_suppressed.cpp", {}, {"root-reach": 2, "fence-read": 1}),
 )
 
 
@@ -772,8 +822,10 @@ def self_test(repo):
             return Source(os.path.join("src", "fixture",
                                        name), f.read())
 
-    for name, expected in SELF_TEST_MATRIX:
-        findings, _sup = scan([fixture(name)])
+    for name, expected, *rest in SELF_TEST_MATRIX:
+        expected_sup = rest[0] if rest else {}
+        src = fixture(name)
+        findings, sup = scan([src])
         per_rule = collections.Counter(f.rule for f in findings)
         for rule in RULES:
             want = expected.get(rule, 0)
@@ -781,6 +833,12 @@ def self_test(repo):
                 failures.append(
                     "%s: rule %s fired %d times (expected %d)"
                     % (name, rule, per_rule.get(rule, 0), want))
+            want_sup = expected_sup.get(rule, 0)
+            got_sup = sup.get((src.relpath, rule), 0)
+            if got_sup != want_sup:
+                failures.append(
+                    "%s: rule %s suppressed %d time(s) (expected %d)"
+                    % (name, rule, got_sup, want_sup))
         for f in findings:
             if f.rule not in RULES:
                 failures.append("%s:%d: unexpected [%s] %s"

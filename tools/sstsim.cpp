@@ -63,8 +63,8 @@ bandwidth & network:
   --fb-hostile=SPEC       same, on the feedback (hardstate: ACK) path
 
 fault injection (soft-state variants):
-  --faults=SCRIPT         scripted fault timeline; ';'-separated events of
-                          the form kind[:arg]@start[+duration], e.g.
+  --faults=SCRIPT         scripted fault timeline; ';'- or ','-separated
+                          events of kind[:arg]@start[+duration], e.g.
                           --faults='crash@900+120;partition:0@600+60;
                           leave:1@400;join@1200;burst:0.5@1500+30;
                           bw:0.25@300+100'. Prints per-fault recovery time,
@@ -77,13 +77,14 @@ run control:
   --scheduler=stride|lottery|wfq|drr|hier
   --shards=1              event-engine shards for EACH replication: K > 1
                           partitions the receivers across K worker threads
-                          advanced in conservative-lookahead epochs. Output
-                          is byte-identical for any supported K; unsupported
-                          combinations (fluid backend, multicast feedback,
-                          feedback with --delay=0) warn and fall back to the
-                          single-queue engine, and K > --receivers clamps.
-                          With --jobs=0 the replication pool leaves room for
-                          the shard crews (jobs = hardware / shards).
+                          advanced in conservative-lookahead epochs; covers
+                          --multicast-fb and --faults runs too. Output is
+                          byte-identical for any supported K; unsupported
+                          combinations (fluid backend, feedback with
+                          --delay=0) warn and fall back to the single-queue
+                          engine, and K > --receivers clamps. With --jobs=0
+                          the replication pool leaves room for the shard
+                          crews (jobs = ceil(hardware / shards)).
 
 population tier (soft-state variants):
   --backend=discrete      discrete = event simulation of --receivers
@@ -200,8 +201,10 @@ int run_hard(const tools::Flags& flags) {
   cfg.sample_interval = flags.num("timeline", 0.0);
   if (flags.num("shards", 1.0) != 1.0) {
     std::fprintf(stderr,
-                 "warning: --shards applies to the soft-state variants only; "
-                 "ignoring\n");
+                 "warning: --shards ignored: --variant=hardstate runs on the "
+                 "ARQ connection engine, which has no sharded "
+                 "implementation (only the soft-state announce/listen "
+                 "engine shards)\n");
   }
   const runner::Options mc = mc_options(flags);
   flags.reject_unknown();
@@ -337,12 +340,7 @@ int main(int argc, char** argv) {
   }
   if (cfg.shards > 1) {
     std::string why;
-    if (!faults_script.empty()) {
-      std::fprintf(stderr,
-                   "warning: fault injection drives the single-queue engine; "
-                   "ignoring --shards\n");
-      cfg.shards = 1;
-    } else if (!core::sharded_supported(cfg, why)) {
+    if (!core::sharded_supported(cfg, why)) {
       std::fprintf(stderr,
                    "warning: --shards unsupported for this configuration "
                    "(%s); using the single-queue engine\n",
